@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks: the four engine architectures on fixed
+//! dashboard-shaped queries (supports the §6 engine comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simba_data::DashboardDataset;
+use simba_engine::{Dbms, EngineKind};
+use simba_sql::parse_select;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROWS: usize = 50_000;
+
+fn queries() -> Vec<(&'static str, simba_sql::Select)> {
+    [
+        ("stat", "SELECT COUNT(lost_calls) FROM customer_service"),
+        (
+            "filtered_stat",
+            "SELECT SUM(abandoned), COUNT(calls) FROM customer_service WHERE queue IN ('A')",
+        ),
+        (
+            "group_1key",
+            "SELECT queue, COUNT(calls) FROM customer_service GROUP BY queue",
+        ),
+        (
+            "group_3key",
+            "SELECT queue, hour, call_direction, COUNT(calls) FROM customer_service \
+             GROUP BY queue, hour, call_direction",
+        ),
+        (
+            "range_filter",
+            "SELECT rep_id, AVG(handle_time) FROM customer_service \
+             WHERE hour BETWEEN 9 AND 17 GROUP BY rep_id",
+        ),
+    ]
+    .iter()
+    .map(|(name, sql)| (*name, parse_select(sql).unwrap()))
+    .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let table = Arc::new(DashboardDataset::CustomerService.generate_rows(ROWS, 42));
+    let engines: Vec<(EngineKind, Arc<dyn Dbms>)> = EngineKind::ALL
+        .into_iter()
+        .map(|k| {
+            let e = k.build();
+            e.register(table.clone());
+            (k, e)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (name, query) in queries() {
+        for (kind, engine) in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(name, kind.name()),
+                &query,
+                |b, q| b.iter(|| engine.execute(q).unwrap().result.n_rows()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion counterpart of Figure 7: one session per dashboard on the
+//! duckdb-like engine, measuring end-to-end session wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simba_core::dashboard::Dashboard;
+use simba_core::session::workflows::Workflow;
+use simba_core::session::{SessionConfig, SessionRunner};
+use simba_core::spec::builtin::builtin;
+use simba_data::DashboardDataset;
+use simba_engine::EngineKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROWS: usize = 20_000;
+
+fn bench_figure7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_sessions");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for ds in DashboardDataset::ALL {
+        let table = Arc::new(ds.generate_rows(ROWS, 21));
+        let dashboard = Dashboard::new(builtin(ds), &table).unwrap();
+        let engine = EngineKind::DuckDbLike.build();
+        engine.register(table);
+        let Ok(goals) = Workflow::Shneiderman.goals_for(&dashboard) else { continue };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ds.table_name()),
+            &goals,
+            |b, goals| {
+                b.iter(|| {
+                    let config = SessionConfig {
+                        seed: 1,
+                        max_steps: 6,
+                        stop_on_completion: true,
+                        ..Default::default()
+                    };
+                    SessionRunner::new(&dashboard, engine.as_ref(), config)
+                        .run(goals)
+                        .unwrap()
+                        .query_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure7);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion counterpart of Figure 8: sessions per workflow on one
+//! dashboard, measuring how goal sequences change workload cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simba_core::dashboard::Dashboard;
+use simba_core::session::workflows::Workflow;
+use simba_core::session::{SessionConfig, SessionRunner};
+use simba_core::spec::builtin::builtin;
+use simba_data::DashboardDataset;
+use simba_engine::EngineKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROWS: usize = 20_000;
+
+fn bench_figure8(c: &mut Criterion) {
+    let ds = DashboardDataset::CustomerService;
+    let table = Arc::new(ds.generate_rows(ROWS, 33));
+    let dashboard = Dashboard::new(builtin(ds), &table).unwrap();
+    let engine = EngineKind::DuckDbLike.build();
+    engine.register(table);
+
+    let mut group = c.benchmark_group("figure8_workflows");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for wf in Workflow::ALL {
+        let goals = wf.goals_for(&dashboard).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(wf.name()), &goals, |b, goals| {
+            b.iter(|| {
+                let config = SessionConfig {
+                    seed: 2,
+                    max_steps: 6,
+                    stop_on_completion: true,
+                    ..Default::default()
+                };
+                SessionRunner::new(&dashboard, engine.as_ref(), config)
+                    .run(goals)
+                    .unwrap()
+                    .query_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure8);
+criterion_main!(benches);

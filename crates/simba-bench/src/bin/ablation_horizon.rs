@@ -1,0 +1,71 @@
+//! Ablation: Oracle lookahead depth (§4.1).
+//!
+//! Deeper LookAhead plans cost more engine queries per step but can escape
+//! local optima. This ablation sweeps depth 1–3 and reports
+//! steps-to-first-goal and planning cost.
+
+use simba_bench::{build_context, configured_rows, engine_with};
+use simba_core::oracle::OracleConfig;
+use simba_core::session::interleave::DecayConfig;
+use simba_core::session::workflows::Workflow;
+use simba_core::session::{SessionConfig, SessionRunner};
+use simba_data::DashboardDataset;
+use simba_engine::EngineKind;
+
+fn main() {
+    let rows = configured_rows().min(50_000);
+    let sessions = 3u64;
+    println!("=== Oracle horizon ablation: Customer Service, {rows} rows ===\n");
+    println!(
+        "{:<8} {:>16} {:>12} {:>14} {:>12}",
+        "depth", "first goal step", "goals met", "wall time ms", "queries"
+    );
+
+    let (table, dashboard) = build_context(DashboardDataset::CustomerService, rows, 5);
+    let engine = engine_with(EngineKind::DuckDbLike, table);
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible");
+
+    for depth in 1..=3usize {
+        let mut first_goal = 0usize;
+        let mut met = 0usize;
+        let mut queries = 0usize;
+        let start = std::time::Instant::now();
+        for seed in 0..sessions {
+            let config = SessionConfig {
+                seed,
+                max_steps: 20,
+                decay: DecayConfig::oracle_only(),
+                oracle: OracleConfig { depth, max_candidates: 24, beam_width: 3 },
+                ..Default::default()
+            };
+            let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+                .run(&goals)
+                .expect("session runs");
+            first_goal += log
+                .goals
+                .iter()
+                .filter_map(|g| g.solved_at)
+                .min()
+                .unwrap_or(20);
+            met += log.goals.iter().filter(|g| g.solved_at.is_some()).count();
+            queries += log.query_count();
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<8} {:>16.1} {:>7}/{:<4} {:>14.1} {:>12}",
+            depth,
+            first_goal as f64 / sessions as f64,
+            met,
+            sessions as usize * goals.len(),
+            elapsed,
+            queries
+        );
+    }
+
+    println!(
+        "\nexpected shape: depth 1 already reaches goals (greedy θ is strong\n\
+         once fragments augment coverage); deeper lookahead multiplies\n\
+         planning cost for marginal step savings — why the paper's default\n\
+         is effectively greedy re-planning."
+    );
+}

@@ -1,0 +1,57 @@
+//! §6 headline: the four DBMS architectures across dataset sizes on one
+//! fixed workload. Reports mean/p95 latency per engine per size so scaling
+//! behavior (who degrades fastest as rows grow) is visible.
+
+use simba_bench::{build_context, engine_with, fmt_ms};
+use simba_core::metrics::DurationSummary;
+use simba_core::session::workflows::Workflow;
+use simba_core::session::{SessionConfig, SessionRunner};
+use simba_data::DashboardDataset;
+use simba_engine::EngineKind;
+
+fn main() {
+    // Sizes scale with SIMBA_ROWS as the largest: [max/25, max/5, max].
+    let max_rows: usize = std::env::var("SIMBA_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250_000);
+    let sizes = [max_rows / 25, max_rows / 5, max_rows];
+    println!("=== DBMS shootout: Customer Service workload at {sizes:?} rows ===\n");
+    println!(
+        "{:<10} {:<14} {:>8} {:>10} {:>10} {:>10}",
+        "rows", "engine", "queries", "mean ms", "p95 ms", "max ms"
+    );
+
+    for rows in sizes {
+        let (table, dashboard) = build_context(DashboardDataset::CustomerService, rows, 3);
+        let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible");
+        let mut means = Vec::new();
+        for kind in EngineKind::ALL {
+            let engine = engine_with(kind, table.clone());
+            let config = SessionConfig {
+                seed: 17,
+                max_steps: 12,
+                stop_on_completion: false,
+                ..Default::default()
+            };
+            let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+                .run(&goals)
+                .expect("session runs");
+            let s = DurationSummary::from_durations(&log.durations()).expect("queries ran");
+            println!(
+                "{:<10} {:<14} {:>8} {} {} {}",
+                rows,
+                kind.name(),
+                s.count,
+                fmt_ms(s.mean_ms),
+                fmt_ms(s.p95_ms),
+                fmt_ms(s.max_ms)
+            );
+            means.push((kind.name(), s.mean_ms));
+        }
+        means.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let ranked: Vec<&str> = means.iter().map(|(n, _)| *n).collect();
+        println!("  -> ranking at {rows} rows: {}", ranked.join(" < "));
+        println!();
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 7: per-dashboard query-duration distributions on the
+//! vectorized-columnar ("duckdb-like") engine.
+//!
+//! The paper runs 10M rows and reports wide variation: Supply Chain
+//! ("Superstore") slowest with the largest IQR, Circulation Activity / My
+//! Ride / Customer Service fastest with little variance. Shapes — who is
+//! slow, who has variance — are the reproduction target; absolute numbers
+//! depend on scale (`SIMBA_ROWS`).
+
+use simba_bench::{ascii_box, build_context, configured_rows, configured_runs, engine_with, fmt_ms};
+use simba_core::metrics::DurationSummary;
+use simba_core::session::workflows::Workflow;
+use simba_core::session::{SessionConfig, SessionRunner};
+use simba_data::DashboardDataset;
+use simba_engine::EngineKind;
+
+fn main() {
+    let rows = configured_rows();
+    let runs = configured_runs();
+    println!("=== Figure 7: duckdb-like engine, {rows} rows, all dashboards ===\n");
+    println!(
+        "{:<22} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}  distribution (ms)",
+        "dashboard", "queries", "mean", "p50", "p75", "p95", "IQR"
+    );
+
+    let mut report = Vec::new();
+    for ds in DashboardDataset::ALL {
+        let (table, dashboard) = build_context(ds, rows, 21);
+        let engine = engine_with(EngineKind::DuckDbLike, table);
+        let mut durations = Vec::new();
+        for wf in Workflow::ALL {
+            let Ok(goals) = wf.goals_for(&dashboard) else { continue };
+            for seed in 0..runs {
+                let config = SessionConfig {
+                    seed,
+                    max_steps: 12,
+                    stop_on_completion: true,
+                    ..Default::default()
+                };
+                let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+                    .run(&goals)
+                    .expect("session runs");
+                durations.extend(log.durations());
+            }
+        }
+        let s = DurationSummary::from_durations(&durations).expect("queries ran");
+        println!(
+            "{:<22} {:>7} {} {} {} {} {}  [{}]",
+            dashboard.spec().name,
+            s.count,
+            fmt_ms(s.mean_ms),
+            fmt_ms(s.p50_ms),
+            fmt_ms(s.p75_ms),
+            fmt_ms(s.p95_ms),
+            fmt_ms(s.iqr_ms()),
+            ascii_box(&s, 32)
+        );
+        report.push((dashboard.spec().name.clone(), s));
+    }
+
+    // The paper's qualitative claims, checked live.
+    let mean_of = |name: &str| {
+        report.iter().find(|(n, _)| n == name).map(|(_, s)| s.mean_ms).unwrap_or(0.0)
+    };
+    println!("\nshape checks (paper §6.3):");
+    println!(
+        "  supply_chain slowest?        {}",
+        report.iter().all(|(n, s)| n == "supply_chain" || s.mean_ms <= mean_of("supply_chain"))
+    );
+    println!(
+        "  circulation low variance?    IQR={:.3}ms",
+        report
+            .iter()
+            .find(|(n, _)| n == "circulation_activity")
+            .map(|(_, s)| s.iqr_ms())
+            .unwrap_or(0.0)
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 8: query-duration distributions grouped by workflow and
+//! dashboard.
+//!
+//! Paper findings to reproduce in shape: the Shneiderman workflow is the
+//! cheapest across dashboards; dashboards with few attributes and similar
+//! visualizations (Circulation Activity) barely vary across workflows,
+//! while Customer Service varies significantly.
+
+use simba_bench::{build_context, configured_rows, configured_runs, engine_with, fmt_ms};
+use simba_core::metrics::DurationSummary;
+use simba_core::session::workflows::Workflow;
+use simba_core::session::{SessionConfig, SessionRunner};
+use simba_data::DashboardDataset;
+use simba_engine::EngineKind;
+use std::collections::BTreeMap;
+
+fn main() {
+    let rows = configured_rows();
+    let runs = configured_runs();
+    println!("=== Figure 8: durations by workflow x dashboard ({rows} rows) ===\n");
+    println!(
+        "{:<22} {:<14} {:>7} {:>9} {:>9} {:>9}",
+        "dashboard", "workflow", "queries", "mean", "p50", "p95"
+    );
+
+    let mut per_workflow: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for ds in DashboardDataset::ALL {
+        let (table, dashboard) = build_context(ds, rows, 33);
+        let engine = engine_with(EngineKind::DuckDbLike, table);
+        for wf in Workflow::ALL {
+            let Ok(goals) = wf.goals_for(&dashboard) else {
+                println!("{:<22} {:<14} {:>7}", dashboard.spec().name, wf.name(), "n/a");
+                continue;
+            };
+            let mut durations = Vec::new();
+            for seed in 0..runs {
+                let config = SessionConfig {
+                    seed: seed + 100,
+                    max_steps: 12,
+                    stop_on_completion: true,
+                    ..Default::default()
+                };
+                let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+                    .run(&goals)
+                    .expect("session runs");
+                durations.extend(log.durations());
+            }
+            let s = DurationSummary::from_durations(&durations).expect("queries ran");
+            println!(
+                "{:<22} {:<14} {:>7} {} {} {}",
+                dashboard.spec().name,
+                wf.name(),
+                s.count,
+                fmt_ms(s.mean_ms),
+                fmt_ms(s.p50_ms),
+                fmt_ms(s.p95_ms)
+            );
+            per_workflow.entry(wf.name()).or_default().push(s.mean_ms);
+        }
+    }
+
+    println!("\nper-workflow mean of means (paper: Shneiderman lowest):");
+    for (wf, means) in &per_workflow {
+        let avg = means.iter().sum::<f64>() / means.len() as f64;
+        println!("  {:<14} {:.3} ms over {} dashboards", wf, avg, means.len());
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 9: the dashboards IDEBench implicitly generates, reverse
+//! engineered — 50 workflows over the IT Monitor dataset.
+//!
+//! Paper numbers to reproduce in shape: avg 13 visualizations (min 7,
+//! max 20) vs the real dashboard's 3; an average interaction triggering ~9
+//! visualization updates; widely varying per-dashboard performance.
+
+use simba_bench::{build_context, configured_rows, engine_with, fmt_ms};
+use simba_core::metrics::DurationSummary;
+use simba_data::DashboardDataset;
+use simba_engine::EngineKind;
+use simba_idebench::complexity::FleetComplexity;
+use simba_idebench::{DashboardComplexity, IdeBenchConfig, IdeBenchRunner};
+
+fn main() {
+    let rows = configured_rows();
+    let workflows: u64 = std::env::var("SIMBA_IDEBENCH_WORKFLOWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    println!("=== Figure 9: {workflows} IDEBench workflows on IT Monitor ({rows} rows) ===\n");
+
+    let (table, dashboard) = build_context(DashboardDataset::ItMonitor, rows, 4);
+    let engine = engine_with(EngineKind::DuckDbLike, table.clone());
+
+    let mut profiles = Vec::new();
+    let mut per_run_means = Vec::new();
+    for seed in 0..workflows {
+        let log = IdeBenchRunner::new(
+            &table,
+            engine.as_ref(),
+            IdeBenchConfig { seed, interactions: 25, ..Default::default() },
+        )
+        .run()
+        .expect("idebench runs");
+        let summary = DurationSummary::from_durations(&log.durations()).expect("queries ran");
+        per_run_means.push((seed, log.dashboard.vizzes.len(), summary));
+        profiles.push(DashboardComplexity::from_log(&log));
+    }
+
+    let fleet = FleetComplexity::from_runs(&profiles).expect("profiles");
+    println!("reverse-engineered dashboard complexity:");
+    println!(
+        "  visualizations      : avg {:.1} (min {}, max {})   [paper: avg 13, min 7, max 20]",
+        fleet.viz_avg, fleet.viz_min, fleet.viz_max
+    );
+    println!(
+        "  updates/interaction : avg {:.1}                      [paper: avg 9, min 1, max 15]",
+        fleet.updates_avg
+    );
+    println!(
+        "  attrs per viz       : avg {:.1}                      [paper: 2.1]",
+        fleet.attrs_avg
+    );
+    println!(
+        "  filters per query   : avg {:.1}                      [paper: 13.2]",
+        fleet.filters_avg
+    );
+    println!(
+        "  real IT Monitor     : {} visualizations",
+        dashboard.spec().visualizations.len()
+    );
+
+    // Two hand-picked contrasting runs, like the figure's stylized pair.
+    per_run_means.sort_by(|a, b| a.2.mean_ms.total_cmp(&b.2.mean_ms));
+    let fastest = per_run_means.first().expect("runs");
+    let slowest = per_run_means.last().expect("runs");
+    println!("\ncontrasting generated dashboards (the figure's two examples):");
+    println!(
+        "  seed {:>2}: {:>2} visualizations, mean query {} ms",
+        fastest.0,
+        fastest.1,
+        fmt_ms(fastest.2.mean_ms)
+    );
+    println!(
+        "  seed {:>2}: {:>2} visualizations, mean query {} ms",
+        slowest.0,
+        slowest.1,
+        fmt_ms(slowest.2.mean_ms)
+    );
+    println!(
+        "\nhigh variance across runs obscures whether performance differences\n\
+         come from the DBMS or from random dashboard design (the paper's point)."
+    );
+}

@@ -1,0 +1,71 @@
+//! Table 3: the experiment grid — dataset sizes × goal sequences
+//! (workflows) × dashboards, each against every DBMS.
+//!
+//! Paper scale is {100K, 1M, 10M} rows × 8 runs; default here is one scaled
+//! size (`SIMBA_ROWS`, default 50K) × `SIMBA_RUNS` runs. Incompatible
+//! combinations (MyRide × correlation workflows) are reported as `n/a`,
+//! matching §6.2.3.
+
+use simba_bench::{build_context, configured_rows, configured_runs, engine_with, fmt_ms};
+use simba_core::metrics::DurationSummary;
+use simba_core::session::workflows::Workflow;
+use simba_core::session::{SessionConfig, SessionRunner};
+use simba_data::DashboardDataset;
+use simba_engine::EngineKind;
+
+fn main() {
+    let rows = configured_rows();
+    let runs = configured_runs();
+    println!("=== Table 3 grid: {rows} rows, {runs} runs per cell ===");
+    println!("parameters: {} dashboards x {} workflows x {} engines", 6, 3, 4);
+    println!();
+    println!(
+        "{:<22} {:<14} {:<14} {:>8} {:>9} {:>9}",
+        "dashboard", "workflow", "engine", "queries", "mean ms", "p95 ms"
+    );
+
+    for ds in DashboardDataset::ALL {
+        let (table, dashboard) = build_context(ds, rows, 7);
+        for wf in Workflow::ALL {
+            let goals = match wf.goals_for(&dashboard) {
+                Ok(g) => g,
+                Err(_) => {
+                    println!(
+                        "{:<22} {:<14} {:<14} {:>8}",
+                        dashboard.spec().name,
+                        wf.name(),
+                        "-",
+                        "n/a"
+                    );
+                    continue;
+                }
+            };
+            for kind in EngineKind::ALL {
+                let engine = engine_with(kind, table.clone());
+                let mut durations = Vec::new();
+                for seed in 0..runs {
+                    let config = SessionConfig {
+                        seed,
+                        max_steps: 15,
+                        stop_on_completion: true,
+                        ..Default::default()
+                    };
+                    let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+                        .run(&goals)
+                        .expect("session runs");
+                    durations.extend(log.durations());
+                }
+                let s = DurationSummary::from_durations(&durations).expect("queries ran");
+                println!(
+                    "{:<22} {:<14} {:<14} {:>8} {} {}",
+                    dashboard.spec().name,
+                    wf.name(),
+                    kind.name(),
+                    s.count,
+                    fmt_ms(s.mean_ms),
+                    fmt_ms(s.p95_ms)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! The goal algebra (§2.2, Table 1 of the paper).
+//!
+//! User exploration goals are expressed as algebra terms over data
+//! attributes, then translated to SQL ([`to_sql`]) to become *goal queries*.
+//! The operators follow Table 1:
+//!
+//! | Operator | Notation | Meaning |
+//! |---|---|---|
+//! | concatenate | `A + B` | place attributes on the same axis |
+//! | filter | `A - c` | remove instances matching a constant/set |
+//! | map | `MAP(A, f)` | apply a function to each instance |
+//! | aggregate | `AGG(A, f)` | aggregate attribute A with f |
+//! | compare | `B × A` | opposing axes; group by B when comparing aggregates |
+//! | nest | `B / A` | hierarchical grouping (from VizQL) |
+
+pub mod parse;
+pub mod templates;
+pub mod to_sql;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate functions available to the `AGG` operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// Name as written in algebra expressions (`count`, `sum`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::CountDistinct => "count_distinct",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Parse an aggregate name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "count_distinct" | "countd" => AggFunc::CountDistinct,
+            "sum" => AggFunc::Sum,
+            "avg" | "mean" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// Map functions available to the `MAP` operator (scalar transforms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapFunc {
+    Hour,
+    Day,
+    Month,
+    Year,
+    DayOfWeek,
+    Abs,
+    /// Bin to fixed-width buckets; width in the same unit as the attribute.
+    Bin(i64),
+}
+
+impl MapFunc {
+    /// Name as written in algebra expressions.
+    pub fn name(self) -> String {
+        match self {
+            MapFunc::Hour => "hour".into(),
+            MapFunc::Day => "day".into(),
+            MapFunc::Month => "month".into(),
+            MapFunc::Year => "year".into(),
+            MapFunc::DayOfWeek => "dayofweek".into(),
+            MapFunc::Abs => "abs".into(),
+            MapFunc::Bin(w) => format!("bin{w}"),
+        }
+    }
+}
+
+/// A constant in filter terms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Constant {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(v) => write!(f, "{v}"),
+            Constant::Float(v) => write!(f, "{v}"),
+            Constant::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// Comparison operators usable in filter conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        }
+    }
+}
+
+/// A goal algebra term (Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GoalExpr {
+    /// A data attribute (column) reference.
+    Attr(String),
+    /// `A + B`: concatenate onto the same axis.
+    Concat(Box<GoalExpr>, Box<GoalExpr>),
+    /// `B × A`: compare on opposing axes (group by the left term when the
+    /// right term aggregates).
+    Compare(Box<GoalExpr>, Box<GoalExpr>),
+    /// `B / A`: nest A under B (hierarchical grouping; from VizQL).
+    Nest(Box<GoalExpr>, Box<GoalExpr>),
+    /// `A - c` / condition: element-wise removal.
+    Filter { expr: Box<GoalExpr>, condition: FilterCond },
+    /// `MAP(A, f)`.
+    Map { func: MapFunc, expr: Box<GoalExpr> },
+    /// `AGG(A, f)`.
+    Agg { func: AggFunc, expr: Box<GoalExpr> },
+}
+
+/// Condition attached to a filter term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FilterCond {
+    /// Remove instances equal to the constant (`A - c`).
+    RemoveConst(Constant),
+    /// Remove instances in the set (`A - B` with B a member set).
+    RemoveSet(Vec<Constant>),
+    /// Keep instances whose (aggregated) value compares true — used for
+    /// threshold goals such as "more than 1 lost call" (Figure 3). The
+    /// comparison applies to the expression the filter wraps.
+    Keep(CmpOp, Constant),
+}
+
+impl GoalExpr {
+    /// Attribute reference.
+    pub fn attr(name: impl Into<String>) -> GoalExpr {
+        GoalExpr::Attr(name.into())
+    }
+
+    /// `AGG(self, func)`.
+    pub fn agg(self, func: AggFunc) -> GoalExpr {
+        GoalExpr::Agg { func, expr: Box::new(self) }
+    }
+
+    /// `MAP(self, func)`.
+    pub fn map(self, func: MapFunc) -> GoalExpr {
+        GoalExpr::Map { func, expr: Box::new(self) }
+    }
+
+    /// `self × other`.
+    pub fn compare(self, other: GoalExpr) -> GoalExpr {
+        GoalExpr::Compare(Box::new(self), Box::new(other))
+    }
+
+    /// `self + other`.
+    pub fn concat(self, other: GoalExpr) -> GoalExpr {
+        GoalExpr::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `self / other` (nest).
+    pub fn nest(self, other: GoalExpr) -> GoalExpr {
+        GoalExpr::Nest(Box::new(self), Box::new(other))
+    }
+
+    /// Keep-filter: `self - {¬(self op c)}`.
+    pub fn keep(self, op: CmpOp, c: Constant) -> GoalExpr {
+        GoalExpr::Filter { expr: Box::new(self), condition: FilterCond::Keep(op, c) }
+    }
+
+    /// Remove-filter: `self - c`.
+    pub fn remove(self, c: Constant) -> GoalExpr {
+        GoalExpr::Filter { expr: Box::new(self), condition: FilterCond::RemoveConst(c) }
+    }
+
+    /// All attribute names referenced by the term, in first-appearance order.
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|a| seen.insert(*a));
+        out
+    }
+
+    fn collect_attrs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            GoalExpr::Attr(a) => out.push(a),
+            GoalExpr::Concat(l, r) | GoalExpr::Compare(l, r) | GoalExpr::Nest(l, r) => {
+                l.collect_attrs(out);
+                r.collect_attrs(out);
+            }
+            GoalExpr::Filter { expr, .. }
+            | GoalExpr::Map { expr, .. }
+            | GoalExpr::Agg { expr, .. } => expr.collect_attrs(out),
+        }
+    }
+
+    /// Does the term contain an `AGG` operator?
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            GoalExpr::Agg { .. } => true,
+            GoalExpr::Attr(_) => false,
+            GoalExpr::Concat(l, r) | GoalExpr::Compare(l, r) | GoalExpr::Nest(l, r) => {
+                l.has_aggregate() || r.has_aggregate()
+            }
+            GoalExpr::Filter { expr, .. } | GoalExpr::Map { expr, .. } => expr.has_aggregate(),
+        }
+    }
+}
+
+impl fmt::Display for GoalExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoalExpr::Attr(a) => write!(f, "{a}"),
+            GoalExpr::Concat(l, r) => write!(f, "{l} + {r}"),
+            GoalExpr::Compare(l, r) => write!(f, "{l} x {r}"),
+            GoalExpr::Nest(l, r) => write!(f, "{l} / {r}"),
+            GoalExpr::Filter { expr, condition } => match condition {
+                FilterCond::RemoveConst(c) => write!(f, "{expr} - {c}"),
+                FilterCond::RemoveSet(cs) => {
+                    write!(f, "{expr} - {{")?;
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    write!(f, "}}")
+                }
+                FilterCond::Keep(op, c) => write!(f, "{expr} - {{!({expr} {} {c})}}", op.symbol()),
+            },
+            GoalExpr::Map { func, expr } => write!(f, "MAP({expr}, {})", func.name()),
+            GoalExpr::Agg { func, expr } => write!(f, "{}({expr})", func.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_paper_example_2_2() {
+        // R × MAP(AGG(C, sum)/AGG(C, count), avg) — we express the average
+        // directly with the avg aggregate, as §2.2 notes is equivalent.
+        let expr = GoalExpr::attr("rep_id").compare(GoalExpr::attr("calls").agg(AggFunc::Avg));
+        assert_eq!(expr.to_string(), "rep_id x avg(calls)");
+        assert!(expr.has_aggregate());
+        assert_eq!(expr.attributes(), vec!["rep_id", "calls"]);
+    }
+
+    #[test]
+    fn builds_figure_3_expression() {
+        // Q × count(lostCalls) - {count(lostCalls) < 2}
+        let agg = GoalExpr::attr("lost_calls").agg(AggFunc::Count);
+        let expr = GoalExpr::attr("queue")
+            .compare(agg.keep(CmpOp::Gt, Constant::Int(1)));
+        let s = expr.to_string();
+        assert!(s.contains("queue x"), "{s}");
+        assert!(s.contains("count(lost_calls)"), "{s}");
+    }
+
+    #[test]
+    fn attributes_deduplicate() {
+        let e = GoalExpr::attr("a").concat(GoalExpr::attr("a").agg(AggFunc::Sum));
+        assert_eq!(e.attributes(), vec!["a"]);
+    }
+
+    #[test]
+    fn display_compare_and_concat() {
+        let e = GoalExpr::attr("t")
+            .compare(GoalExpr::attr("c").agg(AggFunc::Count).concat(GoalExpr::attr("a").agg(AggFunc::Sum)));
+        assert_eq!(e.to_string(), "t x count(c) + sum(a)");
+    }
+
+    #[test]
+    fn agg_func_names_round_trip() {
+        for f in [
+            AggFunc::Count,
+            AggFunc::CountDistinct,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Text syntax for goal algebra expressions.
+//!
+//! Benchmark users can write goals as text instead of building
+//! [`GoalExpr`](super::GoalExpr) trees:
+//!
+//! ```text
+//! queue x count(lost_calls) - {count(lost_calls) < 2}
+//! hour x count(calls) + sum(abandoned)
+//! day(ts) x sum(revenue)
+//! ```
+//!
+//! Grammar (all binary axis operators share one precedence level and
+//! associate left; use parentheses to group):
+//!
+//! ```text
+//! expr   := term (('x' | '×' | '+' | '/') term)*
+//! term   := func '(' expr ')' | ident | '(' expr ')' | term filter
+//! filter := '-' const | '-' '{' expr cmp const '}'
+//! ```
+//!
+//! A `- {cond}` filter *removes* instances satisfying `cond` (Figure 3 of
+//! the paper writes "remove where count < 2" to mean "keep count ≥ 2").
+
+use super::{AggFunc, CmpOp, Constant, FilterCond, GoalExpr, MapFunc};
+use crate::error::CoreError;
+
+/// Parse a goal algebra expression from text.
+pub fn parse_goal(input: &str) -> Result<GoalExpr, CoreError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if p.pos < p.tokens.len() {
+        return Err(CoreError::AlgebraParse(format!(
+            "unexpected trailing input near `{:?}`",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(expr)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Cross,
+    Plus,
+    Minus,
+    Slash,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Cmp(CmpOp),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, CoreError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '×' => {
+                out.push(Tok::Cross);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Cmp(CmpOp::LtEq));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Cmp(CmpOp::NotEq));
+                    i += 2;
+                } else {
+                    out.push(Tok::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Cmp(CmpOp::GtEq));
+                    i += 2;
+                } else {
+                    out.push(Tok::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Tok::Cmp(CmpOp::Eq));
+                i += 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(CoreError::AlgebraParse("unterminated string".into()));
+                }
+                i += 1;
+                out.push(Tok::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot))
+                {
+                    if chars[i] == '.' {
+                        saw_dot = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if saw_dot {
+                    out.push(Tok::Float(text.parse().map_err(|_| {
+                        CoreError::AlgebraParse(format!("bad float `{text}`"))
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| {
+                        CoreError::AlgebraParse(format!("bad int `{text}`"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                // A bare `x` between terms is the cross operator.
+                if word == "x" || word == "X" {
+                    out.push(Tok::Cross);
+                } else {
+                    out.push(Tok::Ident(word));
+                }
+            }
+            other => {
+                return Err(CoreError::AlgebraParse(format!("unexpected character `{other}`")))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<GoalExpr, CoreError> {
+        let mut left = self.term()?;
+        loop {
+            if self.eat(&Tok::Cross) {
+                let right = self.term()?;
+                left = left.compare(right);
+            } else if self.eat(&Tok::Plus) {
+                let right = self.term()?;
+                left = left.concat(right);
+            } else if self.eat(&Tok::Slash) {
+                let right = self.term()?;
+                left = left.nest(right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<GoalExpr, CoreError> {
+        let mut base = self.atom()?;
+        // Postfix filters bind to the preceding term.
+        while self.eat(&Tok::Minus) {
+            base = self.filter(base)?;
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<GoalExpr, CoreError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                if !self.eat(&Tok::RParen) {
+                    return Err(CoreError::AlgebraParse("expected `)`".into()));
+                }
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                if self.eat(&Tok::LParen) {
+                    let inner = self.expr()?;
+                    if !self.eat(&Tok::RParen) {
+                        return Err(CoreError::AlgebraParse("expected `)`".into()));
+                    }
+                    if let Some(agg) = AggFunc::from_name(&name) {
+                        return Ok(inner.agg(agg));
+                    }
+                    if let Some(map) = map_func_from_name(&name) {
+                        return Ok(inner.map(map));
+                    }
+                    return Err(CoreError::AlgebraParse(format!("unknown function `{name}`")));
+                }
+                Ok(GoalExpr::attr(name))
+            }
+            other => Err(CoreError::AlgebraParse(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn filter(&mut self, base: GoalExpr) -> Result<GoalExpr, CoreError> {
+        if self.eat(&Tok::LBrace) {
+            // `- {expr cmp const}`: remove instances satisfying the
+            // condition, i.e. keep the negation.
+            let _target = self.expr()?;
+            let Some(Tok::Cmp(op)) = self.peek().cloned() else {
+                return Err(CoreError::AlgebraParse("expected comparison in filter".into()));
+            };
+            self.pos += 1;
+            let c = self.constant()?;
+            if !self.eat(&Tok::RBrace) {
+                return Err(CoreError::AlgebraParse("expected `}`".into()));
+            }
+            let keep_op = negate(op);
+            Ok(GoalExpr::Filter {
+                expr: Box::new(base),
+                condition: FilterCond::Keep(keep_op, c),
+            })
+        } else {
+            let c = self.constant()?;
+            Ok(GoalExpr::Filter {
+                expr: Box::new(base),
+                condition: FilterCond::RemoveConst(c),
+            })
+        }
+    }
+
+    fn constant(&mut self) -> Result<Constant, CoreError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Constant::Int(v))
+            }
+            Some(Tok::Float(v)) => {
+                self.pos += 1;
+                Ok(Constant::Float(v))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Constant::Str(s))
+            }
+            other => Err(CoreError::AlgebraParse(format!("expected constant, found {other:?}"))),
+        }
+    }
+}
+
+fn negate(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::NotEq,
+        CmpOp::NotEq => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::GtEq,
+        CmpOp::LtEq => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::LtEq,
+        CmpOp::GtEq => CmpOp::Lt,
+    }
+}
+
+fn map_func_from_name(name: &str) -> Option<MapFunc> {
+    let lower = name.to_ascii_lowercase();
+    Some(match lower.as_str() {
+        "hour" => MapFunc::Hour,
+        "day" => MapFunc::Day,
+        "month" => MapFunc::Month,
+        "year" => MapFunc::Year,
+        "dayofweek" | "dow" => MapFunc::DayOfWeek,
+        "abs" => MapFunc::Abs,
+        _ => {
+            if let Some(width) = lower.strip_prefix("bin") {
+                return width.parse().ok().map(MapFunc::Bin);
+            }
+            return None;
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::to_sql::to_sql;
+    use simba_sql::printer::print_select;
+
+    #[test]
+    fn parses_figure_3_expression() {
+        let g = parse_goal("queue x count(lost_calls) - {count(lost_calls) < 2}").unwrap();
+        let sql = to_sql(&g, "customer_service").unwrap();
+        assert_eq!(
+            print_select(&sql),
+            "SELECT queue, COUNT(lost_calls) FROM customer_service \
+             GROUP BY queue HAVING COUNT(lost_calls) >= 2"
+        );
+    }
+
+    #[test]
+    fn parses_correlation_expression() {
+        let g = parse_goal("hour x count(calls) + sum(abandoned)").unwrap();
+        let sql = to_sql(&g, "cs").unwrap();
+        assert_eq!(
+            print_select(&sql),
+            "SELECT hour, COUNT(calls), SUM(abandoned) FROM cs GROUP BY hour"
+        );
+    }
+
+    #[test]
+    fn parses_map_functions() {
+        let g = parse_goal("day(ts) x sum(revenue)").unwrap();
+        let sql = to_sql(&g, "orders").unwrap();
+        assert_eq!(
+            print_select(&sql),
+            "SELECT DAY(ts), SUM(revenue) FROM orders GROUP BY DAY(ts)"
+        );
+    }
+
+    #[test]
+    fn parses_bin_map() {
+        let g = parse_goal("bin10(price) x count(price)").unwrap();
+        let sql = to_sql(&g, "t").unwrap();
+        assert!(print_select(&sql).contains("BIN(price, 10)"));
+    }
+
+    #[test]
+    fn parses_unicode_cross() {
+        let g = parse_goal("queue × max(calls)").unwrap();
+        assert_eq!(g.to_string(), "queue x max(calls)");
+    }
+
+    #[test]
+    fn parses_remove_constant_filter() {
+        let g = parse_goal("region - 'north' x count(sales)").unwrap();
+        let sql = to_sql(&g, "t").unwrap();
+        assert!(print_select(&sql).contains("WHERE region <> 'north'"));
+    }
+
+    #[test]
+    fn parses_parenthesized_axes() {
+        let g = parse_goal("category x (max(price) + min(price))").unwrap();
+        let sql = to_sql(&g, "t").unwrap();
+        assert_eq!(
+            print_select(&sql),
+            "SELECT category, MAX(price), MIN(price) FROM t GROUP BY category"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_goal("x x x ???").is_err());
+        assert!(parse_goal("count(").is_err());
+        assert!(parse_goal("a - {b <}").is_err());
+        assert!(parse_goal("unknownfn(a)").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        for s in [
+            "queue x count(lost_calls)",
+            "hour x count(calls) + sum(abandoned)",
+            "category x max(price) + min(price)",
+        ] {
+            let g = parse_goal(s).unwrap();
+            let reparsed = parse_goal(&g.to_string()).unwrap();
+            assert_eq!(g, reparsed, "round trip failed for `{s}`");
+        }
+    }
+}

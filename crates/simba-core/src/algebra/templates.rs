@@ -1,0 +1,363 @@
+//! The six reusable goal templates (Table 2 of the paper).
+//!
+//! Each template captures a well-known exploration goal from the
+//! visualization/HCI literature, parameterized by column roles
+//! (Categorical / Quantitative / Temporal). Instantiating a template against
+//! a dashboard's fields yields a [`Goal`]: the algebra term, its SQL goal
+//! query, and the filled-in question text.
+
+use super::to_sql::to_sql;
+use super::{AggFunc, CmpOp, Constant, GoalExpr, MapFunc};
+use crate::error::CoreError;
+use simba_sql::Select;
+
+/// The six goal templates of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GoalTemplateKind {
+    AnalyzingSpread,
+    Filtering,
+    FindingCorrelations,
+    Identification,
+    MeasuringDifferences,
+    ObservingTemporalPatterns,
+}
+
+/// Minimum column-role counts a template needs (Table 2's Cat/Quant/Temporal
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemplateRequirements {
+    pub categorical: usize,
+    pub quantitative: usize,
+    pub temporal: usize,
+}
+
+impl GoalTemplateKind {
+    /// All templates in Table 2 order.
+    pub const ALL: [GoalTemplateKind; 6] = [
+        GoalTemplateKind::AnalyzingSpread,
+        GoalTemplateKind::Filtering,
+        GoalTemplateKind::FindingCorrelations,
+        GoalTemplateKind::Identification,
+        GoalTemplateKind::MeasuringDifferences,
+        GoalTemplateKind::ObservingTemporalPatterns,
+    ];
+
+    /// Template name as it appears in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            GoalTemplateKind::AnalyzingSpread => "Analyzing Spread",
+            GoalTemplateKind::Filtering => "Filtering",
+            GoalTemplateKind::FindingCorrelations => "Finding Correlations",
+            GoalTemplateKind::Identification => "Identification",
+            GoalTemplateKind::MeasuringDifferences => "Measuring Differences Between Group Members",
+            GoalTemplateKind::ObservingTemporalPatterns => "Observing Temporal Patterns",
+        }
+    }
+
+    /// The generalized question text from Table 2.
+    pub fn generalization(self) -> &'static str {
+        match self {
+            GoalTemplateKind::AnalyzingSpread => {
+                "Which member of [categorical attribute] has the largest range/spread of \
+                 [quantitative attribute]?"
+            }
+            GoalTemplateKind::Filtering => {
+                "Which [categorical attributes] have an [aggregation] of [quantitative \
+                 attribute] that is [comparison operator] [constant] at any point in time?"
+            }
+            GoalTemplateKind::FindingCorrelations => {
+                "Is there a strong correlation between [numerical attribute] and [numerical \
+                 attribute]?"
+            }
+            GoalTemplateKind::Identification => {
+                "Which [categorical attribute] consumes the [max OR min] of [ordered list of \
+                 quantitative attributes OR aggregate attributes]?"
+            }
+            GoalTemplateKind::MeasuringDifferences => {
+                "Are there differences in the value of [quantitative attribute] between the \
+                 members of [categorical attribute]?"
+            }
+            GoalTemplateKind::ObservingTemporalPatterns => {
+                "How does change in [temporal attribute] affect patterns in [quantitative \
+                 attribute OR aggregate attribute], if at all?"
+            }
+        }
+    }
+
+    /// Column-role requirements (Table 2's right-hand columns).
+    pub fn requirements(self) -> TemplateRequirements {
+        match self {
+            GoalTemplateKind::AnalyzingSpread
+            | GoalTemplateKind::MeasuringDifferences => {
+                TemplateRequirements { categorical: 1, quantitative: 1, temporal: 0 }
+            }
+            GoalTemplateKind::Filtering => {
+                TemplateRequirements { categorical: 1, quantitative: 1, temporal: 0 }
+            }
+            GoalTemplateKind::FindingCorrelations => {
+                TemplateRequirements { categorical: 0, quantitative: 2, temporal: 0 }
+            }
+            GoalTemplateKind::Identification => {
+                TemplateRequirements { categorical: 1, quantitative: 1, temporal: 0 }
+            }
+            GoalTemplateKind::ObservingTemporalPatterns => {
+                TemplateRequirements { categorical: 0, quantitative: 1, temporal: 1 }
+            }
+        }
+    }
+
+    /// Instantiate the template against concrete fields.
+    ///
+    /// `choice` supplies fields by role; templates consume from the front of
+    /// each list. `threshold` parameterizes the Filtering template's HAVING
+    /// constant (defaults to 1, matching Figure 3's "more than 1 lost call").
+    pub fn instantiate(self, choice: &FieldChoice) -> Result<Goal, CoreError> {
+        let req = self.requirements();
+        if choice.categorical.len() < req.categorical
+            || choice.quantitative.len() < req.quantitative
+            || choice.temporal.len() < req.temporal
+        {
+            return Err(CoreError::GoalInstantiation(format!(
+                "{} requires {}C/{}Q/{}T fields but was given {}C/{}Q/{}T",
+                self.name(),
+                req.categorical,
+                req.quantitative,
+                req.temporal,
+                choice.categorical.len(),
+                choice.quantitative.len(),
+                choice.temporal.len(),
+            )));
+        }
+        let cat = |i: usize| GoalExpr::attr(choice.categorical[i].clone());
+        let quant = |i: usize| GoalExpr::attr(choice.quantitative[i].clone());
+        let temp = |i: usize| GoalExpr::attr(choice.temporal[i].clone());
+
+        let (expr, question) = match self {
+            // C × (max(Q) + min(Q)): the member whose range is widest.
+            GoalTemplateKind::AnalyzingSpread => (
+                cat(0).compare(
+                    quant(0).agg(AggFunc::Max).concat(quant(0).agg(AggFunc::Min)),
+                ),
+                format!(
+                    "Which member of {} has the largest range/spread of {}?",
+                    choice.categorical[0], choice.quantitative[0]
+                ),
+            ),
+            // C × count(Q) - {count(Q) <= threshold}: HAVING-style filter.
+            GoalTemplateKind::Filtering => (
+                cat(0).compare(
+                    quant(0)
+                        .agg(AggFunc::Count)
+                        .keep(CmpOp::Gt, Constant::Int(choice.threshold)),
+                ),
+                format!(
+                    "Which {} have a count of {} that is greater than {} at any point in time?",
+                    choice.categorical[0], choice.quantitative[0], choice.threshold
+                ),
+            ),
+            // M × agg(Q1) + agg(Q2): two measures over a shared modulator
+            // (Example 2.3's template).
+            GoalTemplateKind::FindingCorrelations => {
+                let modulator = if !choice.temporal.is_empty() {
+                    temp(0)
+                } else if !choice.categorical.is_empty() {
+                    cat(0)
+                } else {
+                    return Err(CoreError::GoalInstantiation(
+                        "Finding Correlations needs a modulating attribute (temporal or \
+                         categorical)"
+                            .into(),
+                    ));
+                };
+                (
+                    modulator.compare(
+                        quant(0)
+                            .agg(AggFunc::Count)
+                            .concat(quant(1).agg(AggFunc::Sum)),
+                    ),
+                    format!(
+                        "Is there a strong correlation between {} and {}?",
+                        choice.quantitative[0], choice.quantitative[1]
+                    ),
+                )
+            }
+            // C × (max(Q...) + min(Q...)): extremes over the measure list.
+            GoalTemplateKind::Identification => {
+                let mut measures = quant(0).agg(AggFunc::Max).concat(quant(0).agg(AggFunc::Min));
+                for i in 1..choice.quantitative.len().min(3) {
+                    measures = measures
+                        .concat(quant(i).agg(AggFunc::Max))
+                        .concat(quant(i).agg(AggFunc::Min));
+                }
+                (
+                    cat(0).compare(measures),
+                    format!(
+                        "Which {} consumes the max or min of {}?",
+                        choice.categorical[0],
+                        choice.quantitative.join(", ")
+                    ),
+                )
+            }
+            // C × avg(Q): compare group means.
+            GoalTemplateKind::MeasuringDifferences => (
+                cat(0).compare(quant(0).agg(AggFunc::Avg)),
+                format!(
+                    "Are there differences in the value of {} between the members of {}?",
+                    choice.quantitative[0], choice.categorical[0]
+                ),
+            ),
+            // DAY(T) × agg(Q).
+            GoalTemplateKind::ObservingTemporalPatterns => (
+                temp(0).map(choice.temporal_grain).compare(quant(0).agg(AggFunc::Sum)),
+                format!(
+                    "How does change in {} affect patterns in {}, if at all?",
+                    choice.temporal[0], choice.quantitative[0]
+                ),
+            ),
+        };
+        Ok(Goal::new(self, expr, question, &choice.table))
+    }
+}
+
+/// Concrete fields chosen for template instantiation.
+#[derive(Debug, Clone)]
+pub struct FieldChoice {
+    pub table: String,
+    pub categorical: Vec<String>,
+    pub quantitative: Vec<String>,
+    pub temporal: Vec<String>,
+    /// Constant for the Filtering template's HAVING clause.
+    pub threshold: i64,
+    /// Date-part grain for Observing Temporal Patterns.
+    pub temporal_grain: MapFunc,
+}
+
+impl FieldChoice {
+    /// A choice over the given table and fields, with default parameters
+    /// (threshold 1, daily grain).
+    pub fn new(
+        table: impl Into<String>,
+        categorical: Vec<String>,
+        quantitative: Vec<String>,
+        temporal: Vec<String>,
+    ) -> Self {
+        Self {
+            table: table.into(),
+            categorical,
+            quantitative,
+            temporal,
+            threshold: 1,
+            temporal_grain: MapFunc::Day,
+        }
+    }
+}
+
+/// A fully instantiated user goal: algebra term, SQL goal query, and the
+/// question it answers.
+#[derive(Debug, Clone)]
+pub struct Goal {
+    pub kind: GoalTemplateKind,
+    pub expr: GoalExpr,
+    pub question: String,
+    pub query: Select,
+}
+
+impl Goal {
+    fn new(kind: GoalTemplateKind, expr: GoalExpr, question: String, table: &str) -> Self {
+        let query = to_sql(&expr, table)
+            .expect("template instantiation always yields a translatable term");
+        Self { kind, expr, question, query }
+    }
+
+    /// A goal defined directly in SQL (the paper allows bypassing the
+    /// algebra: "dashboard developers can specify user goals directly in
+    /// SQL").
+    pub fn from_sql(kind: GoalTemplateKind, question: impl Into<String>, query: Select) -> Self {
+        let expr = GoalExpr::attr("(custom sql)");
+        Self { kind, expr, question: question.into(), query }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_sql::printer::print_select;
+
+    fn cs_choice() -> FieldChoice {
+        FieldChoice::new(
+            "customer_service",
+            vec!["queue".into(), "rep_id".into()],
+            vec!["lost_calls".into(), "abandoned".into()],
+            vec!["hour".into()],
+        )
+    }
+
+    #[test]
+    fn all_templates_instantiate_on_customer_service() {
+        for kind in GoalTemplateKind::ALL {
+            let goal = kind.instantiate(&cs_choice()).unwrap();
+            assert!(!goal.question.is_empty());
+            assert_eq!(goal.query.from, "customer_service");
+            assert!(goal.query.is_aggregate_query(), "{:?} should aggregate", kind);
+        }
+    }
+
+    #[test]
+    fn filtering_template_matches_figure_3_shape() {
+        let goal = GoalTemplateKind::Filtering.instantiate(&cs_choice()).unwrap();
+        let text = print_select(&goal.query);
+        assert_eq!(
+            text,
+            "SELECT queue, COUNT(lost_calls) FROM customer_service GROUP BY queue \
+             HAVING COUNT(lost_calls) > 1"
+        );
+    }
+
+    #[test]
+    fn correlations_prefers_temporal_modulator() {
+        let goal = GoalTemplateKind::FindingCorrelations.instantiate(&cs_choice()).unwrap();
+        let text = print_select(&goal.query);
+        assert!(text.starts_with("SELECT hour, COUNT(lost_calls), SUM(abandoned)"), "{text}");
+    }
+
+    #[test]
+    fn correlations_falls_back_to_categorical_modulator() {
+        let mut choice = cs_choice();
+        choice.temporal.clear();
+        let goal = GoalTemplateKind::FindingCorrelations.instantiate(&choice).unwrap();
+        assert!(print_select(&goal.query).contains("GROUP BY queue"));
+    }
+
+    #[test]
+    fn requirements_enforced() {
+        let empty = FieldChoice::new("t", vec![], vec![], vec![]);
+        for kind in GoalTemplateKind::ALL {
+            assert!(kind.instantiate(&empty).is_err(), "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn identification_uses_multiple_measures() {
+        let goal = GoalTemplateKind::Identification.instantiate(&cs_choice()).unwrap();
+        let text = print_select(&goal.query);
+        assert!(text.contains("MAX(lost_calls)"));
+        assert!(text.contains("MIN(lost_calls)"));
+        assert!(text.contains("MAX(abandoned)"));
+    }
+
+    #[test]
+    fn temporal_template_uses_grain() {
+        let mut choice = cs_choice();
+        choice.temporal_grain = MapFunc::Hour;
+        let goal = GoalTemplateKind::ObservingTemporalPatterns.instantiate(&choice).unwrap();
+        assert!(print_select(&goal.query).contains("HOUR(hour)"));
+    }
+
+    #[test]
+    fn threshold_parameterizes_filtering() {
+        let mut choice = cs_choice();
+        choice.threshold = 5;
+        let goal = GoalTemplateKind::Filtering.instantiate(&choice).unwrap();
+        assert!(print_select(&goal.query).contains("> 5"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Translation from goal algebra terms to SQL goal queries (§2.3).
+//!
+//! A term is flattened into axis leaves: non-aggregate leaves become
+//! dimensions (`SELECT` + `GROUP BY`), aggregate leaves become measures,
+//! remove-filters become `WHERE` conjuncts, and keep-filters on aggregates
+//! become `HAVING` conjuncts — reproducing the paper's template-to-SQL
+//! mapping (Example 2.3, Figure 3).
+
+use super::{AggFunc, CmpOp, Constant, FilterCond, GoalExpr, MapFunc};
+use crate::error::CoreError;
+use simba_sql::{BinOp, Expr, Func, Literal, Select, SelectItem};
+
+/// Translate a goal algebra term into a SQL `SELECT` over `table`.
+pub fn to_sql(expr: &GoalExpr, table: &str) -> Result<Select, CoreError> {
+    let mut parts = Parts::default();
+    collect(expr, &mut parts)?;
+
+    if parts.dims.is_empty() && parts.measures.is_empty() {
+        return Err(CoreError::GoalInstantiation(
+            "goal term produced neither dimensions nor measures".into(),
+        ));
+    }
+
+    let mut projections: Vec<SelectItem> =
+        parts.dims.iter().cloned().map(SelectItem::bare).collect();
+    projections.extend(parts.measures.iter().cloned().map(SelectItem::bare));
+
+    let mut select = Select::new(table, projections);
+    if !parts.measures.is_empty() {
+        select.group_by = parts.dims.clone();
+    }
+    select.where_clause = Expr::conjoin(parts.wheres);
+    select.having = Expr::conjoin(parts.havings);
+    Ok(select)
+}
+
+#[derive(Default)]
+struct Parts {
+    dims: Vec<Expr>,
+    measures: Vec<Expr>,
+    wheres: Vec<Expr>,
+    havings: Vec<Expr>,
+}
+
+fn collect(expr: &GoalExpr, parts: &mut Parts) -> Result<(), CoreError> {
+    match expr {
+        GoalExpr::Concat(l, r) | GoalExpr::Compare(l, r) | GoalExpr::Nest(l, r) => {
+            collect(l, parts)?;
+            collect(r, parts)?;
+            Ok(())
+        }
+        GoalExpr::Filter { expr: inner, condition } => {
+            // Translate the wrapped term first, then attach the condition.
+            let (sql, is_agg) = leaf_to_expr(inner)?;
+            place_leaf(inner, parts)?;
+            let cond = condition_to_expr(&sql, condition);
+            if is_agg {
+                parts.havings.push(cond);
+            } else {
+                parts.wheres.push(cond);
+            }
+            Ok(())
+        }
+        leaf => place_leaf(leaf, parts),
+    }
+}
+
+/// Add a leaf term as a dimension or measure (deduplicated).
+fn place_leaf(leaf: &GoalExpr, parts: &mut Parts) -> Result<(), CoreError> {
+    let (sql, is_agg) = leaf_to_expr(leaf)?;
+    let bucket = if is_agg { &mut parts.measures } else { &mut parts.dims };
+    if !bucket.contains(&sql) {
+        bucket.push(sql);
+    }
+    Ok(())
+}
+
+/// Translate a leaf term (Attr possibly wrapped in Map/Agg) into a SQL
+/// expression; returns whether it aggregates.
+fn leaf_to_expr(expr: &GoalExpr) -> Result<(Expr, bool), CoreError> {
+    match expr {
+        GoalExpr::Attr(name) => Ok((Expr::col(name.clone()), false)),
+        GoalExpr::Map { func, expr: inner } => {
+            let (sql, is_agg) = leaf_to_expr(inner)?;
+            if is_agg {
+                return Err(CoreError::GoalInstantiation(
+                    "MAP over aggregates is not supported; aggregate the mapped attribute instead"
+                        .into(),
+                ));
+            }
+            Ok((map_to_sql(*func, sql), false))
+        }
+        GoalExpr::Agg { func, expr: inner } => {
+            let (sql, is_agg) = leaf_to_expr(inner)?;
+            if is_agg {
+                return Err(CoreError::GoalInstantiation("nested aggregation".into()));
+            }
+            let e = match func {
+                AggFunc::Count => Expr::agg(Func::Count, sql),
+                AggFunc::CountDistinct => {
+                    Expr::Function { func: Func::Count, args: vec![sql], distinct: true }
+                }
+                AggFunc::Sum => Expr::agg(Func::Sum, sql),
+                AggFunc::Avg => Expr::agg(Func::Avg, sql),
+                AggFunc::Min => Expr::agg(Func::Min, sql),
+                AggFunc::Max => Expr::agg(Func::Max, sql),
+            };
+            Ok((e, true))
+        }
+        GoalExpr::Filter { expr: inner, .. } => leaf_to_expr(inner),
+        GoalExpr::Concat(..) | GoalExpr::Compare(..) | GoalExpr::Nest(..) => Err(
+            CoreError::GoalInstantiation("axis operator where a leaf term was expected".into()),
+        ),
+    }
+}
+
+fn map_to_sql(func: MapFunc, arg: Expr) -> Expr {
+    match func {
+        MapFunc::Hour => Expr::Function { func: Func::Hour, args: vec![arg], distinct: false },
+        MapFunc::Day => Expr::Function { func: Func::Day, args: vec![arg], distinct: false },
+        MapFunc::Month => Expr::Function { func: Func::Month, args: vec![arg], distinct: false },
+        MapFunc::Year => Expr::Function { func: Func::Year, args: vec![arg], distinct: false },
+        MapFunc::DayOfWeek => {
+            Expr::Function { func: Func::DayOfWeek, args: vec![arg], distinct: false }
+        }
+        MapFunc::Abs => Expr::Function { func: Func::Abs, args: vec![arg], distinct: false },
+        MapFunc::Bin(width) => Expr::Function {
+            func: Func::Bin,
+            args: vec![arg, Expr::int(width)],
+            distinct: false,
+        },
+    }
+}
+
+fn condition_to_expr(target: &Expr, cond: &FilterCond) -> Expr {
+    match cond {
+        FilterCond::RemoveConst(c) => {
+            Expr::binary(target.clone(), BinOp::NotEq, constant_to_expr(c))
+        }
+        FilterCond::RemoveSet(cs) => Expr::InList {
+            expr: Box::new(target.clone()),
+            list: cs.iter().map(constant_to_expr).collect(),
+            negated: true,
+        },
+        FilterCond::Keep(op, c) => {
+            let bin = match op {
+                CmpOp::Eq => BinOp::Eq,
+                CmpOp::NotEq => BinOp::NotEq,
+                CmpOp::Lt => BinOp::Lt,
+                CmpOp::LtEq => BinOp::LtEq,
+                CmpOp::Gt => BinOp::Gt,
+                CmpOp::GtEq => BinOp::GtEq,
+            };
+            Expr::binary(target.clone(), bin, constant_to_expr(c))
+        }
+    }
+}
+
+fn constant_to_expr(c: &Constant) -> Expr {
+    match c {
+        Constant::Int(v) => Expr::Literal(Literal::Int(*v)),
+        Constant::Float(v) => Expr::Literal(Literal::Float(*v)),
+        Constant::Str(s) => Expr::Literal(Literal::Str(s.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_sql::printer::print_select;
+
+    #[test]
+    fn figure_3_goal_query() {
+        // Q × count(lostCalls) - {keep count > 1} →
+        // SELECT queue, COUNT(lost_calls) FROM customer_service
+        // GROUP BY queue HAVING COUNT(lost_calls) > 1
+        let agg = GoalExpr::attr("lost_calls").agg(AggFunc::Count);
+        let expr =
+            GoalExpr::attr("queue").compare(agg.keep(CmpOp::Gt, Constant::Int(1)));
+        let sql = to_sql(&expr, "customer_service").unwrap();
+        assert_eq!(
+            print_select(&sql),
+            "SELECT queue, COUNT(lost_calls) FROM customer_service \
+             GROUP BY queue HAVING COUNT(lost_calls) > 1"
+        );
+    }
+
+    #[test]
+    fn example_2_3_correlation_query() {
+        // modulator × count(*) + sum(abandoned) →
+        // SELECT hour, COUNT(calls), SUM(abandoned) FROM t GROUP BY hour
+        let expr = GoalExpr::attr("hour").compare(
+            GoalExpr::attr("calls")
+                .agg(AggFunc::Count)
+                .concat(GoalExpr::attr("abandoned").agg(AggFunc::Sum)),
+        );
+        let sql = to_sql(&expr, "customer_service").unwrap();
+        assert_eq!(
+            print_select(&sql),
+            "SELECT hour, COUNT(calls), SUM(abandoned) FROM customer_service GROUP BY hour"
+        );
+    }
+
+    #[test]
+    fn temporal_pattern_with_map() {
+        let expr = GoalExpr::attr("ts")
+            .map(MapFunc::Day)
+            .compare(GoalExpr::attr("sales").agg(AggFunc::Sum));
+        let sql = to_sql(&expr, "t").unwrap();
+        assert_eq!(print_select(&sql), "SELECT DAY(ts), SUM(sales) FROM t GROUP BY DAY(ts)");
+    }
+
+    #[test]
+    fn remove_filter_goes_to_where() {
+        let expr = GoalExpr::attr("queue")
+            .remove(Constant::Str("X".into()))
+            .compare(GoalExpr::attr("calls").agg(AggFunc::Count));
+        let sql = to_sql(&expr, "t").unwrap();
+        let text = print_select(&sql);
+        assert!(text.contains("WHERE queue <> 'X'"), "{text}");
+        assert!(text.contains("GROUP BY queue"), "{text}");
+    }
+
+    #[test]
+    fn remove_set_filter() {
+        let expr = GoalExpr::Filter {
+            expr: Box::new(GoalExpr::attr("region")),
+            condition: FilterCond::RemoveSet(vec![
+                Constant::Str("north".into()),
+                Constant::Str("south".into()),
+            ]),
+        };
+        let sql = to_sql(&expr, "t").unwrap();
+        let text = print_select(&sql);
+        assert!(text.contains("region NOT IN ('north', 'south')"), "{text}");
+    }
+
+    #[test]
+    fn non_aggregate_projection_has_no_group_by() {
+        let expr = GoalExpr::attr("a").concat(GoalExpr::attr("b"));
+        let sql = to_sql(&expr, "t").unwrap();
+        assert_eq!(print_select(&sql), "SELECT a, b FROM t");
+    }
+
+    #[test]
+    fn keep_on_raw_attr_goes_to_where() {
+        let expr = GoalExpr::attr("price")
+            .keep(CmpOp::GtEq, Constant::Float(10.0))
+            .compare(GoalExpr::attr("price").agg(AggFunc::Avg));
+        let sql = to_sql(&expr, "t").unwrap();
+        let text = print_select(&sql);
+        assert!(text.contains("WHERE price >= 10"), "{text}");
+    }
+
+    #[test]
+    fn nested_aggregation_rejected() {
+        let expr = GoalExpr::attr("x").agg(AggFunc::Sum).agg(AggFunc::Max);
+        assert!(to_sql(&expr, "t").is_err());
+    }
+
+    #[test]
+    fn duplicate_leaves_deduplicate() {
+        let expr = GoalExpr::attr("a").compare(
+            GoalExpr::attr("a").concat(GoalExpr::attr("q").agg(AggFunc::Sum)),
+        );
+        let sql = to_sql(&expr, "t").unwrap();
+        assert_eq!(print_select(&sql), "SELECT a, SUM(q) FROM t GROUP BY a");
+    }
+
+    #[test]
+    fn count_distinct_translation() {
+        let expr = GoalExpr::attr("c").compare(GoalExpr::attr("user").agg(AggFunc::CountDistinct));
+        let sql = to_sql(&expr, "t").unwrap();
+        assert!(print_select(&sql).contains("COUNT(DISTINCT user)"));
+    }
+}

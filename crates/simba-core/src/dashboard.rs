@@ -1,0 +1,145 @@
+//! The dashboard runtime: specification + interaction graph + field domains.
+
+use crate::actions::{enumerate_actions, Action, FieldDomains};
+use crate::error::CoreError;
+use crate::graph::{data_layer, DashboardState, InteractionGraph, NodeId};
+use crate::spec::DashboardSpec;
+use simba_sql::Select;
+use simba_store::Table;
+
+/// A ready-to-simulate dashboard: the validated spec, its interaction
+/// graph, and the dataset's field domains (which populate widget options).
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    graph: InteractionGraph,
+    domains: FieldDomains,
+}
+
+impl Dashboard {
+    /// Build the runtime from a spec and the table it visualizes.
+    pub fn new(spec: DashboardSpec, table: &Table) -> Result<Self, CoreError> {
+        if !spec.database.table.eq_ignore_ascii_case(table.name()) {
+            return Err(CoreError::InvalidSpec(format!(
+                "spec is for table `{}` but was given `{}`",
+                spec.database.table,
+                table.name()
+            )));
+        }
+        // Every spec field must exist in the physical schema.
+        for f in &spec.database.fields {
+            if table.schema().index_of(&f.name).is_none() {
+                return Err(CoreError::UnknownField(f.name.clone()));
+            }
+        }
+        let graph = InteractionGraph::from_spec(spec)?;
+        let domains = FieldDomains::from_table(table);
+        Ok(Self { graph, domains })
+    }
+
+    /// The dashboard's spec.
+    pub fn spec(&self) -> &DashboardSpec {
+        &self.graph.spec
+    }
+
+    /// The interaction graph.
+    pub fn graph(&self) -> &InteractionGraph {
+        &self.graph
+    }
+
+    /// Field domains extracted from the dataset.
+    pub fn domains(&self) -> &FieldDomains {
+        &self.domains
+    }
+
+    /// The pristine dashboard state.
+    pub fn initial_state(&self) -> DashboardState {
+        self.graph.initial_state()
+    }
+
+    /// The query a visualization node currently displays.
+    pub fn query_for(&self, state: &DashboardState, vis: NodeId) -> Select {
+        data_layer::vis_query(&self.graph, state, vis)
+    }
+
+    /// Queries for all visualizations (the initial dashboard render, or a
+    /// full refresh after `ResetAll`).
+    pub fn all_queries(&self, state: &DashboardState) -> Vec<(NodeId, Select)> {
+        self.graph
+            .visualization_nodes()
+            .into_iter()
+            .map(|n| (n, self.query_for(state, n)))
+            .collect()
+    }
+
+    /// Apply an action and return the refreshed queries it triggers.
+    pub fn apply(
+        &self,
+        state: &mut DashboardState,
+        action: &Action,
+    ) -> Vec<(NodeId, Select)> {
+        let affected = action.apply(&self.graph, state);
+        affected.into_iter().map(|n| (n, self.query_for(state, n))).collect()
+    }
+
+    /// All applicable actions in the current state.
+    pub fn applicable_actions(&self, state: &DashboardState) -> Vec<Action> {
+        enumerate_actions(&self.graph, state, &self.domains)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::builtin::builtin;
+    use simba_data::DashboardDataset;
+
+    fn dashboard() -> Dashboard {
+        let ds = DashboardDataset::CustomerService;
+        let table = ds.generate_rows(1_000, 1);
+        Dashboard::new(builtin(ds), &table).unwrap()
+    }
+
+    #[test]
+    fn builds_for_all_datasets() {
+        for ds in DashboardDataset::ALL {
+            let table = ds.generate_rows(500, 2);
+            let d = Dashboard::new(builtin(ds), &table);
+            assert!(d.is_ok(), "{}: {:?}", ds.title(), d.err());
+        }
+    }
+
+    #[test]
+    fn initial_render_queries_every_visualization() {
+        let d = dashboard();
+        let state = d.initial_state();
+        let queries = d.all_queries(&state);
+        assert_eq!(queries.len(), d.spec().visualizations.len());
+    }
+
+    #[test]
+    fn apply_emits_refreshed_queries() {
+        let d = dashboard();
+        let mut state = d.initial_state();
+        let widget = d.graph().node("queue_checkbox").unwrap();
+        let emitted =
+            d.apply(&mut state, &Action::Toggle { widget, value: "A".into() });
+        assert_eq!(emitted.len(), 5);
+        for (_, q) in &emitted {
+            assert!(q.to_string().contains("queue IN ('A')"), "{q}");
+        }
+    }
+
+    #[test]
+    fn wrong_table_rejected() {
+        let table = DashboardDataset::MyRide.generate_rows(100, 3);
+        let err = Dashboard::new(builtin(DashboardDataset::CustomerService), &table).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn applicable_actions_nonempty() {
+        let d = dashboard();
+        let state = d.initial_state();
+        assert!(d.applicable_actions(&state).len() > 10);
+    }
+}

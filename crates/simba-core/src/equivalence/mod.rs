@@ -1,0 +1,403 @@
+//! Query equivalence and subsumption (§4.1.2 of the paper).
+//!
+//! Goal completion is decided three ways, in increasing cost:
+//!
+//! 1. **Syntactic** — canonical text equality, or >95 % string similarity
+//!    after whitespace normalization (the paper's SPES fallback rule);
+//! 2. **Semantic** — normal-form equality and sound subsumption reasoning
+//!    (our substitute for the SPES solver, see DESIGN.md §3);
+//! 3. **Result** — executed result-set coverage through
+//!    [`CoverageStore`](simba_store::CoverageStore).
+
+pub mod progress;
+
+use simba_sql::implication::option_implies;
+use simba_sql::normalize::NormalizedSelect;
+use simba_sql::printer::print_select;
+use simba_sql::similarity::nearly_identical;
+use simba_sql::Select;
+use simba_store::{CoverageStore, ResultSet};
+
+/// Which equivalence method established a match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    Syntactic,
+    Semantic,
+    Result,
+}
+
+impl Method {
+    /// Stable name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Syntactic => "syntactic",
+            Method::Semantic => "semantic",
+            Method::Result => "result",
+        }
+    }
+}
+
+/// Syntactic equivalence: identical canonical text, or nearly identical
+/// under the >95 % similarity rule.
+pub fn syntactic_equivalent(a: &Select, b: &Select) -> bool {
+    let ta = print_select(a);
+    let tb = print_select(b);
+    ta == tb || nearly_identical(&ta, &tb)
+}
+
+/// Semantic equivalence: equal normal forms (ignoring row order).
+pub fn semantic_equivalent(a: &Select, b: &Select) -> bool {
+    let mut na = NormalizedSelect::from_select(a);
+    let mut nb = NormalizedSelect::from_select(b);
+    // ORDER BY affects presentation, not content.
+    na.order_by.clear();
+    nb.order_by.clear();
+    na == nb
+}
+
+/// Sound semantic subsumption: does `observed`'s result set necessarily
+/// contain `goal`'s?
+///
+/// * Projection-only queries: `goal`'s projections must be a subset of
+///   `observed`'s and `goal`'s WHERE must imply `observed`'s.
+/// * Aggregate queries: aggregates are only comparable when computed over
+///   the same input rows, so WHERE must match exactly, grouping must match,
+///   and `goal`'s projections must be a subset; `observed`'s HAVING must be
+///   absent or implied by `goal`'s.
+///
+/// Incomplete by design — a `false` means "could not prove".
+pub fn semantically_subsumes(observed: &Select, goal: &Select) -> bool {
+    if !observed.from.eq_ignore_ascii_case(&goal.from) {
+        return false;
+    }
+    // A LIMIT on the observed side can drop goal rows.
+    if observed.limit.is_some() {
+        return false;
+    }
+    let no = NormalizedSelect::from_select(observed);
+    let ng = NormalizedSelect::from_select(goal);
+
+    if !ng.projections.is_subset(&no.projections) {
+        return false;
+    }
+
+    let goal_aggregates = goal.is_aggregate_query();
+    let observed_aggregates = observed.is_aggregate_query();
+    if goal_aggregates != observed_aggregates {
+        return false;
+    }
+
+    if !goal_aggregates {
+        return option_implies(goal.where_clause.as_ref(), observed.where_clause.as_ref());
+    }
+
+    // Aggregate case: identical input rows and grouping required.
+    if no.conjuncts != ng.conjuncts || no.group_by != ng.group_by {
+        return false;
+    }
+    match (&observed.having, &goal.having) {
+        (None, _) => true,
+        (Some(oh), Some(gh)) => option_implies(Some(gh), Some(oh)),
+        (Some(_), None) => false,
+    }
+}
+
+/// Is `observed` a *fragment* of `goal` — a restriction of the goal query to
+/// a subset of its groups (e.g. one queue of the Figure 3 goal)? Fragments
+/// cover part of the goal result; a union of fragments can complete it.
+///
+/// Sound rule: identical grouping and projections-modulo-extra-filters,
+/// where every extra conjunct in `observed` constrains only group-key
+/// expressions (so surviving groups keep identical aggregate values).
+pub fn semantic_fragment_of(observed: &Select, goal: &Select) -> bool {
+    if !observed.from.eq_ignore_ascii_case(&goal.from) || observed.limit.is_some() {
+        return false;
+    }
+    if !goal.is_aggregate_query() || !observed.is_aggregate_query() {
+        return false;
+    }
+    let no = NormalizedSelect::from_select(observed);
+    let ng = NormalizedSelect::from_select(goal);
+    if no.group_by != ng.group_by {
+        return false;
+    }
+    if !ng.projections.is_subset(&no.projections) {
+        return false;
+    }
+    // Observed conjuncts = goal conjuncts + extras on group keys only.
+    if !ng.conjuncts.is_subset(&no.conjuncts) {
+        return false;
+    }
+    let group_keys = &ng.group_by;
+    for extra in no.conjuncts.difference(&ng.conjuncts) {
+        // Parse the conjunct back to find which expression it constrains.
+        let Ok(expr) = simba_sql::parse_expr(extra) else { return false };
+        let constrained = constrained_expressions(&expr);
+        if constrained.is_empty() || !constrained.iter().all(|c| group_keys.contains(c)) {
+            return false;
+        }
+    }
+    // HAVING must be identical (or absent from both).
+    no.having == ng.having
+}
+
+/// The canonical prints of the expressions a conjunctive atom constrains.
+fn constrained_expressions(e: &simba_sql::Expr) -> Vec<String> {
+    use simba_sql::printer::print_expr;
+    use simba_sql::{BinOp, Expr};
+    match e {
+        Expr::Binary { left, op, .. } if op.is_comparison() => vec![print_expr(left)],
+        Expr::Binary { left, op: BinOp::And, right } | Expr::Binary { left, op: BinOp::Or, right } => {
+            let mut out = constrained_expressions(left);
+            out.extend(constrained_expressions(right));
+            out
+        }
+        Expr::InList { expr, .. } | Expr::Between { expr, .. } | Expr::IsNull { expr, .. } => {
+            vec![print_expr(expr)]
+        }
+        _ => vec![],
+    }
+}
+
+/// Augment a query's result with constant columns implied by its
+/// single-value equality filters.
+///
+/// Figure 3 of the paper treats `SELECT COUNT(lostCalls) … WHERE queue IN
+/// ('A')` as covering the `(queue='A', count)` row of the goal query — the
+/// user *saw* queue A's count even though `queue` is not a result column.
+/// This function materializes that context: for every conjunct of the form
+/// `expr = literal` (or single-element `IN`), a constant column named by the
+/// expression is appended, unless the result already has one.
+pub fn augment_result(query: &Select, result: ResultSet) -> ResultSet {
+    use simba_sql::normalize::normalize_expr;
+    use simba_sql::printer::print_expr;
+    use simba_sql::{BinOp, Expr, Literal};
+
+    let Some(where_clause) = &query.where_clause else { return result };
+    let normalized = normalize_expr(where_clause);
+    let mut extra: Vec<(String, simba_store::Value)> = Vec::new();
+    for conjunct in normalized.conjuncts() {
+        let Expr::Binary { left, op: BinOp::Eq, right } = conjunct else { continue };
+        let Expr::Literal(lit) = right.as_ref() else { continue };
+        if matches!(left.as_ref(), Expr::Literal(_)) {
+            continue;
+        }
+        let name = print_expr(left);
+        if result.column_index(&name).is_some()
+            || extra.iter().any(|(n, _)| n.eq_ignore_ascii_case(&name))
+        {
+            continue;
+        }
+        let value = match lit {
+            Literal::Null => simba_store::Value::Null,
+            Literal::Bool(b) => simba_store::Value::Bool(*b),
+            Literal::Int(v) => simba_store::Value::Int(*v),
+            Literal::Float(v) => simba_store::Value::Float(*v),
+            Literal::Str(s) => simba_store::Value::str(s),
+        };
+        extra.push((name, value));
+    }
+    if extra.is_empty() {
+        return result;
+    }
+    let mut columns = result.columns;
+    let mut rows = result.rows;
+    for (name, value) in extra {
+        columns.push(name);
+        for row in &mut rows {
+            row.push(value.clone());
+        }
+    }
+    ResultSet::new(columns, rows)
+}
+
+/// Tracks progress of one goal query through a session.
+#[derive(Debug, Clone)]
+pub struct GoalChecker {
+    /// The goal query.
+    pub goal: Select,
+    /// The goal's executed result set (for the result-equivalence method).
+    pub goal_result: ResultSet,
+    /// How (and that) the goal was solved.
+    pub solved: Option<Method>,
+}
+
+impl GoalChecker {
+    /// New checker for a goal with its pre-executed result set.
+    pub fn new(goal: Select, goal_result: ResultSet) -> Self {
+        Self { goal, goal_result, solved: None }
+    }
+
+    /// Check an emitted query against the goal (syntactic, then semantic).
+    /// Returns the matching method if the goal is newly solved.
+    pub fn check_emitted(&mut self, query: &Select) -> Option<Method> {
+        if self.solved.is_some() {
+            return None;
+        }
+        if syntactic_equivalent(query, &self.goal) {
+            self.solved = Some(Method::Syntactic);
+            return self.solved;
+        }
+        if semantic_equivalent(query, &self.goal)
+            || semantically_subsumes(query, &self.goal)
+        {
+            self.solved = Some(Method::Semantic);
+            return self.solved;
+        }
+        None
+    }
+
+    /// Check accumulated result coverage (`∪R_g ⊆ ∪R_i`). Returns the
+    /// method if the goal is newly solved.
+    pub fn check_result(&mut self, coverage: &CoverageStore) -> Option<Method> {
+        if self.solved.is_some() {
+            return None;
+        }
+        if coverage.covers(&self.goal_result) {
+            self.solved = Some(Method::Result);
+            return self.solved;
+        }
+        None
+    }
+
+    /// Fraction of the goal's result currently covered.
+    pub fn coverage_fraction(&self, coverage: &CoverageStore) -> f64 {
+        if self.goal_result.is_empty() {
+            return if self.solved.is_some() { 1.0 } else { 0.0 };
+        }
+        coverage.covered_rows(&self.goal_result) as f64 / self.goal_result.n_rows() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_sql::parse_select;
+    use simba_store::Value;
+
+    fn q(sql: &str) -> Select {
+        parse_select(sql).unwrap()
+    }
+
+    #[test]
+    fn syntactic_catches_whitespace_and_case() {
+        assert!(syntactic_equivalent(
+            &q("SELECT a FROM t WHERE x = 1"),
+            &q("select  a  from  t  where x = 1")
+        ));
+    }
+
+    #[test]
+    fn syntactic_catches_near_identical() {
+        let a = q("SELECT queue, hour, call_direction, COUNT(calls) FROM customer_service \
+                   WHERE queue IN ('A') GROUP BY queue, hour, call_direction");
+        let b = q("SELECT queue, hour, call_direction, COUNT(calls) FROM customer_service \
+                   WHERE queue IN ('B') GROUP BY queue, hour, call_direction");
+        assert!(syntactic_equivalent(&a, &b), "the paper's >95% rule");
+    }
+
+    #[test]
+    fn semantic_equivalence_modulo_form() {
+        assert!(semantic_equivalent(
+            &q("SELECT rep, SUM(c) / COUNT(c) FROM t GROUP BY rep"),
+            &q("SELECT AVG(c), rep FROM t GROUP BY rep")
+        ));
+        assert!(!semantic_equivalent(
+            &q("SELECT rep, SUM(c) FROM t GROUP BY rep"),
+            &q("SELECT rep, AVG(c) FROM t GROUP BY rep")
+        ));
+    }
+
+    #[test]
+    fn projection_subsumption_with_weaker_filter() {
+        let observed = q("SELECT a, b, c FROM t");
+        let goal = q("SELECT a, b FROM t WHERE a > 5");
+        assert!(semantically_subsumes(&observed, &goal));
+        assert!(!semantically_subsumes(&goal, &observed));
+    }
+
+    #[test]
+    fn aggregate_subsumption_requires_equal_filters() {
+        let observed = q("SELECT queue, COUNT(*), SUM(x) FROM t GROUP BY queue");
+        let goal = q("SELECT queue, COUNT(*) FROM t GROUP BY queue");
+        assert!(semantically_subsumes(&observed, &goal));
+        // Different WHERE on aggregates: unsound, must refuse.
+        let observed2 = q("SELECT queue, COUNT(*) FROM t WHERE a > 1 GROUP BY queue");
+        assert!(!semantically_subsumes(&observed2, &goal));
+    }
+
+    #[test]
+    fn having_weakening_is_subsumption() {
+        let observed = q("SELECT q, COUNT(*) FROM t GROUP BY q HAVING COUNT(*) > 1");
+        let goal = q("SELECT q, COUNT(*) FROM t GROUP BY q HAVING COUNT(*) > 5");
+        assert!(semantically_subsumes(&observed, &goal));
+        assert!(!semantically_subsumes(&goal, &observed));
+    }
+
+    #[test]
+    fn limit_blocks_subsumption() {
+        let observed = q("SELECT a FROM t LIMIT 10");
+        let goal = q("SELECT a FROM t");
+        assert!(!semantically_subsumes(&observed, &goal));
+    }
+
+    #[test]
+    fn fragment_detection_figure_3() {
+        // The Figure 3 scenario: per-queue restrictions of the goal query
+        // are fragments when the filter hits the group key.
+        let goal = q("SELECT queue, COUNT(lost_calls) FROM cs GROUP BY queue");
+        let frag = q("SELECT queue, COUNT(lost_calls) FROM cs WHERE queue IN ('A', 'B') GROUP BY queue");
+        assert!(semantic_fragment_of(&frag, &goal));
+        // Filtering on a non-key column changes aggregate values: not a fragment.
+        let not_frag = q("SELECT queue, COUNT(lost_calls) FROM cs WHERE hour > 9 GROUP BY queue");
+        assert!(!semantic_fragment_of(&not_frag, &goal));
+    }
+
+    #[test]
+    fn goal_checker_progression() {
+        let goal = q("SELECT queue, COUNT(*) FROM t GROUP BY queue");
+        let goal_result = ResultSet::new(
+            vec!["queue".into(), "COUNT(*)".into()],
+            vec![
+                vec![Value::str("A"), Value::Int(2)],
+                vec![Value::str("B"), Value::Int(1)],
+            ],
+        );
+        let mut checker = GoalChecker::new(goal.clone(), goal_result.clone());
+
+        // Unrelated query: no match.
+        assert!(checker.check_emitted(&q("SELECT x FROM t")).is_none());
+        assert!(checker.solved.is_none());
+
+        // Result coverage path.
+        let mut cov = CoverageStore::new();
+        cov.absorb(&goal_result);
+        assert_eq!(checker.check_result(&cov), Some(Method::Result));
+        assert_eq!(checker.solved, Some(Method::Result));
+
+        // Solved goals stay solved.
+        assert!(checker.check_emitted(&goal).is_none());
+    }
+
+    #[test]
+    fn goal_checker_semantic_path() {
+        let goal = q("SELECT queue, COUNT(*) FROM t GROUP BY queue");
+        let mut checker =
+            GoalChecker::new(goal, ResultSet::empty(vec!["queue".into(), "COUNT(*)".into()]));
+        let emitted = q("SELECT COUNT(*), queue, SUM(x) FROM t GROUP BY queue");
+        assert_eq!(checker.check_emitted(&emitted), Some(Method::Semantic));
+    }
+
+    #[test]
+    fn coverage_fraction_partial() {
+        let goal = q("SELECT queue FROM t");
+        let goal_result = ResultSet::new(
+            vec!["queue".into()],
+            vec![vec![Value::str("A")], vec![Value::str("B")]],
+        );
+        let checker = GoalChecker::new(goal, goal_result);
+        let mut cov = CoverageStore::new();
+        cov.absorb(&ResultSet::new(vec!["queue".into()], vec![vec![Value::str("A")]]));
+        assert!((checker.coverage_fraction(&cov) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error types for the SIMBA benchmark core.
+
+use std::fmt;
+
+/// Errors surfaced by the benchmark core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A dashboard specification failed validation.
+    InvalidSpec(String),
+    /// A goal template could not be instantiated against a dashboard.
+    GoalInstantiation(String),
+    /// A referenced field does not exist in the database specification.
+    UnknownField(String),
+    /// A referenced node id does not exist in the interaction graph.
+    UnknownNode(String),
+    /// The underlying engine rejected a query.
+    Engine(String),
+    /// An algebra expression could not be parsed.
+    AlgebraParse(String),
+    /// The requested workflow is not compatible with the dashboard.
+    IncompatibleWorkflow { workflow: String, dashboard: String, reason: String },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSpec(m) => write!(f, "invalid dashboard spec: {m}"),
+            CoreError::GoalInstantiation(m) => write!(f, "goal instantiation failed: {m}"),
+            CoreError::UnknownField(name) => write!(f, "unknown field `{name}`"),
+            CoreError::UnknownNode(id) => write!(f, "unknown node `{id}`"),
+            CoreError::Engine(m) => write!(f, "engine error: {m}"),
+            CoreError::AlgebraParse(m) => write!(f, "algebra parse error: {m}"),
+            CoreError::IncompatibleWorkflow { workflow, dashboard, reason } => {
+                write!(f, "workflow `{workflow}` incompatible with dashboard `{dashboard}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<simba_engine::EngineError> for CoreError {
+    fn from(e: simba_engine::EngineError) -> Self {
+        CoreError::Engine(e.to_string())
+    }
+}

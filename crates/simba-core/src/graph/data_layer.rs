@@ -1,0 +1,279 @@
+//! The Data Layer: rendering visualization nodes as SQL queries (§3.0.3).
+//!
+//! Each visualization node's query is assembled from its encoding channels
+//! (SELECT / GROUP BY) plus the filter predicates contributed by every
+//! ancestor component in the interaction graph — the steady-state
+//! equivalent of the paper's recursive filter propagation (Example 3.1).
+
+use super::{DashboardState, InteractionGraph, NodeId, NodeKind, NodeState, WidgetState};
+use crate::spec::{AggOp, ControlSpec, FieldRole, FieldTransform, VisualizationSpec};
+use simba_sql::{Expr, Func, Literal, Select, SelectItem};
+
+/// Build the SQL query for a visualization node under the given state.
+///
+/// # Panics
+/// Panics if `node` is not a visualization (caller bug).
+pub fn vis_query(graph: &InteractionGraph, state: &DashboardState, node: NodeId) -> Select {
+    let NodeKind::Visualization(vis_idx) = graph.kind(node) else {
+        panic!("vis_query called on widget `{}`", graph.id(node));
+    };
+    let vis = &graph.spec.visualizations[vis_idx];
+
+    let mut select = base_query(&graph.spec.database.table, vis);
+
+    // Gather filter predicates from every ancestor, in node order so the
+    // generated SQL is deterministic.
+    for anc in graph.ancestors(node) {
+        if let Some(pred) = node_predicate(graph, state, anc) {
+            select.add_filter(pred);
+        }
+    }
+    select
+}
+
+/// The filter predicate a node currently contributes, if any.
+pub fn node_predicate(
+    graph: &InteractionGraph,
+    state: &DashboardState,
+    node: NodeId,
+) -> Option<Expr> {
+    match (graph.kind(node), state.node(node)) {
+        (NodeKind::Widget(widx), NodeState::Widget(ws)) => {
+            let control = &graph.spec.widgets[widx].control;
+            widget_predicate(control, ws, &graph.spec.database)
+        }
+        (NodeKind::Visualization(vidx), NodeState::VisSelection(selected)) => {
+            if selected.is_empty() {
+                return None;
+            }
+            let vis = &graph.spec.visualizations[vidx];
+            let field = vis.dimensions.first()?.field.clone();
+            Some(Expr::in_strs(&field, selected.iter().cloned()))
+        }
+        _ => None,
+    }
+}
+
+fn widget_predicate(
+    control: &ControlSpec,
+    ws: &WidgetState,
+    database: &crate::spec::DatabaseSpec,
+) -> Option<Expr> {
+    let field = control.field();
+    match ws {
+        WidgetState::Checkbox { selected } => {
+            if selected.is_empty() {
+                None
+            } else {
+                Some(Expr::in_strs(field, selected.iter().cloned()))
+            }
+        }
+        WidgetState::Single { selected } =>
+
+            selected.as_ref().map(|v| {
+                Expr::binary(Expr::col(field), simba_sql::BinOp::Eq, Expr::str(v.clone()))
+            }),
+        WidgetState::Range { bounds } => bounds.map(|(lo, hi)| {
+            // Integer-typed fields (temporal epochs, int measures) get
+            // integer literals so the SQL reads naturally.
+            let is_temporal = database
+                .field(field)
+                .is_some_and(|f| f.role == FieldRole::Temporal);
+            let (low, high) = if is_temporal || (lo.fract() == 0.0 && hi.fract() == 0.0) {
+                (Literal::Int(lo as i64), Literal::Int(hi as i64))
+            } else {
+                (Literal::Float(lo), Literal::Float(hi))
+            };
+            Expr::Between {
+                expr: Box::new(Expr::col(field)),
+                low: Box::new(Expr::Literal(low)),
+                high: Box::new(Expr::Literal(high)),
+                negated: false,
+            }
+        }),
+    }
+}
+
+/// The visualization's base query (no interactive filters).
+pub fn base_query(table: &str, vis: &VisualizationSpec) -> Select {
+    let mut projections: Vec<SelectItem> = Vec::new();
+    let mut group_by: Vec<Expr> = Vec::new();
+
+    for dim in &vis.dimensions {
+        let e = channel_expr(&dim.field, dim.transform);
+        projections.push(SelectItem::bare(e.clone()));
+        group_by.push(e);
+    }
+    for m in &vis.measures {
+        projections.push(SelectItem::bare(measure_expr(m)));
+    }
+    for f in &vis.raw_fields {
+        projections.push(SelectItem::bare(Expr::col(f.clone())));
+    }
+
+    let mut select = Select::new(table, projections);
+    if !vis.measures.is_empty() {
+        select.group_by = group_by;
+    }
+    select
+}
+
+fn channel_expr(field: &str, transform: Option<FieldTransform>) -> Expr {
+    let col = Expr::col(field);
+    match transform {
+        None => col,
+        Some(FieldTransform::Hour) => func1(Func::Hour, col),
+        Some(FieldTransform::Day) => func1(Func::Day, col),
+        Some(FieldTransform::Month) => func1(Func::Month, col),
+        Some(FieldTransform::Year) => func1(Func::Year, col),
+        Some(FieldTransform::DayOfWeek) => func1(Func::DayOfWeek, col),
+        Some(FieldTransform::Bin { width }) => Expr::Function {
+            func: Func::Bin,
+            args: vec![col, Expr::int(width)],
+            distinct: false,
+        },
+    }
+}
+
+fn func1(f: Func, arg: Expr) -> Expr {
+    Expr::Function { func: f, args: vec![arg], distinct: false }
+}
+
+fn measure_expr(m: &crate::spec::AggregateChannel) -> Expr {
+    let arg = match &m.field {
+        Some(f) => Expr::col(f.clone()),
+        None => Expr::Wildcard,
+    };
+    match m.func {
+        AggOp::Count => Expr::Function { func: Func::Count, args: vec![arg], distinct: false },
+        AggOp::CountDistinct => {
+            Expr::Function { func: Func::Count, args: vec![arg], distinct: true }
+        }
+        AggOp::Sum => Expr::agg(Func::Sum, arg),
+        AggOp::Avg => Expr::agg(Func::Avg, arg),
+        AggOp::Min => Expr::agg(Func::Min, arg),
+        AggOp::Max => Expr::agg(Func::Max, arg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::builtin::builtin;
+    use simba_data::DashboardDataset;
+    use simba_sql::printer::print_select;
+    use std::collections::BTreeSet;
+
+    fn graph() -> InteractionGraph {
+        InteractionGraph::from_spec(builtin(DashboardDataset::CustomerService)).unwrap()
+    }
+
+    #[test]
+    fn lost_calls_base_query_matches_paper() {
+        // §3.0.3: "SELECT COUNT(lostCalls) FROM customerService".
+        let g = graph();
+        let s = g.initial_state();
+        let q = vis_query(&g, &s, g.node("lost_calls").unwrap());
+        assert_eq!(print_select(&q), "SELECT COUNT(lost_calls) FROM customer_service");
+    }
+
+    #[test]
+    fn checkbox_filter_propagates_to_lost_calls() {
+        // Example 3.1: checking "queue A" adds `queue IN ('A')` to every
+        // downstream query.
+        let g = graph();
+        let mut s = g.initial_state();
+        let checkbox = g.node("queue_checkbox").unwrap();
+        if let NodeState::Widget(WidgetState::Checkbox { selected }) = s.node_mut(checkbox) {
+            selected.insert("A".into());
+        }
+        let q = vis_query(&g, &s, g.node("lost_calls").unwrap());
+        assert_eq!(
+            print_select(&q),
+            "SELECT COUNT(lost_calls) FROM customer_service WHERE queue IN ('A')"
+        );
+    }
+
+    #[test]
+    fn grouped_vis_query_shape_matches_figure_2() {
+        let g = graph();
+        let s = g.initial_state();
+        let q = vis_query(&g, &s, g.node("calls_by_queue").unwrap());
+        assert_eq!(
+            print_select(&q),
+            "SELECT queue, hour, call_direction, COUNT(calls) FROM customer_service \
+             GROUP BY queue, hour, call_direction"
+        );
+    }
+
+    #[test]
+    fn vis_selection_filters_descendants_not_self() {
+        let g = graph();
+        let mut s = g.initial_state();
+        let rep_vis = g.node("calls_per_rep").unwrap();
+        if let NodeState::VisSelection(sel) = s.node_mut(rep_vis) {
+            sel.insert("rep_03".into());
+        }
+        // calls_per_rep itself is not filtered by its own selection...
+        let own = vis_query(&g, &s, rep_vis);
+        assert!(own.where_clause.is_none(), "{own}");
+        // ...but its descendant total_calls_by_hour is.
+        let downstream = vis_query(&g, &s, g.node("total_calls_by_hour").unwrap());
+        let text = print_select(&downstream);
+        assert!(text.contains("rep_id IN ('rep_03')"), "{text}");
+    }
+
+    #[test]
+    fn range_filter_on_temporal_uses_integer_literals() {
+        let g = graph();
+        let mut s = g.initial_state();
+        let slider = g.node("hour_slider").unwrap();
+        *s.node_mut(slider) =
+            NodeState::Widget(WidgetState::Range { bounds: Some((9.0, 17.0)) });
+        let q = vis_query(&g, &s, g.node("abandon_rate").unwrap());
+        let text = print_select(&q);
+        assert!(text.contains("hour BETWEEN 9 AND 17"), "{text}");
+    }
+
+    #[test]
+    fn multiple_filters_conjoin() {
+        let g = graph();
+        let mut s = g.initial_state();
+        let checkbox = g.node("queue_checkbox").unwrap();
+        let slider = g.node("hour_slider").unwrap();
+        if let NodeState::Widget(WidgetState::Checkbox { selected }) = s.node_mut(checkbox) {
+            selected.extend(["A".to_string(), "B".to_string()]);
+        }
+        *s.node_mut(slider) =
+            NodeState::Widget(WidgetState::Range { bounds: Some((8.0, 12.0)) });
+        let q = vis_query(&g, &s, g.node("total_calls_by_hour").unwrap());
+        assert_eq!(q.filters().len(), 2, "{q}");
+    }
+
+    #[test]
+    fn scatter_uses_raw_fields_without_grouping() {
+        let g = InteractionGraph::from_spec(builtin(DashboardDataset::SupplyChain)).unwrap();
+        let s = g.initial_state();
+        let q = vis_query(&g, &s, g.node("discount_vs_revenue").unwrap());
+        assert!(q.group_by.is_empty());
+        assert!(print_select(&q).starts_with("SELECT discount, total_revenue, unit_price"));
+    }
+
+    #[test]
+    fn empty_checkbox_contributes_no_filter() {
+        let g = graph();
+        let s = g.initial_state();
+        let pred = node_predicate(&g, &s, g.node("queue_checkbox").unwrap());
+        assert!(pred.is_none());
+    }
+
+    #[test]
+    fn selection_state_produces_in_predicate() {
+        let g = graph();
+        let mut s = g.initial_state();
+        let vis = g.node("calls_by_queue").unwrap();
+        *s.node_mut(vis) = NodeState::VisSelection(BTreeSet::from(["A".to_string()]));
+        let pred = node_predicate(&g, &s, vis).unwrap();
+        assert_eq!(pred.to_string(), "queue IN ('A')");
+    }
+}

@@ -1,0 +1,334 @@
+//! Interface manipulations (§3.0.2 of the paper).
+//!
+//! The interaction layer supports two interaction classes: *data
+//! manipulations* ([`crate::actions::Action`]) that use the dashboard as-is,
+//! and **interface manipulations** that "modify the original dashboard
+//! definition (i.e., alter the dashboard's user interface, for example, to
+//! add/remove a visualization)". Interface manipulations rebuild the
+//! interaction graph; sessions that use them model a *developer* iterating
+//! on a design between user simulations.
+
+use crate::dashboard::Dashboard;
+use crate::error::CoreError;
+use crate::spec::{DashboardSpec, LinkSpec, VisualizationSpec, WidgetSpec};
+use simba_store::Table;
+
+/// A modification to the dashboard definition itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterfaceAction {
+    /// Add a visualization, linked from the given source component ids.
+    AddVisualization { vis: VisualizationSpec, linked_from: Vec<String> },
+    /// Remove a visualization and every link touching it.
+    RemoveVisualization { id: String },
+    /// Add an interaction widget, linked to the given target component ids.
+    AddWidget { widget: WidgetSpec, targets: Vec<String> },
+    /// Remove a widget and every link touching it.
+    RemoveWidget { id: String },
+    /// Add a single interaction link.
+    AddLink { source: String, target: String },
+    /// Remove all links from `source` to `target`.
+    RemoveLink { source: String, target: String },
+}
+
+impl InterfaceAction {
+    /// Human-readable description for logs.
+    pub fn describe(&self) -> String {
+        match self {
+            InterfaceAction::AddVisualization { vis, .. } => {
+                format!("add visualization `{}`", vis.id)
+            }
+            InterfaceAction::RemoveVisualization { id } => {
+                format!("remove visualization `{id}`")
+            }
+            InterfaceAction::AddWidget { widget, .. } => format!("add widget `{}`", widget.id),
+            InterfaceAction::RemoveWidget { id } => format!("remove widget `{id}`"),
+            InterfaceAction::AddLink { source, target } => {
+                format!("link `{source}` -> `{target}`")
+            }
+            InterfaceAction::RemoveLink { source, target } => {
+                format!("unlink `{source}` -> `{target}`")
+            }
+        }
+    }
+
+    /// Apply the manipulation to a specification, returning the modified
+    /// spec. The input is not mutated; validation happens when the new spec
+    /// is rebuilt into a [`Dashboard`].
+    pub fn apply_to(&self, spec: &DashboardSpec) -> Result<DashboardSpec, CoreError> {
+        let mut next = spec.clone();
+        let exists = |s: &DashboardSpec, id: &str| {
+            s.visualizations.iter().any(|v| v.id.eq_ignore_ascii_case(id))
+                || s.widgets.iter().any(|w| w.id.eq_ignore_ascii_case(id))
+        };
+        match self {
+            InterfaceAction::AddVisualization { vis, linked_from } => {
+                if exists(&next, &vis.id) {
+                    return Err(CoreError::InvalidSpec(format!(
+                        "component id `{}` already exists",
+                        vis.id
+                    )));
+                }
+                for src in linked_from {
+                    if !exists(&next, src) {
+                        return Err(CoreError::UnknownNode(src.clone()));
+                    }
+                    next.links
+                        .push(LinkSpec { source: src.clone(), target: vis.id.clone() });
+                }
+                next.visualizations.push(vis.clone());
+            }
+            InterfaceAction::RemoveVisualization { id } => {
+                let before = next.visualizations.len();
+                next.visualizations.retain(|v| !v.id.eq_ignore_ascii_case(id));
+                if next.visualizations.len() == before {
+                    return Err(CoreError::UnknownNode(id.clone()));
+                }
+                if next.visualizations.is_empty() {
+                    return Err(CoreError::InvalidSpec(
+                        "cannot remove the last visualization".into(),
+                    ));
+                }
+                next.links.retain(|l| {
+                    !l.source.eq_ignore_ascii_case(id) && !l.target.eq_ignore_ascii_case(id)
+                });
+            }
+            InterfaceAction::AddWidget { widget, targets } => {
+                if exists(&next, &widget.id) {
+                    return Err(CoreError::InvalidSpec(format!(
+                        "component id `{}` already exists",
+                        widget.id
+                    )));
+                }
+                for t in targets {
+                    if !exists(&next, t) {
+                        return Err(CoreError::UnknownNode(t.clone()));
+                    }
+                    next.links
+                        .push(LinkSpec { source: widget.id.clone(), target: t.clone() });
+                }
+                next.widgets.push(widget.clone());
+            }
+            InterfaceAction::RemoveWidget { id } => {
+                let before = next.widgets.len();
+                next.widgets.retain(|w| !w.id.eq_ignore_ascii_case(id));
+                if next.widgets.len() == before {
+                    return Err(CoreError::UnknownNode(id.clone()));
+                }
+                next.links.retain(|l| {
+                    !l.source.eq_ignore_ascii_case(id) && !l.target.eq_ignore_ascii_case(id)
+                });
+            }
+            InterfaceAction::AddLink { source, target } => {
+                if !exists(&next, source) {
+                    return Err(CoreError::UnknownNode(source.clone()));
+                }
+                if !exists(&next, target) {
+                    return Err(CoreError::UnknownNode(target.clone()));
+                }
+                next.links.push(LinkSpec { source: source.clone(), target: target.clone() });
+            }
+            InterfaceAction::RemoveLink { source, target } => {
+                let before = next.links.len();
+                next.links.retain(|l| {
+                    !(l.source.eq_ignore_ascii_case(source)
+                        && l.target.eq_ignore_ascii_case(target))
+                });
+                if next.links.len() == before {
+                    return Err(CoreError::InvalidSpec(format!(
+                        "no link `{source}` -> `{target}`"
+                    )));
+                }
+            }
+        }
+        Ok(next)
+    }
+
+    /// Apply to a live dashboard: rebuild the runtime (interaction graph and
+    /// all) against the same table. Existing [`DashboardState`]s are
+    /// invalidated by design — an interface change re-renders the dashboard.
+    pub fn rebuild(&self, dashboard: &Dashboard, table: &Table) -> Result<Dashboard, CoreError> {
+        let next_spec = self.apply_to(dashboard.spec())?;
+        Dashboard::new(next_spec, table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::builtin::builtin;
+    use crate::spec::{AggregateChannel, AggOp, ChannelSpec, ControlSpec, MarkType};
+    use simba_data::DashboardDataset;
+
+    fn setup() -> (Dashboard, Table) {
+        let ds = DashboardDataset::CustomerService;
+        let table = ds.generate_rows(500, 1);
+        let dashboard = Dashboard::new(builtin(ds), &table).unwrap();
+        (dashboard, table)
+    }
+
+    fn new_vis() -> VisualizationSpec {
+        VisualizationSpec {
+            id: "satisfaction_by_queue".into(),
+            title: "Satisfaction by Queue".into(),
+            mark: MarkType::Bar,
+            dimensions: vec![ChannelSpec::field("queue")],
+            measures: vec![AggregateChannel { func: AggOp::Avg, field: Some("satisfaction".into()) }],
+            raw_fields: vec![],
+            selectable: false,
+        }
+    }
+
+    #[test]
+    fn add_visualization_extends_graph_and_data_layer() {
+        let (dashboard, table) = setup();
+        let action = InterfaceAction::AddVisualization {
+            vis: new_vis(),
+            linked_from: vec!["queue_checkbox".into()],
+        };
+        let next = action.rebuild(&dashboard, &table).unwrap();
+        assert_eq!(
+            next.spec().visualizations.len(),
+            dashboard.spec().visualizations.len() + 1
+        );
+        // The new node renders a query and receives checkbox filters.
+        let node = next.graph().node("satisfaction_by_queue").unwrap();
+        let state = next.initial_state();
+        let q = next.query_for(&state, node);
+        assert!(q.to_string().contains("AVG(satisfaction)"), "{q}");
+        let checkbox = next.graph().node("queue_checkbox").unwrap();
+        assert!(next.graph().ancestors(node).contains(&checkbox));
+    }
+
+    #[test]
+    fn remove_visualization_drops_links() {
+        let (dashboard, table) = setup();
+        let action = InterfaceAction::RemoveVisualization { id: "lost_calls".into() };
+        let next = action.rebuild(&dashboard, &table).unwrap();
+        assert!(next.graph().node("lost_calls").is_none());
+        assert!(next
+            .spec()
+            .links
+            .iter()
+            .all(|l| l.target != "lost_calls" && l.source != "lost_calls"));
+    }
+
+    #[test]
+    fn cannot_remove_last_visualization() {
+        let ds = DashboardDataset::MyRide;
+        let table = ds.generate_rows(200, 1);
+        let dashboard = Dashboard::new(builtin(ds), &table).unwrap();
+        let first = InterfaceAction::RemoveVisualization { id: "hr_histogram".into() }
+            .rebuild(&dashboard, &table)
+            .unwrap();
+        let err = InterfaceAction::RemoveVisualization { id: "hr_by_segment".into() }
+            .rebuild(&first, &table)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn add_widget_links_to_targets() {
+        let (dashboard, table) = setup();
+        let action = InterfaceAction::AddWidget {
+            widget: WidgetSpec {
+                id: "tier_radio".into(),
+                title: "Tier".into(),
+                control: ControlSpec::Radio { field: "customer_tier".into() },
+            },
+            targets: vec!["calls_per_rep".into(), "lost_calls".into()],
+        };
+        let next = action.rebuild(&dashboard, &table).unwrap();
+        let widget = next.graph().node("tier_radio").unwrap();
+        // Direct targets plus their transitive descendants
+        // (calls_per_rep -> total_calls_by_hour).
+        let desc = next.graph().descendants(widget);
+        assert!(desc.len() >= 2, "{desc:?}");
+        assert!(desc.contains(&next.graph().node("lost_calls").unwrap()));
+        // The new widget contributes applicable actions.
+        let actions = next.applicable_actions(&next.initial_state());
+        assert!(actions
+            .iter()
+            .any(|a| a.describe(next.graph()).contains("tier_radio")));
+    }
+
+    #[test]
+    fn duplicate_ids_and_dangling_endpoints_rejected() {
+        let (dashboard, table) = setup();
+        let dup = InterfaceAction::AddVisualization {
+            vis: VisualizationSpec { id: "lost_calls".into(), ..new_vis() },
+            linked_from: vec![],
+        };
+        assert!(dup.rebuild(&dashboard, &table).is_err());
+
+        let dangling = InterfaceAction::AddLink {
+            source: "ghost".into(),
+            target: "lost_calls".into(),
+        };
+        assert!(matches!(
+            dangling.rebuild(&dashboard, &table),
+            Err(CoreError::UnknownNode(_))
+        ));
+        let missing = InterfaceAction::RemoveWidget { id: "ghost".into() };
+        assert!(missing.rebuild(&dashboard, &table).is_err());
+    }
+
+    #[test]
+    fn link_add_remove_round_trip() {
+        let (dashboard, table) = setup();
+        let add = InterfaceAction::AddLink {
+            source: "direction_radio".into(),
+            target: "lost_calls".into(),
+        };
+        let with_link = add.rebuild(&dashboard, &table).unwrap();
+        let lost = with_link.graph().node("lost_calls").unwrap();
+        let radio = with_link.graph().node("direction_radio").unwrap();
+        assert!(with_link.graph().ancestors(lost).contains(&radio));
+
+        let remove = InterfaceAction::RemoveLink {
+            source: "direction_radio".into(),
+            target: "lost_calls".into(),
+        };
+        let without = remove.rebuild(&with_link, &table).unwrap();
+        // The direct link is gone (transitive paths through calls_by_queue
+        // may remain — ancestors are path-based, links are direct).
+        assert!(!without
+            .spec()
+            .links
+            .iter()
+            .any(|l| l.source == "direction_radio" && l.target == "lost_calls"));
+        let radio2 = without.graph().node("direction_radio").unwrap();
+        assert_eq!(
+            without.graph().out_degree(radio2),
+            with_link.graph().out_degree(with_link.graph().node("direction_radio").unwrap()) - 1
+        );
+    }
+
+    #[test]
+    fn invalid_new_visualization_caught_at_rebuild() {
+        let (dashboard, table) = setup();
+        let bad = InterfaceAction::AddVisualization {
+            vis: VisualizationSpec {
+                id: "broken".into(),
+                dimensions: vec![ChannelSpec::field("no_such_field")],
+                ..new_vis()
+            },
+            linked_from: vec![],
+        };
+        assert!(matches!(
+            bad.rebuild(&dashboard, &table),
+            Err(CoreError::UnknownField(_))
+        ));
+    }
+
+    #[test]
+    fn descriptions_are_informative() {
+        assert_eq!(
+            InterfaceAction::RemoveVisualization { id: "x".into() }.describe(),
+            "remove visualization `x`"
+        );
+        assert_eq!(
+            InterfaceAction::AddLink { source: "a".into(), target: "b".into() }.describe(),
+            "link `a` -> `b`"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! The open-ended exploration model: a Markov chain over interaction types
+//! (§4.2 of the paper), extending IDEBench's stochastic simulation.
+//!
+//! The chain picks the *kind* of the next interaction given the previous
+//! one; the concrete widget and its parameters are then filled in with
+//! uniform probabilities ("users can only perform one click at a time", so
+//! parameters are manipulated serially). A library of preset transition
+//! matrices is provided, including the IDEBench defaults.
+
+use crate::actions::{Action, ActionKind};
+use crate::dashboard::Dashboard;
+use crate::graph::DashboardState;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+const N: usize = ActionKind::ALL.len();
+
+/// A first-order Markov model over [`ActionKind`]s.
+#[derive(Debug, Clone)]
+pub struct MarkovModel {
+    /// Preset name, for logs.
+    pub name: &'static str,
+    /// Initial distribution over kinds.
+    initial: [f64; N],
+    /// Row-stochastic transition matrix: `matrix[from][to]`.
+    matrix: [[f64; N]; N],
+}
+
+impl MarkovModel {
+    /// Build a model from raw weights (rows are normalized on use; rows that
+    /// sum to zero fall back to the initial distribution).
+    pub fn new(name: &'static str, initial: [f64; N], matrix: [[f64; N]; N]) -> Self {
+        Self { name, initial, matrix }
+    }
+
+    /// The IDEBench default mix: filter-widget heavy, occasional highlight,
+    /// rare resets (Eichmann et al.'s default action probabilities adapted
+    /// to our widget taxonomy).
+    pub fn idebench_default() -> Self {
+        // Kind order: Checkbox, Radio, Dropdown, Range, MarkSelect, Clear, Reset.
+        let initial = [0.30, 0.12, 0.14, 0.22, 0.16, 0.04, 0.02];
+        let matrix = [
+            // From Checkbox: often keep refining the same control family.
+            [0.42, 0.08, 0.10, 0.16, 0.16, 0.06, 0.02],
+            // From Radio.
+            [0.18, 0.26, 0.12, 0.16, 0.18, 0.08, 0.02],
+            // From Dropdown.
+            [0.16, 0.10, 0.30, 0.16, 0.18, 0.08, 0.02],
+            // From Range: brushing tends to continue.
+            [0.12, 0.06, 0.08, 0.48, 0.16, 0.08, 0.02],
+            // From MarkSelect: follow a highlight with filters.
+            [0.22, 0.10, 0.12, 0.18, 0.28, 0.08, 0.02],
+            // From Clear: start something new.
+            [0.26, 0.12, 0.16, 0.22, 0.18, 0.02, 0.04],
+            // From Reset.
+            [0.30, 0.12, 0.14, 0.22, 0.16, 0.04, 0.02],
+        ];
+        Self::new("idebench-default", initial, matrix)
+    }
+
+    /// Uniform over kinds (maximum-entropy baseline).
+    pub fn uniform() -> Self {
+        let u = 1.0 / N as f64;
+        Self::new("uniform", [u; N], [[u; N]; N])
+    }
+
+    /// Brushing-and-linking heavy (crossfilter-style sessions).
+    pub fn brush_heavy() -> Self {
+        let initial = [0.10, 0.05, 0.05, 0.55, 0.20, 0.04, 0.01];
+        let mut matrix = [[0.0; N]; N];
+        matrix.fill([0.08, 0.04, 0.04, 0.58, 0.18, 0.06, 0.02]);
+        Self::new("brush-heavy", initial, matrix)
+    }
+
+    /// Drill-down heavy: mark selections and single-select filters.
+    pub fn drilldown() -> Self {
+        let initial = [0.12, 0.18, 0.18, 0.08, 0.38, 0.05, 0.01];
+        let mut matrix = [[0.0; N]; N];
+        matrix.fill([0.10, 0.16, 0.16, 0.08, 0.40, 0.08, 0.02]);
+        Self::new("drilldown", initial, matrix)
+    }
+
+    /// All presets (the paper's "library of pre-set transition
+    /// probabilities").
+    pub fn presets() -> Vec<MarkovModel> {
+        vec![Self::idebench_default(), Self::uniform(), Self::brush_heavy(), Self::drilldown()]
+    }
+
+    /// Sample the next interaction kind given the previous one.
+    pub fn next_kind(&self, prev: Option<ActionKind>, rng: &mut impl Rng) -> ActionKind {
+        let row = match prev {
+            None => &self.initial,
+            Some(k) => {
+                let idx = ActionKind::ALL.iter().position(|a| *a == k).expect("known kind");
+                let row = &self.matrix[idx];
+                if row.iter().sum::<f64>() <= 0.0 {
+                    &self.initial
+                } else {
+                    row
+                }
+            }
+        };
+        let total: f64 = row.iter().sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (i, w) in row.iter().enumerate() {
+            if x < *w {
+                return ActionKind::ALL[i];
+            }
+            x -= w;
+        }
+        ActionKind::ALL[N - 1]
+    }
+
+    /// Pick the next concrete action: sample a kind, then choose uniformly
+    /// among the applicable actions of that kind (falling back to any
+    /// applicable action when the sampled kind has none — e.g. `Clear` in a
+    /// pristine dashboard).
+    pub fn pick_action(
+        &self,
+        dashboard: &Dashboard,
+        state: &DashboardState,
+        prev: Option<ActionKind>,
+        rng: &mut impl Rng,
+    ) -> Option<Action> {
+        let actions = dashboard.applicable_actions(state);
+        if actions.is_empty() {
+            return None;
+        }
+        let graph = dashboard.graph();
+        // A few attempts to honor the sampled kind before falling back.
+        for _ in 0..4 {
+            let kind = self.next_kind(prev, rng);
+            let of_kind: Vec<&Action> =
+                actions.iter().filter(|a| a.kind(graph) == kind).collect();
+            if let Some(action) = of_kind.choose(rng) {
+                return Some((*action).clone());
+            }
+        }
+        actions.choose(rng).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::builtin::builtin;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use simba_data::DashboardDataset;
+
+    fn dashboard() -> Dashboard {
+        let ds = DashboardDataset::CustomerService;
+        let table = ds.generate_rows(500, 4);
+        Dashboard::new(builtin(ds), &table).unwrap()
+    }
+
+    #[test]
+    fn presets_rows_are_distributions() {
+        for model in MarkovModel::presets() {
+            let total: f64 = model.initial.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{} initial sums to {total}", model.name);
+            for (i, row) in model.matrix.iter().enumerate() {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "{} row {i} sums to {s}", model.name);
+            }
+        }
+    }
+
+    #[test]
+    fn next_kind_follows_transition_weights() {
+        let model = MarkovModel::brush_heavy();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut range_count = 0;
+        for _ in 0..2_000 {
+            if model.next_kind(Some(ActionKind::Checkbox), &mut rng) == ActionKind::Range {
+                range_count += 1;
+            }
+        }
+        // brush_heavy sends ~58% of transitions to Range.
+        assert!((1000..1400).contains(&range_count), "{range_count}");
+    }
+
+    #[test]
+    fn pick_action_returns_applicable_actions() {
+        let d = dashboard();
+        let state = d.initial_state();
+        let model = MarkovModel::idebench_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..50 {
+            let action = model.pick_action(&d, &state, None, &mut rng).unwrap();
+            // Every returned action must be in the applicable set.
+            assert!(d.applicable_actions(&state).contains(&action));
+        }
+    }
+
+    #[test]
+    fn pick_action_is_deterministic_under_seed() {
+        let d = dashboard();
+        let state = d.initial_state();
+        let model = MarkovModel::idebench_default();
+        let a1 = model.pick_action(&d, &state, None, &mut ChaCha8Rng::seed_from_u64(9));
+        let a2 = model.pick_action(&d, &state, None, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn simulated_walk_changes_state() {
+        let d = dashboard();
+        let mut state = d.initial_state();
+        let model = MarkovModel::idebench_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut prev = None;
+        for _ in 0..10 {
+            let action = model.pick_action(&d, &state, prev, &mut rng).unwrap();
+            prev = Some(action.kind(d.graph()));
+            action.apply(d.graph(), &mut state);
+        }
+        assert!(state.active_count() > 0, "ten random actions should leave filters active");
+    }
+}

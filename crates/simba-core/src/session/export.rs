@@ -1,0 +1,158 @@
+//! Machine-readable session-log export.
+//!
+//! The paper's user study (§6.4) handed experts logs of interactions and
+//! their SQL; this module serializes [`SessionLog`](super::SessionLog)s to a
+//! stable JSON shape for the same purpose (and for harness post-processing).
+
+use super::{ModelChoice, SessionLog};
+use serde::{Deserialize, Serialize};
+
+/// Serializable snapshot of a session log.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LogExport {
+    pub dashboard: String,
+    pub engine: String,
+    pub seed: u64,
+    pub entries: Vec<EntryExport>,
+    pub goals: Vec<GoalExport>,
+}
+
+/// One interaction step.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct EntryExport {
+    pub step: usize,
+    pub model: String,
+    pub action: String,
+    pub queries: Vec<QueryExport>,
+}
+
+/// One executed query.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct QueryExport {
+    pub vis: String,
+    pub sql: String,
+    pub duration_us: u64,
+    pub rows: usize,
+}
+
+/// One goal outcome.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GoalExport {
+    pub question: String,
+    pub sql: String,
+    pub solved_at: Option<usize>,
+    pub method: Option<String>,
+}
+
+impl LogExport {
+    /// Snapshot a session log.
+    pub fn from_log(log: &SessionLog) -> LogExport {
+        LogExport {
+            dashboard: log.dashboard.clone(),
+            engine: log.engine.clone(),
+            seed: log.seed,
+            entries: log
+                .entries
+                .iter()
+                .map(|e| EntryExport {
+                    step: e.step,
+                    model: e.model.name().to_string(),
+                    action: e.action.clone(),
+                    queries: e
+                        .queries
+                        .iter()
+                        .map(|q| QueryExport {
+                            vis: q.vis.clone(),
+                            sql: q.sql.clone(),
+                            duration_us: q.duration.as_micros() as u64,
+                            rows: q.rows,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            goals: log
+                .goals
+                .iter()
+                .map(|g| GoalExport {
+                    question: g.question.clone(),
+                    sql: g.sql.clone(),
+                    solved_at: g.solved_at,
+                    method: g.method.map(|m| m.name().to_string()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Pretty JSON text.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("log serializes")
+    }
+
+    /// Parse from JSON text.
+    pub fn from_json(json: &str) -> Result<LogExport, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl ModelChoice {
+    /// Parse a model name back from an export.
+    pub fn from_name(name: &str) -> Option<ModelChoice> {
+        match name {
+            "initial" => Some(ModelChoice::InitialRender),
+            "oracle" => Some(ModelChoice::Oracle),
+            "markov" => Some(ModelChoice::Markov),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{GoalOutcome, LogEntry, QueryRecord};
+    use std::time::Duration;
+
+    fn sample_log() -> SessionLog {
+        SessionLog {
+            dashboard: "cs".into(),
+            engine: "duckdb-like".into(),
+            seed: 42,
+            entries: vec![LogEntry {
+                step: 0,
+                model: ModelChoice::InitialRender,
+                action: "open dashboard".into(),
+                action_kind: None,
+                queries: vec![QueryRecord {
+                    vis: "v1".into(),
+                    sql: "SELECT COUNT(*) FROM cs".into(),
+                    duration: Duration::from_micros(1500),
+                    rows: 1,
+                }],
+            }],
+            goals: vec![GoalOutcome {
+                question: "q?".into(),
+                sql: "SELECT 1 FROM cs".into(),
+                solved_at: Some(0),
+                method: Some(crate::equivalence::Method::Result),
+            }],
+        }
+    }
+
+    #[test]
+    fn export_round_trips_through_json() {
+        let export = LogExport::from_log(&sample_log());
+        let json = export.to_json();
+        let back = LogExport::from_json(&json).unwrap();
+        assert_eq!(export, back);
+        assert_eq!(back.entries[0].queries[0].duration_us, 1500);
+        assert_eq!(back.goals[0].method.as_deref(), Some("result"));
+    }
+
+    #[test]
+    fn model_names_round_trip() {
+        for m in [ModelChoice::InitialRender, ModelChoice::Oracle, ModelChoice::Markov] {
+            assert_eq!(ModelChoice::from_name(m.name()), Some(m));
+        }
+        assert_eq!(ModelChoice::from_name("alien"), None);
+    }
+}

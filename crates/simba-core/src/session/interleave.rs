@@ -1,0 +1,102 @@
+//! Interleaving targeted and open-ended exploration (§4.3, Figure 5).
+//!
+//! Sessions start Markov-dominated (open-ended) and become Oracle-dominated
+//! (goal-focused) via exponential decay of the Markov-selection probability.
+//! The decay parameters model user expertise: experts start focused and
+//! converge fast; novices linger in open exploration.
+
+/// Exponential-decay schedule for P(Markov) over session steps (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayConfig {
+    /// P(Markov) at step 0.
+    pub initial_markov: f64,
+    /// Decay rate λ in `P(t) = initial · e^(−λt)`.
+    pub decay_rate: f64,
+}
+
+impl DecayConfig {
+    /// Default parameters, tuned to yield session lengths consistent with
+    /// the exploration studies the paper cites (~tens of interactions).
+    pub fn typical() -> Self {
+        Self { initial_markov: 0.90, decay_rate: 0.12 }
+    }
+
+    /// A novice lingers in open-ended exploration.
+    pub fn novice() -> Self {
+        Self { initial_markov: 0.97, decay_rate: 0.05 }
+    }
+
+    /// An expert "knows what they are looking for": low initial probability,
+    /// fast decay (§4.3).
+    pub fn expert() -> Self {
+        Self { initial_markov: 0.50, decay_rate: 0.35 }
+    }
+
+    /// Pure Oracle (no randomness) — used by ablations.
+    pub fn oracle_only() -> Self {
+        Self { initial_markov: 0.0, decay_rate: 1.0 }
+    }
+
+    /// Pure Markov (IDEBench-style fully stochastic sessions).
+    pub fn markov_only() -> Self {
+        Self { initial_markov: 1.0, decay_rate: 0.0 }
+    }
+
+    /// P(Markov) at step `t`.
+    pub fn p_markov(&self, step: usize) -> f64 {
+        (self.initial_markov * (-self.decay_rate * step as f64).exp()).clamp(0.0, 1.0)
+    }
+
+    /// The step at which both models become equally likely (the dotted line
+    /// in Figure 5), if it exists.
+    pub fn crossover_step(&self) -> Option<usize> {
+        if self.initial_markov <= 0.5 {
+            return Some(0);
+        }
+        if self.decay_rate <= 0.0 {
+            return None;
+        }
+        Some(((self.initial_markov / 0.5).ln() / self.decay_rate).ceil() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_is_monotonically_decreasing() {
+        let d = DecayConfig::typical();
+        let mut prev = f64::INFINITY;
+        for t in 0..100 {
+            let p = d.p_markov(t);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn expert_focuses_before_novice() {
+        let novice = DecayConfig::novice().crossover_step().unwrap();
+        let expert = DecayConfig::expert().crossover_step().unwrap();
+        assert!(expert < novice, "expert {expert} vs novice {novice}");
+    }
+
+    #[test]
+    fn extremes_pin_model_choice() {
+        assert_eq!(DecayConfig::oracle_only().p_markov(0), 0.0);
+        assert_eq!(DecayConfig::markov_only().p_markov(1_000), 1.0);
+        assert_eq!(DecayConfig::markov_only().crossover_step(), None);
+    }
+
+    #[test]
+    fn crossover_is_where_p_drops_below_half() {
+        let d = DecayConfig::typical();
+        let t = d.crossover_step().unwrap();
+        assert!(d.p_markov(t) <= 0.5);
+        if t > 0 {
+            assert!(d.p_markov(t - 1) > 0.5);
+        }
+    }
+}

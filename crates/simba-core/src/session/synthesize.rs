@@ -1,0 +1,441 @@
+//! Dashboard-aware goal synthesis.
+//!
+//! §2.1 of the paper observes that "a dashboard emits certain query
+//! structures which constrain the range of exploration goals it can
+//! support". This module instantiates the Table 2 goal templates *from the
+//! dashboard's own visualization structures*, guaranteeing every goal is
+//! reachable through some sequence of interactions:
+//!
+//! * **view goals** reuse a visualization's base query, optionally narrowed
+//!   by a widget-achievable filter (the user must navigate to that state);
+//! * **fragment goals** (the Figure 3 pattern) group a stat visualization's
+//!   measure by a *pinnable* categorical field — achievable only as the
+//!   union of per-value filtered queries, driving multi-step exploration.
+
+use crate::algebra::templates::{Goal, GoalTemplateKind};
+use crate::dashboard::Dashboard;
+use crate::error::CoreError;
+use crate::graph::{data_layer, NodeId, NodeKind};
+use crate::spec::{ControlSpec, FieldRole, VisualizationSpec};
+use simba_sql::{BinOp, Expr, Select, SelectItem};
+
+/// Synthesize one goal of the given template kind for a dashboard.
+///
+/// `salt` varies parameter choices (pin values, thresholds) deterministically
+/// so repeated runs can explore different instantiations.
+pub fn synthesize(
+    kind: GoalTemplateKind,
+    dash: &Dashboard,
+    salt: u64,
+) -> Result<Goal, CoreError> {
+    match kind {
+        GoalTemplateKind::ObservingTemporalPatterns => temporal_overview(dash),
+        GoalTemplateKind::Filtering => filtering(dash, salt),
+        GoalTemplateKind::FindingCorrelations => correlations(dash, salt),
+        GoalTemplateKind::AnalyzingSpread => view_goal(
+            kind,
+            dash,
+            salt,
+            /*require_cat_dim=*/ true,
+            /*min_measures=*/ 1,
+        ),
+        GoalTemplateKind::MeasuringDifferences => view_goal(kind, dash, salt, true, 1),
+        GoalTemplateKind::Identification => view_goal(kind, dash, salt, true, 1),
+    }
+}
+
+/// Fields pinnable to a single value upstream of `vis`: categorical fields
+/// controlled by an ancestor widget (checkbox/radio/dropdown) or by an
+/// ancestor selectable visualization's primary dimension.
+fn pinnable_fields(dash: &Dashboard, vis: NodeId) -> Vec<String> {
+    let graph = dash.graph();
+    let mut out: Vec<String> = Vec::new();
+    for anc in graph.ancestors(vis) {
+        let field = match graph.kind(anc) {
+            NodeKind::Widget(w) => match &graph.spec.widgets[w].control {
+                ControlSpec::Checkbox { field }
+                | ControlSpec::Radio { field }
+                | ControlSpec::Dropdown { field } => Some(field.clone()),
+                _ => None,
+            },
+            NodeKind::Visualization(v) => {
+                let vs = &graph.spec.visualizations[v];
+                if vs.selectable {
+                    vs.dimensions.first().map(|d| d.field.clone())
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(f) = field {
+            let is_cat = graph
+                .spec
+                .database
+                .field(&f)
+                .is_some_and(|fs| fs.role == FieldRole::Categorical);
+            if is_cat
+                && !dash.domains().categories(&f).is_empty()
+                && !out.iter().any(|x| x.eq_ignore_ascii_case(&f))
+            {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+/// Visualization metadata used during synthesis.
+struct VisInfo<'a> {
+    node: NodeId,
+    spec: &'a VisualizationSpec,
+    base: Select,
+}
+
+fn vis_infos(dash: &Dashboard) -> Vec<VisInfo<'_>> {
+    let graph = dash.graph();
+    graph
+        .visualization_nodes()
+        .into_iter()
+        .filter_map(|node| match graph.kind(node) {
+            NodeKind::Visualization(i) => {
+                let spec = &graph.spec.visualizations[i];
+                let base = data_layer::base_query(&graph.spec.database.table, spec);
+                Some(VisInfo { node, spec, base })
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// A "view goal": the base query of a visualization, optionally narrowed by
+/// a pinnable filter the user must navigate to.
+fn view_goal(
+    kind: GoalTemplateKind,
+    dash: &Dashboard,
+    salt: u64,
+    require_cat_dim: bool,
+    min_measures: usize,
+) -> Result<Goal, CoreError> {
+    let infos = vis_infos(dash);
+    let cat_dim_of = |v: &VisualizationSpec| -> Option<String> {
+        v.dimensions
+            .iter()
+            .find(|d| {
+                dash.graph()
+                    .spec
+                    .database
+                    .field(&d.field)
+                    .is_some_and(|f| f.role == FieldRole::Categorical)
+            })
+            .map(|d| d.field.clone())
+    };
+    // Deterministically rotate the starting visualization with the salt.
+    let n = infos.len();
+    let candidate = (0..n)
+        .map(|i| &infos[(i + salt as usize) % n])
+        .find(|info| {
+            (!require_cat_dim || cat_dim_of(info.spec).is_some())
+                && info.spec.measures.len() >= min_measures
+        })
+        .ok_or_else(|| {
+            CoreError::GoalInstantiation(format!(
+                "{}: no visualization with the required structure",
+                kind.name()
+            ))
+        })?;
+
+    let mut query = candidate.base.clone();
+    // Narrow by a pinnable field outside the view's own dimensions, when one
+    // exists — the user has to reach that widget state.
+    let pin = pinnable_fields(dash, candidate.node)
+        .into_iter()
+        .find(|f| {
+            !candidate
+                .spec
+                .dimensions
+                .iter()
+                .any(|d| d.field.eq_ignore_ascii_case(f))
+        });
+    let mut pin_text = String::new();
+    if let Some(field) = pin {
+        let cats = dash.domains().categories(&field);
+        let value = &cats[salt as usize % cats.len()];
+        query.add_filter(Expr::binary(
+            Expr::col(field.clone()),
+            BinOp::Eq,
+            Expr::str(value.clone()),
+        ));
+        pin_text = format!(" when {field} is '{value}'");
+    }
+
+    let dim_names: Vec<&str> =
+        candidate.spec.dimensions.iter().map(|d| d.field.as_str()).collect();
+    let question = match kind {
+        GoalTemplateKind::AnalyzingSpread => format!(
+            "Which member of {} has the largest spread of {}{}?",
+            dim_names.first().copied().unwrap_or("the view"),
+            candidate.spec.title,
+            pin_text
+        ),
+        GoalTemplateKind::MeasuringDifferences => format!(
+            "Are there differences in {} between the members of {}{}?",
+            candidate.spec.title,
+            dim_names.join(", "),
+            pin_text
+        ),
+        GoalTemplateKind::Identification => format!(
+            "Which {} consumes the max or min of {}{}?",
+            dim_names.first().copied().unwrap_or("member"),
+            candidate.spec.title,
+            pin_text
+        ),
+        _ => format!("{}{}", kind.generalization(), pin_text),
+    };
+    Ok(Goal::from_sql(kind, question, query))
+}
+
+/// The temporal-overview goal: a visualization presenting time on an axis,
+/// exactly as the dashboard renders it (Shneiderman's "overview first").
+fn temporal_overview(dash: &Dashboard) -> Result<Goal, CoreError> {
+    let infos = vis_infos(dash);
+    let is_temporal_dim = |v: &VisualizationSpec| -> bool {
+        v.dimensions.iter().any(|d| {
+            // Date-part transforms and temporal fields are time axes; a
+            // BIN transform on a quantitative field is not.
+            !matches!(d.transform, None | Some(crate::spec::FieldTransform::Bin { .. }))
+                || dash
+                    .graph()
+                    .spec
+                    .database
+                    .field(&d.field)
+                    .is_some_and(|f| f.role == FieldRole::Temporal)
+        })
+    };
+    let candidate = infos
+        .iter()
+        .find(|i| is_temporal_dim(i.spec))
+        // Fall back to any dimensional view (e.g. MyRide's route axis acts
+        // as its temporal progression).
+        .or_else(|| infos.iter().find(|i| !i.spec.dimensions.is_empty()))
+        .ok_or_else(|| {
+            CoreError::GoalInstantiation(
+                "Observing Temporal Patterns: no visualization with a navigable axis".into(),
+            )
+        })?;
+    let question = format!(
+        "How does change along {} affect patterns in {}, if at all?",
+        candidate
+            .spec
+            .dimensions
+            .first()
+            .map(|d| d.field.as_str())
+            .unwrap_or("time"),
+        candidate.spec.title
+    );
+    Ok(Goal::from_sql(GoalTemplateKind::ObservingTemporalPatterns, question, candidate.base.clone()))
+}
+
+/// The Figure 3 "Filtering" goal: group a stat visualization's measure by a
+/// pinnable categorical field, with a HAVING threshold. Falls back to a
+/// single-categorical-dimension view with HAVING.
+fn filtering(dash: &Dashboard, salt: u64) -> Result<Goal, CoreError> {
+    let infos = vis_infos(dash);
+    let threshold = 1 + (salt as i64 % 3);
+
+    // Preferred: stat visualization (no dimensions) + pinnable field → the
+    // goal is only achievable as a union of per-value fragments.
+    for info in &infos {
+        if !info.spec.dimensions.is_empty() || info.spec.measures.is_empty() {
+            continue;
+        }
+        if let Some(field) = pinnable_fields(dash, info.node).into_iter().next() {
+            let measure = info.base.projections[0].expr.clone();
+            let mut query = Select::new(
+                info.base.from.clone(),
+                vec![SelectItem::bare(Expr::col(field.clone())), SelectItem::bare(measure.clone())],
+            );
+            query.group_by = vec![Expr::col(field.clone())];
+            query.having =
+                Some(Expr::binary(measure.clone(), BinOp::Gt, Expr::int(threshold)));
+            let question = format!(
+                "Which {field} have {} greater than {threshold} at any point in time?",
+                simba_sql::printer::print_expr(&measure)
+            );
+            return Ok(Goal::from_sql(GoalTemplateKind::Filtering, question, query));
+        }
+    }
+
+    // Fallback: a categorical view with a HAVING threshold.
+    let candidate = infos
+        .iter()
+        .find(|i| i.spec.dimensions.len() == 1 && !i.spec.measures.is_empty())
+        .or_else(|| infos.iter().find(|i| !i.spec.dimensions.is_empty() && !i.spec.measures.is_empty()))
+        .ok_or_else(|| {
+            CoreError::GoalInstantiation("Filtering: no aggregating visualization".into())
+        })?;
+    let mut query = candidate.base.clone();
+    let measure = query
+        .projections
+        .iter()
+        .find(|p| p.expr.contains_aggregate())
+        .map(|p| p.expr.clone())
+        .expect("measure exists");
+    query.having = Some(Expr::binary(measure.clone(), BinOp::Gt, Expr::int(0)));
+    let question = format!(
+        "Which {} have {} above zero?",
+        candidate.spec.dimensions[0].field,
+        simba_sql::printer::print_expr(&measure)
+    );
+    Ok(Goal::from_sql(GoalTemplateKind::Filtering, question, query))
+}
+
+/// The correlations goal (Example 2.3): two measures over *distinct*
+/// quantitative fields, modulated by the visualization's own dimensions or —
+/// for stat visualizations — by a pinnable categorical field (a Figure 3
+/// style fragment goal).
+fn correlations(dash: &Dashboard, salt: u64) -> Result<Goal, CoreError> {
+    let infos = vis_infos(dash);
+    let quantitative = |f: &Option<String>| -> Option<String> {
+        f.as_ref()
+            .filter(|name| {
+                dash.graph()
+                    .spec
+                    .database
+                    .field(name)
+                    .is_some_and(|fs| fs.role == FieldRole::Quantitative)
+            })
+            .cloned()
+    };
+
+    for info in &infos {
+        // Need two measures over two distinct quantitative fields.
+        let mut fields_seen: Vec<String> = Vec::new();
+        let mut measure_exprs: Vec<Expr> = Vec::new();
+        for (i, m) in info.spec.measures.iter().enumerate() {
+            if let Some(f) = quantitative(&m.field) {
+                if !fields_seen.iter().any(|x| x.eq_ignore_ascii_case(&f)) {
+                    fields_seen.push(f);
+                    let proj_idx = info.spec.dimensions.len() + i;
+                    measure_exprs.push(info.base.projections[proj_idx].expr.clone());
+                }
+            }
+        }
+        if fields_seen.len() < 2 {
+            continue;
+        }
+        measure_exprs.truncate(2);
+
+        if !info.spec.dimensions.is_empty() {
+            // Modulated by the view's own axes: project dims + two measures.
+            let mut query = info.base.clone();
+            query.projections = query
+                .projections
+                .iter()
+                .take(info.spec.dimensions.len())
+                .cloned()
+                .chain(measure_exprs.iter().cloned().map(SelectItem::bare))
+                .collect();
+            let question = format!(
+                "Is there a strong correlation between {} and {}?",
+                fields_seen[0], fields_seen[1]
+            );
+            return Ok(Goal::from_sql(GoalTemplateKind::FindingCorrelations, question, query));
+        }
+        // Stat visualization: modulate by a pinnable categorical field.
+        if let Some(field) = pinnable_fields(dash, info.node).into_iter().next() {
+            let mut query = Select::new(
+                info.base.from.clone(),
+                std::iter::once(SelectItem::bare(Expr::col(field.clone())))
+                    .chain(measure_exprs.iter().cloned().map(SelectItem::bare))
+                    .collect(),
+            );
+            query.group_by = vec![Expr::col(field.clone())];
+            let question = format!(
+                "Is there a strong correlation between {} and {} across {field}?",
+                fields_seen[0], fields_seen[1]
+            );
+            return Ok(Goal::from_sql(GoalTemplateKind::FindingCorrelations, question, query));
+        }
+    }
+    let _ = salt;
+    Err(CoreError::GoalInstantiation(
+        "Finding Correlations: no visualization exposes two distinct quantitative measures"
+            .into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::builtin::builtin;
+    use simba_data::DashboardDataset;
+
+    fn dash(ds: DashboardDataset) -> Dashboard {
+        let table = ds.generate_rows(1_000, 5);
+        Dashboard::new(builtin(ds), &table).unwrap()
+    }
+
+    #[test]
+    fn filtering_on_customer_service_is_a_fragment_goal() {
+        let d = dash(DashboardDataset::CustomerService);
+        let goal = synthesize(GoalTemplateKind::Filtering, &d, 0).unwrap();
+        let text = goal.query.to_string();
+        assert!(text.contains("GROUP BY queue"), "{text}");
+        assert!(text.contains("HAVING"), "{text}");
+        assert!(text.contains("COUNT(lost_calls)") || text.contains("SUM(abandoned)"), "{text}");
+    }
+
+    #[test]
+    fn correlations_on_customer_service_uses_stat_measures() {
+        let d = dash(DashboardDataset::CustomerService);
+        let goal = synthesize(GoalTemplateKind::FindingCorrelations, &d, 0).unwrap();
+        let text = goal.query.to_string();
+        assert!(text.contains("SUM(abandoned)"), "{text}");
+        assert!(text.contains("COUNT(calls)"), "{text}");
+    }
+
+    #[test]
+    fn correlations_rejects_my_ride() {
+        let d = dash(DashboardDataset::MyRide);
+        assert!(synthesize(GoalTemplateKind::FindingCorrelations, &d, 0).is_err());
+    }
+
+    #[test]
+    fn temporal_overview_matches_a_visualization_query() {
+        let d = dash(DashboardDataset::ItMonitor);
+        let goal = synthesize(GoalTemplateKind::ObservingTemporalPatterns, &d, 0).unwrap();
+        assert!(goal.query.to_string().contains("HOUR(event_ts)"));
+    }
+
+    #[test]
+    fn temporal_overview_falls_back_for_my_ride() {
+        let d = dash(DashboardDataset::MyRide);
+        let goal = synthesize(GoalTemplateKind::ObservingTemporalPatterns, &d, 0).unwrap();
+        assert!(goal.query.to_string().contains("route_segment"));
+    }
+
+    #[test]
+    fn every_template_synthesizes_for_customer_service() {
+        let d = dash(DashboardDataset::CustomerService);
+        for kind in GoalTemplateKind::ALL {
+            let goal = synthesize(kind, &d, 0);
+            assert!(goal.is_ok(), "{}: {:?}", kind.name(), goal.err());
+        }
+    }
+
+    #[test]
+    fn salt_varies_pin_values() {
+        let d = dash(DashboardDataset::CustomerService);
+        let a = synthesize(GoalTemplateKind::MeasuringDifferences, &d, 0).unwrap();
+        let b = synthesize(GoalTemplateKind::MeasuringDifferences, &d, 1).unwrap();
+        assert_ne!(a.query.to_string(), b.query.to_string());
+    }
+
+    #[test]
+    fn pinnable_fields_found_through_graph() {
+        let d = dash(DashboardDataset::CustomerService);
+        let lost = d.graph().node("lost_calls").unwrap();
+        let fields = pinnable_fields(&d, lost);
+        assert!(fields.iter().any(|f| f == "queue"), "{fields:?}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Benchmark workflows: ordered goal-template sequences (§4.3, Table 3).
+//!
+//! The three default goal orderings re-create established exploration
+//! scenarios from the literature:
+//!
+//! * **Shneiderman** — "overview first, zoom and filter, then
+//!   details-on-demand": temporal overview → filtering → identification.
+//! * **Battle & Heer** — characterize distributions, then correlations,
+//!   then group differences (their EVA study's common arc).
+//! * **Crossfilter (Battle et al.)** — rapid filter-first exploration with
+//!   correlation follow-ups.
+
+use super::synthesize::synthesize;
+use crate::algebra::templates::{Goal, GoalTemplateKind};
+use crate::dashboard::Dashboard;
+use crate::error::CoreError;
+
+/// The three built-in goal orderings (Table 3's "Goal Sequence" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workflow {
+    Shneiderman,
+    BattleHeer,
+    Crossfilter,
+}
+
+impl Workflow {
+    /// All workflows in Table 3 order.
+    pub const ALL: [Workflow; 3] =
+        [Workflow::Shneiderman, Workflow::BattleHeer, Workflow::Crossfilter];
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workflow::Shneiderman => "Shneiderman",
+            Workflow::BattleHeer => "Battle & Heer",
+            Workflow::Crossfilter => "Battle et al.",
+        }
+    }
+
+    /// The goal-template sequence this workflow executes.
+    pub fn template_sequence(self) -> Vec<GoalTemplateKind> {
+        match self {
+            Workflow::Shneiderman => vec![
+                GoalTemplateKind::ObservingTemporalPatterns,
+                GoalTemplateKind::Filtering,
+                GoalTemplateKind::Identification,
+            ],
+            Workflow::BattleHeer => vec![
+                GoalTemplateKind::MeasuringDifferences,
+                GoalTemplateKind::FindingCorrelations,
+                GoalTemplateKind::AnalyzingSpread,
+            ],
+            Workflow::Crossfilter => vec![
+                GoalTemplateKind::Filtering,
+                GoalTemplateKind::FindingCorrelations,
+                GoalTemplateKind::MeasuringDifferences,
+            ],
+        }
+    }
+
+    /// Instantiate this workflow's goals against a dashboard.
+    ///
+    /// Goals are synthesized from the dashboard's own visualization
+    /// structures (see [`synthesize`]), so every goal is reachable through
+    /// some sequence of interactions. This reproduces the paper's
+    /// compatibility rule: MyRide exposes too few quantitative measures for
+    /// the correlation-bearing workflows (§6.2.3).
+    pub fn goals_for(self, dashboard: &Dashboard) -> Result<Vec<Goal>, CoreError> {
+        let mut goals = Vec::new();
+        for (i, kind) in self.template_sequence().into_iter().enumerate() {
+            let goal = synthesize(kind, dashboard, i as u64).map_err(|e| {
+                CoreError::IncompatibleWorkflow {
+                    workflow: self.name().to_string(),
+                    dashboard: dashboard.spec().name.clone(),
+                    reason: e.to_string(),
+                }
+            })?;
+            goals.push(goal);
+        }
+        Ok(goals)
+    }
+
+    /// Is the workflow applicable to this dashboard?
+    pub fn compatible_with(self, dashboard: &Dashboard) -> bool {
+        self.goals_for(dashboard).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::builtin::builtin;
+    use simba_data::DashboardDataset;
+
+    fn dash(ds: DashboardDataset) -> Dashboard {
+        let table = ds.generate_rows(1_000, 5);
+        Dashboard::new(builtin(ds), &table).unwrap()
+    }
+
+    #[test]
+    fn shneiderman_compatible_with_all_dashboards() {
+        for ds in DashboardDataset::ALL {
+            let d = dash(ds);
+            assert!(
+                Workflow::Shneiderman.compatible_with(&d),
+                "{} should run Shneiderman",
+                d.spec().name
+            );
+        }
+    }
+
+    #[test]
+    fn my_ride_incompatible_with_correlation_workflows() {
+        // §6.2.3: "the MyRide dashboard contains a low number of
+        // quantitative data columns for testing correlations, making it
+        // inapplicable to the Battle & Heer and crossfilter workflows."
+        let d = dash(DashboardDataset::MyRide);
+        assert!(!Workflow::BattleHeer.compatible_with(&d));
+        assert!(!Workflow::Crossfilter.compatible_with(&d));
+        let err = Workflow::BattleHeer.goals_for(&d).unwrap_err();
+        assert!(matches!(err, CoreError::IncompatibleWorkflow { .. }));
+    }
+
+    #[test]
+    fn other_dashboards_run_all_workflows() {
+        for ds in [
+            DashboardDataset::CustomerService,
+            DashboardDataset::SupplyChain,
+            DashboardDataset::UbcEnergy,
+            DashboardDataset::ItMonitor,
+            DashboardDataset::CirculationActivity,
+        ] {
+            let d = dash(ds);
+            for wf in Workflow::ALL {
+                assert!(wf.compatible_with(&d), "{} x {}", wf.name(), d.spec().name);
+            }
+        }
+    }
+
+    #[test]
+    fn goals_target_the_dashboards_table() {
+        let d = dash(DashboardDataset::ItMonitor);
+        for goal in Workflow::Crossfilter.goals_for(&d).unwrap() {
+            assert_eq!(goal.query.from, "it_monitor");
+        }
+    }
+
+    #[test]
+    fn each_workflow_yields_three_goals() {
+        let d = dash(DashboardDataset::CustomerService);
+        for wf in Workflow::ALL {
+            assert_eq!(wf.goals_for(&d).unwrap().len(), 3, "{}", wf.name());
+        }
+    }
+}

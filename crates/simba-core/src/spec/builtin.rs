@@ -1,0 +1,579 @@
+//! The six built-in dashboard specifications (§6.1, Figure 6).
+//!
+//! Reconstructed from the paper's descriptions: component counts and linking
+//! structure follow Figure 2 (Customer Service) and the §6.3 discussion
+//! (e.g. IT Monitor has exactly 3 visualizations; Circulation Activity has
+//! 2 near-identical ones; MyRide exposes too few quantitative fields for
+//! correlation workflows). Database specifications are derived from the
+//! `simba-data` schemas so role counts always match Figure 6.
+
+use super::{
+    AggOp, AggregateChannel, ChannelSpec, ControlSpec, DashboardSpec, DashboardType, DatabaseSpec,
+    FieldSpec, FieldTransform, LinkSpec, MarkType, VisualizationSpec, WidgetSpec,
+};
+use simba_data::DashboardDataset;
+
+/// Database specification derived from a dataset's schema.
+pub fn database_spec(ds: DashboardDataset) -> DatabaseSpec {
+    let schema = ds.schema();
+    DatabaseSpec {
+        table: schema.table.clone(),
+        fields: schema
+            .columns
+            .iter()
+            .map(|c| FieldSpec { name: c.name.clone(), role: c.role.into() })
+            .collect(),
+    }
+}
+
+/// The built-in spec for a dataset's dashboard.
+pub fn builtin(ds: DashboardDataset) -> DashboardSpec {
+    match ds {
+        DashboardDataset::CustomerService => customer_service(),
+        DashboardDataset::CirculationActivity => circulation_activity(),
+        DashboardDataset::SupplyChain => supply_chain(),
+        DashboardDataset::UbcEnergy => ubc_energy(),
+        DashboardDataset::MyRide => my_ride(),
+        DashboardDataset::ItMonitor => it_monitor(),
+    }
+}
+
+/// All six built-in dashboards, in Figure 6 order.
+pub fn all_builtin() -> Vec<DashboardSpec> {
+    DashboardDataset::ALL.into_iter().map(builtin).collect()
+}
+
+fn vis(
+    id: &str,
+    title: &str,
+    mark: MarkType,
+    dimensions: Vec<ChannelSpec>,
+    measures: Vec<AggregateChannel>,
+    selectable: bool,
+) -> VisualizationSpec {
+    VisualizationSpec {
+        id: id.into(),
+        title: title.into(),
+        mark,
+        dimensions,
+        measures,
+        raw_fields: vec![],
+        selectable,
+    }
+}
+
+fn agg(func: AggOp, field: &str) -> AggregateChannel {
+    AggregateChannel { func, field: Some(field.into()) }
+}
+
+fn count_star() -> AggregateChannel {
+    AggregateChannel { func: AggOp::Count, field: None }
+}
+
+fn widget(id: &str, title: &str, control: ControlSpec) -> WidgetSpec {
+    WidgetSpec { id: id.into(), title: title.into(), control }
+}
+
+fn link(source: &str, target: &str) -> LinkSpec {
+    LinkSpec { source: source.into(), target: target.into() }
+}
+
+/// Customer Service (Figure 2): five linked visualizations, a queue
+/// checkbox, plus direction/hour filters.
+fn customer_service() -> DashboardSpec {
+    DashboardSpec {
+        name: "customer_service".into(),
+        title: "Customer Service".into(),
+        dashboard_type: DashboardType::OperationalDecisionMaking,
+        database: database_spec(DashboardDataset::CustomerService),
+        visualizations: vec![
+            vis(
+                "total_calls_by_hour",
+                "Total Calls by Hour",
+                MarkType::Bar,
+                vec![
+                    ChannelSpec::field("hour"),
+                    ChannelSpec::field("rep_id"),
+                    ChannelSpec::field("call_direction"),
+                ],
+                vec![agg(AggOp::Count, "calls")],
+                true,
+            ),
+            vis(
+                "calls_per_rep",
+                "Calls per Rep",
+                MarkType::Bar,
+                vec![ChannelSpec::field("rep_id"), ChannelSpec::field("hour")],
+                vec![agg(AggOp::Count, "calls")],
+                true,
+            ),
+            vis(
+                "calls_by_queue",
+                "Calls by Queue",
+                MarkType::Bar,
+                vec![
+                    ChannelSpec::field("queue"),
+                    ChannelSpec::field("hour"),
+                    ChannelSpec::field("call_direction"),
+                ],
+                vec![agg(AggOp::Count, "calls")],
+                true,
+            ),
+            vis(
+                "abandon_rate",
+                "Percent Abandoned",
+                MarkType::Stat,
+                vec![],
+                vec![agg(AggOp::Sum, "abandoned"), agg(AggOp::Count, "calls")],
+                false,
+            ),
+            vis(
+                "lost_calls",
+                "Lost Calls",
+                MarkType::Stat,
+                vec![],
+                vec![agg(AggOp::Count, "lost_calls")],
+                false,
+            ),
+        ],
+        widgets: vec![
+            widget("queue_checkbox", "Queue", ControlSpec::Checkbox { field: "queue".into() }),
+            widget(
+                "direction_radio",
+                "Call Direction",
+                ControlSpec::Radio { field: "call_direction".into() },
+            ),
+            widget("hour_slider", "Hour of Day", ControlSpec::RangeSlider { field: "hour".into() }),
+        ],
+        links: vec![
+            // Figure 2A: the queue checkbox updates all five visualizations.
+            link("queue_checkbox", "total_calls_by_hour"),
+            link("queue_checkbox", "calls_per_rep"),
+            link("queue_checkbox", "calls_by_queue"),
+            link("queue_checkbox", "abandon_rate"),
+            link("queue_checkbox", "lost_calls"),
+            link("direction_radio", "total_calls_by_hour"),
+            link("direction_radio", "calls_per_rep"),
+            link("direction_radio", "calls_by_queue"),
+            link("hour_slider", "total_calls_by_hour"),
+            link("hour_slider", "calls_per_rep"),
+            link("hour_slider", "abandon_rate"),
+            link("hour_slider", "lost_calls"),
+            // Cross-visualization highlights.
+            link("calls_per_rep", "total_calls_by_hour"),
+            link("calls_by_queue", "abandon_rate"),
+            link("calls_by_queue", "lost_calls"),
+        ],
+    }
+}
+
+/// Circulation Activity: two near-identical visualizations (§6.3 notes the
+/// resulting lack of variance in query durations).
+fn circulation_activity() -> DashboardSpec {
+    DashboardSpec {
+        name: "circulation_activity".into(),
+        title: "Circulation Activity by Library".into(),
+        dashboard_type: DashboardType::StrategicDecisionMaking,
+        database: database_spec(DashboardDataset::CirculationActivity),
+        visualizations: vec![
+            vis(
+                "circulation_by_branch",
+                "Circulation by Branch",
+                MarkType::Bar,
+                vec![ChannelSpec::field("branch")],
+                vec![agg(AggOp::Sum, "circulation_count")],
+                true,
+            ),
+            // Near-identical to the branch view (§6.3 attributes the
+            // dashboard's flat duration profile to this similarity).
+            vis(
+                "circulation_by_event",
+                "Circulation by Event Type",
+                MarkType::Bar,
+                vec![ChannelSpec::field("event_type")],
+                vec![agg(AggOp::Sum, "circulation_count"), agg(AggOp::Avg, "wait_days")],
+                false,
+            ),
+        ],
+        widgets: vec![
+            widget("branch_dropdown", "Branch", ControlSpec::Dropdown { field: "branch".into() }),
+            widget(
+                "date_range",
+                "Date Range",
+                ControlSpec::DateRange { field: "event_date".into() },
+            ),
+        ],
+        links: vec![
+            link("branch_dropdown", "circulation_by_branch"),
+            link("branch_dropdown", "circulation_by_event"),
+            link("date_range", "circulation_by_branch"),
+            link("date_range", "circulation_by_event"),
+            link("circulation_by_branch", "circulation_by_event"),
+        ],
+    }
+}
+
+/// Supply Chain: order logistics with broad regional/categorical filters.
+fn supply_chain() -> DashboardSpec {
+    DashboardSpec {
+        name: "supply_chain".into(),
+        title: "Supply Chain".into(),
+        dashboard_type: DashboardType::StrategicDecisionMaking,
+        database: database_spec(DashboardDataset::SupplyChain),
+        visualizations: vec![
+            vis(
+                "revenue_by_category",
+                "Revenue by Category",
+                MarkType::Bar,
+                vec![
+                    ChannelSpec::field("product_category"),
+                    ChannelSpec::field("product_subcategory"),
+                    ChannelSpec::field("brand"),
+                ],
+                vec![agg(AggOp::Sum, "total_revenue")],
+                true,
+            ),
+            vis(
+                "shipping_by_mode",
+                "Shipping Cost by Mode",
+                MarkType::Bar,
+                vec![
+                    ChannelSpec::field("ship_mode"),
+                    ChannelSpec::field("priority"),
+                    ChannelSpec::field("carrier"),
+                ],
+                vec![agg(AggOp::Avg, "shipping_cost")],
+                true,
+            ),
+            vis(
+                "orders_by_region",
+                "Orders by Region",
+                MarkType::Map,
+                vec![
+                    ChannelSpec::field("region"),
+                    ChannelSpec::field("segment"),
+                    ChannelSpec::field("state"),
+                ],
+                vec![count_star(), agg(AggOp::Sum, "quantity")],
+                true,
+            ),
+            vis(
+                "revenue_over_time",
+                "Revenue over Time",
+                MarkType::Line,
+                vec![
+                    ChannelSpec::transformed("order_date", FieldTransform::Month),
+                    ChannelSpec::field("product_category"),
+                ],
+                vec![agg(AggOp::Sum, "total_revenue"), agg(AggOp::Avg, "discount")],
+                false,
+            ),
+            VisualizationSpec {
+                id: "discount_vs_revenue".into(),
+                title: "Discount vs Revenue".into(),
+                mark: MarkType::Scatter,
+                dimensions: vec![],
+                measures: vec![],
+                raw_fields: vec!["discount".into(), "total_revenue".into(), "unit_price".into()],
+                selectable: false,
+            },
+        ],
+        widgets: vec![
+            widget("region_checkbox", "Region", ControlSpec::Checkbox { field: "region".into() }),
+            widget("segment_radio", "Segment", ControlSpec::Radio { field: "segment".into() }),
+            widget(
+                "category_dropdown",
+                "Category",
+                ControlSpec::Dropdown { field: "product_category".into() },
+            ),
+            widget(
+                "status_dropdown",
+                "Order Status",
+                ControlSpec::Dropdown { field: "order_status".into() },
+            ),
+        ],
+        links: vec![
+            link("region_checkbox", "revenue_by_category"),
+            link("region_checkbox", "shipping_by_mode"),
+            link("region_checkbox", "orders_by_region"),
+            link("region_checkbox", "revenue_over_time"),
+            link("segment_radio", "revenue_by_category"),
+            link("segment_radio", "orders_by_region"),
+            link("category_dropdown", "revenue_by_category"),
+            link("category_dropdown", "revenue_over_time"),
+            link("category_dropdown", "discount_vs_revenue"),
+            link("status_dropdown", "orders_by_region"),
+            link("status_dropdown", "revenue_over_time"),
+            link("revenue_by_category", "revenue_over_time"),
+            link("revenue_by_category", "discount_vs_revenue"),
+            link("orders_by_region", "shipping_by_mode"),
+        ],
+    }
+}
+
+/// UBC Energy Map: granular per-building energy details.
+fn ubc_energy() -> DashboardSpec {
+    DashboardSpec {
+        name: "ubc_energy".into(),
+        title: "UBC Energy Map".into(),
+        dashboard_type: DashboardType::StrategicDecisionMaking,
+        database: database_spec(DashboardDataset::UbcEnergy),
+        visualizations: vec![
+            vis(
+                "usage_by_building_type",
+                "Usage by Building Type",
+                MarkType::Bar,
+                vec![ChannelSpec::field("building_type")],
+                vec![agg(AggOp::Sum, "elec_kwh"), agg(AggOp::Sum, "gas_kwh")],
+                true,
+            ),
+            vis(
+                "usage_by_zone",
+                "Campus Usage Map",
+                MarkType::Map,
+                vec![ChannelSpec::field("campus_zone")],
+                vec![agg(AggOp::Sum, "elec_kwh")],
+                true,
+            ),
+            vis(
+                "intensity_by_type",
+                "Energy Intensity",
+                MarkType::Bar,
+                vec![ChannelSpec::field("building_type"), ChannelSpec::field("energy_type")],
+                vec![agg(AggOp::Avg, "energy_intensity")],
+                false,
+            ),
+            vis(
+                "usage_over_time",
+                "Usage over Time",
+                MarkType::Area,
+                vec![ChannelSpec::transformed("reading_ts", FieldTransform::Month)],
+                vec![
+                    agg(AggOp::Sum, "elec_kwh"),
+                    agg(AggOp::Sum, "gas_kwh"),
+                    agg(AggOp::Sum, "steam_kwh"),
+                ],
+                false,
+            ),
+            vis(
+                "subload_breakdown",
+                "Electrical Sub-loads",
+                MarkType::Table,
+                vec![ChannelSpec::field("building_type"), ChannelSpec::field("campus_zone")],
+                vec![
+                    agg(AggOp::Sum, "hvac_kwh"),
+                    agg(AggOp::Sum, "lighting_kwh"),
+                    agg(AggOp::Sum, "plug_load_kwh"),
+                    agg(AggOp::Avg, "peak_demand_kw"),
+                ],
+                false,
+            ),
+        ],
+        widgets: vec![
+            widget(
+                "energy_checkbox",
+                "Energy Type",
+                ControlSpec::Checkbox { field: "energy_type".into() },
+            ),
+            widget("zone_dropdown", "Zone", ControlSpec::Dropdown { field: "campus_zone".into() }),
+            widget(
+                "date_range",
+                "Reading Window",
+                ControlSpec::DateRange { field: "reading_ts".into() },
+            ),
+        ],
+        links: vec![
+            link("energy_checkbox", "usage_by_building_type"),
+            link("energy_checkbox", "usage_by_zone"),
+            link("energy_checkbox", "usage_over_time"),
+            link("zone_dropdown", "usage_by_building_type"),
+            link("zone_dropdown", "intensity_by_type"),
+            link("zone_dropdown", "subload_breakdown"),
+            link("date_range", "usage_by_building_type"),
+            link("date_range", "usage_by_zone"),
+            link("date_range", "usage_over_time"),
+            link("date_range", "subload_breakdown"),
+            link("usage_by_zone", "intensity_by_type"),
+            link("usage_by_building_type", "subload_breakdown"),
+        ],
+    }
+}
+
+/// MyRide: heart-rate over a cycling route. Exposes only one quantitative
+/// field in its visualizations, making correlation workflows inapplicable
+/// (§6.2.3).
+fn my_ride() -> DashboardSpec {
+    DashboardSpec {
+        name: "my_ride".into(),
+        title: "MyRide".into(),
+        dashboard_type: DashboardType::QuantifiedSelf,
+        database: database_spec(DashboardDataset::MyRide),
+        visualizations: vec![
+            vis(
+                "hr_by_segment",
+                "Heart Rate along Route",
+                MarkType::Line,
+                vec![ChannelSpec::field("route_segment")],
+                vec![agg(AggOp::Avg, "heart_rate"), agg(AggOp::Max, "heart_rate")],
+                true,
+            ),
+            vis(
+                "hr_histogram",
+                "Heart Rate Zones",
+                MarkType::Bar,
+                vec![ChannelSpec::transformed("heart_rate", FieldTransform::Bin { width: 10 })],
+                vec![count_star()],
+                false,
+            ),
+        ],
+        widgets: vec![
+            widget("terrain_radio", "Terrain", ControlSpec::Radio { field: "terrain".into() }),
+            widget(
+                "segment_dropdown",
+                "Route Segment",
+                ControlSpec::Dropdown { field: "route_segment".into() },
+            ),
+        ],
+        links: vec![
+            link("terrain_radio", "hr_by_segment"),
+            link("terrain_radio", "hr_histogram"),
+            link("segment_dropdown", "hr_histogram"),
+            link("hr_by_segment", "hr_histogram"),
+        ],
+    }
+}
+
+/// IT Monitor: exactly three visualizations (§6.3) and a deep filter set
+/// (§6.4 notes its filter count made over-randomized logs detectable).
+fn it_monitor() -> DashboardSpec {
+    DashboardSpec {
+        name: "it_monitor".into(),
+        title: "IT Monitor".into(),
+        dashboard_type: DashboardType::OperationalDecisionMaking,
+        database: database_spec(DashboardDataset::ItMonitor),
+        visualizations: vec![
+            vis(
+                "response_by_service",
+                "Response Time by Service",
+                MarkType::Bar,
+                vec![ChannelSpec::field("service")],
+                vec![agg(AggOp::Avg, "response_ms"), agg(AggOp::Max, "response_ms")],
+                true,
+            ),
+            vis(
+                "alerts_over_time",
+                "Alerts over Time",
+                MarkType::Line,
+                vec![ChannelSpec::transformed("event_ts", FieldTransform::Hour)],
+                vec![count_star()],
+                false,
+            ),
+            vis(
+                "cpu_by_host",
+                "CPU by Host",
+                MarkType::Bar,
+                vec![ChannelSpec::field("host"), ChannelSpec::field("datacenter")],
+                vec![agg(AggOp::Avg, "cpu_util"), agg(AggOp::Avg, "memory_util")],
+                true,
+            ),
+        ],
+        widgets: vec![
+            widget(
+                "severity_checkbox",
+                "Severity",
+                ControlSpec::Checkbox { field: "severity".into() },
+            ),
+            widget("dc_radio", "Datacenter", ControlSpec::Radio { field: "datacenter".into() }),
+            widget(
+                "service_dropdown",
+                "Service",
+                ControlSpec::Dropdown { field: "service".into() },
+            ),
+            widget(
+                "alert_checkbox",
+                "Alert Type",
+                ControlSpec::Checkbox { field: "alert_type".into() },
+            ),
+            widget(
+                "response_slider",
+                "Response (ms)",
+                ControlSpec::RangeSlider { field: "response_ms".into() },
+            ),
+        ],
+        links: vec![
+            link("severity_checkbox", "response_by_service"),
+            link("severity_checkbox", "alerts_over_time"),
+            link("severity_checkbox", "cpu_by_host"),
+            link("dc_radio", "response_by_service"),
+            link("dc_radio", "alerts_over_time"),
+            link("dc_radio", "cpu_by_host"),
+            link("service_dropdown", "response_by_service"),
+            link("service_dropdown", "alerts_over_time"),
+            link("alert_checkbox", "alerts_over_time"),
+            link("alert_checkbox", "cpu_by_host"),
+            link("response_slider", "response_by_service"),
+            link("response_slider", "cpu_by_host"),
+            link("response_by_service", "cpu_by_host"),
+            link("cpu_by_host", "alerts_over_time"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::validate::validate;
+
+    #[test]
+    fn all_builtin_specs_validate() {
+        for spec in all_builtin() {
+            validate(&spec).unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn it_monitor_has_three_visualizations() {
+        assert_eq!(it_monitor().visualizations.len(), 3);
+    }
+
+    #[test]
+    fn circulation_has_two_visualizations() {
+        assert_eq!(circulation_activity().visualizations.len(), 2);
+    }
+
+    #[test]
+    fn customer_service_has_five_visualizations_like_figure_2() {
+        let cs = customer_service();
+        assert_eq!(cs.visualizations.len(), 5);
+        // The checkbox must link to all five (Figure 2A).
+        let from_checkbox = cs
+            .links
+            .iter()
+            .filter(|l| l.source == "queue_checkbox")
+            .count();
+        assert_eq!(from_checkbox, 5);
+    }
+
+    #[test]
+    fn my_ride_exposes_one_quantitative_field() {
+        let spec = my_ride();
+        assert_eq!(spec.used_quantitative_fields(), vec!["heart_rate"]);
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for spec in all_builtin() {
+            let parsed = DashboardSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, parsed);
+        }
+    }
+
+    #[test]
+    fn database_specs_match_dataset_schemas() {
+        for ds in DashboardDataset::ALL {
+            let spec = builtin(ds);
+            assert_eq!(spec.database.table, ds.table_name());
+            assert_eq!(spec.database.fields.len(), ds.schema().width());
+        }
+    }
+}

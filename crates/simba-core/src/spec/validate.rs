@@ -1,0 +1,228 @@
+//! Dashboard specification validation.
+//!
+//! Catches the spec errors a benchmark user is likely to make before any
+//! simulation starts: dangling link endpoints, duplicate ids, widgets bound
+//! to fields of the wrong role, visualizations referencing unknown fields.
+
+use super::{ControlSpec, DashboardSpec, FieldRole};
+use crate::error::CoreError;
+use std::collections::HashSet;
+
+/// Validate a dashboard specification. Returns the first problem found.
+pub fn validate(spec: &DashboardSpec) -> Result<(), CoreError> {
+    if spec.visualizations.is_empty() {
+        return Err(CoreError::InvalidSpec("a dashboard needs at least one visualization".into()));
+    }
+
+    // Unique component ids.
+    let mut ids = HashSet::new();
+    for id in spec
+        .visualizations
+        .iter()
+        .map(|v| &v.id)
+        .chain(spec.widgets.iter().map(|w| &w.id))
+    {
+        if !ids.insert(id.to_ascii_lowercase()) {
+            return Err(CoreError::InvalidSpec(format!("duplicate component id `{id}`")));
+        }
+    }
+
+    // Field references must exist, with role checks.
+    let field_role = |name: &str| -> Result<FieldRole, CoreError> {
+        spec.database
+            .field(name)
+            .map(|f| f.role)
+            .ok_or_else(|| CoreError::UnknownField(name.to_string()))
+    };
+
+    for v in &spec.visualizations {
+        for d in &v.dimensions {
+            let role = field_role(&d.field)?;
+            if role == FieldRole::Quantitative && d.transform.is_none() {
+                return Err(CoreError::InvalidSpec(format!(
+                    "visualization `{}` groups by quantitative field `{}` without binning",
+                    v.id, d.field
+                )));
+            }
+        }
+        for m in &v.measures {
+            if let Some(f) = &m.field {
+                field_role(f)?;
+            }
+        }
+        for f in &v.raw_fields {
+            field_role(f)?;
+        }
+        if v.dimensions.is_empty() && v.measures.is_empty() && v.raw_fields.is_empty() {
+            return Err(CoreError::InvalidSpec(format!(
+                "visualization `{}` encodes no fields",
+                v.id
+            )));
+        }
+    }
+
+    for w in &spec.widgets {
+        let role = field_role(w.control.field())?;
+        let ok = match &w.control {
+            ControlSpec::Checkbox { .. } | ControlSpec::Radio { .. } | ControlSpec::Dropdown { .. } => {
+                role == FieldRole::Categorical
+            }
+            // Sliders work on numbers; temporal columns are stored as
+            // numbers, so both roles are acceptable.
+            ControlSpec::RangeSlider { .. } => {
+                role == FieldRole::Quantitative || role == FieldRole::Temporal
+            }
+            ControlSpec::DateRange { .. } => role == FieldRole::Temporal,
+        };
+        if !ok {
+            return Err(CoreError::InvalidSpec(format!(
+                "widget `{}` ({}) is bound to `{}` which has role {:?}",
+                w.id,
+                w.control.kind_name(),
+                w.control.field(),
+                role
+            )));
+        }
+    }
+
+    // Links must reference existing components and not self-loop.
+    for l in &spec.links {
+        if !ids.contains(&l.source.to_ascii_lowercase()) {
+            return Err(CoreError::UnknownNode(l.source.clone()));
+        }
+        if !ids.contains(&l.target.to_ascii_lowercase()) {
+            return Err(CoreError::UnknownNode(l.target.clone()));
+        }
+        if l.source.eq_ignore_ascii_case(&l.target) {
+            return Err(CoreError::InvalidSpec(format!("self-link on `{}`", l.source)));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{
+        AggOp, AggregateChannel, ChannelSpec, DatabaseSpec, FieldSpec, LinkSpec, MarkType,
+        VisualizationSpec, WidgetSpec,
+    };
+
+    fn base_spec() -> DashboardSpec {
+        DashboardSpec {
+            name: "s".into(),
+            title: "S".into(),
+            dashboard_type: Default::default(),
+            database: DatabaseSpec {
+                table: "t".into(),
+                fields: vec![
+                    FieldSpec::categorical("q"),
+                    FieldSpec::quantitative("n"),
+                    FieldSpec::temporal("ts"),
+                ],
+            },
+            visualizations: vec![VisualizationSpec {
+                id: "v1".into(),
+                title: "V1".into(),
+                mark: MarkType::Bar,
+                dimensions: vec![ChannelSpec::field("q")],
+                measures: vec![AggregateChannel { func: AggOp::Count, field: None }],
+                raw_fields: vec![],
+                selectable: false,
+            }],
+            widgets: vec![],
+            links: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        assert!(validate(&base_spec()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut s = base_spec();
+        s.widgets.push(WidgetSpec {
+            id: "V1".into(),
+            title: "dup".into(),
+            control: ControlSpec::Checkbox { field: "q".into() },
+        });
+        assert!(matches!(validate(&s), Err(CoreError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let mut s = base_spec();
+        s.visualizations[0].dimensions = vec![ChannelSpec::field("missing")];
+        assert!(matches!(validate(&s), Err(CoreError::UnknownField(_))));
+    }
+
+    #[test]
+    fn ungated_quantitative_dimension_rejected() {
+        let mut s = base_spec();
+        s.visualizations[0].dimensions = vec![ChannelSpec::field("n")];
+        assert!(matches!(validate(&s), Err(CoreError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn binned_quantitative_dimension_allowed() {
+        use crate::spec::FieldTransform;
+        let mut s = base_spec();
+        s.visualizations[0].dimensions =
+            vec![ChannelSpec::transformed("n", FieldTransform::Bin { width: 10 })];
+        assert!(validate(&s).is_ok());
+    }
+
+    #[test]
+    fn checkbox_on_quantitative_rejected() {
+        let mut s = base_spec();
+        s.widgets.push(WidgetSpec {
+            id: "w".into(),
+            title: "W".into(),
+            control: ControlSpec::Checkbox { field: "n".into() },
+        });
+        assert!(matches!(validate(&s), Err(CoreError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn slider_on_temporal_allowed() {
+        let mut s = base_spec();
+        s.widgets.push(WidgetSpec {
+            id: "w".into(),
+            title: "W".into(),
+            control: ControlSpec::RangeSlider { field: "ts".into() },
+        });
+        assert!(validate(&s).is_ok());
+    }
+
+    #[test]
+    fn dangling_link_rejected() {
+        let mut s = base_spec();
+        s.links.push(LinkSpec { source: "nope".into(), target: "v1".into() });
+        assert!(matches!(validate(&s), Err(CoreError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut s = base_spec();
+        s.links.push(LinkSpec { source: "v1".into(), target: "v1".into() });
+        assert!(matches!(validate(&s), Err(CoreError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn empty_dashboard_rejected() {
+        let mut s = base_spec();
+        s.visualizations.clear();
+        assert!(validate(&s).is_err());
+    }
+
+    #[test]
+    fn empty_visualization_rejected() {
+        let mut s = base_spec();
+        s.visualizations[0].dimensions.clear();
+        s.visualizations[0].measures.clear();
+        assert!(validate(&s).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests over the interaction layer: random action sequences must
+//! keep the dashboard state machine and data layer consistent.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use simba_core::dashboard::Dashboard;
+use simba_core::markov::MarkovModel;
+use simba_core::spec::builtin::builtin;
+use simba_data::DashboardDataset;
+use std::sync::Arc;
+
+fn dashboard(ds: DashboardDataset) -> Arc<Dashboard> {
+    thread_local! {
+        static CACHE: std::cell::RefCell<Vec<(DashboardDataset, Arc<Dashboard>)>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some((_, d)) = cache.iter().find(|(k, _)| *k == ds) {
+            return d.clone();
+        }
+        let table = ds.generate_rows(400, 3);
+        let d = Arc::new(Dashboard::new(builtin(ds), &table).unwrap());
+        cache.push((ds, d.clone()));
+        d
+    })
+}
+
+fn dataset_strategy() -> impl Strategy<Value = DashboardDataset> {
+    proptest::sample::select(DashboardDataset::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every applicable action keeps the state valid: emitted queries parse,
+    /// reference only schema fields, and target the dashboard's table.
+    #[test]
+    fn random_walks_emit_valid_queries(
+        ds in dataset_strategy(),
+        seed in 0u64..1000,
+        steps in 1usize..12,
+    ) {
+        let dash = dashboard(ds);
+        let model = MarkovModel::idebench_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut state = dash.initial_state();
+        let mut prev = None;
+        for _ in 0..steps {
+            let Some(action) = model.pick_action(&dash, &state, prev, &mut rng) else { break };
+            prev = Some(action.kind(dash.graph()));
+            let emitted = dash.apply(&mut state, &action);
+            for (_, query) in &emitted {
+                let text = query.to_string();
+                let reparsed = simba_sql::parse_select(&text)
+                    .unwrap_or_else(|e| panic!("emitted SQL unparseable `{text}`: {e}"));
+                prop_assert_eq!(&reparsed.from, &dash.spec().database.table);
+                for col in reparsed.referenced_columns() {
+                    prop_assert!(
+                        dash.spec().database.field(col).is_some(),
+                        "query references unknown field `{}`: {}", col, text
+                    );
+                }
+            }
+        }
+    }
+
+    /// Actions are always drawn from the applicable set, and applying one
+    /// never invalidates enumeration (no panics, list stays non-empty).
+    #[test]
+    fn applicable_set_closed_under_application(
+        ds in dataset_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let dash = dashboard(ds);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = MarkovModel::uniform();
+        let mut state = dash.initial_state();
+        let mut prev = None;
+        for _ in 0..8 {
+            let actions = dash.applicable_actions(&state);
+            prop_assert!(!actions.is_empty());
+            let Some(action) = model.pick_action(&dash, &state, prev, &mut rng) else { break };
+            prop_assert!(actions.contains(&action));
+            prev = Some(action.kind(dash.graph()));
+            dash.apply(&mut state, &action);
+        }
+    }
+
+    /// ResetAll is always a true inverse: any interaction history followed
+    /// by ResetAll lands exactly on the initial state (and the data layer
+    /// regenerates the initial queries).
+    #[test]
+    fn reset_restores_initial_queries(
+        ds in dataset_strategy(),
+        seed in 0u64..1000,
+        steps in 1usize..10,
+    ) {
+        let dash = dashboard(ds);
+        let model = MarkovModel::brush_heavy();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let initial_state = dash.initial_state();
+        let initial_queries: Vec<String> =
+            dash.all_queries(&initial_state).iter().map(|(_, q)| q.to_string()).collect();
+
+        let mut state = dash.initial_state();
+        let mut prev = None;
+        for _ in 0..steps {
+            if let Some(action) = model.pick_action(&dash, &state, prev, &mut rng) {
+                prev = Some(action.kind(dash.graph()));
+                dash.apply(&mut state, &action);
+            }
+        }
+        dash.apply(&mut state, &simba_core::Action::ResetAll);
+        prop_assert_eq!(&state, &initial_state);
+        let after: Vec<String> =
+            dash.all_queries(&state).iter().map(|(_, q)| q.to_string()).collect();
+        prop_assert_eq!(initial_queries, after);
+    }
+
+    /// Filter propagation is monotone along the graph: a query emitted by a
+    /// node has at least as many filters as the predicates its *active*
+    /// ancestors contribute (and never invents filters when nothing is
+    /// active).
+    #[test]
+    fn pristine_dashboards_emit_filterless_queries(ds in dataset_strategy()) {
+        let dash = dashboard(ds);
+        let state = dash.initial_state();
+        for (_, query) in dash.all_queries(&state) {
+            prop_assert!(query.where_clause.is_none(), "{}", query);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Circulation Activity by Library dataset (strategic; 2Q, 2C).
+//!
+//! Library circulation events system-wide and per branch. The paper notes
+//! this dashboard has only two visualizations with near-identical queries,
+//! which is why its query durations show almost no variance (§6.3).
+
+use crate::util::{clamped_normal, epoch_at, weighted_pick, zipf_index};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+
+const BRANCHES: [&str; 8] = [
+    "Central", "Eastside", "Westwood", "Northgate", "Southpark", "Riverside", "Hilltop", "Lakeview",
+];
+const EVENT_TYPES: [&str; 4] = ["checkout", "renewal", "return", "hold"];
+
+/// Schema: 2 categorical, 2 quantitative, 1 temporal column.
+pub fn schema() -> Schema {
+    Schema::new(
+        "circulation_activity",
+        vec![
+            ColumnDef::categorical("branch"),
+            ColumnDef::categorical("event_type"),
+            ColumnDef::quantitative_int("circulation_count"),
+            ColumnDef::quantitative_float("wait_days"),
+            ColumnDef::temporal("event_date"),
+        ],
+    )
+}
+
+/// Generate `rows` circulation events.
+pub fn generate(rows: usize, seed: u64) -> Table {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1_8C);
+    let mut b = TableBuilder::new(schema(), rows);
+
+    let branches: Vec<Value> = BRANCHES.iter().map(Value::str).collect();
+    let event_types: Vec<Value> = EVENT_TYPES.iter().map(Value::str).collect();
+
+    for _ in 0..rows {
+        let branch = zipf_index(&mut rng, BRANCHES.len(), 0.9);
+        let event = *weighted_pick(&mut rng, &[0usize, 1, 2, 3], &[45.0, 15.0, 32.0, 8.0]);
+        let day = rng.gen_range(0i64..365);
+        // Central branch moves more volume per event batch.
+        let base = if branch == 0 { 14.0 } else { 6.0 };
+        let count = clamped_normal(&mut rng, base, 4.0, 1.0, 80.0).round() as i64;
+        let wait = if event == 3 {
+            clamped_normal(&mut rng, 12.0, 8.0, 0.0, 120.0)
+        } else {
+            clamped_normal(&mut rng, 0.5, 0.6, 0.0, 10.0)
+        };
+        b.push_row(vec![
+            branches[branch].clone(),
+            event_types[event].clone(),
+            Value::Int(count),
+            Value::Float(wait),
+            Value::Int(epoch_at(day, rng.gen_range(8 * 3600..20 * 3600))),
+        ]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_branches_and_events_appear() {
+        let t = generate(5_000, 1);
+        let branch = t.column_by_name("branch").unwrap();
+        let event = t.column_by_name("event_type").unwrap();
+        assert_eq!(branch.distinct_values().len(), 8);
+        assert_eq!(event.distinct_values().len(), 4);
+    }
+
+    #[test]
+    fn holds_wait_longer() {
+        let t = generate(10_000, 2);
+        let event = t.column_by_name("event_type").unwrap();
+        let wait = t.column_by_name("wait_days").unwrap();
+        let (mut hold_sum, mut hold_n, mut other_sum, mut other_n) = (0.0, 0.0, 0.0, 0.0);
+        for i in 0..t.row_count() {
+            let w = wait.value(i).as_f64().unwrap();
+            if event.value(i) == Value::str("hold") {
+                hold_sum += w;
+                hold_n += 1.0;
+            } else {
+                other_sum += w;
+                other_n += 1.0;
+            }
+        }
+        assert!(hold_sum / hold_n > other_sum / other_n * 3.0);
+    }
+
+    #[test]
+    fn counts_positive() {
+        let t = generate(1_000, 3);
+        let c = t.column_by_name("circulation_count").unwrap();
+        for i in 0..t.row_count() {
+            assert!(c.value(i).as_i64().unwrap() >= 1);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Supply Chain dataset (strategic decision making; 5Q, 18C).
+//!
+//! Order logistics: products, shipping durations, modes, and costs, with
+//! regional/categorical filters. Its 18 categorical columns make it the
+//! widest filter surface of the six dashboards — the paper's Figure 7 shows
+//! it (as "Superstore") producing the slowest, highest-variance queries.
+
+use crate::util::{clamped_normal, epoch_at, weighted_pick, zipf_index};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+
+const CATEGORIES: [&str; 6] =
+    ["furniture", "technology", "office_supplies", "apparel", "grocery", "outdoors"];
+const SUBCATS_PER_CAT: usize = 3; // 18 subcategories total
+const REGIONS: [&str; 5] = ["north", "south", "east", "west", "central"];
+const SHIP_MODES: [&str; 4] = ["standard", "second_class", "first_class", "same_day"];
+const PRIORITIES: [&str; 4] = ["low", "medium", "high", "critical"];
+const SEGMENTS: [&str; 3] = ["consumer", "corporate", "home_office"];
+const STATUSES: [&str; 5] = ["pending", "processing", "shipped", "delivered", "returned"];
+const PAYMENTS: [&str; 5] = ["card", "invoice", "transfer", "cash", "credit_line"];
+const CHANNELS: [&str; 3] = ["online", "retail", "wholesale"];
+const PACKAGING: [&str; 4] = ["box", "envelope", "pallet", "crate"];
+const RETURN_FLAGS: [&str; 2] = ["kept", "returned"];
+
+/// Schema: 18 categorical, 5 quantitative, 1 temporal column.
+pub fn schema() -> Schema {
+    Schema::new(
+        "supply_chain",
+        vec![
+            ColumnDef::categorical("product_category"),
+            ColumnDef::categorical("product_subcategory"),
+            ColumnDef::categorical("brand"),
+            ColumnDef::categorical("region"),
+            ColumnDef::categorical("country"),
+            ColumnDef::categorical("state"),
+            ColumnDef::categorical("city"),
+            ColumnDef::categorical("ship_mode"),
+            ColumnDef::categorical("carrier"),
+            ColumnDef::categorical("priority"),
+            ColumnDef::categorical("segment"),
+            ColumnDef::categorical("warehouse"),
+            ColumnDef::categorical("supplier"),
+            ColumnDef::categorical("order_status"),
+            ColumnDef::categorical("return_flag"),
+            ColumnDef::categorical("payment_method"),
+            ColumnDef::categorical("sales_channel"),
+            ColumnDef::categorical("packaging"),
+            ColumnDef::quantitative_int("quantity"),
+            ColumnDef::quantitative_float("unit_price"),
+            ColumnDef::quantitative_float("discount"),
+            ColumnDef::quantitative_float("shipping_cost"),
+            ColumnDef::quantitative_float("total_revenue"),
+            ColumnDef::temporal("order_date"),
+        ],
+    )
+}
+
+/// Generate `rows` order records.
+pub fn generate(rows: usize, seed: u64) -> Table {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5C_4A_11);
+    let mut b = TableBuilder::new(schema(), rows);
+
+    let categories: Vec<Value> = CATEGORIES.iter().map(Value::str).collect();
+    let subcats: Vec<Value> = (0..CATEGORIES.len() * SUBCATS_PER_CAT)
+        .map(|i| Value::from(format!("{}_{}", CATEGORIES[i / SUBCATS_PER_CAT], i % SUBCATS_PER_CAT)))
+        .collect();
+    let brands: Vec<Value> = (0..12).map(|i| Value::from(format!("brand_{i:02}"))).collect();
+    let regions: Vec<Value> = REGIONS.iter().map(Value::str).collect();
+    let countries: Vec<Value> = (0..15).map(|i| Value::from(format!("country_{i:02}"))).collect();
+    let states: Vec<Value> = (0..30).map(|i| Value::from(format!("state_{i:02}"))).collect();
+    let cities: Vec<Value> = (0..50).map(|i| Value::from(format!("city_{i:02}"))).collect();
+    let ship_modes: Vec<Value> = SHIP_MODES.iter().map(Value::str).collect();
+    let carriers: Vec<Value> = (0..6).map(|i| Value::from(format!("carrier_{i}"))).collect();
+    let priorities: Vec<Value> = PRIORITIES.iter().map(Value::str).collect();
+    let segments: Vec<Value> = SEGMENTS.iter().map(Value::str).collect();
+    let warehouses: Vec<Value> = (0..10).map(|i| Value::from(format!("wh_{i:02}"))).collect();
+    let suppliers: Vec<Value> = (0..20).map(|i| Value::from(format!("sup_{i:02}"))).collect();
+    let statuses: Vec<Value> = STATUSES.iter().map(Value::str).collect();
+    let return_flags: Vec<Value> = RETURN_FLAGS.iter().map(Value::str).collect();
+    let payments: Vec<Value> = PAYMENTS.iter().map(Value::str).collect();
+    let channels: Vec<Value> = CHANNELS.iter().map(Value::str).collect();
+    let packaging: Vec<Value> = PACKAGING.iter().map(Value::str).collect();
+
+    for _ in 0..rows {
+        let cat = zipf_index(&mut rng, CATEGORIES.len(), 0.7);
+        let sub = cat * SUBCATS_PER_CAT + rng.gen_range(0..SUBCATS_PER_CAT);
+        let region = rng.gen_range(0..REGIONS.len());
+        let country = rng.gen_range(0..countries.len());
+        let state = (country * 2 + rng.gen_range(0..2)) % states.len();
+        let city = (state * 2 + rng.gen_range(0..3)) % cities.len();
+        let ship_mode = *weighted_pick(&mut rng, &[0usize, 1, 2, 3], &[55.0, 22.0, 17.0, 6.0]);
+        let status = *weighted_pick(&mut rng, &[0usize, 1, 2, 3, 4], &[6.0, 10.0, 22.0, 56.0, 6.0]);
+        let returned = status == 4 || rng.gen_bool(0.02);
+
+        let quantity = 1 + zipf_index(&mut rng, 10, 1.2) as i64;
+        let unit_price = match cat {
+            1 => clamped_normal(&mut rng, 420.0, 260.0, 15.0, 3500.0), // technology
+            0 => clamped_normal(&mut rng, 210.0, 120.0, 25.0, 2000.0), // furniture
+            _ => clamped_normal(&mut rng, 35.0, 22.0, 1.0, 400.0),
+        };
+        let discount = *weighted_pick(
+            &mut rng,
+            &[0.0f64, 0.05, 0.10, 0.20, 0.30],
+            &[55.0, 15.0, 15.0, 10.0, 5.0],
+        );
+        let shipping = match ship_mode {
+            3 => clamped_normal(&mut rng, 45.0, 12.0, 12.0, 150.0),
+            2 => clamped_normal(&mut rng, 22.0, 7.0, 5.0, 80.0),
+            1 => clamped_normal(&mut rng, 12.0, 4.0, 3.0, 50.0),
+            _ => clamped_normal(&mut rng, 7.0, 3.0, 1.0, 30.0),
+        };
+        let revenue = quantity as f64 * unit_price * (1.0 - discount);
+        let day = rng.gen_range(0i64..365);
+
+        b.push_row(vec![
+            categories[cat].clone(),
+            subcats[sub].clone(),
+            brands[zipf_index(&mut rng, brands.len(), 0.8)].clone(),
+            regions[region].clone(),
+            countries[country].clone(),
+            states[state].clone(),
+            cities[city].clone(),
+            ship_modes[ship_mode].clone(),
+            carriers[rng.gen_range(0..carriers.len())].clone(),
+            priorities[zipf_index(&mut rng, PRIORITIES.len(), 0.6)].clone(),
+            segments[zipf_index(&mut rng, SEGMENTS.len(), 0.4)].clone(),
+            warehouses[rng.gen_range(0..warehouses.len())].clone(),
+            suppliers[zipf_index(&mut rng, suppliers.len(), 0.5)].clone(),
+            statuses[status].clone(),
+            return_flags[usize::from(returned)].clone(),
+            payments[zipf_index(&mut rng, PAYMENTS.len(), 0.7)].clone(),
+            channels[zipf_index(&mut rng, CHANNELS.len(), 0.5)].clone(),
+            packaging[rng.gen_range(0..PACKAGING.len())].clone(),
+            Value::Int(quantity),
+            Value::Float(unit_price),
+            Value::Float(discount),
+            Value::Float(shipping),
+            Value::Float(revenue),
+            Value::Int(epoch_at(day, rng.gen_range(0..86_400))),
+        ]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_18_categoricals() {
+        use simba_store::ColumnRole;
+        assert_eq!(schema().role_count(ColumnRole::Categorical), 18);
+        assert_eq!(schema().role_count(ColumnRole::Quantitative), 5);
+    }
+
+    #[test]
+    fn revenue_consistent_with_parts() {
+        let t = generate(2_000, 13);
+        let q = t.column_by_name("quantity").unwrap();
+        let p = t.column_by_name("unit_price").unwrap();
+        let d = t.column_by_name("discount").unwrap();
+        let r = t.column_by_name("total_revenue").unwrap();
+        for i in (0..t.row_count()).step_by(37) {
+            let expected = q.value(i).as_f64().unwrap()
+                * p.value(i).as_f64().unwrap()
+                * (1.0 - d.value(i).as_f64().unwrap());
+            let got = r.value(i).as_f64().unwrap();
+            assert!((expected - got).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_day_shipping_costs_most() {
+        let t = generate(20_000, 14);
+        let mode = t.column_by_name("ship_mode").unwrap();
+        let cost = t.column_by_name("shipping_cost").unwrap();
+        let mut sums = std::collections::HashMap::new();
+        for i in 0..t.row_count() {
+            let e = sums.entry(mode.value(i).to_string()).or_insert((0.0f64, 0usize));
+            e.0 += cost.value(i).as_f64().unwrap();
+            e.1 += 1;
+        }
+        let avg = |m: &str| sums[m].0 / sums[m].1 as f64;
+        assert!(avg("same_day") > avg("standard") * 3.0);
+    }
+
+    #[test]
+    fn returned_status_sets_return_flag() {
+        let t = generate(5_000, 15);
+        let status = t.column_by_name("order_status").unwrap();
+        let flag = t.column_by_name("return_flag").unwrap();
+        for i in 0..t.row_count() {
+            if status.value(i) == Value::str("returned") {
+                assert_eq!(flag.value(i), Value::str("returned"));
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! UBC Energy Map dataset (strategic decision making; 22Q, 4C).
+//!
+//! Campus energy usage per building: granular per-energy-type readings plus
+//! derived cost/intensity metrics. With 22 quantitative columns it is the
+//! widest measure surface of the six dashboards, exercising goal templates
+//! that enumerate aggregate attributes (Identification in Table 2).
+
+use crate::util::{clamped_normal, diurnal_intensity, epoch_at, zipf_index};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+
+const BUILDING_TYPES: [&str; 8] = [
+    "laboratory", "lecture_hall", "office", "residence", "library", "athletics", "hospital",
+    "utility",
+];
+const ENERGY_TYPES: [&str; 5] = ["electricity", "gas", "steam", "chilled_water", "solar"];
+const ZONES: [&str; 6] =
+    ["north_campus", "south_campus", "east_mall", "west_mall", "marine_drive", "wesbrook"];
+const OPERATORS: [&str; 4] = ["facilities", "housing", "athletics_dept", "research_ops"];
+
+/// Schema: 4 categorical, 22 quantitative, 1 temporal column.
+pub fn schema() -> Schema {
+    Schema::new(
+        "ubc_energy",
+        vec![
+            ColumnDef::categorical("building_type"),
+            ColumnDef::categorical("energy_type"),
+            ColumnDef::categorical("campus_zone"),
+            ColumnDef::categorical("operator"),
+            ColumnDef::quantitative_float("elec_kwh"),
+            ColumnDef::quantitative_float("gas_kwh"),
+            ColumnDef::quantitative_float("steam_kwh"),
+            ColumnDef::quantitative_float("chilled_water_kwh"),
+            ColumnDef::quantitative_float("solar_gen_kwh"),
+            ColumnDef::quantitative_float("water_m3"),
+            ColumnDef::quantitative_float("floor_area_m2"),
+            ColumnDef::quantitative_int("occupancy"),
+            ColumnDef::quantitative_float("energy_intensity"),
+            ColumnDef::quantitative_float("elec_cost"),
+            ColumnDef::quantitative_float("gas_cost"),
+            ColumnDef::quantitative_float("steam_cost"),
+            ColumnDef::quantitative_float("water_cost"),
+            ColumnDef::quantitative_float("carbon_kg"),
+            ColumnDef::quantitative_float("peak_demand_kw"),
+            ColumnDef::quantitative_float("base_load_kw"),
+            ColumnDef::quantitative_float("hvac_kwh"),
+            ColumnDef::quantitative_float("lighting_kwh"),
+            ColumnDef::quantitative_float("plug_load_kwh"),
+            ColumnDef::quantitative_float("battery_kwh"),
+            ColumnDef::quantitative_float("temperature_c"),
+            ColumnDef::quantitative_float("efficiency_score"),
+            ColumnDef::temporal("reading_ts"),
+        ],
+    )
+}
+
+/// Generate `rows` hourly meter readings.
+pub fn generate(rows: usize, seed: u64) -> Table {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0B_CE);
+    let mut b = TableBuilder::new(schema(), rows);
+
+    let btypes: Vec<Value> = BUILDING_TYPES.iter().map(Value::str).collect();
+    let etypes: Vec<Value> = ENERGY_TYPES.iter().map(Value::str).collect();
+    let zones: Vec<Value> = ZONES.iter().map(Value::str).collect();
+    let operators: Vec<Value> = OPERATORS.iter().map(Value::str).collect();
+
+    for _ in 0..rows {
+        let bt = zipf_index(&mut rng, BUILDING_TYPES.len(), 0.5);
+        let et = zipf_index(&mut rng, ENERGY_TYPES.len(), 0.8);
+        let zone = rng.gen_range(0..ZONES.len());
+        let operator = bt % OPERATORS.len();
+        let day = rng.gen_range(0i64..365);
+        let hour = rng.gen_range(0i64..24);
+        let load = diurnal_intensity(hour);
+
+        // Labs and hospitals burn far more energy than offices.
+        let scale = match bt {
+            0 | 6 => 4.0,
+            7 => 3.0,
+            3 => 1.5,
+            _ => 1.0,
+        };
+        let area = clamped_normal(&mut rng, 4500.0 * scale, 1500.0, 300.0, 60_000.0);
+        let occupancy =
+            (clamped_normal(&mut rng, 120.0 * load * scale, 40.0, 0.0, 4000.0)) as i64;
+        let elec = clamped_normal(&mut rng, 220.0 * scale * (0.4 + 0.6 * load), 60.0, 5.0, 8000.0);
+        let gas = clamped_normal(&mut rng, 90.0 * scale, 35.0, 0.0, 4000.0);
+        let steam = clamped_normal(&mut rng, 60.0 * scale, 25.0, 0.0, 3000.0);
+        let chilled = clamped_normal(&mut rng, 45.0 * scale * load, 20.0, 0.0, 2500.0);
+        let solar = if (7..19).contains(&hour) {
+            clamped_normal(&mut rng, 30.0, 12.0, 0.0, 150.0)
+        } else {
+            0.0
+        };
+        let water = clamped_normal(&mut rng, 8.0 * scale, 3.0, 0.1, 300.0);
+        let hvac = elec * clamped_normal(&mut rng, 0.45, 0.06, 0.2, 0.7);
+        let lighting = elec * clamped_normal(&mut rng, 0.22, 0.04, 0.05, 0.4);
+        let plug = (elec - hvac - lighting).max(0.0);
+        let battery = clamped_normal(&mut rng, 5.0, 3.0, 0.0, 40.0);
+        let peak = elec / 24.0 * clamped_normal(&mut rng, 2.2, 0.3, 1.2, 4.0);
+        let base = elec / 24.0 * clamped_normal(&mut rng, 0.6, 0.1, 0.2, 1.0);
+        let total = elec + gas + steam + chilled;
+        let intensity = total / area * 1000.0;
+        let carbon = gas * 0.18 + elec * 0.011 + steam * 0.07;
+        let temp = clamped_normal(&mut rng, 11.0 + 9.0 * ((day as f64 / 365.0) * std::f64::consts::TAU).sin(), 3.0, -10.0, 35.0);
+        let efficiency = clamped_normal(&mut rng, 100.0 - intensity.min(80.0), 8.0, 5.0, 100.0);
+
+        b.push_row(vec![
+            btypes[bt].clone(),
+            etypes[et].clone(),
+            zones[zone].clone(),
+            operators[operator].clone(),
+            Value::Float(elec),
+            Value::Float(gas),
+            Value::Float(steam),
+            Value::Float(chilled),
+            Value::Float(solar),
+            Value::Float(water),
+            Value::Float(area),
+            Value::Int(occupancy),
+            Value::Float(intensity),
+            Value::Float(elec * 0.11),
+            Value::Float(gas * 0.05),
+            Value::Float(steam * 0.07),
+            Value::Float(water * 2.5),
+            Value::Float(carbon),
+            Value::Float(peak),
+            Value::Float(base),
+            Value::Float(hvac),
+            Value::Float(lighting),
+            Value::Float(plug),
+            Value::Float(battery),
+            Value::Float(temp),
+            Value::Float(efficiency),
+            Value::Int(epoch_at(day, hour * 3600)),
+        ]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labs_use_more_energy_than_offices() {
+        let t = generate(20_000, 21);
+        let bt = t.column_by_name("building_type").unwrap();
+        let elec = t.column_by_name("elec_kwh").unwrap();
+        let mut lab = (0.0, 0usize);
+        let mut office = (0.0, 0usize);
+        for i in 0..t.row_count() {
+            let e = elec.value(i).as_f64().unwrap();
+            if bt.value(i) == Value::str("laboratory") {
+                lab.0 += e;
+                lab.1 += 1;
+            } else if bt.value(i) == Value::str("office") {
+                office.0 += e;
+                office.1 += 1;
+            }
+        }
+        assert!(lab.0 / lab.1 as f64 > office.0 / office.1 as f64 * 2.0);
+    }
+
+    #[test]
+    fn solar_only_generates_in_daylight() {
+        let t = generate(5_000, 22);
+        let solar = t.column_by_name("solar_gen_kwh").unwrap();
+        let ts = t.column_by_name("reading_ts").unwrap();
+        for i in 0..t.row_count() {
+            let hour = (ts.value(i).as_i64().unwrap() / 3600) % 24;
+            if !(7..19).contains(&hour) {
+                assert_eq!(solar.value(i).as_f64().unwrap(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn electric_subloads_sum_to_total() {
+        let t = generate(2_000, 23);
+        let elec = t.column_by_name("elec_kwh").unwrap();
+        let hvac = t.column_by_name("hvac_kwh").unwrap();
+        let light = t.column_by_name("lighting_kwh").unwrap();
+        let plug = t.column_by_name("plug_load_kwh").unwrap();
+        for i in (0..t.row_count()).step_by(53) {
+            let total = elec.value(i).as_f64().unwrap();
+            let parts = hvac.value(i).as_f64().unwrap()
+                + light.value(i).as_f64().unwrap()
+                + plug.value(i).as_f64().unwrap();
+            assert!(parts <= total + 1e-9);
+        }
+    }
+}

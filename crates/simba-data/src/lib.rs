@@ -1,0 +1,26 @@
+//! Seeded synthetic dataset generators for the six SIMBA dashboards.
+//!
+//! The paper's datasets come from Tableau Public dashboards (§6.1) and are
+//! scaled to 100K / 1M / 10M rows with the generation techniques of prior
+//! benchmarks (§6.2.3). We reconstruct each dataset from the dashboard's
+//! description: its schema reproduces the paper's quantitative/categorical
+//! column counts (Figure 6), and value distributions are chosen so that the
+//! dashboards' queries return plausible shapes (skewed categories, diurnal
+//! temporal patterns, correlated measures).
+//!
+//! Everything is deterministic: the same `(dataset, size, seed)` triple
+//! always produces the same table.
+
+pub mod datasets;
+pub mod sizes;
+pub mod util;
+
+pub use datasets::DashboardDataset;
+pub use sizes::DatasetSize;
+
+use simba_store::Table;
+
+/// Generate the table for a dashboard dataset at a given size and seed.
+pub fn generate(dataset: DashboardDataset, size: DatasetSize, seed: u64) -> Table {
+    dataset.generate_rows(size.row_count(), seed)
+}

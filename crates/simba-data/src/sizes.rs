@@ -1,0 +1,77 @@
+//! Dataset size presets (Table 3 of the paper).
+
+/// The paper's three dataset sizes plus a tiny preset for unit tests and a
+/// small default used when running the harness on a laptop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetSize {
+    /// 10K rows — test fixture scale, not part of the paper's grid.
+    Tiny,
+    /// 100K rows.
+    Small,
+    /// 1M rows.
+    Medium,
+    /// 10M rows.
+    Large,
+}
+
+impl DatasetSize {
+    /// The paper's experiment grid (Table 3).
+    pub const PAPER_GRID: [DatasetSize; 3] =
+        [DatasetSize::Small, DatasetSize::Medium, DatasetSize::Large];
+
+    /// Number of rows this size denotes.
+    pub fn row_count(self) -> usize {
+        match self {
+            DatasetSize::Tiny => 10_000,
+            DatasetSize::Small => 100_000,
+            DatasetSize::Medium => 1_000_000,
+            DatasetSize::Large => 10_000_000,
+        }
+    }
+
+    /// Label used in reports ("100K Rows").
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetSize::Tiny => "10K",
+            DatasetSize::Small => "100K",
+            DatasetSize::Medium => "1M",
+            DatasetSize::Large => "10M",
+        }
+    }
+
+    /// Parse a label like "100k" or "10M".
+    pub fn from_label(label: &str) -> Option<DatasetSize> {
+        match label.to_ascii_uppercase().as_str() {
+            "10K" => Some(DatasetSize::Tiny),
+            "100K" => Some(DatasetSize::Small),
+            "1M" => Some(DatasetSize::Medium),
+            "10M" => Some(DatasetSize::Large),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_match_paper() {
+        assert_eq!(DatasetSize::Small.row_count(), 100_000);
+        assert_eq!(DatasetSize::Medium.row_count(), 1_000_000);
+        assert_eq!(DatasetSize::Large.row_count(), 10_000_000);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for s in [DatasetSize::Tiny, DatasetSize::Small, DatasetSize::Medium, DatasetSize::Large] {
+            assert_eq!(DatasetSize::from_label(s.label()), Some(s));
+        }
+        assert_eq!(DatasetSize::from_label("2G"), None);
+    }
+
+    #[test]
+    fn paper_grid_excludes_tiny() {
+        assert!(!DatasetSize::PAPER_GRID.contains(&DatasetSize::Tiny));
+    }
+}

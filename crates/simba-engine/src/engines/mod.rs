@@ -1,0 +1,39 @@
+//! The four engine implementations.
+//!
+//! Each engine mirrors the execution architecture of one DBMS from the
+//! paper's evaluation (§6.2.2). They share the planner and evaluator — so
+//! results are identical — but iterate storage very differently, which is
+//! what produces their distinct latency profiles.
+
+pub mod duckdb_like;
+pub mod monetdb_like;
+pub mod postgres_like;
+pub mod sqlite_like;
+
+use crate::error::EngineError;
+use crate::exec::{finalize_rows, Catalog, ExecStats, QueryOutput};
+use crate::plan::{prepare, PreparedQuery};
+use simba_sql::Select;
+use simba_store::{ResultSet, Value};
+use std::time::Instant;
+
+/// Shared execute wrapper: look up the table, plan, run the engine-specific
+/// runner, finalize ordering/limit, and time the whole thing.
+pub(crate) fn execute_common(
+    catalog: &Catalog,
+    query: &Select,
+    runner: impl FnOnce(&PreparedQuery) -> (Vec<Vec<Value>>, ExecStats),
+) -> Result<QueryOutput, EngineError> {
+    let start = Instant::now();
+    let table = catalog
+        .get(&query.from)
+        .ok_or_else(|| EngineError::UnknownTable(query.from.clone()))?;
+    let plan = prepare(query, table)?;
+    let (rows, stats) = runner(&plan);
+    let rows = finalize_rows(rows, plan.n_output, &plan.order_dirs, plan.limit);
+    Ok(QueryOutput {
+        result: ResultSet::new(plan.output_names.clone(), rows),
+        stats,
+        elapsed: start.elapsed(),
+    })
+}

@@ -1,0 +1,146 @@
+//! `sqlite-like`: a row-at-a-time Volcano interpreter over row views.
+//!
+//! Mirrors an embedded row store: every row is fully materialized before the
+//! predicate runs (SQLite reads whole records from B-tree pages), expressions
+//! are interpreted per row, and grouping uses an ordered map (SQLite sorts or
+//! B-trees its temporaries). No vectorization, no lazy column access — the
+//! slowest but simplest architecture.
+
+use crate::agg::Accumulator;
+use crate::error::EngineError;
+use crate::eval::{eval, eval_predicate, RowSlice};
+use crate::exec::{emit_groups, new_group, Catalog, ExecStats, QueryOutput};
+use crate::plan::{PreparedQuery, QueryKind};
+use crate::Dbms;
+use simba_sql::Select;
+use simba_store::{Table, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Row-at-a-time interpreter engine (SQLite-style architecture).
+#[derive(Default)]
+pub struct SqliteLike {
+    catalog: Catalog,
+}
+
+impl SqliteLike {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn run(plan: &PreparedQuery) -> (Vec<Vec<Value>>, ExecStats) {
+        let table = &plan.table;
+        let n = table.row_count();
+        let mut stats = ExecStats { rows_scanned: n, ..ExecStats::default() };
+        let mut buf: Vec<Value> = Vec::with_capacity(table.schema().width());
+
+        match &plan.kind {
+            QueryKind::Project { exprs } => {
+                let mut rows = Vec::new();
+                for i in 0..n {
+                    table.read_row_into(i, &mut buf);
+                    let ctx = RowSlice(&buf);
+                    if let Some(f) = &plan.filter {
+                        if eval_predicate(f, &ctx) != Some(true) {
+                            continue;
+                        }
+                    }
+                    stats.rows_matched += 1;
+                    rows.push(exprs.iter().map(|e| eval(e, &ctx)).collect());
+                }
+                (rows, stats)
+            }
+            QueryKind::Aggregate { keys, aggs, projections, having } => {
+                let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
+                if keys.is_empty() {
+                    // A global aggregate emits one row even over zero input.
+                    groups.insert(Vec::new(), new_group(aggs));
+                }
+                for i in 0..n {
+                    table.read_row_into(i, &mut buf);
+                    let ctx = RowSlice(&buf);
+                    if let Some(f) = &plan.filter {
+                        if eval_predicate(f, &ctx) != Some(true) {
+                            continue;
+                        }
+                    }
+                    stats.rows_matched += 1;
+                    let key: Vec<Value> = keys.iter().map(|k| eval(k, &ctx)).collect();
+                    let accs = groups.entry(key).or_insert_with(|| new_group(aggs));
+                    for (acc, spec) in accs.iter_mut().zip(aggs) {
+                        match &spec.arg {
+                            None => acc.update_star(),
+                            Some(arg) => acc.update_value(eval(arg, &ctx)),
+                        }
+                    }
+                }
+                stats.groups = groups.len();
+                let rows = emit_groups(plan, projections, having.as_ref(), groups);
+                (rows, stats)
+            }
+        }
+    }
+}
+
+impl Dbms for SqliteLike {
+    fn name(&self) -> &'static str {
+        "sqlite-like"
+    }
+
+    fn register(&self, table: Arc<Table>) {
+        self.catalog.register(table);
+    }
+
+    fn execute(&self, query: &Select) -> Result<QueryOutput, EngineError> {
+        super::execute_common(&self.catalog, query, Self::run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{sample_table, sorted};
+    use simba_sql::parse_select;
+
+    fn engine() -> SqliteLike {
+        let e = SqliteLike::new();
+        e.register(Arc::new(sample_table()));
+        e
+    }
+
+    #[test]
+    fn filters_and_projects() {
+        let out = engine()
+            .execute(&parse_select("SELECT queue FROM cs WHERE calls > 4").unwrap())
+            .unwrap();
+        assert_eq!(out.result.n_rows(), 2);
+        assert_eq!(out.stats.rows_matched, 2);
+    }
+
+    #[test]
+    fn grouped_count() {
+        let out = engine()
+            .execute(&parse_select("SELECT queue, COUNT(*) FROM cs GROUP BY queue").unwrap())
+            .unwrap();
+        let rows = sorted(&out.result);
+        assert_eq!(rows.len(), 3); // A, B, NULL group
+        assert_eq!(out.stats.groups, 3);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_filter() {
+        let out = engine()
+            .execute(&parse_select("SELECT COUNT(*), SUM(calls) FROM cs WHERE calls > 999").unwrap())
+            .unwrap();
+        assert_eq!(out.result.n_rows(), 1);
+        assert_eq!(out.result.rows[0][0], Value::Int(0));
+        assert!(out.result.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn unknown_table_error() {
+        let e = SqliteLike::new();
+        let err = e.execute(&parse_select("SELECT a FROM missing").unwrap()).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTable(_)));
+    }
+}

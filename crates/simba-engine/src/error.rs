@@ -1,0 +1,31 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors surfaced by query planning and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The referenced table has not been registered with the engine.
+    UnknownTable(String),
+    /// A referenced column is not part of the table schema.
+    UnknownColumn { table: String, column: String },
+    /// The query uses a construct outside the supported fragment.
+    Unsupported(String),
+    /// A query shape error (e.g. projecting an ungrouped column).
+    Invalid(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EngineError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            EngineError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+            EngineError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,563 @@
+//! Query planning: validate a [`Select`] against a table schema and compile
+//! it into a [`PreparedQuery`] that all engines execute.
+//!
+//! The plan separates *row-level* computation (filtering, group keys,
+//! aggregate arguments) from *group-level* computation (projections over
+//! keys and aggregate results, HAVING, ORDER BY). Group-level expressions
+//! reuse [`CExpr`] with `Col(i)` indexing a virtual row of
+//! `[keys…, aggregates…]`.
+
+use crate::agg::AggSpec;
+use crate::error::EngineError;
+use crate::eval::{CExpr, ValueSet};
+use simba_sql::normalize::normalize_expr;
+use simba_sql::printer::print_expr;
+use simba_sql::{Expr, Func, Select};
+use simba_store::{Schema, Table};
+use std::sync::Arc;
+
+/// A compiled, validated query ready for execution.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    pub table: Arc<Table>,
+    /// Row-level filter (WHERE).
+    pub filter: Option<CExpr>,
+    pub kind: QueryKind,
+    /// Number of user-visible output columns; compiled projection lists may
+    /// carry extra trailing sort-key columns.
+    pub n_output: usize,
+    pub output_names: Vec<String>,
+    /// Sort directions for the trailing sort-key columns (`true` = ASC).
+    pub order_dirs: Vec<bool>,
+    pub limit: Option<usize>,
+}
+
+/// The two query shapes in the dashboard fragment.
+#[derive(Debug, Clone)]
+pub enum QueryKind {
+    /// Plain projection (no aggregation). `exprs.len() == n_output + order_dirs.len()`.
+    Project { exprs: Vec<CExpr> },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Row-level group-key expressions (may be empty: global aggregate).
+        keys: Vec<CExpr>,
+        /// Row-level aggregate argument specs.
+        aggs: Vec<AggSpec>,
+        /// Group-level projections over `[keys…, aggs…]`;
+        /// `len == n_output + order_dirs.len()`.
+        projections: Vec<CExpr>,
+        /// Group-level HAVING predicate.
+        having: Option<CExpr>,
+    },
+}
+
+impl PreparedQuery {
+    /// Is this an aggregation query?
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self.kind, QueryKind::Aggregate { .. })
+    }
+}
+
+/// Compile `query` against `table`.
+pub fn prepare(query: &Select, table: Arc<Table>) -> Result<PreparedQuery, EngineError> {
+    let schema = table.schema().clone();
+    if !query.from.eq_ignore_ascii_case(&schema.table) {
+        return Err(EngineError::UnknownTable(query.from.clone()));
+    }
+    if query.projections.is_empty() {
+        return Err(EngineError::Invalid("empty SELECT list".into()));
+    }
+
+    let filter = query
+        .where_clause
+        .as_ref()
+        .map(|w| compile_row_expr(w, &schema))
+        .transpose()?;
+
+    let output_names: Vec<String> =
+        query.projections.iter().map(|p| p.output_name()).collect();
+    let n_output = output_names.len();
+    let limit = query.limit.map(|l| l as usize);
+    let order_dirs: Vec<bool> = query.order_by.iter().map(|o| o.asc).collect();
+
+    // Substitute projection aliases into ORDER BY / HAVING references.
+    let order_exprs: Vec<Expr> = query
+        .order_by
+        .iter()
+        .map(|o| substitute_aliases(&o.expr, &query.projections))
+        .collect();
+    let having_expr =
+        query.having.as_ref().map(|h| substitute_aliases(h, &query.projections));
+
+    if query.is_aggregate_query() {
+        // Collect the distinct aggregate calls appearing anywhere.
+        let mut agg_calls: Vec<(String, Expr)> = Vec::new();
+        for item in &query.projections {
+            collect_aggregates(&item.expr, &mut agg_calls);
+        }
+        if let Some(h) = &having_expr {
+            collect_aggregates(h, &mut agg_calls);
+        }
+        for o in &order_exprs {
+            collect_aggregates(o, &mut agg_calls);
+        }
+
+        // Compile group keys.
+        let keys: Vec<CExpr> = query
+            .group_by
+            .iter()
+            .map(|g| compile_row_expr(g, &schema))
+            .collect::<Result<_, _>>()?;
+        let key_prints: Vec<String> =
+            query.group_by.iter().map(|g| print_expr(&normalize_expr(g))).collect();
+
+        // Compile aggregate argument specs.
+        let mut aggs = Vec::with_capacity(agg_calls.len());
+        for (_, call) in &agg_calls {
+            let Expr::Function { func, args, distinct } = call else { unreachable!() };
+            let arg = match args.first() {
+                None | Some(Expr::Wildcard) => None,
+                Some(a) => Some(compile_row_expr(a, &schema)?),
+            };
+            let spec = AggSpec { func: *func, arg, distinct: *distinct };
+            spec.validate()?;
+            aggs.push(spec);
+        }
+        let agg_prints: Vec<String> = agg_calls.iter().map(|(p, _)| p.clone()).collect();
+
+        let ctx = GroupCtx { schema: &schema, key_prints: &key_prints, agg_prints: &agg_prints };
+        let mut projections: Vec<CExpr> = query
+            .projections
+            .iter()
+            .map(|p| compile_group_expr(&p.expr, &ctx))
+            .collect::<Result<_, _>>()?;
+        for o in &order_exprs {
+            projections.push(compile_group_expr(o, &ctx)?);
+        }
+        let having = having_expr.as_ref().map(|h| compile_group_expr(h, &ctx)).transpose()?;
+
+        Ok(PreparedQuery {
+            table,
+            filter,
+            kind: QueryKind::Aggregate { keys, aggs, projections, having },
+            n_output,
+            output_names,
+            order_dirs,
+            limit,
+        })
+    } else {
+        if !query.group_by.is_empty() {
+            return Err(EngineError::Invalid(
+                "GROUP BY without aggregate projections".into(),
+            ));
+        }
+        if having_expr.is_some() {
+            return Err(EngineError::Invalid("HAVING requires aggregation".into()));
+        }
+        let mut exprs: Vec<CExpr> = query
+            .projections
+            .iter()
+            .map(|p| compile_row_expr(&p.expr, &schema))
+            .collect::<Result<_, _>>()?;
+        for o in &order_exprs {
+            exprs.push(compile_row_expr(o, &schema)?);
+        }
+        Ok(PreparedQuery {
+            table,
+            filter,
+            kind: QueryKind::Project { exprs },
+            n_output,
+            output_names,
+            order_dirs,
+            limit,
+        })
+    }
+}
+
+/// Recursively replace references to projection aliases with the aliased
+/// expression (so `ORDER BY n` / `HAVING n > 1` resolve when `n` aliases an
+/// aggregate).
+fn substitute_aliases(e: &Expr, projections: &[simba_sql::SelectItem]) -> Expr {
+    if let Expr::Column(name) = e {
+        for item in projections {
+            if item.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(name)) {
+                return item.expr.clone();
+            }
+        }
+        return e.clone();
+    }
+    match e {
+        Expr::Literal(_) | Expr::Wildcard | Expr::Column(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_aliases(expr, projections)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(substitute_aliases(left, projections)),
+            op: *op,
+            right: Box::new(substitute_aliases(right, projections)),
+        },
+        Expr::Function { func, args, distinct } => Expr::Function {
+            func: *func,
+            args: args.iter().map(|a| substitute_aliases(a, projections)).collect(),
+            distinct: *distinct,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(substitute_aliases(expr, projections)),
+            list: list.iter().map(|a| substitute_aliases(a, projections)).collect(),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(substitute_aliases(expr, projections)),
+            low: Box::new(substitute_aliases(low, projections)),
+            high: Box::new(substitute_aliases(high, projections)),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(substitute_aliases(expr, projections)),
+            negated: *negated,
+        },
+    }
+}
+
+/// Collect distinct aggregate calls (by normalized print) in evaluation order.
+fn collect_aggregates(e: &Expr, out: &mut Vec<(String, Expr)>) {
+    match e {
+        Expr::Function { func, args, .. } if func.is_aggregate() => {
+            let print = print_expr(&normalize_expr(e));
+            if !out.iter().any(|(p, _)| *p == print) {
+                out.push((print, e.clone()));
+            }
+            // Aggregate args cannot themselves contain aggregates; no need to
+            // recurse (nested aggregation is rejected at compile).
+            let _ = args;
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_aggregates(a, out);
+            }
+        }
+        Expr::Unary { expr, .. } => collect_aggregates(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for x in list {
+                collect_aggregates(x, out);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(low, out);
+            collect_aggregates(high, out);
+        }
+        Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
+        Expr::Column(_) | Expr::Literal(_) | Expr::Wildcard => {}
+    }
+}
+
+/// Compile a row-level expression: columns resolve to physical indices;
+/// aggregates are rejected.
+pub fn compile_row_expr(e: &Expr, schema: &Schema) -> Result<CExpr, EngineError> {
+    match e {
+        Expr::Column(name) => {
+            let idx = schema.index_of(name).ok_or_else(|| EngineError::UnknownColumn {
+                table: schema.table.clone(),
+                column: name.clone(),
+            })?;
+            Ok(CExpr::Col(idx))
+        }
+        Expr::Literal(lit) => Ok(CExpr::Lit(CExpr::lit_value(lit))),
+        Expr::Wildcard => Err(EngineError::Invalid("`*` outside COUNT(*)".into())),
+        Expr::Unary { op, expr } => Ok(CExpr::Un {
+            op: *op,
+            e: Box::new(compile_row_expr(expr, schema)?),
+        }),
+        Expr::Binary { left, op, right } => Ok(CExpr::Bin {
+            l: Box::new(compile_row_expr(left, schema)?),
+            op: *op,
+            r: Box::new(compile_row_expr(right, schema)?),
+        }),
+        Expr::Function { func, args, .. } => {
+            if func.is_aggregate() {
+                return Err(EngineError::Invalid(format!(
+                    "aggregate {} not allowed here",
+                    func.name()
+                )));
+            }
+            let expected = if *func == Func::Bin { 2 } else { 1 };
+            if args.len() != expected {
+                return Err(EngineError::Invalid(format!(
+                    "{} expects {expected} argument(s), got {}",
+                    func.name(),
+                    args.len()
+                )));
+            }
+            Ok(CExpr::Call {
+                func: *func,
+                args: args
+                    .iter()
+                    .map(|a| compile_row_expr(a, schema))
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        Expr::InList { expr, list, negated } => {
+            let mut values = Vec::with_capacity(list.len());
+            for item in list {
+                match item {
+                    Expr::Literal(lit) => values.push(CExpr::lit_value(lit)),
+                    _ => {
+                        return Err(EngineError::Unsupported(
+                            "IN lists must contain literals".into(),
+                        ))
+                    }
+                }
+            }
+            Ok(CExpr::In {
+                e: Box::new(compile_row_expr(expr, schema)?),
+                set: Arc::new(ValueSet::new(values)),
+                negated: *negated,
+            })
+        }
+        Expr::Between { expr, low, high, negated } => Ok(CExpr::Between {
+            e: Box::new(compile_row_expr(expr, schema)?),
+            low: Box::new(compile_row_expr(low, schema)?),
+            high: Box::new(compile_row_expr(high, schema)?),
+            negated: *negated,
+        }),
+        Expr::IsNull { expr, negated } => Ok(CExpr::IsNull {
+            e: Box::new(compile_row_expr(expr, schema)?),
+            negated: *negated,
+        }),
+    }
+}
+
+struct GroupCtx<'a> {
+    schema: &'a Schema,
+    key_prints: &'a [String],
+    agg_prints: &'a [String],
+}
+
+/// Compile a group-level expression over the virtual row `[keys…, aggs…]`.
+fn compile_group_expr(e: &Expr, ctx: &GroupCtx<'_>) -> Result<CExpr, EngineError> {
+    // Aggregate call → virtual aggregate slot.
+    if let Expr::Function { func, .. } = e {
+        if func.is_aggregate() {
+            let print = print_expr(&normalize_expr(e));
+            let idx = ctx
+                .agg_prints
+                .iter()
+                .position(|p| *p == print)
+                .expect("aggregate was collected in a prior pass");
+            return Ok(CExpr::Col(ctx.key_prints.len() + idx));
+        }
+    }
+    // Expression matching a GROUP BY key → virtual key slot.
+    let print = print_expr(&normalize_expr(e));
+    if let Some(idx) = ctx.key_prints.iter().position(|p| *p == print) {
+        return Ok(CExpr::Col(idx));
+    }
+    // Otherwise recurse; bare columns at this point are ungrouped.
+    match e {
+        Expr::Column(name) => {
+            if ctx.schema.index_of(name).is_none() {
+                Err(EngineError::UnknownColumn {
+                    table: ctx.schema.table.clone(),
+                    column: name.clone(),
+                })
+            } else {
+                Err(EngineError::Invalid(format!(
+                    "column `{name}` must appear in GROUP BY or inside an aggregate"
+                )))
+            }
+        }
+        Expr::Literal(lit) => Ok(CExpr::Lit(CExpr::lit_value(lit))),
+        Expr::Wildcard => Err(EngineError::Invalid("`*` outside COUNT(*)".into())),
+        Expr::Unary { op, expr } => Ok(CExpr::Un {
+            op: *op,
+            e: Box::new(compile_group_expr(expr, ctx)?),
+        }),
+        Expr::Binary { left, op, right } => Ok(CExpr::Bin {
+            l: Box::new(compile_group_expr(left, ctx)?),
+            op: *op,
+            r: Box::new(compile_group_expr(right, ctx)?),
+        }),
+        Expr::Function { func, args, .. } => Ok(CExpr::Call {
+            func: *func,
+            args: args
+                .iter()
+                .map(|a| compile_group_expr(a, ctx))
+                .collect::<Result<_, _>>()?,
+        }),
+        Expr::InList { expr, list, negated } => {
+            let mut values = Vec::with_capacity(list.len());
+            for item in list {
+                match item {
+                    Expr::Literal(lit) => values.push(CExpr::lit_value(lit)),
+                    _ => {
+                        return Err(EngineError::Unsupported(
+                            "IN lists must contain literals".into(),
+                        ))
+                    }
+                }
+            }
+            Ok(CExpr::In {
+                e: Box::new(compile_group_expr(expr, ctx)?),
+                set: Arc::new(ValueSet::new(values)),
+                negated: *negated,
+            })
+        }
+        Expr::Between { expr, low, high, negated } => Ok(CExpr::Between {
+            e: Box::new(compile_group_expr(expr, ctx)?),
+            low: Box::new(compile_group_expr(low, ctx)?),
+            high: Box::new(compile_group_expr(high, ctx)?),
+            negated: *negated,
+        }),
+        Expr::IsNull { expr, negated } => Ok(CExpr::IsNull {
+            e: Box::new(compile_group_expr(expr, ctx)?),
+            negated: *negated,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_sql::parse_select;
+    use simba_store::{ColumnDef, TableBuilder, Value};
+
+    fn table() -> Arc<Table> {
+        let schema = Schema::new(
+            "cs",
+            vec![
+                ColumnDef::categorical("queue"),
+                ColumnDef::quantitative_int("calls"),
+                ColumnDef::temporal("ts"),
+            ],
+        );
+        let mut b = TableBuilder::new(schema, 1);
+        b.push_row(vec![Value::str("A"), Value::Int(1), Value::Int(0)]);
+        Arc::new(b.finish())
+    }
+
+    fn plan(sql: &str) -> Result<PreparedQuery, EngineError> {
+        prepare(&parse_select(sql).unwrap(), table())
+    }
+
+    #[test]
+    fn plans_simple_projection() {
+        let p = plan("SELECT queue, calls FROM cs WHERE calls > 0").unwrap();
+        assert!(!p.is_aggregate());
+        assert_eq!(p.n_output, 2);
+        assert!(p.filter.is_some());
+    }
+
+    #[test]
+    fn plans_grouped_aggregate() {
+        let p = plan("SELECT queue, COUNT(*) FROM cs GROUP BY queue").unwrap();
+        match &p.kind {
+            QueryKind::Aggregate { keys, aggs, projections, .. } => {
+                assert_eq!(keys.len(), 1);
+                assert_eq!(aggs.len(), 1);
+                assert_eq!(projections.len(), 2);
+            }
+            _ => panic!("expected aggregate"),
+        }
+    }
+
+    #[test]
+    fn dedupes_repeated_aggregates() {
+        let p = plan(
+            "SELECT COUNT(*), COUNT(*) FROM cs HAVING COUNT(*) > 0",
+        )
+        .unwrap();
+        match &p.kind {
+            QueryKind::Aggregate { aggs, .. } => assert_eq!(aggs.len(), 1),
+            _ => panic!("expected aggregate"),
+        }
+    }
+
+    #[test]
+    fn group_expr_matches_date_part_key() {
+        let p = plan("SELECT HOUR(ts), COUNT(*) FROM cs GROUP BY HOUR(ts)").unwrap();
+        match &p.kind {
+            QueryKind::Aggregate { projections, .. } => {
+                assert!(matches!(projections[0], CExpr::Col(0)));
+                assert!(matches!(projections[1], CExpr::Col(1)));
+            }
+            _ => panic!("expected aggregate"),
+        }
+    }
+
+    #[test]
+    fn rejects_ungrouped_column() {
+        let err = plan("SELECT queue, COUNT(*) FROM cs GROUP BY ts").unwrap_err();
+        assert!(matches!(err, EngineError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_column() {
+        let err = plan("SELECT nope FROM cs").unwrap_err();
+        assert!(matches!(err, EngineError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_table() {
+        let err = prepare(&parse_select("SELECT 1 FROM other").unwrap(), table()).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn order_by_alias_resolves_to_aggregate() {
+        let p = plan("SELECT queue, COUNT(*) AS n FROM cs GROUP BY queue ORDER BY n DESC")
+            .unwrap();
+        assert_eq!(p.order_dirs, vec![false]);
+        match &p.kind {
+            QueryKind::Aggregate { projections, .. } => {
+                // projections = [queue, count, order-key(count)]
+                assert_eq!(projections.len(), 3);
+            }
+            _ => panic!("expected aggregate"),
+        }
+    }
+
+    #[test]
+    fn having_via_alias() {
+        let p = plan("SELECT queue, COUNT(*) AS n FROM cs GROUP BY queue HAVING n > 1");
+        assert!(p.is_ok(), "{p:?}");
+    }
+
+    #[test]
+    fn non_literal_in_list_rejected() {
+        let err = plan("SELECT queue FROM cs WHERE calls IN (ts)").unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)));
+    }
+
+    #[test]
+    fn output_names_use_aliases() {
+        let p = plan("SELECT queue AS q, COUNT(*) AS n FROM cs GROUP BY queue").unwrap();
+        assert_eq!(p.output_names, vec!["q", "n"]);
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let p = plan("SELECT COUNT(*), SUM(calls) FROM cs").unwrap();
+        match &p.kind {
+            QueryKind::Aggregate { keys, aggs, .. } => {
+                assert!(keys.is_empty());
+                assert_eq!(aggs.len(), 2);
+            }
+            _ => panic!("expected aggregate"),
+        }
+    }
+
+    #[test]
+    fn sum_div_count_projection_compiles() {
+        // Example 2.2's SUM(x)/COUNT(x) normalizes to AVG(x) — either way it
+        // must compile to a single aggregate slot expression.
+        let p = plan("SELECT queue, SUM(calls) / COUNT(calls) FROM cs GROUP BY queue");
+        assert!(p.is_ok(), "{p:?}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Property test: the four engines agree on every query.
+//!
+//! This is the load-bearing property of the DBMS substrate (DESIGN.md §3):
+//! the engines may differ arbitrarily in latency, but must be
+//! indistinguishable in results. We generate random tables and random
+//! queries from the dashboard fragment and require multiset-equal outputs.
+
+use proptest::prelude::*;
+use simba_engine::all_engines;
+use simba_sql::{BinOp, Expr, Func, Literal, Select, SelectItem};
+use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+use std::sync::Arc;
+
+const QUEUES: &[&str] = &["A", "B", "C", "D"];
+const REGIONS: &[&str] = &["north", "south", "east", "west", "central"];
+
+#[derive(Debug, Clone)]
+struct Row {
+    queue: Option<&'static str>,
+    region: Option<&'static str>,
+    calls: Option<i64>,
+    cost: Option<f64>,
+    ts: i64,
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (
+        proptest::option::weighted(0.9, proptest::sample::select(QUEUES)),
+        proptest::option::weighted(0.9, proptest::sample::select(REGIONS)),
+        proptest::option::weighted(0.9, -20i64..100),
+        proptest::option::weighted(0.9, -5.0f64..50.0),
+        1_600_000_000i64..1_610_000_000,
+    )
+        .prop_map(|(queue, region, calls, cost, ts)| Row { queue, region, calls, cost, ts })
+}
+
+fn build_table(rows: &[Row]) -> Table {
+    let schema = Schema::new(
+        "t",
+        vec![
+            ColumnDef::categorical("queue"),
+            ColumnDef::categorical("region"),
+            ColumnDef::quantitative_int("calls"),
+            ColumnDef::quantitative_float("cost"),
+            ColumnDef::temporal("ts"),
+        ],
+    );
+    let mut b = TableBuilder::new(schema, rows.len());
+    for r in rows {
+        b.push_row(vec![
+            r.queue.map_or(Value::Null, Value::from),
+            r.region.map_or(Value::Null, Value::from),
+            r.calls.map_or(Value::Null, Value::Int),
+            r.cost.map_or(Value::Null, Value::Float),
+            Value::Int(r.ts),
+        ]);
+    }
+    b.finish()
+}
+
+/// One random WHERE conjunct.
+fn predicate_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        // queue IN (subset)
+        proptest::sample::subsequence(QUEUES.to_vec(), 1..=3)
+            .prop_map(|vs| Expr::in_strs("queue", vs)),
+        // region equality
+        proptest::sample::select(REGIONS).prop_map(|r| Expr::binary(
+            Expr::col("region"),
+            BinOp::Eq,
+            Expr::str(r)
+        )),
+        // numeric comparison on calls
+        (-20i64..100, proptest::sample::select(vec![
+            BinOp::Lt, BinOp::LtEq, BinOp::Gt, BinOp::GtEq, BinOp::Eq, BinOp::NotEq
+        ]))
+            .prop_map(|(v, op)| Expr::binary(Expr::col("calls"), op, Expr::int(v))),
+        // cost range
+        (-5.0f64..25.0, 0.0f64..25.0).prop_map(|(lo, width)| Expr::Between {
+            expr: Box::new(Expr::col("cost")),
+            low: Box::new(Expr::float(lo)),
+            high: Box::new(Expr::float(lo + width)),
+            negated: false,
+        }),
+        // null checks
+        Just(Expr::IsNull { expr: Box::new(Expr::col("calls")), negated: false }),
+        Just(Expr::IsNull { expr: Box::new(Expr::col("queue")), negated: true }),
+        // date-part filter
+        (0i64..24).prop_map(|h| Expr::binary(
+            Expr::agg_free_hour(),
+            BinOp::Eq,
+            Expr::int(h)
+        )),
+    ]
+}
+
+trait HourExt {
+    fn agg_free_hour() -> Expr;
+}
+
+impl HourExt for Expr {
+    fn agg_free_hour() -> Expr {
+        Expr::Function { func: Func::Hour, args: vec![Expr::col("ts")], distinct: false }
+    }
+}
+
+/// One random aggregate projection.
+fn aggregate_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::count_star()),
+        Just(Expr::agg(Func::Count, Expr::col("calls"))),
+        Just(Expr::Function {
+            func: Func::Count,
+            args: vec![Expr::col("queue")],
+            distinct: true
+        }),
+        Just(Expr::agg(Func::Sum, Expr::col("calls"))),
+        Just(Expr::agg(Func::Avg, Expr::col("cost"))),
+        Just(Expr::agg(Func::Min, Expr::col("calls"))),
+        Just(Expr::agg(Func::Max, Expr::col("cost"))),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct QueryCase {
+    select: Select,
+}
+
+fn query_strategy() -> impl Strategy<Value = QueryCase> {
+    let group_cols = proptest::sample::subsequence(vec!["queue", "region"], 0..=2);
+    (
+        group_cols,
+        proptest::collection::vec(aggregate_strategy(), 1..=3),
+        proptest::collection::vec(predicate_strategy(), 0..=3),
+        proptest::option::of(1i64..3),
+    )
+        .prop_map(|(groups, aggs, preds, having_min)| {
+            let mut projections: Vec<SelectItem> =
+                groups.iter().map(|g| SelectItem::bare(Expr::col(*g))).collect();
+            projections.extend(aggs.into_iter().map(SelectItem::bare));
+            let mut select = Select::new("t", projections);
+            select.group_by = groups.iter().map(|g| Expr::col(*g)).collect();
+            if let Some(w) = Expr::conjoin(preds) {
+                select.where_clause = Some(w);
+            }
+            if let Some(min) = having_min {
+                if !select.group_by.is_empty() {
+                    select.having = Some(Expr::binary(
+                        Expr::count_star(),
+                        BinOp::GtEq,
+                        Expr::Literal(Literal::Int(min)),
+                    ));
+                }
+            }
+            QueryCase { select }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engines_agree_on_aggregates(
+        rows in proptest::collection::vec(row_strategy(), 0..200),
+        case in query_strategy(),
+    ) {
+        let table = Arc::new(build_table(&rows));
+        let engines = all_engines();
+        let mut outputs = Vec::new();
+        for e in &engines {
+            e.register(table.clone());
+            let out = e.execute(&case.select);
+            prop_assert!(out.is_ok(), "{} failed: {:?} on {}", e.name(), out.err(), case.select);
+            outputs.push((e.name(), out.unwrap().result));
+        }
+        let (base_name, base) = &outputs[0];
+        for (name, rs) in &outputs[1..] {
+            prop_assert!(
+                base.multiset_eq(rs),
+                "{} and {} disagree on `{}`:\n{:?}\nvs\n{:?}",
+                base_name, name, case.select, base.sorted_rows(), rs.sorted_rows()
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_projections(
+        rows in proptest::collection::vec(row_strategy(), 0..200),
+        preds in proptest::collection::vec(predicate_strategy(), 0..=3),
+    ) {
+        let mut select = Select::new(
+            "t",
+            vec![
+                SelectItem::bare(Expr::col("queue")),
+                SelectItem::bare(Expr::col("calls")),
+                SelectItem::bare(Expr::col("cost")),
+            ],
+        );
+        if let Some(w) = Expr::conjoin(preds) {
+            select.where_clause = Some(w);
+        }
+        let table = Arc::new(build_table(&rows));
+        let engines = all_engines();
+        let mut outputs = Vec::new();
+        for e in &engines {
+            e.register(table.clone());
+            outputs.push((e.name(), e.execute(&select).unwrap().result));
+        }
+        let (base_name, base) = &outputs[0];
+        for (name, rs) in &outputs[1..] {
+            prop_assert!(
+                base.multiset_eq(rs),
+                "{} and {} disagree on `{}`", base_name, name, select
+            );
+        }
+    }
+
+    #[test]
+    fn parsed_and_built_queries_agree(
+        rows in proptest::collection::vec(row_strategy(), 0..100),
+        case in query_strategy(),
+    ) {
+        // Round-tripping the query through SQL text must not change results.
+        let table = Arc::new(build_table(&rows));
+        let engine = simba_engine::EngineKind::DuckDbLike.build();
+        engine.register(table);
+        let direct = engine.execute(&case.select).unwrap().result;
+        let sql = case.select.to_string();
+        let reparsed = simba_sql::parse_select(&sql).unwrap();
+        let via_text = engine.execute(&reparsed).unwrap().result;
+        prop_assert!(direct.multiset_eq(&via_text), "text round-trip changed results for `{sql}`");
+    }
+}

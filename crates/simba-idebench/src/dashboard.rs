@@ -1,0 +1,240 @@
+//! Random dashboard generation: what IDEBench's unconstrained simulation
+//! implicitly builds (§6.3, Figure 9 of the paper).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use simba_sql::{Expr, Func, Select, SelectItem};
+use simba_store::{ColumnRole, Schema};
+
+/// One randomly generated visualization: 1–3 dimension columns (numeric
+/// ones binned) and one aggregate.
+#[derive(Debug, Clone)]
+pub struct RandomViz {
+    pub id: usize,
+    /// Dimension columns with optional bin width.
+    pub dims: Vec<(String, Option<i64>)>,
+    /// Aggregate function and argument column (`None` = `COUNT(*)`).
+    pub agg: (Func, Option<String>),
+}
+
+impl RandomViz {
+    /// The visualization's base query over `table`.
+    pub fn base_query(&self, table: &str) -> Select {
+        let mut projections: Vec<SelectItem> = Vec::new();
+        let mut group_by = Vec::new();
+        for (field, bin) in &self.dims {
+            let e = match bin {
+                Some(width) => Expr::Function {
+                    func: Func::Bin,
+                    args: vec![Expr::col(field.clone()), Expr::int(*width)],
+                    distinct: false,
+                },
+                None => Expr::col(field.clone()),
+            };
+            projections.push(SelectItem::bare(e.clone()));
+            group_by.push(e);
+        }
+        let agg_expr = match &self.agg {
+            (f, Some(col)) => Expr::agg(*f, Expr::col(col.clone())),
+            (_, None) => Expr::count_star(),
+        };
+        projections.push(SelectItem::bare(agg_expr));
+        let mut q = Select::new(table, projections);
+        q.group_by = group_by;
+        q
+    }
+
+    /// Number of (unaggregated) data attributes.
+    pub fn attr_count(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// The implicit dashboard of one IDEBench run: a random visualization set
+/// with dense random links.
+#[derive(Debug, Clone)]
+pub struct RandomDashboard {
+    pub vizzes: Vec<RandomViz>,
+    /// Directed links `source → target` between visualization indices.
+    pub links: Vec<(usize, usize)>,
+}
+
+impl RandomDashboard {
+    /// Generate a random dashboard over `schema`.
+    ///
+    /// Defaults follow the paper's observation of IDEBench behavior:
+    /// 7–20 visualizations, densely linked so that a single interaction
+    /// triggers ~9 visualization updates on average.
+    pub fn generate(schema: &Schema, rng: &mut impl Rng) -> Self {
+        Self::generate_with(schema, rng, 7..=20, 0.65)
+    }
+
+    /// Generate with explicit visualization-count range and link density.
+    pub fn generate_with(
+        schema: &Schema,
+        rng: &mut impl Rng,
+        viz_range: std::ops::RangeInclusive<usize>,
+        link_density: f64,
+    ) -> Self {
+        let categorical: Vec<&str> = schema
+            .columns_with_role(ColumnRole::Categorical)
+            .into_iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        let numeric: Vec<&str> = schema
+            .columns
+            .iter()
+            .filter(|c| c.role != ColumnRole::Categorical)
+            .map(|c| c.name.as_str())
+            .collect();
+        let quantitative: Vec<&str> = schema
+            .columns_with_role(ColumnRole::Quantitative)
+            .into_iter()
+            .map(|c| c.name.as_str())
+            .collect();
+
+        let n = rng.gen_range(viz_range);
+        let mut vizzes = Vec::with_capacity(n);
+        for id in 0..n {
+            let n_dims = rng.gen_range(1..=3usize);
+            let mut dims = Vec::with_capacity(n_dims);
+            for _ in 0..n_dims {
+                // IDEBench bins numeric axes; categorical axes group as-is.
+                if !categorical.is_empty() && rng.gen_bool(0.6) {
+                    let f = categorical.choose(rng).expect("non-empty");
+                    if !dims.iter().any(|(d, _): &(String, Option<i64>)| d == f) {
+                        dims.push((f.to_string(), None));
+                    }
+                } else if !numeric.is_empty() {
+                    let f = numeric.choose(rng).expect("non-empty");
+                    if !dims.iter().any(|(d, _): &(String, Option<i64>)| d == f) {
+                        let width = *[5i64, 10, 20, 50, 100].choose(rng).expect("non-empty");
+                        dims.push((f.to_string(), Some(width)));
+                    }
+                }
+            }
+            if dims.is_empty() {
+                // Degenerate draw: fall back to the first available column.
+                if let Some(f) = categorical.first() {
+                    dims.push((f.to_string(), None));
+                } else if let Some(f) = numeric.first() {
+                    dims.push((f.to_string(), Some(10)));
+                }
+            }
+            let agg = if quantitative.is_empty() || rng.gen_bool(0.4) {
+                (Func::Count, None)
+            } else {
+                let f = *[Func::Sum, Func::Avg, Func::Min, Func::Max]
+                    .choose(rng)
+                    .expect("non-empty");
+                (f, Some(quantitative.choose(rng).expect("non-empty").to_string()))
+            };
+            vizzes.push(RandomViz { id, dims, agg });
+        }
+
+        let mut links = Vec::new();
+        for s in 0..n {
+            for t in 0..n {
+                if s != t && rng.gen_bool(link_density) {
+                    links.push((s, t));
+                }
+            }
+        }
+        Self { vizzes, links }
+    }
+
+    /// Visualizations updated when `source` is interacted with (its link
+    /// targets plus itself).
+    pub fn affected(&self, source: usize) -> Vec<usize> {
+        let mut out: Vec<usize> =
+            self.links.iter().filter(|(s, _)| *s == source).map(|(_, t)| *t).collect();
+        out.push(source);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Average out-degree plus one — the updates a single interaction
+    /// triggers (Figure 9 reports ~9 for IT Monitor runs).
+    pub fn avg_updates_per_interaction(&self) -> f64 {
+        if self.vizzes.is_empty() {
+            return 0.0;
+        }
+        let total: usize = (0..self.vizzes.len()).map(|v| self.affected(v).len()).sum();
+        total as f64 / self.vizzes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use simba_data::DashboardDataset;
+
+    fn schema() -> Schema {
+        DashboardDataset::ItMonitor.schema()
+    }
+
+    #[test]
+    fn generates_viz_counts_in_range() {
+        let s = schema();
+        for seed in 0..20 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let d = RandomDashboard::generate(&s, &mut rng);
+            assert!((7..=20).contains(&d.vizzes.len()), "{}", d.vizzes.len());
+        }
+    }
+
+    #[test]
+    fn fifty_runs_average_thirteen_vizzes() {
+        // §6.3: "IDEBench created an average of 13 visualizations (min=7,
+        // max=20)".
+        let s = schema();
+        let mut total = 0usize;
+        for seed in 0..50 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            total += RandomDashboard::generate(&s, &mut rng).vizzes.len();
+        }
+        let avg = total as f64 / 50.0;
+        assert!((11.0..=16.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn dense_links_trigger_many_updates() {
+        let s = schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = RandomDashboard::generate(&s, &mut rng);
+        let updates = d.avg_updates_per_interaction();
+        assert!(updates >= 4.0, "avg updates {updates}");
+    }
+
+    #[test]
+    fn base_queries_are_valid_sql() {
+        let s = schema();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = RandomDashboard::generate(&s, &mut rng);
+        for viz in &d.vizzes {
+            let q = viz.base_query("it_monitor");
+            let text = q.to_string();
+            let reparsed = simba_sql::parse_select(&text).unwrap();
+            assert_eq!(q, reparsed, "{text}");
+            assert!(!q.group_by.is_empty());
+        }
+    }
+
+    #[test]
+    fn dims_are_unique_per_viz() {
+        let s = schema();
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let d = RandomDashboard::generate(&s, &mut rng);
+            for viz in &d.vizzes {
+                let mut names: Vec<&str> = viz.dims.iter().map(|(f, _)| f.as_str()).collect();
+                names.sort_unstable();
+                names.dedup();
+                assert_eq!(names.len(), viz.dims.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The IDEBench stochastic interaction loop (§4.2 and §5 of the paper).
+//!
+//! End users are simulated as behaving randomly: at each step an interaction
+//! type is drawn from fixed probabilities (add / modify / remove a filter),
+//! a target visualization is chosen uniformly, and the new filter state is
+//! propagated to every linked visualization — each of which re-executes its
+//! query. There is no goal model and no termination condition other than the
+//! configured interaction count.
+
+use crate::dashboard::RandomDashboard;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simba_core::session::QueryRecord;
+use simba_engine::Dbms;
+use simba_store::{ColumnRole, Table};
+use simba_sql::{Expr, Select};
+
+/// IDEBench action probabilities (the "default probabilities for generating
+/// actions" of §6.2.4). Filters dominate — the paper found IDEBench
+/// "emphasizes adding filters" (avg 13.2 filters per visualization query).
+#[derive(Debug, Clone)]
+pub struct ActionProbs {
+    pub add_filter: f64,
+    pub modify_filter: f64,
+    pub remove_filter: f64,
+}
+
+impl Default for ActionProbs {
+    fn default() -> Self {
+        Self { add_filter: 0.70, modify_filter: 0.22, remove_filter: 0.08 }
+    }
+}
+
+/// IDEBench run configuration.
+#[derive(Debug, Clone)]
+pub struct IdeBenchConfig {
+    pub seed: u64,
+    /// Number of interactions to simulate.
+    pub interactions: usize,
+    pub probs: ActionProbs,
+}
+
+impl Default for IdeBenchConfig {
+    fn default() -> Self {
+        Self { seed: 0, interactions: 30, probs: ActionProbs::default() }
+    }
+}
+
+/// One simulated interaction and the queries it triggered.
+#[derive(Debug, Clone)]
+pub struct IdeInteraction {
+    pub step: usize,
+    pub action: String,
+    pub queries: Vec<QueryRecord>,
+}
+
+/// The record of one IDEBench run.
+#[derive(Debug, Clone)]
+pub struct IdeBenchLog {
+    pub dashboard: RandomDashboard,
+    pub engine: String,
+    pub seed: u64,
+    pub interactions: Vec<IdeInteraction>,
+}
+
+impl IdeBenchLog {
+    /// Every executed query.
+    pub fn queries(&self) -> impl Iterator<Item = &QueryRecord> {
+        self.interactions.iter().flat_map(|i| i.queries.iter())
+    }
+
+    /// All query durations.
+    pub fn durations(&self) -> Vec<std::time::Duration> {
+        self.queries().map(|q| q.duration).collect()
+    }
+
+    /// Average visualization updates per interaction (excluding the initial
+    /// render).
+    pub fn avg_updates_per_interaction(&self) -> f64 {
+        let moves: Vec<&IdeInteraction> =
+            self.interactions.iter().filter(|i| i.step > 0).collect();
+        if moves.is_empty() {
+            return 0.0;
+        }
+        moves.iter().map(|i| i.queries.len()).sum::<usize>() as f64 / moves.len() as f64
+    }
+}
+
+/// A filter on one column, as IDEBench composes them.
+#[derive(Debug, Clone)]
+enum IdeFilter {
+    In { field: String, values: Vec<String> },
+    Range { field: String, lo: f64, hi: f64 },
+}
+
+impl IdeFilter {
+    fn to_expr(&self) -> Expr {
+        match self {
+            IdeFilter::In { field, values } => Expr::in_strs(field, values.iter().cloned()),
+            IdeFilter::Range { field, lo, hi } => Expr::Between {
+                expr: Box::new(Expr::col(field.clone())),
+                low: Box::new(Expr::float(*lo)),
+                high: Box::new(Expr::float(*hi)),
+                negated: false,
+            },
+        }
+    }
+
+    fn field(&self) -> &str {
+        match self {
+            IdeFilter::In { field, .. } | IdeFilter::Range { field, .. } => field,
+        }
+    }
+}
+
+/// Runs IDEBench sessions over a table and engine.
+pub struct IdeBenchRunner<'a> {
+    pub table: &'a Table,
+    pub engine: &'a dyn Dbms,
+    pub config: IdeBenchConfig,
+}
+
+impl<'a> IdeBenchRunner<'a> {
+    pub fn new(table: &'a Table, engine: &'a dyn Dbms, config: IdeBenchConfig) -> Self {
+        Self { table, engine, config }
+    }
+
+    /// Simulate one run: generate the implicit dashboard, render it, then
+    /// perform random filter interactions.
+    pub fn run(&self) -> Result<IdeBenchLog, simba_engine::EngineError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x1DE);
+        let schema = self.table.schema();
+        let dashboard = RandomDashboard::generate(schema, &mut rng);
+        let table_name = self.table.name().to_string();
+
+        // Per-visualization accumulated filters.
+        let mut filters: Vec<Vec<IdeFilter>> = vec![Vec::new(); dashboard.vizzes.len()];
+        let mut interactions = Vec::with_capacity(self.config.interactions + 1);
+
+        // Initial render.
+        let mut records = Vec::with_capacity(dashboard.vizzes.len());
+        for viz in &dashboard.vizzes {
+            let q = self.viz_query(&dashboard, &filters, viz.id, &table_name);
+            records.push(self.execute(viz.id, &q)?);
+        }
+        interactions.push(IdeInteraction {
+            step: 0,
+            action: "initial render".into(),
+            queries: records,
+        });
+
+        for step in 1..=self.config.interactions {
+            let target = rng.gen_range(0..dashboard.vizzes.len());
+            let action = self.random_action(&mut filters[target], &mut rng);
+
+            // Propagate: every linked visualization re-executes.
+            let mut records = Vec::new();
+            for &affected in &dashboard.affected(target) {
+                let q = self.viz_query(&dashboard, &filters, affected, &table_name);
+                records.push(self.execute(affected, &q)?);
+            }
+            interactions.push(IdeInteraction { step, action, queries: records });
+        }
+
+        Ok(IdeBenchLog {
+            dashboard,
+            engine: self.engine.name().to_string(),
+            seed: self.config.seed,
+            interactions,
+        })
+    }
+
+    fn execute(
+        &self,
+        viz: usize,
+        q: &Select,
+    ) -> Result<QueryRecord, simba_engine::EngineError> {
+        let out = self.engine.execute(q)?;
+        Ok(QueryRecord {
+            vis: format!("viz_{viz}"),
+            sql: q.to_string(),
+            duration: out.elapsed,
+            rows: out.result.n_rows(),
+        })
+    }
+
+    /// The query a visualization currently displays: its base query plus its
+    /// own accumulated filters plus filters propagated from linking sources.
+    fn viz_query(
+        &self,
+        dashboard: &RandomDashboard,
+        filters: &[Vec<IdeFilter>],
+        viz: usize,
+        table: &str,
+    ) -> Select {
+        let mut q = dashboard.vizzes[viz].base_query(table);
+        // Own filters.
+        for f in &filters[viz] {
+            q.add_filter(f.to_expr());
+        }
+        // Filters from sources linking into this visualization.
+        for (s, t) in &dashboard.links {
+            if *t == viz {
+                for f in &filters[*s] {
+                    q.add_filter(f.to_expr());
+                }
+            }
+        }
+        q
+    }
+
+    /// Draw an interaction from the default probabilities and mutate the
+    /// target's filter list.
+    fn random_action(&self, filters: &mut Vec<IdeFilter>, rng: &mut ChaCha8Rng) -> String {
+        let p: f64 = rng.gen_range(0.0..1.0);
+        let probs = &self.config.probs;
+        if p < probs.add_filter || filters.is_empty() {
+            let f = self.random_filter(rng);
+            let desc = format!("add filter on {}", f.field());
+            filters.push(f);
+            desc
+        } else if p < probs.add_filter + probs.modify_filter {
+            let idx = rng.gen_range(0..filters.len());
+            let f = self.random_filter(rng);
+            let desc = format!("modify filter on {}", f.field());
+            filters[idx] = f;
+            desc
+        } else {
+            let idx = rng.gen_range(0..filters.len());
+            let removed = filters.remove(idx);
+            format!("remove filter on {}", removed.field())
+        }
+    }
+
+    /// A uniformly random filter over a random column (IDEBench parameter
+    /// selection is uniform).
+    fn random_filter(&self, rng: &mut ChaCha8Rng) -> IdeFilter {
+        let schema = self.table.schema();
+        let idx = rng.gen_range(0..schema.width());
+        let def = &schema.columns[idx];
+        let col = self.table.column(idx);
+        match def.role {
+            ColumnRole::Categorical => {
+                let distinct: Vec<String> = col
+                    .distinct_values()
+                    .into_iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect();
+                let k = rng.gen_range(1..=distinct.len().clamp(1, 3));
+                let values: Vec<String> =
+                    distinct.choose_multiple(rng, k).cloned().collect();
+                IdeFilter::In { field: def.name.clone(), values }
+            }
+            _ => {
+                let (lo, hi) = match col.min_max() {
+                    Some((a, b)) => (
+                        a.as_f64().unwrap_or(0.0),
+                        b.as_f64().unwrap_or(0.0),
+                    ),
+                    None => (0.0, 0.0),
+                };
+                let span = (hi - lo).max(f64::EPSILON);
+                let a = lo + rng.gen_range(0.0..1.0) * span;
+                let b = lo + rng.gen_range(0.0..1.0) * span;
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                IdeFilter::Range { field: def.name.clone(), lo: a, hi: b }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_data::DashboardDataset;
+    use simba_engine::EngineKind;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Table>, Arc<dyn Dbms>) {
+        let table = Arc::new(DashboardDataset::ItMonitor.generate_rows(2_000, 3));
+        let engine = EngineKind::DuckDbLike.build();
+        engine.register(table.clone());
+        (table, engine)
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let (table, engine) = setup();
+        let run = |seed| {
+            IdeBenchRunner::new(
+                &table,
+                engine.as_ref(),
+                IdeBenchConfig { seed, interactions: 8, ..Default::default() },
+            )
+            .run()
+            .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.interactions.len(), b.interactions.len());
+        for (x, y) in a.queries().zip(b.queries()) {
+            assert_eq!(x.sql, y.sql);
+        }
+        let c = run(6);
+        let differs = a.queries().zip(c.queries()).any(|(x, y)| x.sql != y.sql)
+            || a.interactions.len() != c.interactions.len();
+        assert!(differs);
+    }
+
+    #[test]
+    fn interactions_trigger_multiple_updates() {
+        let (table, engine) = setup();
+        let log = IdeBenchRunner::new(
+            &table,
+            engine.as_ref(),
+            IdeBenchConfig { seed: 2, interactions: 10, ..Default::default() },
+        )
+        .run()
+        .unwrap();
+        assert!(log.avg_updates_per_interaction() > 2.0);
+    }
+
+    #[test]
+    fn filters_accumulate_over_session() {
+        let (table, engine) = setup();
+        let log = IdeBenchRunner::new(
+            &table,
+            engine.as_ref(),
+            IdeBenchConfig { seed: 7, interactions: 25, ..Default::default() },
+        )
+        .run()
+        .unwrap();
+        // Filter counts should grow substantially by the end of the run.
+        let late_filters: Vec<usize> = log
+            .interactions
+            .iter()
+            .rev()
+            .take(5)
+            .flat_map(|i| i.queries.iter())
+            .map(|q| simba_sql::parse_select(&q.sql).unwrap().filters().len())
+            .collect();
+        let max_late = late_filters.iter().copied().max().unwrap_or(0);
+        assert!(max_late >= 3, "late filter count {max_late}");
+    }
+
+    #[test]
+    fn all_emitted_queries_execute() {
+        let (table, engine) = setup();
+        let log = IdeBenchRunner::new(
+            &table,
+            engine.as_ref(),
+            IdeBenchConfig { seed: 9, interactions: 6, ..Default::default() },
+        )
+        .run()
+        .unwrap();
+        assert!(log.queries().count() > 6);
+    }
+}

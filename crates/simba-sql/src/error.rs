@@ -1,0 +1,49 @@
+//! Error types for the SQL frontend.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        Self { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors produced by SQL-level analysis (outside of parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The query shape is outside the supported fragment.
+    Unsupported(String),
+    /// A referenced column does not exist in the schema under analysis.
+    UnknownColumn(String),
+    /// An expression was typed incorrectly (e.g. `SUM` of a string column).
+    TypeMismatch(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Unsupported(msg) => write!(f, "unsupported SQL: {msg}"),
+            SqlError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            SqlError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,44 @@
+//! SQL frontend for the SIMBA benchmark.
+//!
+//! Dashboards emit a constrained SQL fragment (single-table aggregation
+//! queries with conjunctive predicates — see §2–§3 of the paper). This crate
+//! provides everything the benchmark needs to create, parse, print, and
+//! reason about that fragment:
+//!
+//! * [`ast`] — the abstract syntax tree ([`Select`], [`Expr`], [`Literal`]).
+//! * [`parser`] — a recursive-descent parser ([`parse_select`], [`parse_expr`]).
+//! * [`printer`] — a canonical pretty-printer (every AST prints to a unique,
+//!   stable textual form, making *syntactic* equivalence meaningful).
+//! * [`normalize`] — semantic normal form used by the equivalence suite
+//!   (flattened conjuncts, folded constants, sorted commutative operands).
+//! * [`implication`] — sound-but-incomplete predicate implication, the basis
+//!   of query subsumption checks.
+//! * [`similarity`] — whitespace-insensitive string similarity implementing
+//!   the paper's ">95% match" fallback rule (§4.1.2).
+//!
+//! # Example
+//!
+//! ```
+//! use simba_sql::{parse_select, normalize::NormalizedSelect};
+//!
+//! let a = parse_select("SELECT queue, COUNT(*) FROM cs GROUP BY queue").unwrap();
+//! let b = parse_select("select queue, count( * ) from cs group by queue").unwrap();
+//! assert_eq!(NormalizedSelect::from_select(&a), NormalizedSelect::from_select(&b));
+//! ```
+
+pub mod ast;
+pub mod builder;
+pub mod error;
+pub mod implication;
+pub mod normalize;
+pub mod parser;
+pub mod printer;
+pub mod similarity;
+pub mod token;
+
+pub use ast::{
+    BinOp, Expr, Func, Literal, OrderByExpr, Select, SelectItem, UnaryOp,
+};
+pub use builder::SelectBuilder;
+pub use error::{ParseError, SqlError};
+pub use parser::{parse_expr, parse_select};

@@ -1,0 +1,576 @@
+//! Recursive-descent parser for the SIMBA SQL fragment.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::token::{tokenize, Token, TokenKind};
+
+/// Parse a complete `SELECT` statement.
+pub fn parse_select(input: &str) -> Result<Select, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let select = p.select()?;
+    p.expect_eof()?;
+    Ok(select)
+}
+
+/// Parse a standalone scalar/boolean expression.
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    p.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    /// Consume the next token if it is the given keyword (case-insensitive).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.offset(),
+                format!("expected keyword `{kw}`, found {}", self.peek().describe()),
+            ))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.offset(),
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            TokenKind::Eof => Ok(()),
+            other => Err(ParseError::new(
+                self.offset(),
+                format!("unexpected trailing input: {}", other.describe()),
+            )),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(ParseError::new(
+                self.offset(),
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let mut projections = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_keyword("AS") {
+                Some(self.ident()?)
+            } else {
+                // Implicit alias: a bare identifier that is not a clause keyword.
+                match self.peek() {
+                    TokenKind::Ident(s) if !is_clause_keyword(s) => Some(self.ident()?),
+                    TokenKind::QuotedIdent(_) => Some(self.ident()?),
+                    _ => None,
+                }
+            };
+            projections.push(SelectItem { expr, alias });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push(OrderByExpr { expr, asc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                TokenKind::Int(v) if v >= 0 => Some(v as u64),
+                other => {
+                    return Err(ParseError::new(
+                        self.offset(),
+                        format!("expected non-negative integer after LIMIT, found {}", other.describe()),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(Select { projections, from, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(left, BinOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::binary(left, BinOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive()?;
+
+        // IS [NOT] NULL
+        if self.peek_keyword("IS") {
+            self.advance();
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+
+        // [NOT] IN / [NOT] BETWEEN
+        let negated = if self.peek_keyword("NOT") {
+            // Look ahead: NOT IN / NOT BETWEEN; otherwise leave NOT alone.
+            let next = &self.tokens.get(self.pos + 1).map(|t| &t.kind);
+            let follows = matches!(
+                next,
+                Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("IN") || s.eq_ignore_ascii_case("BETWEEN")
+            );
+            if follows {
+                self.advance();
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+
+        if self.eat_keyword("IN") {
+            self.expect(&TokenKind::LParen)?;
+            let mut list = Vec::new();
+            if self.peek() != &TokenKind::RParen {
+                loop {
+                    list.push(self.expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+
+        if negated {
+            return Err(ParseError::new(self.offset(), "expected IN or BETWEEN after NOT"));
+        }
+
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.additive()?;
+        Ok(Expr::binary(left, op, right))
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            // Fold negation of numeric literals immediately.
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+                Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::QuotedIdent(name) => {
+                self.advance();
+                Ok(Expr::Column(name))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(Expr::Literal(Literal::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    return Ok(Expr::Literal(Literal::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    return Ok(Expr::Literal(Literal::Bool(false)));
+                }
+                if self.peek() == &TokenKind::LParen {
+                    let Some(func) = Func::from_name(&name) else {
+                        return Err(ParseError::new(
+                            self.offset(),
+                            format!("unknown function `{name}`"),
+                        ));
+                    };
+                    self.advance(); // consume `(`
+                    let distinct = self.eat_keyword("DISTINCT");
+                    let mut args = Vec::new();
+                    if self.eat(&TokenKind::Star) {
+                        args.push(Expr::Wildcard);
+                    } else if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Function { func, args, distinct });
+                }
+                Ok(Expr::Column(name))
+            }
+            other => Err(ParseError::new(
+                self.offset(),
+                format!("expected expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+fn is_clause_keyword(word: &str) -> bool {
+    const CLAUSES: &[&str] = &[
+        "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AND", "OR", "NOT", "IN",
+        "BETWEEN", "IS", "AS", "ASC", "DESC",
+    ];
+    CLAUSES.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_select() {
+        let q = parse_select("SELECT a FROM t").unwrap();
+        assert_eq!(q.from, "t");
+        assert_eq!(q.projections.len(), 1);
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn parses_full_clause_set() {
+        let q = parse_select(
+            "SELECT queue, COUNT(*) AS n FROM cs WHERE hour >= 9 AND queue IN ('A','B') \
+             GROUP BY queue HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.projections.len(), 2);
+        assert_eq!(q.projections[1].alias.as_deref(), Some("n"));
+        assert_eq!(q.filters().len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].asc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let q = parse_select("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(q.projections[0].expr, Expr::count_star());
+    }
+
+    #[test]
+    fn parses_count_distinct() {
+        let e = parse_expr("COUNT(DISTINCT rep_id)").unwrap();
+        match e {
+            Expr::Function { func: Func::Count, distinct, .. } => assert!(distinct),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_between_and_not_between() {
+        let e = parse_expr("x BETWEEN 1 AND 5").unwrap();
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = parse_expr("x NOT BETWEEN 1 AND 5").unwrap();
+        assert!(matches!(e, Expr::Between { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_in_and_not_in() {
+        let e = parse_expr("q IN ('A', 'B')").unwrap();
+        assert!(matches!(e, Expr::InList { negated: false, ref list, .. } if list.len() == 2));
+        let e = parse_expr("q NOT IN ('A')").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_is_null_variants() {
+        assert!(matches!(parse_expr("x IS NULL").unwrap(), Expr::IsNull { negated: false, .. }));
+        assert!(matches!(parse_expr("x IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn not_binds_looser_than_comparison() {
+        let e = parse_expr("NOT x = 1").unwrap();
+        match e {
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                assert!(matches!(*expr, Expr::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let e = parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Or, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::int(-5));
+        assert_eq!(parse_expr("-2.5").unwrap(), Expr::float(-2.5));
+    }
+
+    #[test]
+    fn implicit_alias_allowed() {
+        let q = parse_select("SELECT COUNT(*) total FROM t").unwrap();
+        assert_eq!(q.projections[0].alias.as_deref(), Some("total"));
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        assert!(parse_select("SELECT FOO(a) FROM t").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_select("SELECT a FROM t extra garbage !!!").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        assert!(parse_select("SELECT a").is_err());
+    }
+
+    #[test]
+    fn parses_nested_function_division() {
+        // The paper's Example 2.2 shape: AVG via SUM/COUNT.
+        let e = parse_expr("SUM(abandoned) / COUNT(calls)").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Div, .. }));
+        assert!(e.contains_aggregate());
+    }
+
+    #[test]
+    fn parses_bin_function() {
+        let e = parse_expr("BIN(price, 10)").unwrap();
+        assert!(matches!(e, Expr::Function { func: Func::Bin, ref args, .. } if args.len() == 2));
+    }
+
+    #[test]
+    fn parses_keywords_case_insensitively() {
+        let q = parse_select("select a from t where a > 1 group by a").unwrap();
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn parenthesized_or_inside_and() {
+        let e = parse_expr("(a = 1 OR a = 2) AND b = 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::And, left, .. } => {
+                assert!(matches!(*left, Expr::Binary { op: BinOp::Or, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_in_list_parses() {
+        let e = parse_expr("q IN ()").unwrap();
+        assert!(matches!(e, Expr::InList { ref list, .. } if list.is_empty()));
+    }
+}

@@ -1,0 +1,128 @@
+//! Whitespace-insensitive string similarity.
+//!
+//! Implements the paper's fallback equivalence rule (§4.1.2): "we infer
+//! equivalence if … string matching indicates >95% similarity after
+//! processing to remove additional whitespace."
+
+/// Collapse whitespace runs to single spaces, trim, and lowercase.
+pub fn canonicalize_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_was_space = true; // leading whitespace is dropped
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_was_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Levenshtein edit distance over `char`s, two-row dynamic programming.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Similarity in `[0, 1]`: `1 - distance / max_len` after canonicalization.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let ca = canonicalize_text(a);
+    let cb = canonicalize_text(b);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    let max_len = ca.chars().count().max(cb.chars().count());
+    let dist = levenshtein(&ca, &cb);
+    1.0 - dist as f64 / max_len as f64
+}
+
+/// The paper's similarity threshold for inferred equivalence.
+pub const SIMILARITY_THRESHOLD: f64 = 0.95;
+
+/// True when two SQL strings are >95% similar after whitespace removal.
+pub fn nearly_identical(a: &str, b: &str) -> bool {
+    similarity(a, b) > SIMILARITY_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_collapses_whitespace() {
+        assert_eq!(canonicalize_text("  SELECT   a\n FROM\tt "), "select a from t");
+    }
+
+    #[test]
+    fn identical_strings_have_similarity_one() {
+        assert_eq!(similarity("SELECT a FROM t", "select  a  from  t"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_have_low_similarity() {
+        assert!(similarity("abcdef", "uvwxyz") < 0.2);
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn single_char_difference_in_long_query_is_nearly_identical() {
+        let a = "SELECT queue, hour, callDirection, COUNT(calls) FROM customer_service \
+                 WHERE queue IN ('A') GROUP BY queue, hour, callDirection";
+        let b = a.replace("('A')", "('B')");
+        assert!(nearly_identical(a, &b));
+        assert!(similarity(a, &b) < 1.0);
+    }
+
+    #[test]
+    fn different_queries_are_not_nearly_identical() {
+        let a = "SELECT COUNT(lostCalls) FROM customer_service";
+        let b = "SELECT rep, AVG(duration) FROM calls GROUP BY rep";
+        assert!(!nearly_identical(a, b));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = "SELECT a FROM t WHERE x = 1";
+        let b = "SELECT a FROM t WHERE x = 2 AND y = 3";
+        assert!((similarity(a, b) - similarity(b, a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,344 @@
+//! Lexer for the SIMBA SQL fragment.
+
+use crate::error::ParseError;
+
+/// A lexical token with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Kinds of tokens produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Double-quoted identifier — never treated as a keyword.
+    QuotedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::QuotedIdent(s) => format!("quoted identifier `\"{s}\"`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::NotEq => "`<>`".to_string(),
+            TokenKind::Lt => "`<`".to_string(),
+            TokenKind::LtEq => "`<=`".to_string(),
+            TokenKind::Gt => "`>`".to_string(),
+            TokenKind::GtEq => "`>=`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// Tokenize SQL text into a vector of tokens terminated by [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::with_capacity(input.len() / 4 + 4);
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                i += 1;
+            }
+            b'-' => {
+                // `--` starts a line comment.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                    i += 1;
+                }
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "unexpected `!`"));
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token { kind: TokenKind::LtEq, offset: i });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: i });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::GtEq, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token { kind: TokenKind::Str(s), offset: i });
+                i = next;
+            }
+            b'0'..=b'9' => {
+                let (kind, next) = lex_number(input, i)?;
+                tokens.push(Token { kind, offset: i });
+                i = next;
+            }
+            b'.' => {
+                // Leading-dot float like `.5`.
+                if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (kind, next) = lex_number(input, i)?;
+                    tokens.push(Token { kind, offset: i });
+                    i = next;
+                } else {
+                    return Err(ParseError::new(i, "unexpected `.`"));
+                }
+            }
+            b'"' => {
+                // Double-quoted identifier.
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::new(i, "unterminated quoted identifier"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(input[start..j].to_string()),
+                    offset: i,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+    }
+
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        if i >= bytes.len() {
+            return Err(ParseError::new(start, "unterminated string literal"));
+        }
+        if bytes[i] == b'\'' {
+            // `''` escapes a single quote.
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Strings may contain multi-byte UTF-8; copy char-wise.
+            let ch = input[i..].chars().next().expect("valid utf8");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(TokenKind, usize), ParseError> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !saw_dot && !saw_exp => {
+                saw_dot = true;
+                i += 1;
+            }
+            b'e' | b'E' if !saw_exp => {
+                saw_exp = true;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = &input[start..i];
+    if saw_dot || saw_exp {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| ParseError::new(start, format!("invalid float literal `{text}`")))?;
+        Ok((TokenKind::Float(v), i))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| ParseError::new(start, format!("invalid integer literal `{text}`")))?;
+        Ok((TokenKind::Int(v), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let ks = kinds("SELECT a, COUNT(*) FROM t WHERE x >= 1.5");
+        assert!(matches!(ks[0], TokenKind::Ident(ref s) if s == "SELECT"));
+        assert!(ks.contains(&TokenKind::Star));
+        assert!(ks.contains(&TokenKind::GtEq));
+        assert!(ks.contains(&TokenKind::Float(1.5)));
+    }
+
+    #[test]
+    fn lexes_string_with_escaped_quote() {
+        let ks = kinds("'it''s'");
+        assert_eq!(ks[0], TokenKind::Str("it's".to_string()));
+    }
+
+    #[test]
+    fn lexes_not_equal_variants() {
+        assert_eq!(kinds("<>")[0], TokenKind::NotEq);
+        assert_eq!(kinds("!=")[0], TokenKind::NotEq);
+    }
+
+    #[test]
+    fn lexes_comments() {
+        let ks = kinds("a -- a comment\n b");
+        assert_eq!(ks.len(), 3); // a, b, EOF
+    }
+
+    #[test]
+    fn lexes_scientific_notation() {
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5E-1")[0], TokenKind::Float(0.25));
+    }
+
+    #[test]
+    fn lexes_quoted_identifier() {
+        let ks = kinds("\"weird name\"");
+        assert_eq!(ks[0], TokenKind::QuotedIdent("weird name".to_string()));
+    }
+
+    #[test]
+    fn quoted_keyword_is_not_a_keyword_token() {
+        let ks = kinds("\"not\"");
+        assert_eq!(ks[0], TokenKind::QuotedIdent("not".to_string()));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_token_start() {
+        let ts = tokenize("ab  cd").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 4);
+    }
+
+    #[test]
+    fn dotted_identifiers_kept_whole() {
+        let ks = kinds("t.col");
+        assert_eq!(ks[0], TokenKind::Ident("t.col".to_string()));
+    }
+}

@@ -1,0 +1,229 @@
+//! Property test: predicate implication is SOUND.
+//!
+//! `implies(p, q)` claims every row satisfying `p` satisfies `q`. We verify
+//! against ground truth by evaluating both predicates over randomized rows
+//! (through `simba-engine`'s evaluator semantics would be ideal, but to keep
+//! the dependency direction clean we implement a tiny reference evaluator
+//! here). Any counterexample is an implication-soundness bug.
+
+use proptest::prelude::*;
+use simba_sql::implication::implies;
+use simba_sql::{BinOp, Expr, Literal};
+use std::collections::HashMap;
+
+const COLUMNS: &[&str] = &["a", "b", "c"];
+const STRINGS: &[&str] = &["x", "y", "z", "w"];
+
+/// A test row: column → optional value (None = NULL).
+type Row = HashMap<&'static str, Option<RowValue>>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum RowValue {
+    Int(i64),
+    Str(&'static str),
+}
+
+/// Three-valued reference evaluation of the predicate fragment the
+/// implication engine reasons about.
+fn eval(pred: &Expr, row: &Row) -> Option<bool> {
+    match pred {
+        Expr::Binary { left, op: BinOp::And, right } => {
+            match (eval(left, row), eval(right, row)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            }
+        }
+        Expr::Binary { left, op: BinOp::Or, right } => {
+            match (eval(left, row), eval(right, row)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            }
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            let lv = value_of(left, row)?;
+            let rv = lit_value(right)?;
+            match op {
+                // Equality across type classes is plain "not equal";
+                // ordered comparison across classes is UNKNOWN.
+                BinOp::Eq => Some(lv == rv),
+                BinOp::NotEq => Some(lv != rv),
+                _ => compare(&lv, &rv).map(|ord| match op {
+                    BinOp::Lt => ord == std::cmp::Ordering::Less,
+                    BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                    BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                    BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!(),
+                }),
+            }
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = value_of(expr, row)?;
+            let found = list.iter().filter_map(lit_value).any(|lv| v == lv);
+            Some(found != *negated)
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = value_of(expr, row)?;
+            let lo = lit_value(low)?;
+            let hi = lit_value(high)?;
+            let inside = compare(&v, &lo)? != std::cmp::Ordering::Less
+                && compare(&v, &hi)? != std::cmp::Ordering::Greater;
+            Some(inside != *negated)
+        }
+        Expr::IsNull { expr, negated } => {
+            let Expr::Column(name) = expr.as_ref() else { return None };
+            let is_null = row.get(name.as_str()).is_none_or(Option::is_none);
+            Some(is_null != *negated)
+        }
+        Expr::Literal(Literal::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+fn value_of(e: &Expr, row: &Row) -> Option<RowValue> {
+    match e {
+        Expr::Column(name) => row.get(name.as_str()).cloned().flatten(),
+        _ => None,
+    }
+}
+
+fn lit_value(e: &Expr) -> Option<RowValue> {
+    match e {
+        Expr::Literal(Literal::Int(v)) => Some(RowValue::Int(*v)),
+        Expr::Literal(Literal::Str(s)) => {
+            STRINGS.iter().find(|x| *x == s).map(|s| RowValue::Str(s))
+        }
+        _ => None,
+    }
+}
+
+fn compare(a: &RowValue, b: &RowValue) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (RowValue::Int(x), RowValue::Int(y)) => Some(x.cmp(y)),
+        (RowValue::Str(x), RowValue::Str(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+/// Random atomic predicate over a small value universe (so rows actually hit
+/// the constants).
+fn atom_strategy() -> impl Strategy<Value = Expr> {
+    let col = proptest::sample::select(COLUMNS);
+    prop_oneof![
+        // numeric comparison
+        (col.clone(), -5i64..5, proptest::sample::select(vec![
+            BinOp::Eq, BinOp::NotEq, BinOp::Lt, BinOp::LtEq, BinOp::Gt, BinOp::GtEq,
+        ]))
+            .prop_map(|(c, v, op)| Expr::binary(Expr::col(c), op, Expr::int(v))),
+        // string membership
+        (col.clone(), proptest::sample::subsequence(STRINGS.to_vec(), 1..=3), any::<bool>())
+            .prop_map(|(c, vs, neg)| Expr::InList {
+                expr: Box::new(Expr::col(c)),
+                list: vs.into_iter().map(Expr::str).collect(),
+                negated: neg,
+            }),
+        // between
+        (col.clone(), -5i64..3, 0i64..4).prop_map(|(c, lo, w)| Expr::Between {
+            expr: Box::new(Expr::col(c)),
+            low: Box::new(Expr::int(lo)),
+            high: Box::new(Expr::int(lo + w)),
+            negated: false,
+        }),
+        // null checks
+        (col, any::<bool>()).prop_map(|(c, neg)| Expr::IsNull {
+            expr: Box::new(Expr::col(c)),
+            negated: neg,
+        }),
+    ]
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Expr> {
+    proptest::collection::vec(atom_strategy(), 1..4)
+        .prop_map(|atoms| Expr::conjoin(atoms).expect("non-empty"))
+}
+
+fn row_value_strategy() -> impl Strategy<Value = Option<RowValue>> {
+    prop_oneof![
+        3 => (-6i64..6).prop_map(|v| Some(RowValue::Int(v))),
+        2 => proptest::sample::select(STRINGS).prop_map(|s| Some(RowValue::Str(s))),
+        1 => Just(None),
+    ]
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (row_value_strategy(), row_value_strategy(), row_value_strategy()).prop_map(|(a, b, c)| {
+        let mut row = HashMap::new();
+        row.insert("a", a);
+        row.insert("b", b);
+        row.insert("c", c);
+        row
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Soundness: implies(p, q) ⇒ (∀ rows: p true ⇒ q true).
+    #[test]
+    fn implication_is_sound(
+        p in predicate_strategy(),
+        q in predicate_strategy(),
+        rows in proptest::collection::vec(row_strategy(), 30),
+    ) {
+        if implies(&p, &q) {
+            for row in &rows {
+                if eval(&p, row) == Some(true) {
+                    prop_assert_eq!(
+                        eval(&q, row), Some(true),
+                        "implication unsound: p=`{}` q=`{}` row={:?}", p, q, row
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reflexivity on the compilable fragment: every conjunctive predicate
+    /// implies itself.
+    #[test]
+    fn implication_is_reflexive(p in predicate_strategy()) {
+        prop_assert!(implies(&p, &p), "`{}` must imply itself", p);
+    }
+
+    /// Transitivity where provable: p⇒q and q⇒r gives p⇒r soundly (we check
+    /// semantically, not that the prover also proves p⇒r, which
+    /// incompleteness permits it to miss).
+    #[test]
+    fn implication_chain_is_sound(
+        p in predicate_strategy(),
+        q in predicate_strategy(),
+        r in predicate_strategy(),
+        rows in proptest::collection::vec(row_strategy(), 20),
+    ) {
+        if implies(&p, &q) && implies(&q, &r) {
+            for row in &rows {
+                if eval(&p, row) == Some(true) {
+                    prop_assert_eq!(eval(&r, row), Some(true));
+                }
+            }
+        }
+    }
+
+    /// Normalization preserves three-valued WHERE semantics ("keeps the row"
+    /// is identical before and after).
+    #[test]
+    fn normalization_preserves_filter_semantics(
+        p in predicate_strategy(),
+        rows in proptest::collection::vec(row_strategy(), 30),
+    ) {
+        let normalized = simba_sql::normalize::normalize_expr(&p);
+        for row in &rows {
+            let before = eval(&p, row) == Some(true);
+            let after = eval(&normalized, row) == Some(true);
+            prop_assert_eq!(
+                before, after,
+                "normalization changed semantics: `{}` -> `{}` on {:?}", p, normalized, row
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests: printer/parser round trips and normalizer laws over
+//! randomly generated ASTs.
+
+use proptest::prelude::*;
+use simba_sql::normalize::{normalize_expr, NormalizedSelect};
+use simba_sql::printer::{print_expr, print_select};
+use simba_sql::{
+    parse_expr, parse_select, BinOp, Expr, Func, Literal, OrderByExpr, Select, SelectItem,
+};
+
+fn literal_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Expr::int),
+        (-100.0f64..100.0).prop_map(|v| Expr::float((v * 4.0).round() / 4.0)),
+        "[a-z]{1,6}".prop_map(Expr::str),
+        Just(Expr::Literal(Literal::Bool(true))),
+        Just(Expr::Literal(Literal::Null)),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = Expr> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(Expr::col)
+}
+
+/// Scalar (non-boolean) expressions.
+fn scalar_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal_strategy(), column_strategy()];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), proptest::sample::select(vec![
+                BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div,
+            ]))
+                .prop_map(|(l, r, op)| Expr::binary(l, op, r)),
+            (inner.clone(), proptest::sample::select(vec![
+                Func::Hour, Func::Day, Func::Month, Func::Year, Func::Abs,
+            ]))
+                .prop_map(|(e, f)| Expr::Function { func: f, args: vec![e], distinct: false }),
+            inner,
+        ]
+    })
+}
+
+/// Boolean predicates.
+fn predicate_strategy() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        (scalar_strategy(), scalar_strategy(), proptest::sample::select(vec![
+            BinOp::Eq, BinOp::NotEq, BinOp::Lt, BinOp::LtEq, BinOp::Gt, BinOp::GtEq,
+        ]))
+            .prop_map(|(l, r, op)| Expr::binary(l, op, r)),
+        (column_strategy(), proptest::collection::vec(literal_strategy(), 1..4), any::<bool>())
+            .prop_map(|(c, list, neg)| Expr::InList {
+                expr: Box::new(c),
+                list,
+                negated: neg,
+            }),
+        (column_strategy(), any::<bool>()).prop_map(|(c, neg)| Expr::IsNull {
+            expr: Box::new(c),
+            negated: neg,
+        }),
+        (column_strategy(), scalar_strategy(), scalar_strategy(), any::<bool>()).prop_map(
+            |(c, lo, hi, neg)| Expr::Between {
+                expr: Box::new(c),
+                low: Box::new(lo),
+                high: Box::new(hi),
+                negated: neg,
+            }
+        ),
+    ];
+    atom.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
+            inner.prop_map(|e| Expr::Unary {
+                op: simba_sql::UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+        ]
+    })
+}
+
+fn select_strategy() -> impl Strategy<Value = Select> {
+    (
+        proptest::collection::vec(
+            prop_oneof![
+                column_strategy().prop_map(SelectItem::bare),
+                (column_strategy(), proptest::sample::select(vec![
+                    Func::Count, Func::Sum, Func::Avg, Func::Min, Func::Max,
+                ]))
+                    .prop_map(|(c, f)| SelectItem::bare(Expr::agg(f, c))),
+                Just(SelectItem::bare(Expr::count_star())),
+                (column_strategy(), "[a-z]{1,5}")
+                    .prop_map(|(c, a)| SelectItem::aliased(c, a)),
+            ],
+            1..5,
+        ),
+        "[a-z][a-z0-9_]{0,10}",
+        proptest::option::of(predicate_strategy()),
+        proptest::collection::vec(column_strategy(), 0..3),
+        proptest::option::of(0u64..1000),
+        proptest::collection::vec(
+            (column_strategy(), any::<bool>()).prop_map(|(e, asc)| OrderByExpr { expr: e, asc }),
+            0..2,
+        ),
+    )
+        .prop_map(|(projections, from, where_clause, group_by, limit, order_by)| Select {
+            projections,
+            from,
+            where_clause,
+            group_by,
+            having: None,
+            order_by,
+            limit,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// print → parse → print is a fixed point for expressions.
+    #[test]
+    fn expr_print_parse_roundtrip(e in predicate_strategy()) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}` failed to reparse: {err}"));
+        prop_assert_eq!(print_expr(&reparsed), printed);
+    }
+
+    /// print → parse → print is a fixed point for SELECT statements.
+    #[test]
+    fn select_print_parse_roundtrip(q in select_strategy()) {
+        let printed = print_select(&q);
+        let reparsed = parse_select(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}` failed to reparse: {err}"));
+        prop_assert_eq!(print_select(&reparsed), printed);
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_is_idempotent(e in predicate_strategy()) {
+        let once = normalize_expr(&e);
+        let twice = normalize_expr(&once);
+        prop_assert_eq!(&once, &twice, "normalize not idempotent for `{}`", e);
+    }
+
+    /// Normal forms are insensitive to textual noise: reparsing the printed
+    /// query yields the same normalized select.
+    #[test]
+    fn normalized_select_stable_under_reprint(q in select_strategy()) {
+        let n1 = NormalizedSelect::from_select(&q);
+        let reparsed = parse_select(&print_select(&q)).expect("printable queries reparse");
+        let n2 = NormalizedSelect::from_select(&reparsed);
+        prop_assert_eq!(n1, n2);
+    }
+
+    /// Conjunct splitting and rejoining preserves the conjunct multiset.
+    #[test]
+    fn conjuncts_roundtrip(parts in proptest::collection::vec(predicate_strategy(), 1..5)) {
+        let joined = Expr::conjoin(parts.clone()).expect("non-empty");
+        // Each original part either appears directly, or was itself an AND
+        // that flattened; count total flattened leaves instead.
+        let expected: usize = parts.iter().map(|p| p.conjuncts().len()).sum();
+        prop_assert_eq!(joined.conjuncts().len(), expected);
+    }
+}

@@ -1,0 +1,352 @@
+//! Dictionary-encoded columnar storage.
+//!
+//! String columns are dictionary encoded (`dict` + `codes`), which both
+//! shrinks memory for the low-cardinality categorical columns dashboards
+//! filter on and gives the columnar engines integer group keys.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Physical data of one column. Validity is tracked separately: `valid[i]`
+/// is `false` when row `i` is NULL. An empty validity vector means
+/// "all valid" (the common case allocates nothing).
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    Int { data: Vec<i64>, valid: Vec<bool> },
+    Float { data: Vec<f64>, valid: Vec<bool> },
+    Bool { data: Vec<bool>, valid: Vec<bool> },
+    Str { dict: Vec<Arc<str>>, codes: Vec<u32>, valid: Vec<bool> },
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int { data, .. } => data.len(),
+            ColumnData::Float { data, .. } => data.len(),
+            ColumnData::Bool { data, .. } => data.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is row `i` NULL?
+    pub fn is_null(&self, i: usize) -> bool {
+        let valid = match self {
+            ColumnData::Int { valid, .. }
+            | ColumnData::Float { valid, .. }
+            | ColumnData::Bool { valid, .. }
+            | ColumnData::Str { valid, .. } => valid,
+        };
+        !valid.is_empty() && !valid[i]
+    }
+
+    /// Value of row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            ColumnData::Int { data, .. } => Value::Int(data[i]),
+            ColumnData::Float { data, .. } => Value::Float(data[i]),
+            ColumnData::Bool { data, .. } => Value::Bool(data[i]),
+            ColumnData::Str { dict, codes, .. } => Value::Str(dict[codes[i] as usize].clone()),
+        }
+    }
+
+    /// For string columns: the dictionary code of row `i` (`None` for NULL
+    /// rows or non-string columns).
+    pub fn code(&self, i: usize) -> Option<u32> {
+        match self {
+            ColumnData::Str { codes, .. } if !self.is_null(i) => Some(codes[i]),
+            _ => None,
+        }
+    }
+
+    /// For string columns: the dictionary itself.
+    pub fn dictionary(&self) -> Option<&[Arc<str>]> {
+        match self {
+            ColumnData::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Distinct non-null values, in dictionary/ascending order.
+    pub fn distinct_values(&self) -> Vec<Value> {
+        match self {
+            ColumnData::Str { dict, .. } => {
+                let mut vs: Vec<Value> = dict.iter().map(|s| Value::Str(s.clone())).collect();
+                vs.sort();
+                vs.dedup();
+                vs
+            }
+            _ => {
+                let mut vs: Vec<Value> =
+                    (0..self.len()).filter(|&i| !self.is_null(i)).map(|i| self.value(i)).collect();
+                vs.sort();
+                vs.dedup();
+                vs
+            }
+        }
+    }
+
+    /// Minimum and maximum non-null values, if any row is non-null.
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for i in 0..self.len() {
+            if self.is_null(i) {
+                continue;
+            }
+            let v = self.value(i);
+            match &min {
+                Some(m) if &v >= m => {}
+                _ => min = Some(v.clone()),
+            }
+            match &max {
+                Some(m) if &v <= m => {}
+                _ => max = Some(v),
+            }
+        }
+        Some((min?, max?))
+    }
+
+    /// Approximate heap size in bytes (for capacity planning in benches).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ColumnData::Int { data, valid } => data.len() * 8 + valid.len(),
+            ColumnData::Float { data, valid } => data.len() * 8 + valid.len(),
+            ColumnData::Bool { data, valid } => data.len() + valid.len(),
+            ColumnData::Str { dict, codes, valid } => {
+                codes.len() * 4 + valid.len() + dict.iter().map(|s| s.len()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Incrementally builds a [`ColumnData`] from pushed [`Value`]s.
+///
+/// The physical type is fixed at construction; pushing a mismatched value
+/// panics (generators are trusted code — schema validation happens upstream).
+#[derive(Debug)]
+pub enum ColumnBuilder {
+    Int { data: Vec<i64>, valid: Vec<bool>, any_null: bool },
+    Float { data: Vec<f64>, valid: Vec<bool>, any_null: bool },
+    Bool { data: Vec<bool>, valid: Vec<bool>, any_null: bool },
+    Str { dict: Vec<Arc<str>>, lookup: HashMap<Arc<str>, u32>, codes: Vec<u32>, valid: Vec<bool>, any_null: bool },
+}
+
+impl ColumnBuilder {
+    /// New integer column builder with capacity.
+    pub fn int(capacity: usize) -> Self {
+        ColumnBuilder::Int {
+            data: Vec::with_capacity(capacity),
+            valid: Vec::with_capacity(capacity),
+            any_null: false,
+        }
+    }
+
+    /// New float column builder with capacity.
+    pub fn float(capacity: usize) -> Self {
+        ColumnBuilder::Float {
+            data: Vec::with_capacity(capacity),
+            valid: Vec::with_capacity(capacity),
+            any_null: false,
+        }
+    }
+
+    /// New boolean column builder with capacity.
+    pub fn boolean(capacity: usize) -> Self {
+        ColumnBuilder::Bool {
+            data: Vec::with_capacity(capacity),
+            valid: Vec::with_capacity(capacity),
+            any_null: false,
+        }
+    }
+
+    /// New dictionary-encoded string column builder with capacity.
+    pub fn string(capacity: usize) -> Self {
+        ColumnBuilder::Str {
+            dict: Vec::new(),
+            lookup: HashMap::new(),
+            codes: Vec::with_capacity(capacity),
+            valid: Vec::with_capacity(capacity),
+            any_null: false,
+        }
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, v: Value) {
+        match (self, v) {
+            (ColumnBuilder::Int { data, valid, .. }, Value::Int(x)) => {
+                data.push(x);
+                valid.push(true);
+            }
+            (ColumnBuilder::Int { data, valid, any_null }, Value::Null) => {
+                data.push(0);
+                valid.push(false);
+                *any_null = true;
+            }
+            (ColumnBuilder::Float { data, valid, .. }, Value::Float(x)) => {
+                data.push(x);
+                valid.push(true);
+            }
+            (ColumnBuilder::Float { data, valid, .. }, Value::Int(x)) => {
+                data.push(x as f64);
+                valid.push(true);
+            }
+            (ColumnBuilder::Float { data, valid, any_null }, Value::Null) => {
+                data.push(0.0);
+                valid.push(false);
+                *any_null = true;
+            }
+            (ColumnBuilder::Bool { data, valid, .. }, Value::Bool(x)) => {
+                data.push(x);
+                valid.push(true);
+            }
+            (ColumnBuilder::Bool { data, valid, any_null }, Value::Null) => {
+                data.push(false);
+                valid.push(false);
+                *any_null = true;
+            }
+            (ColumnBuilder::Str { dict, lookup, codes, valid, .. }, Value::Str(s)) => {
+                let code = match lookup.get(&s) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(s.clone());
+                        lookup.insert(s, c);
+                        c
+                    }
+                };
+                codes.push(code);
+                valid.push(true);
+            }
+            (ColumnBuilder::Str { codes, valid, any_null, .. }, Value::Null) => {
+                codes.push(0);
+                valid.push(false);
+                *any_null = true;
+            }
+            (builder, v) => panic!("type mismatch pushing {v:?} into {builder:?}"),
+        }
+    }
+
+    /// Finish building. Drops the validity vector when no NULL was pushed.
+    pub fn finish(self) -> ColumnData {
+        fn finish_valid(valid: Vec<bool>, any_null: bool) -> Vec<bool> {
+            if any_null {
+                valid
+            } else {
+                Vec::new()
+            }
+        }
+        match self {
+            ColumnBuilder::Int { data, valid, any_null } => {
+                ColumnData::Int { data, valid: finish_valid(valid, any_null) }
+            }
+            ColumnBuilder::Float { data, valid, any_null } => {
+                ColumnData::Float { data, valid: finish_valid(valid, any_null) }
+            }
+            ColumnBuilder::Bool { data, valid, any_null } => {
+                ColumnData::Bool { data, valid: finish_valid(valid, any_null) }
+            }
+            ColumnBuilder::Str { dict, codes, valid, any_null, .. } => {
+                ColumnData::Str { dict, codes, valid: finish_valid(valid, any_null) }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_int_column_with_nulls() {
+        let mut b = ColumnBuilder::int(3);
+        b.push(Value::Int(1));
+        b.push(Value::Null);
+        b.push(Value::Int(3));
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert!(c.is_null(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int(3));
+    }
+
+    #[test]
+    fn no_null_column_drops_validity() {
+        let mut b = ColumnBuilder::int(2);
+        b.push(Value::Int(1));
+        b.push(Value::Int(2));
+        match b.finish() {
+            ColumnData::Int { valid, .. } => assert!(valid.is_empty()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn string_dictionary_deduplicates() {
+        let mut b = ColumnBuilder::string(4);
+        for s in ["A", "B", "A", "A"] {
+            b.push(Value::str(s));
+        }
+        let c = b.finish();
+        assert_eq!(c.dictionary().unwrap().len(), 2);
+        assert_eq!(c.code(0), c.code(2));
+        assert_ne!(c.code(0), c.code(1));
+        assert_eq!(c.value(3), Value::str("A"));
+    }
+
+    #[test]
+    fn float_builder_widens_ints() {
+        let mut b = ColumnBuilder::float(2);
+        b.push(Value::Int(2));
+        b.push(Value::Float(2.5));
+        let c = b.finish();
+        assert_eq!(c.value(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn distinct_values_sorted() {
+        let mut b = ColumnBuilder::string(3);
+        for s in ["C", "A", "B", "A"] {
+            b.push(Value::str(s));
+        }
+        let c = b.finish();
+        assert_eq!(
+            c.distinct_values(),
+            vec![Value::str("A"), Value::str("B"), Value::str("C")]
+        );
+    }
+
+    #[test]
+    fn min_max_skips_nulls() {
+        let mut b = ColumnBuilder::int(3);
+        b.push(Value::Null);
+        b.push(Value::Int(5));
+        b.push(Value::Int(2));
+        let c = b.finish();
+        assert_eq!(c.min_max(), Some((Value::Int(2), Value::Int(5))));
+    }
+
+    #[test]
+    fn min_max_all_null_is_none() {
+        let mut b = ColumnBuilder::int(1);
+        b.push(Value::Null);
+        assert_eq!(b.finish().min_max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut b = ColumnBuilder::int(1);
+        b.push(Value::str("oops"));
+    }
+}

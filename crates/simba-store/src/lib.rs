@@ -1,0 +1,25 @@
+//! Storage substrate for the SIMBA benchmark.
+//!
+//! The paper evaluates DBMSs over *denormalized* datasets (§6.2.2), so the
+//! storage model is a single flat table per dashboard. This crate provides:
+//!
+//! * [`value`] — the dynamic [`Value`] type shared by all engines.
+//! * [`schema`] — logical schemas with the paper's column taxonomy
+//!   (Categorical / Quantitative / Temporal).
+//! * [`column`] — dictionary-encoded columnar storage.
+//! * [`table`] — the in-memory table (columnar layout with row views, so
+//!   both row-oriented and column-oriented engines share one copy).
+//! * [`result`] — query [`ResultSet`]s with the multiset/subsumption/overlap
+//!   operations the equivalence suite (§4.1.2) is built on.
+
+pub mod column;
+pub mod result;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use column::{ColumnBuilder, ColumnData};
+pub use result::{CoverageStore, ResultSet};
+pub use schema::{ColumnDef, ColumnRole, DataType, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::Value;

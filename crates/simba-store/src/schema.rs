@@ -1,0 +1,174 @@
+//! Logical schemas with the paper's column taxonomy.
+//!
+//! Table 2 of the paper classifies data columns as **C**ategorical,
+//! **Q**uantitative, or **T**emporal; goal templates are parameterized by
+//! these roles, so the role is a first-class part of the schema.
+
+use crate::value::Value;
+
+/// Physical storage type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+    Bool,
+}
+
+/// The paper's analytic role of a column (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnRole {
+    /// Discrete labels: group-by and filter targets.
+    Categorical,
+    /// Numeric measures: aggregation targets.
+    Quantitative,
+    /// Time-like columns (stored as epoch seconds or small ordinals);
+    /// binned-aggregation and date-part targets.
+    Temporal,
+}
+
+impl ColumnRole {
+    /// One-letter code used in dashboard summaries ("10Q, 6C").
+    pub fn code(self) -> char {
+        match self {
+            ColumnRole::Categorical => 'C',
+            ColumnRole::Quantitative => 'Q',
+            ColumnRole::Temporal => 'T',
+        }
+    }
+}
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub role: ColumnRole,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, data_type: DataType, role: ColumnRole) -> Self {
+        Self { name: name.into(), data_type, role }
+    }
+
+    /// Shorthand for a categorical string column.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Str, ColumnRole::Categorical)
+    }
+
+    /// Shorthand for a quantitative integer column.
+    pub fn quantitative_int(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Int, ColumnRole::Quantitative)
+    }
+
+    /// Shorthand for a quantitative float column.
+    pub fn quantitative_float(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Float, ColumnRole::Quantitative)
+    }
+
+    /// Shorthand for a temporal column stored as epoch seconds.
+    pub fn temporal(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Int, ColumnRole::Temporal)
+    }
+
+    /// Does a value match this column's physical type (NULL always matches)?
+    pub fn accepts(&self, v: &Value) -> bool {
+        matches!(
+            (self.data_type, v),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_) | Value::Int(_))
+                | (DataType::Str, Value::Str(_))
+                | (DataType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// A table schema: name plus ordered column definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    pub table: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    pub fn new(table: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        Self { table: table.into(), columns }
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column definition by case-insensitive name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// All columns with the given role.
+    pub fn columns_with_role(&self, role: ColumnRole) -> Vec<&ColumnDef> {
+        self.columns.iter().filter(|c| c.role == role).collect()
+    }
+
+    /// Count of columns with the given role (the paper reports dashboards as
+    /// e.g. "10Q, 6C").
+    pub fn role_count(&self, role: ColumnRole) -> usize {
+        self.columns.iter().filter(|c| c.role == role).count()
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(
+            "customer_service",
+            vec![
+                ColumnDef::categorical("queue"),
+                ColumnDef::quantitative_int("calls"),
+                ColumnDef::temporal("ts"),
+                ColumnDef::quantitative_float("duration"),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("QUEUE"), Some(0));
+        assert_eq!(s.index_of("Ts"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn role_counts() {
+        let s = sample();
+        assert_eq!(s.role_count(ColumnRole::Categorical), 1);
+        assert_eq!(s.role_count(ColumnRole::Quantitative), 2);
+        assert_eq!(s.role_count(ColumnRole::Temporal), 1);
+    }
+
+    #[test]
+    fn accepts_checks_physical_type() {
+        let c = ColumnDef::quantitative_int("x");
+        assert!(c.accepts(&Value::Int(1)));
+        assert!(c.accepts(&Value::Null));
+        assert!(!c.accepts(&Value::str("a")));
+        let f = ColumnDef::quantitative_float("y");
+        assert!(f.accepts(&Value::Int(1)), "ints widen to floats");
+    }
+
+    #[test]
+    fn role_codes() {
+        assert_eq!(ColumnRole::Categorical.code(), 'C');
+        assert_eq!(ColumnRole::Quantitative.code(), 'Q');
+        assert_eq!(ColumnRole::Temporal.code(), 'T');
+    }
+}

@@ -1,0 +1,194 @@
+//! The in-memory table: one columnar store shared by every engine.
+
+use crate::column::{ColumnBuilder, ColumnData};
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+
+/// An immutable, denormalized, columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    row_count: usize,
+}
+
+impl Table {
+    /// Assemble a table from a schema and matching column data.
+    ///
+    /// # Panics
+    /// Panics if the column count or row counts are inconsistent — tables
+    /// are built by trusted generators.
+    pub fn from_columns(schema: Schema, columns: Vec<ColumnData>) -> Self {
+        assert_eq!(schema.columns.len(), columns.len(), "column count mismatch");
+        let row_count = columns.first().map_or(0, ColumnData::len);
+        for (def, col) in schema.columns.iter().zip(&columns) {
+            assert_eq!(col.len(), row_count, "row count mismatch in column `{}`", def.name);
+        }
+        Self { schema, columns, row_count }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.schema.table
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Column data by position.
+    pub fn column(&self, idx: usize) -> &ColumnData {
+        &self.columns[idx]
+    }
+
+    /// Column data by case-insensitive name.
+    pub fn column_by_name(&self, name: &str) -> Option<&ColumnData> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Cell value at (row, column).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// Materialize row `i` as a `Vec<Value>` (row-store engines use this).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Write row `i` into a reusable buffer, avoiding per-row allocation.
+    pub fn read_row_into(&self, i: usize, buf: &mut Vec<Value>) {
+        buf.clear();
+        buf.extend(self.columns.iter().map(|c| c.value(i)));
+    }
+
+    /// Total approximate heap size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(ColumnData::byte_size).sum()
+    }
+}
+
+/// Row-oriented builder for [`Table`] — generators push one record at a time.
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Schema,
+    builders: Vec<ColumnBuilder>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given schema, pre-sizing for
+    /// `capacity` rows.
+    pub fn new(schema: Schema, capacity: usize) -> Self {
+        let builders = schema
+            .columns
+            .iter()
+            .map(|c| match c.data_type {
+                DataType::Int => ColumnBuilder::int(capacity),
+                DataType::Float => ColumnBuilder::float(capacity),
+                DataType::Str => ColumnBuilder::string(capacity),
+                DataType::Bool => ColumnBuilder::boolean(capacity),
+            })
+            .collect();
+        Self { schema, builders, rows: 0 }
+    }
+
+    /// Append one row. The value count must match the schema width.
+    pub fn push_row(&mut self, values: Vec<Value>) {
+        assert_eq!(values.len(), self.builders.len(), "row width mismatch");
+        for (b, v) in self.builders.iter_mut().zip(values) {
+            b.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Finish building the table.
+    pub fn finish(self) -> Table {
+        let columns = self.builders.into_iter().map(ColumnBuilder::finish).collect();
+        Table::from_columns(self.schema, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(
+            "t",
+            vec![
+                ColumnDef::categorical("q"),
+                ColumnDef::quantitative_int("n"),
+                ColumnDef::quantitative_float("f"),
+            ],
+        );
+        let mut b = TableBuilder::new(schema, 3);
+        b.push_row(vec![Value::str("A"), Value::Int(1), Value::Float(0.5)]);
+        b.push_row(vec![Value::str("B"), Value::Int(2), Value::Null]);
+        b.push_row(vec![Value::str("A"), Value::Int(3), Value::Float(1.5)]);
+        b.finish()
+    }
+
+    #[test]
+    fn builds_and_reads_back_rows() {
+        let t = sample_table();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.row(1), vec![Value::str("B"), Value::Int(2), Value::Null]);
+        assert_eq!(t.value(2, 1), Value::Int(3));
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let t = sample_table();
+        assert!(t.column_by_name("N").is_some());
+        assert!(t.column_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn read_row_into_reuses_buffer() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        t.read_row_into(0, &mut buf);
+        assert_eq!(buf[0], Value::str("A"));
+        t.read_row_into(2, &mut buf);
+        assert_eq!(buf[1], Value::Int(3));
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn empty_table_has_zero_rows() {
+        let schema = Schema::new("e", vec![ColumnDef::quantitative_int("x")]);
+        let t = TableBuilder::new(schema, 0).finish();
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let schema = Schema::new("t", vec![ColumnDef::quantitative_int("x")]);
+        let mut b = TableBuilder::new(schema, 1);
+        b.push_row(vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn byte_size_is_positive() {
+        assert!(sample_table().byte_size() > 0);
+    }
+}

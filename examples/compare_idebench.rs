@@ -1,0 +1,75 @@
+//! SIMBA vs IDEBench (§6.3): workload-shape statistics and the
+//! reverse-engineered dashboard complexity of Figure 9, at example scale.
+//!
+//! ```sh
+//! cargo run --release --example compare_idebench
+//! ```
+
+use simba::idebench::complexity::FleetComplexity;
+use simba::idebench::DashboardComplexity;
+use simba::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let dataset = DashboardDataset::ItMonitor;
+    let table = Arc::new(dataset.generate_rows(50_000, 7));
+    let engine = EngineKind::DuckDbLike.build();
+    engine.register(table.clone());
+
+    // --- SIMBA: constrained by the real IT Monitor dashboard ---
+    let dashboard = Dashboard::new(builtin(dataset), &table).expect("valid spec");
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible");
+    let mut simba_shapes = Vec::new();
+    for seed in 0..5 {
+        let config = SessionConfig {
+            seed,
+            max_steps: 20,
+            stop_on_completion: false,
+            ..Default::default()
+        };
+        let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+            .run(&goals)
+            .expect("session runs");
+        if let Some(stats) = WorkloadStats::from_log(&log) {
+            simba_shapes.push(stats);
+        }
+    }
+    let avg = |f: fn(&WorkloadStats) -> f64| {
+        simba_shapes.iter().map(f).sum::<f64>() / simba_shapes.len() as f64
+    };
+    println!("--- SIMBA (real IT Monitor dashboard: 3 visualizations) ---");
+    println!("runs                  : {}", simba_shapes.len());
+    println!("avg data columns/query: {:.1}", avg(|s| s.data_columns_avg));
+    println!("avg aggregates/query  : {:.1}", avg(|s| s.aggregated_avg));
+    println!("avg filters/query     : {:.1}", avg(|s| s.filters_avg));
+
+    // --- IDEBench: unconstrained stochastic simulation ---
+    let profiles: Vec<DashboardComplexity> = (0..10)
+        .map(|seed| {
+            let log = IdeBenchRunner::new(
+                &table,
+                engine.as_ref(),
+                IdeBenchConfig { seed, interactions: 20, ..Default::default() },
+            )
+            .run()
+            .expect("idebench runs");
+            DashboardComplexity::from_log(&log)
+        })
+        .collect();
+    let fleet = FleetComplexity::from_runs(&profiles).expect("profiles");
+    println!("\n--- IDEBench (implicit random dashboards) ---");
+    println!("runs                  : {}", fleet.runs);
+    println!(
+        "visualizations        : avg {:.1} (min {}, max {})",
+        fleet.viz_avg, fleet.viz_min, fleet.viz_max
+    );
+    println!("updates/interaction   : avg {:.1}", fleet.updates_avg);
+    println!("avg attrs/viz         : {:.1}", fleet.attrs_avg);
+    println!("avg filters/query     : {:.1}", fleet.filters_avg);
+
+    println!(
+        "\nPaper's finding (§6.3): SIMBA balances visualization and filtering \
+         complexity; IDEBench stacks filters (13.2 vs 5.8) on simpler views \
+         (2.1 vs 3.8 attrs) across far more visualizations (avg 13 vs 3)."
+    );
+}

@@ -1,0 +1,54 @@
+//! DBMS shootout: the same simulated workload against all four engine
+//! architectures (the §6 headline comparison, scaled down).
+//!
+//! ```sh
+//! cargo run --release --example dbms_shootout [rows]
+//! ```
+
+use simba::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    let dataset = DashboardDataset::CustomerService;
+    let table = Arc::new(dataset.generate_rows(rows, 99));
+    println!("dataset: {} rows of {}", table.row_count(), dataset.title());
+
+    let dashboard = Dashboard::new(builtin(dataset), &table).expect("valid spec");
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible");
+
+    println!(
+        "\n{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "engine", "queries", "mean ms", "p50 ms", "p95 ms", "max ms"
+    );
+    for kind in EngineKind::ALL {
+        let engine = kind.build();
+        engine.register(table.clone());
+        // Identical seed => identical interaction sequence (verified by the
+        // integration suite); only latency differs.
+        let config = SessionConfig {
+            seed: 31,
+            max_steps: 15,
+            stop_on_completion: false,
+            ..Default::default()
+        };
+        let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+            .run(&goals)
+            .expect("session runs");
+        let summary = DurationSummary::from_durations(&log.durations()).expect("queries ran");
+        println!(
+            "{:<14} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            kind.name(),
+            summary.count,
+            summary.mean_ms,
+            summary.p50_ms,
+            summary.p95_ms,
+            summary.max_ms
+        );
+    }
+    println!("\n(architectures: row-Volcano, lazy-row+hash, vectorized columnar, operator-at-a-time)");
+}

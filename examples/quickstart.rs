@@ -1,0 +1,66 @@
+//! Quickstart: simulate one exploration session and print its log.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use simba::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Pick a built-in dashboard and generate its dataset.
+    let dataset = DashboardDataset::CustomerService;
+    let table = Arc::new(dataset.generate_rows(50_000, 42));
+    println!(
+        "dataset: {} ({} rows, {} columns)",
+        dataset.title(),
+        table.row_count(),
+        table.schema().width()
+    );
+
+    // 2. Build the dashboard runtime and a DBMS under test.
+    let dashboard = Dashboard::new(builtin(dataset), &table).expect("valid spec");
+    let engine = EngineKind::DuckDbLike.build();
+    engine.register(table);
+
+    // 3. Instantiate a workflow's goals and run a session.
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible workflow");
+    println!("\ngoals:");
+    for g in &goals {
+        println!("  [{}] {}", g.kind.name(), g.question);
+        println!("      {}", g.query);
+    }
+
+    let config = SessionConfig { seed: 7, max_steps: 30, ..Default::default() };
+    let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+        .run(&goals)
+        .expect("session runs");
+
+    // 4. Inspect the log.
+    println!("\nsession ({} interactions, {} queries):", log.interaction_count(), log.query_count());
+    for entry in &log.entries {
+        println!(
+            "  step {:>2} [{}] {} -> {} queries",
+            entry.step,
+            entry.model.name(),
+            entry.action,
+            entry.queries.len()
+        );
+    }
+
+    println!("\ngoal outcomes:");
+    for outcome in &log.goals {
+        match (outcome.solved_at, outcome.method) {
+            (Some(step), Some(method)) => {
+                println!("  SOLVED at step {step} via {} — {}", method.name(), outcome.question)
+            }
+            _ => println!("  UNSOLVED — {}", outcome.question),
+        }
+    }
+
+    let summary = DurationSummary::from_durations(&log.durations()).expect("queries ran");
+    println!(
+        "\nquery durations: n={} mean={:.3}ms p50={:.3}ms p95={:.3}ms max={:.3}ms",
+        summary.count, summary.mean_ms, summary.p50_ms, summary.p95_ms, summary.max_ms
+    );
+}

@@ -1,0 +1,208 @@
+//! End-to-end session tests: every built-in dashboard × compatible workflow
+//! simulated against a real engine, with log invariants checked.
+
+use simba::prelude::*;
+use std::sync::Arc;
+
+fn dashboard_for(ds: DashboardDataset, rows: usize, seed: u64) -> (Dashboard, Arc<dyn Dbms>) {
+    let table = Arc::new(ds.generate_rows(rows, seed));
+    let dashboard = Dashboard::new(builtin(ds), &table).expect("valid builtin spec");
+    let engine = EngineKind::DuckDbLike.build();
+    engine.register(table);
+    (dashboard, engine)
+}
+
+#[test]
+fn every_dashboard_runs_every_compatible_workflow() {
+    for ds in DashboardDataset::ALL {
+        let (dashboard, engine) = dashboard_for(ds, 1_500, 11);
+        for wf in Workflow::ALL {
+            let Ok(goals) = wf.goals_for(&dashboard) else {
+                continue; // incompatible combination (MyRide × correlations)
+            };
+            let config = SessionConfig { seed: 5, max_steps: 10, ..Default::default() };
+            let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+                .run(&goals)
+                .unwrap_or_else(|e| panic!("{} × {}: {e}", ds.title(), wf.name()));
+            assert!(log.query_count() > 0, "{} × {}", ds.title(), wf.name());
+            assert_eq!(log.dashboard, dashboard.spec().name);
+            // Step 0 renders every visualization.
+            assert_eq!(
+                log.entries[0].queries.len(),
+                dashboard.spec().visualizations.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_dominated_sessions_solve_more_goals_than_markov_only() {
+    let (dashboard, engine) = dashboard_for(DashboardDataset::CustomerService, 2_000, 3);
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).unwrap();
+
+    let mut oracle_solved = 0usize;
+    let mut markov_solved = 0usize;
+    for seed in 0..4 {
+        let oracle_cfg = SessionConfig {
+            seed,
+            max_steps: 25,
+            decay: DecayConfig::oracle_only(),
+            ..Default::default()
+        };
+        let markov_cfg = SessionConfig {
+            seed,
+            max_steps: 25,
+            decay: DecayConfig::markov_only(),
+            ..Default::default()
+        };
+        let o = SessionRunner::new(&dashboard, engine.as_ref(), oracle_cfg).run(&goals).unwrap();
+        let m = SessionRunner::new(&dashboard, engine.as_ref(), markov_cfg).run(&goals).unwrap();
+        oracle_solved += o.goals.iter().filter(|g| g.solved_at.is_some()).count();
+        markov_solved += m.goals.iter().filter(|g| g.solved_at.is_some()).count();
+    }
+    assert!(
+        oracle_solved > markov_solved,
+        "oracle {oracle_solved} vs markov {markov_solved}"
+    );
+}
+
+#[test]
+fn interleaved_sessions_start_markov_and_end_oracle() {
+    let (dashboard, engine) = dashboard_for(DashboardDataset::ItMonitor, 1_500, 9);
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).unwrap();
+    // High-decay config: early steps Markov, later steps Oracle.
+    let config = SessionConfig {
+        seed: 2,
+        max_steps: 20,
+        stop_on_completion: false,
+        decay: DecayConfig { initial_markov: 0.95, decay_rate: 0.4 },
+        ..Default::default()
+    };
+    let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+    let models: Vec<&str> = log
+        .entries
+        .iter()
+        .skip(1)
+        .map(|e| match e.model {
+            simba::core::session::ModelChoice::Markov => "m",
+            simba::core::session::ModelChoice::Oracle => "o",
+            _ => "i",
+        })
+        .collect();
+    // Both models must appear.
+    assert!(models.contains(&"m"), "{models:?}");
+    assert!(models.contains(&"o"), "{models:?}");
+    // Late-session steps should be Oracle-dominated.
+    let late = &models[models.len() / 2..];
+    let oracle_late = late.iter().filter(|m| **m == "o").count();
+    assert!(oracle_late * 2 >= late.len(), "{models:?}");
+}
+
+#[test]
+fn goal_outcomes_are_ordered_and_monotonic() {
+    let (dashboard, engine) = dashboard_for(DashboardDataset::CustomerService, 1_500, 31);
+    let goals = Workflow::Crossfilter.goals_for(&dashboard).unwrap();
+    let config = SessionConfig {
+        seed: 8,
+        max_steps: 35,
+        decay: DecayConfig::oracle_only(),
+        ..Default::default()
+    };
+    let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+    // The Oracle pursues goals in order, but later goals may complete
+    // incidentally (e.g. at the initial render). Invariants that must hold:
+    // the first goal is solved, and every solve step is within bounds.
+    assert!(log.goals[0].solved_at.is_some(), "first goal must be solved: {:?}", log.goals);
+    for outcome in &log.goals {
+        if let Some(step) = outcome.solved_at {
+            assert!(step <= 35);
+            assert!(outcome.method.is_some());
+        }
+    }
+    let solved = log.goals.iter().filter(|g| g.solved_at.is_some()).count();
+    assert!(solved >= 2, "oracle-only crossfilter session should solve most goals: {solved}");
+}
+
+#[test]
+fn different_engines_same_session_shape() {
+    // The same seed must produce the same interaction sequence regardless of
+    // the engine (latency differs; decisions must not).
+    let ds = DashboardDataset::CirculationActivity;
+    let table = Arc::new(ds.generate_rows(1_000, 17));
+    let dashboard = Dashboard::new(builtin(ds), &table).unwrap();
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).unwrap();
+
+    let mut all_actions: Vec<Vec<String>> = Vec::new();
+    for kind in EngineKind::ALL {
+        let engine = kind.build();
+        engine.register(table.clone());
+        let config = SessionConfig { seed: 55, max_steps: 8, ..Default::default() };
+        let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+        all_actions.push(log.entries.iter().map(|e| e.action.clone()).collect());
+    }
+    for other in &all_actions[1..] {
+        assert_eq!(&all_actions[0], other);
+    }
+}
+
+#[test]
+fn workload_stats_computable_from_logs() {
+    let (dashboard, engine) = dashboard_for(DashboardDataset::CustomerService, 1_000, 77);
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).unwrap();
+    let config =
+        SessionConfig { seed: 1, max_steps: 10, stop_on_completion: false, ..Default::default() };
+    let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+    let stats = WorkloadStats::from_log(&log).expect("non-empty workload");
+    assert!(stats.queries > 0);
+    assert!(stats.data_columns_avg > 0.0);
+    let durations = log.durations();
+    let summary = DurationSummary::from_durations(&durations).unwrap();
+    assert!(summary.mean_ms >= 0.0);
+    assert!(summary.p95_ms >= summary.p50_ms);
+}
+
+#[test]
+fn realism_probe_distinguishes_randomization_levels() {
+    // §6.4: over-randomized sessions emit repeated empty-result queries;
+    // goal-directed sessions rarely do.
+    use simba::core::metrics::realism::empty_result_stats;
+    let (dashboard, engine) = dashboard_for(DashboardDataset::ItMonitor, 1_500, 13);
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).unwrap();
+
+    let mut markov_empty = 0usize;
+    let mut oracle_empty = 0usize;
+    for seed in 0..3 {
+        let markov = SessionRunner::new(
+            &dashboard,
+            engine.as_ref(),
+            SessionConfig {
+                seed,
+                max_steps: 20,
+                stop_on_completion: false,
+                decay: DecayConfig::markov_only(),
+                ..Default::default()
+            },
+        )
+        .run(&goals)
+        .unwrap();
+        let oracle = SessionRunner::new(
+            &dashboard,
+            engine.as_ref(),
+            SessionConfig {
+                seed,
+                max_steps: 20,
+                stop_on_completion: false,
+                decay: DecayConfig::oracle_only(),
+                ..Default::default()
+            },
+        )
+        .run(&goals)
+        .unwrap();
+        markov_empty += empty_result_stats(&markov).empty_interactions;
+        oracle_empty += empty_result_stats(&oracle).empty_interactions;
+    }
+    assert!(
+        markov_empty >= oracle_empty,
+        "markov {markov_empty} vs oracle {oracle_empty}"
+    );
+}

@@ -1,0 +1,127 @@
+//! JSON specification-language tests (§3.0.1): round trips, hand-written
+//! specs, and failure modes.
+
+use simba::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn builtin_specs_round_trip_through_json() {
+    for spec in all_builtin() {
+        let json = spec.to_json();
+        let parsed = DashboardSpec::from_json(&json).unwrap();
+        assert_eq!(spec, parsed);
+    }
+}
+
+#[test]
+fn hand_written_json_spec_drives_a_session() {
+    // A developer-authored dashboard in the JSON specification language.
+    let json = r#"{
+        "name": "mini_cs",
+        "title": "Mini Customer Service",
+        "dashboard_type": "operational_decision_making",
+        "database": {
+            "table": "customer_service",
+            "fields": [
+                { "name": "queue", "role": "categorical" },
+                { "name": "calls", "role": "quantitative" },
+                { "name": "lost_calls", "role": "quantitative" },
+                { "name": "hour", "role": "temporal" }
+            ]
+        },
+        "visualizations": [
+            {
+                "id": "lost",
+                "title": "Lost Calls",
+                "mark": "stat",
+                "dimensions": [],
+                "measures": [ { "func": "count", "field": "lost_calls" } ],
+                "raw_fields": [],
+                "selectable": false
+            },
+            {
+                "id": "by_queue",
+                "title": "Calls by Queue",
+                "mark": "bar",
+                "dimensions": [ { "field": "queue" } ],
+                "measures": [ { "func": "count", "field": "calls" } ],
+                "raw_fields": [],
+                "selectable": true
+            }
+        ],
+        "widgets": [
+            {
+                "id": "queue_box",
+                "title": "Queue",
+                "control": { "kind": "checkbox", "field": "queue" }
+            }
+        ],
+        "links": [
+            { "source": "queue_box", "target": "lost" },
+            { "source": "queue_box", "target": "by_queue" },
+            { "source": "by_queue", "target": "lost" }
+        ]
+    }"#;
+    let spec = DashboardSpec::from_json(json).unwrap();
+    assert_eq!(spec.visualizations.len(), 2);
+
+    let table = Arc::new(DashboardDataset::CustomerService.generate_rows(1_500, 23));
+    let dashboard = Dashboard::new(spec, &table).unwrap();
+    let engine = EngineKind::DuckDbLike.build();
+    engine.register(table);
+
+    let goals = Workflow::Shneiderman.goals_for(&dashboard).unwrap();
+    let config = SessionConfig {
+        seed: 3,
+        max_steps: 20,
+        decay: DecayConfig::oracle_only(),
+        ..Default::default()
+    };
+    let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+    assert!(log.query_count() > 0);
+    assert!(
+        log.goals.iter().any(|g| g.solved_at.is_some()),
+        "goals: {:?}",
+        log.goals.iter().map(|g| (&g.question, g.solved_at)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn invalid_specs_are_rejected_with_reasons() {
+    let mut spec = builtin(DashboardDataset::MyRide);
+    spec.links.push(simba::core::spec::LinkSpec {
+        source: "ghost".into(),
+        target: "hr_by_segment".into(),
+    });
+    let table = DashboardDataset::MyRide.generate_rows(100, 1);
+    let err = Dashboard::new(spec, &table).unwrap_err();
+    assert!(matches!(err, CoreError::UnknownNode(_)), "{err}");
+}
+
+#[test]
+fn spec_field_must_exist_in_physical_schema() {
+    let mut spec = builtin(DashboardDataset::MyRide);
+    spec.database.fields.push(simba::core::spec::FieldSpec::quantitative("phantom"));
+    let table = DashboardDataset::MyRide.generate_rows(100, 1);
+    let err = Dashboard::new(spec, &table).unwrap_err();
+    assert!(matches!(err, CoreError::UnknownField(_)), "{err}");
+}
+
+#[test]
+fn json_rejects_bad_role_and_mark_names() {
+    let bad_role = r#"{
+        "name": "x", "title": "X",
+        "database": { "table": "t", "fields": [ { "name": "a", "role": "wibble" } ] },
+        "visualizations": []
+    }"#;
+    assert!(DashboardSpec::from_json(bad_role).is_err());
+}
+
+#[test]
+fn goal_algebra_serializes_with_serde() {
+    // Goal expressions are serde-serializable for experiment manifests.
+    let goal = parse_goal("queue x count(lost_calls)").unwrap();
+    let json = serde_json::to_string(&goal).unwrap();
+    let back: simba::core::GoalExpr = serde_json::from_str(&json).unwrap();
+    assert_eq!(goal, back);
+}
