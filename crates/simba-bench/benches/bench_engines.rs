@@ -49,14 +49,14 @@ fn bench_engines(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("engines");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for (name, query) in queries() {
         for (kind, engine) in &engines {
-            group.bench_with_input(
-                BenchmarkId::new(name, kind.name()),
-                &query,
-                |b, q| b.iter(|| engine.execute(q).unwrap().result.n_rows()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, kind.name()), &query, |b, q| {
+                b.iter(|| engine.execute(q).unwrap().result.n_rows())
+            });
         }
     }
     group.finish();

@@ -25,7 +25,9 @@ fn bench_equivalence(c: &mut Criterion) {
     .unwrap();
 
     let mut group = c.benchmark_group("equivalence");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("syntactic", |b| {
         b.iter(|| syntactic_equivalent(&goal, &other))

@@ -15,13 +15,17 @@ const ROWS: usize = 20_000;
 
 fn bench_figure7(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure7_sessions");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for ds in DashboardDataset::ALL {
         let table = Arc::new(ds.generate_rows(ROWS, 21));
         let dashboard = Dashboard::new(builtin(ds), &table).unwrap();
         let engine = EngineKind::DuckDbLike.build();
         engine.register(table);
-        let Ok(goals) = Workflow::Shneiderman.goals_for(&dashboard) else { continue };
+        let Ok(goals) = Workflow::Shneiderman.goals_for(&dashboard) else {
+            continue;
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(ds.table_name()),
             &goals,

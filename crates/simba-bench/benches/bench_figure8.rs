@@ -21,23 +21,29 @@ fn bench_figure8(c: &mut Criterion) {
     engine.register(table);
 
     let mut group = c.benchmark_group("figure8_workflows");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for wf in Workflow::ALL {
         let goals = wf.goals_for(&dashboard).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(wf.name()), &goals, |b, goals| {
-            b.iter(|| {
-                let config = SessionConfig {
-                    seed: 2,
-                    max_steps: 6,
-                    stop_on_completion: true,
-                    ..Default::default()
-                };
-                SessionRunner::new(&dashboard, engine.as_ref(), config)
-                    .run(goals)
-                    .unwrap()
-                    .query_count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(wf.name()),
+            &goals,
+            |b, goals| {
+                b.iter(|| {
+                    let config = SessionConfig {
+                        seed: 2,
+                        max_steps: 6,
+                        stop_on_completion: true,
+                        ..Default::default()
+                    };
+                    SessionRunner::new(&dashboard, engine.as_ref(), config)
+                        .run(goals)
+                        .unwrap()
+                        .query_count()
+                })
+            },
+        );
     }
     group.finish();
 }

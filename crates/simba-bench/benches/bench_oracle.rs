@@ -24,10 +24,8 @@ fn bench_oracle(c: &mut Criterion) {
     let engine = EngineKind::DuckDbLike.build();
     engine.register(table);
 
-    let goal = parse_select(
-        "SELECT queue, COUNT(lost_calls) FROM customer_service GROUP BY queue",
-    )
-    .unwrap();
+    let goal = parse_select("SELECT queue, COUNT(lost_calls) FROM customer_service GROUP BY queue")
+        .unwrap();
     let goal_result = engine.execute(&goal).unwrap().result;
     let state = dashboard.initial_state();
     let mut coverage = CoverageStore::new();
@@ -37,11 +35,34 @@ fn bench_oracle(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("oracle_plan_step");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for (label, config) in [
-        ("depth1_c16", OracleConfig { depth: 1, max_candidates: 16, beam_width: 3 }),
-        ("depth1_c48", OracleConfig { depth: 1, max_candidates: 48, beam_width: 3 }),
-        ("depth2_c16", OracleConfig { depth: 2, max_candidates: 16, beam_width: 3 }),
+        (
+            "depth1_c16",
+            OracleConfig {
+                depth: 1,
+                max_candidates: 16,
+                beam_width: 3,
+            },
+        ),
+        (
+            "depth1_c48",
+            OracleConfig {
+                depth: 1,
+                max_candidates: 48,
+                beam_width: 3,
+            },
+        ),
+        (
+            "depth2_c16",
+            OracleConfig {
+                depth: 2,
+                max_candidates: 16,
+                beam_width: 3,
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
             let oracle = Oracle::new(cfg.clone());

@@ -24,7 +24,9 @@ fn bench_session(c: &mut Criterion) {
     let goals = Workflow::Shneiderman.goals_for(&dashboard).unwrap();
 
     let mut group = c.benchmark_group("session");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for (label, decay) in [
         ("simba_markov", DecayConfig::markov_only()),
@@ -53,7 +55,11 @@ fn bench_session(c: &mut Criterion) {
             IdeBenchRunner::new(
                 &table,
                 engine.as_ref(),
-                IdeBenchConfig { seed: 5, interactions: 6, ..Default::default() },
+                IdeBenchConfig {
+                    seed: 5,
+                    interactions: 6,
+                    ..Default::default()
+                },
             )
             .run()
             .unwrap()

@@ -4,7 +4,7 @@
 //! local optima. This ablation sweeps depth 1–3 and reports
 //! steps-to-first-goal and planning cost.
 
-use simba_bench::{build_context, configured_rows, engine_with};
+use simba_bench::{build_context, configured_rows, engine_with, harness_seed};
 use simba_core::oracle::OracleConfig;
 use simba_core::session::interleave::DecayConfig;
 use simba_core::session::workflows::Workflow;
@@ -21,9 +21,12 @@ fn main() {
         "depth", "first goal step", "goals met", "wall time ms", "queries"
     );
 
-    let (table, dashboard) = build_context(DashboardDataset::CustomerService, rows, 5);
+    let (table, dashboard) =
+        build_context(DashboardDataset::CustomerService, rows, harness_seed(5));
     let engine = engine_with(EngineKind::DuckDbLike, table);
-    let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible");
+    let goals = Workflow::Shneiderman
+        .goals_for(&dashboard)
+        .expect("compatible");
 
     for depth in 1..=3usize {
         let mut first_goal = 0usize;
@@ -32,10 +35,14 @@ fn main() {
         let start = std::time::Instant::now();
         for seed in 0..sessions {
             let config = SessionConfig {
-                seed,
+                seed: harness_seed(seed),
                 max_steps: 20,
                 decay: DecayConfig::oracle_only(),
-                oracle: OracleConfig { depth, max_candidates: 24, beam_width: 3 },
+                oracle: OracleConfig {
+                    depth,
+                    max_candidates: 24,
+                    beam_width: 3,
+                },
                 ..Default::default()
             };
             let log = SessionRunner::new(&dashboard, engine.as_ref(), config)

@@ -6,7 +6,7 @@
 //! zero-result statistics that §6.4's experts keyed on — quantifying why
 //! the interleaved design is the sweet spot.
 
-use simba_bench::{build_context, configured_rows, engine_with};
+use simba_bench::{build_context, configured_rows, engine_with, harness_seed};
 use simba_core::metrics::realism::empty_result_stats;
 use simba_core::session::interleave::DecayConfig;
 use simba_core::session::workflows::Workflow;
@@ -17,11 +17,16 @@ use simba_engine::EngineKind;
 fn main() {
     let rows = configured_rows().min(100_000);
     let sessions = 6u64;
-    println!("=== Interleaving ablation: Customer Service, {rows} rows, {sessions} sessions each ===\n");
+    println!(
+        "=== Interleaving ablation: Customer Service, {rows} rows, {sessions} sessions each ===\n"
+    );
 
-    let (table, dashboard) = build_context(DashboardDataset::CustomerService, rows, 8);
+    let (table, dashboard) =
+        build_context(DashboardDataset::CustomerService, rows, harness_seed(8));
     let engine = engine_with(EngineKind::DuckDbLike, table);
-    let goals = Workflow::Crossfilter.goals_for(&dashboard).expect("compatible");
+    let goals = Workflow::Crossfilter
+        .goals_for(&dashboard)
+        .expect("compatible");
 
     println!(
         "{:<22} {:>12} {:>12} {:>12} {:>14}",
@@ -41,7 +46,7 @@ fn main() {
         let mut empty = 0usize;
         for seed in 0..sessions {
             let config = SessionConfig {
-                seed,
+                seed: harness_seed(seed),
                 max_steps: 30,
                 decay,
                 stop_on_completion: true,

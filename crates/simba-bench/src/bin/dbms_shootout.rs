@@ -2,7 +2,7 @@
 //! fixed workload. Reports mean/p95 latency per engine per size so scaling
 //! behavior (who degrades fastest as rows grow) is visible.
 
-use simba_bench::{build_context, engine_with, fmt_ms};
+use simba_bench::{build_context, engine_with, fmt_ms, harness_seed};
 use simba_core::metrics::DurationSummary;
 use simba_core::session::workflows::Workflow;
 use simba_core::session::{SessionConfig, SessionRunner};
@@ -23,13 +23,16 @@ fn main() {
     );
 
     for rows in sizes {
-        let (table, dashboard) = build_context(DashboardDataset::CustomerService, rows, 3);
-        let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible");
+        let (table, dashboard) =
+            build_context(DashboardDataset::CustomerService, rows, harness_seed(3));
+        let goals = Workflow::Shneiderman
+            .goals_for(&dashboard)
+            .expect("compatible");
         let mut means = Vec::new();
         for kind in EngineKind::ALL {
             let engine = engine_with(kind, table.clone());
             let config = SessionConfig {
-                seed: 17,
+                seed: harness_seed(17),
                 max_steps: 12,
                 stop_on_completion: false,
                 ..Default::default()

@@ -7,7 +7,9 @@
 //! slow, who has variance — are the reproduction target; absolute numbers
 //! depend on scale (`SIMBA_ROWS`).
 
-use simba_bench::{ascii_box, build_context, configured_rows, configured_runs, engine_with, fmt_ms};
+use simba_bench::{
+    ascii_box, build_context, configured_rows, configured_runs, engine_with, fmt_ms, harness_seed,
+};
 use simba_core::metrics::DurationSummary;
 use simba_core::session::workflows::Workflow;
 use simba_core::session::{SessionConfig, SessionRunner};
@@ -25,14 +27,16 @@ fn main() {
 
     let mut report = Vec::new();
     for ds in DashboardDataset::ALL {
-        let (table, dashboard) = build_context(ds, rows, 21);
+        let (table, dashboard) = build_context(ds, rows, harness_seed(21));
         let engine = engine_with(EngineKind::DuckDbLike, table);
         let mut durations = Vec::new();
         for wf in Workflow::ALL {
-            let Ok(goals) = wf.goals_for(&dashboard) else { continue };
+            let Ok(goals) = wf.goals_for(&dashboard) else {
+                continue;
+            };
             for seed in 0..runs {
                 let config = SessionConfig {
-                    seed,
+                    seed: harness_seed(seed),
                     max_steps: 12,
                     stop_on_completion: true,
                     ..Default::default()
@@ -60,12 +64,18 @@ fn main() {
 
     // The paper's qualitative claims, checked live.
     let mean_of = |name: &str| {
-        report.iter().find(|(n, _)| n == name).map(|(_, s)| s.mean_ms).unwrap_or(0.0)
+        report
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.mean_ms)
+            .unwrap_or(0.0)
     };
     println!("\nshape checks (paper §6.3):");
     println!(
         "  supply_chain slowest?        {}",
-        report.iter().all(|(n, s)| n == "supply_chain" || s.mean_ms <= mean_of("supply_chain"))
+        report
+            .iter()
+            .all(|(n, s)| n == "supply_chain" || s.mean_ms <= mean_of("supply_chain"))
     );
     println!(
         "  circulation low variance?    IQR={:.3}ms",

@@ -6,7 +6,9 @@
 //! visualizations (Circulation Activity) barely vary across workflows,
 //! while Customer Service varies significantly.
 
-use simba_bench::{build_context, configured_rows, configured_runs, engine_with, fmt_ms};
+use simba_bench::{
+    build_context, configured_rows, configured_runs, engine_with, fmt_ms, harness_seed,
+};
 use simba_core::metrics::DurationSummary;
 use simba_core::session::workflows::Workflow;
 use simba_core::session::{SessionConfig, SessionRunner};
@@ -25,17 +27,22 @@ fn main() {
 
     let mut per_workflow: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
     for ds in DashboardDataset::ALL {
-        let (table, dashboard) = build_context(ds, rows, 33);
+        let (table, dashboard) = build_context(ds, rows, harness_seed(33));
         let engine = engine_with(EngineKind::DuckDbLike, table);
         for wf in Workflow::ALL {
             let Ok(goals) = wf.goals_for(&dashboard) else {
-                println!("{:<22} {:<14} {:>7}", dashboard.spec().name, wf.name(), "n/a");
+                println!(
+                    "{:<22} {:<14} {:>7}",
+                    dashboard.spec().name,
+                    wf.name(),
+                    "n/a"
+                );
                 continue;
             };
             let mut durations = Vec::new();
             for seed in 0..runs {
                 let config = SessionConfig {
-                    seed: seed + 100,
+                    seed: harness_seed(seed + 100),
                     max_steps: 12,
                     stop_on_completion: true,
                     ..Default::default()

@@ -5,7 +5,7 @@
 //! max 20) vs the real dashboard's 3; an average interaction triggering ~9
 //! visualization updates; widely varying per-dashboard performance.
 
-use simba_bench::{build_context, configured_rows, engine_with, fmt_ms};
+use simba_bench::{build_context, configured_rows, engine_with, fmt_ms, harness_seed};
 use simba_core::metrics::DurationSummary;
 use simba_data::DashboardDataset;
 use simba_engine::EngineKind;
@@ -20,7 +20,7 @@ fn main() {
         .unwrap_or(50);
     println!("=== Figure 9: {workflows} IDEBench workflows on IT Monitor ({rows} rows) ===\n");
 
-    let (table, dashboard) = build_context(DashboardDataset::ItMonitor, rows, 4);
+    let (table, dashboard) = build_context(DashboardDataset::ItMonitor, rows, harness_seed(4));
     let engine = engine_with(EngineKind::DuckDbLike, table.clone());
 
     let mut profiles = Vec::new();
@@ -29,7 +29,11 @@ fn main() {
         let log = IdeBenchRunner::new(
             &table,
             engine.as_ref(),
-            IdeBenchConfig { seed, interactions: 25, ..Default::default() },
+            IdeBenchConfig {
+                seed: harness_seed(seed),
+                interactions: 25,
+                ..Default::default()
+            },
         )
         .run()
         .expect("idebench runs");

@@ -6,7 +6,9 @@
 //! combinations (MyRide × correlation workflows) are reported as `n/a`,
 //! matching §6.2.3.
 
-use simba_bench::{build_context, configured_rows, configured_runs, engine_with, fmt_ms};
+use simba_bench::{
+    build_context, configured_rows, configured_runs, engine_with, fmt_ms, harness_seed,
+};
 use simba_core::metrics::DurationSummary;
 use simba_core::session::workflows::Workflow;
 use simba_core::session::{SessionConfig, SessionRunner};
@@ -17,7 +19,10 @@ fn main() {
     let rows = configured_rows();
     let runs = configured_runs();
     println!("=== Table 3 grid: {rows} rows, {runs} runs per cell ===");
-    println!("parameters: {} dashboards x {} workflows x {} engines", 6, 3, 4);
+    println!(
+        "parameters: {} dashboards x {} workflows x {} engines",
+        6, 3, 4
+    );
     println!();
     println!(
         "{:<22} {:<14} {:<14} {:>8} {:>9} {:>9}",
@@ -25,7 +30,7 @@ fn main() {
     );
 
     for ds in DashboardDataset::ALL {
-        let (table, dashboard) = build_context(ds, rows, 7);
+        let (table, dashboard) = build_context(ds, rows, harness_seed(7));
         for wf in Workflow::ALL {
             let goals = match wf.goals_for(&dashboard) {
                 Ok(g) => g,
@@ -45,7 +50,7 @@ fn main() {
                 let mut durations = Vec::new();
                 for seed in 0..runs {
                     let config = SessionConfig {
-                        seed,
+                        seed: harness_seed(seed),
                         max_steps: 15,
                         stop_on_completion: true,
                         ..Default::default()

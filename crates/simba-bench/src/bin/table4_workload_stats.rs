@@ -3,7 +3,7 @@
 //! IT Monitor dashboards, plus the §6.3 SIMBA-vs-IDEBench comparison
 //! (SIMBA 3.8 attrs / 5.8 filters vs IDEBench 2.1 / 13.2).
 
-use simba_bench::{build_context, configured_rows, configured_runs, engine_with};
+use simba_bench::{build_context, configured_rows, configured_runs, engine_with, harness_seed};
 use simba_core::metrics::WorkloadStats;
 use simba_core::session::workflows::Workflow;
 use simba_core::session::{SessionConfig, SessionRunner};
@@ -12,14 +12,16 @@ use simba_engine::EngineKind;
 use simba_idebench::{DashboardComplexity, IdeBenchConfig, IdeBenchRunner};
 
 fn simba_stats(ds: DashboardDataset, rows: usize, runs: u64) -> WorkloadStats {
-    let (table, dashboard) = build_context(ds, rows, 4);
+    let (table, dashboard) = build_context(ds, rows, harness_seed(4));
     let engine = engine_with(EngineKind::DuckDbLike, table);
     let mut shapes = Vec::new();
     for wf in Workflow::ALL {
-        let Ok(goals) = wf.goals_for(&dashboard) else { continue };
+        let Ok(goals) = wf.goals_for(&dashboard) else {
+            continue;
+        };
         for seed in 0..runs {
             let config = SessionConfig {
-                seed,
+                seed: harness_seed(seed),
                 max_steps: 20,
                 stop_on_completion: false,
                 ..Default::default()
@@ -47,7 +49,10 @@ fn main() {
     );
 
     let mut simba_all: Vec<(&str, WorkloadStats)> = Vec::new();
-    for ds in [DashboardDataset::CustomerService, DashboardDataset::ItMonitor] {
+    for ds in [
+        DashboardDataset::CustomerService,
+        DashboardDataset::ItMonitor,
+    ] {
         let stats = simba_stats(ds, rows, runs);
         println!(
             "{:<18} {:>17.1} ± {:<4.1} {:>17.1} ± {:<4.1} {:>11.1} ± {:<4.1}",
@@ -63,7 +68,7 @@ fn main() {
     }
 
     // §6.3 comparison: IDEBench on the IT Monitor dataset.
-    let (table, _) = build_context(DashboardDataset::ItMonitor, rows, 4);
+    let (table, _) = build_context(DashboardDataset::ItMonitor, rows, harness_seed(4));
     let engine = engine_with(EngineKind::DuckDbLike, table.clone());
     let mut ide_attrs = 0.0;
     let mut ide_filters = 0.0;
@@ -72,7 +77,11 @@ fn main() {
         let log = IdeBenchRunner::new(
             &table,
             engine.as_ref(),
-            IdeBenchConfig { seed, interactions: 25, ..Default::default() },
+            IdeBenchConfig {
+                seed: harness_seed(seed),
+                interactions: 25,
+                ..Default::default()
+            },
         )
         .run()
         .expect("idebench runs");

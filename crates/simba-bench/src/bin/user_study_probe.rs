@@ -8,7 +8,7 @@
 //! filter-heavy IT Monitor is detectable (paper: 5/6 expert successes);
 //! moderate randomization on Customer Service is not (1/6).
 
-use simba_bench::{build_context, configured_rows, engine_with};
+use simba_bench::{build_context, configured_rows, engine_with, harness_seed};
 use simba_core::metrics::realism::{binomial_tail, empty_result_stats};
 use simba_core::session::interleave::DecayConfig;
 use simba_core::session::workflows::Workflow;
@@ -20,10 +20,15 @@ fn main() {
     let rows = configured_rows().min(100_000);
     println!("=== §6.4 realism probe ({rows} rows) ===\n");
 
-    for ds in [DashboardDataset::ItMonitor, DashboardDataset::CustomerService] {
-        let (table, dashboard) = build_context(ds, rows, 12);
+    for ds in [
+        DashboardDataset::ItMonitor,
+        DashboardDataset::CustomerService,
+    ] {
+        let (table, dashboard) = build_context(ds, rows, harness_seed(12));
         let engine = engine_with(EngineKind::DuckDbLike, table);
-        let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible");
+        let goals = Workflow::Shneiderman
+            .goals_for(&dashboard)
+            .expect("compatible");
 
         println!("--- {} ---", dashboard.spec().name);
         println!(
@@ -33,10 +38,22 @@ fn main() {
 
         // Three randomization levels plus the human proxy.
         let profiles: [(&str, DecayConfig); 4] = [
-            ("high randomization", DecayConfig { initial_markov: 1.0, decay_rate: 0.02 }),
+            (
+                "high randomization",
+                DecayConfig {
+                    initial_markov: 1.0,
+                    decay_rate: 0.02,
+                },
+            ),
             ("default (typical)", DecayConfig::typical()),
             ("low randomization", DecayConfig::expert()),
-            ("human proxy (oracle)", DecayConfig { initial_markov: 0.15, decay_rate: 0.5 }),
+            (
+                "human proxy (oracle)",
+                DecayConfig {
+                    initial_markov: 0.15,
+                    decay_rate: 0.5,
+                },
+            ),
         ];
         let sessions = 6u64;
         let mut flagged_by_profile = Vec::new();
@@ -46,7 +63,7 @@ fn main() {
             let mut flagged = 0u64;
             for seed in 0..sessions {
                 let config = SessionConfig {
-                    seed,
+                    seed: harness_seed(seed),
                     max_steps: 25,
                     decay,
                     stop_on_completion: false,

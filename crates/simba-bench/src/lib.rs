@@ -39,7 +39,30 @@ pub fn configured_rows() -> usize {
 /// Runs per configuration from the environment (`SIMBA_RUNS`), default 3
 /// (the paper uses 8; scale up with the env var).
 pub fn configured_runs() -> u64 {
-    std::env::var("SIMBA_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+    std::env::var("SIMBA_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Base seed from the environment (`SIMBA_SEED`), default 0. Harness
+/// binaries derive all dataset and session seeds from it via
+/// [`harness_seed`], so one env var re-rolls an entire experiment
+/// reproducibly.
+pub fn configured_seed() -> u64 {
+    std::env::var("SIMBA_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Derive a decorrelated seed for one harness component: SplitMix64 over
+/// the base seed plus the call site's salt. A plain `base ^ salt` would
+/// let nearby `SIMBA_SEED` values merely permute a run loop's seed set
+/// (`1 ^ {0..n}` is `{0..n}` shuffled); scrambling makes every base draw
+/// a disjoint set.
+pub fn harness_seed(salt: u64) -> u64 {
+    simba_core::session::batch::splitmix(configured_seed().rotate_left(32).wrapping_add(salt))
 }
 
 /// Build a dataset table and its dashboard runtime.

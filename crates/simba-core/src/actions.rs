@@ -25,7 +25,10 @@ pub enum Action {
     /// label-click affordance; Figure 4's per-queue walkthrough uses this).
     SetExclusive { widget: NodeId, value: String },
     /// Select (or clear, with `None`) a radio/dropdown option.
-    SetSingle { widget: NodeId, value: Option<String> },
+    SetSingle {
+        widget: NodeId,
+        value: Option<String>,
+    },
     /// Drag a range slider / date range to the given inclusive bounds.
     SetRange { widget: NodeId, lo: f64, hi: f64 },
     /// Reset one widget to its empty state.
@@ -111,10 +114,16 @@ impl Action {
             Action::SetExclusive { widget, value } => {
                 format!("select only '{}' in `{}`", value, graph.id(*widget))
             }
-            Action::SetSingle { widget, value: Some(v) } => {
+            Action::SetSingle {
+                widget,
+                value: Some(v),
+            } => {
                 format!("select '{}' in `{}`", v, graph.id(*widget))
             }
-            Action::SetSingle { widget, value: None } => {
+            Action::SetSingle {
+                widget,
+                value: None,
+            } => {
                 format!("clear selection in `{}`", graph.id(*widget))
             }
             Action::SetRange { widget, lo, hi } => {
@@ -162,8 +171,7 @@ impl Action {
                 affected_from(*widget)
             }
             Action::SetSingle { widget, value } => {
-                if let NodeState::Widget(WidgetState::Single { selected }) =
-                    state.node_mut(*widget)
+                if let NodeState::Widget(WidgetState::Single { selected }) = state.node_mut(*widget)
                 {
                     *selected = value.clone();
                 }
@@ -239,15 +247,13 @@ impl FieldDomains {
                     cats.truncate(MAX_CATEGORIES);
                     FieldDomain::Categories(cats)
                 }
-                ColumnRole::Quantitative | ColumnRole::Temporal => {
-                    match col.min_max() {
-                        Some((lo, hi)) => FieldDomain::Numeric {
-                            min: lo.as_f64().unwrap_or(0.0),
-                            max: hi.as_f64().unwrap_or(0.0),
-                        },
-                        None => FieldDomain::Numeric { min: 0.0, max: 0.0 },
-                    }
-                }
+                ColumnRole::Quantitative | ColumnRole::Temporal => match col.min_max() {
+                    Some((lo, hi)) => FieldDomain::Numeric {
+                        min: lo.as_f64().unwrap_or(0.0),
+                        max: hi.as_f64().unwrap_or(0.0),
+                    },
+                    None => FieldDomain::Numeric { min: 0.0, max: 0.0 },
+                },
             };
             map.insert(def.name.to_ascii_lowercase(), domain);
         }
@@ -286,7 +292,9 @@ pub fn enumerate_actions(
     let mut out = Vec::new();
 
     for widget in graph.widget_nodes() {
-        let NodeKind::Widget(w) = graph.kind(widget) else { continue };
+        let NodeKind::Widget(w) = graph.kind(widget) else {
+            continue;
+        };
         let control = &graph.spec.widgets[w].control;
         let ws = match state.node(widget) {
             NodeState::Widget(ws) => ws,
@@ -299,11 +307,17 @@ pub fn enumerate_actions(
                     _ => None,
                 };
                 for value in domains.categories(field) {
-                    out.push(Action::Toggle { widget, value: value.clone() });
+                    out.push(Action::Toggle {
+                        widget,
+                        value: value.clone(),
+                    });
                     let already_exclusive =
                         current.is_some_and(|s| s.len() == 1 && s.contains(value));
                     if !already_exclusive {
-                        out.push(Action::SetExclusive { widget, value: value.clone() });
+                        out.push(Action::SetExclusive {
+                            widget,
+                            value: value.clone(),
+                        });
                     }
                 }
                 if ws.is_active() {
@@ -317,11 +331,17 @@ pub fn enumerate_actions(
                 };
                 for value in domains.categories(field) {
                     if Some(value.as_str()) != current {
-                        out.push(Action::SetSingle { widget, value: Some(value.clone()) });
+                        out.push(Action::SetSingle {
+                            widget,
+                            value: Some(value.clone()),
+                        });
                     }
                 }
                 if current.is_some() {
-                    out.push(Action::SetSingle { widget, value: None });
+                    out.push(Action::SetSingle {
+                        widget,
+                        value: None,
+                    });
                 }
             }
             ControlSpec::RangeSlider { field } | ControlSpec::DateRange { field } => {
@@ -344,18 +364,25 @@ pub fn enumerate_actions(
     }
 
     for vis_node in graph.visualization_nodes() {
-        let NodeKind::Visualization(v) = graph.kind(vis_node) else { continue };
+        let NodeKind::Visualization(v) = graph.kind(vis_node) else {
+            continue;
+        };
         let vis = &graph.spec.visualizations[v];
         if !vis.selectable {
             continue;
         }
-        let Some(dim) = vis.dimensions.first() else { continue };
+        let Some(dim) = vis.dimensions.first() else {
+            continue;
+        };
         let selected = match state.node(vis_node) {
             NodeState::VisSelection(s) => s,
             _ => continue,
         };
         for value in domains.categories(&dim.field) {
-            out.push(Action::SelectMark { vis: vis_node, value: value.clone() });
+            out.push(Action::SelectMark {
+                vis: vis_node,
+                value: value.clone(),
+            });
         }
         if !selected.is_empty() {
             out.push(Action::ClearSelection { vis: vis_node });
@@ -406,7 +433,10 @@ mod tests {
         let widget = graph.node("queue_checkbox").unwrap();
         let mut state = graph.initial_state();
         let original = state.clone();
-        let action = Action::Toggle { widget, value: "A".into() };
+        let action = Action::Toggle {
+            widget,
+            value: "A".into(),
+        };
         action.apply(&graph, &mut state);
         assert_ne!(state, original);
         action.apply(&graph, &mut state);
@@ -418,8 +448,16 @@ mod tests {
         let (graph, _) = setup();
         let widget = graph.node("queue_checkbox").unwrap();
         let mut state = graph.initial_state();
-        let affected = Action::Toggle { widget, value: "A".into() }.apply(&graph, &mut state);
-        assert_eq!(affected.len(), 5, "checkbox affects all five visualizations");
+        let affected = Action::Toggle {
+            widget,
+            value: "A".into(),
+        }
+        .apply(&graph, &mut state);
+        assert_eq!(
+            affected.len(),
+            5,
+            "checkbox affects all five visualizations"
+        );
     }
 
     #[test]
@@ -445,9 +483,15 @@ mod tests {
         let (graph, domains) = setup();
         let mut state = graph.initial_state();
         let widget = graph.node("queue_checkbox").unwrap();
-        Action::Toggle { widget, value: "A".into() }.apply(&graph, &mut state);
+        Action::Toggle {
+            widget,
+            value: "A".into(),
+        }
+        .apply(&graph, &mut state);
         let actions = enumerate_actions(&graph, &state, &domains);
-        assert!(actions.iter().any(|a| matches!(a, Action::ClearWidget { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ClearWidget { .. })));
         assert!(actions.contains(&Action::ResetAll));
     }
 
@@ -456,7 +500,11 @@ mod tests {
         let (graph, _) = setup();
         let mut state = graph.initial_state();
         let widget = graph.node("queue_checkbox").unwrap();
-        Action::Toggle { widget, value: "B".into() }.apply(&graph, &mut state);
+        Action::Toggle {
+            widget,
+            value: "B".into(),
+        }
+        .apply(&graph, &mut state);
         let affected = Action::ResetAll.apply(&graph, &mut state);
         assert_eq!(state, graph.initial_state());
         assert_eq!(affected.len(), 5);
@@ -467,14 +515,20 @@ mod tests {
         let (graph, domains) = setup();
         let mut state = graph.initial_state();
         let radio = graph.node("direction_radio").unwrap();
-        Action::SetSingle { widget: radio, value: Some("incoming".into()) }
-            .apply(&graph, &mut state);
+        Action::SetSingle {
+            widget: radio,
+            value: Some("incoming".into()),
+        }
+        .apply(&graph, &mut state);
         let actions = enumerate_actions(&graph, &state, &domains);
         assert!(!actions.contains(&Action::SetSingle {
             widget: radio,
             value: Some("incoming".into())
         }));
-        assert!(actions.contains(&Action::SetSingle { widget: radio, value: None }));
+        assert!(actions.contains(&Action::SetSingle {
+            widget: radio,
+            value: None
+        }));
     }
 
     #[test]
@@ -492,15 +546,27 @@ mod tests {
         let widget = graph.node("queue_checkbox").unwrap();
         let radio = graph.node("direction_radio").unwrap();
         assert_eq!(
-            Action::Toggle { widget, value: "A".into() }.kind(&graph),
+            Action::Toggle {
+                widget,
+                value: "A".into()
+            }
+            .kind(&graph),
             ActionKind::Checkbox
         );
         assert_eq!(
-            Action::SetSingle { widget: radio, value: Some("incoming".into()) }.kind(&graph),
+            Action::SetSingle {
+                widget: radio,
+                value: Some("incoming".into())
+            }
+            .kind(&graph),
             ActionKind::Radio
         );
         assert_eq!(
-            Action::SetSingle { widget: radio, value: None }.kind(&graph),
+            Action::SetSingle {
+                widget: radio,
+                value: None
+            }
+            .kind(&graph),
             ActionKind::Clear
         );
         assert_eq!(Action::ResetAll.kind(&graph), ActionKind::Reset);

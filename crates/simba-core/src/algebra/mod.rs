@@ -141,7 +141,10 @@ pub enum GoalExpr {
     /// `B / A`: nest A under B (hierarchical grouping; from VizQL).
     Nest(Box<GoalExpr>, Box<GoalExpr>),
     /// `A - c` / condition: element-wise removal.
-    Filter { expr: Box<GoalExpr>, condition: FilterCond },
+    Filter {
+        expr: Box<GoalExpr>,
+        condition: FilterCond,
+    },
     /// `MAP(A, f)`.
     Map { func: MapFunc, expr: Box<GoalExpr> },
     /// `AGG(A, f)`.
@@ -169,12 +172,18 @@ impl GoalExpr {
 
     /// `AGG(self, func)`.
     pub fn agg(self, func: AggFunc) -> GoalExpr {
-        GoalExpr::Agg { func, expr: Box::new(self) }
+        GoalExpr::Agg {
+            func,
+            expr: Box::new(self),
+        }
     }
 
     /// `MAP(self, func)`.
     pub fn map(self, func: MapFunc) -> GoalExpr {
-        GoalExpr::Map { func, expr: Box::new(self) }
+        GoalExpr::Map {
+            func,
+            expr: Box::new(self),
+        }
     }
 
     /// `self × other`.
@@ -194,12 +203,18 @@ impl GoalExpr {
 
     /// Keep-filter: `self - {¬(self op c)}`.
     pub fn keep(self, op: CmpOp, c: Constant) -> GoalExpr {
-        GoalExpr::Filter { expr: Box::new(self), condition: FilterCond::Keep(op, c) }
+        GoalExpr::Filter {
+            expr: Box::new(self),
+            condition: FilterCond::Keep(op, c),
+        }
     }
 
     /// Remove-filter: `self - c`.
     pub fn remove(self, c: Constant) -> GoalExpr {
-        GoalExpr::Filter { expr: Box::new(self), condition: FilterCond::RemoveConst(c) }
+        GoalExpr::Filter {
+            expr: Box::new(self),
+            condition: FilterCond::RemoveConst(c),
+        }
     }
 
     /// All attribute names referenced by the term, in first-appearance order.
@@ -282,8 +297,7 @@ mod tests {
     fn builds_figure_3_expression() {
         // Q × count(lostCalls) - {count(lostCalls) < 2}
         let agg = GoalExpr::attr("lost_calls").agg(AggFunc::Count);
-        let expr = GoalExpr::attr("queue")
-            .compare(agg.keep(CmpOp::Gt, Constant::Int(1)));
+        let expr = GoalExpr::attr("queue").compare(agg.keep(CmpOp::Gt, Constant::Int(1)));
         let s = expr.to_string();
         assert!(s.contains("queue x"), "{s}");
         assert!(s.contains("count(lost_calls)"), "{s}");
@@ -297,8 +311,11 @@ mod tests {
 
     #[test]
     fn display_compare_and_concat() {
-        let e = GoalExpr::attr("t")
-            .compare(GoalExpr::attr("c").agg(AggFunc::Count).concat(GoalExpr::attr("a").agg(AggFunc::Sum)));
+        let e = GoalExpr::attr("t").compare(
+            GoalExpr::attr("c")
+                .agg(AggFunc::Count)
+                .concat(GoalExpr::attr("a").agg(AggFunc::Sum)),
+        );
         assert_eq!(e.to_string(), "t x count(c) + sum(a)");
     }
 

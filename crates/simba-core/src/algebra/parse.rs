@@ -136,7 +136,8 @@ fn lex(input: &str) -> Result<Vec<Tok>, CoreError> {
             '0'..='9' => {
                 let start = i;
                 let mut saw_dot = false;
-                while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot))
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot))
                 {
                     if chars[i] == '.' {
                         saw_dot = true;
@@ -168,7 +169,9 @@ fn lex(input: &str) -> Result<Vec<Tok>, CoreError> {
                 }
             }
             other => {
-                return Err(CoreError::AlgebraParse(format!("unexpected character `{other}`")))
+                return Err(CoreError::AlgebraParse(format!(
+                    "unexpected character `{other}`"
+                )))
             }
         }
     }
@@ -244,11 +247,15 @@ impl Parser {
                     if let Some(map) = map_func_from_name(&name) {
                         return Ok(inner.map(map));
                     }
-                    return Err(CoreError::AlgebraParse(format!("unknown function `{name}`")));
+                    return Err(CoreError::AlgebraParse(format!(
+                        "unknown function `{name}`"
+                    )));
                 }
                 Ok(GoalExpr::attr(name))
             }
-            other => Err(CoreError::AlgebraParse(format!("expected term, found {other:?}"))),
+            other => Err(CoreError::AlgebraParse(format!(
+                "expected term, found {other:?}"
+            ))),
         }
     }
 
@@ -258,7 +265,9 @@ impl Parser {
             // condition, i.e. keep the negation.
             let _target = self.expr()?;
             let Some(Tok::Cmp(op)) = self.peek().cloned() else {
-                return Err(CoreError::AlgebraParse("expected comparison in filter".into()));
+                return Err(CoreError::AlgebraParse(
+                    "expected comparison in filter".into(),
+                ));
             };
             self.pos += 1;
             let c = self.constant()?;
@@ -293,7 +302,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(Constant::Str(s))
             }
-            other => Err(CoreError::AlgebraParse(format!("expected constant, found {other:?}"))),
+            other => Err(CoreError::AlgebraParse(format!(
+                "expected constant, found {other:?}"
+            ))),
         }
     }
 }

@@ -87,22 +87,33 @@ impl GoalTemplateKind {
     /// Column-role requirements (Table 2's right-hand columns).
     pub fn requirements(self) -> TemplateRequirements {
         match self {
-            GoalTemplateKind::AnalyzingSpread
-            | GoalTemplateKind::MeasuringDifferences => {
-                TemplateRequirements { categorical: 1, quantitative: 1, temporal: 0 }
+            GoalTemplateKind::AnalyzingSpread | GoalTemplateKind::MeasuringDifferences => {
+                TemplateRequirements {
+                    categorical: 1,
+                    quantitative: 1,
+                    temporal: 0,
+                }
             }
-            GoalTemplateKind::Filtering => {
-                TemplateRequirements { categorical: 1, quantitative: 1, temporal: 0 }
-            }
-            GoalTemplateKind::FindingCorrelations => {
-                TemplateRequirements { categorical: 0, quantitative: 2, temporal: 0 }
-            }
-            GoalTemplateKind::Identification => {
-                TemplateRequirements { categorical: 1, quantitative: 1, temporal: 0 }
-            }
-            GoalTemplateKind::ObservingTemporalPatterns => {
-                TemplateRequirements { categorical: 0, quantitative: 1, temporal: 1 }
-            }
+            GoalTemplateKind::Filtering => TemplateRequirements {
+                categorical: 1,
+                quantitative: 1,
+                temporal: 0,
+            },
+            GoalTemplateKind::FindingCorrelations => TemplateRequirements {
+                categorical: 0,
+                quantitative: 2,
+                temporal: 0,
+            },
+            GoalTemplateKind::Identification => TemplateRequirements {
+                categorical: 1,
+                quantitative: 1,
+                temporal: 0,
+            },
+            GoalTemplateKind::ObservingTemporalPatterns => TemplateRequirements {
+                categorical: 0,
+                quantitative: 1,
+                temporal: 1,
+            },
         }
     }
 
@@ -136,7 +147,9 @@ impl GoalTemplateKind {
             // C × (max(Q) + min(Q)): the member whose range is widest.
             GoalTemplateKind::AnalyzingSpread => (
                 cat(0).compare(
-                    quant(0).agg(AggFunc::Max).concat(quant(0).agg(AggFunc::Min)),
+                    quant(0)
+                        .agg(AggFunc::Max)
+                        .concat(quant(0).agg(AggFunc::Min)),
                 ),
                 format!(
                     "Which member of {} has the largest range/spread of {}?",
@@ -183,7 +196,9 @@ impl GoalTemplateKind {
             }
             // C × (max(Q...) + min(Q...)): extremes over the measure list.
             GoalTemplateKind::Identification => {
-                let mut measures = quant(0).agg(AggFunc::Max).concat(quant(0).agg(AggFunc::Min));
+                let mut measures = quant(0)
+                    .agg(AggFunc::Max)
+                    .concat(quant(0).agg(AggFunc::Min));
                 for i in 1..choice.quantitative.len().min(3) {
                     measures = measures
                         .concat(quant(i).agg(AggFunc::Max))
@@ -208,7 +223,9 @@ impl GoalTemplateKind {
             ),
             // DAY(T) × agg(Q).
             GoalTemplateKind::ObservingTemporalPatterns => (
-                temp(0).map(choice.temporal_grain).compare(quant(0).agg(AggFunc::Sum)),
+                temp(0)
+                    .map(choice.temporal_grain)
+                    .compare(quant(0).agg(AggFunc::Sum)),
                 format!(
                     "How does change in {} affect patterns in {}, if at all?",
                     choice.temporal[0], choice.quantitative[0]
@@ -264,9 +281,14 @@ pub struct Goal {
 
 impl Goal {
     fn new(kind: GoalTemplateKind, expr: GoalExpr, question: String, table: &str) -> Self {
-        let query = to_sql(&expr, table)
-            .expect("template instantiation always yields a translatable term");
-        Self { kind, expr, question, query }
+        let query =
+            to_sql(&expr, table).expect("template instantiation always yields a translatable term");
+        Self {
+            kind,
+            expr,
+            question,
+            query,
+        }
     }
 
     /// A goal defined directly in SQL (the paper allows bypassing the
@@ -274,7 +296,12 @@ impl Goal {
     /// SQL").
     pub fn from_sql(kind: GoalTemplateKind, question: impl Into<String>, query: Select) -> Self {
         let expr = GoalExpr::attr("(custom sql)");
-        Self { kind, expr, question: question.into(), query }
+        Self {
+            kind,
+            expr,
+            question: question.into(),
+            query,
+        }
     }
 }
 
@@ -298,13 +325,19 @@ mod tests {
             let goal = kind.instantiate(&cs_choice()).unwrap();
             assert!(!goal.question.is_empty());
             assert_eq!(goal.query.from, "customer_service");
-            assert!(goal.query.is_aggregate_query(), "{:?} should aggregate", kind);
+            assert!(
+                goal.query.is_aggregate_query(),
+                "{:?} should aggregate",
+                kind
+            );
         }
     }
 
     #[test]
     fn filtering_template_matches_figure_3_shape() {
-        let goal = GoalTemplateKind::Filtering.instantiate(&cs_choice()).unwrap();
+        let goal = GoalTemplateKind::Filtering
+            .instantiate(&cs_choice())
+            .unwrap();
         let text = print_select(&goal.query);
         assert_eq!(
             text,
@@ -315,16 +348,23 @@ mod tests {
 
     #[test]
     fn correlations_prefers_temporal_modulator() {
-        let goal = GoalTemplateKind::FindingCorrelations.instantiate(&cs_choice()).unwrap();
+        let goal = GoalTemplateKind::FindingCorrelations
+            .instantiate(&cs_choice())
+            .unwrap();
         let text = print_select(&goal.query);
-        assert!(text.starts_with("SELECT hour, COUNT(lost_calls), SUM(abandoned)"), "{text}");
+        assert!(
+            text.starts_with("SELECT hour, COUNT(lost_calls), SUM(abandoned)"),
+            "{text}"
+        );
     }
 
     #[test]
     fn correlations_falls_back_to_categorical_modulator() {
         let mut choice = cs_choice();
         choice.temporal.clear();
-        let goal = GoalTemplateKind::FindingCorrelations.instantiate(&choice).unwrap();
+        let goal = GoalTemplateKind::FindingCorrelations
+            .instantiate(&choice)
+            .unwrap();
         assert!(print_select(&goal.query).contains("GROUP BY queue"));
     }
 
@@ -338,7 +378,9 @@ mod tests {
 
     #[test]
     fn identification_uses_multiple_measures() {
-        let goal = GoalTemplateKind::Identification.instantiate(&cs_choice()).unwrap();
+        let goal = GoalTemplateKind::Identification
+            .instantiate(&cs_choice())
+            .unwrap();
         let text = print_select(&goal.query);
         assert!(text.contains("MAX(lost_calls)"));
         assert!(text.contains("MIN(lost_calls)"));
@@ -349,7 +391,9 @@ mod tests {
     fn temporal_template_uses_grain() {
         let mut choice = cs_choice();
         choice.temporal_grain = MapFunc::Hour;
-        let goal = GoalTemplateKind::ObservingTemporalPatterns.instantiate(&choice).unwrap();
+        let goal = GoalTemplateKind::ObservingTemporalPatterns
+            .instantiate(&choice)
+            .unwrap();
         assert!(print_select(&goal.query).contains("HOUR(hour)"));
     }
 

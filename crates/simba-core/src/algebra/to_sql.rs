@@ -49,7 +49,10 @@ fn collect(expr: &GoalExpr, parts: &mut Parts) -> Result<(), CoreError> {
             collect(r, parts)?;
             Ok(())
         }
-        GoalExpr::Filter { expr: inner, condition } => {
+        GoalExpr::Filter {
+            expr: inner,
+            condition,
+        } => {
             // Translate the wrapped term first, then attach the condition.
             let (sql, is_agg) = leaf_to_expr(inner)?;
             place_leaf(inner, parts)?;
@@ -68,7 +71,11 @@ fn collect(expr: &GoalExpr, parts: &mut Parts) -> Result<(), CoreError> {
 /// Add a leaf term as a dimension or measure (deduplicated).
 fn place_leaf(leaf: &GoalExpr, parts: &mut Parts) -> Result<(), CoreError> {
     let (sql, is_agg) = leaf_to_expr(leaf)?;
-    let bucket = if is_agg { &mut parts.measures } else { &mut parts.dims };
+    let bucket = if is_agg {
+        &mut parts.measures
+    } else {
+        &mut parts.dims
+    };
     if !bucket.contains(&sql) {
         bucket.push(sql);
     }
@@ -97,9 +104,11 @@ fn leaf_to_expr(expr: &GoalExpr) -> Result<(Expr, bool), CoreError> {
             }
             let e = match func {
                 AggFunc::Count => Expr::agg(Func::Count, sql),
-                AggFunc::CountDistinct => {
-                    Expr::Function { func: Func::Count, args: vec![sql], distinct: true }
-                }
+                AggFunc::CountDistinct => Expr::Function {
+                    func: Func::Count,
+                    args: vec![sql],
+                    distinct: true,
+                },
                 AggFunc::Sum => Expr::agg(Func::Sum, sql),
                 AggFunc::Avg => Expr::agg(Func::Avg, sql),
                 AggFunc::Min => Expr::agg(Func::Min, sql),
@@ -116,14 +125,36 @@ fn leaf_to_expr(expr: &GoalExpr) -> Result<(Expr, bool), CoreError> {
 
 fn map_to_sql(func: MapFunc, arg: Expr) -> Expr {
     match func {
-        MapFunc::Hour => Expr::Function { func: Func::Hour, args: vec![arg], distinct: false },
-        MapFunc::Day => Expr::Function { func: Func::Day, args: vec![arg], distinct: false },
-        MapFunc::Month => Expr::Function { func: Func::Month, args: vec![arg], distinct: false },
-        MapFunc::Year => Expr::Function { func: Func::Year, args: vec![arg], distinct: false },
-        MapFunc::DayOfWeek => {
-            Expr::Function { func: Func::DayOfWeek, args: vec![arg], distinct: false }
-        }
-        MapFunc::Abs => Expr::Function { func: Func::Abs, args: vec![arg], distinct: false },
+        MapFunc::Hour => Expr::Function {
+            func: Func::Hour,
+            args: vec![arg],
+            distinct: false,
+        },
+        MapFunc::Day => Expr::Function {
+            func: Func::Day,
+            args: vec![arg],
+            distinct: false,
+        },
+        MapFunc::Month => Expr::Function {
+            func: Func::Month,
+            args: vec![arg],
+            distinct: false,
+        },
+        MapFunc::Year => Expr::Function {
+            func: Func::Year,
+            args: vec![arg],
+            distinct: false,
+        },
+        MapFunc::DayOfWeek => Expr::Function {
+            func: Func::DayOfWeek,
+            args: vec![arg],
+            distinct: false,
+        },
+        MapFunc::Abs => Expr::Function {
+            func: Func::Abs,
+            args: vec![arg],
+            distinct: false,
+        },
         MapFunc::Bin(width) => Expr::Function {
             func: Func::Bin,
             args: vec![arg, Expr::int(width)],
@@ -175,8 +206,7 @@ mod tests {
         // SELECT queue, COUNT(lost_calls) FROM customer_service
         // GROUP BY queue HAVING COUNT(lost_calls) > 1
         let agg = GoalExpr::attr("lost_calls").agg(AggFunc::Count);
-        let expr =
-            GoalExpr::attr("queue").compare(agg.keep(CmpOp::Gt, Constant::Int(1)));
+        let expr = GoalExpr::attr("queue").compare(agg.keep(CmpOp::Gt, Constant::Int(1)));
         let sql = to_sql(&expr, "customer_service").unwrap();
         assert_eq!(
             print_select(&sql),
@@ -207,7 +237,10 @@ mod tests {
             .map(MapFunc::Day)
             .compare(GoalExpr::attr("sales").agg(AggFunc::Sum));
         let sql = to_sql(&expr, "t").unwrap();
-        assert_eq!(print_select(&sql), "SELECT DAY(ts), SUM(sales) FROM t GROUP BY DAY(ts)");
+        assert_eq!(
+            print_select(&sql),
+            "SELECT DAY(ts), SUM(sales) FROM t GROUP BY DAY(ts)"
+        );
     }
 
     #[test]
@@ -260,9 +293,8 @@ mod tests {
 
     #[test]
     fn duplicate_leaves_deduplicate() {
-        let expr = GoalExpr::attr("a").compare(
-            GoalExpr::attr("a").concat(GoalExpr::attr("q").agg(AggFunc::Sum)),
-        );
+        let expr = GoalExpr::attr("a")
+            .compare(GoalExpr::attr("a").concat(GoalExpr::attr("q").agg(AggFunc::Sum)));
         let sql = to_sql(&expr, "t").unwrap();
         assert_eq!(print_select(&sql), "SELECT a, SUM(q) FROM t GROUP BY a");
     }

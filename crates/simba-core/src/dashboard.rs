@@ -72,13 +72,12 @@ impl Dashboard {
     }
 
     /// Apply an action and return the refreshed queries it triggers.
-    pub fn apply(
-        &self,
-        state: &mut DashboardState,
-        action: &Action,
-    ) -> Vec<(NodeId, Select)> {
+    pub fn apply(&self, state: &mut DashboardState, action: &Action) -> Vec<(NodeId, Select)> {
         let affected = action.apply(&self.graph, state);
-        affected.into_iter().map(|n| (n, self.query_for(state, n))).collect()
+        affected
+            .into_iter()
+            .map(|n| (n, self.query_for(state, n)))
+            .collect()
     }
 
     /// All applicable actions in the current state.
@@ -121,8 +120,13 @@ mod tests {
         let d = dashboard();
         let mut state = d.initial_state();
         let widget = d.graph().node("queue_checkbox").unwrap();
-        let emitted =
-            d.apply(&mut state, &Action::Toggle { widget, value: "A".into() });
+        let emitted = d.apply(
+            &mut state,
+            &Action::Toggle {
+                widget,
+                value: "A".into(),
+            },
+        );
         assert_eq!(emitted.len(), 5);
         for (_, q) in &emitted {
             assert!(q.to_string().contains("queue IN ('A')"), "{q}");

@@ -131,7 +131,9 @@ pub fn semantic_fragment_of(observed: &Select, goal: &Select) -> bool {
     let group_keys = &ng.group_by;
     for extra in no.conjuncts.difference(&ng.conjuncts) {
         // Parse the conjunct back to find which expression it constrains.
-        let Ok(expr) = simba_sql::parse_expr(extra) else { return false };
+        let Ok(expr) = simba_sql::parse_expr(extra) else {
+            return false;
+        };
         let constrained = constrained_expressions(&expr);
         if constrained.is_empty() || !constrained.iter().all(|c| group_keys.contains(c)) {
             return false;
@@ -147,7 +149,16 @@ fn constrained_expressions(e: &simba_sql::Expr) -> Vec<String> {
     use simba_sql::{BinOp, Expr};
     match e {
         Expr::Binary { left, op, .. } if op.is_comparison() => vec![print_expr(left)],
-        Expr::Binary { left, op: BinOp::And, right } | Expr::Binary { left, op: BinOp::Or, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        }
+        | Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => {
             let mut out = constrained_expressions(left);
             out.extend(constrained_expressions(right));
             out
@@ -173,12 +184,23 @@ pub fn augment_result(query: &Select, result: ResultSet) -> ResultSet {
     use simba_sql::printer::print_expr;
     use simba_sql::{BinOp, Expr, Literal};
 
-    let Some(where_clause) = &query.where_clause else { return result };
+    let Some(where_clause) = &query.where_clause else {
+        return result;
+    };
     let normalized = normalize_expr(where_clause);
     let mut extra: Vec<(String, simba_store::Value)> = Vec::new();
     for conjunct in normalized.conjuncts() {
-        let Expr::Binary { left, op: BinOp::Eq, right } = conjunct else { continue };
-        let Expr::Literal(lit) = right.as_ref() else { continue };
+        let Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = conjunct
+        else {
+            continue;
+        };
+        let Expr::Literal(lit) = right.as_ref() else {
+            continue;
+        };
         if matches!(left.as_ref(), Expr::Literal(_)) {
             continue;
         }
@@ -225,7 +247,11 @@ pub struct GoalChecker {
 impl GoalChecker {
     /// New checker for a goal with its pre-executed result set.
     pub fn new(goal: Select, goal_result: ResultSet) -> Self {
-        Self { goal, goal_result, solved: None }
+        Self {
+            goal,
+            goal_result,
+            solved: None,
+        }
     }
 
     /// Check an emitted query against the goal (syntactic, then semantic).
@@ -238,9 +264,7 @@ impl GoalChecker {
             self.solved = Some(Method::Syntactic);
             return self.solved;
         }
-        if semantic_equivalent(query, &self.goal)
-            || semantically_subsumes(query, &self.goal)
-        {
+        if semantic_equivalent(query, &self.goal) || semantically_subsumes(query, &self.goal) {
             self.solved = Some(Method::Semantic);
             return self.solved;
         }
@@ -289,10 +313,14 @@ mod tests {
 
     #[test]
     fn syntactic_catches_near_identical() {
-        let a = q("SELECT queue, hour, call_direction, COUNT(calls) FROM customer_service \
-                   WHERE queue IN ('A') GROUP BY queue, hour, call_direction");
-        let b = q("SELECT queue, hour, call_direction, COUNT(calls) FROM customer_service \
-                   WHERE queue IN ('B') GROUP BY queue, hour, call_direction");
+        let a = q(
+            "SELECT queue, hour, call_direction, COUNT(calls) FROM customer_service \
+                   WHERE queue IN ('A') GROUP BY queue, hour, call_direction",
+        );
+        let b = q(
+            "SELECT queue, hour, call_direction, COUNT(calls) FROM customer_service \
+                   WHERE queue IN ('B') GROUP BY queue, hour, call_direction",
+        );
         assert!(syntactic_equivalent(&a, &b), "the paper's >95% rule");
     }
 
@@ -346,7 +374,8 @@ mod tests {
         // The Figure 3 scenario: per-queue restrictions of the goal query
         // are fragments when the filter hits the group key.
         let goal = q("SELECT queue, COUNT(lost_calls) FROM cs GROUP BY queue");
-        let frag = q("SELECT queue, COUNT(lost_calls) FROM cs WHERE queue IN ('A', 'B') GROUP BY queue");
+        let frag =
+            q("SELECT queue, COUNT(lost_calls) FROM cs WHERE queue IN ('A', 'B') GROUP BY queue");
         assert!(semantic_fragment_of(&frag, &goal));
         // Filtering on a non-key column changes aggregate values: not a fragment.
         let not_frag = q("SELECT queue, COUNT(lost_calls) FROM cs WHERE hour > 9 GROUP BY queue");
@@ -382,8 +411,10 @@ mod tests {
     #[test]
     fn goal_checker_semantic_path() {
         let goal = q("SELECT queue, COUNT(*) FROM t GROUP BY queue");
-        let mut checker =
-            GoalChecker::new(goal, ResultSet::empty(vec!["queue".into(), "COUNT(*)".into()]));
+        let mut checker = GoalChecker::new(
+            goal,
+            ResultSet::empty(vec!["queue".into(), "COUNT(*)".into()]),
+        );
         let emitted = q("SELECT COUNT(*), queue, SUM(x) FROM t GROUP BY queue");
         assert_eq!(checker.check_emitted(&emitted), Some(Method::Semantic));
     }
@@ -397,7 +428,10 @@ mod tests {
         );
         let checker = GoalChecker::new(goal, goal_result);
         let mut cov = CoverageStore::new();
-        cov.absorb(&ResultSet::new(vec!["queue".into()], vec![vec![Value::str("A")]]));
+        cov.absorb(&ResultSet::new(
+            vec!["queue".into()],
+            vec![vec![Value::str("A")]],
+        ));
         assert!((checker.coverage_fraction(&cov) - 0.5).abs() < 1e-12);
     }
 }

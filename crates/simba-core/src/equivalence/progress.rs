@@ -42,7 +42,10 @@ mod tests {
     fn rs(values: &[(&str, i64)]) -> ResultSet {
         ResultSet::new(
             vec!["queue".into(), "n".into()],
-            values.iter().map(|(q, n)| vec![Value::str(q), Value::Int(*n)]).collect(),
+            values
+                .iter()
+                .map(|(q, n)| vec![Value::str(q), Value::Int(*n)])
+                .collect(),
         )
     }
 

@@ -18,7 +18,11 @@ pub enum CoreError {
     /// An algebra expression could not be parsed.
     AlgebraParse(String),
     /// The requested workflow is not compatible with the dashboard.
-    IncompatibleWorkflow { workflow: String, dashboard: String, reason: String },
+    IncompatibleWorkflow {
+        workflow: String,
+        dashboard: String,
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -30,8 +34,15 @@ impl fmt::Display for CoreError {
             CoreError::UnknownNode(id) => write!(f, "unknown node `{id}`"),
             CoreError::Engine(m) => write!(f, "engine error: {m}"),
             CoreError::AlgebraParse(m) => write!(f, "algebra parse error: {m}"),
-            CoreError::IncompatibleWorkflow { workflow, dashboard, reason } => {
-                write!(f, "workflow `{workflow}` incompatible with dashboard `{dashboard}`: {reason}")
+            CoreError::IncompatibleWorkflow {
+                workflow,
+                dashboard,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "workflow `{workflow}` incompatible with dashboard `{dashboard}`: {reason}"
+                )
             }
         }
     }

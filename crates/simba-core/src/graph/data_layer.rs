@@ -68,11 +68,9 @@ fn widget_predicate(
                 Some(Expr::in_strs(field, selected.iter().cloned()))
             }
         }
-        WidgetState::Single { selected } =>
-
-            selected.as_ref().map(|v| {
-                Expr::binary(Expr::col(field), simba_sql::BinOp::Eq, Expr::str(v.clone()))
-            }),
+        WidgetState::Single { selected } => selected
+            .as_ref()
+            .map(|v| Expr::binary(Expr::col(field), simba_sql::BinOp::Eq, Expr::str(v.clone()))),
         WidgetState::Range { bounds } => bounds.map(|(lo, hi)| {
             // Integer-typed fields (temporal epochs, int measures) get
             // integer literals so the SQL reads naturally.
@@ -136,7 +134,11 @@ fn channel_expr(field: &str, transform: Option<FieldTransform>) -> Expr {
 }
 
 fn func1(f: Func, arg: Expr) -> Expr {
-    Expr::Function { func: f, args: vec![arg], distinct: false }
+    Expr::Function {
+        func: f,
+        args: vec![arg],
+        distinct: false,
+    }
 }
 
 fn measure_expr(m: &crate::spec::AggregateChannel) -> Expr {
@@ -145,10 +147,16 @@ fn measure_expr(m: &crate::spec::AggregateChannel) -> Expr {
         None => Expr::Wildcard,
     };
     match m.func {
-        AggOp::Count => Expr::Function { func: Func::Count, args: vec![arg], distinct: false },
-        AggOp::CountDistinct => {
-            Expr::Function { func: Func::Count, args: vec![arg], distinct: true }
-        }
+        AggOp::Count => Expr::Function {
+            func: Func::Count,
+            args: vec![arg],
+            distinct: false,
+        },
+        AggOp::CountDistinct => Expr::Function {
+            func: Func::Count,
+            args: vec![arg],
+            distinct: true,
+        },
         AggOp::Sum => Expr::agg(Func::Sum, arg),
         AggOp::Avg => Expr::agg(Func::Avg, arg),
         AggOp::Min => Expr::agg(Func::Min, arg),
@@ -174,7 +182,10 @@ mod tests {
         let g = graph();
         let s = g.initial_state();
         let q = vis_query(&g, &s, g.node("lost_calls").unwrap());
-        assert_eq!(print_select(&q), "SELECT COUNT(lost_calls) FROM customer_service");
+        assert_eq!(
+            print_select(&q),
+            "SELECT COUNT(lost_calls) FROM customer_service"
+        );
     }
 
     #[test]
@@ -228,8 +239,9 @@ mod tests {
         let g = graph();
         let mut s = g.initial_state();
         let slider = g.node("hour_slider").unwrap();
-        *s.node_mut(slider) =
-            NodeState::Widget(WidgetState::Range { bounds: Some((9.0, 17.0)) });
+        *s.node_mut(slider) = NodeState::Widget(WidgetState::Range {
+            bounds: Some((9.0, 17.0)),
+        });
         let q = vis_query(&g, &s, g.node("abandon_rate").unwrap());
         let text = print_select(&q);
         assert!(text.contains("hour BETWEEN 9 AND 17"), "{text}");
@@ -244,8 +256,9 @@ mod tests {
         if let NodeState::Widget(WidgetState::Checkbox { selected }) = s.node_mut(checkbox) {
             selected.extend(["A".to_string(), "B".to_string()]);
         }
-        *s.node_mut(slider) =
-            NodeState::Widget(WidgetState::Range { bounds: Some((8.0, 12.0)) });
+        *s.node_mut(slider) = NodeState::Widget(WidgetState::Range {
+            bounds: Some((8.0, 12.0)),
+        });
         let q = vis_query(&g, &s, g.node("total_calls_by_hour").unwrap());
         assert_eq!(q.filters().len(), 2, "{q}");
     }

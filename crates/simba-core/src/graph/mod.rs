@@ -65,7 +65,14 @@ impl InteractionGraph {
                 in_edges[t].push(s);
             }
         }
-        Ok(Self { spec, kinds, ids, out_edges, in_edges, by_id })
+        Ok(Self {
+            spec,
+            kinds,
+            ids,
+            out_edges,
+            in_edges,
+            by_id,
+        })
     }
 
     /// Number of nodes.
@@ -85,7 +92,10 @@ impl InteractionGraph {
 
     /// Look up a node by its string id (case-insensitive).
     pub fn node(&self, id: &str) -> Option<NodeId> {
-        self.by_id.get(&id.to_ascii_lowercase()).copied().map(NodeId)
+        self.by_id
+            .get(&id.to_ascii_lowercase())
+            .copied()
+            .map(NodeId)
     }
 
     /// All visualization nodes.
@@ -183,7 +193,9 @@ impl WidgetState {
     pub fn empty(control: &crate::spec::ControlSpec) -> WidgetState {
         use crate::spec::ControlSpec::*;
         match control {
-            Checkbox { .. } => WidgetState::Checkbox { selected: BTreeSet::new() },
+            Checkbox { .. } => WidgetState::Checkbox {
+                selected: BTreeSet::new(),
+            },
             Radio { .. } | Dropdown { .. } => WidgetState::Single { selected: None },
             RangeSlider { .. } | DateRange { .. } => WidgetState::Range { bounds: None },
         }
@@ -276,8 +288,7 @@ mod tests {
     fn builds_all_builtin_graphs() {
         for spec in all_builtin() {
             let name = spec.name.clone();
-            let g = InteractionGraph::from_spec(spec)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let g = InteractionGraph::from_spec(spec).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(g.node_count() > 0);
             assert!(g.edge_count() > 0);
         }
@@ -292,7 +303,10 @@ mod tests {
             .iter()
             .filter(|n| matches!(g.kind(**n), NodeKind::Visualization(_)))
             .count();
-        assert_eq!(vis_count, 5, "Figure 2A: checkbox updates all five visualizations");
+        assert_eq!(
+            vis_count, 5,
+            "Figure 2A: checkbox updates all five visualizations"
+        );
     }
 
     #[test]

@@ -17,11 +17,17 @@ use simba_store::Table;
 #[derive(Debug, Clone, PartialEq)]
 pub enum InterfaceAction {
     /// Add a visualization, linked from the given source component ids.
-    AddVisualization { vis: VisualizationSpec, linked_from: Vec<String> },
+    AddVisualization {
+        vis: VisualizationSpec,
+        linked_from: Vec<String>,
+    },
     /// Remove a visualization and every link touching it.
     RemoveVisualization { id: String },
     /// Add an interaction widget, linked to the given target component ids.
-    AddWidget { widget: WidgetSpec, targets: Vec<String> },
+    AddWidget {
+        widget: WidgetSpec,
+        targets: Vec<String>,
+    },
     /// Remove a widget and every link touching it.
     RemoveWidget { id: String },
     /// Add a single interaction link.
@@ -57,7 +63,9 @@ impl InterfaceAction {
     pub fn apply_to(&self, spec: &DashboardSpec) -> Result<DashboardSpec, CoreError> {
         let mut next = spec.clone();
         let exists = |s: &DashboardSpec, id: &str| {
-            s.visualizations.iter().any(|v| v.id.eq_ignore_ascii_case(id))
+            s.visualizations
+                .iter()
+                .any(|v| v.id.eq_ignore_ascii_case(id))
                 || s.widgets.iter().any(|w| w.id.eq_ignore_ascii_case(id))
         };
         match self {
@@ -72,14 +80,17 @@ impl InterfaceAction {
                     if !exists(&next, src) {
                         return Err(CoreError::UnknownNode(src.clone()));
                     }
-                    next.links
-                        .push(LinkSpec { source: src.clone(), target: vis.id.clone() });
+                    next.links.push(LinkSpec {
+                        source: src.clone(),
+                        target: vis.id.clone(),
+                    });
                 }
                 next.visualizations.push(vis.clone());
             }
             InterfaceAction::RemoveVisualization { id } => {
                 let before = next.visualizations.len();
-                next.visualizations.retain(|v| !v.id.eq_ignore_ascii_case(id));
+                next.visualizations
+                    .retain(|v| !v.id.eq_ignore_ascii_case(id));
                 if next.visualizations.len() == before {
                     return Err(CoreError::UnknownNode(id.clone()));
                 }
@@ -103,8 +114,10 @@ impl InterfaceAction {
                     if !exists(&next, t) {
                         return Err(CoreError::UnknownNode(t.clone()));
                     }
-                    next.links
-                        .push(LinkSpec { source: widget.id.clone(), target: t.clone() });
+                    next.links.push(LinkSpec {
+                        source: widget.id.clone(),
+                        target: t.clone(),
+                    });
                 }
                 next.widgets.push(widget.clone());
             }
@@ -125,7 +138,10 @@ impl InterfaceAction {
                 if !exists(&next, target) {
                     return Err(CoreError::UnknownNode(target.clone()));
                 }
-                next.links.push(LinkSpec { source: source.clone(), target: target.clone() });
+                next.links.push(LinkSpec {
+                    source: source.clone(),
+                    target: target.clone(),
+                });
             }
             InterfaceAction::RemoveLink { source, target } => {
                 let before = next.links.len();
@@ -156,7 +172,7 @@ impl InterfaceAction {
 mod tests {
     use super::*;
     use crate::spec::builtin::builtin;
-    use crate::spec::{AggregateChannel, AggOp, ChannelSpec, ControlSpec, MarkType};
+    use crate::spec::{AggOp, AggregateChannel, ChannelSpec, ControlSpec, MarkType};
     use simba_data::DashboardDataset;
 
     fn setup() -> (Dashboard, Table) {
@@ -172,7 +188,10 @@ mod tests {
             title: "Satisfaction by Queue".into(),
             mark: MarkType::Bar,
             dimensions: vec![ChannelSpec::field("queue")],
-            measures: vec![AggregateChannel { func: AggOp::Avg, field: Some("satisfaction".into()) }],
+            measures: vec![AggregateChannel {
+                func: AggOp::Avg,
+                field: Some("satisfaction".into()),
+            }],
             raw_fields: vec![],
             selectable: false,
         }
@@ -202,7 +221,9 @@ mod tests {
     #[test]
     fn remove_visualization_drops_links() {
         let (dashboard, table) = setup();
-        let action = InterfaceAction::RemoveVisualization { id: "lost_calls".into() };
+        let action = InterfaceAction::RemoveVisualization {
+            id: "lost_calls".into(),
+        };
         let next = action.rebuild(&dashboard, &table).unwrap();
         assert!(next.graph().node("lost_calls").is_none());
         assert!(next
@@ -217,12 +238,16 @@ mod tests {
         let ds = DashboardDataset::MyRide;
         let table = ds.generate_rows(200, 1);
         let dashboard = Dashboard::new(builtin(ds), &table).unwrap();
-        let first = InterfaceAction::RemoveVisualization { id: "hr_histogram".into() }
-            .rebuild(&dashboard, &table)
-            .unwrap();
-        let err = InterfaceAction::RemoveVisualization { id: "hr_by_segment".into() }
-            .rebuild(&first, &table)
-            .unwrap_err();
+        let first = InterfaceAction::RemoveVisualization {
+            id: "hr_histogram".into(),
+        }
+        .rebuild(&dashboard, &table)
+        .unwrap();
+        let err = InterfaceAction::RemoveVisualization {
+            id: "hr_by_segment".into(),
+        }
+        .rebuild(&first, &table)
+        .unwrap_err();
         assert!(matches!(err, CoreError::InvalidSpec(_)));
     }
 
@@ -233,7 +258,9 @@ mod tests {
             widget: WidgetSpec {
                 id: "tier_radio".into(),
                 title: "Tier".into(),
-                control: ControlSpec::Radio { field: "customer_tier".into() },
+                control: ControlSpec::Radio {
+                    field: "customer_tier".into(),
+                },
             },
             targets: vec!["calls_per_rep".into(), "lost_calls".into()],
         };
@@ -255,7 +282,10 @@ mod tests {
     fn duplicate_ids_and_dangling_endpoints_rejected() {
         let (dashboard, table) = setup();
         let dup = InterfaceAction::AddVisualization {
-            vis: VisualizationSpec { id: "lost_calls".into(), ..new_vis() },
+            vis: VisualizationSpec {
+                id: "lost_calls".into(),
+                ..new_vis()
+            },
             linked_from: vec![],
         };
         assert!(dup.rebuild(&dashboard, &table).is_err());
@@ -299,7 +329,10 @@ mod tests {
         let radio2 = without.graph().node("direction_radio").unwrap();
         assert_eq!(
             without.graph().out_degree(radio2),
-            with_link.graph().out_degree(with_link.graph().node("direction_radio").unwrap()) - 1
+            with_link
+                .graph()
+                .out_degree(with_link.graph().node("direction_radio").unwrap())
+                - 1
         );
     }
 
@@ -327,7 +360,11 @@ mod tests {
             "remove visualization `x`"
         );
         assert_eq!(
-            InterfaceAction::AddLink { source: "a".into(), target: "b".into() }.describe(),
+            InterfaceAction::AddLink {
+                source: "a".into(),
+                target: "b".into()
+            }
+            .describe(),
             "link `a` -> `b`"
         );
     }

@@ -30,7 +30,11 @@ impl MarkovModel {
     /// Build a model from raw weights (rows are normalized on use; rows that
     /// sum to zero fall back to the initial distribution).
     pub fn new(name: &'static str, initial: [f64; N], matrix: [[f64; N]; N]) -> Self {
-        Self { name, initial, matrix }
+        Self {
+            name,
+            initial,
+            matrix,
+        }
     }
 
     /// The IDEBench default mix: filter-widget heavy, occasional highlight,
@@ -83,7 +87,12 @@ impl MarkovModel {
     /// All presets (the paper's "library of pre-set transition
     /// probabilities").
     pub fn presets() -> Vec<MarkovModel> {
-        vec![Self::idebench_default(), Self::uniform(), Self::brush_heavy(), Self::drilldown()]
+        vec![
+            Self::idebench_default(),
+            Self::uniform(),
+            Self::brush_heavy(),
+            Self::drilldown(),
+        ]
     }
 
     /// Sample the next interaction kind given the previous one.
@@ -91,7 +100,10 @@ impl MarkovModel {
         let row = match prev {
             None => &self.initial,
             Some(k) => {
-                let idx = ActionKind::ALL.iter().position(|a| *a == k).expect("known kind");
+                let idx = ActionKind::ALL
+                    .iter()
+                    .position(|a| *a == k)
+                    .expect("known kind");
                 let row = &self.matrix[idx];
                 if row.iter().sum::<f64>() <= 0.0 {
                     &self.initial
@@ -130,8 +142,7 @@ impl MarkovModel {
         // A few attempts to honor the sampled kind before falling back.
         for _ in 0..4 {
             let kind = self.next_kind(prev, rng);
-            let of_kind: Vec<&Action> =
-                actions.iter().filter(|a| a.kind(graph) == kind).collect();
+            let of_kind: Vec<&Action> = actions.iter().filter(|a| a.kind(graph) == kind).collect();
             if let Some(action) = of_kind.choose(rng) {
                 return Some((*action).clone());
             }
@@ -158,7 +169,11 @@ mod tests {
     fn presets_rows_are_distributions() {
         for model in MarkovModel::presets() {
             let total: f64 = model.initial.iter().sum();
-            assert!((total - 1.0).abs() < 1e-9, "{} initial sums to {total}", model.name);
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} initial sums to {total}",
+                model.name
+            );
             for (i, row) in model.matrix.iter().enumerate() {
                 let s: f64 = row.iter().sum();
                 assert!((s - 1.0).abs() < 1e-9, "{} row {i} sums to {s}", model.name);
@@ -215,6 +230,9 @@ mod tests {
             prev = Some(action.kind(d.graph()));
             action.apply(d.graph(), &mut state);
         }
-        assert!(state.active_count() > 0, "ten random actions should leave filters active");
+        assert!(
+            state.active_count() > 0,
+            "ten random actions should leave filters active"
+        );
     }
 }

@@ -248,8 +248,16 @@ mod tests {
     #[test]
     fn workload_stats_mean_and_std() {
         let shapes = vec![
-            QueryShape { data_columns: 1, aggregated_columns: 1, filters: 1 },
-            QueryShape { data_columns: 3, aggregated_columns: 1, filters: 3 },
+            QueryShape {
+                data_columns: 1,
+                aggregated_columns: 1,
+                filters: 1,
+            },
+            QueryShape {
+                data_columns: 3,
+                aggregated_columns: 1,
+                filters: 3,
+            },
         ];
         let w = WorkloadStats::from_shapes(&shapes).unwrap();
         assert_eq!(w.queries, 2);

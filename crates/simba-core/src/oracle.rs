@@ -31,7 +31,11 @@ pub struct OracleConfig {
 
 impl Default for OracleConfig {
     fn default() -> Self {
-        Self { depth: 1, max_candidates: 48, beam_width: 4 }
+        Self {
+            depth: 1,
+            max_candidates: 48,
+            beam_width: 4,
+        }
     }
 }
 
@@ -72,7 +76,15 @@ impl Oracle {
         goals: &[&ResultSet],
         rng: &mut impl Rng,
     ) -> Result<Option<PlannedStep>, CoreError> {
-        self.plan_depth(dashboard, state, engine, coverage, goals, rng, self.config.depth)
+        self.plan_depth(
+            dashboard,
+            state,
+            engine,
+            coverage,
+            goals,
+            rng,
+            self.config.depth,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -106,7 +118,11 @@ impl Oracle {
                 results.push(crate::equivalence::augment_result(query, out.result));
             }
             let score = covered_after(coverage, &results, goals);
-            scored.push(PlannedStep { action, score, emitted });
+            scored.push(PlannedStep {
+                action,
+                score,
+                emitted,
+            });
         }
 
         if depth > 1 {
@@ -204,10 +220,20 @@ mod tests {
         let oracle = Oracle::default();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let step = oracle
-            .plan_next(&dashboard, &state, engine.as_ref(), &coverage, &[&goal_result], &mut rng)
+            .plan_next(
+                &dashboard,
+                &state,
+                engine.as_ref(),
+                &coverage,
+                &[&goal_result],
+                &mut rng,
+            )
             .unwrap()
             .expect("actions exist");
-        assert!(step.score > 0, "some action must make progress toward the goal");
+        assert!(
+            step.score > 0,
+            "some action must make progress toward the goal"
+        );
         assert!(!step.emitted.is_empty());
     }
 
@@ -229,7 +255,14 @@ mod tests {
         let mut steps = 0;
         while !coverage.covers(&goal_result) && steps < 12 {
             let step = oracle
-                .plan_next(&dashboard, &state, engine.as_ref(), &coverage, &[&goal_result], &mut rng)
+                .plan_next(
+                    &dashboard,
+                    &state,
+                    engine.as_ref(),
+                    &coverage,
+                    &[&goal_result],
+                    &mut rng,
+                )
                 .unwrap()
                 .expect("applicable actions remain");
             let emitted = dashboard.apply(&mut state, &step.action);
@@ -251,15 +284,37 @@ mod tests {
         let state = dashboard.initial_state();
         let coverage = CoverageStore::new();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let shallow = Oracle::new(OracleConfig { depth: 1, max_candidates: 16, beam_width: 3 })
-            .plan_next(&dashboard, &state, engine.as_ref(), &coverage, &[&goal_result], &mut rng)
-            .unwrap()
-            .unwrap();
+        let shallow = Oracle::new(OracleConfig {
+            depth: 1,
+            max_candidates: 16,
+            beam_width: 3,
+        })
+        .plan_next(
+            &dashboard,
+            &state,
+            engine.as_ref(),
+            &coverage,
+            &[&goal_result],
+            &mut rng,
+        )
+        .unwrap()
+        .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let deep = Oracle::new(OracleConfig { depth: 2, max_candidates: 16, beam_width: 3 })
-            .plan_next(&dashboard, &state, engine.as_ref(), &coverage, &[&goal_result], &mut rng)
-            .unwrap()
-            .unwrap();
+        let deep = Oracle::new(OracleConfig {
+            depth: 2,
+            max_candidates: 16,
+            beam_width: 3,
+        })
+        .plan_next(
+            &dashboard,
+            &state,
+            engine.as_ref(),
+            &coverage,
+            &[&goal_result],
+            &mut rng,
+        )
+        .unwrap()
+        .unwrap();
         assert!(deep.score >= shallow.score);
     }
 
@@ -271,7 +326,14 @@ mod tests {
         let oracle = Oracle::default();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let step = oracle
-            .plan_next(&dashboard, &state, engine.as_ref(), &coverage, &[], &mut rng)
+            .plan_next(
+                &dashboard,
+                &state,
+                engine.as_ref(),
+                &coverage,
+                &[],
+                &mut rng,
+            )
             .unwrap();
         assert!(step.is_some());
         assert_eq!(step.unwrap().score, 0);

@@ -150,7 +150,11 @@ mod tests {
 
     #[test]
     fn model_names_round_trip() {
-        for m in [ModelChoice::InitialRender, ModelChoice::Oracle, ModelChoice::Markov] {
+        for m in [
+            ModelChoice::InitialRender,
+            ModelChoice::Oracle,
+            ModelChoice::Markov,
+        ] {
             assert_eq!(ModelChoice::from_name(m.name()), Some(m));
         }
         assert_eq!(ModelChoice::from_name("alien"), None);

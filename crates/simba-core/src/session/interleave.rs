@@ -18,28 +18,43 @@ impl DecayConfig {
     /// Default parameters, tuned to yield session lengths consistent with
     /// the exploration studies the paper cites (~tens of interactions).
     pub fn typical() -> Self {
-        Self { initial_markov: 0.90, decay_rate: 0.12 }
+        Self {
+            initial_markov: 0.90,
+            decay_rate: 0.12,
+        }
     }
 
     /// A novice lingers in open-ended exploration.
     pub fn novice() -> Self {
-        Self { initial_markov: 0.97, decay_rate: 0.05 }
+        Self {
+            initial_markov: 0.97,
+            decay_rate: 0.05,
+        }
     }
 
     /// An expert "knows what they are looking for": low initial probability,
     /// fast decay (§4.3).
     pub fn expert() -> Self {
-        Self { initial_markov: 0.50, decay_rate: 0.35 }
+        Self {
+            initial_markov: 0.50,
+            decay_rate: 0.35,
+        }
     }
 
     /// Pure Oracle (no randomness) — used by ablations.
     pub fn oracle_only() -> Self {
-        Self { initial_markov: 0.0, decay_rate: 1.0 }
+        Self {
+            initial_markov: 0.0,
+            decay_rate: 1.0,
+        }
     }
 
     /// Pure Markov (IDEBench-style fully stochastic sessions).
     pub fn markov_only() -> Self {
-        Self { initial_markov: 1.0, decay_rate: 0.0 }
+        Self {
+            initial_markov: 1.0,
+            decay_rate: 0.0,
+        }
     }
 
     /// P(Markov) at step `t`.

@@ -6,6 +6,7 @@
 //! the emitted SQL against the DBMS under test, and checks goal completion
 //! with the equivalence suite. Everything is recorded in a [`SessionLog`].
 
+pub mod batch;
 pub mod export;
 pub mod interleave;
 pub mod synthesize;
@@ -110,7 +111,10 @@ impl SessionLog {
 
     /// Total interactions performed (excluding the initial render).
     pub fn interaction_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.model != ModelChoice::InitialRender).count()
+        self.entries
+            .iter()
+            .filter(|e| e.model != ModelChoice::InitialRender)
+            .count()
     }
 
     /// Were all goals achieved?
@@ -161,7 +165,11 @@ pub struct SessionRunner<'a> {
 impl<'a> SessionRunner<'a> {
     /// New runner.
     pub fn new(dashboard: &'a Dashboard, engine: &'a dyn Dbms, config: SessionConfig) -> Self {
-        Self { dashboard, engine, config }
+        Self {
+            dashboard,
+            engine,
+            config,
+        }
     }
 
     /// Simulate one goal-directed session (§4.3's interleaved model).
@@ -226,7 +234,9 @@ impl<'a> SessionRunner<'a> {
 
             let (model, action) = if use_markov {
                 let Some(action) =
-                    self.config.markov.pick_action(self.dashboard, &state, prev_kind, &mut rng)
+                    self.config
+                        .markov
+                        .pick_action(self.dashboard, &state, prev_kind, &mut rng)
                 else {
                     break;
                 };
@@ -303,7 +313,9 @@ fn check_goals(
             continue;
         }
         let method = match emitted {
-            Some(q) => checker.check_emitted(q).or_else(|| checker.check_result(coverage)),
+            Some(q) => checker
+                .check_emitted(q)
+                .or_else(|| checker.check_result(coverage)),
             None => checker.check_result(coverage),
         };
         if let Some(m) = method {
@@ -335,9 +347,15 @@ mod tests {
     #[test]
     fn session_replays_identically_for_same_seed() {
         let (dashboard, engine, goals) = setup();
-        let config = SessionConfig { seed: 77, max_steps: 12, ..Default::default() };
+        let config = SessionConfig {
+            seed: 77,
+            max_steps: 12,
+            ..Default::default()
+        };
         let run = |cfg: &SessionConfig| {
-            SessionRunner::new(&dashboard, engine.as_ref(), cfg.clone()).run(&goals).unwrap()
+            SessionRunner::new(&dashboard, engine.as_ref(), cfg.clone())
+                .run(&goals)
+                .unwrap()
         };
         let a = run(&config);
         let b = run(&config);
@@ -359,7 +377,9 @@ mod tests {
             decay: DecayConfig::oracle_only(),
             ..Default::default()
         };
-        let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+        let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+            .run(&goals)
+            .unwrap();
         assert!(
             log.all_goals_met(),
             "oracle-only session should achieve all goals: {:?}",
@@ -389,7 +409,9 @@ mod tests {
             stop_on_completion: false,
             ..Default::default()
         };
-        let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+        let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+            .run(&goals)
+            .unwrap();
         assert_eq!(log.interaction_count(), 4);
     }
 
@@ -402,7 +424,9 @@ mod tests {
             decay: DecayConfig::oracle_only(),
             ..Default::default()
         };
-        let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+        let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+            .run(&goals)
+            .unwrap();
         for outcome in &log.goals {
             if let Some(step) = outcome.solved_at {
                 assert!(outcome.method.is_some());
@@ -414,9 +438,15 @@ mod tests {
     #[test]
     fn log_statistics_consistent() {
         let (dashboard, engine, goals) = setup();
-        let config =
-            SessionConfig { seed: 13, max_steps: 8, stop_on_completion: false, ..Default::default() };
-        let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+        let config = SessionConfig {
+            seed: 13,
+            max_steps: 8,
+            stop_on_completion: false,
+            ..Default::default()
+        };
+        let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+            .run(&goals)
+            .unwrap();
         assert_eq!(log.query_count(), log.queries().count());
         assert_eq!(log.durations().len(), log.query_count());
         assert!(log.query_count() >= log.interaction_count());

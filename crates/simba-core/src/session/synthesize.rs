@@ -23,21 +23,13 @@ use simba_sql::{BinOp, Expr, Select, SelectItem};
 ///
 /// `salt` varies parameter choices (pin values, thresholds) deterministically
 /// so repeated runs can explore different instantiations.
-pub fn synthesize(
-    kind: GoalTemplateKind,
-    dash: &Dashboard,
-    salt: u64,
-) -> Result<Goal, CoreError> {
+pub fn synthesize(kind: GoalTemplateKind, dash: &Dashboard, salt: u64) -> Result<Goal, CoreError> {
     match kind {
         GoalTemplateKind::ObservingTemporalPatterns => temporal_overview(dash),
         GoalTemplateKind::Filtering => filtering(dash, salt),
         GoalTemplateKind::FindingCorrelations => correlations(dash, salt),
         GoalTemplateKind::AnalyzingSpread => view_goal(
-            kind,
-            dash,
-            salt,
-            /*require_cat_dim=*/ true,
-            /*min_measures=*/ 1,
+            kind, dash, salt, /*require_cat_dim=*/ true, /*min_measures=*/ 1,
         ),
         GoalTemplateKind::MeasuringDifferences => view_goal(kind, dash, salt, true, 1),
         GoalTemplateKind::Identification => view_goal(kind, dash, salt, true, 1),
@@ -147,15 +139,13 @@ fn view_goal(
     let mut query = candidate.base.clone();
     // Narrow by a pinnable field outside the view's own dimensions, when one
     // exists — the user has to reach that widget state.
-    let pin = pinnable_fields(dash, candidate.node)
-        .into_iter()
-        .find(|f| {
-            !candidate
-                .spec
-                .dimensions
-                .iter()
-                .any(|d| d.field.eq_ignore_ascii_case(f))
-        });
+    let pin = pinnable_fields(dash, candidate.node).into_iter().find(|f| {
+        !candidate
+            .spec
+            .dimensions
+            .iter()
+            .any(|d| d.field.eq_ignore_ascii_case(f))
+    });
     let mut pin_text = String::new();
     if let Some(field) = pin {
         let cats = dash.domains().categories(&field);
@@ -168,8 +158,12 @@ fn view_goal(
         pin_text = format!(" when {field} is '{value}'");
     }
 
-    let dim_names: Vec<&str> =
-        candidate.spec.dimensions.iter().map(|d| d.field.as_str()).collect();
+    let dim_names: Vec<&str> = candidate
+        .spec
+        .dimensions
+        .iter()
+        .map(|d| d.field.as_str())
+        .collect();
     let question = match kind {
         GoalTemplateKind::AnalyzingSpread => format!(
             "Which member of {} has the largest spread of {}{}?",
@@ -202,13 +196,15 @@ fn temporal_overview(dash: &Dashboard) -> Result<Goal, CoreError> {
         v.dimensions.iter().any(|d| {
             // Date-part transforms and temporal fields are time axes; a
             // BIN transform on a quantitative field is not.
-            !matches!(d.transform, None | Some(crate::spec::FieldTransform::Bin { .. }))
-                || dash
-                    .graph()
-                    .spec
-                    .database
-                    .field(&d.field)
-                    .is_some_and(|f| f.role == FieldRole::Temporal)
+            !matches!(
+                d.transform,
+                None | Some(crate::spec::FieldTransform::Bin { .. })
+            ) || dash
+                .graph()
+                .spec
+                .database
+                .field(&d.field)
+                .is_some_and(|f| f.role == FieldRole::Temporal)
         })
     };
     let candidate = infos
@@ -232,7 +228,11 @@ fn temporal_overview(dash: &Dashboard) -> Result<Goal, CoreError> {
             .unwrap_or("time"),
         candidate.spec.title
     );
-    Ok(Goal::from_sql(GoalTemplateKind::ObservingTemporalPatterns, question, candidate.base.clone()))
+    Ok(Goal::from_sql(
+        GoalTemplateKind::ObservingTemporalPatterns,
+        question,
+        candidate.base.clone(),
+    ))
 }
 
 /// The Figure 3 "Filtering" goal: group a stat visualization's measure by a
@@ -252,11 +252,17 @@ fn filtering(dash: &Dashboard, salt: u64) -> Result<Goal, CoreError> {
             let measure = info.base.projections[0].expr.clone();
             let mut query = Select::new(
                 info.base.from.clone(),
-                vec![SelectItem::bare(Expr::col(field.clone())), SelectItem::bare(measure.clone())],
+                vec![
+                    SelectItem::bare(Expr::col(field.clone())),
+                    SelectItem::bare(measure.clone()),
+                ],
             );
             query.group_by = vec![Expr::col(field.clone())];
-            query.having =
-                Some(Expr::binary(measure.clone(), BinOp::Gt, Expr::int(threshold)));
+            query.having = Some(Expr::binary(
+                measure.clone(),
+                BinOp::Gt,
+                Expr::int(threshold),
+            ));
             let question = format!(
                 "Which {field} have {} greater than {threshold} at any point in time?",
                 simba_sql::printer::print_expr(&measure)
@@ -269,7 +275,11 @@ fn filtering(dash: &Dashboard, salt: u64) -> Result<Goal, CoreError> {
     let candidate = infos
         .iter()
         .find(|i| i.spec.dimensions.len() == 1 && !i.spec.measures.is_empty())
-        .or_else(|| infos.iter().find(|i| !i.spec.dimensions.is_empty() && !i.spec.measures.is_empty()))
+        .or_else(|| {
+            infos
+                .iter()
+                .find(|i| !i.spec.dimensions.is_empty() && !i.spec.measures.is_empty())
+        })
         .ok_or_else(|| {
             CoreError::GoalInstantiation("Filtering: no aggregating visualization".into())
         })?;
@@ -339,7 +349,11 @@ fn correlations(dash: &Dashboard, salt: u64) -> Result<Goal, CoreError> {
                 "Is there a strong correlation between {} and {}?",
                 fields_seen[0], fields_seen[1]
             );
-            return Ok(Goal::from_sql(GoalTemplateKind::FindingCorrelations, question, query));
+            return Ok(Goal::from_sql(
+                GoalTemplateKind::FindingCorrelations,
+                question,
+                query,
+            ));
         }
         // Stat visualization: modulate by a pinnable categorical field.
         if let Some(field) = pinnable_fields(dash, info.node).into_iter().next() {
@@ -354,13 +368,16 @@ fn correlations(dash: &Dashboard, salt: u64) -> Result<Goal, CoreError> {
                 "Is there a strong correlation between {} and {} across {field}?",
                 fields_seen[0], fields_seen[1]
             );
-            return Ok(Goal::from_sql(GoalTemplateKind::FindingCorrelations, question, query));
+            return Ok(Goal::from_sql(
+                GoalTemplateKind::FindingCorrelations,
+                question,
+                query,
+            ));
         }
     }
     let _ = salt;
     Err(CoreError::GoalInstantiation(
-        "Finding Correlations: no visualization exposes two distinct quantitative measures"
-            .into(),
+        "Finding Correlations: no visualization exposes two distinct quantitative measures".into(),
     ))
 }
 
@@ -382,7 +399,10 @@ mod tests {
         let text = goal.query.to_string();
         assert!(text.contains("GROUP BY queue"), "{text}");
         assert!(text.contains("HAVING"), "{text}");
-        assert!(text.contains("COUNT(lost_calls)") || text.contains("SUM(abandoned)"), "{text}");
+        assert!(
+            text.contains("COUNT(lost_calls)") || text.contains("SUM(abandoned)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -25,8 +25,11 @@ pub enum Workflow {
 
 impl Workflow {
     /// All workflows in Table 3 order.
-    pub const ALL: [Workflow; 3] =
-        [Workflow::Shneiderman, Workflow::BattleHeer, Workflow::Crossfilter];
+    pub const ALL: [Workflow; 3] = [
+        Workflow::Shneiderman,
+        Workflow::BattleHeer,
+        Workflow::Crossfilter,
+    ];
 
     /// Report name.
     pub fn name(self) -> &'static str {

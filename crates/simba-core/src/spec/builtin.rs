@@ -21,7 +21,10 @@ pub fn database_spec(ds: DashboardDataset) -> DatabaseSpec {
         fields: schema
             .columns
             .iter()
-            .map(|c| FieldSpec { name: c.name.clone(), role: c.role.into() })
+            .map(|c| FieldSpec {
+                name: c.name.clone(),
+                role: c.role.into(),
+            })
             .collect(),
     }
 }
@@ -63,19 +66,32 @@ fn vis(
 }
 
 fn agg(func: AggOp, field: &str) -> AggregateChannel {
-    AggregateChannel { func, field: Some(field.into()) }
+    AggregateChannel {
+        func,
+        field: Some(field.into()),
+    }
 }
 
 fn count_star() -> AggregateChannel {
-    AggregateChannel { func: AggOp::Count, field: None }
+    AggregateChannel {
+        func: AggOp::Count,
+        field: None,
+    }
 }
 
 fn widget(id: &str, title: &str, control: ControlSpec) -> WidgetSpec {
-    WidgetSpec { id: id.into(), title: title.into(), control }
+    WidgetSpec {
+        id: id.into(),
+        title: title.into(),
+        control,
+    }
 }
 
 fn link(source: &str, target: &str) -> LinkSpec {
-    LinkSpec { source: source.into(), target: target.into() }
+    LinkSpec {
+        source: source.into(),
+        target: target.into(),
+    }
 }
 
 /// Customer Service (Figure 2): five linked visualizations, a queue
@@ -137,13 +153,27 @@ fn customer_service() -> DashboardSpec {
             ),
         ],
         widgets: vec![
-            widget("queue_checkbox", "Queue", ControlSpec::Checkbox { field: "queue".into() }),
+            widget(
+                "queue_checkbox",
+                "Queue",
+                ControlSpec::Checkbox {
+                    field: "queue".into(),
+                },
+            ),
             widget(
                 "direction_radio",
                 "Call Direction",
-                ControlSpec::Radio { field: "call_direction".into() },
+                ControlSpec::Radio {
+                    field: "call_direction".into(),
+                },
             ),
-            widget("hour_slider", "Hour of Day", ControlSpec::RangeSlider { field: "hour".into() }),
+            widget(
+                "hour_slider",
+                "Hour of Day",
+                ControlSpec::RangeSlider {
+                    field: "hour".into(),
+                },
+            ),
         ],
         links: vec![
             // Figure 2A: the queue checkbox updates all five visualizations.
@@ -191,16 +221,27 @@ fn circulation_activity() -> DashboardSpec {
                 "Circulation by Event Type",
                 MarkType::Bar,
                 vec![ChannelSpec::field("event_type")],
-                vec![agg(AggOp::Sum, "circulation_count"), agg(AggOp::Avg, "wait_days")],
+                vec![
+                    agg(AggOp::Sum, "circulation_count"),
+                    agg(AggOp::Avg, "wait_days"),
+                ],
                 false,
             ),
         ],
         widgets: vec![
-            widget("branch_dropdown", "Branch", ControlSpec::Dropdown { field: "branch".into() }),
+            widget(
+                "branch_dropdown",
+                "Branch",
+                ControlSpec::Dropdown {
+                    field: "branch".into(),
+                },
+            ),
             widget(
                 "date_range",
                 "Date Range",
-                ControlSpec::DateRange { field: "event_date".into() },
+                ControlSpec::DateRange {
+                    field: "event_date".into(),
+                },
             ),
         ],
         links: vec![
@@ -265,7 +306,10 @@ fn supply_chain() -> DashboardSpec {
                     ChannelSpec::transformed("order_date", FieldTransform::Month),
                     ChannelSpec::field("product_category"),
                 ],
-                vec![agg(AggOp::Sum, "total_revenue"), agg(AggOp::Avg, "discount")],
+                vec![
+                    agg(AggOp::Sum, "total_revenue"),
+                    agg(AggOp::Avg, "discount"),
+                ],
                 false,
             ),
             VisualizationSpec {
@@ -274,22 +318,42 @@ fn supply_chain() -> DashboardSpec {
                 mark: MarkType::Scatter,
                 dimensions: vec![],
                 measures: vec![],
-                raw_fields: vec!["discount".into(), "total_revenue".into(), "unit_price".into()],
+                raw_fields: vec![
+                    "discount".into(),
+                    "total_revenue".into(),
+                    "unit_price".into(),
+                ],
                 selectable: false,
             },
         ],
         widgets: vec![
-            widget("region_checkbox", "Region", ControlSpec::Checkbox { field: "region".into() }),
-            widget("segment_radio", "Segment", ControlSpec::Radio { field: "segment".into() }),
+            widget(
+                "region_checkbox",
+                "Region",
+                ControlSpec::Checkbox {
+                    field: "region".into(),
+                },
+            ),
+            widget(
+                "segment_radio",
+                "Segment",
+                ControlSpec::Radio {
+                    field: "segment".into(),
+                },
+            ),
             widget(
                 "category_dropdown",
                 "Category",
-                ControlSpec::Dropdown { field: "product_category".into() },
+                ControlSpec::Dropdown {
+                    field: "product_category".into(),
+                },
             ),
             widget(
                 "status_dropdown",
                 "Order Status",
-                ControlSpec::Dropdown { field: "order_status".into() },
+                ControlSpec::Dropdown {
+                    field: "order_status".into(),
+                },
             ),
         ],
         links: vec![
@@ -339,7 +403,10 @@ fn ubc_energy() -> DashboardSpec {
                 "intensity_by_type",
                 "Energy Intensity",
                 MarkType::Bar,
-                vec![ChannelSpec::field("building_type"), ChannelSpec::field("energy_type")],
+                vec![
+                    ChannelSpec::field("building_type"),
+                    ChannelSpec::field("energy_type"),
+                ],
                 vec![agg(AggOp::Avg, "energy_intensity")],
                 false,
             ),
@@ -347,7 +414,10 @@ fn ubc_energy() -> DashboardSpec {
                 "usage_over_time",
                 "Usage over Time",
                 MarkType::Area,
-                vec![ChannelSpec::transformed("reading_ts", FieldTransform::Month)],
+                vec![ChannelSpec::transformed(
+                    "reading_ts",
+                    FieldTransform::Month,
+                )],
                 vec![
                     agg(AggOp::Sum, "elec_kwh"),
                     agg(AggOp::Sum, "gas_kwh"),
@@ -359,7 +429,10 @@ fn ubc_energy() -> DashboardSpec {
                 "subload_breakdown",
                 "Electrical Sub-loads",
                 MarkType::Table,
-                vec![ChannelSpec::field("building_type"), ChannelSpec::field("campus_zone")],
+                vec![
+                    ChannelSpec::field("building_type"),
+                    ChannelSpec::field("campus_zone"),
+                ],
                 vec![
                     agg(AggOp::Sum, "hvac_kwh"),
                     agg(AggOp::Sum, "lighting_kwh"),
@@ -373,13 +446,23 @@ fn ubc_energy() -> DashboardSpec {
             widget(
                 "energy_checkbox",
                 "Energy Type",
-                ControlSpec::Checkbox { field: "energy_type".into() },
+                ControlSpec::Checkbox {
+                    field: "energy_type".into(),
+                },
             ),
-            widget("zone_dropdown", "Zone", ControlSpec::Dropdown { field: "campus_zone".into() }),
+            widget(
+                "zone_dropdown",
+                "Zone",
+                ControlSpec::Dropdown {
+                    field: "campus_zone".into(),
+                },
+            ),
             widget(
                 "date_range",
                 "Reading Window",
-                ControlSpec::DateRange { field: "reading_ts".into() },
+                ControlSpec::DateRange {
+                    field: "reading_ts".into(),
+                },
             ),
         ],
         links: vec![
@@ -421,17 +504,28 @@ fn my_ride() -> DashboardSpec {
                 "hr_histogram",
                 "Heart Rate Zones",
                 MarkType::Bar,
-                vec![ChannelSpec::transformed("heart_rate", FieldTransform::Bin { width: 10 })],
+                vec![ChannelSpec::transformed(
+                    "heart_rate",
+                    FieldTransform::Bin { width: 10 },
+                )],
                 vec![count_star()],
                 false,
             ),
         ],
         widgets: vec![
-            widget("terrain_radio", "Terrain", ControlSpec::Radio { field: "terrain".into() }),
+            widget(
+                "terrain_radio",
+                "Terrain",
+                ControlSpec::Radio {
+                    field: "terrain".into(),
+                },
+            ),
             widget(
                 "segment_dropdown",
                 "Route Segment",
-                ControlSpec::Dropdown { field: "route_segment".into() },
+                ControlSpec::Dropdown {
+                    field: "route_segment".into(),
+                },
             ),
         ],
         links: vec![
@@ -457,7 +551,10 @@ fn it_monitor() -> DashboardSpec {
                 "Response Time by Service",
                 MarkType::Bar,
                 vec![ChannelSpec::field("service")],
-                vec![agg(AggOp::Avg, "response_ms"), agg(AggOp::Max, "response_ms")],
+                vec![
+                    agg(AggOp::Avg, "response_ms"),
+                    agg(AggOp::Max, "response_ms"),
+                ],
                 true,
             ),
             vis(
@@ -481,23 +578,37 @@ fn it_monitor() -> DashboardSpec {
             widget(
                 "severity_checkbox",
                 "Severity",
-                ControlSpec::Checkbox { field: "severity".into() },
+                ControlSpec::Checkbox {
+                    field: "severity".into(),
+                },
             ),
-            widget("dc_radio", "Datacenter", ControlSpec::Radio { field: "datacenter".into() }),
+            widget(
+                "dc_radio",
+                "Datacenter",
+                ControlSpec::Radio {
+                    field: "datacenter".into(),
+                },
+            ),
             widget(
                 "service_dropdown",
                 "Service",
-                ControlSpec::Dropdown { field: "service".into() },
+                ControlSpec::Dropdown {
+                    field: "service".into(),
+                },
             ),
             widget(
                 "alert_checkbox",
                 "Alert Type",
-                ControlSpec::Checkbox { field: "alert_type".into() },
+                ControlSpec::Checkbox {
+                    field: "alert_type".into(),
+                },
             ),
             widget(
                 "response_slider",
                 "Response (ms)",
-                ControlSpec::RangeSlider { field: "response_ms".into() },
+                ControlSpec::RangeSlider {
+                    field: "response_ms".into(),
+                },
             ),
         ],
         links: vec![

@@ -55,7 +55,9 @@ pub struct DatabaseSpec {
 impl DatabaseSpec {
     /// Field lookup by case-insensitive name.
     pub fn field(&self, name: &str) -> Option<&FieldSpec> {
-        self.fields.iter().find(|f| f.name.eq_ignore_ascii_case(name))
+        self.fields
+            .iter()
+            .find(|f| f.name.eq_ignore_ascii_case(name))
     }
 
     /// All fields with the given role.
@@ -73,15 +75,24 @@ pub struct FieldSpec {
 
 impl FieldSpec {
     pub fn categorical(name: impl Into<String>) -> Self {
-        Self { name: name.into(), role: FieldRole::Categorical }
+        Self {
+            name: name.into(),
+            role: FieldRole::Categorical,
+        }
     }
 
     pub fn quantitative(name: impl Into<String>) -> Self {
-        Self { name: name.into(), role: FieldRole::Quantitative }
+        Self {
+            name: name.into(),
+            role: FieldRole::Quantitative,
+        }
     }
 
     pub fn temporal(name: impl Into<String>) -> Self {
-        Self { name: name.into(), role: FieldRole::Temporal }
+        Self {
+            name: name.into(),
+            role: FieldRole::Temporal,
+        }
     }
 }
 
@@ -141,11 +152,17 @@ pub struct ChannelSpec {
 
 impl ChannelSpec {
     pub fn field(name: impl Into<String>) -> Self {
-        Self { field: name.into(), transform: None }
+        Self {
+            field: name.into(),
+            transform: None,
+        }
     }
 
     pub fn transformed(name: impl Into<String>, t: FieldTransform) -> Self {
-        Self { field: name.into(), transform: Some(t) }
+        Self {
+            field: name.into(),
+            transform: Some(t),
+        }
     }
 }
 
@@ -256,8 +273,7 @@ impl DashboardSpec {
 
     /// Parse a spec from JSON.
     pub fn from_json(json: &str) -> Result<DashboardSpec, crate::error::CoreError> {
-        serde_json::from_str(json)
-            .map_err(|e| crate::error::CoreError::InvalidSpec(e.to_string()))
+        serde_json::from_str(json).map_err(|e| crate::error::CoreError::InvalidSpec(e.to_string()))
     }
 
     /// Distinct fields used anywhere in the interface (visualization
@@ -340,7 +356,10 @@ mod tests {
                 title: "Counts".into(),
                 mark: MarkType::Bar,
                 dimensions: vec![ChannelSpec::field("q")],
-                measures: vec![AggregateChannel { func: AggOp::Count, field: None }],
+                measures: vec![AggregateChannel {
+                    func: AggOp::Count,
+                    field: None,
+                }],
                 raw_fields: vec![],
                 selectable: true,
             }],
@@ -349,7 +368,10 @@ mod tests {
                 title: "Queue".into(),
                 control: ControlSpec::Checkbox { field: "q".into() },
             }],
-            links: vec![LinkSpec { source: "w1".into(), target: "v1".into() }],
+            links: vec![LinkSpec {
+                source: "w1".into(),
+                target: "v1".into(),
+            }],
         }
     }
 
@@ -382,15 +404,23 @@ mod tests {
 
     #[test]
     fn control_kind_names() {
-        assert_eq!(ControlSpec::Checkbox { field: "x".into() }.kind_name(), "checkbox");
-        assert_eq!(ControlSpec::RangeSlider { field: "x".into() }.kind_name(), "range_slider");
+        assert_eq!(
+            ControlSpec::Checkbox { field: "x".into() }.kind_name(),
+            "checkbox"
+        );
+        assert_eq!(
+            ControlSpec::RangeSlider { field: "x".into() }.kind_name(),
+            "range_slider"
+        );
     }
 
     #[test]
     fn used_quantitative_fields_respects_roles() {
         let mut spec = tiny_spec();
-        spec.visualizations[0].measures =
-            vec![AggregateChannel { func: AggOp::Sum, field: Some("n".into()) }];
+        spec.visualizations[0].measures = vec![AggregateChannel {
+            func: AggOp::Sum,
+            field: Some("n".into()),
+        }];
         assert_eq!(spec.used_quantitative_fields(), vec!["n"]);
     }
 }

@@ -11,7 +11,9 @@ use std::collections::HashSet;
 /// Validate a dashboard specification. Returns the first problem found.
 pub fn validate(spec: &DashboardSpec) -> Result<(), CoreError> {
     if spec.visualizations.is_empty() {
-        return Err(CoreError::InvalidSpec("a dashboard needs at least one visualization".into()));
+        return Err(CoreError::InvalidSpec(
+            "a dashboard needs at least one visualization".into(),
+        ));
     }
 
     // Unique component ids.
@@ -23,7 +25,9 @@ pub fn validate(spec: &DashboardSpec) -> Result<(), CoreError> {
         .chain(spec.widgets.iter().map(|w| &w.id))
     {
         if !ids.insert(id.to_ascii_lowercase()) {
-            return Err(CoreError::InvalidSpec(format!("duplicate component id `{id}`")));
+            return Err(CoreError::InvalidSpec(format!(
+                "duplicate component id `{id}`"
+            )));
         }
     }
 
@@ -64,9 +68,9 @@ pub fn validate(spec: &DashboardSpec) -> Result<(), CoreError> {
     for w in &spec.widgets {
         let role = field_role(w.control.field())?;
         let ok = match &w.control {
-            ControlSpec::Checkbox { .. } | ControlSpec::Radio { .. } | ControlSpec::Dropdown { .. } => {
-                role == FieldRole::Categorical
-            }
+            ControlSpec::Checkbox { .. }
+            | ControlSpec::Radio { .. }
+            | ControlSpec::Dropdown { .. } => role == FieldRole::Categorical,
             // Sliders work on numbers; temporal columns are stored as
             // numbers, so both roles are acceptable.
             ControlSpec::RangeSlider { .. } => {
@@ -94,7 +98,10 @@ pub fn validate(spec: &DashboardSpec) -> Result<(), CoreError> {
             return Err(CoreError::UnknownNode(l.target.clone()));
         }
         if l.source.eq_ignore_ascii_case(&l.target) {
-            return Err(CoreError::InvalidSpec(format!("self-link on `{}`", l.source)));
+            return Err(CoreError::InvalidSpec(format!(
+                "self-link on `{}`",
+                l.source
+            )));
         }
     }
 
@@ -127,7 +134,10 @@ mod tests {
                 title: "V1".into(),
                 mark: MarkType::Bar,
                 dimensions: vec![ChannelSpec::field("q")],
-                measures: vec![AggregateChannel { func: AggOp::Count, field: None }],
+                measures: vec![AggregateChannel {
+                    func: AggOp::Count,
+                    field: None,
+                }],
                 raw_fields: vec![],
                 selectable: false,
             }],
@@ -170,8 +180,10 @@ mod tests {
     fn binned_quantitative_dimension_allowed() {
         use crate::spec::FieldTransform;
         let mut s = base_spec();
-        s.visualizations[0].dimensions =
-            vec![ChannelSpec::transformed("n", FieldTransform::Bin { width: 10 })];
+        s.visualizations[0].dimensions = vec![ChannelSpec::transformed(
+            "n",
+            FieldTransform::Bin { width: 10 },
+        )];
         assert!(validate(&s).is_ok());
     }
 
@@ -200,14 +212,20 @@ mod tests {
     #[test]
     fn dangling_link_rejected() {
         let mut s = base_spec();
-        s.links.push(LinkSpec { source: "nope".into(), target: "v1".into() });
+        s.links.push(LinkSpec {
+            source: "nope".into(),
+            target: "v1".into(),
+        });
         assert!(matches!(validate(&s), Err(CoreError::UnknownNode(_))));
     }
 
     #[test]
     fn self_link_rejected() {
         let mut s = base_spec();
-        s.links.push(LinkSpec { source: "v1".into(), target: "v1".into() });
+        s.links.push(LinkSpec {
+            source: "v1".into(),
+            target: "v1".into(),
+        });
         assert!(matches!(validate(&s), Err(CoreError::InvalidSpec(_))));
     }
 

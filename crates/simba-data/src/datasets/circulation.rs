@@ -10,7 +10,14 @@ use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
 
 const BRANCHES: [&str; 8] = [
-    "Central", "Eastside", "Westwood", "Northgate", "Southpark", "Riverside", "Hilltop", "Lakeview",
+    "Central",
+    "Eastside",
+    "Westwood",
+    "Northgate",
+    "Southpark",
+    "Riverside",
+    "Hilltop",
+    "Lakeview",
 ];
 const EVENT_TYPES: [&str; 4] = ["checkout", "renewal", "return", "hold"];
 

@@ -51,7 +51,9 @@ pub fn generate(rows: usize, seed: u64) -> Table {
     let mut b = TableBuilder::new(schema(), rows);
 
     let queues: Vec<Value> = QUEUES.iter().map(Value::str).collect();
-    let reps: Vec<Value> = (0..N_REPS).map(|i| Value::from(format!("rep_{i:02}"))).collect();
+    let reps: Vec<Value> = (0..N_REPS)
+        .map(|i| Value::from(format!("rep_{i:02}")))
+        .collect();
     let directions: Vec<Value> = DIRECTIONS.iter().map(Value::str).collect();
     let call_types: Vec<Value> = CALL_TYPES.iter().map(Value::str).collect();
     let resolutions: Vec<Value> = RESOLUTIONS.iter().map(Value::str).collect();
@@ -80,7 +82,13 @@ pub fn generate(rows: usize, seed: u64) -> Table {
         let lost = i64::from(abandoned == 0 && rng.gen_bool((0.01 + 0.03 * load) * queue_stress));
 
         let rep = zipf_index(&mut rng, N_REPS, 0.7);
-        let wait = clamped_normal(&mut rng, 30.0 + 240.0 * load * queue_stress, 40.0, 0.0, 1800.0);
+        let wait = clamped_normal(
+            &mut rng,
+            30.0 + 240.0 * load * queue_stress,
+            40.0,
+            0.0,
+            1800.0,
+        );
         let hold = clamped_normal(&mut rng, 20.0 + 60.0 * load, 25.0, 0.0, 900.0);
         let talk = if abandoned == 1 {
             0.0
@@ -162,7 +170,10 @@ mod tests {
                 quiet_a += a;
             }
         }
-        assert!(busy_a / busy_n > quiet_a / quiet_n, "abandon rate should rise with load");
+        assert!(
+            busy_a / busy_n > quiet_a / quiet_n,
+            "abandon rate should rise with load"
+        );
     }
 
     #[test]

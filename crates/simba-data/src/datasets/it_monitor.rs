@@ -12,12 +12,26 @@ use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
 
 const DATACENTERS: [&str; 4] = ["us-east", "us-west", "eu-central", "ap-south"];
 const SERVICES: [&str; 10] = [
-    "auth", "billing", "search", "checkout", "inventory", "gateway", "notifications", "reports",
-    "profiles", "recommendations",
+    "auth",
+    "billing",
+    "search",
+    "checkout",
+    "inventory",
+    "gateway",
+    "notifications",
+    "reports",
+    "profiles",
+    "recommendations",
 ];
 const SEVERITIES: [&str; 4] = ["info", "warning", "error", "critical"];
-const ALERT_TYPES: [&str; 6] =
-    ["latency", "cpu", "memory", "disk", "network", "availability"];
+const ALERT_TYPES: [&str; 6] = [
+    "latency",
+    "cpu",
+    "memory",
+    "disk",
+    "network",
+    "availability",
+];
 const N_HOSTS: usize = 40;
 
 /// Schema: 5 categorical, 3 quantitative, 1 temporal column.
@@ -43,7 +57,9 @@ pub fn generate(rows: usize, seed: u64) -> Table {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x17_40);
     let mut b = TableBuilder::new(schema(), rows);
 
-    let hosts: Vec<Value> = (0..N_HOSTS).map(|i| Value::from(format!("host-{i:03}"))).collect();
+    let hosts: Vec<Value> = (0..N_HOSTS)
+        .map(|i| Value::from(format!("host-{i:03}")))
+        .collect();
     let dcs: Vec<Value> = DATACENTERS.iter().map(Value::str).collect();
     let services: Vec<Value> = SERVICES.iter().map(Value::str).collect();
     let severities: Vec<Value> = SEVERITIES.iter().map(Value::str).collect();
@@ -104,8 +120,9 @@ mod tests {
     fn anomalies_exist_and_are_rare() {
         let t = generate(20_000, 4);
         let resp = t.column_by_name("response_ms").unwrap();
-        let spikes =
-            (0..t.row_count()).filter(|&i| resp.value(i).as_f64().unwrap() > 1000.0).count();
+        let spikes = (0..t.row_count())
+            .filter(|&i| resp.value(i).as_f64().unwrap() > 1000.0)
+            .count();
         let frac = spikes as f64 / t.row_count() as f64;
         assert!(frac > 0.005 && frac < 0.05, "anomaly fraction {frac}");
     }

@@ -69,7 +69,9 @@ impl DashboardDataset {
 
     /// Parse a table name.
     pub fn from_table_name(name: &str) -> Option<DashboardDataset> {
-        Self::ALL.into_iter().find(|d| d.table_name().eq_ignore_ascii_case(name))
+        Self::ALL
+            .into_iter()
+            .find(|d| d.table_name().eq_ignore_ascii_case(name))
     }
 
     /// Schema of the dataset.
@@ -127,7 +129,11 @@ mod tests {
                 "{} categorical count",
                 ds.title()
             );
-            assert!(schema.role_count(ColumnRole::Temporal) >= 1, "{} temporal", ds.title());
+            assert!(
+                schema.role_count(ColumnRole::Temporal) >= 1,
+                "{} temporal",
+                ds.title()
+            );
         }
     }
 

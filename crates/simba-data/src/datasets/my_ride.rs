@@ -11,8 +11,18 @@ use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
 
 const SEGMENTS: [&str; 12] = [
-    "lake_eola", "downtown", "milk_district", "colonial_east", "baldwin_park", "cady_way",
-    "winter_park", "mead_garden", "orange_ave", "college_park", "packing_district", "lake_ivanhoe",
+    "lake_eola",
+    "downtown",
+    "milk_district",
+    "colonial_east",
+    "baldwin_park",
+    "cady_way",
+    "winter_park",
+    "mead_garden",
+    "orange_ave",
+    "college_park",
+    "packing_district",
+    "lake_ivanhoe",
 ];
 const TERRAIN: [&str; 4] = ["flat", "rolling", "climb", "descent"];
 const WEATHER: [&str; 4] = ["clear", "humid", "rain", "windy"];
@@ -68,7 +78,13 @@ pub fn generate(rows: usize, seed: u64) -> Table {
         let distance = 40.0 * i as f64 / rows.max(1) as f64;
         let elevation = 25.0 + 15.0 * (distance / 6.0).sin() + gradient * 2.0;
         let temp = clamped_normal(&mut rng, 29.0, 2.0, 18.0, 38.0);
-        let humidity = clamped_normal(&mut rng, if wea == 1 { 85.0 } else { 62.0 }, 8.0, 20.0, 100.0);
+        let humidity = clamped_normal(
+            &mut rng,
+            if wea == 1 { 85.0 } else { 62.0 },
+            8.0,
+            20.0,
+            100.0,
+        );
         let calories = power * 3.6 / 4.184 * 0.24; // rough kcal per sample window
 
         b.push_row(vec![
@@ -112,7 +128,10 @@ mod tests {
                 lo_n += 1.0;
             }
         }
-        assert!(hi_hr / hi_n > lo_hr / lo_n + 15.0, "heart rate should track power");
+        assert!(
+            hi_hr / hi_n > lo_hr / lo_n + 15.0,
+            "heart rate should track power"
+        );
     }
 
     #[test]

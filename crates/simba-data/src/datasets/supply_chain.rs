@@ -10,8 +10,14 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
 
-const CATEGORIES: [&str; 6] =
-    ["furniture", "technology", "office_supplies", "apparel", "grocery", "outdoors"];
+const CATEGORIES: [&str; 6] = [
+    "furniture",
+    "technology",
+    "office_supplies",
+    "apparel",
+    "grocery",
+    "outdoors",
+];
 const SUBCATS_PER_CAT: usize = 3; // 18 subcategories total
 const REGIONS: [&str; 5] = ["north", "south", "east", "west", "central"];
 const SHIP_MODES: [&str; 4] = ["standard", "second_class", "first_class", "same_day"];
@@ -63,19 +69,37 @@ pub fn generate(rows: usize, seed: u64) -> Table {
 
     let categories: Vec<Value> = CATEGORIES.iter().map(Value::str).collect();
     let subcats: Vec<Value> = (0..CATEGORIES.len() * SUBCATS_PER_CAT)
-        .map(|i| Value::from(format!("{}_{}", CATEGORIES[i / SUBCATS_PER_CAT], i % SUBCATS_PER_CAT)))
+        .map(|i| {
+            Value::from(format!(
+                "{}_{}",
+                CATEGORIES[i / SUBCATS_PER_CAT],
+                i % SUBCATS_PER_CAT
+            ))
+        })
         .collect();
-    let brands: Vec<Value> = (0..12).map(|i| Value::from(format!("brand_{i:02}"))).collect();
+    let brands: Vec<Value> = (0..12)
+        .map(|i| Value::from(format!("brand_{i:02}")))
+        .collect();
     let regions: Vec<Value> = REGIONS.iter().map(Value::str).collect();
-    let countries: Vec<Value> = (0..15).map(|i| Value::from(format!("country_{i:02}"))).collect();
-    let states: Vec<Value> = (0..30).map(|i| Value::from(format!("state_{i:02}"))).collect();
-    let cities: Vec<Value> = (0..50).map(|i| Value::from(format!("city_{i:02}"))).collect();
+    let countries: Vec<Value> = (0..15)
+        .map(|i| Value::from(format!("country_{i:02}")))
+        .collect();
+    let states: Vec<Value> = (0..30)
+        .map(|i| Value::from(format!("state_{i:02}")))
+        .collect();
+    let cities: Vec<Value> = (0..50)
+        .map(|i| Value::from(format!("city_{i:02}")))
+        .collect();
     let ship_modes: Vec<Value> = SHIP_MODES.iter().map(Value::str).collect();
-    let carriers: Vec<Value> = (0..6).map(|i| Value::from(format!("carrier_{i}"))).collect();
+    let carriers: Vec<Value> = (0..6)
+        .map(|i| Value::from(format!("carrier_{i}")))
+        .collect();
     let priorities: Vec<Value> = PRIORITIES.iter().map(Value::str).collect();
     let segments: Vec<Value> = SEGMENTS.iter().map(Value::str).collect();
     let warehouses: Vec<Value> = (0..10).map(|i| Value::from(format!("wh_{i:02}"))).collect();
-    let suppliers: Vec<Value> = (0..20).map(|i| Value::from(format!("sup_{i:02}"))).collect();
+    let suppliers: Vec<Value> = (0..20)
+        .map(|i| Value::from(format!("sup_{i:02}")))
+        .collect();
     let statuses: Vec<Value> = STATUSES.iter().map(Value::str).collect();
     let return_flags: Vec<Value> = RETURN_FLAGS.iter().map(Value::str).collect();
     let payments: Vec<Value> = PAYMENTS.iter().map(Value::str).collect();
@@ -90,7 +114,11 @@ pub fn generate(rows: usize, seed: u64) -> Table {
         let state = (country * 2 + rng.gen_range(0..2)) % states.len();
         let city = (state * 2 + rng.gen_range(0..3)) % cities.len();
         let ship_mode = *weighted_pick(&mut rng, &[0usize, 1, 2, 3], &[55.0, 22.0, 17.0, 6.0]);
-        let status = *weighted_pick(&mut rng, &[0usize, 1, 2, 3, 4], &[6.0, 10.0, 22.0, 56.0, 6.0]);
+        let status = *weighted_pick(
+            &mut rng,
+            &[0usize, 1, 2, 3, 4],
+            &[6.0, 10.0, 22.0, 56.0, 6.0],
+        );
         let returned = status == 4 || rng.gen_bool(0.02);
 
         let quantity = 1 + zipf_index(&mut rng, 10, 1.2) as i64;
@@ -177,7 +205,9 @@ mod tests {
         let cost = t.column_by_name("shipping_cost").unwrap();
         let mut sums = std::collections::HashMap::new();
         for i in 0..t.row_count() {
-            let e = sums.entry(mode.value(i).to_string()).or_insert((0.0f64, 0usize));
+            let e = sums
+                .entry(mode.value(i).to_string())
+                .or_insert((0.0f64, 0usize));
             e.0 += cost.value(i).as_f64().unwrap();
             e.1 += 1;
         }

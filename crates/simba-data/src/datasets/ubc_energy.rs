@@ -11,12 +11,24 @@ use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
 
 const BUILDING_TYPES: [&str; 8] = [
-    "laboratory", "lecture_hall", "office", "residence", "library", "athletics", "hospital",
+    "laboratory",
+    "lecture_hall",
+    "office",
+    "residence",
+    "library",
+    "athletics",
+    "hospital",
     "utility",
 ];
 const ENERGY_TYPES: [&str; 5] = ["electricity", "gas", "steam", "chilled_water", "solar"];
-const ZONES: [&str; 6] =
-    ["north_campus", "south_campus", "east_mall", "west_mall", "marine_drive", "wesbrook"];
+const ZONES: [&str; 6] = [
+    "north_campus",
+    "south_campus",
+    "east_mall",
+    "west_mall",
+    "marine_drive",
+    "wesbrook",
+];
 const OPERATORS: [&str; 4] = ["facilities", "housing", "athletics_dept", "research_ops"];
 
 /// Schema: 4 categorical, 22 quantitative, 1 temporal column.
@@ -82,9 +94,14 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             _ => 1.0,
         };
         let area = clamped_normal(&mut rng, 4500.0 * scale, 1500.0, 300.0, 60_000.0);
-        let occupancy =
-            (clamped_normal(&mut rng, 120.0 * load * scale, 40.0, 0.0, 4000.0)) as i64;
-        let elec = clamped_normal(&mut rng, 220.0 * scale * (0.4 + 0.6 * load), 60.0, 5.0, 8000.0);
+        let occupancy = (clamped_normal(&mut rng, 120.0 * load * scale, 40.0, 0.0, 4000.0)) as i64;
+        let elec = clamped_normal(
+            &mut rng,
+            220.0 * scale * (0.4 + 0.6 * load),
+            60.0,
+            5.0,
+            8000.0,
+        );
         let gas = clamped_normal(&mut rng, 90.0 * scale, 35.0, 0.0, 4000.0);
         let steam = clamped_normal(&mut rng, 60.0 * scale, 25.0, 0.0, 3000.0);
         let chilled = clamped_normal(&mut rng, 45.0 * scale * load, 20.0, 0.0, 2500.0);
@@ -103,7 +120,13 @@ pub fn generate(rows: usize, seed: u64) -> Table {
         let total = elec + gas + steam + chilled;
         let intensity = total / area * 1000.0;
         let carbon = gas * 0.18 + elec * 0.011 + steam * 0.07;
-        let temp = clamped_normal(&mut rng, 11.0 + 9.0 * ((day as f64 / 365.0) * std::f64::consts::TAU).sin(), 3.0, -10.0, 35.0);
+        let temp = clamped_normal(
+            &mut rng,
+            11.0 + 9.0 * ((day as f64 / 365.0) * std::f64::consts::TAU).sin(),
+            3.0,
+            -10.0,
+            35.0,
+        );
         let efficiency = clamped_normal(&mut rng, 100.0 - intensity.min(80.0), 8.0, 5.0, 100.0);
 
         b.push_row(vec![

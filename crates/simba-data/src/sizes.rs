@@ -64,7 +64,12 @@ mod tests {
 
     #[test]
     fn labels_round_trip() {
-        for s in [DatasetSize::Tiny, DatasetSize::Small, DatasetSize::Medium, DatasetSize::Large] {
+        for s in [
+            DatasetSize::Tiny,
+            DatasetSize::Small,
+            DatasetSize::Medium,
+            DatasetSize::Large,
+        ] {
             assert_eq!(DatasetSize::from_label(s.label()), Some(s));
         }
         assert_eq!(DatasetSize::from_label("2G"), None);

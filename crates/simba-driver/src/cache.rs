@@ -1,0 +1,314 @@
+//! Sharded, lock-striped query-result cache.
+//!
+//! Keys are the result-shape-pinning cache keys of
+//! [`simba_sql::query_cache_key`]: spelling variants issued by different
+//! users (case differences, whitespace, reordered conjuncts, folded
+//! constants) all hit one entry, while anything that changes the result's
+//! column layout (reordered or re-aliased projections, `SUM/COUNT` vs
+//! `AVG` output names) gets its own — a hit is always returnable verbatim.
+//! The map is striped across [`CacheConfig::shards`] independently
+//! locked shards so concurrent sessions rarely contend; hits take only a
+//! shard read-lock (recency is tracked with a per-entry atomic, not a lock).
+//! Each shard holds at most `capacity_per_shard` entries and evicts its
+//! least-recently-used entry on overflow.
+
+use simba_engine::{Dbms, EngineError, ExecStats, QueryOutput};
+use simba_sql::{query_cache_key, Select};
+use simba_store::ResultSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Cache sizing.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Number of lock stripes (rounded up to a power of two).
+    pub shards: usize,
+    /// Maximum entries per shard.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 16,
+            capacity_per_shard: 128,
+        }
+    }
+}
+
+/// Monotonic counters, read with [`ShardedResultCache::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// A cached execution result (everything except the per-call latency).
+#[derive(Debug)]
+pub struct CachedResult {
+    pub result: ResultSet,
+    pub stats: ExecStats,
+}
+
+struct Entry {
+    value: Arc<CachedResult>,
+    /// Logical clock of the last lookup; bumped under the shard read-lock.
+    last_used: AtomicU64,
+}
+
+/// The cache. Shareable across threads (`Arc<ShardedResultCache>`).
+pub struct ShardedResultCache {
+    shards: Vec<RwLock<HashMap<String, Entry>>>,
+    capacity_per_shard: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedResultCache {
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        ShardedResultCache {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            capacity_per_shard: config.capacity_per_shard.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
+        // FNV-1a; shard count is a power of two so masking is uniform.
+        let mut h = crate::hash::Fnv1a::new();
+        h.write(key.as_bytes());
+        &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Look up a key, bumping its recency. Counts a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<Arc<CachedResult>> {
+        let shard = self.shard_of(key).read().expect("cache shard poisoned");
+        match shard.get(key) {
+            Some(entry) => {
+                entry.last_used.store(
+                    self.clock.fetch_add(1, Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) an entry, evicting the shard's LRU entry when at
+    /// capacity.
+    pub fn insert(&self, key: String, value: Arc<CachedResult>) {
+        let mut shard = self.shard_of(&key).write().expect("cache shard poisoned");
+        if let Some(existing) = shard.get_mut(&key) {
+            existing.value = value;
+            return;
+        }
+        if shard.len() >= self.capacity_per_shard {
+            let lru = shard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(k) = lru {
+                shard.remove(&k);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        shard.insert(
+            key,
+            Entry {
+                value,
+                last_used: AtomicU64::new(last_used),
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Execute through the cache. Returns the result, the latency this
+    /// caller observed (key construction + lookup on a hit, engine latency
+    /// on a miss), and whether it was a hit.
+    pub fn execute_cached(
+        &self,
+        engine: &dyn Dbms,
+        query: &Select,
+    ) -> Result<(Arc<CachedResult>, Duration, bool), EngineError> {
+        // Key construction (AST normalization + printing) is the dominant
+        // cost of a hit — time it, or cache-on latency reports understate
+        // the real per-query cost.
+        let start = Instant::now();
+        let key = query_cache_key(query);
+        if let Some(value) = self.lookup(&key) {
+            return Ok((value, start.elapsed(), true));
+        }
+        let out = engine.execute(query)?;
+        let value = Arc::new(CachedResult {
+            result: out.result,
+            stats: out.stats,
+        });
+        self.insert(key, value.clone());
+        Ok((value, out.elapsed, false))
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`Dbms`] adapter that consults a shared cache before the inner engine.
+/// Reports the inner engine's name so per-engine breakdowns stay stable.
+pub struct CachedDbms {
+    inner: Arc<dyn Dbms>,
+    cache: Arc<ShardedResultCache>,
+}
+
+impl CachedDbms {
+    pub fn new(inner: Arc<dyn Dbms>, cache: Arc<ShardedResultCache>) -> Self {
+        CachedDbms { inner, cache }
+    }
+
+    pub fn cache(&self) -> &ShardedResultCache {
+        &self.cache
+    }
+}
+
+impl Dbms for CachedDbms {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn register(&self, table: Arc<simba_store::Table>) {
+        self.inner.register(table);
+    }
+
+    fn execute(&self, query: &Select) -> Result<QueryOutput, EngineError> {
+        let (value, elapsed, _hit) = self.cache.execute_cached(self.inner.as_ref(), query)?;
+        Ok(QueryOutput {
+            result: value.result.clone(),
+            stats: value.stats.clone(),
+            elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_of(n: i64) -> Arc<CachedResult> {
+        Arc::new(CachedResult {
+            result: ResultSet::new(
+                vec!["n".to_string()],
+                vec![vec![simba_store::Value::Int(n)]],
+            ),
+            stats: ExecStats::default(),
+        })
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = ShardedResultCache::new(CacheConfig::default());
+        assert!(cache.lookup("a").is_none());
+        cache.insert("a".to_string(), result_of(1));
+        assert!(cache.lookup("a").is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = ShardedResultCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        cache.insert("a".to_string(), result_of(1));
+        cache.insert("b".to_string(), result_of(2));
+        assert!(cache.lookup("a").is_some()); // "a" is now more recent than "b"
+        cache.insert("c".to_string(), result_of(3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(
+            cache.lookup("b").is_none(),
+            "LRU entry should have been evicted"
+        );
+        assert!(cache.lookup("a").is_some());
+        assert!(cache.lookup("c").is_some());
+    }
+
+    #[test]
+    fn replacement_does_not_evict() {
+        let cache = ShardedResultCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        cache.insert("a".to_string(), result_of(1));
+        cache.insert("a".to_string(), result_of(2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+        let v = cache.lookup("a").unwrap();
+        assert_eq!(
+            v.result.sorted_rows(),
+            vec![vec![simba_store::Value::Int(2)]]
+        );
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache = ShardedResultCache::new(CacheConfig {
+            shards: 5,
+            capacity_per_shard: 4,
+        });
+        assert_eq!(cache.shards.len(), 8);
+        let cache = ShardedResultCache::new(CacheConfig {
+            shards: 0,
+            capacity_per_shard: 4,
+        });
+        assert_eq!(cache.shards.len(), 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! The concurrent workload scheduler.
+//!
+//! Replays pre-synthesized [`SessionScript`]s against one shared engine
+//! from a pool of worker threads. Two arrival disciplines:
+//!
+//! * **Closed loop** — each worker picks the next unstarted session as soon
+//!   as it finishes its current one (think-time paced). Models a fixed
+//!   population of concurrent users; total concurrency = worker count.
+//! * **Open loop** — sessions arrive on a Poisson schedule at a configured
+//!   rate regardless of service speed, which is what exposes saturation:
+//!   when the engine can't keep up, the measured queue delay grows without
+//!   bound (Eichmann et al.'s argument for think-time/arrival-paced
+//!   interactive benchmarks).
+
+use crate::cache::{CacheConfig, ShardedResultCache};
+use crate::histogram::LatencyHistogram;
+use crate::report::{CacheReport, DriverReport, LatencySummary};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simba_core::session::batch::{splitmix, SessionScript};
+use simba_engine::Dbms;
+use simba_store::ResultSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Pause inserted between a session's consecutive interactions.
+#[derive(Debug, Clone)]
+pub enum ThinkTime {
+    /// No pacing: steps run back-to-back (throughput stress mode).
+    None,
+    Fixed(Duration),
+    /// Exponentially distributed with the given mean.
+    Exponential {
+        mean: Duration,
+    },
+}
+
+impl ThinkTime {
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Duration {
+        match self {
+            ThinkTime::None => Duration::ZERO,
+            ThinkTime::Fixed(d) => *d,
+            ThinkTime::Exponential { mean } => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                mean.mul_f64(-(1.0 - u).ln())
+            }
+        }
+    }
+}
+
+/// When sessions become eligible to start.
+#[derive(Debug, Clone)]
+pub enum Arrival {
+    /// Start whenever a worker frees up.
+    Closed,
+    /// Poisson arrivals at this rate (sessions per second).
+    Open { rate_per_sec: f64 },
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Worker threads; `0` = `min(sessions, available_parallelism)`.
+    pub workers: usize,
+    pub think_time: ThinkTime,
+    pub arrival: Arrival,
+    /// Seed for think-time and arrival randomness.
+    pub seed: u64,
+    /// `Some` enables the shared result cache.
+    pub cache: Option<CacheConfig>,
+    /// Record a per-query result fingerprint (used by equivalence tests).
+    pub collect_fingerprints: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            workers: 0,
+            think_time: ThinkTime::None,
+            arrival: Arrival::Closed,
+            seed: 0,
+            cache: None,
+            collect_fingerprints: false,
+        }
+    }
+}
+
+/// Result of [`Driver::run`].
+#[derive(Debug)]
+pub struct DriverOutcome {
+    pub report: DriverReport,
+    /// Per session (outer, in script order): one fingerprint per query (in
+    /// step/query order). Empty unless `collect_fingerprints` was set.
+    pub fingerprints: Vec<Vec<u64>>,
+}
+
+/// Replays session scripts concurrently against one engine.
+pub struct Driver {
+    config: DriverConfig,
+}
+
+struct WorkerOutcome {
+    latency: LatencyHistogram,
+    queue_delay: LatencyHistogram,
+    interactions: u64,
+    queries: u64,
+    errors: u64,
+    fingerprints: Vec<(usize, Vec<u64>)>,
+}
+
+impl Driver {
+    pub fn new(config: DriverConfig) -> Driver {
+        Driver { config }
+    }
+
+    /// Run every script to completion and aggregate a [`DriverReport`].
+    pub fn run(&self, engine: Arc<dyn Dbms>, scripts: &[SessionScript]) -> DriverOutcome {
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(4)
+        } else {
+            self.config.workers
+        }
+        .min(scripts.len())
+        .max(1);
+
+        let cache = self
+            .config
+            .cache
+            .clone()
+            .map(|c| Arc::new(ShardedResultCache::new(c)));
+
+        // Open-loop: absolute arrival offsets from run start (Poisson).
+        let arrivals: Vec<Duration> = match self.config.arrival {
+            Arrival::Closed => vec![Duration::ZERO; scripts.len()],
+            Arrival::Open { rate_per_sec } => {
+                assert!(
+                    rate_per_sec > 0.0,
+                    "open-loop arrival rate must be positive"
+                );
+                let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x0A22_17A1);
+                let mut at = 0.0f64;
+                scripts
+                    .iter()
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        at += -(1.0 - u).ln() / rate_per_sec;
+                        Duration::from_secs_f64(at)
+                    })
+                    .collect()
+            }
+        };
+
+        let next = AtomicUsize::new(0);
+        let start = Instant::now();
+        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let engine = engine.as_ref();
+                    let cache = cache.as_deref();
+                    let next = &next;
+                    let arrivals = &arrivals;
+                    scope.spawn(move || {
+                        self.worker_loop(engine, cache, scripts, arrivals, next, start)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let wall = start.elapsed();
+
+        let mut latency = LatencyHistogram::new();
+        let mut queue_delay = LatencyHistogram::new();
+        let (mut interactions, mut queries, mut errors) = (0u64, 0u64, 0u64);
+        let mut fingerprints: Vec<Vec<u64>> = vec![Vec::new(); scripts.len()];
+        for w in outcomes {
+            latency.merge(&w.latency);
+            queue_delay.merge(&w.queue_delay);
+            interactions += w.interactions;
+            queries += w.queries;
+            errors += w.errors;
+            for (session, fps) in w.fingerprints {
+                fingerprints[session] = fps;
+            }
+        }
+
+        let report = DriverReport {
+            engine: engine.name().to_string(),
+            mode: match self.config.arrival {
+                Arrival::Closed => "closed".to_string(),
+                Arrival::Open { .. } => "open".to_string(),
+            },
+            sessions: scripts.len(),
+            workers,
+            wall_clock_ms: wall.as_secs_f64() * 1_000.0,
+            interactions,
+            queries,
+            errors,
+            throughput_qps: if wall.is_zero() {
+                0.0
+            } else {
+                queries as f64 / wall.as_secs_f64()
+            },
+            latency: LatencySummary::from_histogram(&latency),
+            queue_delay: match self.config.arrival {
+                Arrival::Closed => None,
+                Arrival::Open { .. } => Some(LatencySummary::from_histogram(&queue_delay)),
+            },
+            cache: cache
+                .as_ref()
+                .map(|c| CacheReport::new(&c.stats(), c.len())),
+        };
+        DriverOutcome {
+            report,
+            fingerprints,
+        }
+    }
+
+    fn worker_loop(
+        &self,
+        engine: &dyn Dbms,
+        cache: Option<&ShardedResultCache>,
+        scripts: &[SessionScript],
+        arrivals: &[Duration],
+        next: &AtomicUsize,
+        run_start: Instant,
+    ) -> WorkerOutcome {
+        let mut out = WorkerOutcome {
+            latency: LatencyHistogram::new(),
+            queue_delay: LatencyHistogram::new(),
+            interactions: 0,
+            queries: 0,
+            errors: 0,
+            fingerprints: Vec::new(),
+        };
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(script) = scripts.get(i) else { break };
+
+            // Open loop: honor the arrival schedule, then measure how late
+            // the session actually started. (Closed loop has no arrival
+            // times, so a delay sample would be meaningless — skip it.)
+            if matches!(self.config.arrival, Arrival::Open { .. }) {
+                let scheduled = arrivals[i];
+                let now = run_start.elapsed();
+                if now < scheduled {
+                    std::thread::sleep(scheduled - now);
+                }
+                out.queue_delay
+                    .record(run_start.elapsed().saturating_sub(scheduled));
+            }
+
+            // Asymmetric mix: a plain XOR would cancel the base seed when
+            // driver and batch share it (script.seed already XORs it in).
+            let mut rng = ChaCha8Rng::seed_from_u64(splitmix(self.config.seed) ^ script.seed);
+            let mut fps = Vec::new();
+            for (step_idx, step) in script.steps.iter().enumerate() {
+                if step_idx > 0 {
+                    out.interactions += 1;
+                    let pause = self.config.think_time.sample(&mut rng);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                for sq in &step.queries {
+                    out.queries += 1;
+                    // Fingerprinting clones and sorts the whole result set;
+                    // keep it out of the measured path unless asked for.
+                    let want_fp = self.config.collect_fingerprints;
+                    let executed =
+                        match cache {
+                            Some(cache) => cache.execute_cached(engine, &sq.query).map(
+                                |(value, elapsed, _hit)| {
+                                    (want_fp.then(|| fingerprint(&value.result)), elapsed)
+                                },
+                            ),
+                            None => engine
+                                .execute(&sq.query)
+                                .map(|o| (want_fp.then(|| fingerprint(&o.result)), o.elapsed)),
+                        };
+                    match executed {
+                        Ok((fp, elapsed)) => {
+                            out.latency.record(elapsed);
+                            fps.extend(fp);
+                        }
+                        Err(_) => out.errors += 1,
+                    }
+                }
+            }
+            if self.config.collect_fingerprints {
+                out.fingerprints.push((i, fps));
+            }
+        }
+        out
+    }
+}
+
+/// Order-insensitive content hash of a result set (FNV-1a over the
+/// canonically sorted rows). Two results get equal fingerprints iff their
+/// row multisets are byte-identical.
+pub fn fingerprint(result: &ResultSet) -> u64 {
+    let mut h = crate::hash::Fnv1a::new();
+    for row in result.sorted_rows() {
+        h.write(format!("{row:?}").as_bytes());
+        h.write(&[0xFF]);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_store::Value;
+
+    #[test]
+    fn fingerprint_is_row_order_insensitive() {
+        let a = ResultSet::new(
+            vec!["x".to_string()],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        let b = ResultSet::new(
+            vec!["x".to_string()],
+            vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+        );
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = ResultSet::new(vec!["x".to_string()], vec![vec![Value::Int(3)]]);
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn think_time_samples_match_discipline() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(ThinkTime::None.sample(&mut rng), Duration::ZERO);
+        assert_eq!(
+            ThinkTime::Fixed(Duration::from_millis(3)).sample(&mut rng),
+            Duration::from_millis(3)
+        );
+        let mean = Duration::from_millis(10);
+        let n = 2_000;
+        let total: Duration = (0..n)
+            .map(|_| ThinkTime::Exponential { mean }.sample(&mut rng))
+            .sum();
+        let avg_ms = total.as_secs_f64() * 1_000.0 / n as f64;
+        assert!((avg_ms - 10.0).abs() < 1.0, "mean {avg_ms}ms");
+    }
+}

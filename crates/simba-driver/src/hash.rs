@@ -1,0 +1,41 @@
+//! Small non-cryptographic hashing helpers shared by the cache (shard
+//! selection) and the driver (result fingerprints).
+
+/// Incremental FNV-1a over byte chunks.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_chunking_invariant() {
+        let mut a = Fnv1a::new();
+        a.write(b"hello world");
+        let mut b = Fnv1a::new();
+        b.write(b"hello ");
+        b.write(b"world");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv1a::new();
+        c.write(b"hello worle");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

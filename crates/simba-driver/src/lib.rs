@@ -1,0 +1,53 @@
+//! # simba-driver — concurrent multi-session workload driver
+//!
+//! The paper benchmarks one exploration session at a time; a production
+//! deployment serves *many simultaneous users* whose dashboards hammer the
+//! same engine. This crate turns the session synthesizer plus the four
+//! engines into a load-generation harness:
+//!
+//! * [`simba_core::session::batch`] pre-generates N heterogeneous session
+//!   scripts (engine-free Markov walks, deterministic per seed);
+//! * [`Driver`] replays them from a worker pool, closed-loop (fixed user
+//!   population, think-time paced) or open-loop (Poisson arrivals, for
+//!   saturation testing);
+//! * [`ShardedResultCache`] is a lock-striped result cache keyed on
+//!   [`simba_sql::query_cache_key`], so normalization-equivalent queries
+//!   from different users hit memory instead of the engine;
+//! * [`LatencyHistogram`] log-bucketed latencies feed a [`DriverReport`]
+//!   with throughput, p50/p95/p99, queue delay, and cache hit rates.
+//!
+//! ```
+//! use simba_core::dashboard::Dashboard;
+//! use simba_core::session::batch::{synthesize_scripts, BatchConfig};
+//! use simba_core::spec::builtin::builtin;
+//! use simba_data::DashboardDataset;
+//! use simba_driver::{CacheConfig, Driver, DriverConfig};
+//! use simba_engine::EngineKind;
+//! use std::sync::Arc;
+//!
+//! let ds = DashboardDataset::CustomerService;
+//! let table = Arc::new(ds.generate_rows(1_000, 42));
+//! let dashboard = Dashboard::new(builtin(ds), &table).unwrap();
+//! let scripts = synthesize_scripts(&dashboard, &BatchConfig::default(), 8);
+//!
+//! let engine = EngineKind::DuckDbLike.build();
+//! engine.register(table);
+//! let driver = Driver::new(DriverConfig {
+//!     cache: Some(CacheConfig::default()),
+//!     ..Default::default()
+//! });
+//! let outcome = driver.run(engine, &scripts);
+//! assert!(outcome.report.queries > 0);
+//! assert!(outcome.report.cache.unwrap().hits > 0);
+//! ```
+
+pub mod cache;
+pub mod driver;
+pub(crate) mod hash;
+pub mod histogram;
+pub mod report;
+
+pub use cache::{CacheConfig, CacheStats, CachedDbms, CachedResult, ShardedResultCache};
+pub use driver::{fingerprint, Arrival, Driver, DriverConfig, DriverOutcome, ThinkTime};
+pub use histogram::LatencyHistogram;
+pub use report::{CacheReport, DriverReport, LatencySummary};

@@ -1,0 +1,137 @@
+//! Driver run reports: throughput, tail latency, cache effectiveness.
+
+use crate::cache::CacheStats;
+use crate::histogram::LatencyHistogram;
+use serde::Serialize;
+
+/// Latency quantiles in microseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_us: f64,
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    pub fn from_histogram(h: &LatencyHistogram) -> LatencySummary {
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        LatencySummary {
+            count: h.count(),
+            mean_us: h.mean_ns() / 1_000.0,
+            p50_us: us(h.quantile_ns(0.50)),
+            p95_us: us(h.quantile_ns(0.95)),
+            p99_us: us(h.quantile_ns(0.99)),
+            max_us: us(h.max_ns()),
+        }
+    }
+}
+
+/// Cache counters plus the derived hit rate.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheReport {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    pub hit_rate: f64,
+    pub entries: usize,
+}
+
+impl CacheReport {
+    pub fn new(stats: &CacheStats, entries: usize) -> CacheReport {
+        CacheReport {
+            hits: stats.hits,
+            misses: stats.misses,
+            insertions: stats.insertions,
+            evictions: stats.evictions,
+            hit_rate: stats.hit_rate(),
+            entries,
+        }
+    }
+}
+
+/// The aggregate outcome of one driver run.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriverReport {
+    /// Engine under test.
+    pub engine: String,
+    /// `"closed"` or `"open"` (arrival pacing).
+    pub mode: String,
+    pub sessions: usize,
+    pub workers: usize,
+    pub wall_clock_ms: f64,
+    /// Interactions replayed (excludes the initial renders).
+    pub interactions: u64,
+    /// Queries executed (cache hits included).
+    pub queries: u64,
+    /// Queries that returned an engine error.
+    pub errors: u64,
+    /// Queries per second of wall-clock time.
+    pub throughput_qps: f64,
+    /// Per-query service latency (cache-hit lookups count as service time).
+    pub latency: LatencySummary,
+    /// Open-loop only: how long sessions waited past their scheduled
+    /// arrival before a worker picked them up.
+    pub queue_delay: Option<LatencySummary>,
+    pub cache: Option<CacheReport>,
+}
+
+impl DriverReport {
+    /// Pretty JSON, for harness output files.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_reflects_histogram() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record_ns(i * 10_000); // 10µs .. 1ms
+        }
+        let s = LatencySummary::from_histogram(&h);
+        assert_eq!(s.count, 100);
+        assert!(s.p50_us > 400.0 && s.p50_us < 600.0, "{}", s.p50_us);
+        assert!(s.p99_us <= s.max_us);
+        assert!(s.mean_us > 0.0);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(5_000);
+        let report = DriverReport {
+            engine: "duckdb-like".to_string(),
+            mode: "closed".to_string(),
+            sessions: 4,
+            workers: 2,
+            wall_clock_ms: 12.5,
+            interactions: 20,
+            queries: 44,
+            errors: 0,
+            throughput_qps: 3520.0,
+            latency: LatencySummary::from_histogram(&h),
+            queue_delay: None,
+            cache: Some(CacheReport::new(
+                &CacheStats {
+                    hits: 30,
+                    misses: 14,
+                    insertions: 14,
+                    evictions: 0,
+                },
+                14,
+            )),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"engine\": \"duckdb-like\""), "{json}");
+        assert!(json.contains("\"hit_rate\""), "{json}");
+        assert!(json.contains("\"queue_delay\": null"), "{json}");
+    }
+}

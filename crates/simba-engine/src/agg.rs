@@ -31,9 +31,12 @@ impl AggSpec {
                     Accumulator::Count(0)
                 }
             }
-            (Func::Sum, _) => {
-                Accumulator::Sum { int: 0, float: 0.0, saw_float: false, any: false }
-            }
+            (Func::Sum, _) => Accumulator::Sum {
+                int: 0,
+                float: 0.0,
+                saw_float: false,
+                any: false,
+            },
             (Func::Avg, _) => Accumulator::Avg { sum: 0.0, n: 0 },
             (Func::Min, _) => Accumulator::Min(None),
             (Func::Max, _) => Accumulator::Max(None),
@@ -65,8 +68,16 @@ pub enum Accumulator {
     CountStar(i64),
     Count(i64),
     CountDistinct(HashSet<Value>),
-    Sum { int: i64, float: f64, saw_float: bool, any: bool },
-    Avg { sum: f64, n: i64 },
+    Sum {
+        int: i64,
+        float: f64,
+        saw_float: bool,
+        any: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -91,7 +102,12 @@ impl Accumulator {
             Accumulator::CountDistinct(seen) => {
                 seen.insert(v);
             }
-            Accumulator::Sum { int, float, saw_float, any } => {
+            Accumulator::Sum {
+                int,
+                float,
+                saw_float,
+                any,
+            } => {
                 *any = true;
                 match v {
                     Value::Int(x) => {
@@ -127,7 +143,12 @@ impl Accumulator {
         match self {
             Accumulator::CountStar(n) | Accumulator::Count(n) => Value::Int(*n),
             Accumulator::CountDistinct(seen) => Value::Int(seen.len() as i64),
-            Accumulator::Sum { int, float, saw_float, any } => {
+            Accumulator::Sum {
+                int,
+                float,
+                saw_float,
+                any,
+            } => {
                 if !*any {
                     Value::Null
                 } else if *saw_float {
@@ -143,9 +164,7 @@ impl Accumulator {
                     Value::Float(*sum / *n as f64)
                 }
             }
-            Accumulator::Min(v) | Accumulator::Max(v) => {
-                v.clone().unwrap_or(Value::Null)
-            }
+            Accumulator::Min(v) | Accumulator::Max(v) => v.clone().unwrap_or(Value::Null),
         }
     }
 }
@@ -182,7 +201,12 @@ mod tests {
     #[test]
     fn count_distinct() {
         let mut a = spec(Func::Count, true, true).accumulator();
-        for v in [Value::str("A"), Value::str("B"), Value::str("A"), Value::Null] {
+        for v in [
+            Value::str("A"),
+            Value::str("B"),
+            Value::str("A"),
+            Value::Null,
+        ] {
             a.update_value(v);
         }
         assert_eq!(a.finalize(), Value::Int(2));
@@ -235,7 +259,10 @@ mod tests {
 
     #[test]
     fn min_of_empty_group_is_null() {
-        assert!(spec(Func::Min, true, false).accumulator().finalize().is_null());
+        assert!(spec(Func::Min, true, false)
+            .accumulator()
+            .finalize()
+            .is_null());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 use crate::agg::Accumulator;
 use crate::error::EngineError;
 use crate::eval::{eval, TableRow};
-use crate::exec::{compile_kernels, emit_groups, new_group, Catalog, ExecStats, Kernel, QueryOutput};
+use crate::exec::{
+    compile_kernels, emit_groups, new_group, Catalog, ExecStats, Kernel, QueryOutput,
+};
 use crate::plan::{PreparedQuery, QueryKind};
 use crate::Dbms;
 use simba_sql::Select;
@@ -34,17 +36,17 @@ impl DuckDbLike {
     fn run(plan: &PreparedQuery) -> (Vec<Vec<Value>>, ExecStats) {
         let table = &plan.table;
         let n = table.row_count();
-        let mut stats = ExecStats { rows_scanned: n, ..ExecStats::default() };
-        let kernels: Option<Vec<Kernel>> =
-            plan.filter.as_ref().map(|f| compile_kernels(f, table));
+        let mut stats = ExecStats {
+            rows_scanned: n,
+            ..ExecStats::default()
+        };
+        let kernels: Option<Vec<Kernel>> = plan.filter.as_ref().map(|f| compile_kernels(f, table));
 
         // Fast path: one bare dictionary-encoded group key → group by code.
         let dict_key_col = match &plan.kind {
-            QueryKind::Aggregate { keys, .. } if keys.len() == 1 => {
-                keys[0].as_col().filter(|&c| {
-                    matches!(table.column(c), ColumnData::Str { .. })
-                })
-            }
+            QueryKind::Aggregate { keys, .. } if keys.len() == 1 => keys[0]
+                .as_col()
+                .filter(|&c| matches!(table.column(c), ColumnData::Str { .. })),
             _ => None,
         };
 
@@ -57,13 +59,21 @@ impl DuckDbLike {
                     fill_selection(&mut sel, batch_start, end, &kernels, table);
                     stats.rows_matched += sel.len();
                     for &i in &sel {
-                        let ctx = TableRow { table, row: i as usize };
+                        let ctx = TableRow {
+                            table,
+                            row: i as usize,
+                        };
                         rows.push(exprs.iter().map(|e| eval(e, &ctx)).collect());
                     }
                 }
                 (rows, stats)
             }
-            QueryKind::Aggregate { keys, aggs, projections, having } => {
+            QueryKind::Aggregate {
+                keys,
+                aggs,
+                projections,
+                having,
+            } => {
                 if let Some(key_col) = dict_key_col {
                     // Dictionary-code grouping: dense vector of group states.
                     let dict_len = table
@@ -118,7 +128,10 @@ impl DuckDbLike {
                         fill_selection(&mut sel, batch_start, end, &kernels, table);
                         stats.rows_matched += sel.len();
                         for &i in &sel {
-                            let ctx = TableRow { table, row: i as usize };
+                            let ctx = TableRow {
+                                table,
+                                row: i as usize,
+                            };
                             let key: Vec<Value> = keys.iter().map(|k| eval(k, &ctx)).collect();
                             let accs = groups.entry(key).or_insert_with(|| new_group(aggs));
                             for (acc, spec) in accs.iter_mut().zip(aggs) {
@@ -200,9 +213,7 @@ mod tests {
     #[test]
     fn in_filter_uses_dict_mask() {
         let out = engine()
-            .execute(
-                &parse_select("SELECT COUNT(*) FROM cs WHERE queue IN ('A')").unwrap(),
-            )
+            .execute(&parse_select("SELECT COUNT(*) FROM cs WHERE queue IN ('A')").unwrap())
             .unwrap();
         assert_eq!(out.result.rows[0][0], Value::Int(2));
     }
@@ -211,10 +222,8 @@ mod tests {
     fn generic_grouping_with_two_keys() {
         let out = engine()
             .execute(
-                &parse_select(
-                    "SELECT queue, HOUR(ts), COUNT(*) FROM cs GROUP BY queue, HOUR(ts)",
-                )
-                .unwrap(),
+                &parse_select("SELECT queue, HOUR(ts), COUNT(*) FROM cs GROUP BY queue, HOUR(ts)")
+                    .unwrap(),
             )
             .unwrap();
         assert!(out.result.n_rows() >= 3);
@@ -223,9 +232,7 @@ mod tests {
     #[test]
     fn range_filter_numeric_kernel() {
         let out = engine()
-            .execute(
-                &parse_select("SELECT COUNT(*) FROM cs WHERE calls BETWEEN 3 AND 7").unwrap(),
-            )
+            .execute(&parse_select("SELECT COUNT(*) FROM cs WHERE calls BETWEEN 3 AND 7").unwrap())
             .unwrap();
         assert_eq!(out.result.rows[0][0], Value::Int(3)); // 5, 3, 7
     }

@@ -32,7 +32,10 @@ impl MonetDbLike {
     fn run(plan: &PreparedQuery) -> (Vec<Vec<Value>>, ExecStats) {
         let table = &plan.table;
         let n = table.row_count();
-        let mut stats = ExecStats { rows_scanned: n, ..ExecStats::default() };
+        let mut stats = ExecStats {
+            rows_scanned: n,
+            ..ExecStats::default()
+        };
 
         // Selection phase: one fully materialized candidate vector per
         // conjunct (BAT-style).
@@ -56,18 +59,27 @@ impl MonetDbLike {
         match &plan.kind {
             QueryKind::Project { exprs } => {
                 // Materialize each projection column fully, then zip.
-                let cols: Vec<Vec<Value>> =
-                    exprs.iter().map(|e| materialize(e, table, &candidates)).collect();
+                let cols: Vec<Vec<Value>> = exprs
+                    .iter()
+                    .map(|e| materialize(e, table, &candidates))
+                    .collect();
                 let mut rows = Vec::with_capacity(candidates.len());
                 for r in 0..candidates.len() {
                     rows.push(cols.iter().map(|c| c[r].clone()).collect());
                 }
                 (rows, stats)
             }
-            QueryKind::Aggregate { keys, aggs, projections, having } => {
+            QueryKind::Aggregate {
+                keys,
+                aggs,
+                projections,
+                having,
+            } => {
                 // Materialize key vectors and aggregate-argument vectors.
-                let key_cols: Vec<Vec<Value>> =
-                    keys.iter().map(|k| materialize(k, table, &candidates)).collect();
+                let key_cols: Vec<Vec<Value>> = keys
+                    .iter()
+                    .map(|k| materialize(k, table, &candidates))
+                    .collect();
                 let arg_cols: Vec<Option<Vec<Value>>> = aggs
                     .iter()
                     .map(|a| a.arg.as_ref().map(|e| materialize(e, table, &candidates)))
@@ -102,7 +114,15 @@ impl MonetDbLike {
 fn materialize(e: &CExpr, table: &Table, candidates: &[u32]) -> Vec<Value> {
     candidates
         .iter()
-        .map(|&i| eval(e, &TableRow { table, row: i as usize }))
+        .map(|&i| {
+            eval(
+                e,
+                &TableRow {
+                    table,
+                    row: i as usize,
+                },
+            )
+        })
         .collect()
 }
 

@@ -34,7 +34,10 @@ impl PostgresLike {
     fn run(plan: &PreparedQuery) -> (Vec<Vec<Value>>, ExecStats) {
         let table = &plan.table;
         let n = table.row_count();
-        let mut stats = ExecStats { rows_scanned: n, ..ExecStats::default() };
+        let mut stats = ExecStats {
+            rows_scanned: n,
+            ..ExecStats::default()
+        };
 
         match &plan.kind {
             QueryKind::Project { exprs } => {
@@ -54,7 +57,12 @@ impl PostgresLike {
                 }
                 (rows, stats)
             }
-            QueryKind::Aggregate { keys, aggs, projections, having } => {
+            QueryKind::Aggregate {
+                keys,
+                aggs,
+                projections,
+                having,
+            } => {
                 let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
                 if keys.is_empty() {
                     groups.insert(Vec::new(), new_group(aggs));
@@ -147,10 +155,8 @@ mod tests {
     fn having_filters_groups() {
         let out = engine()
             .execute(
-                &parse_select(
-                    "SELECT queue, COUNT(*) FROM cs GROUP BY queue HAVING COUNT(*) > 1",
-                )
-                .unwrap(),
+                &parse_select("SELECT queue, COUNT(*) FROM cs GROUP BY queue HAVING COUNT(*) > 1")
+                    .unwrap(),
             )
             .unwrap();
         assert_eq!(out.result.n_rows(), 2); // A(2) and B(2)

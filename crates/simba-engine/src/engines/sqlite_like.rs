@@ -31,7 +31,10 @@ impl SqliteLike {
     fn run(plan: &PreparedQuery) -> (Vec<Vec<Value>>, ExecStats) {
         let table = &plan.table;
         let n = table.row_count();
-        let mut stats = ExecStats { rows_scanned: n, ..ExecStats::default() };
+        let mut stats = ExecStats {
+            rows_scanned: n,
+            ..ExecStats::default()
+        };
         let mut buf: Vec<Value> = Vec::with_capacity(table.schema().width());
 
         match &plan.kind {
@@ -50,7 +53,12 @@ impl SqliteLike {
                 }
                 (rows, stats)
             }
-            QueryKind::Aggregate { keys, aggs, projections, having } => {
+            QueryKind::Aggregate {
+                keys,
+                aggs,
+                projections,
+                having,
+            } => {
                 let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
                 if keys.is_empty() {
                     // A global aggregate emits one row even over zero input.
@@ -130,7 +138,9 @@ mod tests {
     #[test]
     fn global_aggregate_over_empty_filter() {
         let out = engine()
-            .execute(&parse_select("SELECT COUNT(*), SUM(calls) FROM cs WHERE calls > 999").unwrap())
+            .execute(
+                &parse_select("SELECT COUNT(*), SUM(calls) FROM cs WHERE calls > 999").unwrap(),
+            )
             .unwrap();
         assert_eq!(out.result.n_rows(), 1);
         assert_eq!(out.result.rows[0][0], Value::Int(0));
@@ -140,7 +150,9 @@ mod tests {
     #[test]
     fn unknown_table_error() {
         let e = SqliteLike::new();
-        let err = e.execute(&parse_select("SELECT a FROM missing").unwrap()).unwrap_err();
+        let err = e
+            .execute(&parse_select("SELECT a FROM missing").unwrap())
+            .unwrap_err();
         assert!(matches!(err, EngineError::UnknownTable(_)));
     }
 }

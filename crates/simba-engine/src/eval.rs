@@ -79,13 +79,35 @@ pub enum CExpr {
     Col(usize),
     /// Constant.
     Lit(Value),
-    Un { op: UnaryOp, e: Box<CExpr> },
-    Bin { l: Box<CExpr>, op: BinOp, r: Box<CExpr> },
+    Un {
+        op: UnaryOp,
+        e: Box<CExpr>,
+    },
+    Bin {
+        l: Box<CExpr>,
+        op: BinOp,
+        r: Box<CExpr>,
+    },
     /// Scalar function call (date parts, `BIN`, `ABS`).
-    Call { func: Func, args: Vec<CExpr> },
-    In { e: Box<CExpr>, set: Arc<ValueSet>, negated: bool },
-    Between { e: Box<CExpr>, low: Box<CExpr>, high: Box<CExpr>, negated: bool },
-    IsNull { e: Box<CExpr>, negated: bool },
+    Call {
+        func: Func,
+        args: Vec<CExpr>,
+    },
+    In {
+        e: Box<CExpr>,
+        set: Arc<ValueSet>,
+        negated: bool,
+    },
+    Between {
+        e: Box<CExpr>,
+        low: Box<CExpr>,
+        high: Box<CExpr>,
+        negated: bool,
+    },
+    IsNull {
+        e: Box<CExpr>,
+        negated: bool,
+    },
 }
 
 impl CExpr {
@@ -171,7 +193,12 @@ pub fn eval(e: &CExpr, row: &impl ColumnAccess) -> Value {
             let found = set.contains(&v);
             Value::Bool(found != *negated)
         }
-        CExpr::Between { e, low, high, negated } => {
+        CExpr::Between {
+            e,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(e, row);
             let lo = eval(low, row);
             let hi = eval(high, row);
@@ -269,16 +296,16 @@ fn eval_call(func: Func, args: &[CExpr], row: &impl ColumnAccess) -> Value {
     match func {
         Func::Year | Func::Month | Func::Day | Func::Hour | Func::DayOfWeek => {
             let v = eval(&args[0], row);
-            let Some(secs) = v.as_i64() else { return Value::Null };
+            let Some(secs) = v.as_i64() else {
+                return Value::Null;
+            };
             Value::Int(date_part(func, secs))
         }
         Func::Bin => {
             let v = eval(&args[0], row);
             let w = eval(&args[1], row);
             match (&v, &w) {
-                (Value::Int(x), Value::Int(b)) if *b > 0 => {
-                    Value::Int(x.div_euclid(*b) * *b)
-                }
+                (Value::Int(x), Value::Int(b)) if *b > 0 => Value::Int(x.div_euclid(*b) * *b),
                 _ => match (v.as_f64(), w.as_f64()) {
                     (Some(x), Some(b)) if b > 0.0 => Value::Float((x / b).floor() * b),
                     _ => Value::Null,
@@ -339,9 +366,19 @@ mod tests {
 
     #[test]
     fn comparisons_three_valued() {
-        let e = CExpr::Bin { l: b(CExpr::Col(0)), op: BinOp::Gt, r: b(CExpr::Lit(Value::Int(5))) };
-        assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::Int(7)]))), Some(true));
-        assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::Int(3)]))), Some(false));
+        let e = CExpr::Bin {
+            l: b(CExpr::Col(0)),
+            op: BinOp::Gt,
+            r: b(CExpr::Lit(Value::Int(5))),
+        };
+        assert_eq!(
+            eval_predicate(&e, &RowSlice(&row(vec![Value::Int(7)]))),
+            Some(true)
+        );
+        assert_eq!(
+            eval_predicate(&e, &RowSlice(&row(vec![Value::Int(3)]))),
+            Some(false)
+        );
         assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::Null]))), None);
     }
 
@@ -411,9 +448,19 @@ mod tests {
     #[test]
     fn in_set_membership() {
         let set = Arc::new(ValueSet::new(vec![Value::str("A"), Value::str("B")]));
-        let e = CExpr::In { e: b(CExpr::Col(0)), set, negated: false };
-        assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::str("A")]))), Some(true));
-        assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::str("Z")]))), Some(false));
+        let e = CExpr::In {
+            e: b(CExpr::Col(0)),
+            set,
+            negated: false,
+        };
+        assert_eq!(
+            eval_predicate(&e, &RowSlice(&row(vec![Value::str("A")]))),
+            Some(true)
+        );
+        assert_eq!(
+            eval_predicate(&e, &RowSlice(&row(vec![Value::str("Z")]))),
+            Some(false)
+        );
         assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::Null]))), None);
     }
 
@@ -425,16 +472,34 @@ mod tests {
             high: b(CExpr::Lit(Value::Int(5))),
             negated: false,
         };
-        assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::Int(1)]))), Some(true));
-        assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::Int(5)]))), Some(true));
-        assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::Int(6)]))), Some(false));
+        assert_eq!(
+            eval_predicate(&e, &RowSlice(&row(vec![Value::Int(1)]))),
+            Some(true)
+        );
+        assert_eq!(
+            eval_predicate(&e, &RowSlice(&row(vec![Value::Int(5)]))),
+            Some(true)
+        );
+        assert_eq!(
+            eval_predicate(&e, &RowSlice(&row(vec![Value::Int(6)]))),
+            Some(false)
+        );
     }
 
     #[test]
     fn is_null_predicate() {
-        let e = CExpr::IsNull { e: b(CExpr::Col(0)), negated: false };
-        assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::Null]))), Some(true));
-        assert_eq!(eval_predicate(&e, &RowSlice(&row(vec![Value::Int(1)]))), Some(false));
+        let e = CExpr::IsNull {
+            e: b(CExpr::Col(0)),
+            negated: false,
+        };
+        assert_eq!(
+            eval_predicate(&e, &RowSlice(&row(vec![Value::Null]))),
+            Some(true)
+        );
+        assert_eq!(
+            eval_predicate(&e, &RowSlice(&row(vec![Value::Int(1)]))),
+            Some(false)
+        );
     }
 
     #[test]
@@ -472,16 +537,34 @@ mod tests {
             func: Func::Bin,
             args: vec![CExpr::Col(0), CExpr::Lit(Value::Int(10))],
         };
-        assert_eq!(eval(&e, &RowSlice(&row(vec![Value::Int(27)]))), Value::Int(20));
-        assert_eq!(eval(&e, &RowSlice(&row(vec![Value::Int(-3)]))), Value::Int(-10));
-        assert_eq!(eval(&e, &RowSlice(&row(vec![Value::Float(27.5)]))), Value::Float(20.0));
+        assert_eq!(
+            eval(&e, &RowSlice(&row(vec![Value::Int(27)]))),
+            Value::Int(20)
+        );
+        assert_eq!(
+            eval(&e, &RowSlice(&row(vec![Value::Int(-3)]))),
+            Value::Int(-10)
+        );
+        assert_eq!(
+            eval(&e, &RowSlice(&row(vec![Value::Float(27.5)]))),
+            Value::Float(20.0)
+        );
     }
 
     #[test]
     fn abs_function() {
-        let e = CExpr::Call { func: Func::Abs, args: vec![CExpr::Col(0)] };
-        assert_eq!(eval(&e, &RowSlice(&row(vec![Value::Int(-4)]))), Value::Int(4));
-        assert_eq!(eval(&e, &RowSlice(&row(vec![Value::Float(-1.5)]))), Value::Float(1.5));
+        let e = CExpr::Call {
+            func: Func::Abs,
+            args: vec![CExpr::Col(0)],
+        };
+        assert_eq!(
+            eval(&e, &RowSlice(&row(vec![Value::Int(-4)]))),
+            Value::Int(4)
+        );
+        assert_eq!(
+            eval(&e, &RowSlice(&row(vec![Value::Float(-1.5)]))),
+            Value::Float(1.5)
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! latency, never in results — the property the benchmark's comparative
 //! claims rest on.
 
-use crate::agg::{AggSpec, Accumulator};
+use crate::agg::{Accumulator, AggSpec};
 use crate::eval::{eval, eval_predicate, CExpr, RowSlice, TableRow, ValueSet};
 use crate::plan::PreparedQuery;
 use simba_sql::BinOp;
@@ -38,7 +38,12 @@ pub struct QueryOutput {
 pub fn cexpr_conjuncts(e: &CExpr) -> Vec<&CExpr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a CExpr, out: &mut Vec<&'a CExpr>) {
-        if let CExpr::Bin { l, op: BinOp::And, r } = e {
+        if let CExpr::Bin {
+            l,
+            op: BinOp::And,
+            r,
+        } = e
+        {
             walk(l, out);
             walk(r, out);
         } else {
@@ -99,9 +104,7 @@ impl Kernel {
                     None => false,
                 }
             }
-            Kernel::Generic(expr) => {
-                eval_predicate(expr, &TableRow { table, row }) == Some(true)
-            }
+            Kernel::Generic(expr) => eval_predicate(expr, &TableRow { table, row }) == Some(true),
         }
     }
 }
@@ -135,11 +138,19 @@ fn specialize(e: &CExpr, table: &Table) -> Kernel {
                 let column = table.column(col);
                 match (column, lit) {
                     (ColumnData::Int { .. }, Value::Int(v)) => {
-                        return Kernel::IntCmp { col, op: *op, rhs: *v };
+                        return Kernel::IntCmp {
+                            col,
+                            op: *op,
+                            rhs: *v,
+                        };
                     }
                     (ColumnData::Int { .. } | ColumnData::Float { .. }, _) => {
                         if let Some(f) = lit.as_f64() {
-                            return Kernel::FloatCmp { col, op: *op, rhs: f };
+                            return Kernel::FloatCmp {
+                                col,
+                                op: *op,
+                                rhs: f,
+                            };
                         }
                     }
                     (ColumnData::Str { .. }, Value::Str(_)) if *op == BinOp::Eq => {
@@ -150,7 +161,11 @@ fn specialize(e: &CExpr, table: &Table) -> Kernel {
             }
             Kernel::Generic(e.clone())
         }
-        CExpr::In { e: inner, set, negated } => {
+        CExpr::In {
+            e: inner,
+            set,
+            negated,
+        } => {
             if let Some(col) = inner.as_col() {
                 if let ColumnData::Str { .. } = table.column(col) {
                     return dict_in_kernel(col, table.column(col), set.values(), *negated);
@@ -231,12 +246,7 @@ pub fn finalize_rows(
 
 /// Update the accumulators of one group from one source row.
 #[inline]
-pub fn update_group(
-    accs: &mut [Accumulator],
-    aggs: &[AggSpec],
-    table: &Table,
-    row: usize,
-) {
+pub fn update_group(accs: &mut [Accumulator], aggs: &[AggSpec], table: &Table, row: usize) {
     let ctx = TableRow { table, row };
     for (acc, spec) in accs.iter_mut().zip(aggs) {
         match &spec.arg {
@@ -251,23 +261,37 @@ pub fn new_group(aggs: &[AggSpec]) -> Vec<Accumulator> {
     aggs.iter().map(AggSpec::accumulator).collect()
 }
 
-/// Shared registry of tables, keyed by lowercase name.
+/// Shared registry of tables, keyed by lowercase name. Reads take a shared
+/// lock only, so concurrent `execute` calls across driver worker threads
+/// never serialize on the catalog.
 #[derive(Default)]
 pub struct Catalog {
-    tables: parking_lot::RwLock<std::collections::HashMap<String, Arc<Table>>>,
+    tables: std::sync::RwLock<std::collections::HashMap<String, Arc<Table>>>,
 }
 
 impl Catalog {
     pub fn register(&self, table: Arc<Table>) {
-        self.tables.write().insert(table.name().to_ascii_lowercase(), table);
+        self.tables
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(table.name().to_ascii_lowercase(), table);
     }
 
     pub fn get(&self, name: &str) -> Option<Arc<Table>> {
-        self.tables.read().get(&name.to_ascii_lowercase()).cloned()
+        self.tables
+            .read()
+            .expect("catalog lock poisoned")
+            .get(&name.to_ascii_lowercase())
+            .cloned()
     }
 
     pub fn names(&self) -> Vec<String> {
-        self.tables.read().keys().cloned().collect()
+        self.tables
+            .read()
+            .expect("catalog lock poisoned")
+            .keys()
+            .cloned()
+            .collect()
     }
 }
 
@@ -296,7 +320,11 @@ mod tests {
     #[test]
     fn int_cmp_kernel_matches_typed_rows() {
         let t = table();
-        let k = Kernel::IntCmp { col: 1, op: BinOp::Gt, rhs: 2 };
+        let k = Kernel::IntCmp {
+            col: 1,
+            op: BinOp::Gt,
+            rhs: 2,
+        };
         assert!(!k.matches(&t, 0));
         assert!(k.matches(&t, 1));
         assert!(k.matches(&t, 2));
@@ -319,7 +347,11 @@ mod tests {
     #[test]
     fn float_cmp_kernel_reads_int_columns() {
         let t = table();
-        let k = Kernel::FloatCmp { col: 1, op: BinOp::GtEq, rhs: 5.0 };
+        let k = Kernel::FloatCmp {
+            col: 1,
+            op: BinOp::GtEq,
+            rhs: 5.0,
+        };
         assert!(!k.matches(&t, 0));
         assert!(k.matches(&t, 1));
     }
@@ -337,7 +369,11 @@ mod tests {
 
     #[test]
     fn finalize_without_order_preserves_and_limits() {
-        let rows = vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]];
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(3)],
+        ];
         let out = finalize_rows(rows, 1, &[], Some(2));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0], vec![Value::Int(1)]);

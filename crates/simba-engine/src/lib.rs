@@ -88,7 +88,9 @@ impl EngineKind {
 
     /// Parse an engine name.
     pub fn from_name(name: &str) -> Option<EngineKind> {
-        Self::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name))
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
     }
 }
 

@@ -74,8 +74,7 @@ pub fn prepare(query: &Select, table: Arc<Table>) -> Result<PreparedQuery, Engin
         .map(|w| compile_row_expr(w, &schema))
         .transpose()?;
 
-    let output_names: Vec<String> =
-        query.projections.iter().map(|p| p.output_name()).collect();
+    let output_names: Vec<String> = query.projections.iter().map(|p| p.output_name()).collect();
     let n_output = output_names.len();
     let limit = query.limit.map(|l| l as usize);
     let order_dirs: Vec<bool> = query.order_by.iter().map(|o| o.asc).collect();
@@ -86,8 +85,10 @@ pub fn prepare(query: &Select, table: Arc<Table>) -> Result<PreparedQuery, Engin
         .iter()
         .map(|o| substitute_aliases(&o.expr, &query.projections))
         .collect();
-    let having_expr =
-        query.having.as_ref().map(|h| substitute_aliases(h, &query.projections));
+    let having_expr = query
+        .having
+        .as_ref()
+        .map(|h| substitute_aliases(h, &query.projections));
 
     if query.is_aggregate_query() {
         // Collect the distinct aggregate calls appearing anywhere.
@@ -108,24 +109,42 @@ pub fn prepare(query: &Select, table: Arc<Table>) -> Result<PreparedQuery, Engin
             .iter()
             .map(|g| compile_row_expr(g, &schema))
             .collect::<Result<_, _>>()?;
-        let key_prints: Vec<String> =
-            query.group_by.iter().map(|g| print_expr(&normalize_expr(g))).collect();
+        let key_prints: Vec<String> = query
+            .group_by
+            .iter()
+            .map(|g| print_expr(&normalize_expr(g)))
+            .collect();
 
         // Compile aggregate argument specs.
         let mut aggs = Vec::with_capacity(agg_calls.len());
         for (_, call) in &agg_calls {
-            let Expr::Function { func, args, distinct } = call else { unreachable!() };
+            let Expr::Function {
+                func,
+                args,
+                distinct,
+            } = call
+            else {
+                unreachable!()
+            };
             let arg = match args.first() {
                 None | Some(Expr::Wildcard) => None,
                 Some(a) => Some(compile_row_expr(a, &schema)?),
             };
-            let spec = AggSpec { func: *func, arg, distinct: *distinct };
+            let spec = AggSpec {
+                func: *func,
+                arg,
+                distinct: *distinct,
+            };
             spec.validate()?;
             aggs.push(spec);
         }
         let agg_prints: Vec<String> = agg_calls.iter().map(|(p, _)| p.clone()).collect();
 
-        let ctx = GroupCtx { schema: &schema, key_prints: &key_prints, agg_prints: &agg_prints };
+        let ctx = GroupCtx {
+            schema: &schema,
+            key_prints: &key_prints,
+            agg_prints: &agg_prints,
+        };
         let mut projections: Vec<CExpr> = query
             .projections
             .iter()
@@ -134,12 +153,20 @@ pub fn prepare(query: &Select, table: Arc<Table>) -> Result<PreparedQuery, Engin
         for o in &order_exprs {
             projections.push(compile_group_expr(o, &ctx)?);
         }
-        let having = having_expr.as_ref().map(|h| compile_group_expr(h, &ctx)).transpose()?;
+        let having = having_expr
+            .as_ref()
+            .map(|h| compile_group_expr(h, &ctx))
+            .transpose()?;
 
         Ok(PreparedQuery {
             table,
             filter,
-            kind: QueryKind::Aggregate { keys, aggs, projections, having },
+            kind: QueryKind::Aggregate {
+                keys,
+                aggs,
+                projections,
+                having,
+            },
             n_output,
             output_names,
             order_dirs,
@@ -180,7 +207,11 @@ pub fn prepare(query: &Select, table: Arc<Table>) -> Result<PreparedQuery, Engin
 fn substitute_aliases(e: &Expr, projections: &[simba_sql::SelectItem]) -> Expr {
     if let Expr::Column(name) = e {
         for item in projections {
-            if item.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(name)) {
+            if item
+                .alias
+                .as_deref()
+                .is_some_and(|a| a.eq_ignore_ascii_case(name))
+            {
                 return item.expr.clone();
             }
         }
@@ -197,17 +228,36 @@ fn substitute_aliases(e: &Expr, projections: &[simba_sql::SelectItem]) -> Expr {
             op: *op,
             right: Box::new(substitute_aliases(right, projections)),
         },
-        Expr::Function { func, args, distinct } => Expr::Function {
+        Expr::Function {
+            func,
+            args,
+            distinct,
+        } => Expr::Function {
             func: *func,
-            args: args.iter().map(|a| substitute_aliases(a, projections)).collect(),
+            args: args
+                .iter()
+                .map(|a| substitute_aliases(a, projections))
+                .collect(),
             distinct: *distinct,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(substitute_aliases(expr, projections)),
-            list: list.iter().map(|a| substitute_aliases(a, projections)).collect(),
+            list: list
+                .iter()
+                .map(|a| substitute_aliases(a, projections))
+                .collect(),
             negated: *negated,
         },
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(substitute_aliases(expr, projections)),
             low: Box::new(substitute_aliases(low, projections)),
             high: Box::new(substitute_aliases(high, projections)),
@@ -248,7 +298,9 @@ fn collect_aggregates(e: &Expr, out: &mut Vec<(String, Expr)>) {
                 collect_aggregates(x, out);
             }
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_aggregates(expr, out);
             collect_aggregates(low, out);
             collect_aggregates(high, out);
@@ -263,10 +315,12 @@ fn collect_aggregates(e: &Expr, out: &mut Vec<(String, Expr)>) {
 pub fn compile_row_expr(e: &Expr, schema: &Schema) -> Result<CExpr, EngineError> {
     match e {
         Expr::Column(name) => {
-            let idx = schema.index_of(name).ok_or_else(|| EngineError::UnknownColumn {
-                table: schema.table.clone(),
-                column: name.clone(),
-            })?;
+            let idx = schema
+                .index_of(name)
+                .ok_or_else(|| EngineError::UnknownColumn {
+                    table: schema.table.clone(),
+                    column: name.clone(),
+                })?;
             Ok(CExpr::Col(idx))
         }
         Expr::Literal(lit) => Ok(CExpr::Lit(CExpr::lit_value(lit))),
@@ -303,7 +357,11 @@ pub fn compile_row_expr(e: &Expr, schema: &Schema) -> Result<CExpr, EngineError>
                     .collect::<Result<_, _>>()?,
             })
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let mut values = Vec::with_capacity(list.len());
             for item in list {
                 match item {
@@ -321,7 +379,12 @@ pub fn compile_row_expr(e: &Expr, schema: &Schema) -> Result<CExpr, EngineError>
                 negated: *negated,
             })
         }
-        Expr::Between { expr, low, high, negated } => Ok(CExpr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Ok(CExpr::Between {
             e: Box::new(compile_row_expr(expr, schema)?),
             low: Box::new(compile_row_expr(low, schema)?),
             high: Box::new(compile_row_expr(high, schema)?),
@@ -391,7 +454,11 @@ fn compile_group_expr(e: &Expr, ctx: &GroupCtx<'_>) -> Result<CExpr, EngineError
                 .map(|a| compile_group_expr(a, ctx))
                 .collect::<Result<_, _>>()?,
         }),
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let mut values = Vec::with_capacity(list.len());
             for item in list {
                 match item {
@@ -409,7 +476,12 @@ fn compile_group_expr(e: &Expr, ctx: &GroupCtx<'_>) -> Result<CExpr, EngineError
                 negated: *negated,
             })
         }
-        Expr::Between { expr, low, high, negated } => Ok(CExpr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Ok(CExpr::Between {
             e: Box::new(compile_group_expr(expr, ctx)?),
             low: Box::new(compile_group_expr(low, ctx)?),
             high: Box::new(compile_group_expr(high, ctx)?),
@@ -458,7 +530,12 @@ mod tests {
     fn plans_grouped_aggregate() {
         let p = plan("SELECT queue, COUNT(*) FROM cs GROUP BY queue").unwrap();
         match &p.kind {
-            QueryKind::Aggregate { keys, aggs, projections, .. } => {
+            QueryKind::Aggregate {
+                keys,
+                aggs,
+                projections,
+                ..
+            } => {
                 assert_eq!(keys.len(), 1);
                 assert_eq!(aggs.len(), 1);
                 assert_eq!(projections.len(), 2);
@@ -469,10 +546,7 @@ mod tests {
 
     #[test]
     fn dedupes_repeated_aggregates() {
-        let p = plan(
-            "SELECT COUNT(*), COUNT(*) FROM cs HAVING COUNT(*) > 0",
-        )
-        .unwrap();
+        let p = plan("SELECT COUNT(*), COUNT(*) FROM cs HAVING COUNT(*) > 0").unwrap();
         match &p.kind {
             QueryKind::Aggregate { aggs, .. } => assert_eq!(aggs.len(), 1),
             _ => panic!("expected aggregate"),
@@ -511,8 +585,7 @@ mod tests {
 
     #[test]
     fn order_by_alias_resolves_to_aggregate() {
-        let p = plan("SELECT queue, COUNT(*) AS n FROM cs GROUP BY queue ORDER BY n DESC")
-            .unwrap();
+        let p = plan("SELECT queue, COUNT(*) AS n FROM cs GROUP BY queue ORDER BY n DESC").unwrap();
         assert_eq!(p.order_dirs, vec![false]);
         match &p.kind {
             QueryKind::Aggregate { projections, .. } => {

@@ -15,10 +15,30 @@ pub fn sample_table() -> Table {
     );
     let mut b = TableBuilder::new(schema, 5);
     // ts values: 2021-06-15 with varying hours.
-    b.push_row(vec![Value::str("A"), Value::Int(1), Value::Int(1_623_715_200), Value::Float(0.5)]);
-    b.push_row(vec![Value::str("B"), Value::Int(5), Value::Int(1_623_718_800), Value::Float(1.5)]);
-    b.push_row(vec![Value::str("A"), Value::Int(3), Value::Int(1_623_722_400), Value::Float(2.5)]);
-    b.push_row(vec![Value::str("B"), Value::Int(7), Value::Int(1_623_726_000), Value::Float(3.5)]);
+    b.push_row(vec![
+        Value::str("A"),
+        Value::Int(1),
+        Value::Int(1_623_715_200),
+        Value::Float(0.5),
+    ]);
+    b.push_row(vec![
+        Value::str("B"),
+        Value::Int(5),
+        Value::Int(1_623_718_800),
+        Value::Float(1.5),
+    ]);
+    b.push_row(vec![
+        Value::str("A"),
+        Value::Int(3),
+        Value::Int(1_623_722_400),
+        Value::Float(2.5),
+    ]);
+    b.push_row(vec![
+        Value::str("B"),
+        Value::Int(7),
+        Value::Int(1_623_726_000),
+        Value::Float(3.5),
+    ]);
     b.push_row(vec![Value::Null, Value::Null, Value::Null, Value::Null]);
     b.finish()
 }

@@ -31,7 +31,13 @@ fn row_strategy() -> impl Strategy<Value = Row> {
         proptest::option::weighted(0.9, -5.0f64..50.0),
         1_600_000_000i64..1_610_000_000,
     )
-        .prop_map(|(queue, region, calls, cost, ts)| Row { queue, region, calls, cost, ts })
+        .prop_map(|(queue, region, calls, cost, ts)| Row {
+            queue,
+            region,
+            calls,
+            cost,
+            ts,
+        })
 }
 
 fn build_table(rows: &[Row]) -> Table {
@@ -71,9 +77,17 @@ fn predicate_strategy() -> impl Strategy<Value = Expr> {
             Expr::str(r)
         )),
         // numeric comparison on calls
-        (-20i64..100, proptest::sample::select(vec![
-            BinOp::Lt, BinOp::LtEq, BinOp::Gt, BinOp::GtEq, BinOp::Eq, BinOp::NotEq
-        ]))
+        (
+            -20i64..100,
+            proptest::sample::select(vec![
+                BinOp::Lt,
+                BinOp::LtEq,
+                BinOp::Gt,
+                BinOp::GtEq,
+                BinOp::Eq,
+                BinOp::NotEq
+            ])
+        )
             .prop_map(|(v, op)| Expr::binary(Expr::col("calls"), op, Expr::int(v))),
         // cost range
         (-5.0f64..25.0, 0.0f64..25.0).prop_map(|(lo, width)| Expr::Between {
@@ -83,14 +97,16 @@ fn predicate_strategy() -> impl Strategy<Value = Expr> {
             negated: false,
         }),
         // null checks
-        Just(Expr::IsNull { expr: Box::new(Expr::col("calls")), negated: false }),
-        Just(Expr::IsNull { expr: Box::new(Expr::col("queue")), negated: true }),
+        Just(Expr::IsNull {
+            expr: Box::new(Expr::col("calls")),
+            negated: false
+        }),
+        Just(Expr::IsNull {
+            expr: Box::new(Expr::col("queue")),
+            negated: true
+        }),
         // date-part filter
-        (0i64..24).prop_map(|h| Expr::binary(
-            Expr::agg_free_hour(),
-            BinOp::Eq,
-            Expr::int(h)
-        )),
+        (0i64..24).prop_map(|h| Expr::binary(Expr::agg_free_hour(), BinOp::Eq, Expr::int(h))),
     ]
 }
 
@@ -100,7 +116,11 @@ trait HourExt {
 
 impl HourExt for Expr {
     fn agg_free_hour() -> Expr {
-        Expr::Function { func: Func::Hour, args: vec![Expr::col("ts")], distinct: false }
+        Expr::Function {
+            func: Func::Hour,
+            args: vec![Expr::col("ts")],
+            distinct: false,
+        }
     }
 }
 
@@ -135,8 +155,10 @@ fn query_strategy() -> impl Strategy<Value = QueryCase> {
         proptest::option::of(1i64..3),
     )
         .prop_map(|(groups, aggs, preds, having_min)| {
-            let mut projections: Vec<SelectItem> =
-                groups.iter().map(|g| SelectItem::bare(Expr::col(*g))).collect();
+            let mut projections: Vec<SelectItem> = groups
+                .iter()
+                .map(|g| SelectItem::bare(Expr::col(*g)))
+                .collect();
             projections.extend(aggs.into_iter().map(SelectItem::bare));
             let mut select = Select::new("t", projections);
             select.group_by = groups.iter().map(|g| Expr::col(*g)).collect();

@@ -80,9 +80,21 @@ impl FleetComplexity {
         Some(FleetComplexity {
             runs: profiles.len(),
             viz_avg: profiles.iter().map(|p| p.viz_count as f64).sum::<f64>() / n,
-            viz_min: profiles.iter().map(|p| p.viz_count).min().expect("non-empty"),
-            viz_max: profiles.iter().map(|p| p.viz_count).max().expect("non-empty"),
-            updates_avg: profiles.iter().map(|p| p.avg_updates_per_interaction).sum::<f64>() / n,
+            viz_min: profiles
+                .iter()
+                .map(|p| p.viz_count)
+                .min()
+                .expect("non-empty"),
+            viz_max: profiles
+                .iter()
+                .map(|p| p.viz_count)
+                .max()
+                .expect("non-empty"),
+            updates_avg: profiles
+                .iter()
+                .map(|p| p.avg_updates_per_interaction)
+                .sum::<f64>()
+                / n,
             updates_min: profiles
                 .iter()
                 .map(|p| p.avg_updates_per_interaction)
@@ -92,7 +104,11 @@ impl FleetComplexity {
                 .map(|p| p.avg_updates_per_interaction)
                 .fold(f64::NEG_INFINITY, f64::max),
             attrs_avg: profiles.iter().map(|p| p.avg_attrs_per_viz).sum::<f64>() / n,
-            filters_avg: profiles.iter().map(|p| p.avg_filters_per_query).sum::<f64>() / n,
+            filters_avg: profiles
+                .iter()
+                .map(|p| p.avg_filters_per_query)
+                .sum::<f64>()
+                / n,
         })
     }
 }
@@ -112,7 +128,11 @@ mod tests {
         IdeBenchRunner::new(
             &table,
             engine.as_ref(),
-            IdeBenchConfig { seed, interactions: 15, ..Default::default() },
+            IdeBenchConfig {
+                seed,
+                interactions: 15,
+                ..Default::default()
+            },
         )
         .run()
         .unwrap()
@@ -143,8 +163,9 @@ mod tests {
 
     #[test]
     fn fleet_summary_covers_ranges() {
-        let profiles: Vec<DashboardComplexity> =
-            (0..8).map(|s| DashboardComplexity::from_log(&run(s))).collect();
+        let profiles: Vec<DashboardComplexity> = (0..8)
+            .map(|s| DashboardComplexity::from_log(&run(s)))
+            .collect();
         let fleet = FleetComplexity::from_runs(&profiles).unwrap();
         assert_eq!(fleet.runs, 8);
         assert!(fleet.viz_min <= fleet.viz_avg as usize);

@@ -127,7 +127,10 @@ impl RandomDashboard {
                 let f = *[Func::Sum, Func::Avg, Func::Min, Func::Max]
                     .choose(rng)
                     .expect("non-empty");
-                (f, Some(quantitative.choose(rng).expect("non-empty").to_string()))
+                (
+                    f,
+                    Some(quantitative.choose(rng).expect("non-empty").to_string()),
+                )
             };
             vizzes.push(RandomViz { id, dims, agg });
         }
@@ -146,8 +149,12 @@ impl RandomDashboard {
     /// Visualizations updated when `source` is interacted with (its link
     /// targets plus itself).
     pub fn affected(&self, source: usize) -> Vec<usize> {
-        let mut out: Vec<usize> =
-            self.links.iter().filter(|(s, _)| *s == source).map(|(_, t)| *t).collect();
+        let mut out: Vec<usize> = self
+            .links
+            .iter()
+            .filter(|(s, _)| *s == source)
+            .map(|(_, t)| *t)
+            .collect();
         out.push(source);
         out.sort_unstable();
         out.dedup();

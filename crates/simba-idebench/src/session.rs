@@ -13,8 +13,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simba_core::session::QueryRecord;
 use simba_engine::Dbms;
-use simba_store::{ColumnRole, Table};
 use simba_sql::{Expr, Select};
+use simba_store::{ColumnRole, Table};
 
 /// IDEBench action probabilities (the "default probabilities for generating
 /// actions" of §6.2.4). Filters dominate — the paper found IDEBench
@@ -28,7 +28,11 @@ pub struct ActionProbs {
 
 impl Default for ActionProbs {
     fn default() -> Self {
-        Self { add_filter: 0.70, modify_filter: 0.22, remove_filter: 0.08 }
+        Self {
+            add_filter: 0.70,
+            modify_filter: 0.22,
+            remove_filter: 0.08,
+        }
     }
 }
 
@@ -43,7 +47,11 @@ pub struct IdeBenchConfig {
 
 impl Default for IdeBenchConfig {
     fn default() -> Self {
-        Self { seed: 0, interactions: 30, probs: ActionProbs::default() }
+        Self {
+            seed: 0,
+            interactions: 30,
+            probs: ActionProbs::default(),
+        }
     }
 }
 
@@ -78,8 +86,7 @@ impl IdeBenchLog {
     /// Average visualization updates per interaction (excluding the initial
     /// render).
     pub fn avg_updates_per_interaction(&self) -> f64 {
-        let moves: Vec<&IdeInteraction> =
-            self.interactions.iter().filter(|i| i.step > 0).collect();
+        let moves: Vec<&IdeInteraction> = self.interactions.iter().filter(|i| i.step > 0).collect();
         if moves.is_empty() {
             return 0.0;
         }
@@ -123,7 +130,11 @@ pub struct IdeBenchRunner<'a> {
 
 impl<'a> IdeBenchRunner<'a> {
     pub fn new(table: &'a Table, engine: &'a dyn Dbms, config: IdeBenchConfig) -> Self {
-        Self { table, engine, config }
+        Self {
+            table,
+            engine,
+            config,
+        }
     }
 
     /// Simulate one run: generate the implicit dashboard, render it, then
@@ -160,7 +171,11 @@ impl<'a> IdeBenchRunner<'a> {
                 let q = self.viz_query(&dashboard, &filters, affected, &table_name);
                 records.push(self.execute(affected, &q)?);
             }
-            interactions.push(IdeInteraction { step, action, queries: records });
+            interactions.push(IdeInteraction {
+                step,
+                action,
+                queries: records,
+            });
         }
 
         Ok(IdeBenchLog {
@@ -171,11 +186,7 @@ impl<'a> IdeBenchRunner<'a> {
         })
     }
 
-    fn execute(
-        &self,
-        viz: usize,
-        q: &Select,
-    ) -> Result<QueryRecord, simba_engine::EngineError> {
+    fn execute(&self, viz: usize, q: &Select) -> Result<QueryRecord, simba_engine::EngineError> {
         let out = self.engine.execute(q)?;
         Ok(QueryRecord {
             vis: format!("viz_{viz}"),
@@ -248,23 +259,26 @@ impl<'a> IdeBenchRunner<'a> {
                     .filter_map(|v| v.as_str().map(str::to_string))
                     .collect();
                 let k = rng.gen_range(1..=distinct.len().clamp(1, 3));
-                let values: Vec<String> =
-                    distinct.choose_multiple(rng, k).cloned().collect();
-                IdeFilter::In { field: def.name.clone(), values }
+                let values: Vec<String> = distinct.choose_multiple(rng, k).cloned().collect();
+                IdeFilter::In {
+                    field: def.name.clone(),
+                    values,
+                }
             }
             _ => {
                 let (lo, hi) = match col.min_max() {
-                    Some((a, b)) => (
-                        a.as_f64().unwrap_or(0.0),
-                        b.as_f64().unwrap_or(0.0),
-                    ),
+                    Some((a, b)) => (a.as_f64().unwrap_or(0.0), b.as_f64().unwrap_or(0.0)),
                     None => (0.0, 0.0),
                 };
                 let span = (hi - lo).max(f64::EPSILON);
                 let a = lo + rng.gen_range(0.0..1.0) * span;
                 let b = lo + rng.gen_range(0.0..1.0) * span;
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                IdeFilter::Range { field: def.name.clone(), lo: a, hi: b }
+                IdeFilter::Range {
+                    field: def.name.clone(),
+                    lo: a,
+                    hi: b,
+                }
             }
         }
     }
@@ -291,7 +305,11 @@ mod tests {
             IdeBenchRunner::new(
                 &table,
                 engine.as_ref(),
-                IdeBenchConfig { seed, interactions: 8, ..Default::default() },
+                IdeBenchConfig {
+                    seed,
+                    interactions: 8,
+                    ..Default::default()
+                },
             )
             .run()
             .unwrap()
@@ -314,7 +332,11 @@ mod tests {
         let log = IdeBenchRunner::new(
             &table,
             engine.as_ref(),
-            IdeBenchConfig { seed: 2, interactions: 10, ..Default::default() },
+            IdeBenchConfig {
+                seed: 2,
+                interactions: 10,
+                ..Default::default()
+            },
         )
         .run()
         .unwrap();
@@ -327,7 +349,11 @@ mod tests {
         let log = IdeBenchRunner::new(
             &table,
             engine.as_ref(),
-            IdeBenchConfig { seed: 7, interactions: 25, ..Default::default() },
+            IdeBenchConfig {
+                seed: 7,
+                interactions: 25,
+                ..Default::default()
+            },
         )
         .run()
         .unwrap();
@@ -350,7 +376,11 @@ mod tests {
         let log = IdeBenchRunner::new(
             &table,
             engine.as_ref(),
-            IdeBenchConfig { seed: 9, interactions: 6, ..Default::default() },
+            IdeBenchConfig {
+                seed: 9,
+                interactions: 6,
+                ..Default::default()
+            },
         )
         .run()
         .unwrap();

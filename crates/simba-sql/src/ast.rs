@@ -165,7 +165,10 @@ impl BinOp {
 
     /// True if the operator is commutative (`a op b` = `b op a`).
     pub fn is_commutative(self) -> bool {
-        matches!(self, BinOp::Or | BinOp::And | BinOp::Eq | BinOp::NotEq | BinOp::Add | BinOp::Mul)
+        matches!(
+            self,
+            BinOp::Or | BinOp::And | BinOp::Eq | BinOp::NotEq | BinOp::Add | BinOp::Mul
+        )
     }
 }
 
@@ -202,12 +205,18 @@ pub enum Func {
 impl Func {
     /// True for `COUNT`, `SUM`, `AVG`, `MIN`, `MAX`.
     pub fn is_aggregate(self) -> bool {
-        matches!(self, Func::Count | Func::Sum | Func::Avg | Func::Min | Func::Max)
+        matches!(
+            self,
+            Func::Count | Func::Sum | Func::Avg | Func::Min | Func::Max
+        )
     }
 
     /// True for the date-part extraction functions.
     pub fn is_date_part(self) -> bool {
-        matches!(self, Func::Year | Func::Month | Func::Day | Func::Hour | Func::DayOfWeek)
+        matches!(
+            self,
+            Func::Year | Func::Month | Func::Day | Func::Hour | Func::DayOfWeek
+        )
     }
 
     /// SQL spelling of the function name.
@@ -261,13 +270,30 @@ pub enum Expr {
     /// Unary operator application.
     Unary { op: UnaryOp, expr: Box<Expr> },
     /// Binary operator application.
-    Binary { left: Box<Expr>, op: BinOp, right: Box<Expr> },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
     /// Function call; `distinct` is only meaningful for aggregates.
-    Function { func: Func, args: Vec<Expr>, distinct: bool },
+    Function {
+        func: Func,
+        args: Vec<Expr>,
+        distinct: bool,
+    },
     /// `expr [NOT] IN (list)`.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
     /// `expr [NOT] BETWEEN low AND high`.
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
     /// `expr IS [NOT] NULL`.
     IsNull { expr: Box<Expr>, negated: bool },
 }
@@ -295,7 +321,11 @@ impl Expr {
 
     /// Convenience constructor for a binary operation.
     pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
-        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// `self AND other`.
@@ -310,12 +340,20 @@ impl Expr {
 
     /// `func(expr)` aggregate call.
     pub fn agg(func: Func, arg: Expr) -> Expr {
-        Expr::Function { func, args: vec![arg], distinct: false }
+        Expr::Function {
+            func,
+            args: vec![arg],
+            distinct: false,
+        }
     }
 
     /// `COUNT(*)`.
     pub fn count_star() -> Expr {
-        Expr::Function { func: Func::Count, args: vec![Expr::Wildcard], distinct: false }
+        Expr::Function {
+            func: Func::Count,
+            args: vec![Expr::Wildcard],
+            distinct: false,
+        }
     }
 
     /// `expr IN (values)` where values are string literals.
@@ -340,9 +378,9 @@ impl Expr {
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::Column(_) | Expr::Literal(_) | Expr::Wildcard => false,
         }
@@ -369,7 +407,9 @@ impl Expr {
                     e.collect_columns(out);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.collect_columns(out);
                 low.collect_columns(out);
                 high.collect_columns(out);
@@ -392,7 +432,12 @@ impl Expr {
     pub fn conjuncts(&self) -> Vec<&Expr> {
         let mut out = Vec::new();
         fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-            if let Expr::Binary { left, op: BinOp::And, right } = e {
+            if let Expr::Binary {
+                left,
+                op: BinOp::And,
+                right,
+            } = e
+            {
                 walk(left, out);
                 walk(right, out);
             } else {
@@ -424,7 +469,10 @@ impl SelectItem {
 
     /// An item with an alias (`expr AS alias`).
     pub fn aliased(expr: Expr, alias: impl Into<String>) -> Self {
-        Self { expr, alias: Some(alias.into()) }
+        Self {
+            expr,
+            alias: Some(alias.into()),
+        }
     }
 
     /// The output column name: the alias if present, otherwise the canonical
@@ -502,7 +550,10 @@ impl Select {
 
     /// Top-level conjuncts of the WHERE clause (empty when absent).
     pub fn filters(&self) -> Vec<&Expr> {
-        self.where_clause.as_ref().map(|w| w.conjuncts()).unwrap_or_default()
+        self.where_clause
+            .as_ref()
+            .map(|w| w.conjuncts())
+            .unwrap_or_default()
     }
 
     /// Add one conjunct to the WHERE clause.
@@ -563,10 +614,7 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let q = Select::new(
-            "t",
-            vec![SelectItem::bare(Expr::count_star())],
-        );
+        let q = Select::new("t", vec![SelectItem::bare(Expr::count_star())]);
         assert!(q.is_aggregate_query());
         let q2 = Select::new("t", vec![SelectItem::bare(Expr::col("a"))]);
         assert!(!q2.is_aggregate_query());

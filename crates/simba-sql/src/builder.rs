@@ -23,12 +23,16 @@ impl Select {
 impl SelectBuilder {
     /// Start building a query over `table`.
     pub fn new(table: impl Into<String>) -> Self {
-        Self { select: Select::new(table, Vec::new()) }
+        Self {
+            select: Select::new(table, Vec::new()),
+        }
     }
 
     /// Project a bare column.
     pub fn column(mut self, name: impl Into<String>) -> Self {
-        self.select.projections.push(SelectItem::bare(Expr::col(name.into())));
+        self.select
+            .projections
+            .push(SelectItem::bare(Expr::col(name.into())));
         self
     }
 
@@ -40,19 +44,25 @@ impl SelectBuilder {
 
     /// Project an expression with an alias.
     pub fn project_as(mut self, expr: Expr, alias: impl Into<String>) -> Self {
-        self.select.projections.push(SelectItem::aliased(expr, alias));
+        self.select
+            .projections
+            .push(SelectItem::aliased(expr, alias));
         self
     }
 
     /// Project `agg(column)`.
     pub fn aggregate(mut self, func: Func, column: impl Into<String>) -> Self {
-        self.select.projections.push(SelectItem::bare(Expr::agg(func, Expr::col(column.into()))));
+        self.select
+            .projections
+            .push(SelectItem::bare(Expr::agg(func, Expr::col(column.into()))));
         self
     }
 
     /// Project `COUNT(*)`.
     pub fn count_star(mut self) -> Self {
-        self.select.projections.push(SelectItem::bare(Expr::count_star()));
+        self.select
+            .projections
+            .push(SelectItem::bare(Expr::count_star()));
         self
     }
 
@@ -64,7 +74,11 @@ impl SelectBuilder {
 
     /// Add `column = value` to the WHERE clause.
     pub fn filter_eq(self, column: &str, value: Literal) -> Self {
-        self.filter(Expr::binary(Expr::col(column), BinOp::Eq, Expr::Literal(value)))
+        self.filter(Expr::binary(
+            Expr::col(column),
+            BinOp::Eq,
+            Expr::Literal(value),
+        ))
     }
 
     /// Add `column IN (values)` to the WHERE clause.
@@ -137,7 +151,10 @@ mod tests {
         let q = Select::builder("customer_service")
             .column("hour")
             .project_as(Expr::count_star(), "call_volume")
-            .project_as(Expr::agg(Func::Sum, Expr::col("abandoned")), "call_abandonment")
+            .project_as(
+                Expr::agg(Func::Sum, Expr::col("abandoned")),
+                "call_abandonment",
+            )
             .group_by("hour")
             .build();
         assert_eq!(

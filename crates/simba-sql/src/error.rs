@@ -13,13 +13,20 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
-        Self { offset, message: message.into() }
+        Self {
+            offset,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

@@ -146,7 +146,10 @@ impl Domain {
             // (members rejected by self's own interval/exclusions make the
             // effective domain smaller — possibly empty, which is contained
             // in everything).
-            return allowed.iter().filter(|v| self.admits(v)).all(|v| other.admits(v));
+            return allowed
+                .iter()
+                .filter(|v| self.admits(v))
+                .all(|v| other.admits(v));
         }
 
         // `self` is interval/exclusion-shaped. `other` must not require a
@@ -304,10 +307,16 @@ fn absorb_atom(atom: &Expr, map: &mut DomainMap) -> Option<()> {
             }
             Some(())
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let mut values = BTreeSet::new();
             for item in list {
-                let Expr::Literal(lit) = item else { return None };
+                let Expr::Literal(lit) = item else {
+                    return None;
+                };
                 values.insert(lit.clone());
             }
             let key = print_expr(expr);
@@ -338,14 +347,26 @@ fn absorb_atom(atom: &Expr, map: &mut DomainMap) -> Option<()> {
             let mut values = BTreeSet::new();
             for d in disjuncts {
                 let (k, v) = match d {
-                    Expr::Binary { left, op: BinOp::Eq, right } => {
-                        let Expr::Literal(lit) = right.as_ref() else { return None };
+                    Expr::Binary {
+                        left,
+                        op: BinOp::Eq,
+                        right,
+                    } => {
+                        let Expr::Literal(lit) = right.as_ref() else {
+                            return None;
+                        };
                         (print_expr(left), vec![lit.clone()])
                     }
-                    Expr::InList { expr, list, negated: false } => {
+                    Expr::InList {
+                        expr,
+                        list,
+                        negated: false,
+                    } => {
                         let mut vs = Vec::with_capacity(list.len());
                         for item in list {
-                            let Expr::Literal(lit) = item else { return None };
+                            let Expr::Literal(lit) = item else {
+                                return None;
+                            };
                             vs.push(lit.clone());
                         }
                         (print_expr(expr), vs)
@@ -368,7 +389,12 @@ fn absorb_atom(atom: &Expr, map: &mut DomainMap) -> Option<()> {
 }
 
 fn collect_disjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-    if let Expr::Binary { left, op: BinOp::Or, right } = e {
+    if let Expr::Binary {
+        left,
+        op: BinOp::Or,
+        right,
+    } = e
+    {
         collect_disjuncts(left, out);
         collect_disjuncts(right, out);
     } else {
@@ -379,8 +405,12 @@ fn collect_disjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
 /// Does `p ⇒ q` hold? Sound: `true` is always correct; `false` may mean
 /// "could not prove".
 pub fn implies(p: &Expr, q: &Expr) -> bool {
-    let Some(dp) = compile_conjunction(p) else { return false };
-    let Some(dq) = compile_conjunction(q) else { return false };
+    let Some(dp) = compile_conjunction(p) else {
+        return false;
+    };
+    let Some(dq) = compile_conjunction(q) else {
+        return false;
+    };
     domains_imply(&dp, &dq)
 }
 
@@ -427,7 +457,12 @@ mod tests {
 
     #[test]
     fn reflexive() {
-        for s in ["x = 1", "q IN ('A', 'B')", "x > 3 AND y <= 2", "x IS NOT NULL"] {
+        for s in [
+            "x = 1",
+            "q IN ('A', 'B')",
+            "x > 3 AND y <= 2",
+            "x IS NOT NULL",
+        ] {
             assert!(imp(s, s), "`{s}` should imply itself");
         }
     }

@@ -36,9 +36,8 @@ pub mod printer;
 pub mod similarity;
 pub mod token;
 
-pub use ast::{
-    BinOp, Expr, Func, Literal, OrderByExpr, Select, SelectItem, UnaryOp,
-};
+pub use ast::{BinOp, Expr, Func, Literal, OrderByExpr, Select, SelectItem, UnaryOp};
 pub use builder::SelectBuilder;
 pub use error::{ParseError, SqlError};
+pub use normalize::{query_cache_key, NormalizedSelect};
 pub use parser::{parse_expr, parse_select};

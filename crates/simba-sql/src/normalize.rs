@@ -54,8 +54,11 @@ impl NormalizedSelect {
             Some(w) => normalized_conjuncts(w),
             None => BTreeSet::new(),
         };
-        let group_by =
-            q.group_by.iter().map(|g| print_expr(&normalize_expr(g))).collect();
+        let group_by = q
+            .group_by
+            .iter()
+            .map(|g| print_expr(&normalize_expr(g)))
+            .collect();
         let having = match &q.having {
             Some(h) => normalized_conjuncts(h),
             None => BTreeSet::new(),
@@ -80,10 +83,100 @@ impl NormalizedSelect {
     }
 }
 
+impl NormalizedSelect {
+    /// Render the normal form as one stable string. Note that this is the
+    /// *semantic* form: projections are an alias-dropping, order-insensitive
+    /// set, so it identifies queries retrieving the same data, not queries
+    /// producing identical result shapes — use [`query_cache_key`] for
+    /// result caching.
+    pub fn cache_key(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let mut join = |section: &str, parts: &mut dyn Iterator<Item = &String>| {
+            out.push_str(section);
+            out.push('{');
+            let mut first = true;
+            for p in parts {
+                if !first {
+                    out.push('\u{1f}');
+                }
+                first = false;
+                out.push_str(p);
+            }
+            out.push('}');
+        };
+        join("t", &mut std::iter::once(&self.table));
+        join("p", &mut self.projections.iter());
+        join("w", &mut self.conjuncts.iter());
+        join("g", &mut self.group_by.iter());
+        join("h", &mut self.having.iter());
+        join("o", &mut self.order_by.iter());
+        match self.limit {
+            Some(l) => out.push_str(&format!("l{{{l}}}")),
+            None => out.push_str("l{}"),
+        }
+        out
+    }
+}
+
+/// Cache key for a query's *results*: the semantic normal form plus the
+/// output shape (the ordered, aliased projection list). Two queries share a
+/// key iff a cached [`ResultSet`](simba_store) for one can be returned
+/// verbatim for the other — same rows in the same columns under the same
+/// names. Spelling noise (case, whitespace, conjunct order, folded
+/// constants) still collapses; projection reordering, duplication, or
+/// re-aliasing — which change the result's column layout — does not.
+///
+/// This is the key the driver's sharded result cache uses, so equivalent
+/// queries issued by different users share one cached result.
+pub fn query_cache_key(q: &Select) -> String {
+    let mut out = NormalizedSelect::from_select(q).cache_key();
+    // Output shape: projection expressions in query order with aliases. The
+    // *original* (unnormalized) print is used because it is what names the
+    // output column; identifier case folds away (all name consumers in this
+    // workspace compare case-insensitively) but string-literal case is data
+    // and must stay significant.
+    out.push_str("s{");
+    for (i, item) in q.projections.iter().enumerate() {
+        if i > 0 {
+            out.push('\u{1f}');
+        }
+        out.push_str(&fold_case_outside_strings(&print_expr(&item.expr)));
+        if let Some(alias) = &item.alias {
+            out.push('\u{1e}');
+            out.push_str(&alias.to_ascii_lowercase());
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Lowercase everything except the interiors of single-quoted SQL string
+/// literals. (An escaped quote `''` toggles the flag twice, landing back in
+/// the literal, so it is handled correctly.)
+fn fold_case_outside_strings(s: &str) -> String {
+    let mut in_string = false;
+    s.chars()
+        .map(|c| {
+            if c == '\'' {
+                in_string = !in_string;
+                c
+            } else if in_string {
+                c
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect()
+}
+
 /// Normalize a predicate into its canonical conjunct set.
 pub fn normalized_conjuncts(pred: &Expr) -> BTreeSet<String> {
     let normalized = normalize_expr(pred);
-    normalized.conjuncts().iter().map(|c| print_expr(c)).collect()
+    normalized
+        .conjuncts()
+        .iter()
+        .map(|c| print_expr(c))
+        .collect()
 }
 
 /// Normalize an expression tree (see module docs for the rewrite list).
@@ -109,33 +202,48 @@ fn lower_idents(e: &Expr) -> Expr {
 fn map_expr(e: &Expr, f: &impl Fn(Expr) -> Expr) -> Expr {
     let rebuilt = match e {
         Expr::Column(_) | Expr::Literal(_) | Expr::Wildcard => e.clone(),
-        Expr::Unary { op, expr } => {
-            Expr::Unary { op: *op, expr: Box::new(map_expr(expr, f)) }
-        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(map_expr(expr, f)),
+        },
         Expr::Binary { left, op, right } => Expr::Binary {
             left: Box::new(map_expr(left, f)),
             op: *op,
             right: Box::new(map_expr(right, f)),
         },
-        Expr::Function { func, args, distinct } => Expr::Function {
+        Expr::Function {
+            func,
+            args,
+            distinct,
+        } => Expr::Function {
             func: *func,
             args: args.iter().map(|a| map_expr(a, f)).collect(),
             distinct: *distinct,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(map_expr(expr, f)),
             list: list.iter().map(|a| map_expr(a, f)).collect(),
             negated: *negated,
         },
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(map_expr(expr, f)),
             low: Box::new(map_expr(low, f)),
             high: Box::new(map_expr(high, f)),
             negated: *negated,
         },
-        Expr::IsNull { expr, negated } => {
-            Expr::IsNull { expr: Box::new(map_expr(expr, f)), negated: *negated }
-        }
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(map_expr(expr, f)),
+            negated: *negated,
+        },
     };
     f(rebuilt)
 }
@@ -144,17 +252,20 @@ fn map_expr(e: &Expr, f: &impl Fn(Expr) -> Expr) -> Expr {
 /// surround the current node.
 fn push_not(e: &Expr, negate: bool) -> Expr {
     match e {
-        Expr::Unary { op: UnaryOp::Not, expr } => push_not(expr, !negate),
-        Expr::Binary { left, op: BinOp::And, right } if negate => Expr::binary(
-            push_not(left, true),
-            BinOp::Or,
-            push_not(right, true),
-        ),
-        Expr::Binary { left, op: BinOp::Or, right } if negate => Expr::binary(
-            push_not(left, true),
-            BinOp::And,
-            push_not(right, true),
-        ),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => push_not(expr, !negate),
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } if negate => Expr::binary(push_not(left, true), BinOp::Or, push_not(right, true)),
+        Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } if negate => Expr::binary(push_not(left, true), BinOp::And, push_not(right, true)),
         Expr::Binary { left, op, right } if op.is_comparison() && negate => {
             let flipped = match op {
                 BinOp::Eq => BinOp::NotEq,
@@ -168,11 +279,14 @@ fn push_not(e: &Expr, negate: bool) -> Expr {
             Expr::binary(push_not(left, false), flipped, push_not(right, false))
         }
         Expr::Binary { left, op, right } => {
-            let rebuilt =
-                Expr::binary(push_not(left, false), *op, push_not(right, false));
+            let rebuilt = Expr::binary(push_not(left, false), *op, push_not(right, false));
             wrap_not(rebuilt, negate)
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let rebuilt = Expr::InList {
                 expr: Box::new(push_not(expr, false)),
                 list: list.iter().map(|x| push_not(x, false)).collect(),
@@ -180,7 +294,12 @@ fn push_not(e: &Expr, negate: bool) -> Expr {
             };
             rebuilt
         }
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(push_not(expr, false)),
             low: Box::new(push_not(low, false)),
             high: Box::new(push_not(high, false)),
@@ -197,7 +316,10 @@ fn push_not(e: &Expr, negate: bool) -> Expr {
 
 fn wrap_not(e: Expr, negate: bool) -> Expr {
     if negate {
-        Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(e),
+        }
     } else {
         e
     }
@@ -240,25 +362,36 @@ fn fold_constants(e: &Expr) -> Expr {
 fn rewrite_structures(e: &Expr) -> Expr {
     map_expr(e, &|node| match node {
         // Orient comparisons expression-first.
-        Expr::Binary { ref left, op, ref right }
-            if op.is_comparison()
-                && matches!(left.as_ref(), Expr::Literal(_))
-                && !matches!(right.as_ref(), Expr::Literal(_)) =>
+        Expr::Binary {
+            ref left,
+            op,
+            ref right,
+        } if op.is_comparison()
+            && matches!(left.as_ref(), Expr::Literal(_))
+            && !matches!(right.as_ref(), Expr::Literal(_)) =>
         {
             Expr::binary(right.as_ref().clone(), op.flip(), left.as_ref().clone())
         }
         // Single-element IN becomes equality / inequality.
-        Expr::InList { ref expr, ref list, negated } if list.len() == 1 => Expr::binary(
+        Expr::InList {
+            ref expr,
+            ref list,
+            negated,
+        } if list.len() == 1 => Expr::binary(
             expr.as_ref().clone(),
             if negated { BinOp::NotEq } else { BinOp::Eq },
             list[0].clone(),
         ),
         // Empty IN list is always false (empty NOT IN is always true).
-        Expr::InList { ref list, negated, .. } if list.is_empty() => {
-            Expr::Literal(Literal::Bool(negated))
-        }
+        Expr::InList {
+            ref list, negated, ..
+        } if list.is_empty() => Expr::Literal(Literal::Bool(negated)),
         // Deduplicate and sort IN lists of literals.
-        Expr::InList { expr, mut list, negated } => {
+        Expr::InList {
+            expr,
+            mut list,
+            negated,
+        } => {
             if list.iter().all(|x| matches!(x, Expr::Literal(_))) {
                 list.sort_by_key(print_expr);
                 list.dedup();
@@ -270,10 +403,19 @@ fn rewrite_structures(e: &Expr) -> Expr {
                     );
                 }
             }
-            Expr::InList { expr, list, negated }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            }
         }
         // BETWEEN lowers to range conjuncts; NOT BETWEEN to a disjunction.
-        Expr::Between { ref expr, ref low, ref high, negated } => {
+        Expr::Between {
+            ref expr,
+            ref low,
+            ref high,
+            negated,
+        } => {
             let ge = Expr::binary(expr.as_ref().clone(), BinOp::GtEq, low.as_ref().clone());
             let le = Expr::binary(expr.as_ref().clone(), BinOp::LtEq, high.as_ref().clone());
             if negated {
@@ -287,10 +429,22 @@ fn rewrite_structures(e: &Expr) -> Expr {
             }
         }
         // SUM(x) / COUNT(x) and SUM(x) / COUNT(*) canonicalize to AVG(x).
-        Expr::Binary { ref left, op: BinOp::Div, ref right } => {
+        Expr::Binary {
+            ref left,
+            op: BinOp::Div,
+            ref right,
+        } => {
             if let (
-                Expr::Function { func: Func::Sum, args: sum_args, distinct: false },
-                Expr::Function { func: Func::Count, args: count_args, distinct: false },
+                Expr::Function {
+                    func: Func::Sum,
+                    args: sum_args,
+                    distinct: false,
+                },
+                Expr::Function {
+                    func: Func::Count,
+                    args: count_args,
+                    distinct: false,
+                },
             ) = (left.as_ref(), right.as_ref())
             {
                 let count_matches = count_args.len() == 1
@@ -311,9 +465,11 @@ fn rewrite_structures(e: &Expr) -> Expr {
 
 fn sort_commutative(e: &Expr) -> Expr {
     map_expr(e, &|node| match node {
-        Expr::Binary { ref left, op, ref right }
-            if op.is_commutative() && !matches!(op, BinOp::Eq | BinOp::NotEq) =>
-        {
+        Expr::Binary {
+            ref left,
+            op,
+            ref right,
+        } if op.is_commutative() && !matches!(op, BinOp::Eq | BinOp::NotEq) => {
             // Flatten the whole same-operator subtree, sort by canonical
             // print, and rebuild left-deep.
             let mut leaves = Vec::new();
@@ -468,5 +624,64 @@ mod tests {
             let twice = normalize_expr(&once);
             assert_eq!(once, twice, "not idempotent for `{s}`");
         }
+    }
+
+    #[test]
+    fn cache_key_matches_for_equivalent_queries() {
+        let a = parse_select("SELECT queue, COUNT(*) FROM cs WHERE a = 1 AND b = 2 GROUP BY queue")
+            .unwrap();
+        let b =
+            parse_select("select Queue, count( * ) from CS where b = 2 and a = 1 group by QUEUE")
+                .unwrap();
+        assert_eq!(crate::query_cache_key(&a), crate::query_cache_key(&b));
+    }
+
+    #[test]
+    fn cache_key_differs_for_different_queries() {
+        let a = parse_select("SELECT x FROM t WHERE a = 1").unwrap();
+        let b = parse_select("SELECT x FROM t WHERE a = 2").unwrap();
+        let c = parse_select("SELECT x FROM t WHERE a = 1 LIMIT 5").unwrap();
+        assert_ne!(crate::query_cache_key(&a), crate::query_cache_key(&b));
+        assert_ne!(crate::query_cache_key(&a), crate::query_cache_key(&c));
+    }
+
+    #[test]
+    fn cache_key_sections_prevent_cross_clause_collisions() {
+        // A conjunct moving between WHERE and HAVING must change the key.
+        let a = parse_select("SELECT q, COUNT(*) FROM t WHERE n > 1 GROUP BY q").unwrap();
+        let b = parse_select("SELECT q, COUNT(*) FROM t GROUP BY q HAVING n > 1").unwrap();
+        assert_ne!(crate::query_cache_key(&a), crate::query_cache_key(&b));
+    }
+
+    #[test]
+    fn cache_key_pins_the_result_shape() {
+        // Reordered, duplicated, or re-aliased projections produce results
+        // with different column layouts, so they must not share a key even
+        // though their semantic normal forms coincide.
+        let key = |s: &str| crate::query_cache_key(&parse_select(s).unwrap());
+        let base = key("SELECT queue, COUNT(*) FROM cs GROUP BY queue");
+        assert_ne!(
+            base,
+            key("SELECT COUNT(*), queue FROM cs GROUP BY queue"),
+            "reorder"
+        );
+        assert_ne!(
+            key("SELECT queue FROM cs"),
+            key("SELECT queue, queue FROM cs"),
+            "dup"
+        );
+        assert_ne!(
+            base,
+            key("SELECT queue, COUNT(*) AS n FROM cs GROUP BY queue"),
+            "alias"
+        );
+        // AVG vs SUM/COUNT retrieve the same data but name the output
+        // column differently — observably distinct results.
+        assert_ne!(
+            key("SELECT AVG(calls) FROM cs"),
+            key("SELECT SUM(calls) / COUNT(calls) FROM cs")
+        );
+        // String-literal case is data, not spelling.
+        assert_ne!(key("SELECT 'A', 'a' FROM t"), key("SELECT 'a', 'A' FROM t"));
     }
 }

@@ -85,7 +85,11 @@ impl Parser {
         } else {
             Err(ParseError::new(
                 self.offset(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -137,7 +141,11 @@ impl Parser {
         self.expect_keyword("FROM")?;
         let from = self.ident()?;
 
-        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
@@ -150,7 +158,11 @@ impl Parser {
             }
         }
 
-        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut order_by = Vec::new();
         if self.eat_keyword("ORDER") {
@@ -176,7 +188,10 @@ impl Parser {
                 other => {
                     return Err(ParseError::new(
                         self.offset(),
-                        format!("expected non-negative integer after LIMIT, found {}", other.describe()),
+                        format!(
+                            "expected non-negative integer after LIMIT, found {}",
+                            other.describe()
+                        ),
                     ))
                 }
             }
@@ -184,7 +199,15 @@ impl Parser {
             None
         };
 
-        Ok(Select { projections, from, where_clause, group_by, having, order_by, limit })
+        Ok(Select {
+            projections,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -212,7 +235,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
         if self.eat_keyword("NOT") {
             let inner = self.not_expr()?;
-            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
         } else {
             self.comparison()
         }
@@ -226,7 +252,10 @@ impl Parser {
             self.advance();
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
 
         // [NOT] IN / [NOT] BETWEEN
@@ -259,7 +288,11 @@ impl Parser {
                 }
             }
             self.expect(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
 
         if self.eat_keyword("BETWEEN") {
@@ -275,7 +308,10 @@ impl Parser {
         }
 
         if negated {
-            return Err(ParseError::new(self.offset(), "expected IN or BETWEEN after NOT"));
+            return Err(ParseError::new(
+                self.offset(),
+                "expected IN or BETWEEN after NOT",
+            ));
         }
 
         let op = match self.peek() {
@@ -329,7 +365,10 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
                 Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
-                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         self.primary()
@@ -391,7 +430,11 @@ impl Parser {
                         }
                     }
                     self.expect(&TokenKind::RParen)?;
-                    return Ok(Expr::Function { func, args, distinct });
+                    return Ok(Expr::Function {
+                        func,
+                        args,
+                        distinct,
+                    });
                 }
                 Ok(Expr::Column(name))
             }
@@ -450,7 +493,11 @@ mod tests {
     fn parses_count_distinct() {
         let e = parse_expr("COUNT(DISTINCT rep_id)").unwrap();
         match e {
-            Expr::Function { func: Func::Count, distinct, .. } => assert!(distinct),
+            Expr::Function {
+                func: Func::Count,
+                distinct,
+                ..
+            } => assert!(distinct),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -473,15 +520,24 @@ mod tests {
 
     #[test]
     fn parses_is_null_variants() {
-        assert!(matches!(parse_expr("x IS NULL").unwrap(), Expr::IsNull { negated: false, .. }));
-        assert!(matches!(parse_expr("x IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
+        assert!(matches!(
+            parse_expr("x IS NULL").unwrap(),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x IS NOT NULL").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
     }
 
     #[test]
     fn not_binds_looser_than_comparison() {
         let e = parse_expr("NOT x = 1").unwrap();
         match e {
-            Expr::Unary { op: UnaryOp::Not, expr } => {
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => {
                 assert!(matches!(*expr, Expr::Binary { op: BinOp::Eq, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -492,7 +548,11 @@ mod tests {
     fn and_binds_tighter_than_or() {
         let e = parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Or, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -503,7 +563,11 @@ mod tests {
     fn arithmetic_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -561,7 +625,11 @@ mod tests {
     fn parenthesized_or_inside_and() {
         let e = parse_expr("(a = 1 OR a = 2) AND b = 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::And, left, .. } => {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                ..
+            } => {
                 assert!(matches!(*left, Expr::Binary { op: BinOp::Or, .. }));
             }
             other => panic!("unexpected {other:?}"),

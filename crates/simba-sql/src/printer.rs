@@ -10,18 +10,23 @@ use std::fmt::Write;
 
 /// Reserved words that must be quoted when used as identifiers.
 const KEYWORDS: &[&str] = &[
-    "select", "from", "where", "group", "by", "having", "order", "limit", "as", "and", "or",
-    "not", "in", "between", "is", "null", "true", "false", "asc", "desc", "distinct",
+    "select", "from", "where", "group", "by", "having", "order", "limit", "as", "and", "or", "not",
+    "in", "between", "is", "null", "true", "false", "asc", "desc", "distinct",
 ];
 
 /// Does an identifier need double-quoting to re-parse as itself?
 fn needs_quoting(name: &str) -> bool {
     let mut chars = name.chars();
-    let first_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    let first_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
     if !first_ok {
         return true;
     }
-    if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
         return true;
     }
     KEYWORDS.iter().any(|k| name.eq_ignore_ascii_case(k))
@@ -157,7 +162,11 @@ fn write_expr(e: &Expr, parent: Prec, out: &mut String) {
                 out.push(')');
             }
         }
-        Expr::Function { func, args, distinct } => {
+        Expr::Function {
+            func,
+            args,
+            distinct,
+        } => {
             out.push_str(func.name());
             out.push('(');
             if *distinct {
@@ -171,7 +180,11 @@ fn write_expr(e: &Expr, parent: Prec, out: &mut String) {
             }
             out.push(')');
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let needs = Prec::Cmp < parent;
             if needs {
                 out.push('(');
@@ -189,13 +202,22 @@ fn write_expr(e: &Expr, parent: Prec, out: &mut String) {
                 out.push(')');
             }
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let needs = Prec::Cmp < parent;
             if needs {
                 out.push('(');
             }
             write_expr(expr, Prec::Add, out);
-            out.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+            out.push_str(if *negated {
+                " NOT BETWEEN "
+            } else {
+                " BETWEEN "
+            });
             write_expr(low, Prec::Add, out);
             out.push_str(" AND ");
             write_expr(high, Prec::Add, out);
@@ -268,14 +290,20 @@ mod tests {
         let e = parse_expr(input).unwrap();
         let printed = print_expr(&e);
         let reparsed = parse_expr(&printed).unwrap();
-        assert_eq!(e, reparsed, "round-trip failed for `{input}` -> `{printed}`");
+        assert_eq!(
+            e, reparsed,
+            "round-trip failed for `{input}` -> `{printed}`"
+        );
     }
 
     fn roundtrip_select(input: &str) {
         let q = parse_select(input).unwrap();
         let printed = print_select(&q);
         let reparsed = parse_select(&printed).unwrap();
-        assert_eq!(q, reparsed, "round-trip failed for `{input}` -> `{printed}`");
+        assert_eq!(
+            q, reparsed,
+            "round-trip failed for `{input}` -> `{printed}`"
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn canonicalization_collapses_whitespace() {
-        assert_eq!(canonicalize_text("  SELECT   a\n FROM\tt "), "select a from t");
+        assert_eq!(
+            canonicalize_text("  SELECT   a\n FROM\tt "),
+            "select a from t"
+        );
     }
 
     #[test]

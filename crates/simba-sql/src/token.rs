@@ -80,23 +80,38 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'-' => {
@@ -106,21 +121,33 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                         i += 1;
                     }
                 } else {
-                    tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "unexpected `!`"));
@@ -128,30 +155,48 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
             }
             b'<' => match bytes.get(i + 1) {
                 Some(b'=') => {
-                    tokens.push(Token { kind: TokenKind::LtEq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        offset: i,
+                    });
                     i += 2;
                 }
                 Some(b'>') => {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: i,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             },
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::GtEq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'\'' => {
                 let (s, next) = lex_string(input, i)?;
-                tokens.push(Token { kind: TokenKind::Str(s), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: i,
+                });
                 i = next;
             }
             b'0'..=b'9' => {
@@ -206,7 +251,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
         }
     }
 
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
@@ -276,7 +324,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

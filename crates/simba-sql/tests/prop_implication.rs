@@ -27,20 +27,24 @@ enum RowValue {
 /// implication engine reasons about.
 fn eval(pred: &Expr, row: &Row) -> Option<bool> {
     match pred {
-        Expr::Binary { left, op: BinOp::And, right } => {
-            match (eval(left, row), eval(right, row)) {
-                (Some(false), _) | (_, Some(false)) => Some(false),
-                (Some(true), Some(true)) => Some(true),
-                _ => None,
-            }
-        }
-        Expr::Binary { left, op: BinOp::Or, right } => {
-            match (eval(left, row), eval(right, row)) {
-                (Some(true), _) | (_, Some(true)) => Some(true),
-                (Some(false), Some(false)) => Some(false),
-                _ => None,
-            }
-        }
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => match (eval(left, row), eval(right, row)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => match (eval(left, row), eval(right, row)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
         Expr::Binary { left, op, right } if op.is_comparison() => {
             let lv = value_of(left, row)?;
             let rv = lit_value(right)?;
@@ -58,12 +62,21 @@ fn eval(pred: &Expr, row: &Row) -> Option<bool> {
                 }),
             }
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = value_of(expr, row)?;
             let found = list.iter().filter_map(lit_value).any(|lv| v == lv);
             Some(found != *negated)
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = value_of(expr, row)?;
             let lo = lit_value(low)?;
             let hi = lit_value(high)?;
@@ -72,7 +85,9 @@ fn eval(pred: &Expr, row: &Row) -> Option<bool> {
             Some(inside != *negated)
         }
         Expr::IsNull { expr, negated } => {
-            let Expr::Column(name) = expr.as_ref() else { return None };
+            let Expr::Column(name) = expr.as_ref() else {
+                return None;
+            };
             let is_null = row.get(name.as_str()).is_none_or(Option::is_none);
             Some(is_null != *negated)
         }
@@ -112,12 +127,25 @@ fn atom_strategy() -> impl Strategy<Value = Expr> {
     let col = proptest::sample::select(COLUMNS);
     prop_oneof![
         // numeric comparison
-        (col.clone(), -5i64..5, proptest::sample::select(vec![
-            BinOp::Eq, BinOp::NotEq, BinOp::Lt, BinOp::LtEq, BinOp::Gt, BinOp::GtEq,
-        ]))
+        (
+            col.clone(),
+            -5i64..5,
+            proptest::sample::select(vec![
+                BinOp::Eq,
+                BinOp::NotEq,
+                BinOp::Lt,
+                BinOp::LtEq,
+                BinOp::Gt,
+                BinOp::GtEq,
+            ])
+        )
             .prop_map(|(c, v, op)| Expr::binary(Expr::col(c), op, Expr::int(v))),
         // string membership
-        (col.clone(), proptest::sample::subsequence(STRINGS.to_vec(), 1..=3), any::<bool>())
+        (
+            col.clone(),
+            proptest::sample::subsequence(STRINGS.to_vec(), 1..=3),
+            any::<bool>()
+        )
             .prop_map(|(c, vs, neg)| Expr::InList {
                 expr: Box::new(Expr::col(c)),
                 list: vs.into_iter().map(Expr::str).collect(),
@@ -152,13 +180,18 @@ fn row_value_strategy() -> impl Strategy<Value = Option<RowValue>> {
 }
 
 fn row_strategy() -> impl Strategy<Value = Row> {
-    (row_value_strategy(), row_value_strategy(), row_value_strategy()).prop_map(|(a, b, c)| {
-        let mut row = HashMap::new();
-        row.insert("a", a);
-        row.insert("b", b);
-        row.insert("c", c);
-        row
-    })
+    (
+        row_value_strategy(),
+        row_value_strategy(),
+        row_value_strategy(),
+    )
+        .prop_map(|(a, b, c)| {
+            let mut row = HashMap::new();
+            row.insert("a", a);
+            row.insert("b", b);
+            row.insert("c", c);
+            row
+        })
 }
 
 proptest! {

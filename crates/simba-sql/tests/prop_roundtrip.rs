@@ -27,14 +27,27 @@ fn scalar_strategy() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![literal_strategy(), column_strategy()];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), proptest::sample::select(vec![
-                BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div,
-            ]))
+            (
+                inner.clone(),
+                inner.clone(),
+                proptest::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div,])
+            )
                 .prop_map(|(l, r, op)| Expr::binary(l, op, r)),
-            (inner.clone(), proptest::sample::select(vec![
-                Func::Hour, Func::Day, Func::Month, Func::Year, Func::Abs,
-            ]))
-                .prop_map(|(e, f)| Expr::Function { func: f, args: vec![e], distinct: false }),
+            (
+                inner.clone(),
+                proptest::sample::select(vec![
+                    Func::Hour,
+                    Func::Day,
+                    Func::Month,
+                    Func::Year,
+                    Func::Abs,
+                ])
+            )
+                .prop_map(|(e, f)| Expr::Function {
+                    func: f,
+                    args: vec![e],
+                    distinct: false
+                }),
             inner,
         ]
     })
@@ -43,11 +56,24 @@ fn scalar_strategy() -> impl Strategy<Value = Expr> {
 /// Boolean predicates.
 fn predicate_strategy() -> impl Strategy<Value = Expr> {
     let atom = prop_oneof![
-        (scalar_strategy(), scalar_strategy(), proptest::sample::select(vec![
-            BinOp::Eq, BinOp::NotEq, BinOp::Lt, BinOp::LtEq, BinOp::Gt, BinOp::GtEq,
-        ]))
+        (
+            scalar_strategy(),
+            scalar_strategy(),
+            proptest::sample::select(vec![
+                BinOp::Eq,
+                BinOp::NotEq,
+                BinOp::Lt,
+                BinOp::LtEq,
+                BinOp::Gt,
+                BinOp::GtEq,
+            ])
+        )
             .prop_map(|(l, r, op)| Expr::binary(l, op, r)),
-        (column_strategy(), proptest::collection::vec(literal_strategy(), 1..4), any::<bool>())
+        (
+            column_strategy(),
+            proptest::collection::vec(literal_strategy(), 1..4),
+            any::<bool>()
+        )
             .prop_map(|(c, list, neg)| Expr::InList {
                 expr: Box::new(c),
                 list,
@@ -57,14 +83,18 @@ fn predicate_strategy() -> impl Strategy<Value = Expr> {
             expr: Box::new(c),
             negated: neg,
         }),
-        (column_strategy(), scalar_strategy(), scalar_strategy(), any::<bool>()).prop_map(
-            |(c, lo, hi, neg)| Expr::Between {
+        (
+            column_strategy(),
+            scalar_strategy(),
+            scalar_strategy(),
+            any::<bool>()
+        )
+            .prop_map(|(c, lo, hi, neg)| Expr::Between {
                 expr: Box::new(c),
                 low: Box::new(lo),
                 high: Box::new(hi),
                 negated: neg,
-            }
-        ),
+            }),
     ];
     atom.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
@@ -83,13 +113,19 @@ fn select_strategy() -> impl Strategy<Value = Select> {
         proptest::collection::vec(
             prop_oneof![
                 column_strategy().prop_map(SelectItem::bare),
-                (column_strategy(), proptest::sample::select(vec![
-                    Func::Count, Func::Sum, Func::Avg, Func::Min, Func::Max,
-                ]))
+                (
+                    column_strategy(),
+                    proptest::sample::select(vec![
+                        Func::Count,
+                        Func::Sum,
+                        Func::Avg,
+                        Func::Min,
+                        Func::Max,
+                    ])
+                )
                     .prop_map(|(c, f)| SelectItem::bare(Expr::agg(f, c))),
                 Just(SelectItem::bare(Expr::count_star())),
-                (column_strategy(), "[a-z]{1,5}")
-                    .prop_map(|(c, a)| SelectItem::aliased(c, a)),
+                (column_strategy(), "[a-z]{1,5}").prop_map(|(c, a)| SelectItem::aliased(c, a)),
             ],
             1..5,
         ),
@@ -102,15 +138,17 @@ fn select_strategy() -> impl Strategy<Value = Select> {
             0..2,
         ),
     )
-        .prop_map(|(projections, from, where_clause, group_by, limit, order_by)| Select {
-            projections,
-            from,
-            where_clause,
-            group_by,
-            having: None,
-            order_by,
-            limit,
-        })
+        .prop_map(
+            |(projections, from, where_clause, group_by, limit, order_by)| Select {
+                projections,
+                from,
+                where_clause,
+                group_by,
+                having: None,
+                order_by,
+                limit,
+            },
+        )
 }
 
 proptest! {

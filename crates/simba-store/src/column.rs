@@ -13,10 +13,23 @@ use std::sync::Arc;
 /// "all valid" (the common case allocates nothing).
 #[derive(Debug, Clone)]
 pub enum ColumnData {
-    Int { data: Vec<i64>, valid: Vec<bool> },
-    Float { data: Vec<f64>, valid: Vec<bool> },
-    Bool { data: Vec<bool>, valid: Vec<bool> },
-    Str { dict: Vec<Arc<str>>, codes: Vec<u32>, valid: Vec<bool> },
+    Int {
+        data: Vec<i64>,
+        valid: Vec<bool>,
+    },
+    Float {
+        data: Vec<f64>,
+        valid: Vec<bool>,
+    },
+    Bool {
+        data: Vec<bool>,
+        valid: Vec<bool>,
+    },
+    Str {
+        dict: Vec<Arc<str>>,
+        codes: Vec<u32>,
+        valid: Vec<bool>,
+    },
 }
 
 impl ColumnData {
@@ -86,8 +99,10 @@ impl ColumnData {
                 vs
             }
             _ => {
-                let mut vs: Vec<Value> =
-                    (0..self.len()).filter(|&i| !self.is_null(i)).map(|i| self.value(i)).collect();
+                let mut vs: Vec<Value> = (0..self.len())
+                    .filter(|&i| !self.is_null(i))
+                    .map(|i| self.value(i))
+                    .collect();
                 vs.sort();
                 vs.dedup();
                 vs
@@ -135,10 +150,28 @@ impl ColumnData {
 /// panics (generators are trusted code — schema validation happens upstream).
 #[derive(Debug)]
 pub enum ColumnBuilder {
-    Int { data: Vec<i64>, valid: Vec<bool>, any_null: bool },
-    Float { data: Vec<f64>, valid: Vec<bool>, any_null: bool },
-    Bool { data: Vec<bool>, valid: Vec<bool>, any_null: bool },
-    Str { dict: Vec<Arc<str>>, lookup: HashMap<Arc<str>, u32>, codes: Vec<u32>, valid: Vec<bool>, any_null: bool },
+    Int {
+        data: Vec<i64>,
+        valid: Vec<bool>,
+        any_null: bool,
+    },
+    Float {
+        data: Vec<f64>,
+        valid: Vec<bool>,
+        any_null: bool,
+    },
+    Bool {
+        data: Vec<bool>,
+        valid: Vec<bool>,
+        any_null: bool,
+    },
+    Str {
+        dict: Vec<Arc<str>>,
+        lookup: HashMap<Arc<str>, u32>,
+        codes: Vec<u32>,
+        valid: Vec<bool>,
+        any_null: bool,
+    },
 }
 
 impl ColumnBuilder {
@@ -187,7 +220,14 @@ impl ColumnBuilder {
                 data.push(x);
                 valid.push(true);
             }
-            (ColumnBuilder::Int { data, valid, any_null }, Value::Null) => {
+            (
+                ColumnBuilder::Int {
+                    data,
+                    valid,
+                    any_null,
+                },
+                Value::Null,
+            ) => {
                 data.push(0);
                 valid.push(false);
                 *any_null = true;
@@ -200,7 +240,14 @@ impl ColumnBuilder {
                 data.push(x as f64);
                 valid.push(true);
             }
-            (ColumnBuilder::Float { data, valid, any_null }, Value::Null) => {
+            (
+                ColumnBuilder::Float {
+                    data,
+                    valid,
+                    any_null,
+                },
+                Value::Null,
+            ) => {
                 data.push(0.0);
                 valid.push(false);
                 *any_null = true;
@@ -209,12 +256,28 @@ impl ColumnBuilder {
                 data.push(x);
                 valid.push(true);
             }
-            (ColumnBuilder::Bool { data, valid, any_null }, Value::Null) => {
+            (
+                ColumnBuilder::Bool {
+                    data,
+                    valid,
+                    any_null,
+                },
+                Value::Null,
+            ) => {
                 data.push(false);
                 valid.push(false);
                 *any_null = true;
             }
-            (ColumnBuilder::Str { dict, lookup, codes, valid, .. }, Value::Str(s)) => {
+            (
+                ColumnBuilder::Str {
+                    dict,
+                    lookup,
+                    codes,
+                    valid,
+                    ..
+                },
+                Value::Str(s),
+            ) => {
                 let code = match lookup.get(&s) {
                     Some(&c) => c,
                     None => {
@@ -227,7 +290,15 @@ impl ColumnBuilder {
                 codes.push(code);
                 valid.push(true);
             }
-            (ColumnBuilder::Str { codes, valid, any_null, .. }, Value::Null) => {
+            (
+                ColumnBuilder::Str {
+                    codes,
+                    valid,
+                    any_null,
+                    ..
+                },
+                Value::Null,
+            ) => {
                 codes.push(0);
                 valid.push(false);
                 *any_null = true;
@@ -246,18 +317,41 @@ impl ColumnBuilder {
             }
         }
         match self {
-            ColumnBuilder::Int { data, valid, any_null } => {
-                ColumnData::Int { data, valid: finish_valid(valid, any_null) }
-            }
-            ColumnBuilder::Float { data, valid, any_null } => {
-                ColumnData::Float { data, valid: finish_valid(valid, any_null) }
-            }
-            ColumnBuilder::Bool { data, valid, any_null } => {
-                ColumnData::Bool { data, valid: finish_valid(valid, any_null) }
-            }
-            ColumnBuilder::Str { dict, codes, valid, any_null, .. } => {
-                ColumnData::Str { dict, codes, valid: finish_valid(valid, any_null) }
-            }
+            ColumnBuilder::Int {
+                data,
+                valid,
+                any_null,
+            } => ColumnData::Int {
+                data,
+                valid: finish_valid(valid, any_null),
+            },
+            ColumnBuilder::Float {
+                data,
+                valid,
+                any_null,
+            } => ColumnData::Float {
+                data,
+                valid: finish_valid(valid, any_null),
+            },
+            ColumnBuilder::Bool {
+                data,
+                valid,
+                any_null,
+            } => ColumnData::Bool {
+                data,
+                valid: finish_valid(valid, any_null),
+            },
+            ColumnBuilder::Str {
+                dict,
+                codes,
+                valid,
+                any_null,
+                ..
+            } => ColumnData::Str {
+                dict,
+                codes,
+                valid: finish_valid(valid, any_null),
+            },
         }
     }
 }

@@ -28,7 +28,10 @@ impl ResultSet {
 
     /// An empty result with the given column names.
     pub fn empty(columns: Vec<String>) -> Self {
-        Self { columns, rows: Vec::new() }
+        Self {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -48,19 +51,27 @@ impl ResultSet {
 
     /// Case-insensitive column lookup.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
     }
 
     /// Project onto the named columns (in the given order). `None` if any
     /// column is missing.
     pub fn project(&self, names: &[&str]) -> Option<ResultSet> {
-        let idx: Vec<usize> = names.iter().map(|n| self.column_index(n)).collect::<Option<_>>()?;
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| self.column_index(n))
+            .collect::<Option<_>>()?;
         let rows = self
             .rows
             .iter()
             .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
             .collect();
-        Some(ResultSet::new(names.iter().map(|s| s.to_string()).collect(), rows))
+        Some(ResultSet::new(
+            names.iter().map(|s| s.to_string()).collect(),
+            rows,
+        ))
     }
 
     /// Multiset of rows with multiplicities.
@@ -167,8 +178,11 @@ impl CoverageStore {
     /// How many of `goal`'s rows are covered by *any* absorbed result whose
     /// columns include the goal's columns?
     pub fn covered_rows(&self, goal: &ResultSet) -> usize {
-        let goal_cols: Vec<String> =
-            goal.columns.iter().map(|c| c.to_ascii_lowercase()).collect();
+        let goal_cols: Vec<String> = goal
+            .columns
+            .iter()
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
         let mut best = 0usize;
         for (sig, bag) in &self.seen {
             // Map goal columns into this signature.
@@ -265,7 +279,11 @@ mod tests {
         let seen = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
         let goal = rs(
             &["x"],
-            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)],
+            ],
         );
         assert_eq!(seen.covered_rows(&goal), 2);
         assert!((seen.coverage_fraction(&goal) - 2.0 / 3.0).abs() < 1e-12);
@@ -285,7 +303,10 @@ mod tests {
         // covered by the union of four per-queue filtered queries.
         let mut store = CoverageStore::new();
         for (q, n) in [("A", 5), ("B", 3), ("C", 7), ("D", 1)] {
-            store.absorb(&rs(&["queue", "count"], vec![vec![Value::str(q), Value::Int(n)]]));
+            store.absorb(&rs(
+                &["queue", "count"],
+                vec![vec![Value::str(q), Value::Int(n)]],
+            ));
         }
         let goal = rs(
             &["queue", "count"],
@@ -320,16 +341,16 @@ mod tests {
             &["queue", "hour", "count"],
             vec![vec![Value::str("A"), Value::Int(9), Value::Int(4)]],
         ));
-        let goal = rs(&["count", "queue"], vec![vec![Value::Int(4), Value::str("A")]]);
+        let goal = rs(
+            &["count", "queue"],
+            vec![vec![Value::Int(4), Value::str("A")]],
+        );
         assert!(store.covers(&goal));
     }
 
     #[test]
     fn projection_reorders_columns() {
-        let a = rs(
-            &["a", "b"],
-            vec![vec![Value::Int(1), Value::Int(2)]],
-        );
+        let a = rs(&["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]);
         let p = a.project(&["b", "a"]).unwrap();
         assert_eq!(p.rows[0], vec![Value::Int(2), Value::Int(1)]);
         assert!(a.project(&["missing"]).is_none());

@@ -48,7 +48,11 @@ pub struct ColumnDef {
 
 impl ColumnDef {
     pub fn new(name: impl Into<String>, data_type: DataType, role: ColumnRole) -> Self {
-        Self { name: name.into(), data_type, role }
+        Self {
+            name: name.into(),
+            data_type,
+            role,
+        }
     }
 
     /// Shorthand for a categorical string column.
@@ -93,12 +97,17 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(table: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
-        Self { table: table.into(), columns }
+        Self {
+            table: table.into(),
+            columns,
+        }
     }
 
     /// Index of a column by case-insensitive name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Column definition by case-insensitive name.

@@ -22,9 +22,18 @@ impl Table {
         assert_eq!(schema.columns.len(), columns.len(), "column count mismatch");
         let row_count = columns.first().map_or(0, ColumnData::len);
         for (def, col) in schema.columns.iter().zip(&columns) {
-            assert_eq!(col.len(), row_count, "row count mismatch in column `{}`", def.name);
+            assert_eq!(
+                col.len(),
+                row_count,
+                "row count mismatch in column `{}`",
+                def.name
+            );
         }
-        Self { schema, columns, row_count }
+        Self {
+            schema,
+            columns,
+            row_count,
+        }
     }
 
     /// The table's schema.
@@ -96,7 +105,11 @@ impl TableBuilder {
                 DataType::Bool => ColumnBuilder::boolean(capacity),
             })
             .collect();
-        Self { schema, builders, rows: 0 }
+        Self {
+            schema,
+            builders,
+            rows: 0,
+        }
     }
 
     /// Append one row. The value count must match the schema width.
@@ -120,7 +133,11 @@ impl TableBuilder {
 
     /// Finish building the table.
     pub fn finish(self) -> Table {
-        let columns = self.builders.into_iter().map(ColumnBuilder::finish).collect();
+        let columns = self
+            .builders
+            .into_iter()
+            .map(ColumnBuilder::finish)
+            .collect();
         Table::from_columns(self.schema, columns)
     }
 }

@@ -224,13 +224,24 @@ mod tests {
 
     #[test]
     fn sql_cmp_numbers_and_strings() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
-        assert_eq!(Value::str("b").sql_cmp(&Value::str("a")), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("b").sql_cmp(&Value::str("a")),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
     fn total_order_ranks_types() {
-        let mut vs = [Value::str("x"), Value::Int(1), Value::Null, Value::Bool(true)];
+        let mut vs = [
+            Value::str("x"),
+            Value::Int(1),
+            Value::Null,
+            Value::Bool(true),
+        ];
         vs.sort();
         assert!(vs[0].is_null());
         assert_eq!(vs[3], Value::str("x"));

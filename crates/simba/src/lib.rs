@@ -47,14 +47,14 @@ pub mod prelude {
     pub use simba_core::dashboard::Dashboard;
     pub use simba_core::equivalence::Method;
     pub use simba_core::error::CoreError;
+    pub use simba_core::markov::MarkovModel;
     pub use simba_core::metrics::{DurationSummary, WorkloadStats};
+    pub use simba_core::oracle::{Oracle, OracleConfig};
     pub use simba_core::session::interleave::DecayConfig;
     pub use simba_core::session::workflows::Workflow;
     pub use simba_core::session::{SessionConfig, SessionLog, SessionRunner};
     pub use simba_core::spec::builtin::{all_builtin, builtin};
     pub use simba_core::spec::DashboardSpec;
-    pub use simba_core::markov::MarkovModel;
-    pub use simba_core::oracle::{Oracle, OracleConfig};
     pub use simba_data::{DashboardDataset, DatasetSize};
     pub use simba_engine::{all_engines, Dbms, EngineKind};
     pub use simba_idebench::{IdeBenchConfig, IdeBenchRunner};

@@ -18,7 +18,9 @@ fn main() {
 
     // --- SIMBA: constrained by the real IT Monitor dashboard ---
     let dashboard = Dashboard::new(builtin(dataset), &table).expect("valid spec");
-    let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible");
+    let goals = Workflow::Shneiderman
+        .goals_for(&dashboard)
+        .expect("compatible");
     let mut simba_shapes = Vec::new();
     for seed in 0..5 {
         let config = SessionConfig {
@@ -49,7 +51,11 @@ fn main() {
             let log = IdeBenchRunner::new(
                 &table,
                 engine.as_ref(),
-                IdeBenchConfig { seed, interactions: 20, ..Default::default() },
+                IdeBenchConfig {
+                    seed,
+                    interactions: 20,
+                    ..Default::default()
+                },
             )
             .run()
             .expect("idebench runs");

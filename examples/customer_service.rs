@@ -6,11 +6,11 @@
 //! cargo run --release --example customer_service
 //! ```
 
+use rand::SeedableRng;
 use simba::core::equivalence::augment_result;
 use simba::core::oracle::Oracle;
-use simba::store::CoverageStore;
 use simba::prelude::*;
-use rand::SeedableRng;
+use simba::store::CoverageStore;
 use std::sync::Arc;
 
 fn main() {
@@ -22,9 +22,17 @@ fn main() {
 
     // Figure 2D: the dashboard's interaction graph.
     let graph = dashboard.graph();
-    println!("interaction graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "interaction graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     for node in graph.visualization_nodes() {
-        println!("  vis `{}` <- {} ancestors", graph.id(node), graph.ancestors(node).len());
+        println!(
+            "  vis `{}` <- {} ancestors",
+            graph.id(node),
+            graph.ancestors(node).len()
+        );
     }
 
     // Figure 3: the goal query (not directly emittable by any widget state).
@@ -54,7 +62,14 @@ fn main() {
     while !coverage.covers(&goal_result) && step < 12 {
         step += 1;
         let planned = oracle
-            .plan_next(&dashboard, &state, engine.as_ref(), &coverage, &[&goal_result], &mut rng)
+            .plan_next(
+                &dashboard,
+                &state,
+                engine.as_ref(),
+                &coverage,
+                &[&goal_result],
+                &mut rng,
+            )
             .expect("engine ok")
             .expect("actions available");
         println!(

@@ -19,7 +19,9 @@ fn main() {
     println!("dataset: {} rows of {}", table.row_count(), dataset.title());
 
     let dashboard = Dashboard::new(builtin(dataset), &table).expect("valid spec");
-    let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible");
+    let goals = Workflow::Shneiderman
+        .goals_for(&dashboard)
+        .expect("compatible");
 
     println!(
         "\n{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
@@ -50,5 +52,7 @@ fn main() {
             summary.max_ms
         );
     }
-    println!("\n(architectures: row-Volcano, lazy-row+hash, vectorized columnar, operator-at-a-time)");
+    println!(
+        "\n(architectures: row-Volcano, lazy-row+hash, vectorized columnar, operator-at-a-time)"
+    );
 }

@@ -24,20 +24,30 @@ fn main() {
     engine.register(table);
 
     // 3. Instantiate a workflow's goals and run a session.
-    let goals = Workflow::Shneiderman.goals_for(&dashboard).expect("compatible workflow");
+    let goals = Workflow::Shneiderman
+        .goals_for(&dashboard)
+        .expect("compatible workflow");
     println!("\ngoals:");
     for g in &goals {
         println!("  [{}] {}", g.kind.name(), g.question);
         println!("      {}", g.query);
     }
 
-    let config = SessionConfig { seed: 7, max_steps: 30, ..Default::default() };
+    let config = SessionConfig {
+        seed: 7,
+        max_steps: 30,
+        ..Default::default()
+    };
     let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
         .run(&goals)
         .expect("session runs");
 
     // 4. Inspect the log.
-    println!("\nsession ({} interactions, {} queries):", log.interaction_count(), log.query_count());
+    println!(
+        "\nsession ({} interactions, {} queries):",
+        log.interaction_count(),
+        log.query_count()
+    );
     for entry in &log.entries {
         println!(
             "  step {:>2} [{}] {} -> {} queries",
@@ -52,7 +62,11 @@ fn main() {
     for outcome in &log.goals {
         match (outcome.solved_at, outcome.method) {
             (Some(step), Some(method)) => {
-                println!("  SOLVED at step {step} via {} — {}", method.name(), outcome.question)
+                println!(
+                    "  SOLVED at step {step} via {} — {}",
+                    method.name(),
+                    outcome.question
+                )
             }
             _ => println!("  UNSOLVED — {}", outcome.question),
         }

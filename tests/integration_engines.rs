@@ -113,8 +113,8 @@ fn engine_errors_are_typed_not_panics() {
     let q = parse_select("SELECT missing_col FROM my_ride").unwrap();
     assert!(engine.execute(&q).is_err());
     // Ungrouped column.
-    let q = parse_select("SELECT terrain, weather, COUNT(*) FROM my_ride GROUP BY terrain")
-        .unwrap();
+    let q =
+        parse_select("SELECT terrain, weather, COUNT(*) FROM my_ride GROUP BY terrain").unwrap();
     assert!(engine.execute(&q).is_err());
 }
 

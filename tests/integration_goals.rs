@@ -64,13 +64,19 @@ fn figure_3_coverage_by_four_fragments() {
         ))
         .unwrap();
         let out = engine.execute(&fragment).unwrap();
-        coverage.absorb(&simba::core::equivalence::augment_result(&fragment, out.result));
+        coverage.absorb(&simba::core::equivalence::augment_result(
+            &fragment, out.result,
+        ));
         solved = checker.check_result(&coverage);
         if solved.is_some() {
             break;
         }
     }
-    assert_eq!(solved, Some(Method::Result), "goal must complete on the fourth fragment");
+    assert_eq!(
+        solved,
+        Some(Method::Result),
+        "goal must complete on the fourth fragment"
+    );
 }
 
 #[test]
@@ -93,10 +99,9 @@ fn three_equivalence_methods_trigger_appropriately() {
 fn goals_can_be_specified_directly_in_sql() {
     // "dashboard developers can specify user goals directly in SQL" (§4.1).
     let engine = engine_with_cs();
-    let query = parse_select(
-        "SELECT rep_id, AVG(handle_time) FROM customer_service GROUP BY rep_id",
-    )
-    .unwrap();
+    let query =
+        parse_select("SELECT rep_id, AVG(handle_time) FROM customer_service GROUP BY rep_id")
+            .unwrap();
     let result = engine.execute(&query).unwrap().result;
     let goal = Goal::from_sql(
         GoalTemplateKind::MeasuringDifferences,
@@ -117,10 +122,8 @@ fn example_2_2_average_forms_agree_end_to_end() {
          GROUP BY rep_id",
     )
     .unwrap();
-    let b = parse_select(
-        "SELECT rep_id, AVG(handle_time) FROM customer_service GROUP BY rep_id",
-    )
-    .unwrap();
+    let b = parse_select("SELECT rep_id, AVG(handle_time) FROM customer_service GROUP BY rep_id")
+        .unwrap();
     assert!(semantic_equivalent(&a, &b));
     let ra = engine.execute(&a).unwrap().result;
     let rb = engine.execute(&b).unwrap().result;

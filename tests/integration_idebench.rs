@@ -21,12 +21,19 @@ fn idebench_generates_more_visualizations_than_the_real_dashboard() {
         let log = IdeBenchRunner::new(
             &table,
             engine.as_ref(),
-            IdeBenchConfig { seed, interactions: 5, ..Default::default() },
+            IdeBenchConfig {
+                seed,
+                interactions: 5,
+                ..Default::default()
+            },
         )
         .run()
         .unwrap();
         assert!(log.dashboard.vizzes.len() >= 7);
-        assert!(log.dashboard.vizzes.len() > 3, "more than the real IT Monitor");
+        assert!(
+            log.dashboard.vizzes.len() > 3,
+            "more than the real IT Monitor"
+        );
     }
 }
 
@@ -45,7 +52,11 @@ fn idebench_emphasizes_filters_simba_balances() {
         let log = IdeBenchRunner::new(
             &table,
             engine.as_ref(),
-            IdeBenchConfig { seed, interactions: 25, ..Default::default() },
+            IdeBenchConfig {
+                seed,
+                interactions: 25,
+                ..Default::default()
+            },
         )
         .run()
         .unwrap();
@@ -64,7 +75,12 @@ fn idebench_emphasizes_filters_simba_balances() {
         let log = SessionRunner::new(
             &dashboard,
             engine.as_ref(),
-            SessionConfig { seed, max_steps: 25, stop_on_completion: false, ..Default::default() },
+            SessionConfig {
+                seed,
+                max_steps: 25,
+                stop_on_completion: false,
+                ..Default::default()
+            },
         )
         .run(&goals)
         .unwrap();
@@ -72,8 +88,8 @@ fn idebench_emphasizes_filters_simba_balances() {
             simba_stats.push(stats);
         }
     }
-    let simba_filters = simba_stats.iter().map(|s| s.filters_avg).sum::<f64>()
-        / simba_stats.len() as f64;
+    let simba_filters =
+        simba_stats.iter().map(|s| s.filters_avg).sum::<f64>() / simba_stats.len() as f64;
 
     assert!(
         ide_filters > simba_filters,
@@ -92,7 +108,11 @@ fn fifty_workflow_fleet_matches_figure_9_shape() {
             let log = IdeBenchRunner::new(
                 &table,
                 engine.as_ref(),
-                IdeBenchConfig { seed, interactions: 3, ..Default::default() },
+                IdeBenchConfig {
+                    seed,
+                    interactions: 3,
+                    ..Default::default()
+                },
             )
             .run()
             .unwrap();
@@ -100,7 +120,11 @@ fn fifty_workflow_fleet_matches_figure_9_shape() {
         })
         .collect();
     let fleet = FleetComplexity::from_runs(&profiles).unwrap();
-    assert!((10.0..=16.0).contains(&fleet.viz_avg), "avg viz {}", fleet.viz_avg);
+    assert!(
+        (10.0..=16.0).contains(&fleet.viz_avg),
+        "avg viz {}",
+        fleet.viz_avg
+    );
     assert_eq!(fleet.viz_min, 7);
     assert!(fleet.viz_max >= 18, "max viz {}", fleet.viz_max);
     assert!(fleet.updates_avg >= 4.0, "updates {}", fleet.updates_avg);
@@ -114,7 +138,11 @@ fn idebench_and_simba_share_metric_machinery() {
     let ide_log = IdeBenchRunner::new(
         &table,
         engine.as_ref(),
-        IdeBenchConfig { seed: 1, interactions: 5, ..Default::default() },
+        IdeBenchConfig {
+            seed: 1,
+            interactions: 5,
+            ..Default::default()
+        },
     )
     .run()
     .unwrap();
@@ -125,7 +153,12 @@ fn idebench_and_simba_share_metric_machinery() {
     let simba_log = SessionRunner::new(
         &dashboard,
         engine.as_ref(),
-        SessionConfig { seed: 1, max_steps: 5, stop_on_completion: false, ..Default::default() },
+        SessionConfig {
+            seed: 1,
+            max_steps: 5,
+            stop_on_completion: false,
+            ..Default::default()
+        },
     )
     .run(&goals)
     .unwrap();

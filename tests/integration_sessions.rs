@@ -20,7 +20,11 @@ fn every_dashboard_runs_every_compatible_workflow() {
             let Ok(goals) = wf.goals_for(&dashboard) else {
                 continue; // incompatible combination (MyRide × correlations)
             };
-            let config = SessionConfig { seed: 5, max_steps: 10, ..Default::default() };
+            let config = SessionConfig {
+                seed: 5,
+                max_steps: 10,
+                ..Default::default()
+            };
             let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
                 .run(&goals)
                 .unwrap_or_else(|e| panic!("{} × {}: {e}", ds.title(), wf.name()));
@@ -55,8 +59,12 @@ fn oracle_dominated_sessions_solve_more_goals_than_markov_only() {
             decay: DecayConfig::markov_only(),
             ..Default::default()
         };
-        let o = SessionRunner::new(&dashboard, engine.as_ref(), oracle_cfg).run(&goals).unwrap();
-        let m = SessionRunner::new(&dashboard, engine.as_ref(), markov_cfg).run(&goals).unwrap();
+        let o = SessionRunner::new(&dashboard, engine.as_ref(), oracle_cfg)
+            .run(&goals)
+            .unwrap();
+        let m = SessionRunner::new(&dashboard, engine.as_ref(), markov_cfg)
+            .run(&goals)
+            .unwrap();
         oracle_solved += o.goals.iter().filter(|g| g.solved_at.is_some()).count();
         markov_solved += m.goals.iter().filter(|g| g.solved_at.is_some()).count();
     }
@@ -75,10 +83,15 @@ fn interleaved_sessions_start_markov_and_end_oracle() {
         seed: 2,
         max_steps: 20,
         stop_on_completion: false,
-        decay: DecayConfig { initial_markov: 0.95, decay_rate: 0.4 },
+        decay: DecayConfig {
+            initial_markov: 0.95,
+            decay_rate: 0.4,
+        },
         ..Default::default()
     };
-    let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+    let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+        .run(&goals)
+        .unwrap();
     let models: Vec<&str> = log
         .entries
         .iter()
@@ -108,11 +121,17 @@ fn goal_outcomes_are_ordered_and_monotonic() {
         decay: DecayConfig::oracle_only(),
         ..Default::default()
     };
-    let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+    let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+        .run(&goals)
+        .unwrap();
     // The Oracle pursues goals in order, but later goals may complete
     // incidentally (e.g. at the initial render). Invariants that must hold:
     // the first goal is solved, and every solve step is within bounds.
-    assert!(log.goals[0].solved_at.is_some(), "first goal must be solved: {:?}", log.goals);
+    assert!(
+        log.goals[0].solved_at.is_some(),
+        "first goal must be solved: {:?}",
+        log.goals
+    );
     for outcome in &log.goals {
         if let Some(step) = outcome.solved_at {
             assert!(step <= 35);
@@ -120,7 +139,10 @@ fn goal_outcomes_are_ordered_and_monotonic() {
         }
     }
     let solved = log.goals.iter().filter(|g| g.solved_at.is_some()).count();
-    assert!(solved >= 2, "oracle-only crossfilter session should solve most goals: {solved}");
+    assert!(
+        solved >= 2,
+        "oracle-only crossfilter session should solve most goals: {solved}"
+    );
 }
 
 #[test]
@@ -136,8 +158,14 @@ fn different_engines_same_session_shape() {
     for kind in EngineKind::ALL {
         let engine = kind.build();
         engine.register(table.clone());
-        let config = SessionConfig { seed: 55, max_steps: 8, ..Default::default() };
-        let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+        let config = SessionConfig {
+            seed: 55,
+            max_steps: 8,
+            ..Default::default()
+        };
+        let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+            .run(&goals)
+            .unwrap();
         all_actions.push(log.entries.iter().map(|e| e.action.clone()).collect());
     }
     for other in &all_actions[1..] {
@@ -149,9 +177,15 @@ fn different_engines_same_session_shape() {
 fn workload_stats_computable_from_logs() {
     let (dashboard, engine) = dashboard_for(DashboardDataset::CustomerService, 1_000, 77);
     let goals = Workflow::Shneiderman.goals_for(&dashboard).unwrap();
-    let config =
-        SessionConfig { seed: 1, max_steps: 10, stop_on_completion: false, ..Default::default() };
-    let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+    let config = SessionConfig {
+        seed: 1,
+        max_steps: 10,
+        stop_on_completion: false,
+        ..Default::default()
+    };
+    let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+        .run(&goals)
+        .unwrap();
     let stats = WorkloadStats::from_log(&log).expect("non-empty workload");
     assert!(stats.queries > 0);
     assert!(stats.data_columns_avg > 0.0);

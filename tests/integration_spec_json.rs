@@ -77,12 +77,17 @@ fn hand_written_json_spec_drives_a_session() {
         decay: DecayConfig::oracle_only(),
         ..Default::default()
     };
-    let log = SessionRunner::new(&dashboard, engine.as_ref(), config).run(&goals).unwrap();
+    let log = SessionRunner::new(&dashboard, engine.as_ref(), config)
+        .run(&goals)
+        .unwrap();
     assert!(log.query_count() > 0);
     assert!(
         log.goals.iter().any(|g| g.solved_at.is_some()),
         "goals: {:?}",
-        log.goals.iter().map(|g| (&g.question, g.solved_at)).collect::<Vec<_>>()
+        log.goals
+            .iter()
+            .map(|g| (&g.question, g.solved_at))
+            .collect::<Vec<_>>()
     );
 }
 
@@ -101,7 +106,9 @@ fn invalid_specs_are_rejected_with_reasons() {
 #[test]
 fn spec_field_must_exist_in_physical_schema() {
     let mut spec = builtin(DashboardDataset::MyRide);
-    spec.database.fields.push(simba::core::spec::FieldSpec::quantitative("phantom"));
+    spec.database
+        .fields
+        .push(simba::core::spec::FieldSpec::quantitative("phantom"));
     let table = DashboardDataset::MyRide.generate_rows(100, 1);
     let err = Dashboard::new(spec, &table).unwrap_err();
     assert!(matches!(err, CoreError::UnknownField(_)), "{err}");

@@ -1,0 +1,45 @@
+//! `proptest::option` — optional values.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Option<S::Value>` that is `Some` with probability `p`.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    p_some: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.chance(self.p_some) {
+            Some(self.inner.gen(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some` half the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner, p_some: 0.5 }
+}
+
+/// `Some` with the given probability.
+pub fn weighted<S: Strategy>(p_some: f64, inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner, p_some }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_respects_probability() {
+        let mut rng = TestRng::new(5);
+        let s = weighted(0.9, 0i64..5);
+        let somes = (0..10_000).filter(|_| s.gen(&mut rng).is_some()).count();
+        assert!(somes > 8_700 && somes < 9_300, "{somes}");
+    }
+}

@@ -1,0 +1,131 @@
+//! `proptest::sample` — choosing from fixed collections.
+
+use crate::{Strategy, TestRng};
+
+/// Sources [`select`] accepts.
+pub trait SelectSource<T> {
+    fn into_items(self) -> Vec<T>;
+}
+
+impl<T: Clone> SelectSource<T> for &[T] {
+    fn into_items(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+impl<T: Clone, const N: usize> SelectSource<T> for &[T; N] {
+    fn into_items(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+impl<T> SelectSource<T> for Vec<T> {
+    fn into_items(self) -> Vec<T> {
+        self
+    }
+}
+
+/// Uniform choice from a fixed list.
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Clone for Select<T> {
+    fn clone(&self) -> Self {
+        Select {
+            items: self.items.clone(),
+        }
+    }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+/// `proptest::sample::select(items)`.
+pub fn select<T: Clone, S: SelectSource<T>>(source: S) -> Select<T> {
+    let items = source.into_items();
+    assert!(!items.is_empty(), "select: empty choice set");
+    Select { items }
+}
+
+/// Order-preserving random subsequence with a length in `size`.
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    min: usize,
+    max: usize,
+}
+
+impl<T: Clone> Clone for Subsequence<T> {
+    fn clone(&self) -> Self {
+        Subsequence {
+            items: self.items.clone(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn gen(&self, rng: &mut TestRng) -> Vec<T> {
+        let max = self.max.min(self.items.len());
+        let min = self.min.min(max);
+        let k = min + rng.below((max - min) as u64 + 1) as usize;
+        // Partial Fisher–Yates over indices, then restore source order.
+        let mut indices: Vec<usize> = (0..self.items.len()).collect();
+        for i in 0..k {
+            let j = i + rng.below((indices.len() - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        let mut picked: Vec<usize> = indices[..k].to_vec();
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}
+
+/// `proptest::sample::subsequence(items, size_range)`.
+pub fn subsequence<T: Clone>(
+    items: Vec<T>,
+    size: core::ops::RangeInclusive<usize>,
+) -> Subsequence<T> {
+    Subsequence {
+        items,
+        min: *size.start(),
+        max: *size.end(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_every_item() {
+        let mut rng = TestRng::new(6);
+        let s = select(&["a", "b", "c"][..]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.gen(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let mut rng = TestRng::new(7);
+        let s = subsequence(vec![1, 2, 3, 4, 5], 1..=3);
+        for _ in 0..500 {
+            let v = s.gen(&mut rng);
+            assert!((1..=3).contains(&v.len()), "{v:?}");
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(v, sorted, "order not preserved");
+        }
+    }
+}

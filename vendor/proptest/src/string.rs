@@ -1,0 +1,121 @@
+//! String strategies from mini-regex patterns (`"[a-z][a-z0-9_]{0,8}"`).
+//!
+//! Supported syntax: literal characters, `[...]` character classes with
+//! ranges, and `{m}` / `{m,n}` quantifiers. That covers every pattern in
+//! this workspace's tests.
+
+use crate::{Strategy, TestRng};
+
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range in pattern `{pattern}`");
+                        set.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated `[` in pattern `{pattern}`");
+                i += 1;
+                set
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing `\\` in pattern `{pattern}`");
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated `{` in pattern")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(
+            !choices.is_empty() && min <= max,
+            "bad atom in pattern `{pattern}`"
+        );
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.min + rng.below((atom.max - atom.min) as u64 + 1) as usize;
+            for _ in 0..n {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern_shapes() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..500 {
+            let s = "[a-z][a-z0-9_]{0,8}".gen(&mut rng);
+            assert!((1..=9).contains(&s.len()), "{s}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn fixed_width_pattern() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".gen(&mut rng);
+            assert!((1..=6).contains(&s.len()), "{s}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Slice sampling helpers mirroring `rand::seq::SliceRandom`.
+
+use crate::{Rng, RngCore};
+
+/// Random selection and shuffling over slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// One uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements (fewer if the slice is shorter), in
+    /// selection order.
+    fn choose_multiple<R: Rng>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+/// Iterator over elements picked by [`SliceRandom::choose_multiple`].
+pub struct SliceChooseIter<'a, T> {
+    items: Vec<&'a T>,
+    next: usize,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let item = self.items.get(self.next).copied();
+        self.next += 1;
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.items.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[index_below(rng, self.len())])
+        }
+    }
+
+    fn choose_multiple<R: Rng>(&self, rng: &mut R, amount: usize) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index table.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + index_below(rng, indices.len() - i);
+            indices.swap(i, j);
+        }
+        SliceChooseIter {
+            items: indices[..amount].iter().map(|&i| &self[i]).collect(),
+            next: 0,
+        }
+    }
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = index_below(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+fn index_below<R: RngCore>(rng: &mut R, n: usize) -> usize {
+    ((rng.next_u64() as u128 * n as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let xs = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*xs.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_multiple_yields_distinct() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let xs: Vec<i32> = (0..10).collect();
+        let picked: Vec<i32> = xs.choose_multiple(&mut rng, 4).cloned().collect();
+        assert_eq!(picked.len(), 4);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "duplicates in {picked:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut xs: Vec<i32> = (0..20).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

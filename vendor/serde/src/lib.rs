@@ -1,0 +1,234 @@
+//! Vendored, dependency-free stand-in for the slice of `serde` this
+//! workspace uses. Instead of serde's visitor architecture, values convert
+//! to and from a simple [`Content`] tree; `serde_json` (also vendored)
+//! renders that tree as JSON. The derive macros are re-exported from the
+//! local `serde_derive` proc-macro crate and generate `to_content` /
+//! `from_content` implementations compatible with serde's default external
+//! enum tagging, `rename_all = "snake_case"`, `default`,
+//! `skip_serializing_if`, and internal tagging (`tag = "..."`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value: the common tree both JSON and derives speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Ordered key/value pairs (order is preserved for stable output).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a `Map`.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Conversion into the content tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Conversion from the content tree.
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, String>;
+
+    /// Hook for absent struct fields: `Option` yields `None`, everything
+    /// else is an error (matching serde's behavior for optional fields).
+    fn missing_field(name: &str) -> Result<Self, String> {
+        Err(format!("missing field `{name}`"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {}", other.kind())),
+        }
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| format!("integer {v} out of range"))?,
+                    other => return Err(format!("expected integer, found {}", other.kind())),
+                };
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v: u64 = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| format!("integer {v} out of range"))?,
+                    other => return Err(format!("expected integer, found {}", other.kind())),
+                };
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => Err(format!("expected number, found {}", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {}", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, String> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(format!("expected array, found {}", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        Ok(c.clone())
+    }
+}

@@ -1,0 +1,581 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in. Parses the item with a small token cursor (no
+//! `syn` available offline) and generates `to_content` / `from_content`
+//! impls over `serde::Content`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields;
+//! * enums with unit, newtype, tuple, and struct variants (serde's default
+//!   external tagging);
+//! * container attrs `rename_all = "snake_case"` and `tag = "..."`
+//!   (internal tagging, struct/unit variants only);
+//! * field attrs `default`, `rename = "..."`, and
+//!   `skip_serializing_if = "path"`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+    rename: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: ItemKind,
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == name)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consume leading attributes, folding any `#[serde(...)]` into `attrs`.
+    fn take_attrs(&mut self, attrs: &mut SerdeAttrs) {
+        while self.at_punct('#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("serde_derive: malformed attribute");
+            };
+            let mut inner = Cursor::new(g.stream());
+            if inner.at_ident("serde") {
+                inner.next();
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    parse_serde_args(args.stream(), attrs);
+                }
+            }
+        }
+    }
+
+    /// Skip an optional `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip a type (or discriminant) up to a top-level `,`, tracking angle
+    /// bracket depth so generic arguments don't end the field early.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut cur = Cursor::new(stream);
+    while cur.peek().is_some() {
+        let key = cur.expect_ident();
+        let value = if cur.at_punct('=') {
+            cur.next();
+            match cur.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                other => panic!("serde_derive: expected string after `{key} =`, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("default", None) => attrs.default = true,
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            (other, _) => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        if cur.at_punct(',') {
+            cur.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let mut attrs = SerdeAttrs::default();
+    cur.take_attrs(&mut attrs);
+    cur.skip_vis();
+    let keyword = cur.expect_ident();
+    let name = cur.expect_ident();
+    if cur.at_punct('<') {
+        panic!("serde_derive: generic types are not supported (deriving on `{name}`)");
+    }
+    let body = loop {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive: unit/tuple structs are not supported (`{name}`)")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: missing body for `{name}`"),
+        }
+    };
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_fields(body)),
+        "enum" => ItemKind::Enum(parse_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Item { name, attrs, kind }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let mut attrs = SerdeAttrs::default();
+        cur.take_attrs(&mut attrs);
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_vis();
+        let name = cur.expect_ident();
+        assert!(
+            cur.at_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        cur.next();
+        cur.skip_until_comma();
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let mut attrs = SerdeAttrs::default();
+        cur.take_attrs(&mut attrs);
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident();
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                cur.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a possible discriminant, then the separating comma.
+        cur.skip_until_comma();
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    if cur.peek().is_none() {
+        return 0;
+    }
+    let mut n = 1;
+    loop {
+        cur.skip_until_comma();
+        if cur.at_punct(',') {
+            cur.next();
+            if cur.peek().is_some() {
+                n += 1;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    n
+}
+
+// --------------------------------------------------------------- renaming
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn apply_rename_all(rule: Option<&String>, name: &str) -> String {
+    match rule.map(String::as_str) {
+        Some("snake_case") => to_snake_case(name),
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some(other) => panic!("serde_derive: unsupported rename_all rule `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+fn field_key(field: &Field) -> String {
+    field
+        .attrs
+        .rename
+        .clone()
+        .unwrap_or_else(|| field.name.clone())
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut code = String::from(
+                "let mut entries: Vec<(std::string::String, serde::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                code.push_str(&ser_field_push(&format!("self.{}", f.name), f));
+            }
+            code.push_str("serde::Content::Map(entries)");
+            code
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = apply_rename_all(item.attrs.rename_all.as_ref(), &v.name);
+                match (&v.shape, item.attrs.tag.as_deref()) {
+                    (VariantShape::Unit, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => serde::Content::Str(\"{key}\".to_string()),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Unit, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => serde::Content::Map(vec![(\"{tag}\".to_string(), \
+                             serde::Content::Str(\"{key}\".to_string()))]),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Tuple(1), None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v}(__f0) => serde::Content::Map(vec![(\"{key}\".to_string(), \
+                             serde::Serialize::to_content(__f0))]),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => serde::Content::Map(vec![(\"{key}\".to_string(), \
+                             serde::Content::Seq(vec![{elems}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    (VariantShape::Tuple(_), Some(_)) => panic!(
+                        "serde_derive: tuple variants are incompatible with internal tagging"
+                    ),
+                    (VariantShape::Named(fields), tag) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut entries: Vec<(std::string::String, serde::Content)> = \
+                             Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            inner.push_str(&format!(
+                                "entries.push((\"{tag}\".to_string(), \
+                                 serde::Content::Str(\"{key}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields {
+                            inner.push_str(&ser_field_push(&f.name, f));
+                        }
+                        let wrap = if tag.is_some() {
+                            "serde::Content::Map(entries)".to_string()
+                        } else {
+                            format!(
+                                "serde::Content::Map(vec![(\"{key}\".to_string(), \
+                                 serde::Content::Map(entries))])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inner} {wrap} }},\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `entries.push(...)` for one field value expression, honoring
+/// `skip_serializing_if`.
+fn ser_field_push(value_expr: &str, f: &Field) -> String {
+    let key = field_key(f);
+    let push = format!(
+        "entries.push((\"{key}\".to_string(), serde::Serialize::to_content(&{value_expr})));\n"
+    );
+    match &f.attrs.skip_serializing_if {
+        Some(path) => format!("if !({path}(&{value_expr})) {{ {push} }}\n"),
+        None => push,
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let build = de_named_fields(name, fields);
+            format!(
+                "match c {{\n\
+                 serde::Content::Map(_) => {{ Ok({build}) }}\n\
+                 other => Err(format!(\"expected object for `{name}`, found {{}}\", other.kind())),\n\
+                 }}"
+            )
+        }
+        ItemKind::Enum(variants) => match item.attrs.tag.as_deref() {
+            Some(tag) => de_internally_tagged(name, item, variants, tag),
+            None => de_externally_tagged(name, item, variants),
+        },
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_content(c: &serde::Content) -> Result<Self, std::string::String> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Struct-literal body reading each named field out of the map `c`.
+fn de_named_fields(path: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let key = field_key(f);
+        let fname = &f.name;
+        let missing = if f.attrs.default {
+            "std::default::Default::default()".to_string()
+        } else {
+            format!("serde::Deserialize::missing_field(\"{key}\")?")
+        };
+        inits.push_str(&format!(
+            "{fname}: match c.get(\"{key}\") {{\n\
+             Some(__v) => serde::Deserialize::from_content(__v)\
+             .map_err(|e| format!(\"field `{key}`: {{e}}\"))?,\n\
+             None => {missing},\n\
+             }},\n"
+        ));
+    }
+    format!("{path} {{ {inits} }}")
+}
+
+fn de_externally_tagged(name: &str, item: &Item, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut map_arms = String::new();
+    for v in variants {
+        let key = apply_rename_all(item.attrs.rename_all.as_ref(), &v.name);
+        match &v.shape {
+            VariantShape::Unit => {
+                unit_arms.push_str(&format!("\"{key}\" => Ok({name}::{v}),\n", v = v.name));
+            }
+            VariantShape::Tuple(1) => {
+                map_arms.push_str(&format!(
+                    "\"{key}\" => Ok({name}::{v}(serde::Deserialize::from_content(__v)\
+                     .map_err(|e| format!(\"variant `{key}`: {{e}}\"))?)),\n",
+                    v = v.name
+                ));
+            }
+            VariantShape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "serde::Deserialize::from_content(&__items[{i}])\
+                             .map_err(|e| format!(\"variant `{key}`: {{e}}\"))?"
+                        )
+                    })
+                    .collect();
+                map_arms.push_str(&format!(
+                    "\"{key}\" => match __v {{\n\
+                     serde::Content::Seq(__items) if __items.len() == {n} => \
+                     Ok({name}::{v}({elems})),\n\
+                     _ => Err(\"variant `{key}`: expected {n}-element array\".to_string()),\n\
+                     }},\n",
+                    v = v.name,
+                    elems = elems.join(", ")
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let build = de_named_fields(&format!("{name}::{v}", v = v.name), fields);
+                // Inner fields read from the variant's own map: shadow `c`.
+                map_arms.push_str(&format!(
+                    "\"{key}\" => match __v {{\n\
+                     serde::Content::Map(_) => {{ let c = __v; Ok({build}) }}\n\
+                     _ => Err(\"variant `{key}`: expected object\".to_string()),\n\
+                     }},\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match c {{\n\
+         serde::Content::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         other => Err(format!(\"unknown variant `{{other}}` for `{name}`\")),\n\
+         }},\n\
+         serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+         let (__k, __v) = &__entries[0];\n\
+         match __k.as_str() {{\n\
+         {map_arms}\
+         other => Err(format!(\"unknown variant `{{other}}` for `{name}`\")),\n\
+         }}\n\
+         }},\n\
+         other => Err(format!(\"expected variant of `{name}`, found {{}}\", other.kind())),\n\
+         }}"
+    )
+}
+
+fn de_internally_tagged(name: &str, item: &Item, variants: &[Variant], tag: &str) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let key = apply_rename_all(item.attrs.rename_all.as_ref(), &v.name);
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!("\"{key}\" => Ok({name}::{v}),\n", v = v.name));
+            }
+            VariantShape::Named(fields) => {
+                let build = de_named_fields(&format!("{name}::{v}", v = v.name), fields);
+                arms.push_str(&format!("\"{key}\" => Ok({build}),\n"));
+            }
+            VariantShape::Tuple(_) => {
+                panic!("serde_derive: tuple variants are incompatible with internal tagging")
+            }
+        }
+    }
+    format!(
+        "match c {{\n\
+         serde::Content::Map(_) => match c.get(\"{tag}\") {{\n\
+         Some(serde::Content::Str(__t)) => match __t.as_str() {{\n\
+         {arms}\
+         other => Err(format!(\"unknown variant `{{other}}` for `{name}`\")),\n\
+         }},\n\
+         _ => Err(\"missing `{tag}` tag for `{name}`\".to_string()),\n\
+         }},\n\
+         other => Err(format!(\"expected object for `{name}`, found {{}}\", other.kind())),\n\
+         }}"
+    )
+}

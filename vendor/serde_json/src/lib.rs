@@ -1,0 +1,419 @@
+//! Vendored JSON front-end for the local serde stand-in: renders
+//! [`serde::Content`] trees as JSON text and parses JSON back into them.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// JSON encode/decode error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let content = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    T::from_content(&content).map_err(Error)
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>, depth: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // Rust's shortest round-trip formatting; integral floats keep
+                // a `.0` so they re-parse as floats.
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    out.push_str(&format!("{v:.1}"));
+                } else {
+                    out.push_str(&v.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_json_string(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error(format!(
+                "unexpected character `{}` at offset {}",
+                other as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".to_string())),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy unescaped runs.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid UTF-8 in string".to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".to_string()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error(
+                                            "invalid low surrogate in \\u escape".to_string(),
+                                        ));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(Error("lone surrogate".to_string()));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u escape".to_string()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error("unterminated string".to_string())),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error("truncated \\u escape".to_string()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error("invalid \\u escape".to_string()))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| Error("invalid \\u escape".to_string()))
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".to_string()))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        let c: Content = from_str("  {\"a\": [1, -2, 3.5, true, null, \"x\\n\"]}  ").unwrap();
+        let text = to_string(&c).unwrap();
+        assert_eq!(text, "{\"a\":[1,-2,3.5,true,null,\"x\\n\"]}");
+        let back: Content = from_str(&text).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let c: Content = from_str("{\"a\":{\"b\":[1]}}").unwrap();
+        let text = to_string_pretty(&c).unwrap();
+        assert!(text.contains("\n  \"a\": {"), "{text}");
+        let back: Content = from_str(&text).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn floats_round_trip_with_trailing_zero() {
+        let text = to_string(&Content::F64(4.0)).unwrap();
+        assert_eq!(text, "4.0");
+        assert_eq!(from_str::<Content>(&text).unwrap(), Content::F64(4.0));
+        let tiny = to_string(&Content::F64(0.1)).unwrap();
+        assert_eq!(from_str::<Content>(&tiny).unwrap(), Content::F64(0.1));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Content>("{not json").is_err());
+        assert!(from_str::<Content>("[1, 2").is_err());
+        assert!(from_str::<Content>("1 2").is_err());
+        assert!(from_str::<Content>("").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let c: Content = from_str("\"\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(c, Content::Str("é😀".to_string()));
+    }
+
+    #[test]
+    fn malformed_surrogates_error_instead_of_panicking() {
+        // High surrogate followed by a non-low-surrogate escape.
+        assert!(from_str::<Content>("\"\\ud800\\u0041\"").is_err());
+        // High surrogate followed by a plain character.
+        assert!(from_str::<Content>("\"\\ud800x\"").is_err());
+        // Bare low surrogate.
+        assert!(from_str::<Content>("\"\\udc00\"").is_err());
+    }
+}
