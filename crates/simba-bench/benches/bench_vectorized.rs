@@ -1,0 +1,119 @@
+//! Vectorized vs row-at-a-time execution on the filtered-aggregate
+//! microbenchmark (selection-vector kernels, zone-map pruning, typed
+//! aggregation). Scale with `SIMBA_ROWS` (default 100k at bench scale).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simba_bench::{synthetic_perf_table, PERF_QUERY};
+use simba_engine::{execute_row_oracle, Dbms, DuckDbLike, EngineKind};
+use simba_sql::parse_select;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_rows() -> usize {
+    std::env::var("SIMBA_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000)
+}
+
+fn bench_filtered_aggregate(c: &mut Criterion) {
+    let rows = bench_rows();
+    let table = synthetic_perf_table(rows, 0);
+    let query = parse_select(PERF_QUERY).unwrap();
+
+    let mut group = c.benchmark_group(format!("filtered_aggregate/{rows}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("row_oracle", |b| {
+        b.iter(|| {
+            black_box(
+                execute_row_oracle(table.clone(), &query)
+                    .unwrap()
+                    .result
+                    .n_rows(),
+            )
+        })
+    });
+    for kind in EngineKind::ALL {
+        let engine = kind.build();
+        engine.register(table.clone());
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(engine.execute(&query).unwrap().result.n_rows()))
+        });
+    }
+    let parallel = DuckDbLike::with_scan_threads(0);
+    let threads = parallel.scan_threads();
+    parallel.register(table.clone());
+    group.bench_function(format!("duckdb-like/threads={threads}"), |b| {
+        b.iter(|| black_box(parallel.execute(&query).unwrap().result.n_rows()))
+    });
+    group.finish();
+}
+
+fn bench_selective_projection(c: &mut Criterion) {
+    let rows = bench_rows();
+    let table = synthetic_perf_table(rows, 0);
+    let query = parse_select("SELECT queue, calls FROM perf WHERE calls > 990").unwrap();
+
+    let mut group = c.benchmark_group(format!("selective_projection/{rows}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("row_oracle", |b| {
+        b.iter(|| {
+            black_box(
+                execute_row_oracle(table.clone(), &query)
+                    .unwrap()
+                    .result
+                    .n_rows(),
+            )
+        })
+    });
+    for kind in EngineKind::ALL {
+        let engine = kind.build();
+        engine.register(table.clone());
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(engine.execute(&query).unwrap().result.n_rows()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_zone_map_pruning(c: &mut Criterion) {
+    let rows = bench_rows();
+    let table = synthetic_perf_table(rows, 0);
+    // Impossible predicate: every morsel pruned by its zone.
+    let query = parse_select("SELECT COUNT(*) FROM perf WHERE calls > 100000").unwrap();
+    let engine: Arc<dyn Dbms> = Arc::new(DuckDbLike::new());
+    engine.register(table.clone());
+    engine.execute(&query).unwrap(); // build zone maps outside the timing
+
+    let mut group = c.benchmark_group(format!("zone_pruned_scan/{rows}"));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("duckdb-like", |b| {
+        b.iter(|| black_box(engine.execute(&query).unwrap().result.n_rows()))
+    });
+    group.bench_function("row_oracle", |b| {
+        b.iter(|| {
+            black_box(
+                execute_row_oracle(table.clone(), &query)
+                    .unwrap()
+                    .result
+                    .n_rows(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filtered_aggregate,
+    bench_selective_projection,
+    bench_zone_map_pruning
+);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! `perf_report`: the vectorized-execution performance trajectory.
+//!
+//! Runs the filtered-aggregate microbenchmark (1M-row table, selective Int
+//! predicate, single dict group key — see [`simba_bench::PERF_QUERY`])
+//! against the row-at-a-time oracle and every engine, then writes
+//! `BENCH_PR2.json` with per-engine p50/p99 latency and the speedup over
+//! the row path. Future PRs append their own `BENCH_PR<n>.json`, giving the
+//! repo a perf trajectory that survives refactors.
+//!
+//! Environment: `SIMBA_ROWS` (default 1,000,000), `SIMBA_RUNS` (timed
+//! iterations per configuration, default 21), `SIMBA_SEED`.
+
+use serde::Serialize;
+use simba_bench::{configured_seed, PERF_QUERY};
+use simba_engine::{execute_row_oracle, Dbms, DuckDbLike, EngineKind};
+use simba_sql::parse_select;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Quantiles {
+    p50_ms: f64,
+    p99_ms: f64,
+    min_ms: f64,
+}
+
+#[derive(Serialize)]
+struct EngineReport {
+    name: String,
+    scan_threads: usize,
+    latency: Quantiles,
+    /// Median-latency speedup over the row-at-a-time oracle.
+    speedup_vs_row_p50: f64,
+}
+
+#[derive(Serialize)]
+struct PerfReport {
+    rows: usize,
+    query: String,
+    iterations: usize,
+    seed: u64,
+    /// The row-at-a-time oracle (shared `run_row` path).
+    row_path: Quantiles,
+    engines: Vec<EngineReport>,
+}
+
+fn quantiles(samples: &mut [f64]) -> Quantiles {
+    samples.sort_by(f64::total_cmp);
+    let at = |q: f64| {
+        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+        samples[idx]
+    };
+    Quantiles {
+        p50_ms: at(0.50),
+        p99_ms: at(0.99),
+        min_ms: samples[0],
+    }
+}
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+fn measure(iters: usize, mut f: impl FnMut()) -> Quantiles {
+    f(); // warm-up (also builds zone maps on first touch)
+    let mut samples: Vec<f64> = (0..iters).map(|_| time_ms(&mut f)).collect();
+    quantiles(&mut samples)
+}
+
+fn main() {
+    let rows: usize = std::env::var("SIMBA_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let iters: usize = std::env::var("SIMBA_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let seed = configured_seed();
+
+    eprintln!("perf_report: building {rows}-row table (seed {seed})…");
+    let table = simba_bench::synthetic_perf_table(rows, seed);
+    let query = parse_select(PERF_QUERY).expect("microbench query parses");
+
+    let oracle_result = execute_row_oracle(table.clone(), &query)
+        .expect("oracle executes")
+        .result;
+
+    let row_path = measure(iters, || {
+        let out = execute_row_oracle(table.clone(), &query).expect("oracle executes");
+        std::hint::black_box(out.result.n_rows());
+    });
+    eprintln!(
+        "row path: p50 {:.3}ms  p99 {:.3}ms",
+        row_path.p50_ms, row_path.p99_ms
+    );
+
+    let parallel_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut engines: Vec<(Arc<dyn Dbms>, usize)> =
+        EngineKind::ALL.iter().map(|k| (k.build(), 1)).collect();
+    if parallel_threads > 1 {
+        engines.push((
+            Arc::new(DuckDbLike::with_scan_threads(parallel_threads)) as Arc<dyn Dbms>,
+            parallel_threads,
+        ));
+    }
+
+    let mut reports = Vec::new();
+    for (engine, threads) in &engines {
+        engine.register(table.clone());
+        // Sanity: the measured configuration must agree with the oracle.
+        let check = engine.execute(&query).expect("engine executes");
+        assert!(
+            check.result.multiset_eq(&oracle_result),
+            "{} disagrees with the row oracle on the microbench query",
+            engine.name()
+        );
+        let latency = measure(iters, || {
+            let out = engine.execute(&query).expect("engine executes");
+            std::hint::black_box(out.result.n_rows());
+        });
+        let speedup = row_path.p50_ms / latency.p50_ms;
+        let name = if *threads > 1 {
+            format!("{} (parallel)", engine.name())
+        } else {
+            engine.name().to_string()
+        };
+        eprintln!(
+            "{name:<24} p50 {:>9.3}ms  p99 {:>9.3}ms  speedup vs row {speedup:.1}x",
+            latency.p50_ms, latency.p99_ms
+        );
+        reports.push(EngineReport {
+            name,
+            scan_threads: *threads,
+            latency,
+            speedup_vs_row_p50: speedup,
+        });
+    }
+
+    let report = PerfReport {
+        rows,
+        query: PERF_QUERY.to_string(),
+        iterations: iters,
+        seed,
+        row_path,
+        engines: reports,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_PR2.json");
+}

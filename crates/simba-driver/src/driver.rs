@@ -197,6 +197,7 @@ impl Driver {
             },
             sessions: scripts.len(),
             workers,
+            scan_threads: engine.scan_threads(),
             wall_clock_ms: wall.as_secs_f64() * 1_000.0,
             interactions,
             queries,

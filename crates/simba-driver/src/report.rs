@@ -62,6 +62,9 @@ pub struct DriverReport {
     pub mode: String,
     pub sessions: usize,
     pub workers: usize,
+    /// Intra-query scan parallelism the engine under test was configured
+    /// with (morsel-parallel worker threads; `1` = sequential scans).
+    pub scan_threads: usize,
     pub wall_clock_ms: f64,
     /// Interactions replayed (excludes the initial renders).
     pub interactions: u64,
@@ -112,6 +115,7 @@ mod tests {
             mode: "closed".to_string(),
             sessions: 4,
             workers: 2,
+            scan_threads: 1,
             wall_clock_ms: 12.5,
             interactions: 20,
             queries: 44,
@@ -133,5 +137,6 @@ mod tests {
         assert!(json.contains("\"engine\": \"duckdb-like\""), "{json}");
         assert!(json.contains("\"hit_rate\""), "{json}");
         assert!(json.contains("\"queue_delay\": null"), "{json}");
+        assert!(json.contains("\"scan_threads\": 1"), "{json}");
     }
 }

@@ -138,6 +138,54 @@ impl Accumulator {
         }
     }
 
+    /// Fold another accumulator's state into this one. `other` must come
+    /// from the same [`AggSpec`] and must cover *later* rows: min/max ties
+    /// keep `self`'s value (the keep-first rule), so merging partial states
+    /// in scan order reproduces the sequential result.
+    pub fn merge(&mut self, other: &Accumulator) {
+        match (self, other) {
+            (Accumulator::CountStar(a), Accumulator::CountStar(b))
+            | (Accumulator::Count(a), Accumulator::Count(b)) => *a += b,
+            (Accumulator::CountDistinct(a), Accumulator::CountDistinct(b)) => {
+                a.extend(b.iter().cloned());
+            }
+            (
+                Accumulator::Sum {
+                    int,
+                    float,
+                    saw_float,
+                    any,
+                },
+                Accumulator::Sum {
+                    int: oi,
+                    float: of,
+                    saw_float: osf,
+                    any: oa,
+                },
+            ) => {
+                *int = int.wrapping_add(*oi);
+                *float += of;
+                *saw_float |= osf;
+                *any |= oa;
+            }
+            (Accumulator::Avg { sum, n }, Accumulator::Avg { sum: os, n: on }) => {
+                *sum += os;
+                *n += on;
+            }
+            (Accumulator::Min(cur), Accumulator::Min(Some(v))) => match cur {
+                Some(m) if v >= m => {}
+                _ => *cur = Some(v.clone()),
+            },
+            (Accumulator::Max(cur), Accumulator::Max(Some(v))) => match cur {
+                Some(m) if v <= m => {}
+                _ => *cur = Some(v.clone()),
+            },
+            (Accumulator::Min(_), Accumulator::Min(None))
+            | (Accumulator::Max(_), Accumulator::Max(None)) => {}
+            (a, b) => unreachable!("merging mismatched accumulators: {a:?} vs {b:?}"),
+        }
+    }
+
     /// Final aggregate value for the group.
     pub fn finalize(&self) -> Value {
         match self {
@@ -274,5 +322,53 @@ mod tests {
     #[test]
     fn validate_rejects_sum_star() {
         assert!(spec(Func::Sum, false, false).validate().is_err());
+    }
+
+    #[test]
+    fn merge_combines_partial_sums_and_counts() {
+        let s = spec(Func::Sum, true, false);
+        let mut a = s.accumulator();
+        a.update_value(Value::Int(2));
+        let mut b = s.accumulator();
+        b.update_value(Value::Int(3));
+        a.merge(&b);
+        assert_eq!(a.finalize(), Value::Int(5));
+
+        let c = spec(Func::Count, false, false);
+        let mut x = c.accumulator();
+        x.update_star();
+        let mut y = c.accumulator();
+        y.update_star();
+        y.update_star();
+        x.merge(&y);
+        assert_eq!(x.finalize(), Value::Int(3));
+    }
+
+    #[test]
+    fn merge_min_keeps_first_on_ties() {
+        let s = spec(Func::Min, true, false);
+        let mut a = s.accumulator();
+        a.update_value(Value::Int(4));
+        let mut b = s.accumulator();
+        b.update_value(Value::Int(4));
+        a.merge(&b);
+        assert_eq!(a.finalize(), Value::Int(4));
+        let mut empty = s.accumulator();
+        empty.merge(&a);
+        assert_eq!(empty.finalize(), Value::Int(4));
+        a.merge(&s.accumulator());
+        assert_eq!(a.finalize(), Value::Int(4));
+    }
+
+    #[test]
+    fn merge_count_distinct_unions() {
+        let s = spec(Func::Count, true, true);
+        let mut a = s.accumulator();
+        a.update_value(Value::str("A"));
+        let mut b = s.accumulator();
+        b.update_value(Value::str("A"));
+        b.update_value(Value::str("B"));
+        a.merge(&b);
+        assert_eq!(a.finalize(), Value::Int(2));
     }
 }

@@ -1,0 +1,1257 @@
+//! Batch-at-a-time execution: selection vectors, columnar filter kernels,
+//! zone-map pruning, typed aggregation states, and the morsel-driven scan.
+//!
+//! The row-at-a-time interpreter ([`crate::exec::run_row`]) pays an enum
+//! dispatch and a `Value` allocation per row per expression. The batch path
+//! instead evaluates each filter conjunct over a contiguous column slice
+//! with a tight typed loop, refining a [`SelectionVector`] of surviving row
+//! indices, and feeds aggregates from raw `i64`/`f64` slices into dense
+//! group-indexed states — no `Value` boxing on the hot path. Semantics are
+//! pinned to the row path: the equivalence suite requires byte-identical
+//! results from both.
+
+use crate::agg::{Accumulator, AggSpec};
+use crate::eval::{eval, eval_predicate, CExpr, TableRow};
+use crate::exec::{
+    compile_kernels, emit_finalized_groups, new_group, update_group, ExecStats, Kernel,
+};
+use crate::plan::{PreparedQuery, QueryKind};
+use simba_sql::{BinOp, Func};
+use simba_store::zonemap::{morsel_bounds, morsel_count, Zone, ZoneMaps, MORSEL_ROWS};
+use simba_store::{ColumnData, Table, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Rows per scan batch. Equal to the zone-map granularity so every batch is
+/// covered by exactly one zone per column.
+pub const MORSEL: usize = MORSEL_ROWS;
+
+/// The set of row indices (within a morsel or a whole table) still alive
+/// after the filter conjuncts applied so far.
+#[derive(Debug, Default)]
+pub struct SelectionVector {
+    rows: Vec<u32>,
+}
+
+impl SelectionVector {
+    /// Empty selection with room for `capacity` rows.
+    pub fn with_capacity(capacity: usize) -> SelectionVector {
+        SelectionVector {
+            rows: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reset to the dense range `[start, end)`.
+    pub fn fill_range(&mut self, start: usize, end: usize) {
+        self.rows.clear();
+        self.rows.extend(start as u32..end as u32);
+    }
+
+    /// Surviving row indices.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Number of surviving rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no row survives.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Drop every row.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+/// In-place compaction of a selection vector: keep row `i` iff `$keep(i)`.
+/// Written branch-light (unconditional store + predicated advance) so the
+/// typed comparison loops compile to straight-line code.
+macro_rules! compact {
+    ($sel:expr, $keep:expr) => {{
+        let rows = &mut $sel.rows;
+        let mut out = 0usize;
+        for k in 0..rows.len() {
+            let i = rows[k] as usize;
+            rows[out] = rows[k];
+            out += usize::from($keep(i));
+        }
+        rows.truncate(out);
+    }};
+}
+
+impl Kernel {
+    /// Refine `sel` to the rows that pass this kernel, evaluating over
+    /// contiguous column slices. Exactly equivalent to calling
+    /// [`Kernel::matches`] per row (the equivalence suite enforces this),
+    /// but without per-row column lookup or `Value` boxing.
+    pub fn filter_batch(&self, table: &Table, sel: &mut SelectionVector) {
+        match self {
+            Kernel::IntCmp { col, op, rhs } => {
+                let c = table.column(*col);
+                match c.int_data() {
+                    Some(data) => filter_int(data, c.validity(), *op, *rhs, sel),
+                    // Type mismatch: the row path rejects every row.
+                    None => sel.clear(),
+                }
+            }
+            Kernel::FloatCmp { col, op, rhs } => {
+                let c = table.column(*col);
+                let valid = c.validity();
+                if let Some(data) = c.float_data() {
+                    filter_float(|i| data[i], valid, *op, *rhs, sel);
+                } else if let Some(data) = c.int_data() {
+                    filter_float(|i| data[i] as f64, valid, *op, *rhs, sel);
+                } else {
+                    sel.clear();
+                }
+            }
+            Kernel::DictIn { col, mask } => {
+                let c = table.column(*col);
+                match c.code_data() {
+                    Some(codes) => {
+                        let valid = c.validity();
+                        let keep_code =
+                            |i: usize| mask.get(codes[i] as usize).copied().unwrap_or(false);
+                        if valid.is_empty() {
+                            compact!(sel, keep_code);
+                        } else {
+                            compact!(sel, |i: usize| valid[i] && keep_code(i));
+                        }
+                    }
+                    None => sel.clear(),
+                }
+            }
+            Kernel::Generic(expr) => {
+                compact!(sel, |i: usize| eval_predicate(
+                    expr,
+                    &TableRow { table, row: i }
+                ) == Some(true));
+            }
+        }
+    }
+
+    /// Can this kernel rule out every row of morsel `m` from its zone alone?
+    /// `true` means the whole morsel can be skipped without reading data.
+    pub fn prunes_morsel(&self, zones: &ZoneMaps, m: usize) -> bool {
+        match self {
+            Kernel::IntCmp { col, op, rhs } => match zones.column(*col).map(|z| z.zone(m)) {
+                Some(Zone::AllNull) => true,
+                Some(Zone::Int { min, max }) => int_zone_excludes(min, max, *op, *rhs),
+                _ => false,
+            },
+            Kernel::FloatCmp { col, op, rhs } => match zones.column(*col).map(|z| z.zone(m)) {
+                Some(Zone::AllNull) => true,
+                Some(Zone::Float { min, max }) => float_zone_excludes(min, max, *op, *rhs),
+                // A float comparison over an Int column: only prune when the
+                // bounds convert to f64 exactly, else rounding could move a
+                // bound past the true extremum and drop matching rows.
+                Some(Zone::Int { min, max }) => {
+                    const EXACT: i64 = 1 << 53;
+                    min.abs() <= EXACT
+                        && max.abs() <= EXACT
+                        && float_zone_excludes(min as f64, max as f64, *op, *rhs)
+                }
+                None => false,
+            },
+            // Dictionary and generic filters carry no zone statistics.
+            Kernel::DictIn { .. } | Kernel::Generic(_) => false,
+        }
+    }
+
+    /// True when zone maps can ever prune for this kernel (used to decide
+    /// whether building/consulting them is worthwhile).
+    pub fn is_zone_prunable(&self) -> bool {
+        matches!(self, Kernel::IntCmp { .. } | Kernel::FloatCmp { .. })
+    }
+}
+
+fn filter_int(data: &[i64], valid: &[bool], op: BinOp, rhs: i64, sel: &mut SelectionVector) {
+    macro_rules! cmp {
+        ($keep:expr) => {{
+            if valid.is_empty() {
+                compact!(sel, |i: usize| $keep(data[i]));
+            } else {
+                compact!(sel, |i: usize| valid[i] && $keep(data[i]));
+            }
+        }};
+    }
+    match op {
+        BinOp::Eq => cmp!(|v: i64| v == rhs),
+        BinOp::NotEq => cmp!(|v: i64| v != rhs),
+        BinOp::Lt => cmp!(|v: i64| v < rhs),
+        BinOp::LtEq => cmp!(|v: i64| v <= rhs),
+        BinOp::Gt => cmp!(|v: i64| v > rhs),
+        BinOp::GtEq => cmp!(|v: i64| v >= rhs),
+        op => unreachable!("non-comparison BinOp {op:?} in IntCmp kernel"),
+    }
+}
+
+fn filter_float(
+    get: impl Fn(usize) -> f64,
+    valid: &[bool],
+    op: BinOp,
+    rhs: f64,
+    sel: &mut SelectionVector,
+) {
+    // `total_cmp`, matching the row path (`Kernel::matches`) bit-for-bit.
+    macro_rules! cmp {
+        ($keep:expr) => {{
+            if valid.is_empty() {
+                compact!(sel, |i: usize| $keep(get(i).total_cmp(&rhs)));
+            } else {
+                compact!(sel, |i: usize| valid[i] && $keep(get(i).total_cmp(&rhs)));
+            }
+        }};
+    }
+    match op {
+        BinOp::Eq => cmp!(|o: Ordering| o == Ordering::Equal),
+        BinOp::NotEq => cmp!(|o: Ordering| o != Ordering::Equal),
+        BinOp::Lt => cmp!(|o: Ordering| o == Ordering::Less),
+        BinOp::LtEq => cmp!(|o: Ordering| o != Ordering::Greater),
+        BinOp::Gt => cmp!(|o: Ordering| o == Ordering::Greater),
+        BinOp::GtEq => cmp!(|o: Ordering| o != Ordering::Less),
+        op => unreachable!("non-comparison BinOp {op:?} in FloatCmp kernel"),
+    }
+}
+
+fn int_zone_excludes(min: i64, max: i64, op: BinOp, rhs: i64) -> bool {
+    match op {
+        BinOp::Eq => rhs < min || rhs > max,
+        BinOp::NotEq => min == max && min == rhs,
+        BinOp::Lt => min >= rhs,
+        BinOp::LtEq => min > rhs,
+        BinOp::Gt => max <= rhs,
+        BinOp::GtEq => max < rhs,
+        _ => false,
+    }
+}
+
+fn float_zone_excludes(min: f64, max: f64, op: BinOp, rhs: f64) -> bool {
+    // Bounds were computed under total_cmp, so comparisons here use it too.
+    let lo = min.total_cmp(&rhs);
+    let hi = max.total_cmp(&rhs);
+    match op {
+        BinOp::Eq => lo == Ordering::Greater || hi == Ordering::Less,
+        BinOp::NotEq => lo == Ordering::Equal && hi == Ordering::Equal,
+        BinOp::Lt => lo != Ordering::Less,
+        BinOp::LtEq => lo == Ordering::Greater,
+        BinOp::Gt => hi != Ordering::Greater,
+        BinOp::GtEq => hi == Ordering::Less,
+        _ => false,
+    }
+}
+
+/// One aggregate admitted to the typed fast path: its function, source
+/// column, and the column's physical type, all resolved at compile time.
+#[derive(Debug, Clone, Copy)]
+enum TypedAggKind {
+    CountStar,
+    /// `COUNT(col)`: non-null count, any column type.
+    CountCol {
+        col: usize,
+    },
+    SumInt {
+        col: usize,
+    },
+    SumFloat {
+        col: usize,
+    },
+    AvgInt {
+        col: usize,
+    },
+    AvgFloat {
+        col: usize,
+    },
+    MinInt {
+        col: usize,
+    },
+    MaxInt {
+        col: usize,
+    },
+    MinFloat {
+        col: usize,
+    },
+    MaxFloat {
+        col: usize,
+    },
+}
+
+/// Decide whether every aggregate of a plan has a typed fast path: the
+/// argument must be a bare column of a matching physical type, and
+/// `COUNT(DISTINCT …)` always falls back (it needs a value set).
+fn compile_typed_aggs(aggs: &[AggSpec], table: &Table) -> Option<Vec<TypedAggKind>> {
+    aggs.iter()
+        .map(|spec| {
+            if spec.distinct {
+                return None;
+            }
+            let Some(arg) = &spec.arg else {
+                return (spec.func == Func::Count).then_some(TypedAggKind::CountStar);
+            };
+            let col = arg.as_col()?;
+            let is_int = matches!(table.column(col), ColumnData::Int { .. });
+            let is_float = matches!(table.column(col), ColumnData::Float { .. });
+            match spec.func {
+                Func::Count => Some(TypedAggKind::CountCol { col }),
+                Func::Sum if is_int => Some(TypedAggKind::SumInt { col }),
+                Func::Sum if is_float => Some(TypedAggKind::SumFloat { col }),
+                Func::Avg if is_int => Some(TypedAggKind::AvgInt { col }),
+                Func::Avg if is_float => Some(TypedAggKind::AvgFloat { col }),
+                Func::Min if is_int => Some(TypedAggKind::MinInt { col }),
+                Func::Max if is_int => Some(TypedAggKind::MaxInt { col }),
+                Func::Min if is_float => Some(TypedAggKind::MinFloat { col }),
+                Func::Max if is_float => Some(TypedAggKind::MaxFloat { col }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Unboxed per-group state for one typed aggregate, group-slot indexed.
+#[derive(Debug, Clone)]
+enum AggStateVec {
+    Count(Vec<i64>),
+    /// SUM over an Int column: integer-preserving (wrapping, like the
+    /// accumulator); `any` distinguishes `0` from "no input → NULL".
+    SumInt {
+        int: Vec<i64>,
+        any: Vec<bool>,
+    },
+    SumFloat {
+        sum: Vec<f64>,
+        any: Vec<bool>,
+    },
+    Avg {
+        sum: Vec<f64>,
+        n: Vec<i64>,
+    },
+    MinMaxInt {
+        val: Vec<i64>,
+        seen: Vec<bool>,
+    },
+    MinMaxFloat {
+        val: Vec<f64>,
+        seen: Vec<bool>,
+    },
+}
+
+impl AggStateVec {
+    fn new(kind: TypedAggKind, n_groups: usize) -> AggStateVec {
+        match kind {
+            TypedAggKind::CountStar | TypedAggKind::CountCol { .. } => {
+                AggStateVec::Count(vec![0; n_groups])
+            }
+            TypedAggKind::SumInt { .. } => AggStateVec::SumInt {
+                int: vec![0; n_groups],
+                any: vec![false; n_groups],
+            },
+            TypedAggKind::SumFloat { .. } => AggStateVec::SumFloat {
+                sum: vec![0.0; n_groups],
+                any: vec![false; n_groups],
+            },
+            TypedAggKind::AvgInt { .. } | TypedAggKind::AvgFloat { .. } => AggStateVec::Avg {
+                sum: vec![0.0; n_groups],
+                n: vec![0; n_groups],
+            },
+            TypedAggKind::MinInt { .. } | TypedAggKind::MaxInt { .. } => AggStateVec::MinMaxInt {
+                val: vec![0; n_groups],
+                seen: vec![false; n_groups],
+            },
+            TypedAggKind::MinFloat { .. } | TypedAggKind::MaxFloat { .. } => {
+                AggStateVec::MinMaxFloat {
+                    val: vec![0.0; n_groups],
+                    seen: vec![false; n_groups],
+                }
+            }
+        }
+    }
+}
+
+/// Dense typed aggregation states: one slot per group, fed batch-wise from
+/// raw column slices. Group slots are assigned by the caller (dictionary
+/// codes for categorical keys, slot 0 for global aggregates).
+#[derive(Debug, Clone)]
+pub struct TypedGroupStates {
+    kinds: Vec<TypedAggKind>,
+    states: Vec<AggStateVec>,
+    touched: Vec<bool>,
+}
+
+impl TypedGroupStates {
+    /// Compile the plan's aggregates into typed states over `n_groups`
+    /// dense slots, or `None` if any aggregate lacks a fast path.
+    pub fn compile(aggs: &[AggSpec], table: &Table, n_groups: usize) -> Option<TypedGroupStates> {
+        let kinds = compile_typed_aggs(aggs, table)?;
+        let states = kinds
+            .iter()
+            .map(|&k| AggStateVec::new(k, n_groups))
+            .collect();
+        Some(TypedGroupStates {
+            kinds,
+            states,
+            touched: vec![false; n_groups],
+        })
+    }
+
+    /// Mark a group slot live even if no row reaches it (global aggregates
+    /// emit one row over empty input).
+    pub fn mark_touched(&mut self, slot: usize) {
+        self.touched[slot] = true;
+    }
+
+    /// Has any row (or an explicit mark) reached group `slot`?
+    pub fn is_touched(&self, slot: usize) -> bool {
+        self.touched[slot]
+    }
+
+    /// Number of group slots.
+    pub fn n_groups(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Feed one batch: for each selected row `sel[k]`, update every
+    /// aggregate's state at group slot `slots[k]`. Tight per-aggregate
+    /// loops over the raw column slices; no `Value` is constructed.
+    pub fn update_batch(&mut self, table: &Table, sel: &[u32], slots: &[u32]) {
+        debug_assert_eq!(sel.len(), slots.len());
+        for &s in slots {
+            self.touched[s as usize] = true;
+        }
+        for (kind, state) in self.kinds.iter().zip(self.states.iter_mut()) {
+            update_one(*kind, state, table, sel, slots);
+        }
+    }
+
+    /// Merge a partial state produced over a *later* range of morsels.
+    /// Order matters for min/max tie-breaking (keep-first) and mirrors the
+    /// sequential scan when partials are merged in morsel order.
+    pub fn merge(&mut self, other: &TypedGroupStates) {
+        for (t, o) in self.touched.iter_mut().zip(&other.touched) {
+            *t |= o;
+        }
+        for (kind, (a, b)) in self
+            .kinds
+            .iter()
+            .zip(self.states.iter_mut().zip(&other.states))
+        {
+            merge_state(*kind, a, b);
+        }
+    }
+
+    /// Finalized aggregate values for group `slot`, matching
+    /// [`Accumulator::finalize`] exactly.
+    pub fn finalize_into(&self, slot: usize, out: &mut Vec<Value>) {
+        for state in &self.states {
+            out.push(match state {
+                AggStateVec::Count(n) => Value::Int(n[slot]),
+                AggStateVec::SumInt { int, any } => {
+                    if any[slot] {
+                        Value::Int(int[slot])
+                    } else {
+                        Value::Null
+                    }
+                }
+                AggStateVec::SumFloat { sum, any } => {
+                    if any[slot] {
+                        Value::Float(sum[slot])
+                    } else {
+                        Value::Null
+                    }
+                }
+                AggStateVec::Avg { sum, n } => {
+                    if n[slot] == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(sum[slot] / n[slot] as f64)
+                    }
+                }
+                AggStateVec::MinMaxInt { val, seen } => {
+                    if seen[slot] {
+                        Value::Int(val[slot])
+                    } else {
+                        Value::Null
+                    }
+                }
+                AggStateVec::MinMaxFloat { val, seen } => {
+                    if seen[slot] {
+                        Value::Float(val[slot])
+                    } else {
+                        Value::Null
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Iterate `(row, slot)` pairs where the column is valid at `row`.
+macro_rules! for_valid {
+    ($valid:expr, $sel:expr, $slots:expr, |$i:ident, $s:ident| $body:expr) => {{
+        let valid = $valid;
+        if valid.is_empty() {
+            for (&row, &slot) in $sel.iter().zip($slots) {
+                let ($i, $s) = (row as usize, slot as usize);
+                $body
+            }
+        } else {
+            for (&row, &slot) in $sel.iter().zip($slots) {
+                let ($i, $s) = (row as usize, slot as usize);
+                if valid[$i] {
+                    $body
+                }
+            }
+        }
+    }};
+}
+
+fn update_one(
+    kind: TypedAggKind,
+    state: &mut AggStateVec,
+    table: &Table,
+    sel: &[u32],
+    slots: &[u32],
+) {
+    match (kind, state) {
+        (TypedAggKind::CountStar, AggStateVec::Count(n)) => {
+            for &slot in slots {
+                n[slot as usize] += 1;
+            }
+        }
+        (TypedAggKind::CountCol { col }, AggStateVec::Count(n)) => {
+            let c = table.column(col);
+            for_valid!(c.validity(), sel, slots, |_i, s| n[s] += 1);
+        }
+        (TypedAggKind::SumInt { col }, AggStateVec::SumInt { int, any }) => {
+            let c = table.column(col);
+            let data = c.int_data().expect("typed agg column is Int");
+            for_valid!(c.validity(), sel, slots, |i, s| {
+                int[s] = int[s].wrapping_add(data[i]);
+                any[s] = true;
+            });
+        }
+        (TypedAggKind::SumFloat { col }, AggStateVec::SumFloat { sum, any }) => {
+            let c = table.column(col);
+            let data = c.float_data().expect("typed agg column is Float");
+            for_valid!(c.validity(), sel, slots, |i, s| {
+                sum[s] += data[i];
+                any[s] = true;
+            });
+        }
+        (TypedAggKind::AvgInt { col }, AggStateVec::Avg { sum, n }) => {
+            let c = table.column(col);
+            let data = c.int_data().expect("typed agg column is Int");
+            for_valid!(c.validity(), sel, slots, |i, s| {
+                sum[s] += data[i] as f64;
+                n[s] += 1;
+            });
+        }
+        (TypedAggKind::AvgFloat { col }, AggStateVec::Avg { sum, n }) => {
+            let c = table.column(col);
+            let data = c.float_data().expect("typed agg column is Float");
+            for_valid!(c.validity(), sel, slots, |i, s| {
+                sum[s] += data[i];
+                n[s] += 1;
+            });
+        }
+        (TypedAggKind::MinInt { col }, AggStateVec::MinMaxInt { val, seen }) => {
+            let c = table.column(col);
+            let data = c.int_data().expect("typed agg column is Int");
+            for_valid!(c.validity(), sel, slots, |i, s| {
+                let v = data[i];
+                // Strict `<`: ties keep the earlier value, like the
+                // accumulator's keep-first rule.
+                if !seen[s] || v < val[s] {
+                    val[s] = v;
+                    seen[s] = true;
+                }
+            });
+        }
+        (TypedAggKind::MaxInt { col }, AggStateVec::MinMaxInt { val, seen }) => {
+            let c = table.column(col);
+            let data = c.int_data().expect("typed agg column is Int");
+            for_valid!(c.validity(), sel, slots, |i, s| {
+                let v = data[i];
+                if !seen[s] || v > val[s] {
+                    val[s] = v;
+                    seen[s] = true;
+                }
+            });
+        }
+        (TypedAggKind::MinFloat { col }, AggStateVec::MinMaxFloat { val, seen }) => {
+            let c = table.column(col);
+            let data = c.float_data().expect("typed agg column is Float");
+            for_valid!(c.validity(), sel, slots, |i, s| {
+                let v = data[i];
+                if !seen[s] || v.total_cmp(&val[s]) == Ordering::Less {
+                    val[s] = v;
+                    seen[s] = true;
+                }
+            });
+        }
+        (TypedAggKind::MaxFloat { col }, AggStateVec::MinMaxFloat { val, seen }) => {
+            let c = table.column(col);
+            let data = c.float_data().expect("typed agg column is Float");
+            for_valid!(c.validity(), sel, slots, |i, s| {
+                let v = data[i];
+                if !seen[s] || v.total_cmp(&val[s]) == Ordering::Greater {
+                    val[s] = v;
+                    seen[s] = true;
+                }
+            });
+        }
+        (kind, state) => unreachable!("typed agg state mismatch: {kind:?} vs {state:?}"),
+    }
+}
+
+fn merge_state(kind: TypedAggKind, a: &mut AggStateVec, b: &AggStateVec) {
+    match (a, b) {
+        (AggStateVec::Count(x), AggStateVec::Count(y)) => {
+            for (x, y) in x.iter_mut().zip(y) {
+                *x += y;
+            }
+        }
+        (AggStateVec::SumInt { int: xi, any: xa }, AggStateVec::SumInt { int: yi, any: ya }) => {
+            for s in 0..xi.len() {
+                xi[s] = xi[s].wrapping_add(yi[s]);
+                xa[s] |= ya[s];
+            }
+        }
+        (
+            AggStateVec::SumFloat { sum: xs, any: xa },
+            AggStateVec::SumFloat { sum: ys, any: ya },
+        ) => {
+            for s in 0..xs.len() {
+                xs[s] += ys[s];
+                xa[s] |= ya[s];
+            }
+        }
+        (AggStateVec::Avg { sum: xs, n: xn }, AggStateVec::Avg { sum: ys, n: yn }) => {
+            for s in 0..xs.len() {
+                xs[s] += ys[s];
+                xn[s] += yn[s];
+            }
+        }
+        (
+            AggStateVec::MinMaxInt { val: xv, seen: xs },
+            AggStateVec::MinMaxInt { val: yv, seen: ys },
+        ) => {
+            // `other` covers later morsels, so its representative plays the
+            // role of "new value v" in the keep-first rule: adopt only when
+            // strictly better.
+            let is_min = matches!(kind, TypedAggKind::MinInt { .. });
+            for s in 0..xv.len() {
+                if !ys[s] {
+                    continue;
+                }
+                let better = !xs[s] || if is_min { yv[s] < xv[s] } else { yv[s] > xv[s] };
+                if better {
+                    xv[s] = yv[s];
+                    xs[s] = true;
+                }
+            }
+        }
+        (
+            AggStateVec::MinMaxFloat { val: xv, seen: xs },
+            AggStateVec::MinMaxFloat { val: yv, seen: ys },
+        ) => {
+            let want = if matches!(kind, TypedAggKind::MinFloat { .. }) {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            };
+            for s in 0..xv.len() {
+                if !ys[s] {
+                    continue;
+                }
+                if !xs[s] || yv[s].total_cmp(&xv[s]) == want {
+                    xv[s] = yv[s];
+                    xs[s] = true;
+                }
+            }
+        }
+        (a, b) => unreachable!("typed agg merge mismatch: {a:?} vs {b:?}"),
+    }
+}
+
+/// Group slots for the selected rows of a dictionary-encoded key column:
+/// the row's dictionary code, or `null_slot` for NULL rows.
+pub fn dict_key_slots(col: &ColumnData, sel: &[u32], slots: &mut Vec<u32>, null_slot: u32) {
+    slots.clear();
+    let codes = col.code_data().expect("dict key column");
+    let valid = col.validity();
+    if valid.is_empty() {
+        slots.extend(sel.iter().map(|&i| codes[i as usize]));
+    } else {
+        slots.extend(sel.iter().map(|&i| {
+            let i = i as usize;
+            if valid[i] {
+                codes[i]
+            } else {
+                null_slot
+            }
+        }));
+    }
+}
+
+/// Reset `sel` to the rows `[start, end)` and refine it through each filter
+/// kernel in turn, stopping early once no row survives. The one fill+refine
+/// loop shared by every engine's scan (morsel, block, or whole-vector).
+pub fn fill_filtered(
+    sel: &mut SelectionVector,
+    table: &Table,
+    start: usize,
+    end: usize,
+    kernels: Option<&[Kernel]>,
+) {
+    sel.fill_range(start, end);
+    if let Some(ks) = kernels {
+        for k in ks {
+            k.filter_batch(table, sel);
+            if sel.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// The single bare dictionary-encoded group-key column of an aggregate, if
+/// the plan has exactly that shape (the dense code-indexed grouping paths
+/// require it).
+pub fn dict_group_key_col(keys: &[CExpr], table: &Table) -> Option<usize> {
+    (keys.len() == 1)
+        .then(|| keys[0].as_col())
+        .flatten()
+        .filter(|&c| matches!(table.column(c), ColumnData::Str { .. }))
+}
+
+/// Emit `(group key, finalized aggregates)` for every touched slot of a
+/// dense typed state: slot `< dict.len()` keys the dictionary string, the
+/// trailing slot keys the NULL group, and with `global` (no group keys) the
+/// single slot emits an empty key.
+pub fn finalize_typed_groups(
+    states: &TypedGroupStates,
+    dict: &[std::sync::Arc<str>],
+    global: bool,
+) -> Vec<(Vec<Value>, Vec<Value>)> {
+    (0..states.n_groups())
+        .filter(|&s| states.is_touched(s))
+        .map(|s| {
+            let key = if global {
+                Vec::new()
+            } else if s < dict.len() {
+                vec![Value::Str(dict[s].clone())]
+            } else {
+                vec![Value::Null]
+            };
+            let mut finalized = Vec::new();
+            states.finalize_into(s, &mut finalized);
+            (key, finalized)
+        })
+        .collect()
+}
+
+/// Split `0..n` into at most `parts` contiguous, near-equal ranges.
+fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Aggregation strategy, decided once per query from the plan shape.
+enum AggMode {
+    /// Plain projection: collect output rows.
+    Project,
+    /// One bare dict-encoded group key and all-typed aggregates: dense
+    /// code-indexed typed states (slot = code, last slot = NULL group).
+    TypedDict { key_col: usize, dict_len: usize },
+    /// One bare dict-encoded group key, generic accumulators per code slot.
+    DenseDict { key_col: usize, dict_len: usize },
+    /// Global aggregate (no keys) with all-typed aggregates: one slot.
+    TypedGlobal,
+    /// Fallback: hash grouping over evaluated key values.
+    Hash,
+}
+
+fn decide_mode(plan: &PreparedQuery, table: &Table) -> AggMode {
+    let QueryKind::Aggregate { keys, aggs, .. } = &plan.kind else {
+        return AggMode::Project;
+    };
+    let typed = compile_typed_aggs(aggs, table).is_some();
+    match dict_group_key_col(keys, table) {
+        Some(key_col) => {
+            let dict_len = table
+                .column(key_col)
+                .dictionary()
+                .map_or(0, <[std::sync::Arc<str>]>::len);
+            if typed {
+                AggMode::TypedDict { key_col, dict_len }
+            } else {
+                AggMode::DenseDict { key_col, dict_len }
+            }
+        }
+        None if keys.is_empty() && typed => AggMode::TypedGlobal,
+        None => AggMode::Hash,
+    }
+}
+
+/// Partial result of scanning one contiguous range of morsels.
+enum Partial {
+    Rows(Vec<Vec<Value>>),
+    Typed(TypedGroupStates),
+    Dense(Vec<Option<Vec<Accumulator>>>),
+    Hash(HashMap<Vec<Value>, Vec<Accumulator>>),
+}
+
+struct RangePartial {
+    partial: Partial,
+    matched: usize,
+    pruned: usize,
+    /// Rows inside pruned morsels (never read from storage).
+    skipped: usize,
+}
+
+/// Morsel-driven vectorized scan: zone-map pruning, selection-vector filter
+/// kernels, and (where the plan allows) typed aggregation. With `threads > 1`
+/// the morsels are split into contiguous chunks scanned by scoped worker
+/// threads whose partial states are merged in morsel order, keeping output
+/// deterministic.
+pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, ExecStats) {
+    let table = plan.table.as_ref();
+    let n = table.row_count();
+    let kernels: Option<Vec<Kernel>> = plan.filter.as_ref().map(|f| compile_kernels(f, table));
+    let zones = kernels
+        .as_deref()
+        .is_some_and(|ks| ks.iter().any(Kernel::is_zone_prunable))
+        .then(|| table.zone_maps());
+    let n_morsels = morsel_count(n);
+    let mode = decide_mode(plan, table);
+
+    let threads = threads.clamp(1, n_morsels.max(1));
+    let partials: Vec<RangePartial> = if threads <= 1 {
+        vec![scan_range(
+            plan,
+            table,
+            kernels.as_deref(),
+            zones,
+            &mode,
+            0..n_morsels,
+        )]
+    } else {
+        let mode = &mode;
+        let kernels = kernels.as_deref();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = split_ranges(n_morsels, threads)
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || scan_range(plan, table, kernels, zones, mode, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut stats = ExecStats {
+        rows_scanned: n,
+        ..ExecStats::default()
+    };
+    let mut iter = partials.into_iter();
+    let first = iter.next().expect("at least one scan range");
+    stats.rows_matched = first.matched;
+    stats.morsels_pruned = first.pruned;
+    stats.rows_scanned -= first.skipped;
+    let mut merged = first.partial;
+    for p in iter {
+        stats.rows_matched += p.matched;
+        stats.morsels_pruned += p.pruned;
+        stats.rows_scanned -= p.skipped;
+        match (&mut merged, p.partial) {
+            (Partial::Rows(a), Partial::Rows(b)) => a.extend(b),
+            (Partial::Typed(a), Partial::Typed(b)) => a.merge(&b),
+            (Partial::Dense(a), Partial::Dense(b)) => {
+                for (slot, accs) in a.iter_mut().zip(b) {
+                    match (slot.as_mut(), accs) {
+                        (Some(mine), Some(theirs)) => {
+                            for (m, t) in mine.iter_mut().zip(&theirs) {
+                                m.merge(t);
+                            }
+                        }
+                        (None, theirs @ Some(_)) => *slot = theirs,
+                        _ => {}
+                    }
+                }
+            }
+            (Partial::Hash(a), Partial::Hash(b)) => {
+                for (key, accs) in b {
+                    match a.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            for (m, t) in e.get_mut().iter_mut().zip(&accs) {
+                                m.merge(t);
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(accs);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("scan ranges share one mode"),
+        }
+    }
+
+    let rows = match (merged, &plan.kind) {
+        (Partial::Rows(rows), _) => rows,
+        (
+            Partial::Typed(mut states),
+            QueryKind::Aggregate {
+                keys,
+                projections,
+                having,
+                ..
+            },
+        ) => {
+            if keys.is_empty() {
+                // A global aggregate emits one row even over zero input.
+                states.mark_touched(0);
+            }
+            let dict = match &mode {
+                AggMode::TypedDict { key_col, .. } => {
+                    table.column(*key_col).dictionary().unwrap_or(&[])
+                }
+                _ => &[],
+            };
+            let groups = finalize_typed_groups(&states, dict, keys.is_empty());
+            stats.groups = groups.len();
+            emit_finalized_groups(projections, having.as_ref(), groups)
+        }
+        (
+            Partial::Dense(slots),
+            QueryKind::Aggregate {
+                projections,
+                having,
+                ..
+            },
+        ) => {
+            let dict = match &mode {
+                AggMode::DenseDict { key_col, .. } => {
+                    table.column(*key_col).dictionary().unwrap_or(&[])
+                }
+                _ => &[],
+            };
+            let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+            for (slot, accs) in slots.into_iter().enumerate() {
+                if let Some(accs) = accs {
+                    let key = if slot < dict.len() {
+                        Value::Str(dict[slot].clone())
+                    } else {
+                        Value::Null
+                    };
+                    groups.push((vec![key], accs));
+                }
+            }
+            stats.groups = groups.len();
+            crate::exec::emit_groups(projections, having.as_ref(), groups)
+        }
+        (
+            Partial::Hash(mut map),
+            QueryKind::Aggregate {
+                keys,
+                aggs,
+                projections,
+                having,
+            },
+        ) => {
+            if keys.is_empty() && map.is_empty() {
+                map.insert(Vec::new(), new_group(aggs));
+            }
+            stats.groups = map.len();
+            crate::exec::emit_groups(projections, having.as_ref(), map)
+        }
+        _ => unreachable!("partial shape matches plan kind"),
+    };
+    (rows, stats)
+}
+
+fn scan_range(
+    plan: &PreparedQuery,
+    table: &Table,
+    kernels: Option<&[Kernel]>,
+    zones: Option<&ZoneMaps>,
+    mode: &AggMode,
+    morsels: std::ops::Range<usize>,
+) -> RangePartial {
+    let n = table.row_count();
+    let mut sel = SelectionVector::with_capacity(MORSEL);
+    let mut slots: Vec<u32> = Vec::new();
+    let (mut matched, mut pruned, mut skipped) = (0usize, 0usize, 0usize);
+    let mut partial = match mode {
+        AggMode::Project => Partial::Rows(Vec::new()),
+        AggMode::TypedDict { dict_len, .. } => {
+            let QueryKind::Aggregate { aggs, .. } = &plan.kind else {
+                unreachable!()
+            };
+            Partial::Typed(
+                TypedGroupStates::compile(aggs, table, dict_len + 1)
+                    .expect("mode chosen with typed support"),
+            )
+        }
+        AggMode::TypedGlobal => {
+            let QueryKind::Aggregate { aggs, .. } = &plan.kind else {
+                unreachable!()
+            };
+            Partial::Typed(
+                TypedGroupStates::compile(aggs, table, 1).expect("mode chosen with typed support"),
+            )
+        }
+        AggMode::DenseDict { dict_len, .. } => Partial::Dense(vec![None; dict_len + 1]),
+        AggMode::Hash => Partial::Hash(HashMap::new()),
+    };
+
+    for m in morsels {
+        let (start, end) = morsel_bounds(m, n);
+        if let (Some(ks), Some(z)) = (kernels, zones) {
+            if ks.iter().any(|k| k.prunes_morsel(z, m)) {
+                pruned += 1;
+                skipped += end - start;
+                continue;
+            }
+        }
+        fill_filtered(&mut sel, table, start, end, kernels);
+        if sel.is_empty() {
+            continue;
+        }
+        matched += sel.len();
+
+        match (&mut partial, mode) {
+            (Partial::Rows(rows), AggMode::Project) => {
+                let QueryKind::Project { exprs } = &plan.kind else {
+                    unreachable!()
+                };
+                for &i in sel.as_slice() {
+                    let ctx = TableRow {
+                        table,
+                        row: i as usize,
+                    };
+                    rows.push(exprs.iter().map(|e| eval(e, &ctx)).collect());
+                }
+            }
+            (Partial::Typed(states), AggMode::TypedDict { key_col, dict_len }) => {
+                dict_key_slots(
+                    table.column(*key_col),
+                    sel.as_slice(),
+                    &mut slots,
+                    *dict_len as u32,
+                );
+                states.update_batch(table, sel.as_slice(), &slots);
+            }
+            (Partial::Typed(states), AggMode::TypedGlobal) => {
+                slots.clear();
+                slots.resize(sel.len(), 0);
+                states.update_batch(table, sel.as_slice(), &slots);
+            }
+            (Partial::Dense(groups), AggMode::DenseDict { key_col, dict_len }) => {
+                let QueryKind::Aggregate { aggs, .. } = &plan.kind else {
+                    unreachable!()
+                };
+                let col = table.column(*key_col);
+                for &i in sel.as_slice() {
+                    let row = i as usize;
+                    let slot = match col.code(row) {
+                        Some(code) => code as usize,
+                        None => *dict_len,
+                    };
+                    let accs = groups[slot].get_or_insert_with(|| new_group(aggs));
+                    update_group(accs, aggs, table, row);
+                }
+            }
+            (Partial::Hash(map), AggMode::Hash) => {
+                let QueryKind::Aggregate { keys, aggs, .. } = &plan.kind else {
+                    unreachable!()
+                };
+                for &i in sel.as_slice() {
+                    let ctx = TableRow {
+                        table,
+                        row: i as usize,
+                    };
+                    let key: Vec<Value> = keys.iter().map(|k| eval(k, &ctx)).collect();
+                    let accs = map.entry(key).or_insert_with(|| new_group(aggs));
+                    for (acc, spec) in accs.iter_mut().zip(aggs) {
+                        match &spec.arg {
+                            None => acc.update_star(),
+                            Some(arg) => acc.update_value(eval(arg, &ctx)),
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("partial shape matches mode"),
+        }
+    }
+    RangePartial {
+        partial,
+        matched,
+        pruned,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::CExpr;
+    use crate::test_support::sample_table;
+    use simba_sql::parse_select;
+    use std::sync::Arc;
+
+    fn table() -> Table {
+        sample_table()
+    }
+
+    #[test]
+    fn int_filter_batch_matches_row_kernel() {
+        let t = table();
+        let k = Kernel::IntCmp {
+            col: 1,
+            op: BinOp::Gt,
+            rhs: 2,
+        };
+        let mut sel = SelectionVector::with_capacity(8);
+        sel.fill_range(0, t.row_count());
+        k.filter_batch(&t, &mut sel);
+        let expect: Vec<u32> = (0..t.row_count() as u32)
+            .filter(|&i| k.matches(&t, i as usize))
+            .collect();
+        assert_eq!(sel.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn dict_filter_batch_drops_nulls() {
+        let t = table();
+        let filter = crate::plan::compile_row_expr(
+            &simba_sql::Expr::in_strs("queue", vec!["A"]),
+            t.schema(),
+        )
+        .unwrap();
+        let kernels = compile_kernels(&filter, &t);
+        let mut sel = SelectionVector::with_capacity(8);
+        sel.fill_range(0, t.row_count());
+        for k in &kernels {
+            k.filter_batch(&t, &mut sel);
+        }
+        assert_eq!(sel.as_slice(), &[0, 2]);
+    }
+
+    #[test]
+    fn generic_kernel_refines_surviving_rows_only() {
+        let t = table();
+        // `calls + 0 > 2` does not specialize: exercised via the interpreter.
+        let filter = CExpr::Bin {
+            l: Box::new(CExpr::Bin {
+                l: Box::new(CExpr::Col(1)),
+                op: BinOp::Add,
+                r: Box::new(CExpr::Lit(Value::Int(0))),
+            }),
+            op: BinOp::Gt,
+            r: Box::new(CExpr::Lit(Value::Int(2))),
+        };
+        let kernels = compile_kernels(&filter, &t);
+        assert!(matches!(kernels[0], Kernel::Generic(_)));
+        let mut sel = SelectionVector::with_capacity(8);
+        sel.fill_range(0, t.row_count());
+        kernels[0].filter_batch(&t, &mut sel);
+        assert_eq!(sel.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn zone_pruning_skips_impossible_morsels() {
+        let t = table();
+        let zones = t.zone_maps();
+        // calls ∈ [1, 7]; `calls > 100` prunes the only morsel.
+        let k = Kernel::IntCmp {
+            col: 1,
+            op: BinOp::Gt,
+            rhs: 100,
+        };
+        assert!(k.prunes_morsel(zones, 0));
+        let k = Kernel::IntCmp {
+            col: 1,
+            op: BinOp::Gt,
+            rhs: 3,
+        };
+        assert!(!k.prunes_morsel(zones, 0));
+    }
+
+    #[test]
+    fn run_morsels_agrees_with_row_path_on_typed_aggregate() {
+        let t = Arc::new(table());
+        let q = parse_select(
+            "SELECT queue, COUNT(*), SUM(calls), MIN(calls), MAX(duration), AVG(calls) \
+             FROM cs WHERE calls >= 1 GROUP BY queue",
+        )
+        .unwrap();
+        let plan = crate::plan::prepare(&q, t).unwrap();
+        let (batch_rows, batch_stats) = run_morsels(&plan, 1);
+        let (row_rows, row_stats) = crate::exec::run_row(&plan);
+        let mut a = batch_rows;
+        let mut b = row_rows;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(batch_stats.rows_matched, row_stats.rows_matched);
+    }
+
+    #[test]
+    fn run_morsels_parallel_matches_sequential() {
+        let t = Arc::new(table());
+        let q = parse_select(
+            "SELECT queue, COUNT(*), SUM(calls) FROM cs WHERE calls >= 1 GROUP BY queue",
+        )
+        .unwrap();
+        let plan = crate::plan::prepare(&q, t).unwrap();
+        let (seq, _) = run_morsels(&plan, 1);
+        let (par, _) = run_morsels(&plan, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn global_typed_aggregate_over_empty_selection_emits_one_row() {
+        let t = Arc::new(table());
+        let q = parse_select("SELECT COUNT(*), SUM(calls) FROM cs WHERE calls > 999").unwrap();
+        let plan = crate::plan::prepare(&q, t).unwrap();
+        let (rows, stats) = run_morsels(&plan, 1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert!(rows[0][1].is_null());
+        assert_eq!(stats.morsels_pruned, 1, "zone map prunes the only morsel");
+        assert_eq!(stats.rows_scanned, 0, "pruned rows are never read");
+    }
+
+    #[test]
+    fn split_ranges_covers_everything_without_overlap() {
+        for (n, parts) in [(10, 3), (1, 4), (0, 2), (7, 7), (8, 2)] {
+            let ranges = split_ranges(n, parts);
+            let mut covered = 0;
+            let mut expect_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect_start);
+                expect_start = r.end;
+                covered += r.len();
+            }
+            assert_eq!(covered, n, "n={n} parts={parts}");
+        }
+    }
+}

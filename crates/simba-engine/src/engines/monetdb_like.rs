@@ -3,14 +3,24 @@
 //!
 //! Mirrors MonetDB's BAT algebra: each operator consumes and produces fully
 //! materialized intermediate vectors. Selection runs one conjunct at a time
-//! over the whole candidate vector; group keys and aggregate inputs are
-//! materialized as complete value vectors before aggregation. Fast per
-//! operator, but pays full intermediate-materialization cost.
+//! over the *whole* candidate vector (a single table-sized "morsel" — no
+//! blocking, no zone maps), each pass a shared batch kernel. Aggregation is
+//! BAT-wise too: with a dictionary-encoded group key and typed aggregates it
+//! feeds the entire candidate vector into dense typed group states in one
+//! call; otherwise group keys and aggregate inputs are materialized as
+//! complete value vectors before aggregation. Fast per operator, but pays
+//! full intermediate-materialization cost.
 
 use crate::agg::Accumulator;
+use crate::batch::{
+    dict_group_key_col, dict_key_slots, fill_filtered, finalize_typed_groups, SelectionVector,
+    TypedGroupStates,
+};
 use crate::error::EngineError;
 use crate::eval::{eval, CExpr, TableRow};
-use crate::exec::{compile_kernels, emit_groups, new_group, Catalog, ExecStats, QueryOutput};
+use crate::exec::{
+    compile_kernels, emit_finalized_groups, emit_groups, new_group, Catalog, ExecStats, QueryOutput,
+};
 use crate::plan::{PreparedQuery, QueryKind};
 use crate::Dbms;
 use simba_sql::Select;
@@ -38,30 +48,19 @@ impl MonetDbLike {
         };
 
         // Selection phase: one fully materialized candidate vector per
-        // conjunct (BAT-style).
-        let mut candidates: Vec<u32> = (0..n as u32).collect();
-        if let Some(filter) = &plan.filter {
-            for kernel in compile_kernels(filter, table) {
-                let mut next = Vec::with_capacity(candidates.len());
-                for &i in &candidates {
-                    if kernel.matches(table, i as usize) {
-                        next.push(i);
-                    }
-                }
-                candidates = next;
-                if candidates.is_empty() {
-                    break;
-                }
-            }
-        }
-        stats.rows_matched = candidates.len();
+        // conjunct (BAT-style) — each conjunct is one whole-vector kernel.
+        let kernels = plan.filter.as_ref().map(|f| compile_kernels(f, table));
+        let mut sel = SelectionVector::with_capacity(n);
+        fill_filtered(&mut sel, table, 0, n, kernels.as_deref());
+        stats.rows_matched = sel.len();
+        let candidates = sel.as_slice();
 
         match &plan.kind {
             QueryKind::Project { exprs } => {
                 // Materialize each projection column fully, then zip.
                 let cols: Vec<Vec<Value>> = exprs
                     .iter()
-                    .map(|e| materialize(e, table, &candidates))
+                    .map(|e| materialize(e, table, candidates))
                     .collect();
                 let mut rows = Vec::with_capacity(candidates.len());
                 for r in 0..candidates.len() {
@@ -75,14 +74,36 @@ impl MonetDbLike {
                 projections,
                 having,
             } => {
+                // BAT-wise fast path: one dictionary-encoded key, all-typed
+                // aggregates → a single whole-vector update into dense
+                // code-indexed states.
+                if let Some(key_col) = dict_group_key_col(keys, table) {
+                    let dict = table.column(key_col).dictionary().unwrap_or(&[]);
+                    if let Some(mut states) = TypedGroupStates::compile(aggs, table, dict.len() + 1)
+                    {
+                        let mut slots = Vec::with_capacity(candidates.len());
+                        dict_key_slots(
+                            table.column(key_col),
+                            candidates,
+                            &mut slots,
+                            dict.len() as u32,
+                        );
+                        states.update_batch(table, candidates, &slots);
+                        let groups = finalize_typed_groups(&states, dict, false);
+                        stats.groups = groups.len();
+                        let rows = emit_finalized_groups(projections, having.as_ref(), groups);
+                        return (rows, stats);
+                    }
+                }
+
                 // Materialize key vectors and aggregate-argument vectors.
                 let key_cols: Vec<Vec<Value>> = keys
                     .iter()
-                    .map(|k| materialize(k, table, &candidates))
+                    .map(|k| materialize(k, table, candidates))
                     .collect();
                 let arg_cols: Vec<Option<Vec<Value>>> = aggs
                     .iter()
-                    .map(|a| a.arg.as_ref().map(|e| materialize(e, table, &candidates)))
+                    .map(|a| a.arg.as_ref().map(|e| materialize(e, table, candidates)))
                     .collect();
 
                 let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
@@ -103,7 +124,7 @@ impl MonetDbLike {
                     }
                 }
                 stats.groups = groups.len();
-                let rows = emit_groups(plan, projections, having.as_ref(), groups);
+                let rows = emit_groups(projections, having.as_ref(), groups);
                 (rows, stats)
             }
         }
@@ -184,5 +205,32 @@ mod tests {
             .unwrap();
         assert!(out.result.is_empty());
         assert_eq!(out.stats.rows_matched, 0);
+    }
+
+    #[test]
+    fn typed_bat_aggregation_matches_materialized_path() {
+        // AVG(duration) is typed; adding COUNT(DISTINCT ts) forces the
+        // materialized fallback — both must agree on the shared columns.
+        let typed = engine()
+            .execute(
+                &parse_select("SELECT queue, AVG(duration), SUM(calls) FROM cs GROUP BY queue")
+                    .unwrap(),
+            )
+            .unwrap();
+        let fallback = engine()
+            .execute(
+                &parse_select(
+                    "SELECT queue, AVG(duration), SUM(calls), COUNT(DISTINCT ts) \
+                     FROM cs GROUP BY queue",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let typed_rows = typed.result.sorted_rows();
+        let fb_rows = fallback.result.sorted_rows();
+        assert_eq!(typed_rows.len(), fb_rows.len());
+        for (t, f) in typed_rows.iter().zip(&fb_rows) {
+            assert_eq!(t[..3], f[..3]);
+        }
     }
 }

@@ -2,14 +2,18 @@
 //! aggregation.
 //!
 //! Mirrors a server-class row store executing analytics without indexes:
-//! tuples are not fully materialized — only the attributes a predicate or
-//! projection touches are fetched (PostgreSQL's slot-based attribute access)
-//! — grouping uses a hash table, and the scan proceeds in page-sized blocks.
+//! the scan proceeds in page-sized blocks, predicates run through the shared
+//! filter kernels over each block's selection vector (touching only the
+//! attributes a conjunct references — PostgreSQL's slot-based lazy attribute
+//! access), and grouping stays a per-row hash table over boxed values. No
+//! zone maps and no typed aggregation: a heap has no morsel statistics, and
+//! the executor materializes datums per tuple.
 
 use crate::agg::Accumulator;
+use crate::batch::{fill_filtered, SelectionVector};
 use crate::error::EngineError;
-use crate::eval::{eval, eval_predicate, TableRow};
-use crate::exec::{emit_groups, new_group, Catalog, ExecStats, QueryOutput};
+use crate::eval::{eval, TableRow};
+use crate::exec::{compile_kernels, emit_groups, new_group, Catalog, ExecStats, QueryOutput};
 use crate::plan::{PreparedQuery, QueryKind};
 use crate::Dbms;
 use simba_sql::Select;
@@ -38,20 +42,21 @@ impl PostgresLike {
             rows_scanned: n,
             ..ExecStats::default()
         };
+        let kernels = plan.filter.as_ref().map(|f| compile_kernels(f, table));
+        let mut sel = SelectionVector::with_capacity(BLOCK);
 
         match &plan.kind {
             QueryKind::Project { exprs } => {
                 let mut rows = Vec::new();
                 for block_start in (0..n).step_by(BLOCK) {
                     let end = (block_start + BLOCK).min(n);
-                    for i in block_start..end {
-                        let ctx = TableRow { table, row: i };
-                        if let Some(f) = &plan.filter {
-                            if eval_predicate(f, &ctx) != Some(true) {
-                                continue;
-                            }
-                        }
-                        stats.rows_matched += 1;
+                    fill_filtered(&mut sel, table, block_start, end, kernels.as_deref());
+                    stats.rows_matched += sel.len();
+                    for &i in sel.as_slice() {
+                        let ctx = TableRow {
+                            table,
+                            row: i as usize,
+                        };
                         rows.push(exprs.iter().map(|e| eval(e, &ctx)).collect());
                     }
                 }
@@ -69,14 +74,13 @@ impl PostgresLike {
                 }
                 for block_start in (0..n).step_by(BLOCK) {
                     let end = (block_start + BLOCK).min(n);
-                    for i in block_start..end {
-                        let ctx = TableRow { table, row: i };
-                        if let Some(f) = &plan.filter {
-                            if eval_predicate(f, &ctx) != Some(true) {
-                                continue;
-                            }
-                        }
-                        stats.rows_matched += 1;
+                    fill_filtered(&mut sel, table, block_start, end, kernels.as_deref());
+                    stats.rows_matched += sel.len();
+                    for &i in sel.as_slice() {
+                        let ctx = TableRow {
+                            table,
+                            row: i as usize,
+                        };
                         let key: Vec<Value> = keys.iter().map(|k| eval(k, &ctx)).collect();
                         let accs = groups.entry(key).or_insert_with(|| new_group(aggs));
                         for (acc, spec) in accs.iter_mut().zip(aggs) {
@@ -88,7 +92,7 @@ impl PostgresLike {
                     }
                 }
                 stats.groups = groups.len();
-                let rows = emit_groups(plan, projections, having.as_ref(), groups);
+                let rows = emit_groups(projections, having.as_ref(), groups);
                 (rows, stats)
             }
         }

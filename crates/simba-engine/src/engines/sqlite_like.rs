@@ -4,17 +4,16 @@
 //! predicate runs (SQLite reads whole records from B-tree pages), expressions
 //! are interpreted per row, and grouping uses an ordered map (SQLite sorts or
 //! B-trees its temporaries). No vectorization, no lazy column access — the
-//! slowest but simplest architecture.
+//! slowest but simplest architecture. The implementation *is* the shared
+//! row-path oracle ([`crate::exec::run_row`]): keeping this engine
+//! row-at-a-time preserves the latency spread the benchmark measures and
+//! gives the vectorized engines a reference to be property-tested against.
 
-use crate::agg::Accumulator;
 use crate::error::EngineError;
-use crate::eval::{eval, eval_predicate, RowSlice};
-use crate::exec::{emit_groups, new_group, Catalog, ExecStats, QueryOutput};
-use crate::plan::{PreparedQuery, QueryKind};
+use crate::exec::{run_row, Catalog, QueryOutput};
 use crate::Dbms;
 use simba_sql::Select;
-use simba_store::{Table, Value};
-use std::collections::BTreeMap;
+use simba_store::Table;
 use std::sync::Arc;
 
 /// Row-at-a-time interpreter engine (SQLite-style architecture).
@@ -26,67 +25,6 @@ pub struct SqliteLike {
 impl SqliteLike {
     pub fn new() -> Self {
         Self::default()
-    }
-
-    fn run(plan: &PreparedQuery) -> (Vec<Vec<Value>>, ExecStats) {
-        let table = &plan.table;
-        let n = table.row_count();
-        let mut stats = ExecStats {
-            rows_scanned: n,
-            ..ExecStats::default()
-        };
-        let mut buf: Vec<Value> = Vec::with_capacity(table.schema().width());
-
-        match &plan.kind {
-            QueryKind::Project { exprs } => {
-                let mut rows = Vec::new();
-                for i in 0..n {
-                    table.read_row_into(i, &mut buf);
-                    let ctx = RowSlice(&buf);
-                    if let Some(f) = &plan.filter {
-                        if eval_predicate(f, &ctx) != Some(true) {
-                            continue;
-                        }
-                    }
-                    stats.rows_matched += 1;
-                    rows.push(exprs.iter().map(|e| eval(e, &ctx)).collect());
-                }
-                (rows, stats)
-            }
-            QueryKind::Aggregate {
-                keys,
-                aggs,
-                projections,
-                having,
-            } => {
-                let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
-                if keys.is_empty() {
-                    // A global aggregate emits one row even over zero input.
-                    groups.insert(Vec::new(), new_group(aggs));
-                }
-                for i in 0..n {
-                    table.read_row_into(i, &mut buf);
-                    let ctx = RowSlice(&buf);
-                    if let Some(f) = &plan.filter {
-                        if eval_predicate(f, &ctx) != Some(true) {
-                            continue;
-                        }
-                    }
-                    stats.rows_matched += 1;
-                    let key: Vec<Value> = keys.iter().map(|k| eval(k, &ctx)).collect();
-                    let accs = groups.entry(key).or_insert_with(|| new_group(aggs));
-                    for (acc, spec) in accs.iter_mut().zip(aggs) {
-                        match &spec.arg {
-                            None => acc.update_star(),
-                            Some(arg) => acc.update_value(eval(arg, &ctx)),
-                        }
-                    }
-                }
-                stats.groups = groups.len();
-                let rows = emit_groups(plan, projections, having.as_ref(), groups);
-                (rows, stats)
-            }
-        }
     }
 }
 
@@ -100,7 +38,7 @@ impl Dbms for SqliteLike {
     }
 
     fn execute(&self, query: &Select) -> Result<QueryOutput, EngineError> {
-        super::execute_common(&self.catalog, query, Self::run)
+        super::execute_common(&self.catalog, query, run_row)
     }
 }
 
@@ -109,6 +47,7 @@ mod tests {
     use super::*;
     use crate::test_support::{sample_table, sorted};
     use simba_sql::parse_select;
+    use simba_store::Value;
 
     fn engine() -> SqliteLike {
         let e = SqliteLike::new();
@@ -154,5 +93,13 @@ mod tests {
             .execute(&parse_select("SELECT a FROM missing").unwrap())
             .unwrap_err();
         assert!(matches!(err, EngineError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn never_prunes_morsels() {
+        let out = engine()
+            .execute(&parse_select("SELECT COUNT(*) FROM cs WHERE calls > 1000").unwrap())
+            .unwrap();
+        assert_eq!(out.stats.morsels_pruned, 0, "row path reads every row");
     }
 }

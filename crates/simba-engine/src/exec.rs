@@ -6,23 +6,28 @@
 //! claims rest on.
 
 use crate::agg::{Accumulator, AggSpec};
+use crate::error::EngineError;
 use crate::eval::{eval, eval_predicate, CExpr, RowSlice, TableRow, ValueSet};
-use crate::plan::PreparedQuery;
-use simba_sql::BinOp;
+use crate::plan::{prepare, PreparedQuery, QueryKind};
+use simba_sql::{BinOp, Select};
 use simba_store::{ColumnData, ResultSet, Table, Value};
 use std::cmp::Ordering;
+use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-query execution statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Rows scanned from base storage.
+    /// Rows actually scanned from base storage (rows inside zone-map-pruned
+    /// morsels are never read and are not counted).
     pub rows_scanned: usize,
     /// Rows surviving the WHERE clause.
     pub rows_matched: usize,
     /// Groups produced (aggregate queries only).
     pub groups: usize,
+    /// Morsels skipped entirely by zone-map pruning (vectorized scans only).
+    pub morsels_pruned: usize,
 }
 
 /// The result of [`crate::Dbms::execute`]: the result set plus timing/stats.
@@ -118,7 +123,9 @@ fn cmp_ok(ord: Ordering, op: BinOp) -> bool {
         BinOp::LtEq => ord != Ordering::Greater,
         BinOp::Gt => ord == Ordering::Greater,
         BinOp::GtEq => ord != Ordering::Less,
-        _ => false,
+        // Kernels are only built for comparison operators; anything else
+        // here is a planner bug and must not masquerade as an empty result.
+        op => unreachable!("non-comparison BinOp {op:?} in comparison kernel"),
     }
 }
 
@@ -187,20 +194,36 @@ fn dict_in_kernel(col: usize, column: &ColumnData, values: &[Value], negated: bo
     Kernel::DictIn { col, mask }
 }
 
-/// Emit output rows for an aggregate query from its per-group state.
+/// Emit output rows for an aggregate query from its per-group accumulators.
 /// Applies the group-level HAVING predicate and projections.
 pub fn emit_groups(
-    plan: &PreparedQuery,
     projections: &[CExpr],
     having: Option<&CExpr>,
     groups: impl IntoIterator<Item = (Vec<Value>, Vec<Accumulator>)>,
 ) -> Vec<Vec<Value>> {
+    emit_finalized_groups(
+        projections,
+        having,
+        groups.into_iter().map(|(keys, accs)| {
+            let finalized = accs.iter().map(Accumulator::finalize).collect();
+            (keys, finalized)
+        }),
+    )
+}
+
+/// Like [`emit_groups`], but for group states that are already finalized to
+/// values (the typed aggregation fast path produces these directly).
+pub fn emit_finalized_groups(
+    projections: &[CExpr],
+    having: Option<&CExpr>,
+    groups: impl IntoIterator<Item = (Vec<Value>, Vec<Value>)>,
+) -> Vec<Vec<Value>> {
     let mut rows = Vec::new();
     let mut virtual_row: Vec<Value> = Vec::new();
-    for (keys, accs) in groups {
+    for (keys, aggs) in groups {
         virtual_row.clear();
         virtual_row.extend(keys);
-        virtual_row.extend(accs.iter().map(Accumulator::finalize));
+        virtual_row.extend(aggs);
         let ctx = RowSlice(&virtual_row);
         if let Some(h) = having {
             if eval_predicate(h, &ctx) != Some(true) {
@@ -209,7 +232,6 @@ pub fn emit_groups(
         }
         rows.push(projections.iter().map(|p| eval(p, &ctx)).collect());
     }
-    let _ = plan;
     rows
 }
 
@@ -233,7 +255,10 @@ pub fn finalize_rows(
             Ordering::Equal
         });
     }
-    if rows.iter().any(|r| r.len() > n_output) {
+    // Rows carry trailing sort-key columns exactly when ORDER BY is present
+    // (`exprs.len() == n_output + order_dirs.len()`), so the emptiness of
+    // `order_dirs` decides truncation — no per-row pre-scan needed.
+    if !order_dirs.is_empty() {
         for r in &mut rows {
             r.truncate(n_output);
         }
@@ -242,6 +267,86 @@ pub fn finalize_rows(
         rows.truncate(l);
     }
     rows
+}
+
+/// The row-at-a-time reference path: fully materialize each row, interpret
+/// the filter per row, and group through an ordered map. This is both the
+/// `sqlite-like` engine's personality and the oracle the vectorized path is
+/// property-tested against.
+pub fn run_row(plan: &PreparedQuery) -> (Vec<Vec<Value>>, ExecStats) {
+    let table = &plan.table;
+    let n = table.row_count();
+    let mut stats = ExecStats {
+        rows_scanned: n,
+        ..ExecStats::default()
+    };
+    let mut buf: Vec<Value> = Vec::with_capacity(table.schema().width());
+
+    match &plan.kind {
+        QueryKind::Project { exprs } => {
+            let mut rows = Vec::new();
+            for i in 0..n {
+                table.read_row_into(i, &mut buf);
+                let ctx = RowSlice(&buf);
+                if let Some(f) = &plan.filter {
+                    if eval_predicate(f, &ctx) != Some(true) {
+                        continue;
+                    }
+                }
+                stats.rows_matched += 1;
+                rows.push(exprs.iter().map(|e| eval(e, &ctx)).collect());
+            }
+            (rows, stats)
+        }
+        QueryKind::Aggregate {
+            keys,
+            aggs,
+            projections,
+            having,
+        } => {
+            let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
+            if keys.is_empty() {
+                // A global aggregate emits one row even over zero input.
+                groups.insert(Vec::new(), new_group(aggs));
+            }
+            for i in 0..n {
+                table.read_row_into(i, &mut buf);
+                let ctx = RowSlice(&buf);
+                if let Some(f) = &plan.filter {
+                    if eval_predicate(f, &ctx) != Some(true) {
+                        continue;
+                    }
+                }
+                stats.rows_matched += 1;
+                let key: Vec<Value> = keys.iter().map(|k| eval(k, &ctx)).collect();
+                let accs = groups.entry(key).or_insert_with(|| new_group(aggs));
+                for (acc, spec) in accs.iter_mut().zip(aggs) {
+                    match &spec.arg {
+                        None => acc.update_star(),
+                        Some(arg) => acc.update_value(eval(arg, &ctx)),
+                    }
+                }
+            }
+            stats.groups = groups.len();
+            let rows = emit_groups(projections, having.as_ref(), groups);
+            (rows, stats)
+        }
+    }
+}
+
+/// Plan and execute `query` through the row-at-a-time oracle, producing the
+/// same [`QueryOutput`] shape as `Dbms::execute`. Benchmarks and equivalence
+/// tests use this as the reference implementation.
+pub fn execute_row_oracle(table: Arc<Table>, query: &Select) -> Result<QueryOutput, EngineError> {
+    let start = Instant::now();
+    let plan = prepare(query, table)?;
+    let (rows, stats) = run_row(&plan);
+    let rows = finalize_rows(rows, plan.n_output, &plan.order_dirs, plan.limit);
+    Ok(QueryOutput {
+        result: ResultSet::new(plan.output_names.clone(), rows),
+        stats,
+        elapsed: start.elapsed(),
+    })
 }
 
 /// Update the accumulators of one group from one source row.

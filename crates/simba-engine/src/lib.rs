@@ -16,6 +16,7 @@
 //! return identical results (property-tested) and differ only in latency.
 
 pub mod agg;
+pub mod batch;
 pub mod engines;
 pub mod error;
 pub mod eval;
@@ -25,12 +26,13 @@ pub mod plan;
 #[cfg(test)]
 pub(crate) mod test_support;
 
+pub use batch::{SelectionVector, MORSEL};
 pub use engines::duckdb_like::DuckDbLike;
 pub use engines::monetdb_like::MonetDbLike;
 pub use engines::postgres_like::PostgresLike;
 pub use engines::sqlite_like::SqliteLike;
 pub use error::EngineError;
-pub use exec::{ExecStats, QueryOutput};
+pub use exec::{execute_row_oracle, ExecStats, QueryOutput};
 
 use simba_sql::Select;
 use simba_store::Table;
@@ -40,6 +42,13 @@ use std::sync::Arc;
 pub trait Dbms: Send + Sync {
     /// Stable engine name (used in benchmark reports).
     fn name(&self) -> &'static str;
+
+    /// Intra-query scan parallelism this instance was configured with
+    /// (worker threads per morsel-parallel scan). `1` for engines without
+    /// parallel scans; reported by the workload driver.
+    fn scan_threads(&self) -> usize {
+        1
+    }
 
     /// Register a table; replaces any table with the same name.
     fn register(&self, table: Arc<Table>);
@@ -83,6 +92,16 @@ impl EngineKind {
             EngineKind::PostgresLike => Arc::new(PostgresLike::new()),
             EngineKind::DuckDbLike => Arc::new(DuckDbLike::new()),
             EngineKind::MonetDbLike => Arc::new(MonetDbLike::new()),
+        }
+    }
+
+    /// Instantiate the engine with the given intra-query scan parallelism.
+    /// Only `duckdb-like` supports morsel-parallel scans; other engines
+    /// ignore the setting.
+    pub fn build_with_threads(self, scan_threads: usize) -> Arc<dyn Dbms> {
+        match self {
+            EngineKind::DuckDbLike => Arc::new(DuckDbLike::with_scan_threads(scan_threads)),
+            other => other.build(),
         }
     }
 

@@ -89,6 +89,50 @@ impl ColumnData {
         }
     }
 
+    /// Raw `i64` slice of an Int column (NULL slots hold `0`; consult
+    /// [`ColumnData::validity`]).
+    pub fn int_data(&self) -> Option<&[i64]> {
+        match self {
+            ColumnData::Int { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Raw `f64` slice of a Float column (NULL slots hold `0.0`; consult
+    /// [`ColumnData::validity`]).
+    pub fn float_data(&self) -> Option<&[f64]> {
+        match self {
+            ColumnData::Float { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Raw dictionary-code slice of a Str column (NULL slots hold code `0`;
+    /// consult [`ColumnData::validity`]).
+    pub fn code_data(&self) -> Option<&[u32]> {
+        match self {
+            ColumnData::Str { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
+    /// The validity bitmap. Empty means every row is valid (the common
+    /// case allocates nothing); otherwise `validity()[i] == false` marks
+    /// row `i` NULL.
+    pub fn validity(&self) -> &[bool] {
+        match self {
+            ColumnData::Int { valid, .. }
+            | ColumnData::Float { valid, .. }
+            | ColumnData::Bool { valid, .. }
+            | ColumnData::Str { valid, .. } => valid,
+        }
+    }
+
+    /// True when no row of this column is NULL.
+    pub fn all_valid(&self) -> bool {
+        self.validity().is_empty()
+    }
+
     /// Distinct non-null values, in dictionary/ascending order.
     pub fn distinct_values(&self) -> Vec<Value> {
         match self {

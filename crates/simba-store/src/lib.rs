@@ -11,15 +11,19 @@
 //!   both row-oriented and column-oriented engines share one copy).
 //! * [`result`] — query [`ResultSet`]s with the multiset/subsumption/overlap
 //!   operations the equivalence suite (§4.1.2) is built on.
+//! * [`zonemap`] — per-morsel min/max statistics that let vectorized scans
+//!   skip row ranges a comparison predicate cannot match.
 
 pub mod column;
 pub mod result;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub mod zonemap;
 
 pub use column::{ColumnBuilder, ColumnData};
 pub use result::{CoverageStore, ResultSet};
 pub use schema::{ColumnDef, ColumnRole, DataType, Schema};
 pub use table::{Table, TableBuilder};
 pub use value::Value;
+pub use zonemap::{Zone, ZoneMaps, MORSEL_ROWS};

@@ -3,6 +3,8 @@
 use crate::column::{ColumnBuilder, ColumnData};
 use crate::schema::{DataType, Schema};
 use crate::value::Value;
+use crate::zonemap::ZoneMaps;
+use std::sync::{Arc, OnceLock};
 
 /// An immutable, denormalized, columnar table.
 #[derive(Debug, Clone)]
@@ -10,6 +12,9 @@ pub struct Table {
     schema: Schema,
     columns: Vec<ColumnData>,
     row_count: usize,
+    /// Per-morsel min/max statistics, built on first use. Cloning a table
+    /// carries the cache along (the data it summarizes is immutable).
+    zone_maps: OnceLock<Arc<ZoneMaps>>,
 }
 
 impl Table {
@@ -33,7 +38,15 @@ impl Table {
             schema,
             columns,
             row_count,
+            zone_maps: OnceLock::new(),
         }
+    }
+
+    /// Per-morsel zone maps for this table, built lazily on first access
+    /// and cached for the table's lifetime.
+    pub fn zone_maps(&self) -> &ZoneMaps {
+        self.zone_maps
+            .get_or_init(|| Arc::new(ZoneMaps::build(&self.columns, self.row_count)))
     }
 
     /// The table's schema.
@@ -207,5 +220,19 @@ mod tests {
     #[test]
     fn byte_size_is_positive() {
         assert!(sample_table().byte_size() > 0);
+    }
+
+    #[test]
+    fn zone_maps_cached_and_cover_numeric_columns() {
+        let t = sample_table();
+        let maps = t.zone_maps();
+        assert_eq!(maps.n_morsels(), 1);
+        assert!(maps.column(0).is_none(), "categorical column has no zones");
+        assert_eq!(
+            maps.column(1).unwrap().zone(0),
+            crate::zonemap::Zone::Int { min: 1, max: 3 }
+        );
+        // Second call returns the cached build (same allocation).
+        assert!(std::ptr::eq(t.zone_maps(), maps));
     }
 }

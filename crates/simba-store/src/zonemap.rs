@@ -1,0 +1,266 @@
+//! Per-morsel zone maps: min/max statistics over fixed-size row ranges.
+//!
+//! A zone map lets comparison predicates skip whole morsels without touching
+//! the data: if a morsel's `[min, max]` range cannot satisfy `col > 900`,
+//! none of its rows can. Statistics are kept per Int/Float column only —
+//! categorical filters go through dictionary-code masks instead — and cover
+//! *valid* rows only, so an all-NULL morsel reports no zone (nothing in it
+//! can ever match a comparison).
+
+use crate::column::ColumnData;
+
+/// Rows per morsel. This is also the batch size of the vectorized engines;
+/// keeping the two aligned means each scan batch maps to exactly one zone.
+pub const MORSEL_ROWS: usize = 2048;
+
+/// Number of morsels needed to cover `rows` rows.
+pub fn morsel_count(rows: usize) -> usize {
+    rows.div_ceil(MORSEL_ROWS)
+}
+
+/// Half-open row range of morsel `m` in a table of `rows` rows.
+pub fn morsel_bounds(m: usize, rows: usize) -> (usize, usize) {
+    let start = m * MORSEL_ROWS;
+    (start, (start + MORSEL_ROWS).min(rows))
+}
+
+/// Min/max over the valid rows of one morsel of one column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Zone {
+    /// Int column morsel with at least one valid row.
+    Int { min: i64, max: i64 },
+    /// Float column morsel with at least one valid row.
+    Float { min: f64, max: f64 },
+    /// Every row in the morsel is NULL: no comparison can match.
+    AllNull,
+}
+
+/// Zones for one column, indexed by morsel.
+#[derive(Debug, Clone)]
+pub struct ColumnZones {
+    zones: Vec<Zone>,
+}
+
+impl ColumnZones {
+    /// Zone of morsel `m`.
+    pub fn zone(&self, m: usize) -> Zone {
+        self.zones[m]
+    }
+
+    /// Number of morsels covered.
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// True when the column spans no morsels (empty table).
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+}
+
+/// Zone maps for every column of a table. Columns without min/max
+/// statistics (Str, Bool) hold `None`.
+#[derive(Debug, Clone)]
+pub struct ZoneMaps {
+    n_morsels: usize,
+    columns: Vec<Option<ColumnZones>>,
+}
+
+impl ZoneMaps {
+    /// Build zone maps over `columns`, each holding `rows` rows.
+    pub fn build(columns: &[ColumnData], rows: usize) -> ZoneMaps {
+        let n_morsels = morsel_count(rows);
+        let columns = columns
+            .iter()
+            .map(|col| match col {
+                ColumnData::Int { data, valid } => Some(ColumnZones {
+                    zones: int_zones(data, valid, rows),
+                }),
+                ColumnData::Float { data, valid } => Some(ColumnZones {
+                    zones: float_zones(data, valid, rows),
+                }),
+                ColumnData::Bool { .. } | ColumnData::Str { .. } => None,
+            })
+            .collect();
+        ZoneMaps { n_morsels, columns }
+    }
+
+    /// Number of morsels per column.
+    pub fn n_morsels(&self) -> usize {
+        self.n_morsels
+    }
+
+    /// Zones of column `idx`, if it carries statistics.
+    pub fn column(&self, idx: usize) -> Option<&ColumnZones> {
+        self.columns[idx].as_ref()
+    }
+}
+
+fn int_zones(data: &[i64], valid: &[bool], rows: usize) -> Vec<Zone> {
+    (0..morsel_count(rows))
+        .map(|m| {
+            let (start, end) = morsel_bounds(m, rows);
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            let mut any = false;
+            for i in start..end {
+                if !valid.is_empty() && !valid[i] {
+                    continue;
+                }
+                any = true;
+                min = min.min(data[i]);
+                max = max.max(data[i]);
+            }
+            if any {
+                Zone::Int { min, max }
+            } else {
+                Zone::AllNull
+            }
+        })
+        .collect()
+}
+
+fn float_zones(data: &[f64], valid: &[bool], rows: usize) -> Vec<Zone> {
+    // Extrema are taken under `total_cmp` — the same order the comparison
+    // kernels use — so the zone stays a sound bound even for -0.0 vs 0.0
+    // and NaN payloads (NaN is simply the total-order maximum/minimum).
+    (0..morsel_count(rows))
+        .map(|m| {
+            let (start, end) = morsel_bounds(m, rows);
+            let mut min = 0.0f64;
+            let mut max = 0.0f64;
+            let mut any = false;
+            for i in start..end {
+                if !valid.is_empty() && !valid[i] {
+                    continue;
+                }
+                let v = data[i];
+                if !any {
+                    (min, max, any) = (v, v, true);
+                } else {
+                    if v.total_cmp(&min) == std::cmp::Ordering::Less {
+                        min = v;
+                    }
+                    if v.total_cmp(&max) == std::cmp::Ordering::Greater {
+                        max = v;
+                    }
+                }
+            }
+            if any {
+                Zone::Float { min, max }
+            } else {
+                Zone::AllNull
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::ColumnBuilder;
+
+    fn int_col(vals: impl IntoIterator<Item = Option<i64>>) -> ColumnData {
+        let vals: Vec<_> = vals.into_iter().collect();
+        let mut b = ColumnBuilder::int(vals.len());
+        for v in vals {
+            b.push(v.map_or(Value::Null, Value::Int));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn morsel_arithmetic() {
+        assert_eq!(morsel_count(0), 0);
+        assert_eq!(morsel_count(1), 1);
+        assert_eq!(morsel_count(MORSEL_ROWS), 1);
+        assert_eq!(morsel_count(MORSEL_ROWS + 1), 2);
+        assert_eq!(
+            morsel_bounds(1, MORSEL_ROWS + 10),
+            (MORSEL_ROWS, MORSEL_ROWS + 10)
+        );
+    }
+
+    #[test]
+    fn int_zone_spans_valid_rows_only() {
+        let col = int_col([Some(5), None, Some(-3), Some(9)]);
+        let maps = ZoneMaps::build(std::slice::from_ref(&col), 4);
+        assert_eq!(maps.n_morsels(), 1);
+        let zones = maps.column(0).unwrap();
+        assert_eq!(zones.zone(0), Zone::Int { min: -3, max: 9 });
+    }
+
+    #[test]
+    fn all_null_morsel_has_no_zone() {
+        let col = int_col([None, None]);
+        let maps = ZoneMaps::build(std::slice::from_ref(&col), 2);
+        assert_eq!(maps.column(0).unwrap().zone(0), Zone::AllNull);
+    }
+
+    #[test]
+    fn second_morsel_gets_own_bounds() {
+        let n = MORSEL_ROWS + 3;
+        let vals: Vec<Option<i64>> = (0..n as i64).map(Some).collect();
+        let col = int_col(vals);
+        let maps = ZoneMaps::build(std::slice::from_ref(&col), n);
+        assert_eq!(maps.n_morsels(), 2);
+        let zones = maps.column(0).unwrap();
+        assert_eq!(
+            zones.zone(0),
+            Zone::Int {
+                min: 0,
+                max: MORSEL_ROWS as i64 - 1
+            }
+        );
+        assert_eq!(
+            zones.zone(1),
+            Zone::Int {
+                min: MORSEL_ROWS as i64,
+                max: n as i64 - 1
+            }
+        );
+    }
+
+    #[test]
+    fn float_nan_is_total_order_maximum() {
+        let mut b = ColumnBuilder::float(3);
+        b.push(Value::Float(1.0));
+        b.push(Value::Float(f64::NAN));
+        b.push(Value::Float(2.0));
+        let col = b.finish();
+        let maps = ZoneMaps::build(std::slice::from_ref(&col), 3);
+        match maps.column(0).unwrap().zone(0) {
+            Zone::Float { min, max } => {
+                assert_eq!(min, 1.0);
+                assert!(max.is_nan(), "NaN sorts above +inf under total_cmp");
+            }
+            z => panic!("unexpected zone {z:?}"),
+        }
+    }
+
+    #[test]
+    fn float_negative_zero_is_the_minimum() {
+        let mut b = ColumnBuilder::float(2);
+        b.push(Value::Float(0.0));
+        b.push(Value::Float(-0.0));
+        let col = b.finish();
+        let maps = ZoneMaps::build(std::slice::from_ref(&col), 2);
+        match maps.column(0).unwrap().zone(0) {
+            Zone::Float { min, max } => {
+                assert!(min.is_sign_negative() && min == 0.0);
+                assert!(max.is_sign_positive() && max == 0.0);
+            }
+            z => panic!("unexpected zone {z:?}"),
+        }
+    }
+
+    #[test]
+    fn categorical_columns_carry_no_zones() {
+        let mut b = ColumnBuilder::string(1);
+        b.push(Value::str("A"));
+        let col = b.finish();
+        let maps = ZoneMaps::build(std::slice::from_ref(&col), 1);
+        assert!(maps.column(0).is_none());
+    }
+}
