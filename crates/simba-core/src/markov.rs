@@ -113,6 +113,12 @@ impl MarkovModel {
             }
         };
         let total: f64 = row.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            // The initial distribution itself (the documented fallback for
+            // zero-sum rows) can be all-zero; `gen_range(0.0..0.0)` panics,
+            // so degrade to uniform instead.
+            return ActionKind::ALL[rng.gen_range(0..N)];
+        }
         let mut x = rng.gen_range(0.0..total);
         for (i, w) in row.iter().enumerate() {
             if x < *w {
@@ -193,6 +199,39 @@ mod tests {
         }
         // brush_heavy sends ~58% of transitions to Range.
         assert!((1000..1400).contains(&range_count), "{range_count}");
+    }
+
+    #[test]
+    fn zero_sum_model_falls_back_to_uniform_instead_of_panicking() {
+        // Every row — including the initial distribution — is all-zero, so
+        // the documented fallback row is itself unsampleable.
+        let model = MarkovModel::new("all-zero", [0.0; N], [[0.0; N]; N]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            seen.insert(model.next_kind(None, &mut rng));
+            seen.insert(model.next_kind(Some(ActionKind::Range), &mut rng));
+        }
+        // Uniform fallback reaches every kind.
+        assert_eq!(seen.len(), N, "uniform fallback should cover all kinds");
+    }
+
+    #[test]
+    fn zero_sum_row_with_valid_initial_uses_initial() {
+        // One dead row, but a usable initial distribution: the fallback must
+        // sample from `initial`, never panic.
+        let mut matrix = [[0.0; N]; N];
+        matrix[0] = [0.0; N]; // "from Checkbox" row is all-zero
+        let initial = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let model = MarkovModel::new("dead-row", initial, matrix);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(
+                model.next_kind(Some(ActionKind::Checkbox), &mut rng),
+                ActionKind::Checkbox,
+                "initial distribution pins everything on Checkbox"
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! observation that real deployments serve *heterogeneous* user
 //! populations, not N copies of one behavior.
 
+use super::planner::{PlannedStep, SessionPlanner};
 use crate::dashboard::Dashboard;
 use crate::markov::MarkovModel;
 use rand::SeedableRng;
@@ -96,11 +97,12 @@ fn synthesize_one(dash: &Dashboard, config: &BatchConfig, user: usize) -> Sessio
     let seed = config.base_seed ^ splitmix(user as u64 + 1);
     let model = &config.mix[user % config.mix.len()];
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut state = dash.initial_state();
+    let mut planner = SessionPlanner::new(dash, model.clone());
 
-    let to_step = |action: String, emitted: Vec<(crate::graph::NodeId, Select)>| ScriptStep {
-        action,
-        queries: emitted
+    let to_step = |planned: PlannedStep| ScriptStep {
+        action: planned.description,
+        queries: planned
+            .queries
             .into_iter()
             .map(|(node, query)| ScriptQuery {
                 vis: dash.graph().id(node).to_string(),
@@ -109,19 +111,12 @@ fn synthesize_one(dash: &Dashboard, config: &BatchConfig, user: usize) -> Sessio
             .collect(),
     };
 
-    let mut steps = vec![to_step(
-        "open dashboard".to_string(),
-        dash.all_queries(&state),
-    )];
-    let mut prev = None;
+    let mut steps = vec![to_step(planner.initial_render())];
     for _ in 0..config.steps_per_session {
-        let Some(action) = model.pick_action(dash, &state, prev, &mut rng) else {
+        let Some(planned) = planner.plan_next(&mut rng) else {
             break;
         };
-        prev = Some(action.kind(dash.graph()));
-        let description = action.describe(dash.graph());
-        let emitted = dash.apply(&mut state, &action);
-        steps.push(to_step(description, emitted));
+        steps.push(to_step(planned));
     }
 
     SessionScript {

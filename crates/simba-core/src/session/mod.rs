@@ -6,9 +6,11 @@
 //! the emitted SQL against the DBMS under test, and checks goal completion
 //! with the equivalence suite. Everything is recorded in a [`SessionLog`].
 
+pub mod adaptive;
 pub mod batch;
 pub mod export;
 pub mod interleave;
+pub mod planner;
 pub mod synthesize;
 pub mod workflows;
 
@@ -20,6 +22,7 @@ use crate::error::CoreError;
 use crate::markov::MarkovModel;
 use crate::oracle::{Oracle, OracleConfig};
 use interleave::DecayConfig;
+use planner::SessionPlanner;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simba_engine::Dbms;
@@ -179,7 +182,10 @@ impl<'a> SessionRunner<'a> {
     pub fn run(&self, goals: &[Goal]) -> Result<SessionLog, CoreError> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let oracle = Oracle::new(self.config.oracle.clone());
-        let mut state = self.dashboard.initial_state();
+        // The walk itself (state + Markov conditioning) lives in the shared
+        // engine-free planner; this runner adds engines, goals, and the
+        // Oracle/Markov interleaving on top.
+        let mut planner = SessionPlanner::new(self.dashboard, self.config.markov.clone());
         let mut coverage = CoverageStore::new();
         let mut entries = Vec::new();
 
@@ -202,7 +208,7 @@ impl<'a> SessionRunner<'a> {
             .collect();
 
         // Step 0: the dashboard opens and renders every visualization.
-        let initial = self.dashboard.all_queries(&state);
+        let initial = planner.initial_render().queries;
         let mut records = Vec::with_capacity(initial.len());
         for (node, query) in &initial {
             let out = self.engine.execute(query)?;
@@ -230,17 +236,12 @@ impl<'a> SessionRunner<'a> {
             }
             let p_markov = self.config.decay.p_markov(step);
             let use_markov = rng.gen_bool(p_markov);
-            let prev_kind = entries.last().and_then(|e| e.action_kind);
 
-            let (model, action) = if use_markov {
-                let Some(action) =
-                    self.config
-                        .markov
-                        .pick_action(self.dashboard, &state, prev_kind, &mut rng)
-                else {
-                    break;
-                };
-                (ModelChoice::Markov, action)
+            let (model, planned) = if use_markov {
+                match planner.plan_next(&mut rng) {
+                    Some(planned) => (ModelChoice::Markov, planned),
+                    None => break,
+                }
             } else {
                 // The Oracle targets the first unsolved goal (goal-ordering
                 // semantics of §4.3).
@@ -251,20 +252,20 @@ impl<'a> SessionRunner<'a> {
                     .unwrap_or_default();
                 match oracle.plan_next(
                     self.dashboard,
-                    &state,
+                    planner.state(),
                     self.engine,
                     &coverage,
                     &active,
                     &mut rng,
                 )? {
-                    Some(planned) => (ModelChoice::Oracle, planned.action),
+                    Some(oracle_plan) => (ModelChoice::Oracle, planner.apply(oracle_plan.action)),
                     None => break,
                 }
             };
 
-            let description = action.describe(self.dashboard.graph());
-            let action_kind = action.kind(self.dashboard.graph());
-            let emitted = self.dashboard.apply(&mut state, &action);
+            let description = planned.description;
+            let action_kind = planned.kind.expect("interaction steps carry an action");
+            let emitted = planned.queries;
             let mut records = Vec::with_capacity(emitted.len());
             for (node, query) in &emitted {
                 let out = self.engine.execute(query)?;

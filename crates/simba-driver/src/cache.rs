@@ -17,7 +17,7 @@ use simba_sql::{query_cache_key, Select};
 use simba_store::ResultSet;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Cache sizing.
@@ -45,6 +45,11 @@ pub struct CacheStats {
     pub misses: u64,
     pub insertions: u64,
     pub evictions: u64,
+    /// Misses that waited on another caller's in-flight execution of the
+    /// same key instead of running the engine themselves (single-flight).
+    pub coalesced: u64,
+    /// Full-cache invalidations (one per [`ShardedResultCache::clear`]).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -72,15 +77,81 @@ struct Entry {
     last_used: AtomicU64,
 }
 
+/// A single-flight slot: the first caller to miss a key executes the
+/// engine; everyone else blocks here until the leader publishes.
+struct Flight {
+    outcome: Mutex<Option<Result<Arc<CachedResult>, EngineError>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, outcome: Result<Arc<CachedResult>, EngineError>) {
+        let mut slot = self.outcome.lock().expect("flight poisoned");
+        *slot = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<CachedResult>, EngineError> {
+        let mut slot = self.outcome.lock().expect("flight poisoned");
+        while slot.is_none() {
+            slot = self.ready.wait(slot).expect("flight poisoned");
+        }
+        slot.as_ref().expect("published").clone()
+    }
+}
+
+/// Unblocks single-flight followers if the leader unwinds mid-execution:
+/// retires the flight and publishes an error so waiters fail fast instead
+/// of parking on the condvar forever (which would hang the driver's thread
+/// scope rather than propagate the panic).
+struct LeaderGuard<'a> {
+    inflight: &'a Mutex<HashMap<String, Arc<Flight>>>,
+    key: &'a str,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // `if let Ok`, not `expect`: panicking in a drop that runs during
+        // unwinding would abort the process.
+        if let Ok(mut map) = self.inflight.lock() {
+            if let Some(flight) = map.remove(self.key) {
+                flight.publish(Err(EngineError::Invalid(
+                    "single-flight leader panicked".to_string(),
+                )));
+            }
+        }
+    }
+}
+
 /// The cache. Shareable across threads (`Arc<ShardedResultCache>`).
 pub struct ShardedResultCache {
     shards: Vec<RwLock<HashMap<String, Entry>>>,
+    /// Keys currently being executed by a leader, striped like `shards`.
+    inflight: Vec<Mutex<HashMap<String, Arc<Flight>>>>,
+    /// Bumped by [`clear`](Self::clear) *before* the shards are wiped; a
+    /// single-flight leader only inserts its result if the generation it
+    /// read before executing is still current, so an execution that raced
+    /// an invalidation cannot re-seed the cache with stale data.
+    generation: AtomicU64,
     capacity_per_shard: usize,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    coalesced: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl ShardedResultCache {
@@ -88,20 +159,28 @@ impl ShardedResultCache {
         let shards = config.shards.max(1).next_power_of_two();
         ShardedResultCache {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            inflight: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            generation: AtomicU64::new(0),
             capacity_per_shard: config.capacity_per_shard.max(1),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
-    fn shard_of(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
+    fn shard_index(&self, key: &str) -> usize {
         // FNV-1a; shard count is a power of two so masking is uniform.
         let mut h = crate::hash::Fnv1a::new();
         h.write(key.as_bytes());
-        &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
+        (h.finish() as usize) & (self.shards.len() - 1)
+    }
+
+    fn shard_of(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Look up a key, bumping its recency. Counts a hit or a miss.
@@ -123,10 +202,59 @@ impl ShardedResultCache {
         }
     }
 
+    /// Read a key without touching the hit/miss counters (used for the
+    /// double-check inside the single-flight path, where the original
+    /// lookup already counted the miss).
+    fn peek(&self, key: &str) -> Option<Arc<CachedResult>> {
+        let shard = self.shard_of(key).read().expect("cache shard poisoned");
+        shard.get(key).map(|entry| {
+            entry.last_used.store(
+                self.clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            entry.value.clone()
+        })
+    }
+
+    /// Drop every resident entry (all shards). Counters other than
+    /// `invalidations` are left running — a cleared cache has still served
+    /// its historical hits. In-flight executions are *not* cancelled, but
+    /// they cannot repopulate the cache either: the generation bump below
+    /// makes any leader that started before this clear skip its insert
+    /// (its followers still receive the result, exactly as if they had
+    /// executed the query themselves while the data changed).
+    pub fn clear(&self) {
+        // Bump first: a leader that checks its generation under a shard
+        // write lock after this line either loses the check (no insert) or
+        // inserts before we take that shard's lock — and is then wiped.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        for shard in &self.shards {
+            shard.write().expect("cache shard poisoned").clear();
+        }
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Insert (or replace) an entry, evicting the shard's LRU entry when at
     /// capacity.
     pub fn insert(&self, key: String, value: Arc<CachedResult>) {
+        self.insert_guarded(key, value, None);
+    }
+
+    /// [`insert`](Self::insert), but a no-op when `only_if_generation` no
+    /// longer matches — checked under the shard write lock, so it cannot
+    /// race [`clear`](Self::clear).
+    fn insert_guarded(
+        &self,
+        key: String,
+        value: Arc<CachedResult>,
+        only_if_generation: Option<u64>,
+    ) {
         let mut shard = self.shard_of(&key).write().expect("cache shard poisoned");
+        if let Some(generation) = only_if_generation {
+            if self.generation.load(Ordering::Acquire) != generation {
+                return;
+            }
+        }
         if let Some(existing) = shard.get_mut(&key) {
             existing.value = value;
             return;
@@ -154,7 +282,15 @@ impl ShardedResultCache {
 
     /// Execute through the cache. Returns the result, the latency this
     /// caller observed (key construction + lookup on a hit, engine latency
-    /// on a miss), and whether it was a hit.
+    /// on a miss, wait time when coalesced onto another caller's in-flight
+    /// execution), and whether the result came from memory rather than this
+    /// caller's own engine run.
+    ///
+    /// Misses are **single-flight**: concurrent misses on one key elect a
+    /// leader that executes the engine exactly once while the rest block on
+    /// its [`Flight`] — without this, every concurrent session redundantly
+    /// executes the same query, inflating engine load (and adaptive-mode
+    /// latency) on popular keys.
     pub fn execute_cached(
         &self,
         engine: &dyn Dbms,
@@ -168,13 +304,65 @@ impl ShardedResultCache {
         if let Some(value) = self.lookup(&key) {
             return Ok((value, start.elapsed(), true));
         }
-        let out = engine.execute(query)?;
-        let value = Arc::new(CachedResult {
-            result: out.result,
-            stats: out.stats,
+        // Miss (counted). Join an in-flight execution of this key, or
+        // become its leader.
+        let inflight = &self.inflight[self.shard_index(&key)];
+        let flight = {
+            let mut map = inflight.lock().expect("inflight map poisoned");
+            if let Some(flight) = map.get(&key) {
+                Some(flight.clone())
+            } else {
+                // A leader that finished between our lookup and this lock
+                // has already populated the cache — re-check before
+                // electing ourselves (peek: the miss was already counted).
+                if let Some(value) = self.peek(&key) {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return Ok((value, start.elapsed(), true));
+                }
+                map.insert(key.clone(), Arc::new(Flight::new()));
+                None
+            }
+        };
+        if let Some(flight) = flight {
+            // Follower: wait for the leader's verdict.
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            let value = flight.wait()?;
+            return Ok((value, start.elapsed(), true));
+        }
+        // Leader: run the engine, publish to cache + followers, then retire
+        // the flight (cache-first, so late arrivals always find the value).
+        // The guard retires the flight with an error if the engine panics —
+        // otherwise followers would block on the condvar forever and the
+        // driver's thread scope would hang instead of propagating the
+        // panic.
+        let generation = self.generation.load(Ordering::Acquire);
+        let mut guard = LeaderGuard {
+            inflight,
+            key: &key,
+            armed: true,
+        };
+        let outcome = engine.execute(query).map(|out| {
+            let value = Arc::new(CachedResult {
+                result: out.result,
+                stats: out.stats,
+            });
+            // Skip the insert if the cache was invalidated while we ran:
+            // this result may have been computed against replaced data.
+            self.insert_guarded(key.clone(), value.clone(), Some(generation));
+            (value, out.elapsed)
         });
-        self.insert(key, value.clone());
-        Ok((value, out.elapsed, false))
+        let mut map = inflight.lock().expect("inflight map poisoned");
+        if let Some(flight) = map.remove(&key) {
+            flight.publish(
+                outcome
+                    .as_ref()
+                    .map(|(v, _)| v.clone())
+                    .map_err(Clone::clone),
+            );
+        }
+        guard.armed = false;
+        drop(map);
+        outcome.map(|(value, elapsed)| (value, elapsed, false))
     }
 
     /// Snapshot the counters.
@@ -184,6 +372,8 @@ impl ShardedResultCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -223,6 +413,10 @@ impl Dbms for CachedDbms {
     }
 
     fn register(&self, table: Arc<simba_store::Table>) {
+        // Registering replaces any same-named table, so every cached result
+        // is potentially derived from dead data: invalidate before the
+        // inner engine can serve queries against the replacement.
+        self.cache.clear();
         self.inner.register(table);
     }
 
@@ -296,6 +490,152 @@ mod tests {
             v.result.sorted_rows(),
             vec![vec![simba_store::Value::Int(2)]]
         );
+    }
+
+    #[test]
+    fn clear_empties_every_shard_and_counts_invalidation() {
+        let cache = ShardedResultCache::new(CacheConfig {
+            shards: 4,
+            capacity_per_shard: 8,
+        });
+        for i in 0..20 {
+            cache.insert(format!("k{i}"), result_of(i));
+        }
+        assert_eq!(cache.len(), 20);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.lookup("k3").is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.insertions, 20, "counters survive a clear");
+    }
+
+    fn rows_table(name: &str, n: i64) -> Arc<simba_store::Table> {
+        let schema =
+            simba_store::Schema::new(name, vec![simba_store::ColumnDef::quantitative_int("x")]);
+        let mut b = simba_store::TableBuilder::new(schema, n as usize);
+        for i in 0..n {
+            b.push_row(vec![simba_store::Value::Int(i)]);
+        }
+        Arc::new(b.finish())
+    }
+
+    /// Regression: `register` used to forward the replacement table to the
+    /// inner engine while the cache kept serving results computed from the
+    /// old one.
+    #[test]
+    fn register_invalidates_stale_cached_results() {
+        let cache = Arc::new(ShardedResultCache::new(CacheConfig::default()));
+        let db = CachedDbms::new(simba_engine::EngineKind::SqliteLike.build(), cache.clone());
+        db.register(rows_table("t", 3));
+        let q = simba_sql::parse_select("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(
+            db.execute(&q).unwrap().result.rows,
+            vec![vec![simba_store::Value::Int(3)]]
+        );
+        db.execute(&q).unwrap();
+        assert_eq!(cache.stats().hits, 1, "second execution hits");
+
+        db.register(rows_table("t", 5));
+        assert!(cache.is_empty(), "register must clear the cache");
+        assert_eq!(
+            db.execute(&q).unwrap().result.rows,
+            vec![vec![simba_store::Value::Int(5)]],
+            "post-register execution must see the replacement table"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "post-register lookup must miss");
+        assert_eq!(stats.invalidations, 2, "one per register call");
+    }
+
+    /// A clear that lands while a leader is still executing must not let
+    /// the leader re-seed the cache with a result computed against the
+    /// replaced data — the caller still gets its result, the cache stays
+    /// empty.
+    #[test]
+    fn invalidation_during_inflight_execution_suppresses_stale_insert() {
+        struct ClearingEngine<'a> {
+            cache: &'a ShardedResultCache,
+        }
+        impl Dbms for ClearingEngine<'_> {
+            fn name(&self) -> &'static str {
+                "clearing-stub"
+            }
+            fn register(&self, _table: Arc<simba_store::Table>) {}
+            fn execute(&self, _query: &Select) -> Result<QueryOutput, EngineError> {
+                // The data is replaced while this query is mid-execution.
+                self.cache.clear();
+                Ok(QueryOutput {
+                    result: ResultSet::new(
+                        vec!["n".to_string()],
+                        vec![vec![simba_store::Value::Int(1)]],
+                    ),
+                    stats: ExecStats::default(),
+                    elapsed: Duration::from_micros(1),
+                })
+            }
+        }
+        let cache = ShardedResultCache::new(CacheConfig::default());
+        let q = simba_sql::parse_select("SELECT n FROM t").unwrap();
+        let engine = ClearingEngine { cache: &cache };
+        let (value, _elapsed, hit) = cache.execute_cached(&engine, &q).unwrap();
+        assert!(!hit);
+        assert_eq!(
+            value.result.rows,
+            vec![vec![simba_store::Value::Int(1)]],
+            "the caller still receives its result"
+        );
+        assert!(
+            cache.is_empty(),
+            "a potentially-stale in-flight result must not be cached"
+        );
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    /// A leader that panics inside `engine.execute` must retire its flight
+    /// on unwind; otherwise the next caller (or any blocked follower)
+    /// waits on the dead flight forever.
+    #[test]
+    fn leader_panic_retires_flight_instead_of_wedging_followers() {
+        struct PanickingEngine;
+        impl Dbms for PanickingEngine {
+            fn name(&self) -> &'static str {
+                "panicking-stub"
+            }
+            fn register(&self, _table: Arc<simba_store::Table>) {}
+            fn execute(&self, _query: &Select) -> Result<QueryOutput, EngineError> {
+                panic!("injected engine bug");
+            }
+        }
+        let cache = ShardedResultCache::new(CacheConfig::default());
+        let q = simba_sql::parse_select("SELECT n FROM t").unwrap();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.execute_cached(&PanickingEngine, &q)
+        }));
+        assert!(unwound.is_err(), "the leader's panic propagates");
+        // The flight was retired on unwind: a fresh caller elects itself
+        // leader and succeeds instead of parking on the dead flight. (If
+        // the guard were missing, this call would hang the test forever.)
+        struct OkEngine;
+        impl Dbms for OkEngine {
+            fn name(&self) -> &'static str {
+                "ok-stub"
+            }
+            fn register(&self, _table: Arc<simba_store::Table>) {}
+            fn execute(&self, _query: &Select) -> Result<QueryOutput, EngineError> {
+                Ok(QueryOutput {
+                    result: ResultSet::new(
+                        vec!["n".to_string()],
+                        vec![vec![simba_store::Value::Int(2)]],
+                    ),
+                    stats: ExecStats::default(),
+                    elapsed: Duration::from_micros(1),
+                })
+            }
+        }
+        let (value, _elapsed, hit) = cache.execute_cached(&OkEngine, &q).unwrap();
+        assert!(!hit);
+        assert_eq!(value.result.rows, vec![vec![simba_store::Value::Int(2)]]);
     }
 
     #[test]

@@ -1,7 +1,19 @@
 //! The concurrent workload scheduler.
 //!
-//! Replays pre-synthesized [`SessionScript`]s against one shared engine
-//! from a pool of worker threads. Two arrival disciplines:
+//! Runs exploration sessions against one shared engine from a pool of
+//! worker threads, in two *session modes*:
+//!
+//! * **Scripted** — replays pre-synthesized [`SessionScript`]s: every
+//!   interaction was fixed before the first query ran, so the workload is
+//!   engine-independent but can never react to results.
+//! * **Adaptive** — each worker runs a *live* Markov walk per user
+//!   ([`SessionPlanner`]) and steers on what comes back
+//!   ([`AdaptivePolicy`]): a filter that empties a chart gets undone, a
+//!   dominant category gets drilled into. This is the paper's adaptivity
+//!   argument made executable under load — the next interaction depends on
+//!   the data the user just saw.
+//!
+//! Orthogonally, two arrival disciplines pace the sessions:
 //!
 //! * **Closed loop** — each worker picks the next unstarted session as soon
 //!   as it finishes its current one (think-time paced). Models a fixed
@@ -12,17 +24,31 @@
 //!   bound (Eichmann et al.'s argument for think-time/arrival-paced
 //!   interactive benchmarks).
 
-use crate::cache::{CacheConfig, ShardedResultCache};
+use crate::cache::{CacheConfig, CachedResult, ShardedResultCache};
 use crate::histogram::LatencyHistogram;
-use crate::report::{CacheReport, DriverReport, LatencySummary};
+use crate::report::{CacheReport, DriverReport, LatencySummary, SteeringReport};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use simba_core::dashboard::Dashboard;
+use simba_core::markov::MarkovModel;
+use simba_core::session::adaptive::{AdaptivePolicy, SteeringKind, StepObservation};
 use simba_core::session::batch::{splitmix, SessionScript};
+use simba_core::session::planner::{PlannedStep, SessionPlanner};
 use simba_engine::Dbms;
 use simba_store::ResultSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Sentinel fingerprint recorded for a query that returned an engine error.
+///
+/// Fingerprint vectors are compared position-for-position across engines
+/// and cache configurations; silently *skipping* an errored query would
+/// shift every later fingerprint in the session and turn one error into a
+/// wall of false mismatches. (FNV-1a of any real result never yields
+/// `u64::MAX` from our offset basis in practice; collisions would only
+/// mask an error against a result, never misalign positions.)
+pub const ERROR_FINGERPRINT: u64 = u64::MAX;
 
 /// Pause inserted between a session's consecutive interactions.
 #[derive(Debug, Clone)]
@@ -86,18 +112,71 @@ impl Default for DriverConfig {
     }
 }
 
-/// Result of [`Driver::run`].
+/// Configuration of one adaptive (live, result-steered) run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Base seed; user `u` walks with `base_seed ^ splitmix(u + 1)` —
+    /// the same derivation as [`simba_core::session::batch::BatchConfig`],
+    /// so scripted and adaptive runs of one seed explore comparably.
+    pub base_seed: u64,
+    /// Interaction budget per session after the initial render (steering
+    /// steps count: reacting *is* interacting).
+    pub steps_per_session: usize,
+    /// Model mix; user `u` draws `mix[u % mix.len()]`.
+    pub mix: Vec<MarkovModel>,
+    /// Result-steering rules applied after every non-steered step.
+    pub policy: AdaptivePolicy,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            base_seed: 0,
+            steps_per_session: 8,
+            mix: vec![
+                MarkovModel::idebench_default(),
+                MarkovModel::uniform(),
+                MarkovModel::brush_heavy(),
+                MarkovModel::drilldown(),
+            ],
+            policy: AdaptivePolicy::default(),
+        }
+    }
+}
+
+/// Result of [`Driver::run`] / [`Driver::run_adaptive`].
 #[derive(Debug)]
 pub struct DriverOutcome {
     pub report: DriverReport,
-    /// Per session (outer, in script order): one fingerprint per query (in
-    /// step/query order). Empty unless `collect_fingerprints` was set.
+    /// Per session (outer, in session order): one fingerprint per query (in
+    /// step/query order; [`ERROR_FINGERPRINT`] marks errored queries).
+    /// Empty unless `collect_fingerprints` was set.
     pub fingerprints: Vec<Vec<u64>>,
+    /// Adaptive mode only: per session, the human-readable description of
+    /// every step taken (initial render included) — the determinism proof
+    /// surface. Empty in scripted mode (the scripts *are* the actions) and
+    /// unless `collect_fingerprints` was set.
+    pub actions: Vec<Vec<String>>,
 }
 
-/// Replays session scripts concurrently against one engine.
+/// Replays or live-drives sessions concurrently against one engine.
 pub struct Driver {
     config: DriverConfig,
+}
+
+#[derive(Debug, Default, Clone)]
+struct SteeringCounters {
+    backtracks: u64,
+    drills: u64,
+    empty_results: u64,
+}
+
+impl SteeringCounters {
+    fn merge(&mut self, other: &SteeringCounters) {
+        self.backtracks += other.backtracks;
+        self.drills += other.drills;
+        self.empty_results += other.empty_results;
+    }
 }
 
 struct WorkerOutcome {
@@ -107,6 +186,40 @@ struct WorkerOutcome {
     queries: u64,
     errors: u64,
     fingerprints: Vec<(usize, Vec<u64>)>,
+    actions: Vec<(usize, Vec<String>)>,
+    steering: SteeringCounters,
+}
+
+impl WorkerOutcome {
+    fn new() -> Self {
+        WorkerOutcome {
+            latency: LatencyHistogram::new(),
+            queue_delay: LatencyHistogram::new(),
+            interactions: 0,
+            queries: 0,
+            errors: 0,
+            fingerprints: Vec::new(),
+            actions: Vec::new(),
+            steering: SteeringCounters::default(),
+        }
+    }
+}
+
+/// What one executed query left behind for the steering hooks.
+enum Observed {
+    Cached(Arc<CachedResult>),
+    Owned(ResultSet),
+    Errored,
+}
+
+impl Observed {
+    fn result(&self) -> Option<&ResultSet> {
+        match self {
+            Observed::Cached(value) => Some(&value.result),
+            Observed::Owned(result) => Some(result),
+            Observed::Errored => None,
+        }
+    }
 }
 
 impl Driver {
@@ -116,43 +229,9 @@ impl Driver {
 
     /// Run every script to completion and aggregate a [`DriverReport`].
     pub fn run(&self, engine: Arc<dyn Dbms>, scripts: &[SessionScript]) -> DriverOutcome {
-        let workers = if self.config.workers == 0 {
-            std::thread::available_parallelism()
-                .map(usize::from)
-                .unwrap_or(4)
-        } else {
-            self.config.workers
-        }
-        .min(scripts.len())
-        .max(1);
-
-        let cache = self
-            .config
-            .cache
-            .clone()
-            .map(|c| Arc::new(ShardedResultCache::new(c)));
-
-        // Open-loop: absolute arrival offsets from run start (Poisson).
-        let arrivals: Vec<Duration> = match self.config.arrival {
-            Arrival::Closed => vec![Duration::ZERO; scripts.len()],
-            Arrival::Open { rate_per_sec } => {
-                assert!(
-                    rate_per_sec > 0.0,
-                    "open-loop arrival rate must be positive"
-                );
-                let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x0A22_17A1);
-                let mut at = 0.0f64;
-                scripts
-                    .iter()
-                    .map(|_| {
-                        let u: f64 = rng.gen_range(0.0..1.0);
-                        at += -(1.0 - u).ln() / rate_per_sec;
-                        Duration::from_secs_f64(at)
-                    })
-                    .collect()
-            }
-        };
-
+        let workers = self.resolve_workers(scripts.len());
+        let cache = self.build_cache();
+        let arrivals = self.arrival_offsets(scripts.len());
         let next = AtomicUsize::new(0);
         let start = Instant::now();
         let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
@@ -163,7 +242,7 @@ impl Driver {
                     let next = &next;
                     let arrivals = &arrivals;
                     scope.spawn(move || {
-                        self.worker_loop(engine, cache, scripts, arrivals, next, start)
+                        self.scripted_worker_loop(engine, cache, scripts, arrivals, next, start)
                     })
                 })
                 .collect();
@@ -173,19 +252,157 @@ impl Driver {
                 .collect()
         });
         let wall = start.elapsed();
+        self.finish(
+            engine.as_ref(),
+            "scripted",
+            None,
+            scripts.len(),
+            workers,
+            wall,
+            outcomes,
+            cache,
+        )
+    }
 
+    /// Run `sessions` live adaptive sessions to completion: each worker
+    /// holds a dashboard walk per user, executes its queries through the
+    /// (optionally cached) engine, and lets the configured
+    /// [`AdaptivePolicy`] steer on results. Identical seed + policy yield
+    /// byte-identical action sequences and fingerprints on every engine —
+    /// results (not latencies) are all a policy may inspect.
+    pub fn run_adaptive(
+        &self,
+        engine: Arc<dyn Dbms>,
+        dashboard: &Dashboard,
+        adaptive: &AdaptiveConfig,
+        sessions: usize,
+    ) -> DriverOutcome {
+        assert!(
+            !adaptive.mix.is_empty(),
+            "adaptive config needs at least one Markov model"
+        );
+        let workers = self.resolve_workers(sessions);
+        let cache = self.build_cache();
+        let arrivals = self.arrival_offsets(sessions);
+        let next = AtomicUsize::new(0);
+        let start = Instant::now();
+        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let engine = engine.as_ref();
+                    let cache = cache.as_deref();
+                    let next = &next;
+                    let arrivals = &arrivals;
+                    scope.spawn(move || {
+                        self.adaptive_worker_loop(
+                            engine, cache, dashboard, adaptive, sessions, arrivals, next, start,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let wall = start.elapsed();
+        self.finish(
+            engine.as_ref(),
+            "adaptive",
+            Some(adaptive),
+            sessions,
+            workers,
+            wall,
+            outcomes,
+            cache,
+        )
+    }
+
+    fn resolve_workers(&self, sessions: usize) -> usize {
+        if self.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(4)
+        } else {
+            self.config.workers
+        }
+        .min(sessions)
+        .max(1)
+    }
+
+    fn build_cache(&self) -> Option<Arc<ShardedResultCache>> {
+        self.config
+            .cache
+            .clone()
+            .map(|c| Arc::new(ShardedResultCache::new(c)))
+    }
+
+    /// Open-loop: absolute arrival offsets from run start (Poisson).
+    fn arrival_offsets(&self, sessions: usize) -> Vec<Duration> {
+        match self.config.arrival {
+            Arrival::Closed => vec![Duration::ZERO; sessions],
+            Arrival::Open { rate_per_sec } => {
+                assert!(
+                    rate_per_sec > 0.0,
+                    "open-loop arrival rate must be positive"
+                );
+                let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x0A22_17A1);
+                let mut at = 0.0f64;
+                (0..sessions)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        at += -(1.0 - u).ln() / rate_per_sec;
+                        Duration::from_secs_f64(at)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Open loop: honor the arrival schedule, then measure how late the
+    /// session actually started. (Closed loop has no arrival times, so a
+    /// delay sample would be meaningless — skip it.)
+    fn pace_arrival(&self, out: &mut WorkerOutcome, scheduled: Duration, run_start: Instant) {
+        if matches!(self.config.arrival, Arrival::Open { .. }) {
+            let now = run_start.elapsed();
+            if now < scheduled {
+                std::thread::sleep(scheduled - now);
+            }
+            out.queue_delay
+                .record(run_start.elapsed().saturating_sub(scheduled));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        engine: &dyn Dbms,
+        session_mode: &str,
+        adaptive: Option<&AdaptiveConfig>,
+        sessions: usize,
+        workers: usize,
+        wall: Duration,
+        outcomes: Vec<WorkerOutcome>,
+        cache: Option<Arc<ShardedResultCache>>,
+    ) -> DriverOutcome {
         let mut latency = LatencyHistogram::new();
         let mut queue_delay = LatencyHistogram::new();
         let (mut interactions, mut queries, mut errors) = (0u64, 0u64, 0u64);
-        let mut fingerprints: Vec<Vec<u64>> = vec![Vec::new(); scripts.len()];
+        let mut steering = SteeringCounters::default();
+        let mut fingerprints: Vec<Vec<u64>> = vec![Vec::new(); sessions];
+        let mut actions: Vec<Vec<String>> = vec![Vec::new(); sessions];
         for w in outcomes {
             latency.merge(&w.latency);
             queue_delay.merge(&w.queue_delay);
             interactions += w.interactions;
             queries += w.queries;
             errors += w.errors;
+            steering.merge(&w.steering);
             for (session, fps) in w.fingerprints {
                 fingerprints[session] = fps;
+            }
+            for (session, acts) in w.actions {
+                actions[session] = acts;
             }
         }
 
@@ -195,7 +412,8 @@ impl Driver {
                 Arrival::Closed => "closed".to_string(),
                 Arrival::Open { .. } => "open".to_string(),
             },
-            sessions: scripts.len(),
+            session_mode: session_mode.to_string(),
+            sessions,
             workers,
             scan_threads: engine.scan_threads(),
             wall_clock_ms: wall.as_secs_f64() * 1_000.0,
@@ -212,6 +430,17 @@ impl Driver {
                 Arrival::Closed => None,
                 Arrival::Open { .. } => Some(LatencySummary::from_histogram(&queue_delay)),
             },
+            steering: adaptive.map(|a| {
+                let ok_queries = queries.saturating_sub(errors);
+                SteeringReport {
+                    policy: a.policy.describe(),
+                    backtracks: steering.backtracks,
+                    drills: steering.drills,
+                    empty_results: steering.empty_results,
+                    backtrack_rate: rate(steering.backtracks, interactions),
+                    empty_result_rate: rate(steering.empty_results, ok_queries),
+                }
+            }),
             cache: cache
                 .as_ref()
                 .map(|c| CacheReport::new(&c.stats(), c.len())),
@@ -219,10 +448,11 @@ impl Driver {
         DriverOutcome {
             report,
             fingerprints,
+            actions,
         }
     }
 
-    fn worker_loop(
+    fn scripted_worker_loop(
         &self,
         engine: &dyn Dbms,
         cache: Option<&ShardedResultCache>,
@@ -231,30 +461,11 @@ impl Driver {
         next: &AtomicUsize,
         run_start: Instant,
     ) -> WorkerOutcome {
-        let mut out = WorkerOutcome {
-            latency: LatencyHistogram::new(),
-            queue_delay: LatencyHistogram::new(),
-            interactions: 0,
-            queries: 0,
-            errors: 0,
-            fingerprints: Vec::new(),
-        };
+        let mut out = WorkerOutcome::new();
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(script) = scripts.get(i) else { break };
-
-            // Open loop: honor the arrival schedule, then measure how late
-            // the session actually started. (Closed loop has no arrival
-            // times, so a delay sample would be meaningless — skip it.)
-            if matches!(self.config.arrival, Arrival::Open { .. }) {
-                let scheduled = arrivals[i];
-                let now = run_start.elapsed();
-                if now < scheduled {
-                    std::thread::sleep(scheduled - now);
-                }
-                out.queue_delay
-                    .record(run_start.elapsed().saturating_sub(scheduled));
-            }
+            self.pace_arrival(&mut out, arrivals[i], run_start);
 
             // Asymmetric mix: a plain XOR would cancel the base seed when
             // driver and batch share it (script.seed already XORs it in).
@@ -289,7 +500,13 @@ impl Driver {
                             out.latency.record(elapsed);
                             fps.extend(fp);
                         }
-                        Err(_) => out.errors += 1,
+                        Err(_) => {
+                            out.errors += 1;
+                            // Keep fingerprint vectors position-aligned.
+                            if want_fp {
+                                fps.push(ERROR_FINGERPRINT);
+                            }
+                        }
                     }
                 }
             }
@@ -298,6 +515,181 @@ impl Driver {
             }
         }
         out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn adaptive_worker_loop(
+        &self,
+        engine: &dyn Dbms,
+        cache: Option<&ShardedResultCache>,
+        dashboard: &Dashboard,
+        adaptive: &AdaptiveConfig,
+        sessions: usize,
+        arrivals: &[Duration],
+        next: &AtomicUsize,
+        run_start: Instant,
+    ) -> WorkerOutcome {
+        let mut out = WorkerOutcome::new();
+        loop {
+            let user = next.fetch_add(1, Ordering::Relaxed);
+            if user >= sessions {
+                break;
+            }
+            self.pace_arrival(&mut out, arrivals[user], run_start);
+            self.run_adaptive_session(engine, cache, dashboard, adaptive, user, &mut out);
+        }
+        out
+    }
+
+    /// One live session: walk, execute, inspect, steer.
+    fn run_adaptive_session(
+        &self,
+        engine: &dyn Dbms,
+        cache: Option<&ShardedResultCache>,
+        dashboard: &Dashboard,
+        adaptive: &AdaptiveConfig,
+        user: usize,
+        out: &mut WorkerOutcome,
+    ) {
+        // Same per-user seed derivation as batch synthesis, so a scripted
+        // and an adaptive run of one base seed start from the same walks.
+        let seed = adaptive.base_seed ^ splitmix(user as u64 + 1);
+        let model = adaptive.mix[user % adaptive.mix.len()].clone();
+        let mut walk_rng = ChaCha8Rng::seed_from_u64(seed);
+        // Pacing noise is kept off the walk stream: think-time draws must
+        // not perturb action choice (cache hits change timings, never
+        // walks).
+        let mut pace_rng = ChaCha8Rng::seed_from_u64(splitmix(self.config.seed) ^ seed);
+        let mut planner = SessionPlanner::new(dashboard, model);
+        let collect = self.config.collect_fingerprints;
+        let mut fps = Vec::new();
+        let mut actions = Vec::new();
+
+        let step = planner.initial_render();
+        if collect {
+            actions.push(step.description.clone());
+        }
+        let observed = self.execute_planned(engine, cache, &step, out, &mut fps);
+        let mut pending = steer(&adaptive.policy, &planner, &step, &observed);
+
+        for _ in 0..adaptive.steps_per_session {
+            let (steered, step) = match pending.take() {
+                Some((kind, action)) => {
+                    match kind {
+                        SteeringKind::BacktrackOnEmpty => out.steering.backtracks += 1,
+                        SteeringKind::DrillTopGroup => out.steering.drills += 1,
+                    }
+                    (true, planner.apply(action))
+                }
+                None => match planner.plan_next(&mut walk_rng) {
+                    Some(planned) => (false, planned),
+                    None => break,
+                },
+            };
+            out.interactions += 1;
+            let pause = self.config.think_time.sample(&mut pace_rng);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            if collect {
+                actions.push(step.description.clone());
+            }
+            let observed = self.execute_planned(engine, cache, &step, out, &mut fps);
+            // Never steer twice in a row: a correction is given one normal
+            // step to play out, which both bounds policy feedback loops and
+            // keeps sessions from degenerating into pure reaction.
+            pending = if steered {
+                None
+            } else {
+                steer(&adaptive.policy, &planner, &step, &observed)
+            };
+        }
+
+        if collect {
+            out.fingerprints.push((user, fps));
+            out.actions.push((user, actions));
+        }
+    }
+
+    /// Execute one planned step's queries, recording latency, errors,
+    /// fingerprints, and empty-result counts; returns per-query
+    /// observations for the steering policy.
+    fn execute_planned(
+        &self,
+        engine: &dyn Dbms,
+        cache: Option<&ShardedResultCache>,
+        step: &PlannedStep,
+        out: &mut WorkerOutcome,
+        fps: &mut Vec<u64>,
+    ) -> Vec<(simba_core::graph::NodeId, Observed)> {
+        let collect = self.config.collect_fingerprints;
+        let mut observed = Vec::with_capacity(step.queries.len());
+        for (node, query) in &step.queries {
+            out.queries += 1;
+            let executed = match cache {
+                Some(cache) => cache
+                    .execute_cached(engine, query)
+                    .map(|(value, elapsed, _hit)| (Observed::Cached(value), elapsed)),
+                None => engine
+                    .execute(query)
+                    .map(|o| (Observed::Owned(o.result), o.elapsed)),
+            };
+            match executed {
+                Ok((obs, elapsed)) => {
+                    out.latency.record(elapsed);
+                    if let Some(result) = obs.result() {
+                        if collect {
+                            fps.push(fingerprint(result));
+                        }
+                        if result.is_empty() {
+                            out.steering.empty_results += 1;
+                        }
+                    }
+                    observed.push((*node, obs));
+                }
+                Err(_) => {
+                    out.errors += 1;
+                    if collect {
+                        fps.push(ERROR_FINGERPRINT);
+                    }
+                    observed.push((*node, Observed::Errored));
+                }
+            }
+        }
+        observed
+    }
+}
+
+/// Ask the policy for a steering action over the step's observations.
+fn steer(
+    policy: &AdaptivePolicy,
+    planner: &SessionPlanner<'_>,
+    step: &PlannedStep,
+    observed: &[(simba_core::graph::NodeId, Observed)],
+) -> Option<(SteeringKind, simba_core::actions::Action)> {
+    if !policy.is_enabled() {
+        return None;
+    }
+    let views: Vec<StepObservation<'_>> = observed
+        .iter()
+        .map(|(node, obs)| StepObservation {
+            vis: *node,
+            result: obs.result(),
+        })
+        .collect();
+    policy.steer(
+        planner.dashboard(),
+        planner.state(),
+        step.action.as_ref(),
+        &views,
+    )
+}
+
+fn rate(n: u64, denom: u64) -> f64 {
+    if denom == 0 {
+        0.0
+    } else {
+        n as f64 / denom as f64
     }
 }
 

@@ -10,6 +10,10 @@
 //! * [`Driver`] replays them from a worker pool, closed-loop (fixed user
 //!   population, think-time paced) or open-loop (Poisson arrivals, for
 //!   saturation testing);
+//! * [`Driver::run_adaptive`] instead runs *live* sessions: each user's
+//!   Markov walk executes as it goes and an [`AdaptivePolicy`] steers on
+//!   results (backtrack out of emptied charts, drill into dominant
+//!   groups) — the paper's adaptivity argument under concurrent load;
 //! * [`ShardedResultCache`] is a lock-striped result cache keyed on
 //!   [`simba_sql::query_cache_key`], so normalization-equivalent queries
 //!   from different users hit memory instead of the engine;
@@ -48,6 +52,13 @@ pub mod histogram;
 pub mod report;
 
 pub use cache::{CacheConfig, CacheStats, CachedDbms, CachedResult, ShardedResultCache};
-pub use driver::{fingerprint, Arrival, Driver, DriverConfig, DriverOutcome, ThinkTime};
+pub use driver::{
+    fingerprint, AdaptiveConfig, Arrival, Driver, DriverConfig, DriverOutcome, ThinkTime,
+    ERROR_FINGERPRINT,
+};
 pub use histogram::LatencyHistogram;
-pub use report::{CacheReport, DriverReport, LatencySummary};
+pub use report::{CacheReport, DriverReport, LatencySummary, SteeringReport};
+
+// Re-exported so driver users can configure steering without importing
+// simba-core directly.
+pub use simba_core::session::adaptive::{AdaptivePolicy, SteeringKind};

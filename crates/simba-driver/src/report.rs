@@ -36,6 +36,11 @@ pub struct CacheReport {
     pub misses: u64,
     pub insertions: u64,
     pub evictions: u64,
+    /// Misses served by another caller's in-flight execution
+    /// (single-flight coalescing).
+    pub coalesced: u64,
+    /// Full invalidations (`register` of a replacement table).
+    pub invalidations: u64,
     pub hit_rate: f64,
     pub entries: usize,
 }
@@ -47,10 +52,29 @@ impl CacheReport {
             misses: stats.misses,
             insertions: stats.insertions,
             evictions: stats.evictions,
+            coalesced: stats.coalesced,
+            invalidations: stats.invalidations,
             hit_rate: stats.hit_rate(),
             entries,
         }
     }
+}
+
+/// Steering activity of one adaptive run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SteeringReport {
+    /// Enabled rules, e.g. `"backtrack_on_empty+drill_top_group"`.
+    pub policy: String,
+    /// Filters undone because they emptied a chart.
+    pub backtracks: u64,
+    /// Dominant categories pinned by mark click.
+    pub drills: u64,
+    /// Successful queries that returned zero rows.
+    pub empty_results: u64,
+    /// `backtracks / interactions`.
+    pub backtrack_rate: f64,
+    /// `empty_results / (queries - errors)`.
+    pub empty_result_rate: f64,
 }
 
 /// The aggregate outcome of one driver run.
@@ -60,6 +84,9 @@ pub struct DriverReport {
     pub engine: String,
     /// `"closed"` or `"open"` (arrival pacing).
     pub mode: String,
+    /// `"scripted"` (replayed pre-synthesized scripts) or `"adaptive"`
+    /// (live result-steered walks).
+    pub session_mode: String,
     pub sessions: usize,
     pub workers: usize,
     /// Intra-query scan parallelism the engine under test was configured
@@ -79,6 +106,8 @@ pub struct DriverReport {
     /// Open-loop only: how long sessions waited past their scheduled
     /// arrival before a worker picked them up.
     pub queue_delay: Option<LatencySummary>,
+    /// Adaptive mode only: steering counters and rates.
+    pub steering: Option<SteeringReport>,
     pub cache: Option<CacheReport>,
 }
 
@@ -113,6 +142,7 @@ mod tests {
         let report = DriverReport {
             engine: "duckdb-like".to_string(),
             mode: "closed".to_string(),
+            session_mode: "adaptive".to_string(),
             sessions: 4,
             workers: 2,
             scan_threads: 1,
@@ -123,12 +153,22 @@ mod tests {
             throughput_qps: 3520.0,
             latency: LatencySummary::from_histogram(&h),
             queue_delay: None,
+            steering: Some(SteeringReport {
+                policy: "backtrack_on_empty+drill_top_group".to_string(),
+                backtracks: 3,
+                drills: 2,
+                empty_results: 5,
+                backtrack_rate: 0.15,
+                empty_result_rate: 0.11,
+            }),
             cache: Some(CacheReport::new(
                 &CacheStats {
                     hits: 30,
                     misses: 14,
                     insertions: 14,
                     evictions: 0,
+                    coalesced: 2,
+                    invalidations: 0,
                 },
                 14,
             )),
@@ -138,5 +178,8 @@ mod tests {
         assert!(json.contains("\"hit_rate\""), "{json}");
         assert!(json.contains("\"queue_delay\": null"), "{json}");
         assert!(json.contains("\"scan_threads\": 1"), "{json}");
+        assert!(json.contains("\"session_mode\": \"adaptive\""), "{json}");
+        assert!(json.contains("\"backtrack_rate\""), "{json}");
+        assert!(json.contains("\"coalesced\""), "{json}");
     }
 }

@@ -7,13 +7,14 @@ use simba_core::session::batch::{synthesize_scripts, BatchConfig, SessionScript}
 use simba_core::spec::builtin::builtin;
 use simba_data::DashboardDataset;
 use simba_driver::{
-    Arrival, CacheConfig, CachedResult, Driver, DriverConfig, ShardedResultCache, ThinkTime,
+    AdaptiveConfig, Arrival, CacheConfig, CachedResult, Driver, DriverConfig, ShardedResultCache,
+    ThinkTime, ERROR_FINGERPRINT,
 };
 use simba_engine::{Dbms, EngineError, EngineKind, QueryOutput};
 use simba_sql::{parse_select, Select};
 use simba_store::{ResultSet, Table, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 fn setup(rows: usize, sessions: usize) -> (Arc<Table>, Dashboard, Vec<SessionScript>) {
     let ds = DashboardDataset::CustomerService;
@@ -227,6 +228,209 @@ fn concurrent_readers_and_writers_get_consistent_results() {
     assert_eq!(stats.hits + stats.misses, (threads * ops) as u64);
     assert!(stats.hits > 0 && stats.insertions > 0);
     assert!(cache.len() <= 4 * 8);
+}
+
+/// A counting engine that holds every execution long enough for concurrent
+/// misses on the same key to pile up behind the single-flight leader.
+struct SlowCountingEngine {
+    executions: AtomicU64,
+}
+
+impl Dbms for SlowCountingEngine {
+    fn name(&self) -> &'static str {
+        "slow-counting-stub"
+    }
+
+    fn register(&self, _table: Arc<Table>) {}
+
+    fn execute(&self, _query: &Select) -> Result<QueryOutput, EngineError> {
+        self.executions.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        Ok(QueryOutput {
+            result: ResultSet::new(vec!["n".to_string()], vec![vec![Value::Int(7)]]),
+            stats: Default::default(),
+            elapsed: std::time::Duration::from_millis(40),
+        })
+    }
+}
+
+/// Single-flight: N concurrent misses on one key must run the engine
+/// exactly once — the followers block on the leader's flight and share its
+/// result.
+#[test]
+fn concurrent_misses_on_one_key_execute_engine_once() {
+    let engine = SlowCountingEngine {
+        executions: AtomicU64::new(0),
+    };
+    let cache = ShardedResultCache::new(CacheConfig::default());
+    let query = parse_select("SELECT COUNT(*) FROM t").unwrap();
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                let (value, _elapsed, hit) = cache.execute_cached(&engine, &query).unwrap();
+                assert_eq!(
+                    value.result.sorted_rows(),
+                    vec![vec![Value::Int(7)]],
+                    "all callers share the leader's payload"
+                );
+                let _ = hit;
+            });
+        }
+    });
+    assert_eq!(
+        engine.executions.load(Ordering::SeqCst),
+        1,
+        "missed key must execute exactly once"
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.insertions, 1);
+    assert_eq!(
+        stats.hits + stats.coalesced,
+        threads as u64 - 1,
+        "everyone but the leader was served from memory: {stats:?}"
+    );
+}
+
+/// A wrapper that deterministically fails a subset of queries, for the
+/// fingerprint-alignment regression.
+struct FlakyEngine {
+    inner: Arc<dyn Dbms>,
+}
+
+fn flaky_fails(query: &Select) -> bool {
+    query.to_string().contains("rep_id")
+}
+
+impl Dbms for FlakyEngine {
+    fn name(&self) -> &'static str {
+        "flaky"
+    }
+
+    fn register(&self, table: Arc<Table>) {
+        self.inner.register(table);
+    }
+
+    fn execute(&self, query: &Select) -> Result<QueryOutput, EngineError> {
+        if flaky_fails(query) {
+            Err(EngineError::Unsupported("flaky: rep_id is down".into()))
+        } else {
+            self.inner.execute(query)
+        }
+    }
+}
+
+/// Regression: an errored query used to be silently *skipped* in the
+/// fingerprint vector, shifting every later fingerprint and misaligning
+/// per-session comparisons across engines. Errors must record
+/// [`ERROR_FINGERPRINT`] so vectors stay position-for-position comparable.
+#[test]
+fn errored_queries_keep_fingerprints_position_aligned() {
+    let (table, _dashboard, scripts) = setup(800, 6);
+    let clean = EngineKind::SqliteLike.build();
+    clean.register(table.clone());
+    let flaky: Arc<dyn Dbms> = Arc::new(FlakyEngine {
+        inner: clean.clone(),
+    });
+
+    let run = |engine: Arc<dyn Dbms>| {
+        Driver::new(DriverConfig {
+            workers: 3,
+            collect_fingerprints: true,
+            ..Default::default()
+        })
+        .run(engine, &scripts)
+    };
+    let reference = run(clean);
+    let with_errors = run(flaky);
+    assert_eq!(reference.report.errors, 0);
+    assert!(
+        with_errors.report.errors > 0,
+        "scripts must hit at least one rep_id query"
+    );
+
+    let mut sentinels = 0u64;
+    for (session, script) in scripts.iter().enumerate() {
+        let expect_fail: Vec<bool> = script
+            .steps
+            .iter()
+            .flat_map(|s| s.queries.iter().map(|q| flaky_fails(&q.query)))
+            .collect();
+        let good = &reference.fingerprints[session];
+        let flaked = &with_errors.fingerprints[session];
+        assert_eq!(good.len(), script.query_count());
+        assert_eq!(
+            flaked.len(),
+            script.query_count(),
+            "errored queries must still occupy a fingerprint slot"
+        );
+        for (pos, fail) in expect_fail.iter().enumerate() {
+            if *fail {
+                sentinels += 1;
+                assert_eq!(
+                    flaked[pos], ERROR_FINGERPRINT,
+                    "session {session} pos {pos}"
+                );
+            } else {
+                assert_eq!(
+                    flaked[pos], good[pos],
+                    "session {session} pos {pos}: successful queries must agree"
+                );
+            }
+        }
+    }
+    assert_eq!(sentinels, with_errors.report.errors);
+}
+
+/// Adaptive-mode smoke: live sessions run to completion, the report carries
+/// the session mode and steering counters, and the whole run is
+/// reproducible.
+#[test]
+fn adaptive_mode_reports_steering_and_reproduces() {
+    let ds = DashboardDataset::CustomerService;
+    let table = Arc::new(ds.generate_rows(1_500, 42));
+    let dashboard = Dashboard::new(builtin(ds), &table).unwrap();
+    let engine = EngineKind::DuckDbLike.build();
+    engine.register(table);
+
+    let adaptive = AdaptiveConfig {
+        base_seed: 11,
+        steps_per_session: 6,
+        ..Default::default()
+    };
+    let run = || {
+        Driver::new(DriverConfig {
+            workers: 4,
+            collect_fingerprints: true,
+            cache: Some(CacheConfig::default()),
+            ..Default::default()
+        })
+        .run_adaptive(engine.clone(), &dashboard, &adaptive, 8)
+    };
+    let a = run();
+    assert_eq!(a.report.session_mode, "adaptive");
+    assert_eq!(a.report.mode, "closed");
+    assert_eq!(a.report.sessions, 8);
+    assert_eq!(a.report.errors, 0);
+    assert!(a.report.queries > 0);
+    assert!(a.report.interactions <= 8 * 6, "steps bound interactions");
+    let steering = a.report.steering.as_ref().expect("adaptive run steers");
+    assert_eq!(steering.policy, "backtrack_on_empty+drill_top_group");
+    assert!(
+        steering.drills >= 8,
+        "every session's opening render exposes a dominant group: {steering:?}"
+    );
+    assert_eq!(a.actions.len(), 8);
+    for acts in &a.actions {
+        assert_eq!(acts[0], "open dashboard");
+        assert!(acts.len() >= 2, "sessions should get past the render");
+    }
+
+    let b = run();
+    assert_eq!(a.actions, b.actions, "same seed ⇒ same walk");
+    assert_eq!(a.fingerprints, b.fingerprints, "same seed ⇒ same results");
 }
 
 /// Open-loop runs report queue delay and finish all sessions.
