@@ -1,155 +1,46 @@
-//! Adaptive shootout: scripted replay vs. live result-steered sessions,
-//! across all four engine architectures, with and without the shared
-//! query-result cache.
+//! Thin alias for `bench --scenario adaptive-shootout`: scripted replay
+//! vs. live result-steered sessions, across all four engine architectures,
+//! with and without the shared query-result cache.
 //!
 //! Scripted mode replays pre-synthesized Markov walks; adaptive mode runs
 //! the same per-user walks *live* and lets the steering policy react to
 //! results (backtrack out of emptied charts, drill into dominant groups).
 //! Comparing the two isolates what result-dependence costs: steering
 //! decisions serialize on query completion, shift the query mix, and (with
-//! the cache) expose single-flight coalescing on popular drill targets. A
-//! final JSON array of every `DriverReport` goes to stdout (or to the file
-//! named by `SIMBA_JSON_OUT`).
+//! the cache) expose single-flight coalescing on popular drill targets.
 //!
-//! Environment:
+//! The workload is declared by the scenario registry
+//! (`simba_driver::workload::registry`) and executed through
+//! `Driver::execute`; this binary only maps the historical environment
+//! variables onto `ScenarioParams`:
+//!
 //! * `SIMBA_ROWS`   — dataset rows (default 50 000)
 //! * `SIMBA_SEED`   — base seed (default 0)
 //! * `SIMBA_USERS`  — comma-separated sweep (default `4,16,64`)
 //! * `SIMBA_STEPS`  — interactions per session (default 8)
 //! * `SIMBA_WORKERS`— worker threads (default: available parallelism)
 //! * `SIMBA_THINK_MS` — fixed think time per interaction (default 0)
+//!
+//! A final JSON array of every `RunReport` goes to stdout (or to the file
+//! named by `SIMBA_JSON_OUT`).
+//!
+//! Note on seeding: the unified spec path derives *everything* — dataset
+//! generation included — from the one master seed, whereas pre-unification
+//! releases of this binary salted the dataset seed per bin
+//! (`harness_seed(0xAD)`). Runs remain fully deterministic per
+//! `SIMBA_SEED`, but absolute numbers are not comparable with JSON
+//! artifacts produced by older releases.
 
-use simba_bench::{build_context, configured_rows, configured_seed, harness_seed};
-use simba_core::session::batch::{synthesize_scripts, BatchConfig};
-use simba_data::DashboardDataset;
-use simba_driver::{AdaptiveConfig, CacheConfig, Driver, DriverConfig, DriverReport, ThinkTime};
-use simba_engine::EngineKind;
-use std::time::Duration;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
-
-fn user_sweep() -> Vec<usize> {
-    match std::env::var("SIMBA_USERS") {
-        Ok(s) => s
-            .split(',')
-            .filter_map(|p| p.trim().parse().ok())
-            .filter(|&u| u > 0)
-            .collect(),
-        Err(_) => vec![4, 16, 64],
-    }
-}
+use simba_bench::scenario_cli::run_named_scenario;
+use simba_driver::ScenarioParams;
 
 fn main() {
-    let rows = configured_rows();
-    let seed = configured_seed();
-    let steps = env_usize("SIMBA_STEPS", 8);
-    let workers = env_usize("SIMBA_WORKERS", 0);
-    let think_ms = env_usize("SIMBA_THINK_MS", 0);
-    let users = user_sweep();
-
-    println!("adaptive shootout — CustomerService, {rows} rows, seed {seed}");
-    println!("users: {users:?}, {steps} interactions/session, think {think_ms} ms\n");
-
-    let (table, dashboard) =
-        build_context(DashboardDataset::CustomerService, rows, harness_seed(0xAD));
-
-    println!(
-        "{:<14} {:>9} {:>5} {:>6} {:>8} {:>10} {:>9} {:>9} {:>7} {:>6} {:>6} {:>7}",
-        "engine",
-        "sessions",
-        "users",
-        "cache",
-        "queries",
-        "qps",
-        "p50 ms",
-        "p99 ms",
-        "hit%",
-        "btrk",
-        "drill",
-        "empty%"
-    );
-    let mut reports: Vec<DriverReport> = Vec::new();
-    for &u in &users {
-        let scripts = synthesize_scripts(
-            &dashboard,
-            &BatchConfig {
-                base_seed: seed,
-                steps_per_session: steps,
-                ..Default::default()
-            },
-            u,
-        );
-        let adaptive = AdaptiveConfig {
-            base_seed: seed,
-            steps_per_session: steps,
+    run_named_scenario(
+        "adaptive-shootout",
+        ScenarioParams {
+            users: vec![4, 16, 64],
+            steps: 8,
             ..Default::default()
-        };
-        for kind in EngineKind::ALL {
-            for cache_on in [false, true] {
-                for mode in ["scripted", "adaptive"] {
-                    let engine = kind.build();
-                    engine.register(table.clone());
-                    let driver = Driver::new(DriverConfig {
-                        workers,
-                        seed,
-                        think_time: if think_ms == 0 {
-                            ThinkTime::None
-                        } else {
-                            ThinkTime::Fixed(Duration::from_millis(think_ms as u64))
-                        },
-                        cache: cache_on.then(CacheConfig::default),
-                        ..Default::default()
-                    });
-                    let outcome = match mode {
-                        "scripted" => driver.run(engine, &scripts),
-                        _ => driver.run_adaptive(engine, &dashboard, &adaptive, u),
-                    };
-                    let r = &outcome.report;
-                    println!(
-                        "{:<14} {:>9} {:>5} {:>6} {:>8} {:>10.0} {:>9.3} {:>9.3} {:>7} {:>6} {:>6} {:>7}",
-                        r.engine,
-                        r.session_mode,
-                        u,
-                        if cache_on { "on" } else { "off" },
-                        r.queries,
-                        r.throughput_qps,
-                        r.latency.p50_us / 1_000.0,
-                        r.latency.p99_us / 1_000.0,
-                        r.cache
-                            .as_ref()
-                            .map(|c| format!("{:.1}", c.hit_rate * 100.0))
-                            .unwrap_or_else(|| "-".to_string()),
-                        r.steering
-                            .as_ref()
-                            .map(|s| s.backtracks.to_string())
-                            .unwrap_or_else(|| "-".to_string()),
-                        r.steering
-                            .as_ref()
-                            .map(|s| s.drills.to_string())
-                            .unwrap_or_else(|| "-".to_string()),
-                        r.steering
-                            .as_ref()
-                            .map(|s| format!("{:.1}", s.empty_result_rate * 100.0))
-                            .unwrap_or_else(|| "-".to_string()),
-                    );
-                    reports.push(outcome.report);
-                }
-            }
-        }
-        println!();
-    }
-
-    let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
-    match std::env::var("SIMBA_JSON_OUT") {
-        Ok(path) => {
-            std::fs::write(&path, &json).expect("write SIMBA_JSON_OUT");
-            println!("wrote {} reports to {path}", reports.len());
-        }
-        Err(_) => println!("{json}"),
-    }
+        },
+    );
 }

@@ -1,0 +1,246 @@
+//! The single benchmark entry point: run any scenario — built-in or from a
+//! JSON spec file — through `Driver::execute`.
+//!
+//! ```text
+//! bench --scenario <name> [options]     run a built-in scenario
+//! bench --spec <file.json> [options]    run spec(s) from a JSON data file
+//! bench --list                          list built-in scenarios
+//! bench --scenario <name> --dump        print the expanded specs as JSON
+//!
+//! Options:
+//!   --engine <name>     only run specs for this engine
+//!   --rows N            dataset rows            (env SIMBA_ROWS)
+//!   --seed N            master seed             (env SIMBA_SEED)
+//!   --users a,b,c       concurrent-user sweep   (env SIMBA_USERS)
+//!   --steps N           interactions/session    (env SIMBA_STEPS)
+//!   --workers N         worker threads, 0=auto  (env SIMBA_WORKERS)
+//!   --think-ms N        fixed think time in ms  (env SIMBA_THINK_MS)
+//! ```
+//!
+//! Flags override environment variables, which override scenario defaults.
+//! With `--spec`, the file is authoritative: only *explicit flags* override
+//! its fields (`--rows`, `--seed`, `--steps`, `--workers`, `--think-ms`
+//! rewrite every spec in the file; `--users` is rejected because a sweep
+//! does not map onto explicit per-spec session counts), and `SIMBA_*`
+//! environment variables are ignored.
+//! The full `RunReport` array is printed as JSON (or written to the file
+//! named by `SIMBA_JSON_OUT`). Exit status is non-zero if any run fails or
+//! produces an empty report.
+
+use simba_bench::scenario_cli::{emit_json, params_from_env, run_specs};
+use simba_driver::{all_scenarios, scenario, ScenarioParams, ScenarioSpec};
+
+struct Args {
+    scenario: Option<String>,
+    spec_file: Option<String>,
+    engine: Option<String>,
+    list: bool,
+    dump: bool,
+    overrides: Vec<(String, String)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench --scenario <name> | --spec <file.json> | --list\n\
+         \x20      [--engine <name>] [--dump] [--rows N] [--seed N]\n\
+         \x20      [--users a,b,c] [--steps N] [--workers N] [--think-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scenario: None,
+        spec_file: None,
+        engine: None,
+        list: false,
+        dump: false,
+        overrides: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value_for = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("missing value for {name}");
+                    usage()
+                }
+            }
+        };
+        match flag.as_str() {
+            "--scenario" => args.scenario = Some(value_for("--scenario")),
+            "--spec" => args.spec_file = Some(value_for("--spec")),
+            "--engine" => args.engine = Some(value_for("--engine")),
+            "--list" => args.list = true,
+            "--dump" => args.dump = true,
+            "--rows" | "--seed" | "--users" | "--steps" | "--workers" | "--think-ms" => {
+                let value = value_for(&flag);
+                args.overrides.push((flag, value));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// Apply `--rows`-style flag overrides on top of env-derived params.
+fn apply_overrides(mut params: ScenarioParams, overrides: &[(String, String)]) -> ScenarioParams {
+    for (flag, value) in overrides {
+        let parse_usize = || -> usize {
+            value.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value `{value}` for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--rows" => params.rows = parse_usize(),
+            "--seed" => params.seed = parse_usize() as u64,
+            "--steps" => params.steps = parse_usize(),
+            "--workers" => params.workers = parse_usize(),
+            "--think-ms" => params.think_ms = parse_usize() as u64,
+            "--users" => match simba_bench::scenario_cli::parse_users(value) {
+                Some(users) => params.users = users,
+                None => {
+                    eprintln!("invalid value `{value}` for --users");
+                    std::process::exit(2);
+                }
+            },
+            _ => unreachable!("parse_args only collects known overrides"),
+        }
+    }
+    params
+}
+
+/// Apply explicit flag overrides onto specs loaded from a `--spec` file.
+/// The file is the source of truth; only flags the user actually typed
+/// rewrite it (env vars are ignored on this path).
+fn apply_spec_overrides(specs: &mut [ScenarioSpec], overrides: &[(String, String)]) {
+    for (flag, value) in overrides {
+        let parse_usize = || -> usize {
+            value.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value `{value}` for {flag}");
+                std::process::exit(2);
+            })
+        };
+        if flag == "--users" {
+            eprintln!("--users cannot be combined with --spec (edit the file's `sessions` fields)");
+            std::process::exit(2);
+        }
+        for spec in specs.iter_mut() {
+            match flag.as_str() {
+                "--rows" => spec.rows = parse_usize(),
+                "--seed" => spec.seed = parse_usize() as u64,
+                "--steps" => spec.steps_per_session = parse_usize(),
+                "--workers" => spec.workers = parse_usize(),
+                "--think-ms" => {
+                    let millis = parse_usize() as u64;
+                    spec.think = if millis == 0 {
+                        simba_driver::ThinkSpec::None
+                    } else {
+                        simba_driver::ThinkSpec::Fixed { millis }
+                    };
+                }
+                _ => unreachable!("parse_args only collects known overrides"),
+            }
+        }
+    }
+}
+
+/// Load specs from a JSON file holding either one spec object or an array.
+/// The first non-whitespace character decides which shape to parse, so a
+/// field typo surfaces that shape's diagnostic rather than a misleading
+/// "expected array" from the wrong attempt.
+fn load_spec_file(path: &str) -> Vec<ScenarioSpec> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let result = if text.trim_start().starts_with('[') {
+        serde_json::from_str::<Vec<ScenarioSpec>>(&text).map_err(|e| e.to_string())
+    } else {
+        ScenarioSpec::from_json(&text)
+            .map(|spec| vec![spec])
+            .map_err(|e| e.to_string())
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("{path}: invalid scenario spec file: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let params = apply_overrides(params_from_env(ScenarioParams::default()), &args.overrides);
+
+    if args.list {
+        println!("built-in scenarios:");
+        for sc in all_scenarios(&params) {
+            println!(
+                "  {:<20} {} ({} specs)",
+                sc.name,
+                sc.description,
+                sc.specs.len()
+            );
+        }
+        return;
+    }
+
+    let (mut specs, banner): (Vec<ScenarioSpec>, String) = match (&args.scenario, &args.spec_file) {
+        (Some(name), None) => match scenario(name, &params) {
+            Some(sc) => {
+                let banner = format!(
+                    "{} — {} (rows {}, seed {}, users {:?}, {} steps/session)\n",
+                    sc.name, sc.description, params.rows, params.seed, params.users, params.steps
+                );
+                (sc.specs, banner)
+            }
+            None => {
+                eprintln!(
+                    "unknown scenario `{name}`; known: {}",
+                    simba_driver::SCENARIO_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+        (None, Some(path)) => {
+            let mut specs = load_spec_file(path);
+            apply_spec_overrides(&mut specs, &args.overrides);
+            (specs, format!("specs from {path}\n"))
+        }
+        _ => usage(),
+    };
+
+    if let Some(engine) = &args.engine {
+        if simba_engine::EngineKind::from_name(engine).is_none() {
+            eprintln!("unknown engine `{engine}`");
+            std::process::exit(2);
+        }
+        specs.retain(|s| s.engine.kind.eq_ignore_ascii_case(engine));
+        if specs.is_empty() {
+            eprintln!("no specs left after --engine {engine} filter");
+            std::process::exit(1);
+        }
+    }
+
+    if args.dump {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&specs).expect("specs serialize")
+        );
+        return;
+    }
+
+    println!("{banner}");
+    match run_specs(&specs) {
+        Ok(reports) => emit_json(&reports),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

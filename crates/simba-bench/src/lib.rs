@@ -50,10 +50,15 @@ pub fn configured_runs() -> u64 {
 /// [`harness_seed`], so one env var re-rolls an entire experiment
 /// reproducibly.
 pub fn configured_seed() -> u64 {
+    configured_seed_or(0)
+}
+
+/// Base seed from the environment (`SIMBA_SEED`), or `default`.
+pub fn configured_seed_or(default: u64) -> u64 {
     std::env::var("SIMBA_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0)
+        .unwrap_or(default)
 }
 
 /// Derive a decorrelated seed for one harness component: SplitMix64 over
@@ -64,6 +69,8 @@ pub fn configured_seed() -> u64 {
 pub fn harness_seed(salt: u64) -> u64 {
     simba_core::session::batch::splitmix(configured_seed().rotate_left(32).wrapping_add(salt))
 }
+
+pub mod scenario_cli;
 
 /// Build a dataset table and its dashboard runtime.
 pub fn build_context(ds: DashboardDataset, rows: usize, seed: u64) -> (Arc<Table>, Dashboard) {

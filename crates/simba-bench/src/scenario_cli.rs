@@ -1,0 +1,161 @@
+//! Shared runner behind `bench --scenario <name>` and the thin alias bins.
+//!
+//! One code path expands a named scenario (or a spec file) into
+//! [`ScenarioSpec`]s, executes each through [`Driver::execute`], prints a
+//! progress table, and emits the full [`RunReport`] array as JSON — to
+//! stdout or to the file named by `SIMBA_JSON_OUT`. Empty or errored runs
+//! make the process exit non-zero, which is what CI keys on.
+
+use simba_driver::workload::TableCache;
+use simba_driver::{Driver, RunReport, ScenarioParams, ScenarioSpec};
+
+/// Parse a comma-separated user sweep (`"1,8,64"`): the one parser behind
+/// both `SIMBA_USERS` and the CLI's `--users`. Non-numeric and zero
+/// entries are dropped; `None` if nothing valid remains.
+pub fn parse_users(s: &str) -> Option<Vec<usize>> {
+    let users: Vec<usize> = s
+        .split(',')
+        .filter_map(|p| p.trim().parse().ok())
+        .filter(|&u| u > 0)
+        .collect();
+    if users.is_empty() {
+        None
+    } else {
+        Some(users)
+    }
+}
+
+/// Scale knobs from `SIMBA_*` environment variables over `defaults`:
+/// `SIMBA_ROWS`, `SIMBA_SEED`, `SIMBA_USERS` (comma-separated sweep),
+/// `SIMBA_STEPS`, `SIMBA_WORKERS`, `SIMBA_THINK_MS`.
+pub fn params_from_env(defaults: ScenarioParams) -> ScenarioParams {
+    let usize_var = |name: &str, dflt: usize| -> usize {
+        std::env::var(name)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(dflt)
+    };
+    let users = std::env::var("SIMBA_USERS")
+        .ok()
+        .and_then(|s| parse_users(&s))
+        .unwrap_or_else(|| defaults.users.clone());
+    ScenarioParams {
+        rows: usize_var("SIMBA_ROWS", defaults.rows),
+        seed: crate::configured_seed_or(defaults.seed),
+        users,
+        steps: usize_var("SIMBA_STEPS", defaults.steps),
+        workers: usize_var("SIMBA_WORKERS", defaults.workers),
+        think_ms: usize_var("SIMBA_THINK_MS", defaults.think_ms as usize) as u64,
+    }
+}
+
+/// Header for [`print_row`].
+pub fn print_header() {
+    println!(
+        "{:<14} {:>9} {:>6} {:>6} {:>4} {:>8} {:>10} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "engine",
+        "source",
+        "users",
+        "cache",
+        "scan",
+        "queries",
+        "qps",
+        "p50 ms",
+        "p99 ms",
+        "hit%",
+        "btrk",
+        "drill"
+    );
+}
+
+/// One aligned table row per executed spec.
+pub fn print_row(report: &RunReport, cached: bool) {
+    println!(
+        "{:<14} {:>9} {:>6} {:>6} {:>4} {:>8} {:>10.0} {:>9.3} {:>9.3} {:>7} {:>6} {:>6}",
+        report.engine,
+        report.session_mode,
+        report.sessions,
+        if cached { "on" } else { "off" },
+        report.scan_threads,
+        report.queries,
+        report.throughput_qps,
+        report.latency.p50_us / 1_000.0,
+        report.latency.p99_us / 1_000.0,
+        report
+            .cache
+            .as_ref()
+            .map(|c| format!("{:.1}", c.hit_rate * 100.0))
+            .unwrap_or_else(|| "-".to_string()),
+        report
+            .steering
+            .as_ref()
+            .map(|s| s.backtracks.to_string())
+            .unwrap_or_else(|| "-".to_string()),
+        report
+            .steering
+            .as_ref()
+            .map(|s| s.drills.to_string())
+            .unwrap_or_else(|| "-".to_string()),
+    );
+}
+
+/// Execute every spec in order, printing a row per run.
+///
+/// Returns the reports, or an error string if any spec fails to execute or
+/// produces an *empty* report (zero queries) — the "benchmark silently did
+/// nothing" failure mode CI must catch.
+pub fn run_specs(specs: &[ScenarioSpec]) -> Result<Vec<RunReport>, String> {
+    if specs.is_empty() {
+        return Err("scenario expanded to zero specs".to_string());
+    }
+    print_header();
+    // One dataset generation per (dataset, rows, seed) across the suite.
+    let mut tables = TableCache::new();
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let outcome =
+            Driver::execute_with(spec, &mut tables).map_err(|e| format!("{}: {e}", spec.name))?;
+        if outcome.report.queries == 0 {
+            return Err(format!(
+                "{} ({} / {}): empty report — no queries executed",
+                spec.name, spec.engine.kind, outcome.report.session_mode
+            ));
+        }
+        print_row(&outcome.report, spec.cache.is_some());
+        reports.push(outcome.report);
+    }
+    Ok(reports)
+}
+
+/// Write the report array as pretty JSON to the `SIMBA_JSON_OUT` file, or
+/// print it to stdout when unset.
+pub fn emit_json(reports: &[RunReport]) {
+    let json = serde_json::to_string_pretty(reports).expect("reports serialize");
+    match std::env::var("SIMBA_JSON_OUT") {
+        Ok(path) => {
+            std::fs::write(&path, &json).expect("write SIMBA_JSON_OUT");
+            println!("wrote {} reports to {path}", reports.len());
+        }
+        Err(_) => println!("{json}"),
+    }
+}
+
+/// Thin-alias entry point: run one built-in scenario under env-configured
+/// params, with a given default parameter set. Exits the process non-zero
+/// on failure.
+pub fn run_named_scenario(name: &str, defaults: ScenarioParams) {
+    let params = params_from_env(defaults);
+    let scenario = simba_driver::scenario(name, &params)
+        .unwrap_or_else(|| panic!("`{name}` is a registered scenario"));
+    println!(
+        "{name} — {} (rows {}, seed {}, users {:?}, {} steps/session)\n",
+        scenario.description, params.rows, params.seed, params.users, params.steps
+    );
+    match run_specs(&scenario.specs) {
+        Ok(reports) => emit_json(&reports),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

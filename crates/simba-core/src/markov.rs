@@ -95,6 +95,15 @@ impl MarkovModel {
         ]
     }
 
+    /// Look up a preset by its stable name (`"idebench-default"`,
+    /// `"uniform"`, `"brush-heavy"`, `"drilldown"`), for declarative
+    /// workload specs that reference models as data.
+    pub fn preset(name: &str) -> Option<MarkovModel> {
+        Self::presets()
+            .into_iter()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
     /// Sample the next interaction kind given the previous one.
     pub fn next_kind(&self, prev: Option<ActionKind>, rng: &mut impl Rng) -> ActionKind {
         let row = match prev {

@@ -11,6 +11,7 @@ pub mod batch;
 pub mod export;
 pub mod interleave;
 pub mod planner;
+pub mod source;
 pub mod synthesize;
 pub mod workflows;
 

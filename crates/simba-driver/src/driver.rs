@@ -1,17 +1,22 @@
 //! The concurrent workload scheduler.
 //!
 //! Runs exploration sessions against one shared engine from a pool of
-//! worker threads, in two *session modes*:
+//! worker threads. *What* the sessions are comes from a
+//! [`SessionSource`] — one trait covering every session mode:
 //!
-//! * **Scripted** — replays pre-synthesized [`SessionScript`]s: every
-//!   interaction was fixed before the first query ran, so the workload is
-//!   engine-independent but can never react to results.
-//! * **Adaptive** — each worker runs a *live* Markov walk per user
-//!   ([`SessionPlanner`]) and steers on what comes back
-//!   ([`AdaptivePolicy`]): a filter that empties a chart gets undone, a
-//!   dominant category gets drilled into. This is the paper's adaptivity
-//!   argument made executable under load — the next interaction depends on
-//!   the data the user just saw.
+//! * **Scripted** ([`ScriptedSource`]) — replays pre-synthesized
+//!   [`SessionScript`]s: every interaction was fixed before the first query
+//!   ran, so the workload is engine-independent but can never react to
+//!   results.
+//! * **Adaptive** ([`AdaptiveSource`](simba_core::session::source::AdaptiveSource))
+//!   — each worker runs a *live* Markov walk per user and steers on what
+//!   comes back: a filter that empties a chart gets undone, a dominant
+//!   category gets drilled into. This is the paper's adaptivity argument
+//!   made executable under load — the next interaction depends on the data
+//!   the user just saw.
+//! * **IDEBench** ([`IdebenchSource`](simba_idebench::IdebenchSource)) —
+//!   stochastic filter storms over per-user implicit dashboards, for
+//!   baseline comparisons under the same pacing and reporting.
 //!
 //! Orthogonally, two arrival disciplines pace the sessions:
 //!
@@ -23,32 +28,33 @@
 //!   when the engine can't keep up, the measured queue delay grows without
 //!   bound (Eichmann et al.'s argument for think-time/arrival-paced
 //!   interactive benchmarks).
+//!
+//! Prefer describing a run declaratively with a
+//! [`ScenarioSpec`](crate::workload::ScenarioSpec) and
+//! [`Driver::execute`](crate::workload); [`Driver::run`] and
+//! [`Driver::run_adaptive`] remain as thin shims over the same loop.
 
 use crate::cache::{CacheConfig, CachedResult, ShardedResultCache};
 use crate::histogram::LatencyHistogram;
-use crate::report::{CacheReport, DriverReport, LatencySummary, SteeringReport};
+use crate::report::{CacheReport, LatencySummary, RunReport, SteeringReport, ADHOC_SCENARIO};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simba_core::dashboard::Dashboard;
 use simba_core::markov::MarkovModel;
-use simba_core::session::adaptive::{AdaptivePolicy, SteeringKind, StepObservation};
+use simba_core::session::adaptive::{AdaptivePolicy, SteeringKind};
 use simba_core::session::batch::{splitmix, SessionScript};
-use simba_core::session::planner::{PlannedStep, SessionPlanner};
+use simba_core::session::source::{
+    AdaptiveSource, AdaptiveWalkConfig, QueryFeedback, ScriptedSource, SessionSource, SourceStep,
+};
 use simba_engine::Dbms;
 use simba_store::ResultSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Sentinel fingerprint recorded for a query that returned an engine error.
-///
-/// Fingerprint vectors are compared position-for-position across engines
-/// and cache configurations; silently *skipping* an errored query would
-/// shift every later fingerprint in the session and turn one error into a
-/// wall of false mismatches. (FNV-1a of any real result never yields
-/// `u64::MAX` from our offset basis in practice; collisions would only
-/// mask an error against a result, never misalign positions.)
-pub const ERROR_FINGERPRINT: u64 = u64::MAX;
+// Canonical home: `crate::fingerprint`. Re-exported here because these two
+// lived in this module first and callers import them from both paths.
+pub use crate::fingerprint::{fingerprint, ERROR_FINGERPRINT};
 
 /// Pause inserted between a session's consecutive interactions.
 #[derive(Debug, Clone)]
@@ -85,6 +91,10 @@ pub enum Arrival {
 }
 
 /// Driver configuration.
+///
+/// When running a scenario, this is derived from the
+/// [`ScenarioSpec`](crate::workload::ScenarioSpec) (the single source of
+/// truth for pacing, seed, and cache settings) via `From`.
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
     /// Worker threads; `0` = `min(sessions, available_parallelism)`.
@@ -113,6 +123,11 @@ impl Default for DriverConfig {
 }
 
 /// Configuration of one adaptive (live, result-steered) run.
+///
+/// Legacy shape kept for one release: the walk fields now live in
+/// [`AdaptiveWalkConfig`] (`simba-core`), which this converts `Into`; new
+/// code should build an `AdaptiveSource` or a
+/// [`ScenarioSpec`](crate::workload::ScenarioSpec) instead.
 #[derive(Debug, Clone)]
 pub struct AdaptiveConfig {
     /// Base seed; user `u` walks with `base_seed ^ splitmix(u + 1)` —
@@ -130,31 +145,38 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
+        let walk = AdaptiveWalkConfig::default();
         AdaptiveConfig {
-            base_seed: 0,
-            steps_per_session: 8,
-            mix: vec![
-                MarkovModel::idebench_default(),
-                MarkovModel::uniform(),
-                MarkovModel::brush_heavy(),
-                MarkovModel::drilldown(),
-            ],
-            policy: AdaptivePolicy::default(),
+            base_seed: walk.base_seed,
+            steps_per_session: walk.steps_per_session,
+            mix: walk.mix,
+            policy: walk.policy,
         }
     }
 }
 
-/// Result of [`Driver::run`] / [`Driver::run_adaptive`].
+impl From<&AdaptiveConfig> for AdaptiveWalkConfig {
+    fn from(c: &AdaptiveConfig) -> AdaptiveWalkConfig {
+        AdaptiveWalkConfig {
+            base_seed: c.base_seed,
+            steps_per_session: c.steps_per_session,
+            mix: c.mix.clone(),
+            policy: c.policy.clone(),
+        }
+    }
+}
+
+/// Result of a driver run ([`Driver::execute`](crate::workload),
+/// [`Driver::run`], [`Driver::run_adaptive`]).
 #[derive(Debug)]
 pub struct DriverOutcome {
-    pub report: DriverReport,
+    pub report: RunReport,
     /// Per session (outer, in session order): one fingerprint per query (in
     /// step/query order; [`ERROR_FINGERPRINT`] marks errored queries).
     /// Empty unless `collect_fingerprints` was set.
     pub fingerprints: Vec<Vec<u64>>,
-    /// Adaptive mode only: per session, the human-readable description of
-    /// every step taken (initial render included) — the determinism proof
-    /// surface. Empty in scripted mode (the scripts *are* the actions) and
+    /// Per session, the human-readable description of every step taken
+    /// (initial render included) — the determinism proof surface. Empty
     /// unless `collect_fingerprints` was set.
     pub actions: Vec<Vec<String>>,
 }
@@ -205,7 +227,7 @@ impl WorkerOutcome {
     }
 }
 
-/// What one executed query left behind for the steering hooks.
+/// What one executed query left behind for the feedback hooks.
 enum Observed {
     Cached(Arc<CachedResult>),
     Owned(ResultSet),
@@ -227,41 +249,10 @@ impl Driver {
         Driver { config }
     }
 
-    /// Run every script to completion and aggregate a [`DriverReport`].
+    /// Replay pre-synthesized scripts to completion. Thin shim over
+    /// [`run_source`](Self::run_source) with a [`ScriptedSource`].
     pub fn run(&self, engine: Arc<dyn Dbms>, scripts: &[SessionScript]) -> DriverOutcome {
-        let workers = self.resolve_workers(scripts.len());
-        let cache = self.build_cache();
-        let arrivals = self.arrival_offsets(scripts.len());
-        let next = AtomicUsize::new(0);
-        let start = Instant::now();
-        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let engine = engine.as_ref();
-                    let cache = cache.as_deref();
-                    let next = &next;
-                    let arrivals = &arrivals;
-                    scope.spawn(move || {
-                        self.scripted_worker_loop(engine, cache, scripts, arrivals, next, start)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        let wall = start.elapsed();
-        self.finish(
-            engine.as_ref(),
-            "scripted",
-            None,
-            scripts.len(),
-            workers,
-            wall,
-            outcomes,
-            cache,
-        )
+        self.run_source(engine, &ScriptedSource::borrowed(scripts))
     }
 
     /// Run `sessions` live adaptive sessions to completion: each worker
@@ -269,7 +260,8 @@ impl Driver {
     /// (optionally cached) engine, and lets the configured
     /// [`AdaptivePolicy`] steer on results. Identical seed + policy yield
     /// byte-identical action sequences and fingerprints on every engine —
-    /// results (not latencies) are all a policy may inspect.
+    /// results (not latencies) are all a policy may inspect. Thin shim over
+    /// [`run_source`](Self::run_source) with an `AdaptiveSource`.
     pub fn run_adaptive(
         &self,
         engine: Arc<dyn Dbms>,
@@ -277,10 +269,15 @@ impl Driver {
         adaptive: &AdaptiveConfig,
         sessions: usize,
     ) -> DriverOutcome {
-        assert!(
-            !adaptive.mix.is_empty(),
-            "adaptive config needs at least one Markov model"
-        );
+        let source = AdaptiveSource::new(dashboard, adaptive.into(), sessions);
+        self.run_source(engine, &source)
+    }
+
+    /// Run every session a [`SessionSource`] yields to completion and
+    /// aggregate a [`RunReport`] — the one concurrent execution loop behind
+    /// every session mode.
+    pub fn run_source(&self, engine: Arc<dyn Dbms>, source: &dyn SessionSource) -> DriverOutcome {
+        let sessions = source.sessions();
         let workers = self.resolve_workers(sessions);
         let cache = self.build_cache();
         let arrivals = self.arrival_offsets(sessions);
@@ -294,9 +291,7 @@ impl Driver {
                     let next = &next;
                     let arrivals = &arrivals;
                     scope.spawn(move || {
-                        self.adaptive_worker_loop(
-                            engine, cache, dashboard, adaptive, sessions, arrivals, next, start,
-                        )
+                        self.worker_loop(engine, cache, source, arrivals, next, start)
                     })
                 })
                 .collect();
@@ -306,16 +301,7 @@ impl Driver {
                 .collect()
         });
         let wall = start.elapsed();
-        self.finish(
-            engine.as_ref(),
-            "adaptive",
-            Some(adaptive),
-            sessions,
-            workers,
-            wall,
-            outcomes,
-            cache,
-        )
+        self.finish(engine.as_ref(), source, workers, wall, outcomes, cache)
     }
 
     fn resolve_workers(&self, sessions: usize) -> usize {
@@ -373,18 +359,16 @@ impl Driver {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         engine: &dyn Dbms,
-        session_mode: &str,
-        adaptive: Option<&AdaptiveConfig>,
-        sessions: usize,
+        source: &dyn SessionSource,
         workers: usize,
         wall: Duration,
         outcomes: Vec<WorkerOutcome>,
         cache: Option<Arc<ShardedResultCache>>,
     ) -> DriverOutcome {
+        let sessions = source.sessions();
         let mut latency = LatencyHistogram::new();
         let mut queue_delay = LatencyHistogram::new();
         let (mut interactions, mut queries, mut errors) = (0u64, 0u64, 0u64);
@@ -406,13 +390,15 @@ impl Driver {
             }
         }
 
-        let report = DriverReport {
+        let report = RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            scenario_name: ADHOC_SCENARIO.to_string(),
             engine: engine.name().to_string(),
             mode: match self.config.arrival {
                 Arrival::Closed => "closed".to_string(),
                 Arrival::Open { .. } => "open".to_string(),
             },
-            session_mode: session_mode.to_string(),
+            session_mode: source.mode().to_string(),
             sessions,
             workers,
             scan_threads: engine.scan_threads(),
@@ -430,10 +416,10 @@ impl Driver {
                 Arrival::Closed => None,
                 Arrival::Open { .. } => Some(LatencySummary::from_histogram(&queue_delay)),
             },
-            steering: adaptive.map(|a| {
+            steering: source.steering_policy().map(|policy| {
                 let ok_queries = queries.saturating_sub(errors);
                 SteeringReport {
-                    policy: a.policy.describe(),
+                    policy,
                     backtracks: steering.backtracks,
                     drills: steering.drills,
                     empty_results: steering.empty_results,
@@ -452,157 +438,79 @@ impl Driver {
         }
     }
 
-    fn scripted_worker_loop(
+    fn worker_loop(
         &self,
         engine: &dyn Dbms,
         cache: Option<&ShardedResultCache>,
-        scripts: &[SessionScript],
+        source: &dyn SessionSource,
         arrivals: &[Duration],
         next: &AtomicUsize,
         run_start: Instant,
     ) -> WorkerOutcome {
         let mut out = WorkerOutcome::new();
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            let Some(script) = scripts.get(i) else { break };
-            self.pace_arrival(&mut out, arrivals[i], run_start);
-
-            // Asymmetric mix: a plain XOR would cancel the base seed when
-            // driver and batch share it (script.seed already XORs it in).
-            let mut rng = ChaCha8Rng::seed_from_u64(splitmix(self.config.seed) ^ script.seed);
-            let mut fps = Vec::new();
-            for (step_idx, step) in script.steps.iter().enumerate() {
-                if step_idx > 0 {
-                    out.interactions += 1;
-                    let pause = self.config.think_time.sample(&mut rng);
-                    if !pause.is_zero() {
-                        std::thread::sleep(pause);
-                    }
-                }
-                for sq in &step.queries {
-                    out.queries += 1;
-                    // Fingerprinting clones and sorts the whole result set;
-                    // keep it out of the measured path unless asked for.
-                    let want_fp = self.config.collect_fingerprints;
-                    let executed =
-                        match cache {
-                            Some(cache) => cache.execute_cached(engine, &sq.query).map(
-                                |(value, elapsed, _hit)| {
-                                    (want_fp.then(|| fingerprint(&value.result)), elapsed)
-                                },
-                            ),
-                            None => engine
-                                .execute(&sq.query)
-                                .map(|o| (want_fp.then(|| fingerprint(&o.result)), o.elapsed)),
-                        };
-                    match executed {
-                        Ok((fp, elapsed)) => {
-                            out.latency.record(elapsed);
-                            fps.extend(fp);
-                        }
-                        Err(_) => {
-                            out.errors += 1;
-                            // Keep fingerprint vectors position-aligned.
-                            if want_fp {
-                                fps.push(ERROR_FINGERPRINT);
-                            }
-                        }
-                    }
-                }
-            }
-            if self.config.collect_fingerprints {
-                out.fingerprints.push((i, fps));
-            }
-        }
-        out
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn adaptive_worker_loop(
-        &self,
-        engine: &dyn Dbms,
-        cache: Option<&ShardedResultCache>,
-        dashboard: &Dashboard,
-        adaptive: &AdaptiveConfig,
-        sessions: usize,
-        arrivals: &[Duration],
-        next: &AtomicUsize,
-        run_start: Instant,
-    ) -> WorkerOutcome {
-        let mut out = WorkerOutcome::new();
+        let sessions = source.sessions();
         loop {
             let user = next.fetch_add(1, Ordering::Relaxed);
             if user >= sessions {
                 break;
             }
             self.pace_arrival(&mut out, arrivals[user], run_start);
-            self.run_adaptive_session(engine, cache, dashboard, adaptive, user, &mut out);
+            self.run_session(engine, cache, source, user, &mut out);
         }
         out
     }
 
-    /// One live session: walk, execute, inspect, steer.
-    fn run_adaptive_session(
+    /// One session: pull steps from the stream, execute their queries, and
+    /// feed the results back for the next step.
+    fn run_session(
         &self,
         engine: &dyn Dbms,
         cache: Option<&ShardedResultCache>,
-        dashboard: &Dashboard,
-        adaptive: &AdaptiveConfig,
+        source: &dyn SessionSource,
         user: usize,
         out: &mut WorkerOutcome,
     ) {
-        // Same per-user seed derivation as batch synthesis, so a scripted
-        // and an adaptive run of one base seed start from the same walks.
-        let seed = adaptive.base_seed ^ splitmix(user as u64 + 1);
-        let model = adaptive.mix[user % adaptive.mix.len()].clone();
-        let mut walk_rng = ChaCha8Rng::seed_from_u64(seed);
-        // Pacing noise is kept off the walk stream: think-time draws must
-        // not perturb action choice (cache hits change timings, never
-        // walks).
-        let mut pace_rng = ChaCha8Rng::seed_from_u64(splitmix(self.config.seed) ^ seed);
-        let mut planner = SessionPlanner::new(dashboard, model);
+        let mut stream = source.open(user);
+        // Pacing noise is kept off any walk rng inside the stream:
+        // think-time draws must not perturb action choice (cache hits
+        // change timings, never walks). The asymmetric splitmix also stops
+        // a shared driver/source seed from cancelling to zero under XOR.
+        let mut pace_rng =
+            ChaCha8Rng::seed_from_u64(splitmix(self.config.seed) ^ stream.session_seed());
         let collect = self.config.collect_fingerprints;
         let mut fps = Vec::new();
         let mut actions = Vec::new();
+        let mut observed: Vec<Observed> = Vec::new();
+        let mut first = true;
 
-        let step = planner.initial_render();
-        if collect {
-            actions.push(step.description.clone());
-        }
-        let observed = self.execute_planned(engine, cache, &step, out, &mut fps);
-        let mut pending = steer(&adaptive.policy, &planner, &step, &observed);
-
-        for _ in 0..adaptive.steps_per_session {
-            let (steered, step) = match pending.take() {
-                Some((kind, action)) => {
-                    match kind {
-                        SteeringKind::BacktrackOnEmpty => out.steering.backtracks += 1,
-                        SteeringKind::DrillTopGroup => out.steering.drills += 1,
-                    }
-                    (true, planner.apply(action))
-                }
-                None => match planner.plan_next(&mut walk_rng) {
-                    Some(planned) => (false, planned),
+        loop {
+            let step = {
+                let feedback: Vec<QueryFeedback<'_>> = observed
+                    .iter()
+                    .map(|o| QueryFeedback { result: o.result() })
+                    .collect();
+                match stream.next_step(&feedback) {
+                    Some(step) => step,
                     None => break,
-                },
+                }
             };
-            out.interactions += 1;
-            let pause = self.config.think_time.sample(&mut pace_rng);
-            if !pause.is_zero() {
-                std::thread::sleep(pause);
+            if !first {
+                out.interactions += 1;
+                let pause = self.config.think_time.sample(&mut pace_rng);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            first = false;
+            match step.steering {
+                Some(SteeringKind::BacktrackOnEmpty) => out.steering.backtracks += 1,
+                Some(SteeringKind::DrillTopGroup) => out.steering.drills += 1,
+                None => {}
             }
             if collect {
                 actions.push(step.description.clone());
             }
-            let observed = self.execute_planned(engine, cache, &step, out, &mut fps);
-            // Never steer twice in a row: a correction is given one normal
-            // step to play out, which both bounds policy feedback loops and
-            // keeps sessions from degenerating into pure reaction.
-            pending = if steered {
-                None
-            } else {
-                steer(&adaptive.policy, &planner, &step, &observed)
-            };
+            observed = self.execute_step(engine, cache, &step, out, &mut fps);
         }
 
         if collect {
@@ -611,20 +519,20 @@ impl Driver {
         }
     }
 
-    /// Execute one planned step's queries, recording latency, errors,
-    /// fingerprints, and empty-result counts; returns per-query
-    /// observations for the steering policy.
-    fn execute_planned(
+    /// Execute one step's queries, recording latency, errors, fingerprints,
+    /// and empty-result counts; returns per-query observations for the
+    /// stream's feedback.
+    fn execute_step(
         &self,
         engine: &dyn Dbms,
         cache: Option<&ShardedResultCache>,
-        step: &PlannedStep,
+        step: &SourceStep,
         out: &mut WorkerOutcome,
         fps: &mut Vec<u64>,
-    ) -> Vec<(simba_core::graph::NodeId, Observed)> {
+    ) -> Vec<Observed> {
         let collect = self.config.collect_fingerprints;
         let mut observed = Vec::with_capacity(step.queries.len());
-        for (node, query) in &step.queries {
+        for (_vis, query) in &step.queries {
             out.queries += 1;
             let executed = match cache {
                 Some(cache) => cache
@@ -638,6 +546,8 @@ impl Driver {
                 Ok((obs, elapsed)) => {
                     out.latency.record(elapsed);
                     if let Some(result) = obs.result() {
+                        // Fingerprinting clones and sorts the whole result
+                        // set; keep it off the measured path unless asked.
                         if collect {
                             fps.push(fingerprint(result));
                         }
@@ -645,44 +555,20 @@ impl Driver {
                             out.steering.empty_results += 1;
                         }
                     }
-                    observed.push((*node, obs));
+                    observed.push(obs);
                 }
                 Err(_) => {
                     out.errors += 1;
+                    // Keep fingerprint vectors position-aligned.
                     if collect {
                         fps.push(ERROR_FINGERPRINT);
                     }
-                    observed.push((*node, Observed::Errored));
+                    observed.push(Observed::Errored);
                 }
             }
         }
         observed
     }
-}
-
-/// Ask the policy for a steering action over the step's observations.
-fn steer(
-    policy: &AdaptivePolicy,
-    planner: &SessionPlanner<'_>,
-    step: &PlannedStep,
-    observed: &[(simba_core::graph::NodeId, Observed)],
-) -> Option<(SteeringKind, simba_core::actions::Action)> {
-    if !policy.is_enabled() {
-        return None;
-    }
-    let views: Vec<StepObservation<'_>> = observed
-        .iter()
-        .map(|(node, obs)| StepObservation {
-            vis: *node,
-            result: obs.result(),
-        })
-        .collect();
-    policy.steer(
-        planner.dashboard(),
-        planner.state(),
-        step.action.as_ref(),
-        &views,
-    )
 }
 
 fn rate(n: u64, denom: u64) -> f64 {
@@ -693,37 +579,9 @@ fn rate(n: u64, denom: u64) -> f64 {
     }
 }
 
-/// Order-insensitive content hash of a result set (FNV-1a over the
-/// canonically sorted rows). Two results get equal fingerprints iff their
-/// row multisets are byte-identical.
-pub fn fingerprint(result: &ResultSet) -> u64 {
-    let mut h = crate::hash::Fnv1a::new();
-    for row in result.sorted_rows() {
-        h.write(format!("{row:?}").as_bytes());
-        h.write(&[0xFF]);
-    }
-    h.finish()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simba_store::Value;
-
-    #[test]
-    fn fingerprint_is_row_order_insensitive() {
-        let a = ResultSet::new(
-            vec!["x".to_string()],
-            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
-        );
-        let b = ResultSet::new(
-            vec!["x".to_string()],
-            vec![vec![Value::Int(2)], vec![Value::Int(1)]],
-        );
-        assert_eq!(fingerprint(&a), fingerprint(&b));
-        let c = ResultSet::new(vec!["x".to_string()], vec![vec![Value::Int(3)]]);
-        assert_ne!(fingerprint(&a), fingerprint(&c));
-    }
 
     #[test]
     fn think_time_samples_match_discipline() {
@@ -740,5 +598,20 @@ mod tests {
             .sum();
         let avg_ms = total.as_secs_f64() * 1_000.0 / n as f64;
         assert!((avg_ms - 10.0).abs() < 1.0, "mean {avg_ms}ms");
+    }
+
+    #[test]
+    fn adaptive_config_converts_to_walk_config() {
+        let legacy = AdaptiveConfig {
+            base_seed: 9,
+            steps_per_session: 3,
+            mix: vec![MarkovModel::uniform()],
+            policy: AdaptivePolicy::disabled(),
+        };
+        let walk: AdaptiveWalkConfig = (&legacy).into();
+        assert_eq!(walk.base_seed, 9);
+        assert_eq!(walk.steps_per_session, 3);
+        assert_eq!(walk.mix.len(), 1);
+        assert!(!walk.policy.is_enabled());
     }
 }

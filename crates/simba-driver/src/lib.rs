@@ -2,23 +2,46 @@
 //!
 //! The paper benchmarks one exploration session at a time; a production
 //! deployment serves *many simultaneous users* whose dashboards hammer the
-//! same engine. This crate turns the session synthesizer plus the four
-//! engines into a load-generation harness:
+//! same engine. This crate turns the session sources plus the four engines
+//! into a load-generation harness with **one execution surface**:
 //!
-//! * [`simba_core::session::batch`] pre-generates N heterogeneous session
-//!   scripts (engine-free Markov walks, deterministic per seed);
-//! * [`Driver`] replays them from a worker pool, closed-loop (fixed user
-//!   population, think-time paced) or open-loop (Poisson arrivals, for
-//!   saturation testing);
-//! * [`Driver::run_adaptive`] instead runs *live* sessions: each user's
-//!   Markov walk executes as it goes and an [`AdaptivePolicy`] steers on
-//!   results (backtrack out of emptied charts, drill into dominant
-//!   groups) — the paper's adaptivity argument under concurrent load;
+//! * [`workload::ScenarioSpec`] declaratively describes a run — dataset,
+//!   seed, engine (+ scan threads), session source, pacing, cache — and
+//!   [`Driver::execute`] runs it. Specs serialize to JSON, so scenarios are
+//!   data files; the built-in suites live in [`workload::registry`].
+//! * Session *content* comes from a
+//!   [`SessionSource`](simba_core::session::source::SessionSource):
+//!   scripted replay of pre-synthesized Markov walks, live result-steered
+//!   adaptive sessions, or IDEBench-style stochastic storms
+//!   ([`simba_idebench::IdebenchSource`]) — all through the same
+//!   feedback-driven stream protocol and the same worker pool
+//!   ([`Driver::run_source`]).
+//! * Arrival pacing is closed-loop (fixed user population, think-time
+//!   paced) or open-loop (Poisson arrivals, for saturation testing).
 //! * [`ShardedResultCache`] is a lock-striped result cache keyed on
 //!   [`simba_sql::query_cache_key`], so normalization-equivalent queries
 //!   from different users hit memory instead of the engine;
-//! * [`LatencyHistogram`] log-bucketed latencies feed a [`DriverReport`]
-//!   with throughput, p50/p95/p99, queue delay, and cache hit rates.
+//! * [`LatencyHistogram`] log-bucketed latencies feed a versioned
+//!   [`RunReport`] with throughput, p50/p95/p99, queue delay, steering
+//!   counters, and cache hit rates.
+//!
+//! ```
+//! use simba_driver::workload::{ScenarioSpec, SourceSpec};
+//! use simba_driver::Driver;
+//!
+//! let mut spec = ScenarioSpec::new("quickstart", "customer_service");
+//! spec.rows = 1_000;
+//! spec.sessions = 8;
+//! spec.cache = Some(Default::default());
+//! spec.source = SourceSpec::scripted();
+//!
+//! let outcome = Driver::execute(&spec).unwrap();
+//! assert!(outcome.report.queries > 0);
+//! assert!(outcome.report.cache.unwrap().hits > 0);
+//! ```
+//!
+//! The pre-scenario entry points ([`Driver::run`] with scripts,
+//! [`Driver::run_adaptive`]) remain as thin shims over the same loop:
 //!
 //! ```
 //! use simba_core::dashboard::Dashboard;
@@ -47,18 +70,29 @@
 
 pub mod cache;
 pub mod driver;
+pub mod fingerprint;
 pub(crate) mod hash;
 pub mod histogram;
 pub mod report;
+pub mod workload;
 
 pub use cache::{CacheConfig, CacheStats, CachedDbms, CachedResult, ShardedResultCache};
-pub use driver::{
-    fingerprint, AdaptiveConfig, Arrival, Driver, DriverConfig, DriverOutcome, ThinkTime,
-    ERROR_FINGERPRINT,
-};
+pub use driver::{AdaptiveConfig, Arrival, Driver, DriverConfig, DriverOutcome, ThinkTime};
+pub use fingerprint::{fingerprint, ERROR_FINGERPRINT};
 pub use histogram::LatencyHistogram;
-pub use report::{CacheReport, DriverReport, LatencySummary, SteeringReport};
+pub use report::{
+    CacheReport, DriverReport, LatencySummary, RunReport, SteeringReport, ADHOC_SCENARIO,
+};
+pub use workload::registry::{all_scenarios, scenario, Scenario, ScenarioParams, SCENARIO_NAMES};
+pub use workload::{
+    ArrivalSpec, CacheSpec, EngineSpec, ScenarioSpec, SourceSpec, TableCache, ThinkSpec,
+    WorkloadError,
+};
 
-// Re-exported so driver users can configure steering without importing
-// simba-core directly.
+// Re-exported so driver users can configure steering and build custom
+// sources without importing simba-core directly.
 pub use simba_core::session::adaptive::{AdaptivePolicy, SteeringKind};
+pub use simba_core::session::source::{
+    AdaptiveSource, AdaptiveWalkConfig, QueryFeedback, ScriptedSource, SessionSource,
+    SessionStream, SourceStep,
+};

@@ -1,11 +1,16 @@
 //! Driver run reports: throughput, tail latency, cache effectiveness.
+//!
+//! One report type — [`RunReport`] — covers every session mode (scripted,
+//! adaptive, idebench) and carries an explicit [`RunReport::SCHEMA_VERSION`]
+//! so downstream parsers can detect format drift. Reports serialize to JSON
+//! and deserialize back losslessly (see the round-trip test).
 
 use crate::cache::CacheStats;
 use crate::histogram::LatencyHistogram;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Latency quantiles in microseconds.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     pub count: u64,
     pub mean_us: f64,
@@ -30,7 +35,7 @@ impl LatencySummary {
 }
 
 /// Cache counters plus the derived hit rate.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CacheReport {
     pub hits: u64,
     pub misses: u64,
@@ -61,7 +66,7 @@ impl CacheReport {
 }
 
 /// Steering activity of one adaptive run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SteeringReport {
     /// Enabled rules, e.g. `"backtrack_on_empty+drill_top_group"`.
     pub policy: String,
@@ -77,15 +82,22 @@ pub struct SteeringReport {
     pub empty_result_rate: f64,
 }
 
-/// The aggregate outcome of one driver run.
-#[derive(Debug, Clone, Serialize)]
-pub struct DriverReport {
+/// The aggregate outcome of one driver run, in any session mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Report format version ([`RunReport::SCHEMA_VERSION`]); bump on any
+    /// field addition, removal, or meaning change.
+    pub schema_version: u32,
+    /// Name of the scenario that produced this report (`"adhoc"` for
+    /// direct `Driver::run` / `run_adaptive` calls outside a scenario).
+    pub scenario_name: String,
     /// Engine under test.
     pub engine: String,
     /// `"closed"` or `"open"` (arrival pacing).
     pub mode: String,
-    /// `"scripted"` (replayed pre-synthesized scripts) or `"adaptive"`
-    /// (live result-steered walks).
+    /// Session source: `"scripted"` (replayed pre-synthesized scripts),
+    /// `"adaptive"` (live result-steered walks), or `"idebench"`
+    /// (stochastic filter storms).
     pub session_mode: String,
     pub sessions: usize,
     pub workers: usize,
@@ -106,40 +118,59 @@ pub struct DriverReport {
     /// Open-loop only: how long sessions waited past their scheduled
     /// arrival before a worker picked them up.
     pub queue_delay: Option<LatencySummary>,
-    /// Adaptive mode only: steering counters and rates.
+    /// Steering-capable sources only: steering counters and rates.
     pub steering: Option<SteeringReport>,
     pub cache: Option<CacheReport>,
 }
 
-impl DriverReport {
+/// Pre-scenario name for `Driver::run` / `run_adaptive` calls made outside
+/// `Driver::execute`.
+pub const ADHOC_SCENARIO: &str = "adhoc";
+
+impl RunReport {
+    /// Version of the JSON report format. History:
+    /// * 1 — implicit (pre-versioning `DriverReport`), scripted/adaptive.
+    /// * 2 — added `schema_version` + `scenario_name`; idebench mode.
+    pub const SCHEMA_VERSION: u32 = 2;
+
     /// Pretty JSON, for harness output files.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
     }
+
+    /// Parse a report back from JSON, as downstream tooling would.
+    ///
+    /// Rejects payloads whose `schema_version` differs from
+    /// [`Self::SCHEMA_VERSION`] — a field-compatible report from a newer
+    /// (or corrupted) writer must fail loudly, not parse into something
+    /// whose fields may have changed meaning.
+    pub fn from_json(json: &str) -> Result<RunReport, String> {
+        let report: RunReport = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if report.schema_version != Self::SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported report schema_version {} (this reader supports {})",
+                report.schema_version,
+                Self::SCHEMA_VERSION
+            ));
+        }
+        Ok(report)
+    }
 }
+
+/// Former name of [`RunReport`], kept for one release while downstream
+/// callers migrate.
+pub type DriverReport = RunReport;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn summary_reflects_histogram() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..=100u64 {
-            h.record_ns(i * 10_000); // 10µs .. 1ms
-        }
-        let s = LatencySummary::from_histogram(&h);
-        assert_eq!(s.count, 100);
-        assert!(s.p50_us > 400.0 && s.p50_us < 600.0, "{}", s.p50_us);
-        assert!(s.p99_us <= s.max_us);
-        assert!(s.mean_us > 0.0);
-    }
-
-    #[test]
-    fn report_serializes_to_json() {
+    fn sample() -> RunReport {
         let mut h = LatencyHistogram::new();
         h.record_ns(5_000);
-        let report = DriverReport {
+        RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            scenario_name: "adaptive-shootout".to_string(),
             engine: "duckdb-like".to_string(),
             mode: "closed".to_string(),
             session_mode: "adaptive".to_string(),
@@ -172,8 +203,31 @@ mod tests {
                 },
                 14,
             )),
-        };
+        }
+    }
+
+    #[test]
+    fn summary_reflects_histogram() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record_ns(i * 10_000); // 10µs .. 1ms
+        }
+        let s = LatencySummary::from_histogram(&h);
+        assert_eq!(s.count, 100);
+        assert!(s.p50_us > 400.0 && s.p50_us < 600.0, "{}", s.p50_us);
+        assert!(s.p99_us <= s.max_us);
+        assert!(s.mean_us > 0.0);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = sample();
         let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 2"), "{json}");
+        assert!(
+            json.contains("\"scenario_name\": \"adaptive-shootout\""),
+            "{json}"
+        );
         assert!(json.contains("\"engine\": \"duckdb-like\""), "{json}");
         assert!(json.contains("\"hit_rate\""), "{json}");
         assert!(json.contains("\"queue_delay\": null"), "{json}");
@@ -181,5 +235,42 @@ mod tests {
         assert!(json.contains("\"session_mode\": \"adaptive\""), "{json}");
         assert!(json.contains("\"backtrack_rate\""), "{json}");
         assert!(json.contains("\"coalesced\""), "{json}");
+    }
+
+    /// The format-drift tripwire: serialize → deserialize → compare. Any
+    /// field whose name, type, or optionality changes without a
+    /// `SCHEMA_VERSION` bump breaks this test first.
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample();
+        let parsed = RunReport::from_json(&report.to_json()).expect("report parses back");
+        assert_eq!(parsed, report);
+
+        // Optional sections round-trip as absent too.
+        let mut bare = sample();
+        bare.steering = None;
+        bare.cache = None;
+        bare.queue_delay = Some(bare.latency.clone());
+        let parsed = RunReport::from_json(&bare.to_json()).expect("bare report parses back");
+        assert_eq!(parsed, bare);
+    }
+
+    #[test]
+    fn schema_version_gates_unversioned_payloads() {
+        // A v1 payload (no schema_version / scenario_name) must fail loudly
+        // rather than parse into a half-filled report.
+        let legacy = r#"{ "engine": "duckdb-like", "mode": "closed" }"#;
+        assert!(RunReport::from_json(legacy).is_err());
+    }
+
+    #[test]
+    fn schema_version_gates_future_payloads() {
+        // A structurally identical report stamped with a different version
+        // must be rejected, not silently reinterpreted.
+        let future = sample()
+            .to_json()
+            .replace("\"schema_version\": 2", "\"schema_version\": 3");
+        let err = RunReport::from_json(&future).unwrap_err();
+        assert!(err.contains("schema_version 3"), "{err}");
     }
 }

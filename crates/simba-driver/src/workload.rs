@@ -1,0 +1,625 @@
+//! The unified workload API: declarative scenarios over every session mode.
+//!
+//! A [`ScenarioSpec`] is a complete, serde-serializable description of one
+//! driver run — dataset, scale, seed, engine (+ scan threads), session
+//! source (scripted / adaptive / idebench), pacing, cache, and worker
+//! count. [`Driver::execute`] resolves a spec into tables, dashboards,
+//! engines, and a [`SessionSource`], and runs it through the one concurrent
+//! loop ([`Driver::run_source`]). Everything that used to require a
+//! dedicated binary is now a data file:
+//!
+//! ```
+//! use simba_driver::workload::{ScenarioSpec, SourceSpec};
+//! use simba_driver::Driver;
+//!
+//! let mut spec = ScenarioSpec::new("doc-smoke", "customer_service");
+//! spec.rows = 500;
+//! spec.sessions = 2;
+//! spec.steps_per_session = 3;
+//! spec.source = SourceSpec::Adaptive {
+//!     models: vec![],
+//!     backtrack_on_empty: true,
+//!     drill_into_top_group: true,
+//! };
+//! spec.collect_fingerprints = true;
+//!
+//! // Specs round-trip through JSON, so scenarios ship as data files.
+//! let json = spec.to_json();
+//! let parsed = ScenarioSpec::from_json(&json).unwrap();
+//! let outcome = Driver::execute(&parsed).unwrap();
+//! assert_eq!(outcome.report.session_mode, "adaptive");
+//! assert_eq!(outcome.report.scenario_name, "doc-smoke");
+//! assert!(outcome.report.queries > 0);
+//! ```
+//!
+//! The [`registry`] holds the built-in scenario suites (`smoke`,
+//! `concurrent-shootout`, `adaptive-shootout`, `idebench`, `perf-report`)
+//! that the `simba-bench` CLI exposes as `bench --scenario <name>`; adding
+//! a new workload means writing a spec (or a suite-builder function) plus,
+//! at most, a new [`SessionSource`] impl — never a new binary.
+//!
+//! # Determinism
+//!
+//! `Driver::execute` derives every seed from `spec.seed` exactly as the
+//! legacy `Driver::run` / `run_adaptive` entry points did from their
+//! configs, so a spec-driven run is byte-identical (action sequences and
+//! result fingerprints) to the hand-assembled equivalent — the
+//! `scenario_determinism` integration test pins this.
+
+use crate::cache::CacheConfig;
+use crate::driver::{Arrival, Driver, DriverConfig, DriverOutcome, ThinkTime};
+use serde::{Deserialize, Serialize};
+use simba_core::dashboard::Dashboard;
+use simba_core::markov::MarkovModel;
+use simba_core::session::adaptive::AdaptivePolicy;
+use simba_core::session::batch::{synthesize_scripts, BatchConfig};
+use simba_core::session::source::{AdaptiveSource, AdaptiveWalkConfig, ScriptedSource};
+use simba_core::spec::builtin::builtin;
+use simba_data::DashboardDataset;
+use simba_engine::EngineKind;
+use simba_idebench::{ActionProbs, IdebenchSource};
+use simba_store::Table;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub mod registry;
+
+/// Everything wrong a spec can be before a single query runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    UnknownDataset(String),
+    UnknownEngine(String),
+    UnknownModel(String),
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::UnknownDataset(name) => {
+                write!(
+                    f,
+                    "unknown dataset `{name}` (expected a builtin table name)"
+                )
+            }
+            WorkloadError::UnknownEngine(name) => write!(f, "unknown engine `{name}`"),
+            WorkloadError::UnknownModel(name) => {
+                write!(f, "unknown Markov model preset `{name}`")
+            }
+            WorkloadError::InvalidSpec(why) => write!(f, "invalid scenario spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Engine selection: which of the four architectures, at what intra-query
+/// scan parallelism.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineSpec {
+    /// Engine name (`"duckdb-like"`, `"postgres-like"`, `"sqlite-like"`,
+    /// `"monetdb-like"`).
+    pub kind: String,
+    /// Morsel-parallel scan threads; `1` = sequential, `0` = one per core.
+    /// Only `duckdb-like` honors values other than 1.
+    pub scan_threads: usize,
+}
+
+impl EngineSpec {
+    pub fn new(kind: EngineKind) -> EngineSpec {
+        EngineSpec {
+            kind: kind.name().to_string(),
+            scan_threads: 1,
+        }
+    }
+
+    fn resolve(&self) -> Result<Arc<dyn simba_engine::Dbms>, WorkloadError> {
+        let kind = EngineKind::from_name(&self.kind)
+            .ok_or_else(|| WorkloadError::UnknownEngine(self.kind.clone()))?;
+        Ok(if self.scan_threads == 1 {
+            kind.build()
+        } else {
+            kind.build_with_threads(self.scan_threads)
+        })
+    }
+}
+
+/// Which session source drives the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceSpec {
+    /// Pre-synthesized Markov scripts replayed verbatim (never reacts to
+    /// results). `models` are preset names; empty = the full preset mix.
+    Scripted { models: Vec<String> },
+    /// Live walks steered by result inspection.
+    Adaptive {
+        /// Markov preset names; empty = the full preset mix.
+        models: Vec<String>,
+        backtrack_on_empty: bool,
+        drill_into_top_group: bool,
+    },
+    /// IDEBench-style stochastic filter storms over per-user implicit
+    /// random dashboards.
+    Idebench {
+        add_filter: f64,
+        modify_filter: f64,
+        remove_filter: f64,
+    },
+}
+
+impl SourceSpec {
+    /// Adaptive source with the default steering policy.
+    pub fn adaptive() -> SourceSpec {
+        SourceSpec::Adaptive {
+            models: Vec::new(),
+            backtrack_on_empty: true,
+            drill_into_top_group: true,
+        }
+    }
+
+    /// Scripted source with the default model mix.
+    pub fn scripted() -> SourceSpec {
+        SourceSpec::Scripted { models: Vec::new() }
+    }
+
+    /// IDEBench source with the paper's default action probabilities.
+    pub fn idebench() -> SourceSpec {
+        let probs = ActionProbs::default();
+        SourceSpec::Idebench {
+            add_filter: probs.add_filter,
+            modify_filter: probs.modify_filter,
+            remove_filter: probs.remove_filter,
+        }
+    }
+
+    /// Stable mode name this source reports as.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            SourceSpec::Scripted { .. } => "scripted",
+            SourceSpec::Adaptive { .. } => "adaptive",
+            SourceSpec::Idebench { .. } => "idebench",
+        }
+    }
+}
+
+/// Think-time pacing between a session's consecutive interactions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ThinkSpec {
+    /// No pacing: steps run back-to-back (throughput stress mode).
+    None,
+    Fixed {
+        millis: u64,
+    },
+    Exponential {
+        mean_millis: u64,
+    },
+}
+
+impl From<&ThinkSpec> for ThinkTime {
+    fn from(spec: &ThinkSpec) -> ThinkTime {
+        match spec {
+            ThinkSpec::None => ThinkTime::None,
+            ThinkSpec::Fixed { millis } => ThinkTime::Fixed(Duration::from_millis(*millis)),
+            ThinkSpec::Exponential { mean_millis } => ThinkTime::Exponential {
+                mean: Duration::from_millis(*mean_millis),
+            },
+        }
+    }
+}
+
+/// When sessions become eligible to start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// Start whenever a worker frees up (fixed concurrent population).
+    Closed,
+    /// Poisson arrivals at this rate (sessions per second).
+    Open { rate_per_sec: f64 },
+}
+
+impl From<&ArrivalSpec> for Arrival {
+    fn from(spec: &ArrivalSpec) -> Arrival {
+        match spec {
+            ArrivalSpec::Closed => Arrival::Closed,
+            ArrivalSpec::Open { rate_per_sec } => Arrival::Open {
+                rate_per_sec: *rate_per_sec,
+            },
+        }
+    }
+}
+
+/// Shared result cache configuration (mirrors
+/// [`CacheConfig`](crate::cache::CacheConfig) in serializable form).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSpec {
+    pub shards: usize,
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheSpec {
+    fn default() -> Self {
+        let c = CacheConfig::default();
+        CacheSpec {
+            shards: c.shards,
+            capacity_per_shard: c.capacity_per_shard,
+        }
+    }
+}
+
+impl From<&CacheSpec> for CacheConfig {
+    fn from(spec: &CacheSpec) -> CacheConfig {
+        CacheConfig {
+            shards: spec.shards,
+            capacity_per_shard: spec.capacity_per_shard,
+        }
+    }
+}
+
+/// One fully declarative driver run: the single source of truth for every
+/// knob that used to be spread across `DriverConfig`, `AdaptiveConfig`,
+/// `BatchConfig`, and per-binary environment variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name, stamped into the report.
+    pub name: String,
+    /// Builtin dataset table name (e.g. `"customer_service"`).
+    pub dataset: String,
+    /// Rows to generate.
+    pub rows: usize,
+    /// Master seed: dataset generation, walks, and pacing all derive from
+    /// this one value.
+    pub seed: u64,
+    /// Concurrent user sessions.
+    pub sessions: usize,
+    /// Interactions per session after the initial render.
+    pub steps_per_session: usize,
+    pub engine: EngineSpec,
+    pub source: SourceSpec,
+    pub think: ThinkSpec,
+    pub arrival: ArrivalSpec,
+    /// `Some` enables the shared result cache.
+    pub cache: Option<CacheSpec>,
+    /// Worker threads; `0` = `min(sessions, available_parallelism)`.
+    pub workers: usize,
+    /// Record per-query result fingerprints (equivalence/determinism
+    /// tests; costs a clone+sort per result).
+    pub collect_fingerprints: bool,
+}
+
+impl ScenarioSpec {
+    /// A small closed-loop spec over `dataset` with the duckdb-like engine
+    /// and scripted sessions; override fields as needed.
+    pub fn new(name: impl Into<String>, dataset: impl Into<String>) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            dataset: dataset.into(),
+            rows: 10_000,
+            seed: 0,
+            sessions: 4,
+            steps_per_session: 8,
+            engine: EngineSpec::new(EngineKind::DuckDbLike),
+            source: SourceSpec::scripted(),
+            think: ThinkSpec::None,
+            arrival: ArrivalSpec::Closed,
+            cache: None,
+            workers: 0,
+            collect_fingerprints: false,
+        }
+    }
+
+    /// Pretty JSON, for scenario data files.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parse a spec from JSON.
+    pub fn from_json(json: &str) -> Result<ScenarioSpec, WorkloadError> {
+        serde_json::from_str(json).map_err(|e| WorkloadError::InvalidSpec(e.to_string()))
+    }
+
+    /// Check everything that can be checked without generating data.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        self.resolve_dataset()?;
+        EngineKind::from_name(&self.engine.kind)
+            .ok_or_else(|| WorkloadError::UnknownEngine(self.engine.kind.clone()))?;
+        if self.sessions == 0 {
+            return Err(WorkloadError::InvalidSpec("sessions must be > 0".into()));
+        }
+        if self.rows == 0 {
+            return Err(WorkloadError::InvalidSpec("rows must be > 0".into()));
+        }
+        if let ArrivalSpec::Open { rate_per_sec } = self.arrival {
+            // NaN must fail too, so compare for the good case and negate.
+            let positive = rate_per_sec > 0.0;
+            if !positive {
+                return Err(WorkloadError::InvalidSpec(
+                    "open-loop arrival rate must be positive".into(),
+                ));
+            }
+        }
+        match &self.source {
+            SourceSpec::Scripted { models } | SourceSpec::Adaptive { models, .. } => {
+                resolve_mix(models)?;
+            }
+            SourceSpec::Idebench {
+                add_filter,
+                modify_filter,
+                remove_filter,
+            } => {
+                for (name, p) in [
+                    ("add_filter", add_filter),
+                    ("modify_filter", modify_filter),
+                    ("remove_filter", remove_filter),
+                ] {
+                    if !(0.0..=1.0).contains(p) {
+                        return Err(WorkloadError::InvalidSpec(format!(
+                            "idebench probability {name} must be in [0, 1] (got {p})"
+                        )));
+                    }
+                }
+                let sum = add_filter + modify_filter + remove_filter;
+                if !(0.99..=1.01).contains(&sum) {
+                    return Err(WorkloadError::InvalidSpec(format!(
+                        "idebench action probabilities must sum to 1 (got {sum})"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_dataset(&self) -> Result<DashboardDataset, WorkloadError> {
+        DashboardDataset::from_table_name(&self.dataset)
+            .ok_or_else(|| WorkloadError::UnknownDataset(self.dataset.clone()))
+    }
+
+    /// Generate the dataset table this spec runs over.
+    pub fn build_table(&self) -> Result<Arc<Table>, WorkloadError> {
+        let ds = self.resolve_dataset()?;
+        Ok(Arc::new(ds.generate_rows(self.rows, self.seed)))
+    }
+}
+
+/// The pacing/seed/cache half of a spec, as the legacy driver config.
+impl From<&ScenarioSpec> for DriverConfig {
+    fn from(spec: &ScenarioSpec) -> DriverConfig {
+        DriverConfig {
+            workers: spec.workers,
+            think_time: (&spec.think).into(),
+            arrival: (&spec.arrival).into(),
+            seed: spec.seed,
+            cache: spec.cache.as_ref().map(CacheConfig::from),
+            collect_fingerprints: spec.collect_fingerprints,
+        }
+    }
+}
+
+fn resolve_mix(models: &[String]) -> Result<Vec<MarkovModel>, WorkloadError> {
+    if models.is_empty() {
+        return Ok(MarkovModel::presets());
+    }
+    models
+        .iter()
+        .map(|name| {
+            MarkovModel::preset(name).ok_or_else(|| WorkloadError::UnknownModel(name.clone()))
+        })
+        .collect()
+}
+
+/// Memoizes dataset generation across the specs of one suite.
+///
+/// A shootout suite expands to dozens of specs sharing one
+/// `(dataset, rows, seed)` triple; generating the table once per *suite*
+/// instead of once per *spec* is the difference between seconds and
+/// minutes at paper scale. Generation is deterministic in the key, so
+/// reuse cannot change results.
+#[derive(Default)]
+pub struct TableCache {
+    entries: Vec<((String, usize, u64), Arc<Table>)>,
+}
+
+impl TableCache {
+    pub fn new() -> TableCache {
+        TableCache::default()
+    }
+
+    /// The table for `spec`, generated on first use.
+    pub fn get(&mut self, spec: &ScenarioSpec) -> Result<Arc<Table>, WorkloadError> {
+        let key = (spec.dataset.clone(), spec.rows, spec.seed);
+        if let Some((_, table)) = self.entries.iter().find(|(k, _)| *k == key) {
+            return Ok(table.clone());
+        }
+        let table = spec.build_table()?;
+        self.entries.push((key, table.clone()));
+        Ok(table)
+    }
+}
+
+impl Driver {
+    /// Execute one declarative scenario end to end: resolve the dataset,
+    /// dashboard, engine, and session source from `spec`, run the unified
+    /// concurrent loop, and stamp the report with the scenario name.
+    ///
+    /// Seed derivations match the legacy entry points exactly, so for any
+    /// spec this produces byte-identical action sequences and result
+    /// fingerprints to hand-assembling the same run with
+    /// [`Driver::run`] / [`Driver::run_adaptive`].
+    pub fn execute(spec: &ScenarioSpec) -> Result<DriverOutcome, WorkloadError> {
+        Self::execute_with(spec, &mut TableCache::new())
+    }
+
+    /// [`execute`](Self::execute) with a caller-held [`TableCache`], so a
+    /// suite of specs sharing a dataset generates it once.
+    pub fn execute_with(
+        spec: &ScenarioSpec,
+        tables: &mut TableCache,
+    ) -> Result<DriverOutcome, WorkloadError> {
+        spec.validate()?;
+        let table = tables.get(spec)?;
+        let engine = spec.engine.resolve()?;
+        engine.register(table.clone());
+        let driver = Driver::new(DriverConfig::from(spec));
+
+        let mut outcome = match &spec.source {
+            SourceSpec::Scripted { models } => {
+                let ds = spec.resolve_dataset()?;
+                let dashboard = Dashboard::new(builtin(ds), &table)
+                    .map_err(|e| WorkloadError::InvalidSpec(e.to_string()))?;
+                let scripts = synthesize_scripts(
+                    &dashboard,
+                    &BatchConfig {
+                        base_seed: spec.seed,
+                        steps_per_session: spec.steps_per_session,
+                        mix: resolve_mix(models)?,
+                    },
+                    spec.sessions,
+                );
+                driver.run_source(engine, &ScriptedSource::new(scripts))
+            }
+            SourceSpec::Adaptive {
+                models,
+                backtrack_on_empty,
+                drill_into_top_group,
+            } => {
+                let ds = spec.resolve_dataset()?;
+                let dashboard = Dashboard::new(builtin(ds), &table)
+                    .map_err(|e| WorkloadError::InvalidSpec(e.to_string()))?;
+                let source = AdaptiveSource::new(
+                    &dashboard,
+                    AdaptiveWalkConfig {
+                        base_seed: spec.seed,
+                        steps_per_session: spec.steps_per_session,
+                        mix: resolve_mix(models)?,
+                        policy: AdaptivePolicy {
+                            backtrack_on_empty: *backtrack_on_empty,
+                            drill_into_top_group: *drill_into_top_group,
+                        },
+                    },
+                    spec.sessions,
+                );
+                driver.run_source(engine, &source)
+            }
+            SourceSpec::Idebench {
+                add_filter,
+                modify_filter,
+                remove_filter,
+            } => {
+                let source = IdebenchSource::new(
+                    table.clone(),
+                    spec.seed,
+                    spec.sessions,
+                    spec.steps_per_session,
+                )
+                .with_probs(ActionProbs {
+                    add_filter: *add_filter,
+                    modify_filter: *modify_filter,
+                    remove_filter: *remove_filter,
+                });
+                driver.run_source(engine, &source)
+            }
+        };
+        outcome.report.scenario_name = spec.name.clone();
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let mut spec = ScenarioSpec::new("round-trip", "customer_service");
+        spec.source = SourceSpec::adaptive();
+        spec.cache = Some(CacheSpec::default());
+        spec.think = ThinkSpec::Exponential { mean_millis: 5 };
+        spec.arrival = ArrivalSpec::Open { rate_per_sec: 12.5 };
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+
+        let idebench = ScenarioSpec {
+            source: SourceSpec::idebench(),
+            ..spec
+        };
+        let parsed = ScenarioSpec::from_json(&idebench.to_json()).unwrap();
+        assert_eq!(parsed, idebench);
+    }
+
+    #[test]
+    fn validate_rejects_unknowns_and_nonsense() {
+        let good = ScenarioSpec::new("ok", "customer_service");
+        assert!(good.validate().is_ok());
+
+        let mut spec = good.clone();
+        spec.dataset = "nope".into();
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadError::UnknownDataset(_))
+        ));
+
+        let mut spec = good.clone();
+        spec.engine.kind = "oracle23ai".into();
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadError::UnknownEngine(_))
+        ));
+
+        let mut spec = good.clone();
+        spec.source = SourceSpec::Scripted {
+            models: vec!["brownian".into()],
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadError::UnknownModel(_))
+        ));
+
+        let mut spec = good.clone();
+        spec.sessions = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = good.clone();
+        spec.arrival = ArrivalSpec::Open { rate_per_sec: 0.0 };
+        assert!(spec.validate().is_err());
+
+        let mut spec = good.clone();
+        spec.source = SourceSpec::Idebench {
+            add_filter: 0.9,
+            modify_filter: 0.9,
+            remove_filter: 0.9,
+        };
+        assert!(spec.validate().is_err());
+
+        // Sums to 1 but an individual probability is out of range: the
+        // declared distribution would be unreachable at run time.
+        let mut spec = good;
+        spec.source = SourceSpec::Idebench {
+            add_filter: 1.2,
+            modify_filter: -0.2,
+            remove_filter: 0.0,
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn execute_runs_each_source_kind() {
+        for source in [
+            SourceSpec::scripted(),
+            SourceSpec::adaptive(),
+            SourceSpec::idebench(),
+        ] {
+            let mut spec = ScenarioSpec::new("exec-smoke", "customer_service");
+            spec.rows = 400;
+            spec.sessions = 2;
+            spec.steps_per_session = 3;
+            spec.engine = EngineSpec::new(EngineKind::SqliteLike);
+            spec.source = source;
+            let outcome = Driver::execute(&spec).unwrap();
+            assert_eq!(outcome.report.scenario_name, "exec-smoke");
+            assert_eq!(
+                outcome.report.schema_version,
+                crate::report::RunReport::SCHEMA_VERSION
+            );
+            assert_eq!(outcome.report.session_mode, spec.source.mode());
+            assert_eq!(outcome.report.sessions, 2);
+            assert!(outcome.report.queries > 0, "{:?}", outcome.report);
+        }
+    }
+}

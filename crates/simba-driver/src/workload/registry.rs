@@ -1,0 +1,286 @@
+//! The built-in scenario registry: named suites of [`ScenarioSpec`]s.
+//!
+//! A *scenario* is a named list of specs — typically a sweep over engines,
+//! user counts, cache settings, or session modes — that the `simba-bench`
+//! CLI runs with `bench --scenario <name>`. Suites are parameterized by
+//! [`ScenarioParams`] (scale knobs the harness reads from flags or
+//! `SIMBA_*` environment variables) but are otherwise pure data: dump one
+//! with `bench --scenario <name> --dump`, edit the JSON, and run the edited
+//! file with `bench --spec <file>`.
+
+use super::{ArrivalSpec, CacheSpec, EngineSpec, ScenarioSpec, SourceSpec, ThinkSpec};
+use simba_engine::EngineKind;
+
+/// Scale knobs shared by every built-in suite.
+#[derive(Debug, Clone)]
+pub struct ScenarioParams {
+    /// Dataset rows.
+    pub rows: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Concurrent-user sweep (suites that don't sweep use the first entry).
+    pub users: Vec<usize>,
+    /// Interactions per session after the initial render.
+    pub steps: usize,
+    /// Worker threads; `0` = available parallelism.
+    pub workers: usize,
+    /// Fixed think time between interactions, in milliseconds (`0` = none).
+    pub think_ms: u64,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            rows: 50_000,
+            seed: 0,
+            users: vec![4, 16, 64],
+            steps: 8,
+            workers: 0,
+            think_ms: 0,
+        }
+    }
+}
+
+impl ScenarioParams {
+    fn think(&self) -> ThinkSpec {
+        if self.think_ms == 0 {
+            ThinkSpec::None
+        } else {
+            ThinkSpec::Fixed {
+                millis: self.think_ms,
+            }
+        }
+    }
+
+    fn first_users(&self) -> usize {
+        self.users.first().copied().unwrap_or(4).max(1)
+    }
+
+    fn base(&self, name: &str, users: usize) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(name, "customer_service");
+        spec.rows = self.rows;
+        spec.seed = self.seed;
+        spec.sessions = users;
+        spec.steps_per_session = self.steps;
+        spec.workers = self.workers;
+        spec.think = self.think();
+        spec.arrival = ArrivalSpec::Closed;
+        spec
+    }
+}
+
+/// One named suite: what it is, and the specs it expands to.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub specs: Vec<ScenarioSpec>,
+}
+
+/// Names of every built-in scenario, in presentation order.
+pub const SCENARIO_NAMES: [&str; 5] = [
+    "smoke",
+    "concurrent-shootout",
+    "adaptive-shootout",
+    "idebench",
+    "perf-report",
+];
+
+/// Expand a built-in scenario by name (case-insensitive), or `None` if
+/// unknown.
+pub fn scenario(name: &str, params: &ScenarioParams) -> Option<Scenario> {
+    let (name, description, specs) = match name.to_ascii_lowercase().as_str() {
+        "smoke" => (
+            "smoke",
+            "every engine x every session mode, one small run each (CI gate)",
+            smoke(params),
+        ),
+        "concurrent-shootout" => (
+            "concurrent-shootout",
+            "scripted replay: users sweep x engines x cache on/off",
+            concurrent_shootout(params),
+        ),
+        "adaptive-shootout" => (
+            "adaptive-shootout",
+            "scripted vs adaptive sessions: users sweep x engines x cache on/off",
+            adaptive_shootout(params),
+        ),
+        "idebench" => (
+            "idebench",
+            "IDEBench-style stochastic storms: users sweep x engines",
+            idebench(params),
+        ),
+        "perf-report" => (
+            "perf-report",
+            "engine latency profile: every engine sequential + duckdb-like parallel scans",
+            perf_report(params),
+        ),
+        _ => return None,
+    };
+    Some(Scenario {
+        name,
+        description,
+        specs,
+    })
+}
+
+/// All built-in scenarios expanded under one parameter set.
+pub fn all_scenarios(params: &ScenarioParams) -> Vec<Scenario> {
+    SCENARIO_NAMES
+        .iter()
+        .map(|name| scenario(name, params).expect("registry names are exhaustive"))
+        .collect()
+}
+
+fn smoke(params: &ScenarioParams) -> Vec<ScenarioSpec> {
+    let users = params.first_users();
+    let mut specs = Vec::new();
+    for kind in EngineKind::ALL {
+        for source in [
+            SourceSpec::scripted(),
+            SourceSpec::adaptive(),
+            SourceSpec::idebench(),
+        ] {
+            let mut spec = params.base("smoke", users);
+            spec.engine = EngineSpec::new(kind);
+            spec.source = source;
+            spec.cache = Some(CacheSpec::default());
+            // Smoke doubles as a cheap determinism canary: fingerprints on.
+            spec.collect_fingerprints = true;
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+fn concurrent_shootout(params: &ScenarioParams) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for &users in &params.users {
+        for kind in EngineKind::ALL {
+            for cache_on in [false, true] {
+                let mut spec = params.base("concurrent-shootout", users);
+                spec.engine = EngineSpec::new(kind);
+                spec.source = SourceSpec::scripted();
+                spec.cache = cache_on.then(CacheSpec::default);
+                specs.push(spec);
+            }
+        }
+    }
+    specs
+}
+
+fn adaptive_shootout(params: &ScenarioParams) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for &users in &params.users {
+        for kind in EngineKind::ALL {
+            for cache_on in [false, true] {
+                for source in [SourceSpec::scripted(), SourceSpec::adaptive()] {
+                    let mut spec = params.base("adaptive-shootout", users);
+                    spec.engine = EngineSpec::new(kind);
+                    spec.source = source;
+                    spec.cache = cache_on.then(CacheSpec::default);
+                    specs.push(spec);
+                }
+            }
+        }
+    }
+    specs
+}
+
+fn idebench(params: &ScenarioParams) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for &users in &params.users {
+        for kind in EngineKind::ALL {
+            let mut spec = params.base("idebench", users);
+            spec.engine = EngineSpec::new(kind);
+            spec.source = SourceSpec::idebench();
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+fn perf_report(params: &ScenarioParams) -> Vec<ScenarioSpec> {
+    // Latency profile: one user, no cache, no pacing — the driver's p50/p99
+    // are then pure engine service time. Every engine sequential, plus
+    // duckdb-like with morsel-parallel scans (0 = one thread per core).
+    let mut specs = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut spec = params.base("perf-report", 1);
+        spec.engine = EngineSpec::new(kind);
+        spec.source = SourceSpec::scripted();
+        spec.think = ThinkSpec::None;
+        specs.push(spec);
+    }
+    let mut parallel = params.base("perf-report", 1);
+    parallel.engine = EngineSpec {
+        kind: EngineKind::DuckDbLike.name().to_string(),
+        scan_threads: 0,
+    };
+    parallel.source = SourceSpec::scripted();
+    parallel.think = ThinkSpec::None;
+    specs.push(parallel);
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_scenario_expands_and_validates() {
+        let params = ScenarioParams {
+            rows: 500,
+            users: vec![2, 3],
+            steps: 3,
+            ..Default::default()
+        };
+        for name in SCENARIO_NAMES {
+            let sc = scenario(name, &params).expect(name);
+            assert_eq!(sc.name, name);
+            assert!(!sc.specs.is_empty(), "{name} expanded to nothing");
+            for spec in &sc.specs {
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{name}: invalid spec: {e}"));
+                assert_eq!(spec.name, name);
+            }
+        }
+        assert!(scenario("no-such-scenario", &params).is_none());
+        assert_eq!(all_scenarios(&params).len(), SCENARIO_NAMES.len());
+    }
+
+    #[test]
+    fn shootout_suites_cover_engines_and_cache_states() {
+        let params = ScenarioParams {
+            users: vec![2],
+            ..Default::default()
+        };
+        let sc = scenario("adaptive-shootout", &params).unwrap();
+        // 1 user count x 4 engines x 2 cache states x 2 modes.
+        assert_eq!(sc.specs.len(), 16);
+        assert!(sc.specs.iter().any(|s| s.cache.is_some()));
+        assert!(sc.specs.iter().any(|s| s.cache.is_none()));
+        let engines: std::collections::HashSet<&str> =
+            sc.specs.iter().map(|s| s.engine.kind.as_str()).collect();
+        assert_eq!(engines.len(), 4);
+    }
+
+    #[test]
+    fn smoke_is_case_insensitive_and_fingerprinted() {
+        let params = ScenarioParams::default();
+        let sc = scenario("SMOKE", &params).unwrap();
+        assert_eq!(sc.specs.len(), 12, "4 engines x 3 session modes");
+        assert!(sc.specs.iter().all(|s| s.collect_fingerprints));
+    }
+
+    #[test]
+    fn perf_report_includes_parallel_scans() {
+        let sc = scenario("perf-report", &ScenarioParams::default()).unwrap();
+        assert_eq!(sc.specs.len(), 5);
+        assert!(sc
+            .specs
+            .iter()
+            .any(|s| s.engine.kind == "duckdb-like" && s.engine.scan_threads != 1));
+        assert!(sc.specs.iter().all(|s| s.sessions == 1));
+    }
+}

@@ -12,15 +12,25 @@
 //! This crate reproduces that behavior over the same datasets and engines:
 //!
 //! * [`dashboard`] — random visualization-set generation with dense links;
-//! * [`session`] — the stochastic interaction loop (add/modify/remove
-//!   filters, mutate a visualization) with IDEBench's default probabilities;
+//! * [`walk`] — the engine-free stochastic walk (add/modify/remove filters
+//!   with IDEBench's default probabilities) shared by the runner and the
+//!   workload bridge;
+//! * [`session`] — the single-session loop executing a walk against one
+//!   engine and recording a log;
+//! * [`source`] — [`IdebenchSource`], plugging IDEBench sessions into the
+//!   unified `SessionSource` workload API so the concurrent driver can run
+//!   them like any other scenario;
 //! * [`complexity`] — the reverse-engineered dashboard reports behind
 //!   Figure 9 and the §6.3 workload-shape comparison.
 
 pub mod complexity;
 pub mod dashboard;
 pub mod session;
+pub mod source;
+pub mod walk;
 
 pub use complexity::DashboardComplexity;
 pub use dashboard::{RandomDashboard, RandomViz};
-pub use session::{IdeBenchConfig, IdeBenchLog, IdeBenchRunner};
+pub use session::{ActionProbs, IdeBenchConfig, IdeBenchLog, IdeBenchRunner};
+pub use source::IdebenchSource;
+pub use walk::{IdeBenchWalk, IdeStep};

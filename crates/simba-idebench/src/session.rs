@@ -6,15 +6,17 @@
 //! propagated to every linked visualization — each of which re-executes its
 //! query. There is no goal model and no termination condition other than the
 //! configured interaction count.
+//!
+//! Query generation lives in [`IdeBenchWalk`](crate::walk::IdeBenchWalk);
+//! this module executes the walk against one engine and records a log. To
+//! run IDEBench sessions concurrently through the workload driver instead,
+//! use [`IdebenchSource`](crate::IdebenchSource).
 
-use crate::dashboard::RandomDashboard;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::walk::IdeBenchWalk;
 use simba_core::session::QueryRecord;
 use simba_engine::Dbms;
-use simba_sql::{Expr, Select};
-use simba_store::{ColumnRole, Table};
+use simba_sql::Select;
+use simba_store::Table;
 
 /// IDEBench action probabilities (the "default probabilities for generating
 /// actions" of §6.2.4). Filters dominate — the paper found IDEBench
@@ -66,7 +68,7 @@ pub struct IdeInteraction {
 /// The record of one IDEBench run.
 #[derive(Debug, Clone)]
 pub struct IdeBenchLog {
-    pub dashboard: RandomDashboard,
+    pub dashboard: crate::dashboard::RandomDashboard,
     pub engine: String,
     pub seed: u64,
     pub interactions: Vec<IdeInteraction>,
@@ -94,33 +96,6 @@ impl IdeBenchLog {
     }
 }
 
-/// A filter on one column, as IDEBench composes them.
-#[derive(Debug, Clone)]
-enum IdeFilter {
-    In { field: String, values: Vec<String> },
-    Range { field: String, lo: f64, hi: f64 },
-}
-
-impl IdeFilter {
-    fn to_expr(&self) -> Expr {
-        match self {
-            IdeFilter::In { field, values } => Expr::in_strs(field, values.iter().cloned()),
-            IdeFilter::Range { field, lo, hi } => Expr::Between {
-                expr: Box::new(Expr::col(field.clone())),
-                low: Box::new(Expr::float(*lo)),
-                high: Box::new(Expr::float(*hi)),
-                negated: false,
-            },
-        }
-    }
-
-    fn field(&self) -> &str {
-        match self {
-            IdeFilter::In { field, .. } | IdeFilter::Range { field, .. } => field,
-        }
-    }
-}
-
 /// Runs IDEBench sessions over a table and engine.
 pub struct IdeBenchRunner<'a> {
     pub table: &'a Table,
@@ -140,147 +115,35 @@ impl<'a> IdeBenchRunner<'a> {
     /// Simulate one run: generate the implicit dashboard, render it, then
     /// perform random filter interactions.
     pub fn run(&self) -> Result<IdeBenchLog, simba_engine::EngineError> {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x1DE);
-        let schema = self.table.schema();
-        let dashboard = RandomDashboard::generate(schema, &mut rng);
-        let table_name = self.table.name().to_string();
-
-        // Per-visualization accumulated filters.
-        let mut filters: Vec<Vec<IdeFilter>> = vec![Vec::new(); dashboard.vizzes.len()];
+        let mut walk = IdeBenchWalk::new(self.table, &self.config);
         let mut interactions = Vec::with_capacity(self.config.interactions + 1);
-
-        // Initial render.
-        let mut records = Vec::with_capacity(dashboard.vizzes.len());
-        for viz in &dashboard.vizzes {
-            let q = self.viz_query(&dashboard, &filters, viz.id, &table_name);
-            records.push(self.execute(viz.id, &q)?);
-        }
-        interactions.push(IdeInteraction {
-            step: 0,
-            action: "initial render".into(),
-            queries: records,
-        });
-
-        for step in 1..=self.config.interactions {
-            let target = rng.gen_range(0..dashboard.vizzes.len());
-            let action = self.random_action(&mut filters[target], &mut rng);
-
-            // Propagate: every linked visualization re-executes.
-            let mut records = Vec::new();
-            for &affected in &dashboard.affected(target) {
-                let q = self.viz_query(&dashboard, &filters, affected, &table_name);
-                records.push(self.execute(affected, &q)?);
+        while let Some(step) = walk.next() {
+            let mut records = Vec::with_capacity(step.queries.len());
+            for (vis, q) in &step.queries {
+                records.push(self.execute(vis, q)?);
             }
             interactions.push(IdeInteraction {
-                step,
-                action,
+                step: step.step,
+                action: step.action,
                 queries: records,
             });
         }
-
         Ok(IdeBenchLog {
-            dashboard,
+            dashboard: walk.dashboard().clone(),
             engine: self.engine.name().to_string(),
             seed: self.config.seed,
             interactions,
         })
     }
 
-    fn execute(&self, viz: usize, q: &Select) -> Result<QueryRecord, simba_engine::EngineError> {
+    fn execute(&self, vis: &str, q: &Select) -> Result<QueryRecord, simba_engine::EngineError> {
         let out = self.engine.execute(q)?;
         Ok(QueryRecord {
-            vis: format!("viz_{viz}"),
+            vis: vis.to_string(),
             sql: q.to_string(),
             duration: out.elapsed,
             rows: out.result.n_rows(),
         })
-    }
-
-    /// The query a visualization currently displays: its base query plus its
-    /// own accumulated filters plus filters propagated from linking sources.
-    fn viz_query(
-        &self,
-        dashboard: &RandomDashboard,
-        filters: &[Vec<IdeFilter>],
-        viz: usize,
-        table: &str,
-    ) -> Select {
-        let mut q = dashboard.vizzes[viz].base_query(table);
-        // Own filters.
-        for f in &filters[viz] {
-            q.add_filter(f.to_expr());
-        }
-        // Filters from sources linking into this visualization.
-        for (s, t) in &dashboard.links {
-            if *t == viz {
-                for f in &filters[*s] {
-                    q.add_filter(f.to_expr());
-                }
-            }
-        }
-        q
-    }
-
-    /// Draw an interaction from the default probabilities and mutate the
-    /// target's filter list.
-    fn random_action(&self, filters: &mut Vec<IdeFilter>, rng: &mut ChaCha8Rng) -> String {
-        let p: f64 = rng.gen_range(0.0..1.0);
-        let probs = &self.config.probs;
-        if p < probs.add_filter || filters.is_empty() {
-            let f = self.random_filter(rng);
-            let desc = format!("add filter on {}", f.field());
-            filters.push(f);
-            desc
-        } else if p < probs.add_filter + probs.modify_filter {
-            let idx = rng.gen_range(0..filters.len());
-            let f = self.random_filter(rng);
-            let desc = format!("modify filter on {}", f.field());
-            filters[idx] = f;
-            desc
-        } else {
-            let idx = rng.gen_range(0..filters.len());
-            let removed = filters.remove(idx);
-            format!("remove filter on {}", removed.field())
-        }
-    }
-
-    /// A uniformly random filter over a random column (IDEBench parameter
-    /// selection is uniform).
-    fn random_filter(&self, rng: &mut ChaCha8Rng) -> IdeFilter {
-        let schema = self.table.schema();
-        let idx = rng.gen_range(0..schema.width());
-        let def = &schema.columns[idx];
-        let col = self.table.column(idx);
-        match def.role {
-            ColumnRole::Categorical => {
-                let distinct: Vec<String> = col
-                    .distinct_values()
-                    .into_iter()
-                    .filter_map(|v| v.as_str().map(str::to_string))
-                    .collect();
-                let k = rng.gen_range(1..=distinct.len().clamp(1, 3));
-                let values: Vec<String> = distinct.choose_multiple(rng, k).cloned().collect();
-                IdeFilter::In {
-                    field: def.name.clone(),
-                    values,
-                }
-            }
-            _ => {
-                let (lo, hi) = match col.min_max() {
-                    Some((a, b)) => (a.as_f64().unwrap_or(0.0), b.as_f64().unwrap_or(0.0)),
-                    None => (0.0, 0.0),
-                };
-                let span = (hi - lo).max(f64::EPSILON);
-                let a = lo + rng.gen_range(0.0..1.0) * span;
-                let b = lo + rng.gen_range(0.0..1.0) * span;
-                let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                IdeFilter::Range {
-                    field: def.name.clone(),
-                    lo: a,
-                    hi: b,
-                }
-            }
-        }
     }
 }
 

@@ -1,0 +1,160 @@
+//! Bridge from the IDEBench stochastic loop into the unified workload API:
+//! an [`IdebenchSource`] plugs IDEBench-style sessions into the same
+//! [`SessionSource`] stream the scripted and adaptive workloads use, so the
+//! concurrent driver can pace, cache, and report them identically.
+//!
+//! Each user gets an independent IDEBench run — their own implicit random
+//! dashboard and their own filter storm — seeded with the same per-user
+//! derivation as batch synthesis (`base_seed ^ splitmix(user + 1)`), so a
+//! multi-user IDEBench workload reseeds one knob like every other source.
+
+use crate::session::{ActionProbs, IdeBenchConfig};
+use crate::walk::IdeBenchWalk;
+use simba_core::session::batch::splitmix;
+use simba_core::session::source::{QueryFeedback, SessionSource, SessionStream, SourceStep};
+use simba_store::Table;
+use std::sync::Arc;
+
+/// IDEBench-style sessions as a [`SessionSource`]: purely stochastic filter
+/// mutations over per-user implicit dashboards. Feedback is ignored —
+/// IDEBench users never look at what comes back.
+pub struct IdebenchSource {
+    table: Arc<Table>,
+    base_seed: u64,
+    sessions: usize,
+    interactions: usize,
+    probs: ActionProbs,
+}
+
+impl IdebenchSource {
+    /// `sessions` independent runs over `table`, each `interactions` steps
+    /// past the initial render.
+    pub fn new(table: Arc<Table>, base_seed: u64, sessions: usize, interactions: usize) -> Self {
+        IdebenchSource {
+            table,
+            base_seed,
+            sessions,
+            interactions,
+            probs: ActionProbs::default(),
+        }
+    }
+
+    /// Override the action probabilities.
+    pub fn with_probs(mut self, probs: ActionProbs) -> Self {
+        self.probs = probs;
+        self
+    }
+
+    /// The exact single-run configuration user `user` walks with — handed
+    /// to [`IdeBenchRunner`](crate::IdeBenchRunner) it reproduces this
+    /// source's session byte-for-byte (the bridge equivalence tests rely on
+    /// this).
+    pub fn session_config(&self, user: usize) -> IdeBenchConfig {
+        IdeBenchConfig {
+            seed: self.base_seed ^ splitmix(user as u64 + 1),
+            interactions: self.interactions,
+            probs: self.probs.clone(),
+        }
+    }
+}
+
+impl SessionSource for IdebenchSource {
+    fn mode(&self) -> &'static str {
+        "idebench"
+    }
+
+    fn sessions(&self) -> usize {
+        self.sessions
+    }
+
+    fn open(&self, user: usize) -> Box<dyn SessionStream + '_> {
+        let config = self.session_config(user);
+        Box::new(IdebenchStream {
+            seed: config.seed,
+            walk: IdeBenchWalk::new(&self.table, &config),
+        })
+    }
+}
+
+struct IdebenchStream<'a> {
+    walk: IdeBenchWalk<'a>,
+    seed: u64,
+}
+
+impl SessionStream for IdebenchStream<'_> {
+    fn session_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn next_step(&mut self, _feedback: &[QueryFeedback<'_>]) -> Option<SourceStep> {
+        let step = self.walk.next()?;
+        Some(SourceStep {
+            description: step.action,
+            steering: None,
+            queries: step.queries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdeBenchRunner;
+    use simba_data::DashboardDataset;
+    use simba_engine::EngineKind;
+
+    #[test]
+    fn source_streams_match_single_runner_sessions() {
+        let table = Arc::new(DashboardDataset::ItMonitor.generate_rows(1_500, 3));
+        let source = IdebenchSource::new(table.clone(), 42, 2, 5);
+        assert_eq!(source.mode(), "idebench");
+        assert_eq!(source.sessions(), 2);
+        assert!(source.steering_policy().is_none());
+
+        let engine = EngineKind::SqliteLike.build();
+        engine.register(table.clone());
+
+        for user in 0..2 {
+            let log = IdeBenchRunner::new(&table, engine.as_ref(), source.session_config(user))
+                .run()
+                .unwrap();
+            let mut stream = source.open(user);
+            assert_eq!(stream.session_seed(), source.session_config(user).seed);
+            let mut streamed: Vec<(String, Vec<String>)> = Vec::new();
+            while let Some(step) = stream.next_step(&[]) {
+                streamed.push((
+                    step.description,
+                    step.queries.iter().map(|(_, q)| q.to_string()).collect(),
+                ));
+            }
+            let legacy: Vec<(String, Vec<String>)> = log
+                .interactions
+                .iter()
+                .map(|i| {
+                    (
+                        i.action.clone(),
+                        i.queries.iter().map(|q| q.sql.clone()).collect(),
+                    )
+                })
+                .collect();
+            assert_eq!(streamed, legacy, "user {user}");
+        }
+    }
+
+    #[test]
+    fn users_get_distinct_dashboards() {
+        let table = Arc::new(DashboardDataset::ItMonitor.generate_rows(800, 5));
+        let source = IdebenchSource::new(table, 7, 3, 3);
+        let first_queries: Vec<Vec<String>> = (0..3)
+            .map(|u| {
+                let mut stream = source.open(u);
+                let render = stream.next_step(&[]).expect("render");
+                render.queries.iter().map(|(_, q)| q.to_string()).collect()
+            })
+            .collect();
+        assert!(
+            first_queries.windows(2).any(|w| w[0] != w[1]),
+            "independent seeds should diverge: {first_queries:?}"
+        );
+    }
+}

@@ -28,12 +28,31 @@
 //! assert!(log.query_count() > 0);
 //! ```
 //!
+//! # Concurrent workloads
+//!
+//! Multi-user load generation goes through the unified workload API: a
+//! declarative [`driver::workload::ScenarioSpec`] executed by
+//! [`driver::Driver::execute`]:
+//!
+//! ```
+//! use simba::prelude::*;
+//!
+//! let mut spec = ScenarioSpec::new("facade-smoke", "customer_service");
+//! spec.rows = 500;
+//! spec.sessions = 2;
+//! spec.steps_per_session = 3;
+//! spec.source = SourceSpec::adaptive();
+//! let outcome = Driver::execute(&spec).unwrap();
+//! assert!(outcome.report.queries > 0);
+//! ```
+//!
 //! See the crate-level docs of [`simba_core`], [`simba_engine`],
-//! [`simba_data`], [`simba_sql`], [`simba_store`], and [`simba_idebench`]
-//! for each subsystem.
+//! [`simba_data`], [`simba_sql`], [`simba_store`], [`simba_idebench`], and
+//! [`simba_driver`] for each subsystem.
 
 pub use simba_core as core;
 pub use simba_data as data;
+pub use simba_driver as driver;
 pub use simba_engine as engine;
 pub use simba_idebench as idebench;
 pub use simba_sql as sql;
@@ -51,13 +70,19 @@ pub mod prelude {
     pub use simba_core::metrics::{DurationSummary, WorkloadStats};
     pub use simba_core::oracle::{Oracle, OracleConfig};
     pub use simba_core::session::interleave::DecayConfig;
+    pub use simba_core::session::source::{
+        AdaptiveSource, AdaptiveWalkConfig, ScriptedSource, SessionSource, SessionStream,
+    };
     pub use simba_core::session::workflows::Workflow;
     pub use simba_core::session::{SessionConfig, SessionLog, SessionRunner};
     pub use simba_core::spec::builtin::{all_builtin, builtin};
     pub use simba_core::spec::DashboardSpec;
     pub use simba_data::{DashboardDataset, DatasetSize};
+    pub use simba_driver::{
+        Driver, DriverConfig, RunReport, ScenarioParams, ScenarioSpec, SourceSpec,
+    };
     pub use simba_engine::{all_engines, Dbms, EngineKind};
-    pub use simba_idebench::{IdeBenchConfig, IdeBenchRunner};
+    pub use simba_idebench::{IdeBenchConfig, IdeBenchRunner, IdebenchSource};
     pub use simba_sql::{parse_select, Select};
     pub use simba_store::{ResultSet, Table, Value};
 }

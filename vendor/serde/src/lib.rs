@@ -200,6 +200,12 @@ impl<T: Serialize> Serialize for Vec<T> {
     }
 }
 
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_content(c: &Content) -> Result<Self, String> {
         match c {
