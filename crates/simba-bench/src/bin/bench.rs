@@ -1,34 +1,23 @@
 //! The single benchmark entry point: run any scenario — built-in or from a
-//! JSON spec file — through `Driver::execute`.
+//! JSON spec file — through `Driver::execute` (or, for `datagen-sweep`,
+//! through the generation-throughput harness).
 //!
-//! ```text
-//! bench --scenario <name> [options]     run a built-in scenario
-//! bench --spec <file.json> [options]    run spec(s) from a JSON data file
-//! bench --list                          list built-in scenarios
-//! bench --scenario <name> --dump        print the expanded specs as JSON
-//!
-//! Options:
-//!   --engine <name>     only run specs for this engine
-//!   --rows N            dataset rows            (env SIMBA_ROWS)
-//!   --seed N            master seed             (env SIMBA_SEED)
-//!   --users a,b,c       concurrent-user sweep   (env SIMBA_USERS)
-//!   --steps N           interactions/session    (env SIMBA_STEPS)
-//!   --workers N         worker threads, 0=auto  (env SIMBA_WORKERS)
-//!   --think-ms N        fixed think time in ms  (env SIMBA_THINK_MS)
-//! ```
+//! The usage text lives in `src/bench_usage.txt` — one file backs `--help`
+//! *and* the `simba_bench` crate docs, so they cannot drift apart.
 //!
 //! Flags override environment variables, which override scenario defaults.
 //! With `--spec`, the file is authoritative: only *explicit flags* override
 //! its fields (`--rows`, `--seed`, `--steps`, `--workers`, `--think-ms`
-//! rewrite every spec in the file; `--users` is rejected because a sweep
-//! does not map onto explicit per-spec session counts), and `SIMBA_*`
+//! rewrite every spec in the file; `--users`/`--sizes` are rejected because
+//! sweeps do not map onto explicit per-spec fields), and `SIMBA_*`
 //! environment variables are ignored.
-//! The full `RunReport` array is printed as JSON (or written to the file
-//! named by `SIMBA_JSON_OUT`). Exit status is non-zero if any run fails or
-//! produces an empty report.
 
-use simba_bench::scenario_cli::{emit_json, params_from_env, run_specs};
-use simba_driver::{all_scenarios, scenario, ScenarioParams, ScenarioSpec};
+use simba_bench::scenario_cli::{
+    emit_datagen_json, emit_json, params_from_env, run_datagen, run_specs,
+};
+use simba_driver::{
+    all_scenarios, scenario, DatagenSweep, ScenarioBody, ScenarioParams, ScenarioSpec,
+};
 
 struct Args {
     scenario: Option<String>,
@@ -40,11 +29,7 @@ struct Args {
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: bench --scenario <name> | --spec <file.json> | --list\n\
-         \x20      [--engine <name>] [--dump] [--rows N] [--seed N]\n\
-         \x20      [--users a,b,c] [--steps N] [--workers N] [--think-ms N]"
-    );
+    eprint!("{}", include_str!("../bench_usage.txt"));
     std::process::exit(2);
 }
 
@@ -74,7 +59,8 @@ fn parse_args() -> Args {
             "--engine" => args.engine = Some(value_for("--engine")),
             "--list" => args.list = true,
             "--dump" => args.dump = true,
-            "--rows" | "--seed" | "--users" | "--steps" | "--workers" | "--think-ms" => {
+            "--rows" | "--seed" | "--users" | "--steps" | "--workers" | "--think-ms"
+            | "--sizes" => {
                 let value = value_for(&flag);
                 args.overrides.push((flag, value));
             }
@@ -110,6 +96,13 @@ fn apply_overrides(mut params: ScenarioParams, overrides: &[(String, String)]) -
                     std::process::exit(2);
                 }
             },
+            "--sizes" => match simba_bench::scenario_cli::parse_sizes(value) {
+                Some(sizes) => params.sizes = sizes,
+                None => {
+                    eprintln!("invalid value `{value}` for --sizes");
+                    std::process::exit(2);
+                }
+            },
             _ => unreachable!("parse_args only collects known overrides"),
         }
     }
@@ -131,9 +124,18 @@ fn apply_spec_overrides(specs: &mut [ScenarioSpec], overrides: &[(String, String
             eprintln!("--users cannot be combined with --spec (edit the file's `sessions` fields)");
             std::process::exit(2);
         }
+        if flag == "--sizes" {
+            eprintln!("--sizes cannot be combined with --spec (edit the file's `size` fields)");
+            std::process::exit(2);
+        }
         for spec in specs.iter_mut() {
             match flag.as_str() {
-                "--rows" => spec.rows = parse_usize(),
+                "--rows" => {
+                    // A `size` label wins over `rows` at resolution time;
+                    // clear it so the explicit flag actually takes effect.
+                    spec.rows = parse_usize();
+                    spec.size = None;
+                }
                 "--seed" => spec.seed = parse_usize() as u64,
                 "--steps" => spec.steps_per_session = parse_usize(),
                 "--workers" => spec.workers = parse_usize(),
@@ -154,23 +156,71 @@ fn apply_spec_overrides(specs: &mut [ScenarioSpec], overrides: &[(String, String
 /// Load specs from a JSON file holding either one spec object or an array.
 /// The first non-whitespace character decides which shape to parse, so a
 /// field typo surfaces that shape's diagnostic rather than a misleading
-/// "expected array" from the wrong attempt.
-fn load_spec_file(path: &str) -> Vec<ScenarioSpec> {
+/// "expected array" from the wrong attempt. A single object that is not a
+/// `ScenarioSpec` is retried as a `DatagenSweep`, so a dumped
+/// `datagen-sweep` file round-trips through `--spec` like any other
+/// scenario (the two shapes share no required fields, so this cannot
+/// misparse one as the other).
+enum SpecFile {
+    Suite(Vec<ScenarioSpec>),
+    Datagen(DatagenSweep),
+}
+
+fn load_spec_file(path: &str) -> SpecFile {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
     });
     let result = if text.trim_start().starts_with('[') {
-        serde_json::from_str::<Vec<ScenarioSpec>>(&text).map_err(|e| e.to_string())
-    } else {
-        ScenarioSpec::from_json(&text)
-            .map(|spec| vec![spec])
+        serde_json::from_str::<Vec<ScenarioSpec>>(&text)
+            .map(SpecFile::Suite)
             .map_err(|e| e.to_string())
+    } else {
+        match ScenarioSpec::from_json(&text) {
+            Ok(spec) => Ok(SpecFile::Suite(vec![spec])),
+            Err(spec_err) => serde_json::from_str::<DatagenSweep>(&text)
+                .map(SpecFile::Datagen)
+                .map_err(|_| spec_err.to_string()),
+        }
     };
     result.unwrap_or_else(|e| {
         eprintln!("{path}: invalid scenario spec file: {e}");
         std::process::exit(2);
     })
+}
+
+/// Run (or dump) a generation sweep. Shared by `--scenario datagen-sweep`
+/// and `--spec <dumped-sweep.json>`; driver-only knobs are rejected rather
+/// than silently ignored.
+fn run_datagen_scenario(sweep: &DatagenSweep, banner: &str, args: &Args) -> ! {
+    if args.engine.is_some() {
+        eprintln!("--engine does not apply to a generation sweep");
+        std::process::exit(2);
+    }
+    for (flag, _) in &args.overrides {
+        if !matches!(flag.as_str(), "--seed" | "--sizes") {
+            eprintln!("{flag} does not apply to a generation sweep (only --seed and --sizes do)");
+            std::process::exit(2);
+        }
+    }
+    if args.dump {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(sweep).expect("sweep serializes")
+        );
+        std::process::exit(0);
+    }
+    println!("{banner}\n");
+    match run_datagen(sweep) {
+        Ok(report) => {
+            emit_datagen_json(&report);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -180,25 +230,45 @@ fn main() {
     if args.list {
         println!("built-in scenarios:");
         for sc in all_scenarios(&params) {
-            println!(
-                "  {:<20} {} ({} specs)",
-                sc.name,
-                sc.description,
-                sc.specs.len()
-            );
+            let size = match &sc.body {
+                ScenarioBody::Suite(specs) => format!("{} specs", specs.len()),
+                ScenarioBody::Datagen(_) => "generation sweep".to_string(),
+            };
+            println!("  {:<20} {} ({size})", sc.name, sc.description);
         }
         return;
     }
 
     let (mut specs, banner): (Vec<ScenarioSpec>, String) = match (&args.scenario, &args.spec_file) {
         (Some(name), None) => match scenario(name, &params) {
-            Some(sc) => {
-                let banner = format!(
-                    "{} — {} (rows {}, seed {}, users {:?}, {} steps/session)\n",
-                    sc.name, sc.description, params.rows, params.seed, params.users, params.steps
-                );
-                (sc.specs, banner)
-            }
+            Some(sc) => match &sc.body {
+                ScenarioBody::Datagen(sweep) => run_datagen_scenario(
+                    sweep,
+                    &format!("{} — {} (seed {})", sc.name, sc.description, params.seed),
+                    &args,
+                ),
+                ScenarioBody::Suite(suite) => {
+                    // A size-tier sweep only parameterizes datagen-sweep;
+                    // reject it here rather than silently run the default
+                    // row count under a `--sizes 10M` the user trusted.
+                    if args.overrides.iter().any(|(f, _)| f == "--sizes") {
+                        eprintln!(
+                            "--sizes only applies to datagen-sweep (use --rows, or `size` in a spec file)"
+                        );
+                        std::process::exit(2);
+                    }
+                    let banner = format!(
+                        "{} — {} (rows {}, seed {}, users {:?}, {} steps/session)\n",
+                        sc.name,
+                        sc.description,
+                        params.rows,
+                        params.seed,
+                        params.users,
+                        params.steps
+                    );
+                    (suite.clone(), banner)
+                }
+            },
             None => {
                 eprintln!(
                     "unknown scenario `{name}`; known: {}",
@@ -207,11 +277,35 @@ fn main() {
                 std::process::exit(2);
             }
         },
-        (None, Some(path)) => {
-            let mut specs = load_spec_file(path);
-            apply_spec_overrides(&mut specs, &args.overrides);
-            (specs, format!("specs from {path}\n"))
-        }
+        (None, Some(path)) => match load_spec_file(path) {
+            SpecFile::Datagen(mut sweep) => {
+                // The file is authoritative; only explicit flags override.
+                for (flag, value) in &args.overrides {
+                    match flag.as_str() {
+                        "--seed" => match value.parse() {
+                            Ok(seed) => sweep.seed = seed,
+                            Err(_) => {
+                                eprintln!("invalid value `{value}` for --seed");
+                                std::process::exit(2);
+                            }
+                        },
+                        "--sizes" => match simba_bench::scenario_cli::parse_sizes(value) {
+                            Some(sizes) => sweep.sizes = sizes,
+                            None => {
+                                eprintln!("invalid value `{value}` for --sizes");
+                                std::process::exit(2);
+                            }
+                        },
+                        _ => {} // rejected inside run_datagen_scenario
+                    }
+                }
+                run_datagen_scenario(&sweep, &format!("datagen sweep from {path}"), &args)
+            }
+            SpecFile::Suite(mut specs) => {
+                apply_spec_overrides(&mut specs, &args.overrides);
+                (specs, format!("specs from {path}\n"))
+            }
+        },
         _ => usage(),
     };
 

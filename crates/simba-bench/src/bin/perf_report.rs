@@ -4,14 +4,22 @@
 //! predicate, single dict group key — see [`simba_bench::PERF_QUERY`])
 //! against the row-at-a-time oracle and every engine, then writes
 //! `BENCH_PR2.json` with per-engine p50/p99 latency and the speedup over
-//! the row path. Future PRs append their own `BENCH_PR<n>.json`, giving the
-//! repo a perf trajectory that survives refactors.
+//! the row path. It then runs the dataset-generation throughput sweep
+//! (`datagen-sweep`: every dashboard dataset × the paper grid × 1/N
+//! generation threads) and writes `BENCH_PR5.json`. Future PRs append
+//! their own `BENCH_PR<n>.json`, giving the repo a perf trajectory that
+//! survives refactors.
 //!
 //! Environment: `SIMBA_ROWS` (default 1,000,000), `SIMBA_RUNS` (timed
-//! iterations per configuration, default 21), `SIMBA_SEED`.
+//! iterations per configuration, default 21), `SIMBA_SEED`, `SIMBA_SIZES`
+//! (datagen size tiers, default the paper grid), `SIMBA_GEN_THREADS`
+//! (comma-separated datagen thread sweep, default `1,cores`),
+//! `SIMBA_SKIP_DATAGEN=1` to skip the sweep.
 
 use serde::Serialize;
+use simba_bench::scenario_cli::{parse_sizes, run_datagen};
 use simba_bench::{configured_seed, PERF_QUERY};
+use simba_driver::DatagenSweep;
 use simba_engine::{execute_row_oracle, Dbms, DuckDbLike, EngineKind};
 use simba_sql::parse_select;
 use std::sync::Arc;
@@ -151,4 +159,38 @@ fn main() {
     std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
     println!("{json}");
     eprintln!("wrote BENCH_PR2.json");
+
+    if std::env::var("SIMBA_SKIP_DATAGEN").is_ok_and(|v| v == "1") {
+        eprintln!("SIMBA_SKIP_DATAGEN=1: skipping the generation sweep");
+        return;
+    }
+
+    // Strict parse: a typo must not silently drop the 1-thread baseline
+    // (or collapse to the default sweep) in a checked-in artifact.
+    let gen_threads: Vec<usize> = match std::env::var("SIMBA_GEN_THREADS") {
+        Err(_) => Vec::new(),
+        Ok(s) => s
+            .split(',')
+            .map(|p| {
+                p.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("invalid SIMBA_GEN_THREADS entry `{p}` (expected integers)");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+    let sweep = DatagenSweep {
+        datasets: Vec::new(),
+        sizes: std::env::var("SIMBA_SIZES")
+            .ok()
+            .and_then(|s| parse_sizes(&s))
+            .unwrap_or_default(),
+        threads: gen_threads,
+        seed,
+    };
+    eprintln!("\ndatagen sweep: datasets x sizes x generation threads…");
+    let datagen = run_datagen(&sweep).expect("datagen sweep runs");
+    let json = serde_json::to_string_pretty(&datagen).expect("report serializes");
+    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+    eprintln!("wrote BENCH_PR5.json");
 }

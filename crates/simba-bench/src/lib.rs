@@ -1,7 +1,20 @@
 //! Benchmark harness for the SIMBA paper's tables and figures.
 //!
-//! Each binary under `src/bin/` regenerates one experiment (see
-//! `EXPERIMENTS.md` at the repository root for the index):
+//! ## The `bench` CLI
+//!
+//! Every scenario — built-in or from a JSON spec file — runs through the
+//! `bench` binary. The usage below *is* `--help`: both this page and the
+//! binary render `src/bench_usage.txt`, so they cannot drift apart.
+//!
+//! ```text
+#![doc = include_str!("bench_usage.txt")]
+//! ```
+//!
+//! ## Experiment binaries
+//!
+//! Each remaining binary under `src/bin/` regenerates one of the paper's
+//! experiments (those that sweep driver workloads are thin aliases over
+//! the scenario registry):
 //!
 //! | binary | experiment |
 //! |---|---|
@@ -14,6 +27,7 @@
 //! | `dbms_shootout` | §6 headline: four engines × dataset sizes |
 //! | `ablation_interleave` | interleaving ablation (P(Markov) ∈ {0, ½, 1}) |
 //! | `ablation_horizon` | Oracle lookahead-depth ablation |
+//! | `perf_report` | perf trajectory: engine latency (`BENCH_PR2.json`) + generation throughput (`BENCH_PR5.json`) |
 //!
 //! By default everything runs at laptop scale; set `SIMBA_ROWS` (e.g.
 //! `SIMBA_ROWS=10000000`) to reproduce paper-scale runs.

@@ -7,7 +7,10 @@
 //! make the process exit non-zero, which is what CI keys on.
 
 use simba_driver::workload::TableCache;
-use simba_driver::{Driver, RunReport, ScenarioParams, ScenarioSpec};
+use simba_driver::{
+    run_datagen_sweep, DatagenReport, DatagenSweep, Driver, RunReport, ScenarioBody,
+    ScenarioParams, ScenarioSpec,
+};
 
 /// Parse a comma-separated user sweep (`"1,8,64"`): the one parser behind
 /// both `SIMBA_USERS` and the CLI's `--users`. Non-numeric and zero
@@ -25,9 +28,29 @@ pub fn parse_users(s: &str) -> Option<Vec<usize>> {
     }
 }
 
+/// Parse a comma-separated `DatasetSize` label list (`"100K,1M"`): the one
+/// parser behind both `SIMBA_SIZES` and the CLI's `--sizes`. Blank entries
+/// are dropped; `None` if nothing remains. Label validity is checked by
+/// the sweep itself, so typos produce a real error instead of silently
+/// vanishing here.
+pub fn parse_sizes(s: &str) -> Option<Vec<String>> {
+    let sizes: Vec<String> = s
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
+    if sizes.is_empty() {
+        None
+    } else {
+        Some(sizes)
+    }
+}
+
 /// Scale knobs from `SIMBA_*` environment variables over `defaults`:
 /// `SIMBA_ROWS`, `SIMBA_SEED`, `SIMBA_USERS` (comma-separated sweep),
-/// `SIMBA_STEPS`, `SIMBA_WORKERS`, `SIMBA_THINK_MS`.
+/// `SIMBA_STEPS`, `SIMBA_WORKERS`, `SIMBA_THINK_MS`, `SIMBA_SIZES`
+/// (comma-separated `DatasetSize` labels).
 pub fn params_from_env(defaults: ScenarioParams) -> ScenarioParams {
     let usize_var = |name: &str, dflt: usize| -> usize {
         std::env::var(name)
@@ -39,6 +62,10 @@ pub fn params_from_env(defaults: ScenarioParams) -> ScenarioParams {
         .ok()
         .and_then(|s| parse_users(&s))
         .unwrap_or_else(|| defaults.users.clone());
+    let sizes = std::env::var("SIMBA_SIZES")
+        .ok()
+        .and_then(|s| parse_sizes(&s))
+        .unwrap_or_else(|| defaults.sizes.clone());
     ScenarioParams {
         rows: usize_var("SIMBA_ROWS", defaults.rows),
         seed: crate::configured_seed_or(defaults.seed),
@@ -46,6 +73,7 @@ pub fn params_from_env(defaults: ScenarioParams) -> ScenarioParams {
         steps: usize_var("SIMBA_STEPS", defaults.steps),
         workers: usize_var("SIMBA_WORKERS", defaults.workers),
         think_ms: usize_var("SIMBA_THINK_MS", defaults.think_ms as usize) as u64,
+        sizes,
     }
 }
 
@@ -127,17 +155,53 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<Vec<RunReport>, String> {
     Ok(reports)
 }
 
+/// Run a generation-throughput sweep, printing one aligned row per timed
+/// cell, and return the report.
+pub fn run_datagen(sweep: &DatagenSweep) -> Result<DatagenReport, String> {
+    println!(
+        "{:<22} {:>6} {:>12} {:>8} {:>10} {:>12} {:>8}",
+        "dataset", "size", "rows", "threads", "secs", "rows/sec", "speedup"
+    );
+    run_datagen_sweep(sweep, |e| {
+        println!(
+            "{:<22} {:>6} {:>12} {:>8} {:>10.3} {:>12.0} {:>8}",
+            e.dataset,
+            e.size,
+            e.rows,
+            e.threads,
+            e.secs,
+            e.rows_per_sec,
+            e.speedup_vs_single
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// Write pretty JSON to the `SIMBA_JSON_OUT` file, or print it to stdout
+/// when unset.
+fn emit_json_payload(json: &str, what: &str) {
+    match std::env::var("SIMBA_JSON_OUT") {
+        Ok(path) => {
+            std::fs::write(&path, json).expect("write SIMBA_JSON_OUT");
+            println!("wrote {what} to {path}");
+        }
+        Err(_) => println!("{json}"),
+    }
+}
+
 /// Write the report array as pretty JSON to the `SIMBA_JSON_OUT` file, or
 /// print it to stdout when unset.
 pub fn emit_json(reports: &[RunReport]) {
     let json = serde_json::to_string_pretty(reports).expect("reports serialize");
-    match std::env::var("SIMBA_JSON_OUT") {
-        Ok(path) => {
-            std::fs::write(&path, &json).expect("write SIMBA_JSON_OUT");
-            println!("wrote {} reports to {path}", reports.len());
-        }
-        Err(_) => println!("{json}"),
-    }
+    emit_json_payload(&json, &format!("{} reports", reports.len()));
+}
+
+/// [`emit_json`] for a datagen sweep report.
+pub fn emit_datagen_json(report: &DatagenReport) {
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    emit_json_payload(&json, &format!("{} datagen entries", report.entries.len()));
 }
 
 /// Thin-alias entry point: run one built-in scenario under env-configured
@@ -151,11 +215,12 @@ pub fn run_named_scenario(name: &str, defaults: ScenarioParams) {
         "{name} — {} (rows {}, seed {}, users {:?}, {} steps/session)\n",
         scenario.description, params.rows, params.seed, params.users, params.steps
     );
-    match run_specs(&scenario.specs) {
-        Ok(reports) => emit_json(&reports),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+    let outcome = match &scenario.body {
+        ScenarioBody::Suite(specs) => run_specs(specs).map(|reports| emit_json(&reports)),
+        ScenarioBody::Datagen(sweep) => run_datagen(sweep).map(|report| emit_datagen_json(&report)),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }

@@ -1,7 +1,7 @@
 //! Text syntax for goal algebra expressions.
 //!
 //! Benchmark users can write goals as text instead of building
-//! [`GoalExpr`](super::GoalExpr) trees:
+//! [`GoalExpr`] trees:
 //!
 //! ```text
 //! queue x count(lost_calls) - {count(lost_calls) < 2}

@@ -7,7 +7,7 @@
 //! 2. **Semantic** — normal-form equality and sound subsumption reasoning
 //!    (our substitute for the SPES solver, see DESIGN.md §3);
 //! 3. **Result** — executed result-set coverage through
-//!    [`CoverageStore`](simba_store::CoverageStore).
+//!    [`CoverageStore`].
 
 pub mod progress;
 

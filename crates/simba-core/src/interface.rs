@@ -160,7 +160,7 @@ impl InterfaceAction {
     }
 
     /// Apply to a live dashboard: rebuild the runtime (interaction graph and
-    /// all) against the same table. Existing [`DashboardState`]s are
+    /// all) against the same table. Existing `DashboardState`s are
     /// invalidated by design — an interface change re-renders the dashboard.
     pub fn rebuild(&self, dashboard: &Dashboard, table: &Table) -> Result<Dashboard, CoreError> {
         let next_spec = self.apply_to(dashboard.spec())?;

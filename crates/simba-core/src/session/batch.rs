@@ -4,7 +4,7 @@
 //! execution, so it cannot pre-generate work for load testing. This module
 //! walks the Markov interaction model *without* an engine, producing
 //! [`SessionScript`]s — fully materialized query sequences — that
-//! `simba-driver` replays concurrently against shared [`Dbms`] instances.
+//! `simba-driver` replays concurrently against shared `Dbms` instances.
 //! Scripts are deterministic in the batch seed, and a batch draws each
 //! user's model from a configurable mix, following Battle et al.'s
 //! observation that real deployments serve *heterogeneous* user

@@ -1,7 +1,7 @@
 //! Machine-readable session-log export.
 //!
 //! The paper's user study (§6.4) handed experts logs of interactions and
-//! their SQL; this module serializes [`SessionLog`](super::SessionLog)s to a
+//! their SQL; this module serializes [`SessionLog`]s to a
 //! stable JSON shape for the same purpose (and for harness post-processing).
 
 use super::{ModelChoice, SessionLog};

@@ -1,0 +1,352 @@
+//! Chunk-deterministic, morsel-parallel dataset generation.
+//!
+//! The paper's experiment grid runs every dataset at up to 10M rows, and a
+//! single-threaded row loop makes that tier the dominant wall-clock cost of
+//! every shootout. This module splits generation into fixed-size chunks of
+//! [`CHUNK_ROWS`] rows, each driven by an **independent** RNG derived as
+//!
+//! ```text
+//! chunk_rng(i) = ChaCha8Rng::seed_from_u64(master ^ splitmix64(i))
+//! ```
+//!
+//! so chunks can be generated on any number of worker threads, in any
+//! scheduling order, and the assembled table is *byte-identical* for a
+//! given `(dataset, rows, seed)` triple — the merge
+//! ([`simba_store::TableAssembler`]) consumes chunks strictly in index
+//! order, remapping dictionary codes and concatenating the zone maps each
+//! worker computed for its own rows. Zone maps therefore come out of
+//! generation already built; the first scan never pays the lazy build.
+//!
+//! The chunk size is part of the determinism contract: the same triple
+//! generated under a different `chunk_rows` yields *different* (equally
+//! valid) data, because rows map to different RNG streams. All public
+//! entry points use [`CHUNK_ROWS`]; tests exercise other sizes through
+//! [`generate_chunked`] directly.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use simba_store::{Schema, Table, TableAssembler, TableBuilder, TableChunk, MORSEL_ROWS};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Rows per generation chunk: 32 zone-map morsels. Large enough that
+/// per-chunk setup (RNG seeding, lookup-table construction) is noise,
+/// small enough that a 10M-row table yields ~150 chunks to parallelize
+/// over.
+pub const CHUNK_ROWS: usize = 32 * MORSEL_ROWS;
+
+/// SplitMix64 finalizer — the same bijective scrambler the session layer
+/// uses (`simba_core::session::batch::splitmix`), duplicated here because
+/// the dependency points the other way. Decorrelates the RNG streams of
+/// nearby chunk indices.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of chunk `chunk_index`'s RNG, derived from the (salted) master
+/// seed. This is the determinism contract's seed-derivation rule: plain
+/// XOR against a scrambled index keeps distinct masters distinct while
+/// giving every chunk a decorrelated stream.
+pub fn chunk_seed(master: u64, chunk_index: u64) -> u64 {
+    master ^ splitmix64(chunk_index)
+}
+
+/// Everything a chunk generator may condition on besides its private RNG.
+///
+/// Generators must derive each row purely from the RNG and this context —
+/// never from state carried across chunks — or chunk independence (and
+/// with it thread-count invariance) breaks.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkCtx {
+    /// Global index of the chunk's first row.
+    pub start: usize,
+    /// Rows in this chunk (`CHUNK_ROWS` except possibly the last chunk).
+    pub len: usize,
+    /// Total rows of the table being generated (for row-position effects
+    /// like route progression).
+    pub total_rows: usize,
+    /// The caller's unsalted master seed (for slow-varying state keyed on
+    /// the seed itself, e.g. MyRide's weather).
+    pub seed: u64,
+}
+
+/// Generate a table by filling fixed-size chunks on `threads` worker
+/// threads and merging them in chunk order.
+///
+/// * `seed` is the caller's master seed; `salt` is the per-dataset
+///   constant folded into it before chunk-seed derivation (so different
+///   datasets draw disjoint streams from one master seed).
+/// * `threads == 0` means one worker per available core.
+/// * `chunk_rows` must be a positive multiple of
+///   [`MORSEL_ROWS`] so each chunk's eagerly
+///   computed zone maps land on the table-wide morsel grid.
+/// * `fill` receives a chunk-private RNG already seeded by
+///   [`chunk_seed`], the chunk's [`ChunkCtx`], and a row builder holding
+///   exactly `ctx.len` rows' capacity; it must push exactly `ctx.len`
+///   rows.
+///
+/// The output is byte-identical for the same
+/// `(schema, rows, seed, salt, chunk_rows, fill)` at **any** thread
+/// count.
+pub fn generate_chunked<F>(
+    schema: Schema,
+    rows: usize,
+    seed: u64,
+    salt: u64,
+    threads: usize,
+    chunk_rows: usize,
+    fill: F,
+) -> Table
+where
+    F: Fn(&mut ChaCha8Rng, &ChunkCtx, &mut TableBuilder) + Sync,
+{
+    assert!(
+        chunk_rows > 0 && chunk_rows.is_multiple_of(MORSEL_ROWS),
+        "chunk_rows must be a positive multiple of MORSEL_ROWS"
+    );
+    let n_chunks = rows.div_ceil(chunk_rows);
+    let master = seed ^ salt;
+
+    let build_chunk = |index: usize| -> TableChunk {
+        let start = index * chunk_rows;
+        let ctx = ChunkCtx {
+            start,
+            len: chunk_rows.min(rows - start),
+            total_rows: rows,
+            seed,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(chunk_seed(master, index as u64));
+        let mut builder = TableBuilder::new(schema.clone(), ctx.len);
+        fill(&mut rng, &ctx, &mut builder);
+        assert_eq!(builder.len(), ctx.len, "fill pushed a wrong row count");
+        TableChunk::new(builder.finish_parts().1)
+    };
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    };
+    let workers = threads.min(n_chunks);
+
+    let mut assembler = TableAssembler::new(schema.clone(), rows);
+    if workers <= 1 {
+        for index in 0..n_chunks {
+            assembler.append_chunk(build_chunk(index));
+        }
+        return assembler.finish();
+    }
+
+    // Workers pull chunk indices from a shared counter and park finished
+    // chunks in their slot; the merge (cheap memcpy-scale work) runs on
+    // this thread, consuming slots strictly in index order as they fill.
+    // A worker may only *build* a chunk while it is within `window` of the
+    // merge frontier, so at most ~2×workers chunks are ever resident
+    // beyond the assembled table — without the backpressure, one slow
+    // worker on an early chunk would let the rest park the entire table
+    // in slots.
+    struct MergeState {
+        slots: Vec<Option<TableChunk>>,
+        /// Index one past the last chunk the merge has consumed.
+        merged: usize,
+        /// Set when either side dies, so the other fails fast instead of
+        /// waiting forever on a condition that can never become true.
+        aborted: bool,
+    }
+    let state = Mutex::new(MergeState {
+        slots: (0..n_chunks).map(|_| None).collect(),
+        merged: 0,
+        aborted: false,
+    });
+    let ready = Condvar::new();
+    let next = AtomicUsize::new(0);
+    let window = 2 * workers;
+
+    /// Flags the shared state on unwind; without this a panicking worker
+    /// would leave its claimed slot empty and deadlock the merge (or a
+    /// panicking merge would strand workers on the backpressure wait).
+    struct PanicSignal<'a> {
+        state: &'a Mutex<MergeState>,
+        ready: &'a Condvar,
+    }
+    impl Drop for PanicSignal<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                if let Ok(mut guard) = self.state.lock() {
+                    guard.aborted = true;
+                }
+                self.ready.notify_all();
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _signal = PanicSignal {
+                    state: &state,
+                    ready: &ready,
+                };
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n_chunks {
+                        break;
+                    }
+                    {
+                        // Backpressure: stay within `window` of the merge.
+                        let mut guard = state.lock().expect("merge thread panicked");
+                        while !guard.aborted && index >= guard.merged + window {
+                            guard = ready.wait(guard).expect("merge thread panicked");
+                        }
+                        if guard.aborted {
+                            break;
+                        }
+                    }
+                    let chunk = build_chunk(index);
+                    let mut guard = state.lock().expect("merge thread panicked");
+                    guard.slots[index] = Some(chunk);
+                    ready.notify_all();
+                }
+            });
+        }
+        let _signal = PanicSignal {
+            state: &state,
+            ready: &ready,
+        };
+        for index in 0..n_chunks {
+            let chunk = {
+                let mut guard = state.lock().expect("generator worker panicked");
+                loop {
+                    assert!(
+                        !guard.aborted,
+                        "a generation worker panicked; aborting the merge"
+                    );
+                    match guard.slots[index].take() {
+                        Some(chunk) => {
+                            guard.merged = index + 1;
+                            ready.notify_all();
+                            break chunk;
+                        }
+                        None => guard = ready.wait(guard).expect("generator worker panicked"),
+                    }
+                }
+            };
+            assembler.append_chunk(chunk);
+        }
+        assembler.finish()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_store::{ColumnDef, Value};
+
+    fn toy_schema() -> Schema {
+        Schema::new(
+            "toy",
+            vec![
+                ColumnDef::categorical("label"),
+                ColumnDef::quantitative_int("x"),
+            ],
+        )
+    }
+
+    fn toy_fill(rng: &mut ChaCha8Rng, ctx: &ChunkCtx, b: &mut TableBuilder) {
+        use rand::Rng;
+        for i in ctx.start..ctx.start + ctx.len {
+            b.push_row(vec![
+                Value::str(format!("l{}", rng.gen_range(0..5))),
+                Value::Int(i as i64 + rng.gen_range(0..100)),
+            ]);
+        }
+    }
+
+    fn toy_table(rows: usize, seed: u64, threads: usize, chunk_rows: usize) -> Table {
+        generate_chunked(
+            toy_schema(),
+            rows,
+            seed,
+            0x70_71,
+            threads,
+            chunk_rows,
+            toy_fill,
+        )
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bytes() {
+        let rows = 2 * MORSEL_ROWS + 17;
+        let reference = toy_table(rows, 9, 1, MORSEL_ROWS);
+        for threads in [2, 3, 8] {
+            assert!(
+                toy_table(rows, 9, threads, MORSEL_ROWS).bitwise_eq(&reference),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_and_chunk_sizes_are_part_of_the_contract() {
+        let rows = MORSEL_ROWS + 1;
+        let base = toy_table(rows, 1, 2, MORSEL_ROWS);
+        assert!(
+            !toy_table(rows, 2, 2, MORSEL_ROWS).bitwise_eq(&base),
+            "seed"
+        );
+        assert!(
+            !toy_table(rows, 1, 2, 2 * MORSEL_ROWS).bitwise_eq(&base),
+            "chunk size"
+        );
+    }
+
+    #[test]
+    fn zone_maps_come_out_eager() {
+        let t = toy_table(MORSEL_ROWS * 2, 3, 2, MORSEL_ROWS);
+        assert!(t.zone_maps_built());
+        assert_eq!(t.zone_maps().n_morsels(), 2);
+    }
+
+    #[test]
+    fn zero_rows_is_fine() {
+        let t = toy_table(0, 0, 4, CHUNK_ROWS);
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn chunk_seed_mixes_indices() {
+        // Nearby chunk indices must not produce nearby seeds.
+        let a = chunk_seed(0, 0);
+        let b = chunk_seed(0, 1);
+        assert_ne!(a ^ b, 1, "adjacent chunks differ by more than one bit");
+        assert_ne!(chunk_seed(1, 0), chunk_seed(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of MORSEL_ROWS")]
+    fn misaligned_chunk_rows_panics() {
+        toy_table(10, 0, 1, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_fails_fast_instead_of_deadlocking() {
+        // A generator that dies on a later chunk must abort the merge (the
+        // waiting-on-slot-1 path), not hang it.
+        generate_chunked(
+            toy_schema(),
+            4 * MORSEL_ROWS,
+            0,
+            0,
+            2,
+            MORSEL_ROWS,
+            |rng, ctx, b| {
+                assert!(ctx.start < MORSEL_ROWS, "boom: worker chunk failure");
+                toy_fill(rng, ctx, b);
+            },
+        );
+    }
+}

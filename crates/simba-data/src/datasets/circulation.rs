@@ -4,10 +4,15 @@
 //! this dashboard has only two visualizations with near-identical queries,
 //! which is why its query durations show almost no variance (§6.3).
 
+use crate::chunk::{generate_chunked, ChunkCtx, CHUNK_ROWS};
 use crate::util::{clamped_normal, epoch_at, weighted_pick, zipf_index};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+
+/// Per-dataset seed salt: distinct datasets draw disjoint RNG streams from
+/// one master seed.
+pub(crate) const SALT: u64 = 0xC1_8C;
 
 const BRANCHES: [&str; 8] = [
     "Central",
@@ -35,15 +40,17 @@ pub fn schema() -> Schema {
     )
 }
 
-/// Generate `rows` circulation events.
+/// Generate `rows` circulation events, chunk-parallel across all cores.
 pub fn generate(rows: usize, seed: u64) -> Table {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1_8C);
-    let mut b = TableBuilder::new(schema(), rows);
+    generate_chunked(schema(), rows, seed, SALT, 0, CHUNK_ROWS, fill_chunk)
+}
 
+/// Fill one generation chunk (see [`crate::chunk`] for the contract).
+pub(crate) fn fill_chunk(mut rng: &mut ChaCha8Rng, ctx: &ChunkCtx, b: &mut TableBuilder) {
     let branches: Vec<Value> = BRANCHES.iter().map(Value::str).collect();
     let event_types: Vec<Value> = EVENT_TYPES.iter().map(Value::str).collect();
 
-    for _ in 0..rows {
+    for _ in 0..ctx.len {
         let branch = zipf_index(&mut rng, BRANCHES.len(), 0.9);
         let event = *weighted_pick(&mut rng, &[0usize, 1, 2, 3], &[45.0, 15.0, 32.0, 8.0]);
         let day = rng.gen_range(0i64..365);
@@ -63,7 +70,6 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             Value::Int(epoch_at(day, rng.gen_range(8 * 3600..20 * 3600))),
         ]);
     }
-    b.finish()
 }
 
 #[cfg(test)]

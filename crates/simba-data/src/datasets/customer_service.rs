@@ -6,10 +6,15 @@
 //! queue (queue D is understaffed), reproducing the correlation the
 //! "Finding Correlations" goal template looks for.
 
+use crate::chunk::{generate_chunked, ChunkCtx, CHUNK_ROWS};
 use crate::util::{clamped_normal, diurnal_intensity, epoch_at, weighted_pick, zipf_index};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+
+/// Per-dataset seed salt: distinct datasets draw disjoint RNG streams from
+/// one master seed.
+pub(crate) const SALT: u64 = 0xC5_C5_C5;
 
 const QUEUES: [&str; 4] = ["A", "B", "C", "D"];
 const DIRECTIONS: [&str; 2] = ["incoming", "outgoing"];
@@ -45,11 +50,13 @@ pub fn schema() -> Schema {
     )
 }
 
-/// Generate `rows` call records.
+/// Generate `rows` call records, chunk-parallel across all cores.
 pub fn generate(rows: usize, seed: u64) -> Table {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC5_C5_C5);
-    let mut b = TableBuilder::new(schema(), rows);
+    generate_chunked(schema(), rows, seed, SALT, 0, CHUNK_ROWS, fill_chunk)
+}
 
+/// Fill one generation chunk (see [`crate::chunk`] for the contract).
+pub(crate) fn fill_chunk(mut rng: &mut ChaCha8Rng, ctx: &ChunkCtx, b: &mut TableBuilder) {
     let queues: Vec<Value> = QUEUES.iter().map(Value::str).collect();
     let reps: Vec<Value> = (0..N_REPS)
         .map(|i| Value::from(format!("rep_{i:02}")))
@@ -59,7 +66,7 @@ pub fn generate(rows: usize, seed: u64) -> Table {
     let resolutions: Vec<Value> = RESOLUTIONS.iter().map(Value::str).collect();
     let tiers: Vec<Value> = TIERS.iter().map(Value::str).collect();
 
-    for _ in 0..rows {
+    for _ in 0..ctx.len {
         // Business-hours-weighted hour of day.
         let hour = loop {
             let h = rng.gen_range(0i64..24);
@@ -132,7 +139,6 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             Value::Int(epoch_at(day, hour * 3600)),
         ]);
     }
-    b.finish()
 }
 
 #[cfg(test)]

@@ -5,10 +5,15 @@
 //! easy to spot (§6.4). Anomalies (latency spikes, saturated hosts) give the
 //! "in-depth examination of anomalies" workflow something real to find.
 
+use crate::chunk::{generate_chunked, ChunkCtx, CHUNK_ROWS};
 use crate::util::{clamped_normal, diurnal_intensity, epoch_at, weighted_pick, zipf_index};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+
+/// Per-dataset seed salt: distinct datasets draw disjoint RNG streams from
+/// one master seed.
+pub(crate) const SALT: u64 = 0x17_40;
 
 const DATACENTERS: [&str; 4] = ["us-east", "us-west", "eu-central", "ap-south"];
 const SERVICES: [&str; 10] = [
@@ -52,11 +57,13 @@ pub fn schema() -> Schema {
     )
 }
 
-/// Generate `rows` telemetry records.
+/// Generate `rows` telemetry records, chunk-parallel across all cores.
 pub fn generate(rows: usize, seed: u64) -> Table {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x17_40);
-    let mut b = TableBuilder::new(schema(), rows);
+    generate_chunked(schema(), rows, seed, SALT, 0, CHUNK_ROWS, fill_chunk)
+}
 
+/// Fill one generation chunk (see [`crate::chunk`] for the contract).
+pub(crate) fn fill_chunk(mut rng: &mut ChaCha8Rng, ctx: &ChunkCtx, b: &mut TableBuilder) {
     let hosts: Vec<Value> = (0..N_HOSTS)
         .map(|i| Value::from(format!("host-{i:03}")))
         .collect();
@@ -65,7 +72,7 @@ pub fn generate(rows: usize, seed: u64) -> Table {
     let severities: Vec<Value> = SEVERITIES.iter().map(Value::str).collect();
     let alerts: Vec<Value> = ALERT_TYPES.iter().map(Value::str).collect();
 
-    for _ in 0..rows {
+    for _ in 0..ctx.len {
         let host = rng.gen_range(0..N_HOSTS);
         let dc = host % DATACENTERS.len();
         let service = zipf_index(&mut rng, SERVICES.len(), 0.6);
@@ -109,7 +116,6 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             Value::Int(epoch_at(day, hour * 3600 + rng.gen_range(0..3600))),
         ]);
     }
-    b.finish()
 }
 
 #[cfg(test)]

@@ -19,16 +19,25 @@ pub mod my_ride;
 pub mod supply_chain;
 pub mod ubc_energy;
 
-use simba_store::{Schema, Table};
+use crate::chunk::{generate_chunked, ChunkCtx, CHUNK_ROWS};
+use rand_chacha::ChaCha8Rng;
+use simba_store::{Schema, Table, TableBuilder};
 
 /// Identifier for one of the six built-in dashboard datasets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DashboardDataset {
+    /// Circulation Activity by Library (strategic; 2Q, 2C).
     CirculationActivity,
+    /// Supply Chain / "Superstore" (strategic; 5Q, 18C).
     SupplyChain,
+    /// UBC Energy Map (strategic; 22Q, 4C).
     UbcEnergy,
+    /// MyRide cycling telemetry (quantified self; 10Q, 3C).
     MyRide,
+    /// IT Monitor system telemetry (operational; 3Q, 5C).
     ItMonitor,
+    /// Customer Service call center — the paper's running example
+    /// (operational; 10Q, 6C).
     CustomerService,
 }
 
@@ -86,15 +95,60 @@ impl DashboardDataset {
         }
     }
 
-    /// Generate `rows` rows deterministically from `seed`.
+    /// Generate `rows` rows deterministically from `seed`, chunk-parallel
+    /// across all available cores.
+    ///
+    /// The output is a pure function of `(self, rows, seed)` — see
+    /// [`generate_rows_with_threads`](Self::generate_rows_with_threads).
     pub fn generate_rows(self, rows: usize, seed: u64) -> Table {
+        self.generate_rows_with_threads(rows, seed, 0)
+    }
+
+    /// [`generate_rows`](Self::generate_rows) at an explicit generation
+    /// thread count (`0` = one worker per available core).
+    ///
+    /// The thread count only affects wall-clock time: the same
+    /// `(dataset, rows, seed)` triple yields a byte-identical [`Table`] at
+    /// any thread count, because every [`CHUNK_ROWS`]-row chunk draws from
+    /// an independent RNG derived as
+    /// [`chunk_seed`](crate::chunk::chunk_seed)`(seed ^ salt, chunk_index)`
+    /// and chunks are merged in index order.
+    pub fn generate_rows_with_threads(self, rows: usize, seed: u64, threads: usize) -> Table {
+        generate_chunked(
+            self.schema(),
+            rows,
+            seed,
+            self.chunk_salt(),
+            threads,
+            CHUNK_ROWS,
+            |rng, ctx, b| self.fill_chunk(rng, ctx, b),
+        )
+    }
+
+    /// The dataset's seed salt: folded into the master seed so the six
+    /// datasets draw disjoint RNG streams from one `SIMBA_SEED`.
+    pub fn chunk_salt(self) -> u64 {
         match self {
-            DashboardDataset::CirculationActivity => circulation::generate(rows, seed),
-            DashboardDataset::SupplyChain => supply_chain::generate(rows, seed),
-            DashboardDataset::UbcEnergy => ubc_energy::generate(rows, seed),
-            DashboardDataset::MyRide => my_ride::generate(rows, seed),
-            DashboardDataset::ItMonitor => it_monitor::generate(rows, seed),
-            DashboardDataset::CustomerService => customer_service::generate(rows, seed),
+            DashboardDataset::CirculationActivity => circulation::SALT,
+            DashboardDataset::SupplyChain => supply_chain::SALT,
+            DashboardDataset::UbcEnergy => ubc_energy::SALT,
+            DashboardDataset::MyRide => my_ride::SALT,
+            DashboardDataset::ItMonitor => it_monitor::SALT,
+            DashboardDataset::CustomerService => customer_service::SALT,
+        }
+    }
+
+    /// Fill one generation chunk of this dataset (the [`crate::chunk`]
+    /// contract: push exactly `ctx.len` rows derived only from `rng` and
+    /// `ctx`).
+    pub fn fill_chunk(self, rng: &mut ChaCha8Rng, ctx: &ChunkCtx, b: &mut TableBuilder) {
+        match self {
+            DashboardDataset::CirculationActivity => circulation::fill_chunk(rng, ctx, b),
+            DashboardDataset::SupplyChain => supply_chain::fill_chunk(rng, ctx, b),
+            DashboardDataset::UbcEnergy => ubc_energy::fill_chunk(rng, ctx, b),
+            DashboardDataset::MyRide => my_ride::fill_chunk(rng, ctx, b),
+            DashboardDataset::ItMonitor => it_monitor::fill_chunk(rng, ctx, b),
+            DashboardDataset::CustomerService => customer_service::fill_chunk(rng, ctx, b),
         }
     }
 }

@@ -5,10 +5,14 @@
 //! few categorical columns, making it incompatible with correlation-heavy
 //! workflows (§6.2.3) — the schema reproduces that property.
 
+use crate::chunk::{generate_chunked, ChunkCtx, CHUNK_ROWS};
 use crate::util::{clamped_normal, epoch_at, weighted_pick};
-use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+
+/// Per-dataset seed salt: distinct datasets draw disjoint RNG streams from
+/// one master seed.
+pub(crate) const SALT: u64 = 0x000D_E440;
 
 const SEGMENTS: [&str; 12] = [
     "lake_eola",
@@ -50,20 +54,28 @@ pub fn schema() -> Schema {
     )
 }
 
-/// Generate `rows` telemetry samples.
+/// Generate `rows` telemetry samples, chunk-parallel across all cores.
 pub fn generate(rows: usize, seed: u64) -> Table {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x000D_E440);
-    let mut b = TableBuilder::new(schema(), rows);
+    generate_chunked(schema(), rows, seed, SALT, 0, CHUNK_ROWS, fill_chunk)
+}
 
+/// Fill one generation chunk (see [`crate::chunk`] for the contract).
+///
+/// Row-position effects (route progression, distance, timestamps, the
+/// slowly shifting weather) derive from the *global* row index in
+/// [`ChunkCtx`], not from RNG state, so they are chunk-independent by
+/// construction.
+pub(crate) fn fill_chunk(mut rng: &mut ChaCha8Rng, ctx: &ChunkCtx, b: &mut TableBuilder) {
+    let rows = ctx.total_rows;
     let segments: Vec<Value> = SEGMENTS.iter().map(Value::str).collect();
     let terrain: Vec<Value> = TERRAIN.iter().map(Value::str).collect();
     let weather: Vec<Value> = WEATHER.iter().map(Value::str).collect();
 
-    for i in 0..rows {
+    for i in ctx.start..ctx.start + ctx.len {
         // Samples progress along the route: segment advances with the row.
         let seg = (i * SEGMENTS.len() / rows.max(1)).min(SEGMENTS.len() - 1);
-        let ter = *weighted_pick(&mut rng, &[0usize, 1, 2, 3], &[55.0, 25.0, 12.0, 8.0]);
-        let wea = (seed as usize + i / 5000) % WEATHER.len(); // weather shifts slowly
+        let ter = *weighted_pick(rng, &[0usize, 1, 2, 3], &[55.0, 25.0, 12.0, 8.0]);
+        let wea = (ctx.seed as usize + i / 5000) % WEATHER.len(); // weather shifts slowly
         let gradient: f64 = match ter {
             0 => clamped_normal(&mut rng, 0.0, 0.5, -1.0, 1.0),
             1 => clamped_normal(&mut rng, 1.0, 1.5, -3.0, 4.0),
@@ -104,7 +116,6 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             Value::Int(epoch_at(10, 7 * 3600 + i as i64)),
         ]);
     }
-    b.finish()
 }
 
 #[cfg(test)]

@@ -5,10 +5,15 @@
 //! widest filter surface of the six dashboards — the paper's Figure 7 shows
 //! it (as "Superstore") producing the slowest, highest-variance queries.
 
+use crate::chunk::{generate_chunked, ChunkCtx, CHUNK_ROWS};
 use crate::util::{clamped_normal, epoch_at, weighted_pick, zipf_index};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+
+/// Per-dataset seed salt: distinct datasets draw disjoint RNG streams from
+/// one master seed.
+pub(crate) const SALT: u64 = 0x5C_4A_11;
 
 const CATEGORIES: [&str; 6] = [
     "furniture",
@@ -62,11 +67,13 @@ pub fn schema() -> Schema {
     )
 }
 
-/// Generate `rows` order records.
+/// Generate `rows` order records, chunk-parallel across all cores.
 pub fn generate(rows: usize, seed: u64) -> Table {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5C_4A_11);
-    let mut b = TableBuilder::new(schema(), rows);
+    generate_chunked(schema(), rows, seed, SALT, 0, CHUNK_ROWS, fill_chunk)
+}
 
+/// Fill one generation chunk (see [`crate::chunk`] for the contract).
+pub(crate) fn fill_chunk(mut rng: &mut ChaCha8Rng, ctx: &ChunkCtx, b: &mut TableBuilder) {
     let categories: Vec<Value> = CATEGORIES.iter().map(Value::str).collect();
     let subcats: Vec<Value> = (0..CATEGORIES.len() * SUBCATS_PER_CAT)
         .map(|i| {
@@ -106,7 +113,7 @@ pub fn generate(rows: usize, seed: u64) -> Table {
     let channels: Vec<Value> = CHANNELS.iter().map(Value::str).collect();
     let packaging: Vec<Value> = PACKAGING.iter().map(Value::str).collect();
 
-    for _ in 0..rows {
+    for _ in 0..ctx.len {
         let cat = zipf_index(&mut rng, CATEGORIES.len(), 0.7);
         let sub = cat * SUBCATS_PER_CAT + rng.gen_range(0..SUBCATS_PER_CAT);
         let region = rng.gen_range(0..REGIONS.len());
@@ -168,7 +175,6 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             Value::Int(epoch_at(day, rng.gen_range(0..86_400))),
         ]);
     }
-    b.finish()
 }
 
 #[cfg(test)]

@@ -5,10 +5,15 @@
 //! widest measure surface of the six dashboards, exercising goal templates
 //! that enumerate aggregate attributes (Identification in Table 2).
 
+use crate::chunk::{generate_chunked, ChunkCtx, CHUNK_ROWS};
 use crate::util::{clamped_normal, diurnal_intensity, epoch_at, zipf_index};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use simba_store::{ColumnDef, Schema, Table, TableBuilder, Value};
+
+/// Per-dataset seed salt: distinct datasets draw disjoint RNG streams from
+/// one master seed.
+pub(crate) const SALT: u64 = 0x0B_CE;
 
 const BUILDING_TYPES: [&str; 8] = [
     "laboratory",
@@ -67,17 +72,19 @@ pub fn schema() -> Schema {
     )
 }
 
-/// Generate `rows` hourly meter readings.
+/// Generate `rows` hourly meter readings, chunk-parallel across all cores.
 pub fn generate(rows: usize, seed: u64) -> Table {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0B_CE);
-    let mut b = TableBuilder::new(schema(), rows);
+    generate_chunked(schema(), rows, seed, SALT, 0, CHUNK_ROWS, fill_chunk)
+}
 
+/// Fill one generation chunk (see [`crate::chunk`] for the contract).
+pub(crate) fn fill_chunk(mut rng: &mut ChaCha8Rng, ctx: &ChunkCtx, b: &mut TableBuilder) {
     let btypes: Vec<Value> = BUILDING_TYPES.iter().map(Value::str).collect();
     let etypes: Vec<Value> = ENERGY_TYPES.iter().map(Value::str).collect();
     let zones: Vec<Value> = ZONES.iter().map(Value::str).collect();
     let operators: Vec<Value> = OPERATORS.iter().map(Value::str).collect();
 
-    for _ in 0..rows {
+    for _ in 0..ctx.len {
         let bt = zipf_index(&mut rng, BUILDING_TYPES.len(), 0.5);
         let et = zipf_index(&mut rng, ENERGY_TYPES.len(), 0.8);
         let zone = rng.gen_range(0..ZONES.len());
@@ -159,7 +166,6 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             Value::Int(epoch_at(day, hour * 3600)),
         ]);
     }
-    b.finish()
 }
 
 #[cfg(test)]

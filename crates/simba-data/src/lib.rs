@@ -9,8 +9,15 @@
 //! temporal patterns, correlated measures).
 //!
 //! Everything is deterministic: the same `(dataset, size, seed)` triple
-//! always produces the same table.
+//! always produces the same table — at *any* generation thread count.
+//! Generation is chunked ([`chunk`]): every fixed-size chunk draws from an
+//! independent RNG derived from the master seed and the chunk index, so
+//! chunks parallelize across worker threads while the assembled bytes stay
+//! a pure function of the triple.
 
+#![warn(missing_docs)]
+
+pub mod chunk;
 pub mod datasets;
 pub mod sizes;
 pub mod util;

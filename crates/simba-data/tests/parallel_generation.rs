@@ -1,0 +1,124 @@
+//! Property test: parallel dataset generation is byte-identical to
+//! single-threaded generation.
+//!
+//! The chunk-deterministic contract (`simba_data::chunk`) claims the
+//! generated table is a pure function of `(dataset, rows, seed)` — thread
+//! count affects wall-clock only. This pins it with [`Table::bitwise_eq`]
+//! (raw buffers, float bit patterns, dictionary order, codes, validity):
+//! for every dataset, across thread counts 1/2/8, at row counts sitting
+//! exactly on, one past, and one short of chunk boundaries
+//! (`rows % chunk_rows ∈ {0, 1, chunk_rows − 1}`), where the dictionary
+//! merge and the ragged final chunk are most likely to betray an
+//! order-dependent bug.
+//!
+//! Most cases run at a reduced chunk size (one morsel) through
+//! `generate_chunked` so multiple chunks stay cheap; a pinned test crosses
+//! the real `CHUNK_ROWS` boundary through the public API.
+
+use proptest::prelude::*;
+use simba_data::chunk::{generate_chunked, CHUNK_ROWS};
+use simba_data::DashboardDataset;
+use simba_store::{Table, MORSEL_ROWS};
+
+/// Generate `dataset` at a test-scale chunk size (one morsel) so a few
+/// thousand rows span several chunks.
+fn small_chunked(dataset: DashboardDataset, rows: usize, seed: u64, threads: usize) -> Table {
+    generate_chunked(
+        dataset.schema(),
+        rows,
+        seed,
+        dataset.chunk_salt(),
+        threads,
+        MORSEL_ROWS,
+        |rng, ctx, b| dataset.fill_chunk(rng, ctx, b),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_generation_is_byte_identical(
+        dataset_idx in 0usize..6,
+        whole_chunks in 1usize..4,
+        boundary_offset in proptest::sample::select(vec![0usize, 1, MORSEL_ROWS - 1]),
+        seed in 0u64..1_000,
+    ) {
+        let dataset = DashboardDataset::ALL[dataset_idx];
+        let rows = whole_chunks * MORSEL_ROWS + boundary_offset;
+        let reference = small_chunked(dataset, rows, seed, 1);
+        prop_assert_eq!(reference.row_count(), rows);
+        for threads in [2, 8] {
+            let parallel = small_chunked(dataset, rows, seed, threads);
+            prop_assert!(
+                parallel.bitwise_eq(&reference),
+                "{} rows={} seed={} threads={} diverged from single-threaded",
+                dataset.table_name(), rows, seed, threads
+            );
+        }
+    }
+}
+
+/// The public API (`generate_rows*`, fixed `CHUNK_ROWS`) across a real
+/// chunk boundary: `rows % CHUNK_ROWS ∈ {0, 1}` around one chunk, at
+/// 1/2/8 threads plus the auto (all-cores) default. Two representative
+/// datasets keep this debug-build-affordable — the narrowest dictionary
+/// surface and the widest (18 categorical columns); the proptest above
+/// covers all six at a reduced chunk size.
+#[test]
+fn public_api_thread_invariance_at_real_chunk_boundary() {
+    for dataset in [
+        DashboardDataset::CirculationActivity,
+        DashboardDataset::SupplyChain,
+    ] {
+        for rows in [CHUNK_ROWS, CHUNK_ROWS + 1] {
+            let reference = dataset.generate_rows_with_threads(rows, 42, 1);
+            for threads in [2usize, 8] {
+                let parallel = dataset.generate_rows_with_threads(rows, 42, threads);
+                assert!(
+                    parallel.bitwise_eq(&reference),
+                    "{} rows={rows} threads={threads}",
+                    dataset.table_name()
+                );
+            }
+            assert!(
+                dataset.generate_rows(rows, 42).bitwise_eq(&reference),
+                "{} rows={rows} auto threads",
+                dataset.table_name()
+            );
+        }
+    }
+}
+
+/// The assembled zone maps equal what a lazy post-hoc build would compute.
+#[test]
+fn eager_zone_maps_match_lazy_rebuild() {
+    for dataset in DashboardDataset::ALL {
+        let rows = 2 * MORSEL_ROWS + 7;
+        let table = small_chunked(dataset, rows, 5, 4);
+        assert!(table.zone_maps_built(), "{}", dataset.table_name());
+        let eager = table.zone_maps();
+        let lazy = simba_store::ZoneMaps::build(
+            &(0..table.schema().width())
+                .map(|c| table.column(c).clone())
+                .collect::<Vec<_>>(),
+            rows,
+        );
+        assert_eq!(eager.n_morsels(), lazy.n_morsels());
+        for col in 0..table.schema().width() {
+            match (eager.column(col), lazy.column(col)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(
+                    a.zones(),
+                    b.zones(),
+                    "{} column {col}",
+                    dataset.table_name()
+                ),
+                _ => panic!(
+                    "{} column {col}: zone presence differs",
+                    dataset.table_name()
+                ),
+            }
+        }
+    }
+}

@@ -288,7 +288,7 @@ impl ShardedResultCache {
     ///
     /// Misses are **single-flight**: concurrent misses on one key elect a
     /// leader that executes the engine exactly once while the rest block on
-    /// its [`Flight`] — without this, every concurrent session redundantly
+    /// its `Flight` — without this, every concurrent session redundantly
     /// executes the same query, inflating engine load (and adaptive-mode
     /// latency) on popular keys.
     pub fn execute_cached(

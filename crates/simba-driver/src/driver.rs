@@ -8,7 +8,7 @@
 //!   [`SessionScript`]s: every interaction was fixed before the first query
 //!   ran, so the workload is engine-independent but can never react to
 //!   results.
-//! * **Adaptive** ([`AdaptiveSource`](simba_core::session::source::AdaptiveSource))
+//! * **Adaptive** ([`AdaptiveSource`])
 //!   — each worker runs a *live* Markov walk per user and steers on what
 //!   comes back: a filter that empties a chart gets undone, a dominant
 //!   category gets drilled into. This is the paper's adaptivity argument

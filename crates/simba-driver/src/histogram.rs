@@ -3,8 +3,8 @@
 //! Query latencies under load span six orders of magnitude (sub-µs cache
 //! hits to multi-ms scans), so fixed-width buckets either blur the head or
 //! truncate the tail. Buckets here grow geometrically: values below
-//! [`LINEAR_BUCKETS`] ns are exact, and every power-of-two octave above
-//! that is split into [`SUB_BUCKETS`] sub-buckets, bounding relative
+//! `LINEAR_BUCKETS` ns are exact, and every power-of-two octave above
+//! that is split into `SUB_BUCKETS` sub-buckets, bounding relative
 //! quantile error at 1/16 (~6%) while keeping the histogram a flat 976-slot
 //! array that is cheap to record into and to merge across worker threads.
 

@@ -10,7 +10,7 @@
 //!   [`Driver::execute`] runs it. Specs serialize to JSON, so scenarios are
 //!   data files; the built-in suites live in [`workload::registry`].
 //! * Session *content* comes from a
-//!   [`SessionSource`](simba_core::session::source::SessionSource):
+//!   [`SessionSource`]:
 //!   scripted replay of pre-synthesized Markov walks, live result-steered
 //!   adaptive sessions, or IDEBench-style stochastic storms
 //!   ([`simba_idebench::IdebenchSource`]) — all through the same
@@ -83,7 +83,10 @@ pub use histogram::LatencyHistogram;
 pub use report::{
     CacheReport, DriverReport, LatencySummary, RunReport, SteeringReport, ADHOC_SCENARIO,
 };
-pub use workload::registry::{all_scenarios, scenario, Scenario, ScenarioParams, SCENARIO_NAMES};
+pub use workload::datagen::{run_datagen_sweep, DatagenEntry, DatagenReport, DatagenSweep};
+pub use workload::registry::{
+    all_scenarios, scenario, Scenario, ScenarioBody, ScenarioParams, SCENARIO_NAMES,
+};
 pub use workload::{
     ArrivalSpec, CacheSpec, EngineSpec, ScenarioSpec, SourceSpec, TableCache, ThinkSpec,
     WorkloadError,

@@ -4,7 +4,7 @@
 //! driver run — dataset, scale, seed, engine (+ scan threads), session
 //! source (scripted / adaptive / idebench), pacing, cache, and worker
 //! count. [`Driver::execute`] resolves a spec into tables, dashboards,
-//! engines, and a [`SessionSource`], and runs it through the one concurrent
+//! engines, and a [`SessionSource`](crate::SessionSource), and runs it through the one concurrent
 //! loop ([`Driver::run_source`]). Everything that used to require a
 //! dedicated binary is now a data file:
 //!
@@ -32,11 +32,24 @@
 //! assert!(outcome.report.queries > 0);
 //! ```
 //!
-//! The [`registry`] holds the built-in scenario suites (`smoke`,
-//! `concurrent-shootout`, `adaptive-shootout`, `idebench`, `perf-report`)
-//! that the `simba-bench` CLI exposes as `bench --scenario <name>`; adding
-//! a new workload means writing a spec (or a suite-builder function) plus,
-//! at most, a new [`SessionSource`] impl — never a new binary.
+//! Scale can be named instead of counted: the `size` field takes a
+//! [`DatasetSize`] label from the paper's grid (Table 3) and overrides
+//! `rows`, so a spec file can say `"size": "10M"`:
+//!
+//! ```
+//! use simba_driver::workload::ScenarioSpec;
+//!
+//! let mut spec = ScenarioSpec::new("tiered", "supply_chain");
+//! spec.size = Some("10K".into());
+//! assert_eq!(spec.effective_rows().unwrap(), 10_000);
+//! ```
+//!
+//! The [`registry`] holds the built-in scenarios (`smoke`,
+//! `concurrent-shootout`, `adaptive-shootout`, `idebench`, `perf-report`,
+//! plus the [`datagen`] generation-throughput sweep `datagen-sweep`) that
+//! the `simba-bench` CLI exposes as `bench --scenario <name>`; adding a
+//! new workload means writing a spec (or a suite-builder function) plus,
+//! at most, a new [`SessionSource`](crate::SessionSource) impl — never a new binary.
 //!
 //! # Determinism
 //!
@@ -55,13 +68,14 @@ use simba_core::session::adaptive::AdaptivePolicy;
 use simba_core::session::batch::{synthesize_scripts, BatchConfig};
 use simba_core::session::source::{AdaptiveSource, AdaptiveWalkConfig, ScriptedSource};
 use simba_core::spec::builtin::builtin;
-use simba_data::DashboardDataset;
+use simba_data::{DashboardDataset, DatasetSize};
 use simba_engine::EngineKind;
 use simba_idebench::{ActionProbs, IdebenchSource};
 use simba_store::Table;
 use std::sync::Arc;
 use std::time::Duration;
 
+pub mod datagen;
 pub mod registry;
 
 /// Everything wrong a spec can be before a single query runs.
@@ -227,7 +241,7 @@ impl From<&ArrivalSpec> for Arrival {
 }
 
 /// Shared result cache configuration (mirrors
-/// [`CacheConfig`](crate::cache::CacheConfig) in serializable form).
+/// [`CacheConfig`] in serializable form).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheSpec {
     pub shards: usize,
@@ -262,8 +276,13 @@ pub struct ScenarioSpec {
     pub name: String,
     /// Builtin dataset table name (e.g. `"customer_service"`).
     pub dataset: String,
-    /// Rows to generate.
+    /// Rows to generate. Ignored when [`size`](Self::size) is set.
     pub rows: usize,
+    /// Optional [`DatasetSize`] label (`"10K"`, `"100K"`, `"1M"`, `"10M"`)
+    /// naming the paper's grid tiers; when set it overrides `rows`, so
+    /// scenario files can say `"size": "10M"` instead of a raw count.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub size: Option<String>,
     /// Master seed: dataset generation, walks, and pacing all derive from
     /// this one value.
     pub seed: u64,
@@ -292,6 +311,7 @@ impl ScenarioSpec {
             name: name.into(),
             dataset: dataset.into(),
             rows: 10_000,
+            size: None,
             seed: 0,
             sessions: 4,
             steps_per_session: 8,
@@ -323,7 +343,7 @@ impl ScenarioSpec {
         if self.sessions == 0 {
             return Err(WorkloadError::InvalidSpec("sessions must be > 0".into()));
         }
-        if self.rows == 0 {
+        if self.effective_rows()? == 0 {
             return Err(WorkloadError::InvalidSpec("rows must be > 0".into()));
         }
         if let ArrivalSpec::Open { rate_per_sec } = self.arrival {
@@ -371,10 +391,28 @@ impl ScenarioSpec {
             .ok_or_else(|| WorkloadError::UnknownDataset(self.dataset.clone()))
     }
 
+    /// The row count this spec resolves to: the [`size`](Self::size)
+    /// label's tier when set, `rows` otherwise. Errors on an unknown
+    /// label.
+    pub fn effective_rows(&self) -> Result<usize, WorkloadError> {
+        match &self.size {
+            None => Ok(self.rows),
+            Some(label) => DatasetSize::from_label(label)
+                .map(DatasetSize::row_count)
+                .ok_or_else(|| {
+                    WorkloadError::InvalidSpec(format!(
+                        "unknown dataset size label `{label}` (expected 10K/100K/1M/10M)"
+                    ))
+                }),
+        }
+    }
+
     /// Generate the dataset table this spec runs over.
     pub fn build_table(&self) -> Result<Arc<Table>, WorkloadError> {
         let ds = self.resolve_dataset()?;
-        Ok(Arc::new(ds.generate_rows(self.rows, self.seed)))
+        Ok(Arc::new(
+            ds.generate_rows(self.effective_rows()?, self.seed),
+        ))
     }
 }
 
@@ -421,9 +459,11 @@ impl TableCache {
         TableCache::default()
     }
 
-    /// The table for `spec`, generated on first use.
+    /// The table for `spec`, generated on first use. Keys resolve through
+    /// [`ScenarioSpec::effective_rows`], so a spec saying `"size": "1M"`
+    /// and one saying `"rows": 1000000` share a single generation.
     pub fn get(&mut self, spec: &ScenarioSpec) -> Result<Arc<Table>, WorkloadError> {
-        let key = (spec.dataset.clone(), spec.rows, spec.seed);
+        let key = (spec.dataset.clone(), spec.effective_rows()?, spec.seed);
         if let Some((_, table)) = self.entries.iter().find(|(k, _)| *k == key) {
             return Ok(table.clone());
         }
@@ -596,6 +636,44 @@ mod tests {
             remove_filter: 0.0,
         };
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn size_label_overrides_rows_and_round_trips() {
+        let mut spec = ScenarioSpec::new("sized", "customer_service");
+        spec.rows = 77; // ignored once a size label is set
+        spec.size = Some("10K".into());
+        assert_eq!(spec.effective_rows().unwrap(), 10_000);
+        spec.validate().unwrap();
+
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+
+        // Old spec files (no `size` field) keep parsing, with rows wins.
+        let mut legacy = spec.clone();
+        legacy.size = None;
+        let json = legacy.to_json();
+        assert!(!json.contains("\"size\""), "None size is omitted");
+        let parsed = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(parsed.effective_rows().unwrap(), 77);
+
+        let mut bad = spec;
+        bad.size = Some("2G".into());
+        assert!(bad.effective_rows().is_err());
+        assert!(matches!(bad.validate(), Err(WorkloadError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn table_cache_keys_on_effective_rows() {
+        let mut by_label = ScenarioSpec::new("a", "customer_service");
+        by_label.size = Some("10K".into());
+        let mut by_rows = ScenarioSpec::new("b", "customer_service");
+        by_rows.rows = 10_000;
+
+        let mut cache = TableCache::new();
+        let t1 = cache.get(&by_label).unwrap();
+        let t2 = cache.get(&by_rows).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2), "label and raw rows share one table");
     }
 
     #[test]

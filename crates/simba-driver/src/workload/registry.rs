@@ -8,6 +8,7 @@
 //! with `bench --scenario <name> --dump`, edit the JSON, and run the edited
 //! file with `bench --spec <file>`.
 
+use super::datagen::DatagenSweep;
 use super::{ArrivalSpec, CacheSpec, EngineSpec, ScenarioSpec, SourceSpec, ThinkSpec};
 use simba_engine::EngineKind;
 
@@ -26,6 +27,9 @@ pub struct ScenarioParams {
     pub workers: usize,
     /// Fixed think time between interactions, in milliseconds (`0` = none).
     pub think_ms: u64,
+    /// `DatasetSize` labels for size-tier sweeps (`datagen-sweep`); empty
+    /// = the paper grid (100K / 1M / 10M).
+    pub sizes: Vec<String>,
 }
 
 impl Default for ScenarioParams {
@@ -37,6 +41,7 @@ impl Default for ScenarioParams {
             steps: 8,
             workers: 0,
             think_ms: 0,
+            sizes: Vec::new(),
         }
     }
 }
@@ -69,58 +74,87 @@ impl ScenarioParams {
     }
 }
 
-/// One named suite: what it is, and the specs it expands to.
+/// What a named scenario executes.
+#[derive(Debug, Clone)]
+pub enum ScenarioBody {
+    /// A suite of [`ScenarioSpec`]s run through `Driver::execute`.
+    Suite(Vec<ScenarioSpec>),
+    /// A dataset-generation throughput sweep (no queries run).
+    Datagen(DatagenSweep),
+}
+
+/// One named scenario: what it is, and what it executes.
 #[derive(Debug, Clone)]
 pub struct Scenario {
+    /// Registry name (`bench --scenario <name>`).
     pub name: &'static str,
+    /// One-line description shown by `bench --list`.
     pub description: &'static str,
-    pub specs: Vec<ScenarioSpec>,
+    /// What the scenario executes.
+    pub body: ScenarioBody,
+}
+
+impl Scenario {
+    /// The driver specs of a [`ScenarioBody::Suite`] scenario (empty for
+    /// a datagen sweep).
+    pub fn specs(&self) -> &[ScenarioSpec] {
+        match &self.body {
+            ScenarioBody::Suite(specs) => specs,
+            ScenarioBody::Datagen(_) => &[],
+        }
+    }
 }
 
 /// Names of every built-in scenario, in presentation order.
-pub const SCENARIO_NAMES: [&str; 5] = [
+pub const SCENARIO_NAMES: [&str; 6] = [
     "smoke",
     "concurrent-shootout",
     "adaptive-shootout",
     "idebench",
     "perf-report",
+    "datagen-sweep",
 ];
 
 /// Expand a built-in scenario by name (case-insensitive), or `None` if
 /// unknown.
 pub fn scenario(name: &str, params: &ScenarioParams) -> Option<Scenario> {
-    let (name, description, specs) = match name.to_ascii_lowercase().as_str() {
+    let (name, description, body) = match name.to_ascii_lowercase().as_str() {
         "smoke" => (
             "smoke",
             "every engine x every session mode, one small run each (CI gate)",
-            smoke(params),
+            ScenarioBody::Suite(smoke(params)),
         ),
         "concurrent-shootout" => (
             "concurrent-shootout",
             "scripted replay: users sweep x engines x cache on/off",
-            concurrent_shootout(params),
+            ScenarioBody::Suite(concurrent_shootout(params)),
         ),
         "adaptive-shootout" => (
             "adaptive-shootout",
             "scripted vs adaptive sessions: users sweep x engines x cache on/off",
-            adaptive_shootout(params),
+            ScenarioBody::Suite(adaptive_shootout(params)),
         ),
         "idebench" => (
             "idebench",
             "IDEBench-style stochastic storms: users sweep x engines",
-            idebench(params),
+            ScenarioBody::Suite(idebench(params)),
         ),
         "perf-report" => (
             "perf-report",
             "engine latency profile: every engine sequential + duckdb-like parallel scans",
-            perf_report(params),
+            ScenarioBody::Suite(perf_report(params)),
+        ),
+        "datagen-sweep" => (
+            "datagen-sweep",
+            "dataset-generation throughput: datasets x size tiers x 1/N threads",
+            ScenarioBody::Datagen(datagen_sweep(params)),
         ),
         _ => return None,
     };
     Some(Scenario {
         name,
         description,
-        specs,
+        body,
     })
 }
 
@@ -223,6 +257,15 @@ fn perf_report(params: &ScenarioParams) -> Vec<ScenarioSpec> {
     specs
 }
 
+fn datagen_sweep(params: &ScenarioParams) -> DatagenSweep {
+    DatagenSweep {
+        datasets: Vec::new(),
+        sizes: params.sizes.clone(),
+        threads: Vec::new(),
+        seed: params.seed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,15 +281,43 @@ mod tests {
         for name in SCENARIO_NAMES {
             let sc = scenario(name, &params).expect(name);
             assert_eq!(sc.name, name);
-            assert!(!sc.specs.is_empty(), "{name} expanded to nothing");
-            for spec in &sc.specs {
-                spec.validate()
-                    .unwrap_or_else(|e| panic!("{name}: invalid spec: {e}"));
-                assert_eq!(spec.name, name);
+            match &sc.body {
+                ScenarioBody::Suite(specs) => {
+                    assert!(!specs.is_empty(), "{name} expanded to nothing");
+                    for spec in specs {
+                        spec.validate()
+                            .unwrap_or_else(|e| panic!("{name}: invalid spec: {e}"));
+                        assert_eq!(spec.name, name);
+                    }
+                }
+                ScenarioBody::Datagen(sweep) => {
+                    sweep
+                        .validate()
+                        .unwrap_or_else(|e| panic!("{name}: invalid sweep: {e}"));
+                    assert!(sc.specs().is_empty());
+                }
             }
         }
         assert!(scenario("no-such-scenario", &params).is_none());
         assert_eq!(all_scenarios(&params).len(), SCENARIO_NAMES.len());
+    }
+
+    #[test]
+    fn datagen_sweep_inherits_params() {
+        let params = ScenarioParams {
+            seed: 9,
+            sizes: vec!["10K".into(), "100K".into()],
+            ..Default::default()
+        };
+        let sc = scenario("datagen-sweep", &params).unwrap();
+        match sc.body {
+            ScenarioBody::Datagen(sweep) => {
+                assert_eq!(sweep.seed, 9);
+                assert_eq!(sweep.sizes, vec!["10K", "100K"]);
+                assert!(sweep.datasets.is_empty(), "all datasets by default");
+            }
+            ScenarioBody::Suite(_) => panic!("datagen-sweep is not a suite"),
+        }
     }
 
     #[test]
@@ -257,11 +328,11 @@ mod tests {
         };
         let sc = scenario("adaptive-shootout", &params).unwrap();
         // 1 user count x 4 engines x 2 cache states x 2 modes.
-        assert_eq!(sc.specs.len(), 16);
-        assert!(sc.specs.iter().any(|s| s.cache.is_some()));
-        assert!(sc.specs.iter().any(|s| s.cache.is_none()));
+        assert_eq!(sc.specs().len(), 16);
+        assert!(sc.specs().iter().any(|s| s.cache.is_some()));
+        assert!(sc.specs().iter().any(|s| s.cache.is_none()));
         let engines: std::collections::HashSet<&str> =
-            sc.specs.iter().map(|s| s.engine.kind.as_str()).collect();
+            sc.specs().iter().map(|s| s.engine.kind.as_str()).collect();
         assert_eq!(engines.len(), 4);
     }
 
@@ -269,18 +340,18 @@ mod tests {
     fn smoke_is_case_insensitive_and_fingerprinted() {
         let params = ScenarioParams::default();
         let sc = scenario("SMOKE", &params).unwrap();
-        assert_eq!(sc.specs.len(), 12, "4 engines x 3 session modes");
-        assert!(sc.specs.iter().all(|s| s.collect_fingerprints));
+        assert_eq!(sc.specs().len(), 12, "4 engines x 3 session modes");
+        assert!(sc.specs().iter().all(|s| s.collect_fingerprints));
     }
 
     #[test]
     fn perf_report_includes_parallel_scans() {
         let sc = scenario("perf-report", &ScenarioParams::default()).unwrap();
-        assert_eq!(sc.specs.len(), 5);
+        assert_eq!(sc.specs().len(), 5);
         assert!(sc
-            .specs
+            .specs()
             .iter()
             .any(|s| s.engine.kind == "duckdb-like" && s.engine.scan_threads != 1));
-        assert!(sc.specs.iter().all(|s| s.sessions == 1));
+        assert!(sc.specs().iter().all(|s| s.sessions == 1));
     }
 }

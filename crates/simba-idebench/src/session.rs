@@ -7,7 +7,7 @@
 //! query. There is no goal model and no termination condition other than the
 //! configured interaction count.
 //!
-//! Query generation lives in [`IdeBenchWalk`](crate::walk::IdeBenchWalk);
+//! Query generation lives in [`IdeBenchWalk`];
 //! this module executes the walk against one engine and records a log. To
 //! run IDEBench sessions concurrently through the workload driver instead,
 //! use [`IdebenchSource`](crate::IdebenchSource).

@@ -120,7 +120,7 @@ impl NormalizedSelect {
 
 /// Cache key for a query's *results*: the semantic normal form plus the
 /// output shape (the ordered, aliased projection list). Two queries share a
-/// key iff a cached [`ResultSet`](simba_store) for one can be returned
+/// key iff a cached `ResultSet` for one can be returned
 /// verbatim for the other — same rows in the same columns under the same
 /// names. Spelling noise (case, whitespace, conjunct order, folded
 /// constants) still collapses; projection reordering, duplication, or

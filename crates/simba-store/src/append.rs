@@ -1,0 +1,522 @@
+//! Chunk-append table assembly for parallel dataset generation.
+//!
+//! Generators that produce a table as a sequence of fixed-size chunks (see
+//! `simba_data::chunk`) need the opposite of [`TableBuilder`]'s row-at-a-time
+//! interface: bulk append of whole column fragments, with dictionary codes
+//! remapped into one global dictionary and per-chunk zone maps concatenated
+//! into the table-wide [`ZoneMaps`]. That is what [`TableAssembler`] does.
+//!
+//! The merge is a pure function of the chunk *sequence*: workers may build
+//! chunks on any thread in any order, but as long as the assembler receives
+//! them in chunk-index order the finished table is bit-for-bit identical —
+//! including dictionary order, which follows first appearance across the
+//! concatenated row stream exactly as a single [`TableBuilder`] over the
+//! same rows would produce.
+//!
+//! Zone maps are built *eagerly* here: each [`TableChunk`] computes the
+//! min/max zones of its own rows (on the worker thread, in parallel), and
+//! [`TableAssembler::finish`] installs the concatenated maps into the
+//! table, so the first scan never pays the lazy build.
+//!
+//! [`TableBuilder`]: crate::table::TableBuilder
+
+use crate::column::ColumnData;
+use crate::schema::{DataType, Schema};
+use crate::table::Table;
+use crate::zonemap::{morsel_count, ColumnZones, Zone, ZoneMaps, MORSEL_ROWS};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One generated fragment of a table: column data for a contiguous row
+/// range, plus the zone maps of those rows (computed at construction, i.e.
+/// on the generating worker's thread).
+#[derive(Debug)]
+pub struct TableChunk {
+    columns: Vec<ColumnData>,
+    zones: ZoneMaps,
+    rows: usize,
+}
+
+impl TableChunk {
+    /// Package generated column fragments, computing their zone maps.
+    ///
+    /// # Panics
+    /// Panics if the columns disagree on row count.
+    pub fn new(columns: Vec<ColumnData>) -> TableChunk {
+        let rows = columns.first().map_or(0, ColumnData::len);
+        for col in &columns {
+            assert_eq!(col.len(), rows, "chunk columns disagree on row count");
+        }
+        let zones = ZoneMaps::build(&columns, rows);
+        TableChunk {
+            columns,
+            zones,
+            rows,
+        }
+    }
+
+    /// Number of rows in this chunk.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// Assembles a [`Table`] from [`TableChunk`]s appended in chunk order.
+///
+/// Every chunk except the last must span a whole number of
+/// [`MORSEL_ROWS`]-row morsels, so each chunk's locally computed zones land
+/// exactly on the table-wide morsel grid; appending another chunk after a
+/// ragged one panics.
+#[derive(Debug)]
+pub struct TableAssembler {
+    schema: Schema,
+    columns: Vec<ColumnAppender>,
+    /// Concatenated per-morsel zones per column (`None` = no statistics for
+    /// this column type).
+    zones: Vec<Option<Vec<Zone>>>,
+    rows: usize,
+    /// Set once a chunk ends off a morsel boundary: it must be the last.
+    ragged: bool,
+}
+
+impl TableAssembler {
+    /// Start assembling a table with the given schema, pre-sizing column
+    /// buffers for `capacity` rows.
+    pub fn new(schema: Schema, capacity: usize) -> TableAssembler {
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| ColumnAppender::new(c.data_type, capacity))
+            .collect();
+        let zones = schema
+            .columns
+            .iter()
+            .map(|c| match c.data_type {
+                DataType::Int | DataType::Float => Some(Vec::with_capacity(morsel_count(capacity))),
+                DataType::Str | DataType::Bool => None,
+            })
+            .collect();
+        TableAssembler {
+            schema,
+            columns,
+            zones,
+            rows: 0,
+            ragged: false,
+        }
+    }
+
+    /// Append the next chunk. Chunks must arrive in chunk-index order for
+    /// the assembled table to be deterministic.
+    ///
+    /// # Panics
+    /// Panics if the chunk's width or column types mismatch the schema, or
+    /// if a previous chunk ended off a morsel boundary.
+    pub fn append_chunk(&mut self, chunk: TableChunk) {
+        assert!(
+            !self.ragged,
+            "only the final chunk may end off a morsel boundary"
+        );
+        assert_eq!(
+            chunk.columns.len(),
+            self.columns.len(),
+            "chunk width mismatch"
+        );
+        for (idx, col) in chunk.columns.into_iter().enumerate() {
+            if let Some(zones) = &mut self.zones[idx] {
+                zones.extend(
+                    chunk
+                        .zones
+                        .column(idx)
+                        .expect("numeric columns carry zones")
+                        .zones(),
+                );
+            }
+            self.columns[idx].append(col);
+        }
+        self.rows += chunk.rows;
+        if !chunk.rows.is_multiple_of(MORSEL_ROWS) {
+            self.ragged = true;
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Finish assembly: seal the columns and install the eagerly built zone
+    /// maps into the table.
+    pub fn finish(self) -> Table {
+        let columns: Vec<ColumnData> = self
+            .columns
+            .into_iter()
+            .map(ColumnAppender::finish)
+            .collect();
+        let zone_maps = ZoneMaps::from_column_zones(
+            morsel_count(self.rows),
+            self.zones
+                .into_iter()
+                .map(|z| z.map(ColumnZones::new))
+                .collect(),
+        );
+        Table::from_columns_with_zone_maps(self.schema, columns, zone_maps)
+    }
+}
+
+/// Bulk-append builder for one column: the chunk-wise dual of
+/// [`ColumnBuilder`](crate::column::ColumnBuilder).
+#[derive(Debug)]
+enum ColumnAppender {
+    Int {
+        data: Vec<i64>,
+        valid: Vec<bool>,
+        any_null: bool,
+    },
+    Float {
+        data: Vec<f64>,
+        valid: Vec<bool>,
+        any_null: bool,
+    },
+    Bool {
+        data: Vec<bool>,
+        valid: Vec<bool>,
+        any_null: bool,
+    },
+    Str {
+        dict: Vec<Arc<str>>,
+        lookup: HashMap<Arc<str>, u32>,
+        codes: Vec<u32>,
+        valid: Vec<bool>,
+        any_null: bool,
+    },
+}
+
+/// Fold one chunk's validity into the accumulated validity, preserving the
+/// "empty = all valid" compression: the accumulated vector stays empty
+/// until the first NULL arrives, at which point history is materialized.
+fn append_validity(
+    valid: &mut Vec<bool>,
+    any_null: &mut bool,
+    rows_before: usize,
+    src: &[bool],
+    src_rows: usize,
+) {
+    let src_has_null = src.iter().any(|v| !v);
+    if src_has_null {
+        if !*any_null {
+            valid.resize(rows_before, true);
+            *any_null = true;
+        }
+        valid.extend_from_slice(src);
+    } else if *any_null {
+        valid.resize(valid.len() + src_rows, true);
+    }
+}
+
+impl ColumnAppender {
+    fn new(data_type: DataType, capacity: usize) -> ColumnAppender {
+        match data_type {
+            DataType::Int => ColumnAppender::Int {
+                data: Vec::with_capacity(capacity),
+                valid: Vec::new(),
+                any_null: false,
+            },
+            DataType::Float => ColumnAppender::Float {
+                data: Vec::with_capacity(capacity),
+                valid: Vec::new(),
+                any_null: false,
+            },
+            DataType::Bool => ColumnAppender::Bool {
+                data: Vec::with_capacity(capacity),
+                valid: Vec::new(),
+                any_null: false,
+            },
+            DataType::Str => ColumnAppender::Str {
+                dict: Vec::new(),
+                lookup: HashMap::new(),
+                codes: Vec::with_capacity(capacity),
+                valid: Vec::new(),
+                any_null: false,
+            },
+        }
+    }
+
+    fn append(&mut self, chunk: ColumnData) {
+        match (self, chunk) {
+            (
+                ColumnAppender::Int {
+                    data,
+                    valid,
+                    any_null,
+                },
+                ColumnData::Int {
+                    data: src,
+                    valid: src_valid,
+                },
+            ) => {
+                append_validity(valid, any_null, data.len(), &src_valid, src.len());
+                data.extend_from_slice(&src);
+            }
+            (
+                ColumnAppender::Float {
+                    data,
+                    valid,
+                    any_null,
+                },
+                ColumnData::Float {
+                    data: src,
+                    valid: src_valid,
+                },
+            ) => {
+                append_validity(valid, any_null, data.len(), &src_valid, src.len());
+                data.extend_from_slice(&src);
+            }
+            (
+                ColumnAppender::Bool {
+                    data,
+                    valid,
+                    any_null,
+                },
+                ColumnData::Bool {
+                    data: src,
+                    valid: src_valid,
+                },
+            ) => {
+                append_validity(valid, any_null, data.len(), &src_valid, src.len());
+                data.extend_from_slice(&src);
+            }
+            (
+                ColumnAppender::Str {
+                    dict,
+                    lookup,
+                    codes,
+                    valid,
+                    any_null,
+                },
+                ColumnData::Str {
+                    dict: src_dict,
+                    codes: src_codes,
+                    valid: src_valid,
+                },
+            ) => {
+                // Remap the chunk's dictionary into the global one. Chunk
+                // dictionaries are in first-appearance order, so inserting
+                // them in order reproduces the dictionary a single
+                // row-at-a-time builder would have produced over the
+                // concatenated stream.
+                let map: Vec<u32> = src_dict
+                    .iter()
+                    .map(|s| match lookup.get(s) {
+                        Some(&code) => code,
+                        None => {
+                            let code = dict.len() as u32;
+                            dict.push(s.clone());
+                            lookup.insert(s.clone(), code);
+                            code
+                        }
+                    })
+                    .collect();
+                append_validity(valid, any_null, codes.len(), &src_valid, src_codes.len());
+                if src_valid.is_empty() {
+                    codes.extend(src_codes.iter().map(|&c| map[c as usize]));
+                } else {
+                    // NULL slots carry a meaningless local code; normalize
+                    // them to global code 0, matching ColumnBuilder.
+                    codes.extend(src_codes.iter().zip(&src_valid).map(|(&c, &ok)| {
+                        if ok {
+                            map[c as usize]
+                        } else {
+                            0
+                        }
+                    }));
+                }
+            }
+            (appender, chunk) => {
+                panic!("chunk type mismatch appending {chunk:?} into {appender:?}")
+            }
+        }
+    }
+
+    fn finish(self) -> ColumnData {
+        fn seal(valid: Vec<bool>, any_null: bool) -> Vec<bool> {
+            if any_null {
+                valid
+            } else {
+                Vec::new()
+            }
+        }
+        match self {
+            ColumnAppender::Int {
+                data,
+                valid,
+                any_null,
+            } => ColumnData::Int {
+                data,
+                valid: seal(valid, any_null),
+            },
+            ColumnAppender::Float {
+                data,
+                valid,
+                any_null,
+            } => ColumnData::Float {
+                data,
+                valid: seal(valid, any_null),
+            },
+            ColumnAppender::Bool {
+                data,
+                valid,
+                any_null,
+            } => ColumnData::Bool {
+                data,
+                valid: seal(valid, any_null),
+            },
+            ColumnAppender::Str {
+                dict,
+                codes,
+                valid,
+                any_null,
+                ..
+            } => ColumnData::Str {
+                dict,
+                codes,
+                valid: seal(valid, any_null),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+    use crate::zonemap::MORSEL_ROWS;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                ColumnDef::categorical("q"),
+                ColumnDef::quantitative_int("n"),
+                ColumnDef::quantitative_float("f"),
+            ],
+        )
+    }
+
+    /// Build one chunk of `rows` rows starting at global row `start`, with a
+    /// NULL every 7th global row and chunk-local dictionary order.
+    fn chunk(start: usize, rows: usize) -> TableChunk {
+        let mut b = TableBuilder::new(schema(), rows);
+        for i in start..start + rows {
+            let q = Value::str(format!("q{}", (i / 3) % 5));
+            let n = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i as i64)
+            };
+            b.push_row(vec![q, n, Value::Float(i as f64 * 0.5)]);
+        }
+        let (_, columns) = b.finish_parts();
+        TableChunk::new(columns)
+    }
+
+    /// The same rows built by one row-at-a-time builder.
+    fn monolithic(rows: usize) -> Table {
+        let mut b = TableBuilder::new(schema(), rows);
+        for i in 0..rows {
+            let q = Value::str(format!("q{}", (i / 3) % 5));
+            let n = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i as i64)
+            };
+            b.push_row(vec![q, n, Value::Float(i as f64 * 0.5)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn chunked_assembly_matches_monolithic_build() {
+        let total = 2 * MORSEL_ROWS + 100;
+        let mut asm = TableAssembler::new(schema(), total);
+        asm.append_chunk(chunk(0, MORSEL_ROWS));
+        asm.append_chunk(chunk(MORSEL_ROWS, MORSEL_ROWS));
+        asm.append_chunk(chunk(2 * MORSEL_ROWS, 100));
+        let table = asm.finish();
+        assert!(table.bitwise_eq(&monolithic(total)));
+    }
+
+    #[test]
+    fn assembled_zone_maps_are_eager_and_match_lazy_build() {
+        let total = MORSEL_ROWS + 50;
+        let mut asm = TableAssembler::new(schema(), total);
+        asm.append_chunk(chunk(0, MORSEL_ROWS));
+        asm.append_chunk(chunk(MORSEL_ROWS, 50));
+        let table = asm.finish();
+        assert!(table.zone_maps_built(), "zone maps must be eager");
+
+        let lazy = monolithic(total);
+        assert!(!lazy.zone_maps_built());
+        let (a, b) = (table.zone_maps(), lazy.zone_maps());
+        assert_eq!(a.n_morsels(), b.n_morsels());
+        for col in 0..3 {
+            match (a.column(col), b.column(col)) {
+                (None, None) => {}
+                (Some(x), Some(y)) => assert_eq!(x.zones(), y.zones(), "column {col}"),
+                _ => panic!("zone presence differs on column {col}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_follows_first_appearance_across_chunks() {
+        let mut asm = TableAssembler::new(
+            Schema::new("d", vec![ColumnDef::categorical("c")]),
+            2 * MORSEL_ROWS,
+        );
+        let mk = |labels: &[&str]| {
+            let mut b = TableBuilder::new(Schema::new("d", vec![ColumnDef::categorical("c")]), 0);
+            for l in labels.iter().cycle().take(MORSEL_ROWS) {
+                b.push_row(vec![Value::str(l)]);
+            }
+            TableChunk::new(b.finish_parts().1)
+        };
+        asm.append_chunk(mk(&["b", "a"]));
+        asm.append_chunk(mk(&["c", "a", "b"]));
+        let table = asm.finish();
+        let dict = table.column(0).dictionary().unwrap();
+        let names: Vec<&str> = dict.iter().map(|s| s.as_ref()).collect();
+        assert_eq!(names, ["b", "a", "c"]);
+    }
+
+    #[test]
+    fn all_null_string_chunk_normalizes_codes() {
+        let schema = Schema::new("s", vec![ColumnDef::categorical("c")]);
+        let mut b = TableBuilder::new(schema.clone(), MORSEL_ROWS);
+        for _ in 0..MORSEL_ROWS {
+            b.push_row(vec![Value::Null]);
+        }
+        let mut asm = TableAssembler::new(schema, MORSEL_ROWS + 1);
+        asm.append_chunk(TableChunk::new(b.finish_parts().1));
+        let table = asm.finish();
+        assert!(table.column(0).is_null(0));
+        assert_eq!(table.value(MORSEL_ROWS - 1, 0), Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "morsel boundary")]
+    fn ragged_chunk_must_be_last() {
+        let mut asm = TableAssembler::new(schema(), 200);
+        asm.append_chunk(chunk(0, 100));
+        asm.append_chunk(chunk(100, 100));
+    }
+
+    #[test]
+    fn empty_assembly_yields_empty_table() {
+        let table = TableAssembler::new(schema(), 0).finish();
+        assert_eq!(table.row_count(), 0);
+        assert!(table.zone_maps_built());
+        assert_eq!(table.zone_maps().n_morsels(), 0);
+    }
+}

@@ -13,21 +13,35 @@ use std::sync::Arc;
 /// "all valid" (the common case allocates nothing).
 #[derive(Debug, Clone)]
 pub enum ColumnData {
+    /// 64-bit integer column (also backs temporal columns, as epoch
+    /// seconds).
     Int {
+        /// Row values; NULL slots hold `0`.
         data: Vec<i64>,
+        /// Validity bitmap; empty means "all valid".
         valid: Vec<bool>,
     },
+    /// 64-bit float column.
     Float {
+        /// Row values; NULL slots hold `0.0`.
         data: Vec<f64>,
+        /// Validity bitmap; empty means "all valid".
         valid: Vec<bool>,
     },
+    /// Boolean column.
     Bool {
+        /// Row values; NULL slots hold `false`.
         data: Vec<bool>,
+        /// Validity bitmap; empty means "all valid".
         valid: Vec<bool>,
     },
+    /// Dictionary-encoded string column.
     Str {
+        /// Distinct strings in first-appearance order.
         dict: Vec<Arc<str>>,
+        /// Per-row index into `dict`; NULL slots hold code `0`.
         codes: Vec<u32>,
+        /// Validity bitmap; empty means "all valid".
         valid: Vec<bool>,
     },
 }
@@ -175,6 +189,43 @@ impl ColumnData {
         Some((min?, max?))
     }
 
+    /// Physical, bit-for-bit equality: identical variant, identical raw
+    /// buffers (floats by bit pattern), identical dictionary *order*, and
+    /// identical validity representation (an empty validity vector is only
+    /// equal to another empty one). The determinism tests use this — value
+    /// equality would hide dictionary-order or representation drift.
+    pub fn bitwise_eq(&self, other: &ColumnData) -> bool {
+        match (self, other) {
+            (ColumnData::Int { data: a, valid: va }, ColumnData::Int { data: b, valid: vb }) => {
+                a == b && va == vb
+            }
+            (
+                ColumnData::Float { data: a, valid: va },
+                ColumnData::Float { data: b, valid: vb },
+            ) => {
+                va == vb
+                    && a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (ColumnData::Bool { data: a, valid: va }, ColumnData::Bool { data: b, valid: vb }) => {
+                a == b && va == vb
+            }
+            (
+                ColumnData::Str {
+                    dict: da,
+                    codes: ca,
+                    valid: va,
+                },
+                ColumnData::Str {
+                    dict: db,
+                    codes: cb,
+                    valid: vb,
+                },
+            ) => da == db && ca == cb && va == vb,
+            _ => false,
+        }
+    }
+
     /// Approximate heap size in bytes (for capacity planning in benches).
     pub fn byte_size(&self) -> usize {
         match self {
@@ -194,26 +245,44 @@ impl ColumnData {
 /// panics (generators are trusted code — schema validation happens upstream).
 #[derive(Debug)]
 pub enum ColumnBuilder {
+    /// Builds an [`ColumnData::Int`] column.
     Int {
+        /// Values pushed so far (NULLs as `0`).
         data: Vec<i64>,
+        /// Per-row validity (dropped at finish when nothing was NULL).
         valid: Vec<bool>,
+        /// Whether any NULL has been pushed.
         any_null: bool,
     },
+    /// Builds a [`ColumnData::Float`] column.
     Float {
+        /// Values pushed so far (NULLs as `0.0`).
         data: Vec<f64>,
+        /// Per-row validity (dropped at finish when nothing was NULL).
         valid: Vec<bool>,
+        /// Whether any NULL has been pushed.
         any_null: bool,
     },
+    /// Builds a [`ColumnData::Bool`] column.
     Bool {
+        /// Values pushed so far (NULLs as `false`).
         data: Vec<bool>,
+        /// Per-row validity (dropped at finish when nothing was NULL).
         valid: Vec<bool>,
+        /// Whether any NULL has been pushed.
         any_null: bool,
     },
+    /// Builds a dictionary-encoded [`ColumnData::Str`] column.
     Str {
+        /// Distinct strings in first-appearance order.
         dict: Vec<Arc<str>>,
+        /// Reverse index from string to dictionary code.
         lookup: HashMap<Arc<str>, u32>,
+        /// Per-row dictionary codes (NULLs as code `0`).
         codes: Vec<u32>,
+        /// Per-row validity (dropped at finish when nothing was NULL).
         valid: Vec<bool>,
+        /// Whether any NULL has been pushed.
         any_null: bool,
     },
 }

@@ -6,14 +6,19 @@
 //! * [`value`] — the dynamic [`Value`] type shared by all engines.
 //! * [`schema`] — logical schemas with the paper's column taxonomy
 //!   (Categorical / Quantitative / Temporal).
-//! * [`column`] — dictionary-encoded columnar storage.
+//! * [`mod@column`] — dictionary-encoded columnar storage.
 //! * [`table`] — the in-memory table (columnar layout with row views, so
 //!   both row-oriented and column-oriented engines share one copy).
 //! * [`result`] — query [`ResultSet`]s with the multiset/subsumption/overlap
 //!   operations the equivalence suite (§4.1.2) is built on.
 //! * [`zonemap`] — per-morsel min/max statistics that let vectorized scans
 //!   skip row ranges a comparison predicate cannot match.
+//! * [`append`] — chunk-append assembly for morsel-parallel dataset
+//!   generation (bulk column append, dictionary remap, eager zone maps).
 
+#![warn(missing_docs)]
+
+pub mod append;
 pub mod column;
 pub mod result;
 pub mod schema;
@@ -21,6 +26,7 @@ pub mod table;
 pub mod value;
 pub mod zonemap;
 
+pub use append::{TableAssembler, TableChunk};
 pub use column::{ColumnBuilder, ColumnData};
 pub use result::{CoverageStore, ResultSet};
 pub use schema::{ColumnDef, ColumnRole, DataType, Schema};

@@ -15,7 +15,9 @@ use std::collections::HashMap;
 /// unordered unless the producing query had an `ORDER BY`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResultSet {
+    /// Output column names, in projection order.
     pub columns: Vec<String>,
+    /// Row-major values; every row has `columns.len()` entries.
     pub rows: Vec<Vec<Value>>,
 }
 

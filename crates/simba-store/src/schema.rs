@@ -9,9 +9,13 @@ use crate::value::Value;
 /// Physical storage type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
+    /// 64-bit integer.
     Int,
+    /// 64-bit float.
     Float,
+    /// Dictionary-encoded string.
     Str,
+    /// Boolean.
     Bool,
 }
 
@@ -41,12 +45,16 @@ impl ColumnRole {
 /// One column of a schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
+    /// Column name (unique within a schema, matched case-insensitively).
     pub name: String,
+    /// Physical storage type.
     pub data_type: DataType,
+    /// Analytic role (Table 2 of the paper).
     pub role: ColumnRole,
 }
 
 impl ColumnDef {
+    /// Column definition from its parts.
     pub fn new(name: impl Into<String>, data_type: DataType, role: ColumnRole) -> Self {
         Self {
             name: name.into(),
@@ -91,11 +99,14 @@ impl ColumnDef {
 /// A table schema: name plus ordered column definitions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
+    /// SQL table name.
     pub table: String,
+    /// Ordered column definitions.
     pub columns: Vec<ColumnDef>,
 }
 
 impl Schema {
+    /// Schema from a table name and ordered columns.
     pub fn new(table: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
         Self {
             table: table.into(),

@@ -42,11 +42,45 @@ impl Table {
         }
     }
 
+    /// Assemble a table with zone maps that were already computed during
+    /// generation (the eager path of chunked generation). The pre-built
+    /// maps are installed into the cache, so the lazy build never runs.
+    ///
+    /// # Panics
+    /// Panics on column/row-count mismatches (as
+    /// [`from_columns`](Self::from_columns)) or when `zone_maps` covers a
+    /// different morsel count than the data.
+    pub fn from_columns_with_zone_maps(
+        schema: Schema,
+        columns: Vec<ColumnData>,
+        zone_maps: ZoneMaps,
+    ) -> Self {
+        let table = Self::from_columns(schema, columns);
+        assert_eq!(
+            zone_maps.n_morsels(),
+            crate::zonemap::morsel_count(table.row_count),
+            "zone maps cover a different morsel count than the table"
+        );
+        table
+            .zone_maps
+            .set(Arc::new(zone_maps))
+            .expect("fresh table has no cached zone maps");
+        table
+    }
+
     /// Per-morsel zone maps for this table, built lazily on first access
-    /// and cached for the table's lifetime.
+    /// and cached for the table's lifetime. Tables assembled by
+    /// [`from_columns_with_zone_maps`](Self::from_columns_with_zone_maps)
+    /// return their eagerly built maps without recomputation.
     pub fn zone_maps(&self) -> &ZoneMaps {
         self.zone_maps
             .get_or_init(|| Arc::new(ZoneMaps::build(&self.columns, self.row_count)))
+    }
+
+    /// True when the zone maps are already materialized (eagerly at
+    /// assembly, or by an earlier [`zone_maps`](Self::zone_maps) call).
+    pub fn zone_maps_built(&self) -> bool {
+        self.zone_maps.get().is_some()
     }
 
     /// The table's schema.
@@ -93,6 +127,21 @@ impl Table {
     /// Total approximate heap size in bytes.
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(ColumnData::byte_size).sum()
+    }
+
+    /// Physical, bit-for-bit equality: same schema, and every column equal
+    /// under [`ColumnData::bitwise_eq`] (float bit patterns, dictionary
+    /// order, codes, and validity all included). This is the relation the
+    /// chunk-deterministic generation contract promises across thread
+    /// counts — strictly stronger than value-level equality.
+    pub fn bitwise_eq(&self, other: &Table) -> bool {
+        self.schema == other.schema
+            && self.row_count == other.row_count
+            && self
+                .columns
+                .iter()
+                .zip(&other.columns)
+                .all(|(a, b)| a.bitwise_eq(b))
     }
 }
 
@@ -146,12 +195,21 @@ impl TableBuilder {
 
     /// Finish building the table.
     pub fn finish(self) -> Table {
+        let (schema, columns) = self.finish_parts();
+        Table::from_columns(schema, columns)
+    }
+
+    /// Finish building, returning the raw parts instead of a [`Table`].
+    /// Chunk generators use this to hand column fragments to a
+    /// [`TableAssembler`](crate::append::TableAssembler) without paying for
+    /// an intermediate table.
+    pub fn finish_parts(self) -> (Schema, Vec<ColumnData>) {
         let columns = self
             .builders
             .into_iter()
             .map(ColumnBuilder::finish)
             .collect();
-        Table::from_columns(self.schema, columns)
+        (self.schema, columns)
     }
 }
 

@@ -11,10 +11,15 @@ use std::sync::Arc;
 /// temporal.
 #[derive(Debug, Clone)]
 pub enum Value {
+    /// SQL NULL.
     Null,
+    /// Boolean.
     Bool(bool),
+    /// 64-bit integer (also temporal epoch seconds).
     Int(i64),
+    /// 64-bit float.
     Float(f64),
+    /// Interned string.
     Str(Arc<str>),
 }
 

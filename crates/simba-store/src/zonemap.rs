@@ -28,9 +28,20 @@ pub fn morsel_bounds(m: usize, rows: usize) -> (usize, usize) {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Zone {
     /// Int column morsel with at least one valid row.
-    Int { min: i64, max: i64 },
-    /// Float column morsel with at least one valid row.
-    Float { min: f64, max: f64 },
+    Int {
+        /// Smallest valid value in the morsel.
+        min: i64,
+        /// Largest valid value in the morsel.
+        max: i64,
+    },
+    /// Float column morsel with at least one valid row (extrema under
+    /// `total_cmp`).
+    Float {
+        /// Smallest valid value in the morsel.
+        min: f64,
+        /// Largest valid value in the morsel.
+        max: f64,
+    },
     /// Every row in the morsel is NULL: no comparison can match.
     AllNull,
 }
@@ -42,9 +53,19 @@ pub struct ColumnZones {
 }
 
 impl ColumnZones {
+    /// Wrap a per-morsel zone vector (index = morsel number).
+    pub fn new(zones: Vec<Zone>) -> ColumnZones {
+        ColumnZones { zones }
+    }
+
     /// Zone of morsel `m`.
     pub fn zone(&self, m: usize) -> Zone {
         self.zones[m]
+    }
+
+    /// All zones, indexed by morsel.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
     }
 
     /// Number of morsels covered.
@@ -82,6 +103,20 @@ impl ZoneMaps {
                 ColumnData::Bool { .. } | ColumnData::Str { .. } => None,
             })
             .collect();
+        ZoneMaps { n_morsels, columns }
+    }
+
+    /// Assemble zone maps from pre-computed per-column zones — the eager
+    /// path used by chunked generation, where each worker computes the
+    /// zones of its own chunk and the assembler concatenates them.
+    ///
+    /// # Panics
+    /// Panics if any `Some` column covers a number of morsels other than
+    /// `n_morsels`.
+    pub fn from_column_zones(n_morsels: usize, columns: Vec<Option<ColumnZones>>) -> ZoneMaps {
+        for col in columns.iter().flatten() {
+            assert_eq!(col.len(), n_morsels, "column zone count mismatch");
+        }
         ZoneMaps { n_morsels, columns }
     }
 
