@@ -13,7 +13,8 @@
 //! environment variables are ignored.
 
 use simba_bench::scenario_cli::{
-    emit_datagen_json, emit_json, params_from_env, run_datagen, run_specs,
+    emit_datagen_json, emit_json, enable_tracing, metrics_from_env, params_from_env,
+    resolve_trace_out, run_datagen, run_specs, write_trace,
 };
 use simba_driver::{
     all_scenarios, scenario, DatagenSweep, ScenarioBody, ScenarioParams, ScenarioSpec,
@@ -25,6 +26,8 @@ struct Args {
     engine: Option<String>,
     list: bool,
     dump: bool,
+    trace_out: Option<String>,
+    metrics: bool,
     overrides: Vec<(String, String)>,
 }
 
@@ -40,6 +43,8 @@ fn parse_args() -> Args {
         engine: None,
         list: false,
         dump: false,
+        trace_out: None,
+        metrics: false,
         overrides: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -59,6 +64,8 @@ fn parse_args() -> Args {
             "--engine" => args.engine = Some(value_for("--engine")),
             "--list" => args.list = true,
             "--dump" => args.dump = true,
+            "--trace-out" => args.trace_out = Some(value_for("--trace-out")),
+            "--metrics" => args.metrics = true,
             "--rows" | "--seed" | "--users" | "--steps" | "--workers" | "--think-ms"
             | "--sizes" => {
                 let value = value_for(&flag);
@@ -321,6 +328,12 @@ fn main() {
         }
     }
 
+    if args.metrics || metrics_from_env() {
+        for spec in &mut specs {
+            spec.collect_metrics = true;
+        }
+    }
+
     if args.dump {
         println!(
             "{}",
@@ -329,8 +342,19 @@ fn main() {
         return;
     }
 
+    let trace_out = resolve_trace_out(args.trace_out.clone());
+    if trace_out.is_some() {
+        enable_tracing();
+    }
+
     println!("{banner}");
-    match run_specs(&specs) {
+    let outcome = run_specs(&specs);
+    // Write whatever spans were collected even when a late spec fails, so
+    // a partial trace is still there to debug the failure with.
+    if let Some(path) = &trace_out {
+        write_trace(path);
+    }
+    match outcome {
         Ok(reports) => emit_json(&reports),
         Err(e) => {
             eprintln!("error: {e}");

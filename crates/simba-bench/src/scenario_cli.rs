@@ -77,10 +77,20 @@ pub fn params_from_env(defaults: ScenarioParams) -> ScenarioParams {
     }
 }
 
+/// Compact count for the summary table: `999`, `12.3K`, `4.5M`, `1.2B`.
+fn compact_count(n: u64) -> String {
+    match n {
+        0..=999 => n.to_string(),
+        1_000..=999_999 => format!("{:.1}K", n as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}M", n as f64 / 1e6),
+        _ => format!("{:.1}B", n as f64 / 1e9),
+    }
+}
+
 /// Header for [`print_row`].
 pub fn print_header() {
     println!(
-        "{:<14} {:>9} {:>6} {:>6} {:>4} {:>8} {:>10} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "{:<14} {:>9} {:>6} {:>6} {:>4} {:>8} {:>10} {:>9} {:>9} {:>8} {:>7} {:>7} {:>6} {:>6}",
         "engine",
         "source",
         "users",
@@ -90,6 +100,8 @@ pub fn print_header() {
         "qps",
         "p50 ms",
         "p99 ms",
+        "scanned",
+        "pruned",
         "hit%",
         "btrk",
         "drill"
@@ -99,7 +111,7 @@ pub fn print_header() {
 /// One aligned table row per executed spec.
 pub fn print_row(report: &RunReport, cached: bool) {
     println!(
-        "{:<14} {:>9} {:>6} {:>6} {:>4} {:>8} {:>10.0} {:>9.3} {:>9.3} {:>7} {:>6} {:>6}",
+        "{:<14} {:>9} {:>6} {:>6} {:>4} {:>8} {:>10.0} {:>9.3} {:>9.3} {:>8} {:>7} {:>7} {:>6} {:>6}",
         report.engine,
         report.session_mode,
         report.sessions,
@@ -109,6 +121,8 @@ pub fn print_row(report: &RunReport, cached: bool) {
         report.throughput_qps,
         report.latency.p50_us / 1_000.0,
         report.latency.p99_us / 1_000.0,
+        compact_count(report.exec.rows_scanned),
+        compact_count(report.exec.morsels_pruned),
         report
             .cache
             .as_ref()
@@ -179,6 +193,52 @@ pub fn run_datagen(sweep: &DatagenSweep) -> Result<DatagenReport, String> {
     .map_err(|e| e.to_string())
 }
 
+/// Resolve the Chrome-trace output path: an explicit `--trace-out` flag
+/// wins over the `SIMBA_TRACE_OUT` environment variable.
+pub fn resolve_trace_out(flag: Option<String>) -> Option<String> {
+    flag.or_else(|| {
+        std::env::var("SIMBA_TRACE_OUT")
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
+}
+
+/// Whether `SIMBA_METRICS` asks for a metrics snapshot (any value but
+/// `"0"` or empty counts as on).
+pub fn metrics_from_env() -> bool {
+    std::env::var("SIMBA_METRICS")
+        .ok()
+        .is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Arm span collection for the rest of the process. `SIMBA_TRACE_SAMPLE`
+/// (`"8"` or `"1/8"`; `"0"` disables) sets root-span sampling first so no
+/// unsampled root sneaks in.
+pub fn enable_tracing() {
+    if let Ok(s) = std::env::var("SIMBA_TRACE_SAMPLE") {
+        match simba_obs::trace::parse_sample(&s) {
+            Some(n) => simba_obs::trace::set_sample_every(n),
+            None => {
+                eprintln!("invalid SIMBA_TRACE_SAMPLE `{s}` (want \"N\", \"1/N\", or \"0\")");
+                std::process::exit(2);
+            }
+        }
+    }
+    simba_obs::trace::set_enabled(true);
+}
+
+/// Drain every span collected so far and write them as one Chrome
+/// `trace_event` JSON file (load in `chrome://tracing` or Perfetto).
+pub fn write_trace(path: &str) {
+    let events = simba_obs::trace::take_events();
+    let json = simba_obs::trace::export_chrome_trace(&events);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write trace to {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} spans to {path}", events.len());
+}
+
 /// Write pretty JSON to the `SIMBA_JSON_OUT` file, or print it to stdout
 /// when unset.
 fn emit_json_payload(json: &str, what: &str) {
@@ -215,10 +275,26 @@ pub fn run_named_scenario(name: &str, defaults: ScenarioParams) {
         "{name} — {} (rows {}, seed {}, users {:?}, {} steps/session)\n",
         scenario.description, params.rows, params.seed, params.users, params.steps
     );
+    // Alias bins honor the same observability env knobs as `bench`.
+    let trace_out = resolve_trace_out(None);
+    if trace_out.is_some() {
+        enable_tracing();
+    }
     let outcome = match &scenario.body {
-        ScenarioBody::Suite(specs) => run_specs(specs).map(|reports| emit_json(&reports)),
+        ScenarioBody::Suite(specs) => {
+            let mut specs = specs.clone();
+            if metrics_from_env() {
+                for spec in &mut specs {
+                    spec.collect_metrics = true;
+                }
+            }
+            run_specs(&specs).map(|reports| emit_json(&reports))
+        }
         ScenarioBody::Datagen(sweep) => run_datagen(sweep).map(|report| emit_datagen_json(&report)),
     };
+    if let Some(path) = &trace_out {
+        write_trace(path);
+    }
     if let Err(e) = outcome {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -111,6 +111,8 @@ where
     let master = seed ^ salt;
 
     let build_chunk = |index: usize| -> TableChunk {
+        let _p = simba_obs::phase!("data.chunk", "data", "data.phase.chunk");
+        simba_obs::counter!("data.chunks").add(1);
         let start = index * chunk_rows;
         let ctx = ChunkCtx {
             start,
@@ -134,6 +136,7 @@ where
 
     let mut assembler = TableAssembler::new(schema.clone(), rows);
     if workers <= 1 {
+        let _p = simba_obs::phase!("data.assemble", "data", "data.phase.assemble");
         for index in 0..n_chunks {
             assembler.append_chunk(build_chunk(index));
         }
@@ -216,6 +219,9 @@ where
             state: &state,
             ready: &ready,
         };
+        // Spans the whole in-order merge, including waits on the frontier
+        // chunk — stall time here means a slow worker, not slow appends.
+        let _p = simba_obs::phase!("data.assemble", "data", "data.phase.assemble");
         for index in 0..n_chunks {
             let chunk = {
                 let mut guard = state.lock().expect("generator worker panicked");

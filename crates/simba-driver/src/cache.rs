@@ -296,14 +296,17 @@ impl ShardedResultCache {
         engine: &dyn Dbms,
         query: &Select,
     ) -> Result<(Arc<CachedResult>, Duration, bool), EngineError> {
+        let _span = simba_obs::trace::span("cache.execute", "cache");
         // Key construction (AST normalization + printing) is the dominant
         // cost of a hit — time it, or cache-on latency reports understate
         // the real per-query cost.
         let start = Instant::now();
+        let lookup_phase = simba_obs::phase!("cache.lookup", "cache", "cache.phase.lookup");
         let key = query_cache_key(query);
         if let Some(value) = self.lookup(&key) {
             return Ok((value, start.elapsed(), true));
         }
+        drop(lookup_phase);
         // Miss (counted). Join an in-flight execution of this key, or
         // become its leader.
         let inflight = &self.inflight[self.shard_index(&key)];
@@ -326,7 +329,10 @@ impl ShardedResultCache {
         if let Some(flight) = flight {
             // Follower: wait for the leader's verdict.
             self.coalesced.fetch_add(1, Ordering::Relaxed);
-            let value = flight.wait()?;
+            let value = {
+                let _p = simba_obs::phase!("cache.wait", "cache", "cache.phase.wait");
+                flight.wait()?
+            };
             return Ok((value, start.elapsed(), true));
         }
         // Leader: run the engine, publish to cache + followers, then retire

@@ -36,7 +36,9 @@
 
 use crate::cache::{CacheConfig, CachedResult, ShardedResultCache};
 use crate::histogram::LatencyHistogram;
-use crate::report::{CacheReport, LatencySummary, RunReport, SteeringReport, ADHOC_SCENARIO};
+use crate::report::{
+    CacheReport, ExecReport, LatencySummary, RunReport, SteeringReport, ADHOC_SCENARIO,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simba_core::dashboard::Dashboard;
@@ -107,6 +109,10 @@ pub struct DriverConfig {
     pub cache: Option<CacheConfig>,
     /// Record a per-query result fingerprint (used by equivalence tests).
     pub collect_fingerprints: bool,
+    /// Enable the global metrics registry for the duration of the run and
+    /// attach a run-scoped [`MetricsSnapshot`](simba_obs::MetricsSnapshot)
+    /// (plus the derived phase breakdown) to the report.
+    pub collect_metrics: bool,
 }
 
 impl Default for DriverConfig {
@@ -118,6 +124,7 @@ impl Default for DriverConfig {
             seed: 0,
             cache: None,
             collect_fingerprints: false,
+            collect_metrics: false,
         }
     }
 }
@@ -201,12 +208,44 @@ impl SteeringCounters {
     }
 }
 
+/// Totals of engine-reported [`ExecStats`](simba_engine::ExecStats),
+/// accumulated over fresh executions only — a cache hit or coalesced wait
+/// must not re-count the work its leader already did.
+#[derive(Debug, Default, Clone)]
+struct ExecCounters {
+    rows_scanned: u64,
+    rows_matched: u64,
+    groups: u64,
+    morsels_pruned: u64,
+}
+
+impl ExecCounters {
+    fn add(&mut self, stats: &simba_engine::ExecStats) {
+        self.rows_scanned += stats.rows_scanned as u64;
+        self.rows_matched += stats.rows_matched as u64;
+        self.groups += stats.groups as u64;
+        self.morsels_pruned += stats.morsels_pruned as u64;
+    }
+
+    fn merge(&mut self, other: &ExecCounters) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_matched += other.rows_matched;
+        self.groups += other.groups;
+        self.morsels_pruned += other.morsels_pruned;
+    }
+}
+
 struct WorkerOutcome {
     latency: LatencyHistogram,
     queue_delay: LatencyHistogram,
+    /// Open-loop only: service latency plus, for a session's first query,
+    /// the delay past the session's scheduled arrival (the
+    /// coordinated-omission-corrected view of what a user would wait).
+    response: LatencyHistogram,
     interactions: u64,
     queries: u64,
     errors: u64,
+    exec: ExecCounters,
     fingerprints: Vec<(usize, Vec<u64>)>,
     actions: Vec<(usize, Vec<String>)>,
     steering: SteeringCounters,
@@ -217,9 +256,11 @@ impl WorkerOutcome {
         WorkerOutcome {
             latency: LatencyHistogram::new(),
             queue_delay: LatencyHistogram::new(),
+            response: LatencyHistogram::new(),
             interactions: 0,
             queries: 0,
             errors: 0,
+            exec: ExecCounters::default(),
             fingerprints: Vec::new(),
             actions: Vec::new(),
             steering: SteeringCounters::default(),
@@ -281,6 +322,16 @@ impl Driver {
         let workers = self.resolve_workers(sessions);
         let cache = self.build_cache();
         let arrivals = self.arrival_offsets(sessions);
+        // Metric recording is scoped to the run: a capture at the start
+        // lets the report carry only what this run itself recorded.
+        let metrics_scope = self
+            .config
+            .collect_metrics
+            .then(simba_obs::metrics::MetricsScope::enter);
+        let metrics_before = self
+            .config
+            .collect_metrics
+            .then(simba_obs::metrics::capture);
         let next = AtomicUsize::new(0);
         let start = Instant::now();
         let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
@@ -301,7 +352,21 @@ impl Driver {
                 .collect()
         });
         let wall = start.elapsed();
-        self.finish(engine.as_ref(), source, workers, wall, outcomes, cache)
+        simba_obs::counter!("driver.sessions").add(sessions as u64);
+        if let Some(c) = cache.as_ref() {
+            promote_cache_stats(c);
+        }
+        let metrics = metrics_before.map(|before| simba_obs::metrics::snapshot_since(&before));
+        drop(metrics_scope);
+        self.finish(
+            engine.as_ref(),
+            source,
+            workers,
+            wall,
+            outcomes,
+            cache,
+            metrics,
+        )
     }
 
     fn resolve_workers(&self, sessions: usize) -> usize {
@@ -346,19 +411,32 @@ impl Driver {
     }
 
     /// Open loop: honor the arrival schedule, then measure how late the
-    /// session actually started. (Closed loop has no arrival times, so a
-    /// delay sample would be meaningless — skip it.)
-    fn pace_arrival(&self, out: &mut WorkerOutcome, scheduled: Duration, run_start: Instant) {
+    /// session actually started — the queue delay a saturated system
+    /// silently absorbs. Returns the delay so the session's first query can
+    /// be timed from its *intended* start (the coordinated-omission fix).
+    /// (Closed loop has no arrival times, so a delay sample would be
+    /// meaningless — returns zero.)
+    fn pace_arrival(
+        &self,
+        out: &mut WorkerOutcome,
+        scheduled: Duration,
+        run_start: Instant,
+    ) -> Duration {
         if matches!(self.config.arrival, Arrival::Open { .. }) {
             let now = run_start.elapsed();
             if now < scheduled {
                 std::thread::sleep(scheduled - now);
             }
-            out.queue_delay
-                .record(run_start.elapsed().saturating_sub(scheduled));
+            let late = run_start.elapsed().saturating_sub(scheduled);
+            out.queue_delay.record(late);
+            simba_obs::histogram!("driver.phase.queue_delay").record(late);
+            late
+        } else {
+            Duration::ZERO
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         engine: &dyn Dbms,
@@ -367,20 +445,25 @@ impl Driver {
         wall: Duration,
         outcomes: Vec<WorkerOutcome>,
         cache: Option<Arc<ShardedResultCache>>,
+        metrics: Option<simba_obs::MetricsSnapshot>,
     ) -> DriverOutcome {
         let sessions = source.sessions();
         let mut latency = LatencyHistogram::new();
         let mut queue_delay = LatencyHistogram::new();
+        let mut response = LatencyHistogram::new();
         let (mut interactions, mut queries, mut errors) = (0u64, 0u64, 0u64);
+        let mut exec = ExecCounters::default();
         let mut steering = SteeringCounters::default();
         let mut fingerprints: Vec<Vec<u64>> = vec![Vec::new(); sessions];
         let mut actions: Vec<Vec<String>> = vec![Vec::new(); sessions];
         for w in outcomes {
             latency.merge(&w.latency);
             queue_delay.merge(&w.queue_delay);
+            response.merge(&w.response);
             interactions += w.interactions;
             queries += w.queries;
             errors += w.errors;
+            exec.merge(&w.exec);
             steering.merge(&w.steering);
             for (session, fps) in w.fingerprints {
                 fingerprints[session] = fps;
@@ -430,6 +513,18 @@ impl Driver {
             cache: cache
                 .as_ref()
                 .map(|c| CacheReport::new(&c.stats(), c.len())),
+            exec: ExecReport {
+                rows_scanned: exec.rows_scanned,
+                rows_matched: exec.rows_matched,
+                groups: exec.groups,
+                morsels_pruned: exec.morsels_pruned,
+            },
+            response: match self.config.arrival {
+                Arrival::Closed => None,
+                Arrival::Open { .. } => Some(LatencySummary::from_histogram(&response)),
+            },
+            phase_breakdown: metrics.as_ref().map(crate::report::phase_breakdown),
+            metrics,
         };
         DriverOutcome {
             report,
@@ -454,8 +549,12 @@ impl Driver {
             if user >= sessions {
                 break;
             }
-            self.pace_arrival(&mut out, arrivals[user], run_start);
-            self.run_session(engine, cache, source, user, &mut out);
+            let lateness = self.pace_arrival(&mut out, arrivals[user], run_start);
+            // Root span: the trace sampler decides per session, so a
+            // sampled session carries all of its steps, cache lookups, and
+            // engine phases while an unsampled one records nothing.
+            let _session = simba_obs::trace::span("driver.session", "driver");
+            self.run_session(engine, cache, source, user, lateness, &mut out);
         }
         out
     }
@@ -468,9 +567,13 @@ impl Driver {
         cache: Option<&ShardedResultCache>,
         source: &dyn SessionSource,
         user: usize,
+        lateness: Duration,
         out: &mut WorkerOutcome,
     ) {
         let mut stream = source.open(user);
+        // Queue delay still owed to the session's first query when timing
+        // it from its intended start; consumed by the first recording.
+        let mut lateness = lateness;
         // Pacing noise is kept off any walk rng inside the stream:
         // think-time draws must not perturb action choice (cache hits
         // change timings, never walks). The asymmetric splitmix also stops
@@ -485,6 +588,9 @@ impl Driver {
 
         loop {
             let step = {
+                // The steering decision: feedback assembly plus the walk's
+                // choice of next interaction.
+                let _steer = simba_obs::phase!("driver.steer", "driver", "driver.phase.steer");
                 let feedback: Vec<QueryFeedback<'_>> = observed
                     .iter()
                     .map(|o| QueryFeedback { result: o.result() })
@@ -498,10 +604,13 @@ impl Driver {
                 out.interactions += 1;
                 let pause = self.config.think_time.sample(&mut pace_rng);
                 if !pause.is_zero() {
+                    let _think = simba_obs::trace::span("driver.think", "driver");
+                    simba_obs::histogram!("driver.phase.think").record(pause);
                     std::thread::sleep(pause);
                 }
             }
             first = false;
+            let _step_span = simba_obs::phase!("driver.step", "driver", "driver.phase.step");
             match step.steering {
                 Some(SteeringKind::BacktrackOnEmpty) => out.steering.backtracks += 1,
                 Some(SteeringKind::DrillTopGroup) => out.steering.drills += 1,
@@ -510,7 +619,7 @@ impl Driver {
             if collect {
                 actions.push(step.description.clone());
             }
-            observed = self.execute_step(engine, cache, &step, out, &mut fps);
+            observed = self.execute_step(engine, cache, &step, &mut lateness, out, &mut fps);
         }
 
         if collect {
@@ -527,24 +636,38 @@ impl Driver {
         engine: &dyn Dbms,
         cache: Option<&ShardedResultCache>,
         step: &SourceStep,
+        lateness: &mut Duration,
         out: &mut WorkerOutcome,
         fps: &mut Vec<u64>,
     ) -> Vec<Observed> {
         let collect = self.config.collect_fingerprints;
+        let open_loop = matches!(self.config.arrival, Arrival::Open { .. });
         let mut observed = Vec::with_capacity(step.queries.len());
         for (_vis, query) in &step.queries {
             out.queries += 1;
             let executed = match cache {
                 Some(cache) => cache
                     .execute_cached(engine, query)
-                    .map(|(value, elapsed, _hit)| (Observed::Cached(value), elapsed)),
-                None => engine
-                    .execute(query)
-                    .map(|o| (Observed::Owned(o.result), o.elapsed)),
+                    .map(|(value, elapsed, hit)| {
+                        if !hit {
+                            out.exec.add(&value.stats);
+                        }
+                        (Observed::Cached(value), elapsed)
+                    }),
+                None => engine.execute(query).map(|o| {
+                    out.exec.add(&o.stats);
+                    (Observed::Owned(o.result), o.elapsed)
+                }),
             };
             match executed {
                 Ok((obs, elapsed)) => {
                     out.latency.record(elapsed);
+                    if open_loop {
+                        // Response time from the *intended* start: the
+                        // session's remaining queue delay lands on its
+                        // first query, later queries owe nothing.
+                        out.response.record(elapsed + std::mem::take(lateness));
+                    }
                     if let Some(result) = obs.result() {
                         // Fingerprinting clones and sorts the whole result
                         // set; keep it off the measured path unless asked.
@@ -569,6 +692,19 @@ impl Driver {
         }
         observed
     }
+}
+
+/// Promote the cache's end-of-run counters into the metrics registry (a
+/// no-op unless a metrics scope is active).
+fn promote_cache_stats(cache: &ShardedResultCache) {
+    let stats = cache.stats();
+    simba_obs::counter!("cache.hits").add(stats.hits);
+    simba_obs::counter!("cache.misses").add(stats.misses);
+    simba_obs::counter!("cache.insertions").add(stats.insertions);
+    simba_obs::counter!("cache.evictions").add(stats.evictions);
+    simba_obs::counter!("cache.coalesced").add(stats.coalesced);
+    simba_obs::counter!("cache.invalidations").add(stats.invalidations);
+    simba_obs::gauge!("cache.entries").set(cache.len() as u64);
 }
 
 fn rate(n: u64, denom: u64) -> f64 {

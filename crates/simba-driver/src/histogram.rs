@@ -1,226 +1,8 @@
 //! Log-bucketed latency histograms.
 //!
-//! Query latencies under load span six orders of magnitude (sub-µs cache
-//! hits to multi-ms scans), so fixed-width buckets either blur the head or
-//! truncate the tail. Buckets here grow geometrically: values below
-//! `LINEAR_BUCKETS` ns are exact, and every power-of-two octave above
-//! that is split into `SUB_BUCKETS` sub-buckets, bounding relative
-//! quantile error at 1/16 (~6%) while keeping the histogram a flat 976-slot
-//! array that is cheap to record into and to merge across worker threads.
+//! The implementation moved to [`simba_obs::hist`] so the observability
+//! crate's metrics registry can use it as its histogram backend without a
+//! dependency cycle; this module re-exports it to keep the long-standing
+//! `simba_driver::LatencyHistogram` path working.
 
-use std::time::Duration;
-
-/// Values below this many nanoseconds get exact single-value buckets.
-const LINEAR_BUCKETS: u64 = 16;
-/// Sub-buckets per power-of-two octave.
-const SUB_BUCKETS: u64 = 16;
-/// Octaves: exponents 4..=63.
-const BUCKETS: usize = (LINEAR_BUCKETS + 60 * SUB_BUCKETS) as usize;
-
-/// A mergeable histogram of durations with geometric buckets.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    count: u64,
-    sum_ns: u128,
-    min_ns: u64,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; BUCKETS],
-            count: 0,
-            sum_ns: 0,
-            min_ns: u64::MAX,
-            max_ns: 0,
-        }
-    }
-
-    pub fn record(&mut self, d: Duration) {
-        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
-    }
-
-    pub fn record_ns(&mut self, ns: u64) {
-        self.counts[bucket_index(ns)] += 1;
-        self.count += 1;
-        self.sum_ns += ns as u128;
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Fold another histogram in (used to combine per-worker histograms).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-        self.min_ns = self.min_ns.min(other.min_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        self.sum_ns as f64 / self.count as f64
-    }
-
-    pub fn min_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min_ns
-        }
-    }
-
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds: the midpoint of the
-    /// first bucket whose cumulative count reaches `q * count`, clamped to
-    /// the observed min/max.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let lo = bucket_floor(i);
-                let hi = bucket_ceiling(i);
-                return (lo + (hi - lo) / 2).clamp(self.min_ns, self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-}
-
-fn bucket_index(ns: u64) -> usize {
-    if ns < LINEAR_BUCKETS {
-        ns as usize
-    } else {
-        let e = 63 - ns.leading_zeros() as u64; // >= 4
-        let sub = (ns >> (e - 4)) & (SUB_BUCKETS - 1);
-        (LINEAR_BUCKETS + (e - 4) * SUB_BUCKETS + sub) as usize
-    }
-}
-
-/// Smallest value mapping to bucket `idx`.
-fn bucket_floor(idx: usize) -> u64 {
-    let idx = idx as u64;
-    if idx < LINEAR_BUCKETS {
-        idx
-    } else {
-        let e = (idx - LINEAR_BUCKETS) / SUB_BUCKETS + 4;
-        let sub = (idx - LINEAR_BUCKETS) % SUB_BUCKETS;
-        (1 << e) + (sub << (e - 4))
-    }
-}
-
-/// Largest value mapping to bucket `idx`.
-fn bucket_ceiling(idx: usize) -> u64 {
-    let idx = idx as u64;
-    if idx < LINEAR_BUCKETS {
-        idx
-    } else {
-        let e = (idx - LINEAR_BUCKETS) / SUB_BUCKETS + 4;
-        let sub = (idx - LINEAR_BUCKETS) % SUB_BUCKETS;
-        // u128: the top bucket's exclusive upper bound is 2^64.
-        let next = (1u128 << e) + (u128::from(sub + 1) << (e - 4));
-        (next - 1).min(u128::from(u64::MAX)) as u64
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn buckets_partition_the_u64_line() {
-        // floor/ceiling invert bucket_index at every boundary.
-        for idx in 0..BUCKETS {
-            let lo = bucket_floor(idx);
-            let hi = bucket_ceiling(idx);
-            assert!(lo <= hi);
-            assert_eq!(bucket_index(lo), idx, "floor of {idx}");
-            assert_eq!(bucket_index(hi), idx, "ceiling of {idx}");
-        }
-        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LatencyHistogram::new();
-        for ns in 0..16 {
-            h.record_ns(ns);
-        }
-        assert_eq!(h.count(), 16);
-        assert_eq!(h.min_ns(), 0);
-        assert_eq!(h.max_ns(), 15);
-    }
-
-    #[test]
-    fn quantiles_are_within_bucket_resolution() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..=10_000u64 {
-            h.record_ns(i * 1_000); // 1µs .. 10ms uniform
-        }
-        let p50 = h.quantile_ns(0.5) as f64;
-        let p99 = h.quantile_ns(0.99) as f64;
-        assert!((p50 / 5_000_000.0 - 1.0).abs() < 0.10, "p50 {p50}");
-        assert!((p99 / 9_900_000.0 - 1.0).abs() < 0.10, "p99 {p99}");
-        assert!(h.quantile_ns(1.0) <= h.max_ns());
-        assert!(h.quantile_ns(0.0) >= h.min_ns());
-    }
-
-    #[test]
-    fn merge_equals_recording_into_one() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut whole = LatencyHistogram::new();
-        for i in 0..1_000u64 {
-            let ns = i * 977 % 100_000;
-            if i % 2 == 0 {
-                a.record_ns(ns);
-            } else {
-                b.record_ns(ns);
-            }
-            whole.record_ns(ns);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), whole.count());
-        assert_eq!(a.max_ns(), whole.max_ns());
-        assert_eq!(a.min_ns(), whole.min_ns());
-        for q in [0.5, 0.95, 0.99] {
-            assert_eq!(a.quantile_ns(q), whole.quantile_ns(q));
-        }
-    }
-
-    #[test]
-    fn empty_histogram_reports_zeros() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_ns(0.5), 0);
-        assert_eq!(h.mean_ns(), 0.0);
-        assert_eq!(h.min_ns(), 0);
-    }
-}
+pub use simba_obs::hist::LatencyHistogram;

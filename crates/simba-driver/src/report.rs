@@ -8,6 +8,7 @@
 use crate::cache::CacheStats;
 use crate::histogram::LatencyHistogram;
 use serde::{Deserialize, Serialize};
+use simba_obs::MetricsSnapshot;
 
 /// Latency quantiles in microseconds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +64,73 @@ impl CacheReport {
             entries,
         }
     }
+}
+
+/// Totals of engine-reported execution statistics, aggregated over the
+/// run's *fresh* executions — a cache hit or coalesced single-flight wait
+/// does not re-count the work its leader already did.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Rows actually read from storage (rows inside zone-pruned morsels
+    /// are never read and never counted).
+    pub rows_scanned: u64,
+    /// Rows that survived all filter predicates.
+    pub rows_matched: u64,
+    /// Groups materialized by aggregation.
+    pub groups: u64,
+    /// Morsels skipped whole via zone-map pruning.
+    pub morsels_pruned: u64,
+}
+
+/// One execution phase's share of attributed time, derived from the
+/// `*.phase.*` histograms of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Phase span name, e.g. `"engine.scan"`.
+    pub phase: String,
+    /// Times the phase ran.
+    pub count: u64,
+    /// Total time attributed to the phase, in milliseconds.
+    pub total_ms: f64,
+    /// Mean duration in microseconds.
+    pub mean_us: f64,
+    /// Median duration in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile duration in microseconds.
+    pub p99_us: u64,
+    /// `total_ms` over the summed `total_ms` of all listed phases. Phases
+    /// nest (`driver.step` contains `engine.scan`), so shares describe
+    /// relative weight, not a partition of wall-clock time.
+    pub share: f64,
+}
+
+/// Derive the per-phase time breakdown from a snapshot's `*.phase.*`
+/// histograms, heaviest phase first.
+pub fn phase_breakdown(metrics: &MetricsSnapshot) -> Vec<PhaseBreakdown> {
+    let phases: Vec<_> = metrics
+        .histograms
+        .iter()
+        .filter(|h| h.name.contains(".phase."))
+        .collect();
+    let total: f64 = phases.iter().map(|h| h.total_ms).sum();
+    let mut out: Vec<PhaseBreakdown> = phases
+        .into_iter()
+        .map(|h| PhaseBreakdown {
+            phase: h.name.replacen(".phase.", ".", 1),
+            count: h.count,
+            total_ms: h.total_ms,
+            mean_us: h.mean_us,
+            p50_us: h.p50_us,
+            p99_us: h.p99_us,
+            share: if total > 0.0 { h.total_ms / total } else { 0.0 },
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.total_ms
+            .total_cmp(&a.total_ms)
+            .then(a.phase.cmp(&b.phase))
+    });
+    out
 }
 
 /// Steering activity of one adaptive run.
@@ -121,6 +189,19 @@ pub struct RunReport {
     /// Steering-capable sources only: steering counters and rates.
     pub steering: Option<SteeringReport>,
     pub cache: Option<CacheReport>,
+    /// Engine execution totals (rows scanned/matched, groups, morsels
+    /// pruned) over the run's fresh executions.
+    pub exec: ExecReport,
+    /// Open-loop only: the coordinated-omission-corrected view — per-query
+    /// latency measured from the *intended* start, so a session's queue
+    /// delay lands on its first query instead of being silently absorbed.
+    pub response: Option<LatencySummary>,
+    /// Run-scoped metrics registry snapshot; present when the run was
+    /// executed with metrics collection enabled.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Per-phase attributed time derived from `metrics` (heaviest first);
+    /// present exactly when `metrics` is.
+    pub phase_breakdown: Option<Vec<PhaseBreakdown>>,
 }
 
 /// Pre-scenario name for `Driver::run` / `run_adaptive` calls made outside
@@ -131,7 +212,10 @@ impl RunReport {
     /// Version of the JSON report format. History:
     /// * 1 — implicit (pre-versioning `DriverReport`), scripted/adaptive.
     /// * 2 — added `schema_version` + `scenario_name`; idebench mode.
-    pub const SCHEMA_VERSION: u32 = 2;
+    /// * 3 — added `exec` totals, open-loop `response` (coordinated-
+    ///   omission-corrected latency), and optional `metrics` +
+    ///   `phase_breakdown` observability sections.
+    pub const SCHEMA_VERSION: u32 = 3;
 
     /// Pretty JSON, for harness output files.
     pub fn to_json(&self) -> String {
@@ -203,6 +287,48 @@ mod tests {
                 },
                 14,
             )),
+            exec: ExecReport {
+                rows_scanned: 52_000,
+                rows_matched: 8_400,
+                groups: 120,
+                morsels_pruned: 6,
+            },
+            response: None,
+            metrics: None,
+            phase_breakdown: None,
+        }
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        use simba_obs::{CounterEntry, HistogramEntry};
+        MetricsSnapshot {
+            counters: vec![CounterEntry {
+                name: "engine.rows_scanned".into(),
+                value: 52_000,
+            }],
+            gauges: vec![],
+            histograms: vec![
+                HistogramEntry {
+                    name: "engine.phase.plan".into(),
+                    count: 44,
+                    total_ms: 0.4,
+                    mean_us: 9.1,
+                    p50_us: 8,
+                    p95_us: 14,
+                    p99_us: 15,
+                    max_us: 21,
+                },
+                HistogramEntry {
+                    name: "engine.phase.scan".into(),
+                    count: 44,
+                    total_ms: 3.6,
+                    mean_us: 81.8,
+                    p50_us: 70,
+                    p95_us: 160,
+                    p99_us: 190,
+                    max_us: 260,
+                },
+            ],
         }
     }
 
@@ -223,7 +349,10 @@ mod tests {
     fn report_serializes_to_json() {
         let report = sample();
         let json = report.to_json();
-        assert!(json.contains("\"schema_version\": 2"), "{json}");
+        assert!(json.contains("\"schema_version\": 3"), "{json}");
+        assert!(json.contains("\"rows_scanned\": 52000"), "{json}");
+        assert!(json.contains("\"morsels_pruned\": 6"), "{json}");
+        assert!(json.contains("\"metrics\": null"), "{json}");
         assert!(
             json.contains("\"scenario_name\": \"adaptive-shootout\""),
             "{json}"
@@ -253,6 +382,25 @@ mod tests {
         bare.queue_delay = Some(bare.latency.clone());
         let parsed = RunReport::from_json(&bare.to_json()).expect("bare report parses back");
         assert_eq!(parsed, bare);
+
+        // ... and the v3 observability sections round-trip when present.
+        let mut full = sample();
+        full.response = Some(full.latency.clone());
+        full.metrics = Some(sample_metrics());
+        full.phase_breakdown = Some(phase_breakdown(full.metrics.as_ref().unwrap()));
+        let parsed = RunReport::from_json(&full.to_json()).expect("full report parses back");
+        assert_eq!(parsed, full);
+    }
+
+    #[test]
+    fn phase_breakdown_orders_by_weight_and_shares_sum_to_one() {
+        let phases = phase_breakdown(&sample_metrics());
+        assert_eq!(phases.len(), 2, "counters are not phases");
+        assert_eq!(phases[0].phase, "engine.scan", "heaviest first");
+        assert_eq!(phases[1].phase, "engine.plan");
+        let total: f64 = phases.iter().map(|p| p.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to 1, got {total}");
+        assert!(phases[0].share > phases[1].share);
     }
 
     #[test]
@@ -269,8 +417,8 @@ mod tests {
         // must be rejected, not silently reinterpreted.
         let future = sample()
             .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 3");
+            .replace("\"schema_version\": 3", "\"schema_version\": 4");
         let err = RunReport::from_json(&future).unwrap_err();
-        assert!(err.contains("schema_version 3"), "{err}");
+        assert!(err.contains("schema_version 4"), "{err}");
     }
 }

@@ -301,6 +301,11 @@ pub struct ScenarioSpec {
     /// Record per-query result fingerprints (equivalence/determinism
     /// tests; costs a clone+sort per result).
     pub collect_fingerprints: bool,
+    /// Collect a [`simba_obs`] metrics snapshot (counters + per-phase
+    /// latency histograms) over the run and attach it to the report.
+    /// Defaults to off so existing scenario files stay valid.
+    #[serde(default)]
+    pub collect_metrics: bool,
 }
 
 impl ScenarioSpec {
@@ -322,6 +327,7 @@ impl ScenarioSpec {
             cache: None,
             workers: 0,
             collect_fingerprints: false,
+            collect_metrics: false,
         }
     }
 
@@ -426,6 +432,7 @@ impl From<&ScenarioSpec> for DriverConfig {
             seed: spec.seed,
             cache: spec.cache.as_ref().map(CacheConfig::from),
             collect_fingerprints: spec.collect_fingerprints,
+            collect_metrics: spec.collect_metrics,
         }
     }
 }

@@ -188,6 +188,34 @@ fn idebench_scenario_matches_legacy_runner_sessions() {
     }
 }
 
+/// Observability must be a pure observer: the same spec run with span
+/// tracing armed and a metrics snapshot collected produces byte-identical
+/// action sequences and result fingerprints to a dark run.
+#[test]
+fn tracing_and_metrics_do_not_perturb_the_workload() {
+    let dark = spec(SourceSpec::adaptive(), EngineKind::DuckDbLike, true);
+    let baseline = Driver::execute(&dark).unwrap();
+
+    let mut lit = dark.clone();
+    lit.collect_metrics = true;
+    simba_obs::trace::set_enabled(true);
+    let observed = Driver::execute(&lit).unwrap();
+    simba_obs::trace::set_enabled(false);
+    simba_obs::trace::take_events(); // discard; this test is about the workload
+
+    assert_eq!(
+        baseline.actions, observed.actions,
+        "tracing changed the walk"
+    );
+    assert_eq!(
+        baseline.fingerprints, observed.fingerprints,
+        "tracing changed results"
+    );
+    assert_eq!(baseline.report.queries, observed.report.queries);
+    // The opt-in is what gates the extra report sections, not tracing.
+    assert!(baseline.report.metrics.is_none());
+}
+
 /// Same spec, run twice, cache on vs off: the declarative path is as
 /// reproducible as the legacy one.
 #[test]

@@ -840,12 +840,29 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
     let mode = decide_mode(plan, table);
 
     let threads = threads.clamp(1, n_morsels.max(1));
+    // Zone-map pruning runs as one pre-pass over all morsels so the prune
+    // phase is attributable on its own; scan workers then consult the
+    // bitmap. The per-morsel decisions are identical to checking inline.
+    let pruned_map: Option<Vec<bool>> = match (kernels.as_deref(), zones) {
+        (Some(ks), Some(z)) => {
+            let _p = simba_obs::phase!("engine.prune", "engine", "engine.phase.prune");
+            Some(
+                (0..n_morsels)
+                    .map(|m| ks.iter().any(|k| k.prunes_morsel(z, m)))
+                    .collect(),
+            )
+        }
+        _ => None,
+    };
+
+    let scan_phase = simba_obs::phase!("engine.scan", "engine", "engine.phase.scan");
+    let pruned_map_ref = pruned_map.as_deref();
     let partials: Vec<RangePartial> = if threads <= 1 {
         vec![scan_range(
             plan,
             table,
             kernels.as_deref(),
-            zones,
+            pruned_map_ref,
             &mode,
             0..n_morsels,
         )]
@@ -856,7 +873,9 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
             let handles: Vec<_> = split_ranges(n_morsels, threads)
                 .into_iter()
                 .map(|range| {
-                    scope.spawn(move || scan_range(plan, table, kernels, zones, mode, range))
+                    scope.spawn(move || {
+                        scan_range(plan, table, kernels, pruned_map_ref, mode, range)
+                    })
                 })
                 .collect();
             handles
@@ -865,7 +884,9 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
                 .collect()
         })
     };
+    drop(scan_phase);
 
+    let _agg_phase = simba_obs::phase!("engine.aggregate", "engine", "engine.phase.aggregate");
     let mut stats = ExecStats {
         rows_scanned: n,
         ..ExecStats::default()
@@ -991,7 +1012,7 @@ fn scan_range(
     plan: &PreparedQuery,
     table: &Table,
     kernels: Option<&[Kernel]>,
-    zones: Option<&ZoneMaps>,
+    pruned_map: Option<&[bool]>,
     mode: &AggMode,
     morsels: std::ops::Range<usize>,
 ) -> RangePartial {
@@ -1024,12 +1045,10 @@ fn scan_range(
 
     for m in morsels {
         let (start, end) = morsel_bounds(m, n);
-        if let (Some(ks), Some(z)) = (kernels, zones) {
-            if ks.iter().any(|k| k.prunes_morsel(z, m)) {
-                pruned += 1;
-                skipped += end - start;
-                continue;
-            }
+        if pruned_map.is_some_and(|p| p[m]) {
+            pruned += 1;
+            skipped += end - start;
+            continue;
         }
         fill_filtered(&mut sel, table, start, end, kernels);
         if sel.is_empty() {

@@ -18,22 +18,43 @@ use simba_store::{ResultSet, Value};
 use std::time::Instant;
 
 /// Shared execute wrapper: look up the table, plan, run the engine-specific
-/// runner, finalize ordering/limit, and time the whole thing.
+/// runner, finalize ordering/limit, and time the whole thing. Also the
+/// single point where every engine reports to the observability layer:
+/// an `engine.execute` span with `engine.plan`/`engine.finalize` phase
+/// children (runners emit their own interior phases), and the query's
+/// [`ExecStats`] promoted into the metrics registry.
 pub(crate) fn execute_common(
     catalog: &Catalog,
     query: &Select,
     runner: impl FnOnce(&PreparedQuery) -> (Vec<Vec<Value>>, ExecStats),
 ) -> Result<QueryOutput, EngineError> {
+    let _span = simba_obs::trace::span("engine.execute", "engine");
     let start = Instant::now();
-    let table = catalog
-        .get(&query.from)
-        .ok_or_else(|| EngineError::UnknownTable(query.from.clone()))?;
-    let plan = prepare(query, table)?;
+    let plan = {
+        let _p = simba_obs::phase!("engine.plan", "engine", "engine.phase.plan");
+        let table = catalog
+            .get(&query.from)
+            .ok_or_else(|| EngineError::UnknownTable(query.from.clone()))?;
+        prepare(query, table)?
+    };
     let (rows, stats) = runner(&plan);
-    let rows = finalize_rows(rows, plan.n_output, &plan.order_dirs, plan.limit);
+    let rows = {
+        let _p = simba_obs::phase!("engine.finalize", "engine", "engine.phase.finalize");
+        finalize_rows(rows, plan.n_output, &plan.order_dirs, plan.limit)
+    };
+    promote_stats(&stats);
     Ok(QueryOutput {
         result: ResultSet::new(plan.output_names.clone(), rows),
         stats,
         elapsed: start.elapsed(),
     })
+}
+
+/// Promote per-query [`ExecStats`] into the global metrics registry.
+fn promote_stats(stats: &ExecStats) {
+    simba_obs::counter!("engine.queries").add(1);
+    simba_obs::counter!("engine.rows_scanned").add(stats.rows_scanned as u64);
+    simba_obs::counter!("engine.rows_matched").add(stats.rows_matched as u64);
+    simba_obs::counter!("engine.groups").add(stats.groups as u64);
+    simba_obs::counter!("engine.morsels_pruned").add(stats.morsels_pruned as u64);
 }

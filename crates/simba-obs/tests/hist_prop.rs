@@ -1,0 +1,61 @@
+//! Property test pinning the histogram's advertised accuracy: any quantile
+//! estimate is within 1/16 relative error of an exact sorted oracle.
+
+use proptest::prelude::*;
+use simba_obs::LatencyHistogram;
+
+/// Mix magnitudes: exact linear range, µs-scale, ms-scale, and huge values
+/// near the top octaves, so every bucket regime is exercised.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,
+        16u64..100_000,
+        100_000u64..10_000_000_000,
+        (u64::MAX / 2)..u64::MAX,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_match_sorted_oracle_within_bucket_error(
+        values in proptest::collection::vec(value_strategy(), 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // Same rank definition as LatencyHistogram::quantile_ns.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1];
+        let est = h.quantile_ns(q);
+        // Bucket midpoints are within half a bucket (1/32); clamping to the
+        // observed min/max can move the estimate at most one full bucket
+        // width (1/16). The +1 covers integer rounding at tiny values.
+        let tolerance = exact / 16 + 1;
+        prop_assert!(
+            est.abs_diff(exact) <= tolerance,
+            "q={q} n={} exact={exact} est={est} tolerance={tolerance}",
+            sorted.len()
+        );
+    }
+
+    #[test]
+    fn count_mean_and_extremes_are_exact(
+        values in proptest::collection::vec(value_strategy(), 1..300),
+    ) {
+        let mut h = LatencyHistogram::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record_ns(v);
+            sum += u128::from(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min_ns(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max_ns(), *values.iter().max().unwrap());
+        let mean = sum as f64 / values.len() as f64;
+        prop_assert!((h.mean_ns() - mean).abs() <= mean * 1e-9 + 1e-9);
+    }
+}

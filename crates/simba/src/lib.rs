@@ -47,14 +47,16 @@
 //! ```
 //!
 //! See the crate-level docs of [`simba_core`], [`simba_engine`],
-//! [`simba_data`], [`simba_sql`], [`simba_store`], [`simba_idebench`], and
-//! [`simba_driver`] for each subsystem.
+//! [`simba_data`], [`simba_sql`], [`simba_store`], [`simba_idebench`],
+//! [`simba_driver`], and [`simba_obs`] (tracing + metrics) for each
+//! subsystem.
 
 pub use simba_core as core;
 pub use simba_data as data;
 pub use simba_driver as driver;
 pub use simba_engine as engine;
 pub use simba_idebench as idebench;
+pub use simba_obs as obs;
 pub use simba_sql as sql;
 pub use simba_store as store;
 
