@@ -13,8 +13,8 @@
 //! environment variables are ignored.
 
 use simba_bench::scenario_cli::{
-    emit_datagen_json, emit_json, enable_tracing, metrics_from_env, params_from_env,
-    resolve_trace_out, run_datagen, run_specs, write_trace,
+    check_max_degraded, emit_datagen_json, emit_json, enable_tracing, max_degraded_from_env,
+    metrics_from_env, params_from_env, resolve_trace_out, run_datagen, run_specs, write_trace,
 };
 use simba_driver::{
     all_scenarios, scenario, DatagenSweep, ScenarioBody, ScenarioParams, ScenarioSpec,
@@ -28,6 +28,7 @@ struct Args {
     dump: bool,
     trace_out: Option<String>,
     metrics: bool,
+    max_degraded: Option<f64>,
     overrides: Vec<(String, String)>,
 }
 
@@ -45,6 +46,7 @@ fn parse_args() -> Args {
         dump: false,
         trace_out: None,
         metrics: false,
+        max_degraded: None,
         overrides: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -66,6 +68,16 @@ fn parse_args() -> Args {
             "--dump" => args.dump = true,
             "--trace-out" => args.trace_out = Some(value_for("--trace-out")),
             "--metrics" => args.metrics = true,
+            "--max-degraded" => {
+                let value = value_for("--max-degraded");
+                match value.parse::<f64>() {
+                    Ok(p) if (0.0..=100.0).contains(&p) => args.max_degraded = Some(p),
+                    _ => {
+                        eprintln!("invalid value `{value}` for --max-degraded (want 0..=100)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--rows" | "--seed" | "--users" | "--steps" | "--workers" | "--think-ms"
             | "--sizes" => {
                 let value = value_for(&flag);
@@ -348,15 +360,24 @@ fn main() {
     }
 
     println!("{banner}");
-    let outcome = run_specs(&specs);
+    let suite = run_specs(&specs);
     // Write whatever spans were collected even when a late spec fails, so
     // a partial trace is still there to debug the failure with.
     if let Some(path) = &trace_out {
         write_trace(path);
     }
-    match outcome {
-        Ok(reports) => emit_json(&reports),
-        Err(e) => {
+    // Emit the report JSON before deciding the exit status: a failed or
+    // over-budget run is exactly the one someone will want to inspect.
+    if !suite.reports.is_empty() {
+        emit_json(&suite.reports);
+    }
+    if let Some(e) = suite.error {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    let max_degraded = args.max_degraded.or_else(max_degraded_from_env);
+    if let Some(max) = max_degraded {
+        if let Err(e) = check_max_degraded(&suite.reports, max) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }

@@ -141,32 +141,93 @@ pub fn print_row(report: &RunReport, cached: bool) {
     );
 }
 
+/// What a suite run produced: every report completed before the first
+/// failure (all of them on success), plus the failure itself, if any.
+/// Keeping the two separate lets callers emit the partial report JSON
+/// *before* exiting non-zero, so a failed or degraded run stays
+/// inspectable.
+pub struct SuiteOutcome {
+    /// Reports of the specs that ran to completion, in suite order.
+    pub reports: Vec<RunReport>,
+    /// Why the suite stopped early, or `None` if every spec completed.
+    pub error: Option<String>,
+}
+
 /// Execute every spec in order, printing a row per run.
 ///
-/// Returns the reports, or an error string if any spec fails to execute or
-/// produces an *empty* report (zero queries) — the "benchmark silently did
-/// nothing" failure mode CI must catch.
-pub fn run_specs(specs: &[ScenarioSpec]) -> Result<Vec<RunReport>, String> {
+/// Stops at the first spec that fails to execute or produces an *empty*
+/// report (zero queries) — the "benchmark silently did nothing" failure
+/// mode CI must catch — but the reports gathered up to that point survive
+/// in the returned [`SuiteOutcome`].
+pub fn run_specs(specs: &[ScenarioSpec]) -> SuiteOutcome {
     if specs.is_empty() {
-        return Err("scenario expanded to zero specs".to_string());
+        return SuiteOutcome {
+            reports: Vec::new(),
+            error: Some("scenario expanded to zero specs".to_string()),
+        };
     }
     print_header();
     // One dataset generation per (dataset, rows, seed) across the suite.
     let mut tables = TableCache::new();
     let mut reports = Vec::with_capacity(specs.len());
     for spec in specs {
-        let outcome =
-            Driver::execute_with(spec, &mut tables).map_err(|e| format!("{}: {e}", spec.name))?;
+        let outcome = match Driver::execute_with(spec, &mut tables) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                return SuiteOutcome {
+                    reports,
+                    error: Some(format!("{}: {e}", spec.name)),
+                }
+            }
+        };
         if outcome.report.queries == 0 {
-            return Err(format!(
+            let error = format!(
                 "{} ({} / {}): empty report — no queries executed",
                 spec.name, spec.engine.kind, outcome.report.session_mode
-            ));
+            );
+            return SuiteOutcome {
+                reports,
+                error: Some(error),
+            };
         }
         print_row(&outcome.report, spec.cache.is_some());
         reports.push(outcome.report);
     }
-    Ok(reports)
+    SuiteOutcome {
+        reports,
+        error: None,
+    }
+}
+
+/// `(degraded sessions, total sessions)` across a suite's reports.
+/// Reports without a `resilience` section contribute zero degraded
+/// sessions — a legacy-path run can't degrade.
+pub fn degraded_totals(reports: &[RunReport]) -> (u64, u64) {
+    let degraded = reports
+        .iter()
+        .filter_map(|r| r.resilience.as_ref())
+        .map(|r| r.degraded_sessions)
+        .sum();
+    let total = reports.iter().map(|r| r.sessions as u64).sum();
+    (degraded, total)
+}
+
+/// Enforce a `--max-degraded` percentage over a finished suite: `Err`
+/// (with a ready-to-print message) when strictly more than `max_percent`
+/// of all sessions ended degraded.
+pub fn check_max_degraded(reports: &[RunReport], max_percent: f64) -> Result<(), String> {
+    let (degraded, total) = degraded_totals(reports);
+    if total == 0 {
+        return Ok(());
+    }
+    let percent = degraded as f64 / total as f64 * 100.0;
+    if percent > max_percent {
+        return Err(format!(
+            "{degraded} of {total} sessions ({percent:.1}%) ended degraded, \
+             over the --max-degraded {max_percent}% budget"
+        ));
+    }
+    Ok(())
 }
 
 /// Run a generation-throughput sweep, printing one aligned row per timed
@@ -288,7 +349,17 @@ pub fn run_named_scenario(name: &str, defaults: ScenarioParams) {
                     spec.collect_metrics = true;
                 }
             }
-            run_specs(&specs).map(|reports| emit_json(&reports))
+            let suite = run_specs(&specs);
+            // Partial reports are still worth emitting: a failed chaos run
+            // is exactly the run someone will want to inspect.
+            if !suite.reports.is_empty() {
+                emit_json(&suite.reports);
+            }
+            match suite.error {
+                Some(e) => Err(e),
+                None => max_degraded_from_env()
+                    .map_or(Ok(()), |max| check_max_degraded(&suite.reports, max)),
+            }
         }
         ScenarioBody::Datagen(sweep) => run_datagen(sweep).map(|report| emit_datagen_json(&report)),
     };
@@ -299,4 +370,12 @@ pub fn run_named_scenario(name: &str, defaults: ScenarioParams) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
+}
+
+/// The `SIMBA_MAX_DEGRADED` degraded-session budget (percent), if set to
+/// a valid number.
+pub fn max_degraded_from_env() -> Option<f64> {
+    std::env::var("SIMBA_MAX_DEGRADED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
 }

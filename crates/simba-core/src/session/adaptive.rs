@@ -41,13 +41,43 @@ impl SteeringKind {
     }
 }
 
+/// How one executed query ended, as seen by the steering hooks.
+///
+/// Errors are explicit rather than folded into "empty result": a failed
+/// query is a dead end the user *notices* (the chart shows an error state),
+/// and steering must react to it deterministically — the same walk, the
+/// same unwind, on every rerun of the same faulted seed.
+#[derive(Debug, Clone, Copy)]
+pub enum StepOutcome<'a> {
+    /// The query completed with this result.
+    Ok(&'a ResultSet),
+    /// The query failed (after any driver-level retries); there is no
+    /// result to inspect.
+    Errored,
+}
+
+impl<'a> StepOutcome<'a> {
+    /// The result, if the query completed.
+    pub fn result(&self) -> Option<&'a ResultSet> {
+        match self {
+            StepOutcome::Ok(r) => Some(r),
+            StepOutcome::Errored => None,
+        }
+    }
+
+    /// Did the query fail?
+    pub fn is_err(&self) -> bool {
+        matches!(self, StepOutcome::Errored)
+    }
+}
+
 /// One executed query as seen by the steering hooks.
 #[derive(Debug, Clone, Copy)]
 pub struct StepObservation<'a> {
     /// Visualization node that issued the query.
     pub vis: NodeId,
-    /// The query's result; `None` when execution errored.
-    pub result: Option<&'a ResultSet>,
+    /// How the query ended.
+    pub outcome: StepOutcome<'a>,
 }
 
 /// Configurable result-inspection steering rules.
@@ -126,12 +156,14 @@ impl AdaptivePolicy {
 }
 
 /// If the last action narrowed a filter and any refreshed chart came back
-/// empty, produce the undo action.
+/// empty — or failed outright — produce the undo action. An errored chart
+/// is treated like an emptied one: the user sees a dead view either way,
+/// and undoing the triggering filter is the reaction that re-renders it.
 fn backtrack(action: Option<&Action>, observed: &[StepObservation<'_>]) -> Option<Action> {
-    let emptied = observed
+    let dead = observed
         .iter()
-        .any(|o| o.result.is_some_and(ResultSet::is_empty));
-    if !emptied {
+        .any(|o| o.outcome.is_err() || o.outcome.result().is_some_and(ResultSet::is_empty));
+    if !dead {
         return None;
     }
     // Only *filtering* actions are backtrack-able; clears and resets widen.
@@ -162,7 +194,9 @@ fn drill_top_group(
 ) -> Option<Action> {
     let graph = dashboard.graph();
     for obs in observed {
-        let Some(result) = obs.result else { continue };
+        let Some(result) = obs.outcome.result() else {
+            continue;
+        };
         let NodeKind::Visualization(vidx) = graph.kind(obs.vis) else {
             continue;
         };
@@ -259,13 +293,45 @@ mod tests {
         let empty = ResultSet::empty(vec!["rep".to_string(), "count".to_string()]);
         let obs = [StepObservation {
             vis,
-            result: Some(&empty),
+            outcome: StepOutcome::Ok(&empty),
         }];
         let (kind, undo) = AdaptivePolicy::default()
             .steer(&d, &state, Some(&action), &obs)
             .expect("empty result must trigger steering");
         assert_eq!(kind, SteeringKind::BacktrackOnEmpty);
         assert_eq!(undo, Action::ClearWidget { widget });
+    }
+
+    #[test]
+    fn backtrack_undoes_the_filter_that_errored_a_chart() {
+        let d = dashboard();
+        let state = d.initial_state();
+        let widget = d.graph().node("queue_checkbox").unwrap();
+        let vis = d.graph().node("calls_per_rep").unwrap();
+        let action = Action::SetExclusive {
+            widget,
+            value: "A".into(),
+        };
+        // An errored query is a dead view just like an empty one: the
+        // filter that triggered it must be unwound, with no result to
+        // inspect at all.
+        let obs = [StepObservation {
+            vis,
+            outcome: StepOutcome::Errored,
+        }];
+        assert!(obs[0].outcome.is_err());
+        assert!(obs[0].outcome.result().is_none());
+        let (kind, undo) = AdaptivePolicy::default()
+            .steer(&d, &state, Some(&action), &obs)
+            .expect("errored result must trigger steering");
+        assert_eq!(kind, SteeringKind::BacktrackOnEmpty);
+        assert_eq!(undo, Action::ClearWidget { widget });
+
+        // But only filtering actions unwind; an errored initial render has
+        // nothing to undo.
+        assert!(AdaptivePolicy::default()
+            .steer(&d, &state, None, &obs)
+            .is_none());
     }
 
     #[test]
@@ -277,7 +343,7 @@ mod tests {
         let empty = ResultSet::empty(vec!["rep".to_string()]);
         let obs = [StepObservation {
             vis,
-            result: Some(&empty),
+            outcome: StepOutcome::Ok(&empty),
         }];
         let policy = AdaptivePolicy {
             drill_into_top_group: false,
@@ -291,7 +357,7 @@ mod tests {
         let full = grouped(vec![("A", 3)]);
         let obs = [StepObservation {
             vis,
-            result: Some(&full),
+            outcome: StepOutcome::Ok(&full),
         }];
         let filter = Action::SetExclusive {
             widget,
@@ -328,7 +394,7 @@ mod tests {
         let pick = |rs: &ResultSet| {
             let obs = [StepObservation {
                 vis,
-                result: Some(rs),
+                outcome: StepOutcome::Ok(rs),
             }];
             policy.steer(&d, &state, None, &obs)
         };
@@ -364,7 +430,7 @@ mod tests {
         }
         let obs = [StepObservation {
             vis,
-            result: Some(&fwd),
+            outcome: StepOutcome::Ok(&fwd),
         }];
         assert!(policy.steer(&d, &selected, None, &obs).is_none());
     }
@@ -377,7 +443,7 @@ mod tests {
         let empty = ResultSet::empty(vec!["rep".to_string()]);
         let obs = [StepObservation {
             vis,
-            result: Some(&empty),
+            outcome: StepOutcome::Ok(&empty),
         }];
         let widget = d.graph().node("queue_checkbox").unwrap();
         let filter = Action::SetExclusive {

@@ -27,7 +27,7 @@
 //! [`session_seed`](SessionStream::session_seed) so pacing noise can never
 //! perturb a walk.
 
-use super::adaptive::{AdaptivePolicy, SteeringKind, StepObservation};
+use super::adaptive::{AdaptivePolicy, SteeringKind, StepObservation, StepOutcome};
 use super::batch::{splitmix, SessionScript};
 use super::planner::{PlannedStep, SessionPlanner};
 use crate::actions::Action;
@@ -54,11 +54,26 @@ pub struct SourceStep {
     pub queries: Vec<(String, Select)>,
 }
 
-/// What one executed query left behind, fed back to the stream.
+/// What one executed query left behind, fed back to the stream. Errors are
+/// an explicit variant, not a missing result: adaptive sources steer on
+/// them (a failed chart is a dead end the user backs out of), and the
+/// distinction must survive the trip through the driver.
 #[derive(Debug, Clone, Copy)]
-pub struct QueryFeedback<'a> {
-    /// The query's result; `None` when execution errored.
-    pub result: Option<&'a ResultSet>,
+pub enum QueryFeedback<'a> {
+    /// The query completed with this result.
+    Ok(&'a ResultSet),
+    /// The query failed (after any driver-level retries).
+    Errored,
+}
+
+impl<'a> QueryFeedback<'a> {
+    /// The result, if the query completed.
+    pub fn result(&self) -> Option<&'a ResultSet> {
+        match self {
+            QueryFeedback::Ok(r) => Some(r),
+            QueryFeedback::Errored => None,
+        }
+    }
 }
 
 /// One user's session as a feedback-driven stream of steps.
@@ -319,7 +334,10 @@ impl AdaptiveStream<'_> {
             .zip(feedback)
             .map(|(node, fb)| StepObservation {
                 vis: *node,
-                result: fb.result,
+                outcome: match fb {
+                    QueryFeedback::Ok(r) => StepOutcome::Ok(r),
+                    QueryFeedback::Errored => StepOutcome::Errored,
+                },
             })
             .collect();
         self.policy.steer(
@@ -469,10 +487,7 @@ mod tests {
         let mut steered = None;
         let mut feedback: Vec<ResultSet> = Vec::new();
         for _ in 0..6 {
-            let fb: Vec<QueryFeedback<'_>> = feedback
-                .iter()
-                .map(|r| QueryFeedback { result: Some(r) })
-                .collect();
+            let fb: Vec<QueryFeedback<'_>> = feedback.iter().map(QueryFeedback::Ok).collect();
             let Some(step) = stream.next_step(&fb) else {
                 break;
             };

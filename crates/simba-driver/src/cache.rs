@@ -50,6 +50,11 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Full-cache invalidations (one per [`ShardedResultCache::clear`]).
     pub invalidations: u64,
+    /// Leader executions that ended in an error. Errors are **never
+    /// cached** — the failure is handed to this flight's followers and
+    /// then forgotten, so the next caller re-executes rather than being
+    /// served a remembered failure.
+    pub error_passthrough: u64,
 }
 
 impl CacheStats {
@@ -152,6 +157,7 @@ pub struct ShardedResultCache {
     evictions: AtomicU64,
     coalesced: AtomicU64,
     invalidations: AtomicU64,
+    error_passthrough: AtomicU64,
 }
 
 impl ShardedResultCache {
@@ -169,6 +175,7 @@ impl ShardedResultCache {
             evictions: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            error_passthrough: AtomicU64::new(0),
         }
     }
 
@@ -296,6 +303,22 @@ impl ShardedResultCache {
         engine: &dyn Dbms,
         query: &Select,
     ) -> Result<(Arc<CachedResult>, Duration, bool), EngineError> {
+        self.execute_cached_with(engine, query, &mut |e, q| e.execute(q))
+    }
+
+    /// [`execute_cached`](Self::execute_cached) with a caller-supplied
+    /// execution strategy. The single-flight **leader** runs `run(engine,
+    /// query)` in place of a bare `engine.execute`; followers still wait on
+    /// the flight. This is how the driver's resilience layer pushes its
+    /// retry loop *inside* the leader: a follower coalesced onto a flaky
+    /// key observes the leader's post-retry outcome, never the raw first
+    /// failure.
+    pub fn execute_cached_with(
+        &self,
+        engine: &dyn Dbms,
+        query: &Select,
+        run: &mut dyn FnMut(&dyn Dbms, &Select) -> Result<QueryOutput, EngineError>,
+    ) -> Result<(Arc<CachedResult>, Duration, bool), EngineError> {
         let _span = simba_obs::trace::span("cache.execute", "cache");
         // Key construction (AST normalization + printing) is the dominant
         // cost of a hit — time it, or cache-on latency reports understate
@@ -347,7 +370,7 @@ impl ShardedResultCache {
             key: &key,
             armed: true,
         };
-        let outcome = engine.execute(query).map(|out| {
+        let outcome = run(engine, query).map(|out| {
             let value = Arc::new(CachedResult {
                 result: out.result,
                 stats: out.stats,
@@ -357,6 +380,14 @@ impl ShardedResultCache {
             self.insert_guarded(key.clone(), value.clone(), Some(generation));
             (value, out.elapsed)
         });
+        if outcome.is_err() {
+            // Negative-result policy: errors pass through uncached (the
+            // next caller re-executes), but are counted so a flaky engine
+            // shows up in the cache report rather than vanishing. (The
+            // metrics-registry promotion happens once at end of run with
+            // the other cache counters.)
+            self.error_passthrough.fetch_add(1, Ordering::Relaxed);
+        }
         let mut map = inflight.lock().expect("inflight map poisoned");
         if let Some(flight) = map.remove(&key) {
             flight.publish(
@@ -380,6 +411,7 @@ impl ShardedResultCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            error_passthrough: self.error_passthrough.load(Ordering::Relaxed),
         }
     }
 
@@ -642,6 +674,109 @@ mod tests {
         let (value, _elapsed, hit) = cache.execute_cached(&OkEngine, &q).unwrap();
         assert!(!hit);
         assert_eq!(value.result.rows, vec![vec![simba_store::Value::Int(2)]]);
+    }
+
+    /// Negative-result policy: an erroring leader must not seed the cache
+    /// with its failure — the next caller (a healthy retry of the same
+    /// key) re-executes and caches normally, and followers of *that*
+    /// flight see the good result.
+    #[test]
+    fn erroring_leader_does_not_poison_later_callers() {
+        use std::sync::atomic::AtomicBool;
+        struct FlakyOnce {
+            failed: AtomicBool,
+        }
+        impl Dbms for FlakyOnce {
+            fn name(&self) -> &'static str {
+                "flaky-once-stub"
+            }
+            fn register(&self, _table: Arc<simba_store::Table>) {}
+            fn execute(&self, _query: &Select) -> Result<QueryOutput, EngineError> {
+                if !self.failed.swap(true, Ordering::SeqCst) {
+                    return Err(EngineError::Transient("first call drops".to_string()));
+                }
+                Ok(QueryOutput {
+                    result: ResultSet::new(
+                        vec!["n".to_string()],
+                        vec![vec![simba_store::Value::Int(7)]],
+                    ),
+                    stats: ExecStats::default(),
+                    elapsed: Duration::from_micros(1),
+                })
+            }
+        }
+        let cache = ShardedResultCache::new(CacheConfig::default());
+        let q = simba_sql::parse_select("SELECT n FROM t").unwrap();
+        let engine = FlakyOnce {
+            failed: AtomicBool::new(false),
+        };
+        let err = cache.execute_cached(&engine, &q).unwrap_err();
+        assert!(err.is_transient());
+        assert!(cache.is_empty(), "errors must never be cached");
+        assert_eq!(cache.stats().error_passthrough, 1);
+
+        let (value, _elapsed, hit) = cache.execute_cached(&engine, &q).unwrap();
+        assert!(!hit, "the retry re-executes instead of replaying the error");
+        assert_eq!(value.result.rows, vec![vec![simba_store::Value::Int(7)]]);
+        assert_eq!(cache.stats().insertions, 1);
+        // And now the key serves hits like any healthy entry.
+        let (_, _, hit) = cache.execute_cached(&engine, &q).unwrap();
+        assert!(hit);
+    }
+
+    /// `execute_cached_with` runs the caller's strategy as the leader: a
+    /// retry loop inside it converts a transient first failure into a
+    /// success that followers and later callers observe.
+    #[test]
+    fn leader_retry_strategy_hides_transient_failures_from_the_cache() {
+        use std::sync::atomic::AtomicU64;
+        struct FlakyTwice {
+            calls: AtomicU64,
+        }
+        impl Dbms for FlakyTwice {
+            fn name(&self) -> &'static str {
+                "flaky-twice-stub"
+            }
+            fn register(&self, _table: Arc<simba_store::Table>) {}
+            fn execute(&self, _query: &Select) -> Result<QueryOutput, EngineError> {
+                if self.calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    return Err(EngineError::Transient("warming up".to_string()));
+                }
+                Ok(QueryOutput {
+                    result: ResultSet::new(
+                        vec!["n".to_string()],
+                        vec![vec![simba_store::Value::Int(9)]],
+                    ),
+                    stats: ExecStats::default(),
+                    elapsed: Duration::from_micros(1),
+                })
+            }
+        }
+        let cache = ShardedResultCache::new(CacheConfig::default());
+        let q = simba_sql::parse_select("SELECT n FROM t").unwrap();
+        let engine = FlakyTwice {
+            calls: AtomicU64::new(0),
+        };
+        let mut attempts = 0u32;
+        let (value, _elapsed, hit) = cache
+            .execute_cached_with(&engine, &q, &mut |e, q| loop {
+                attempts += 1;
+                match e.execute(q) {
+                    Ok(out) => return Ok(out),
+                    Err(err) if err.is_transient() && attempts < 4 => continue,
+                    Err(err) => return Err(err),
+                }
+            })
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(attempts, 3, "two transient failures were retried away");
+        assert_eq!(value.result.rows, vec![vec![simba_store::Value::Int(9)]]);
+        let stats = cache.stats();
+        assert_eq!(
+            stats.error_passthrough, 0,
+            "the flight's outcome is the post-retry success"
+        );
+        assert_eq!(stats.insertions, 1);
     }
 
     #[test]

@@ -37,8 +37,10 @@
 use crate::cache::{CacheConfig, CachedResult, ShardedResultCache};
 use crate::histogram::LatencyHistogram;
 use crate::report::{
-    CacheReport, ExecReport, LatencySummary, RunReport, SteeringReport, ADHOC_SCENARIO,
+    CacheReport, ExecReport, LatencySummary, ResilienceReport, RunReport, SteeringReport,
+    ADHOC_SCENARIO,
 };
+use crate::resilience::{jitter_key, CircuitBreaker, ResiliencePolicy};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use simba_core::dashboard::Dashboard;
@@ -48,7 +50,8 @@ use simba_core::session::batch::{splitmix, SessionScript};
 use simba_core::session::source::{
     AdaptiveSource, AdaptiveWalkConfig, QueryFeedback, ScriptedSource, SessionSource, SourceStep,
 };
-use simba_engine::Dbms;
+use simba_engine::{Dbms, EngineError, QueryCtx, QueryOutput};
+use simba_sql::Select;
 use simba_store::ResultSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -113,6 +116,17 @@ pub struct DriverConfig {
     /// attach a run-scoped [`MetricsSnapshot`](simba_obs::MetricsSnapshot)
     /// (plus the derived phase breakdown) to the report.
     pub collect_metrics: bool,
+    /// Deadline, retry/backoff, and circuit-breaker policy applied around
+    /// every query. Inert by default — the driver then takes the exact
+    /// legacy execution path.
+    pub resilience: ResiliencePolicy,
+    /// Force the fault-tolerant execution path (per-attempt [`QueryCtx`],
+    /// panic recovery) even when `resilience` is inert. The workload layer
+    /// sets this whenever the engine is wrapped in a
+    /// [`FaultInjectingDbms`](simba_engine::FaultInjectingDbms): injected
+    /// panics must be caught, and injected faults key their determinism on
+    /// the ctx.
+    pub chaos: bool,
 }
 
 impl Default for DriverConfig {
@@ -125,6 +139,8 @@ impl Default for DriverConfig {
             cache: None,
             collect_fingerprints: false,
             collect_metrics: false,
+            resilience: ResiliencePolicy::default(),
+            chaos: false,
         }
     }
 }
@@ -186,6 +202,10 @@ pub struct DriverOutcome {
     /// (initial render included) — the determinism proof surface. Empty
     /// unless `collect_fingerprints` was set.
     pub actions: Vec<Vec<String>>,
+    /// Per session (session-index order): did any of its queries end in a
+    /// final failure — exhausted retries, a permanent error, or a breaker
+    /// shed? All `false` on the legacy (non-resilient) path.
+    pub degraded: Vec<bool>,
 }
 
 /// Replays or live-drives sessions concurrently against one engine.
@@ -235,6 +255,32 @@ impl ExecCounters {
     }
 }
 
+/// Per-attempt error taxonomy and recovery counters of the resilient
+/// execution path, merged across workers into the
+/// [`ResilienceReport`].
+#[derive(Debug, Default, Clone)]
+struct ResilienceCounters {
+    timeouts: u64,
+    transient_errors: u64,
+    permanent_errors: u64,
+    shed: u64,
+    panics_recovered: u64,
+    retries: u64,
+    retries_succeeded: u64,
+}
+
+impl ResilienceCounters {
+    fn merge(&mut self, other: &ResilienceCounters) {
+        self.timeouts += other.timeouts;
+        self.transient_errors += other.transient_errors;
+        self.permanent_errors += other.permanent_errors;
+        self.shed += other.shed;
+        self.panics_recovered += other.panics_recovered;
+        self.retries += other.retries;
+        self.retries_succeeded += other.retries_succeeded;
+    }
+}
+
 struct WorkerOutcome {
     latency: LatencyHistogram,
     queue_delay: LatencyHistogram,
@@ -249,6 +295,10 @@ struct WorkerOutcome {
     fingerprints: Vec<(usize, Vec<u64>)>,
     actions: Vec<(usize, Vec<String>)>,
     steering: SteeringCounters,
+    resilience: ResilienceCounters,
+    /// Resilient path only: `(session, any-final-failure)` per completed
+    /// session.
+    degraded: Vec<(usize, bool)>,
 }
 
 impl WorkerOutcome {
@@ -264,8 +314,29 @@ impl WorkerOutcome {
             fingerprints: Vec::new(),
             actions: Vec::new(),
             steering: SteeringCounters::default(),
+            resilience: ResilienceCounters::default(),
+            degraded: Vec::new(),
         }
     }
+}
+
+/// How one execution attempt failed, before retry classification.
+enum AttemptError {
+    /// The per-query deadline elapsed; the in-flight call was abandoned.
+    Timeout,
+    /// The engine panicked; the unwind was caught.
+    Panic,
+    /// The engine returned an error.
+    Engine(EngineError),
+}
+
+/// Position of a step inside the run, for [`QueryCtx`] and backoff-jitter
+/// derivation on the resilient path.
+#[derive(Clone, Copy)]
+struct StepPos {
+    user: u64,
+    step: u64,
+    session_seed: u64,
 }
 
 /// What one executed query left behind for the feedback hooks.
@@ -321,6 +392,11 @@ impl Driver {
         let sessions = source.sessions();
         let workers = self.resolve_workers(sessions);
         let cache = self.build_cache();
+        let breaker = self
+            .config
+            .resilience
+            .breaker_enabled()
+            .then(|| CircuitBreaker::new(&self.config.resilience));
         let arrivals = self.arrival_offsets(sessions);
         // Metric recording is scoped to the run: a capture at the start
         // lets the report carry only what this run itself recorded.
@@ -337,12 +413,13 @@ impl Driver {
         let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let engine = engine.as_ref();
+                    let engine = &engine;
                     let cache = cache.as_deref();
+                    let breaker = breaker.as_ref();
                     let next = &next;
                     let arrivals = &arrivals;
                     scope.spawn(move || {
-                        self.worker_loop(engine, cache, source, arrivals, next, start)
+                        self.worker_loop(engine, cache, breaker, source, arrivals, next, start)
                     })
                 })
                 .collect();
@@ -365,8 +442,17 @@ impl Driver {
             wall,
             outcomes,
             cache,
+            breaker.as_ref(),
             metrics,
         )
+    }
+
+    /// Is the fault-tolerant execution path in effect? Off ⇒ queries run
+    /// through the exact legacy path (no ctx, no unwind guard, no extra
+    /// branches), keeping fault-free runs byte-identical to pre-resilience
+    /// builds.
+    fn resilient(&self) -> bool {
+        self.config.chaos || self.config.resilience.is_active()
     }
 
     fn resolve_workers(&self, sessions: usize) -> usize {
@@ -445,6 +531,7 @@ impl Driver {
         wall: Duration,
         outcomes: Vec<WorkerOutcome>,
         cache: Option<Arc<ShardedResultCache>>,
+        breaker: Option<&CircuitBreaker>,
         metrics: Option<simba_obs::MetricsSnapshot>,
     ) -> DriverOutcome {
         let sessions = source.sessions();
@@ -454,8 +541,10 @@ impl Driver {
         let (mut interactions, mut queries, mut errors) = (0u64, 0u64, 0u64);
         let mut exec = ExecCounters::default();
         let mut steering = SteeringCounters::default();
+        let mut resilience = ResilienceCounters::default();
         let mut fingerprints: Vec<Vec<u64>> = vec![Vec::new(); sessions];
         let mut actions: Vec<Vec<String>> = vec![Vec::new(); sessions];
+        let mut degraded: Vec<bool> = vec![false; sessions];
         for w in outcomes {
             latency.merge(&w.latency);
             queue_delay.merge(&w.queue_delay);
@@ -465,11 +554,15 @@ impl Driver {
             errors += w.errors;
             exec.merge(&w.exec);
             steering.merge(&w.steering);
+            resilience.merge(&w.resilience);
             for (session, fps) in w.fingerprints {
                 fingerprints[session] = fps;
             }
             for (session, acts) in w.actions {
                 actions[session] = acts;
+            }
+            for (session, d) in w.degraded {
+                degraded[session] = d;
             }
         }
 
@@ -523,6 +616,27 @@ impl Driver {
                 Arrival::Closed => None,
                 Arrival::Open { .. } => Some(LatencySummary::from_histogram(&response)),
             },
+            // The workload layer fills `fault` from the wrapper's injection
+            // stats; the driver only sees a `Dbms`.
+            fault: None,
+            resilience: self.resilient().then(|| {
+                let breaker_stats = breaker.map(|b| b.stats()).unwrap_or_default();
+                ResilienceReport {
+                    policy: self.config.resilience.describe(),
+                    timeouts: resilience.timeouts,
+                    transient_errors: resilience.transient_errors,
+                    permanent_errors: resilience.permanent_errors,
+                    shed: resilience.shed,
+                    panics_recovered: resilience.panics_recovered,
+                    retries: resilience.retries,
+                    retries_succeeded: resilience.retries_succeeded,
+                    breaker_opens: breaker_stats.opens,
+                    breaker_half_opens: breaker_stats.half_opens,
+                    breaker_closes: breaker_stats.closes,
+                    degraded_sessions: degraded.iter().filter(|d| **d).count() as u64,
+                    degraded: degraded.clone(),
+                }
+            }),
             phase_breakdown: metrics.as_ref().map(crate::report::phase_breakdown),
             metrics,
         };
@@ -530,13 +644,16 @@ impl Driver {
             report,
             fingerprints,
             actions,
+            degraded,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn worker_loop(
         &self,
-        engine: &dyn Dbms,
+        engine: &Arc<dyn Dbms>,
         cache: Option<&ShardedResultCache>,
+        breaker: Option<&CircuitBreaker>,
         source: &dyn SessionSource,
         arrivals: &[Duration],
         next: &AtomicUsize,
@@ -554,17 +671,19 @@ impl Driver {
             // sampled session carries all of its steps, cache lookups, and
             // engine phases while an unsampled one records nothing.
             let _session = simba_obs::trace::span("driver.session", "driver");
-            self.run_session(engine, cache, source, user, lateness, &mut out);
+            self.run_session(engine, cache, breaker, source, user, lateness, &mut out);
         }
         out
     }
 
     /// One session: pull steps from the stream, execute their queries, and
     /// feed the results back for the next step.
+    #[allow(clippy::too_many_arguments)]
     fn run_session(
         &self,
-        engine: &dyn Dbms,
+        engine: &Arc<dyn Dbms>,
         cache: Option<&ShardedResultCache>,
+        breaker: Option<&CircuitBreaker>,
         source: &dyn SessionSource,
         user: usize,
         lateness: Duration,
@@ -581,10 +700,13 @@ impl Driver {
         let mut pace_rng =
             ChaCha8Rng::seed_from_u64(splitmix(self.config.seed) ^ stream.session_seed());
         let collect = self.config.collect_fingerprints;
+        let session_seed = stream.session_seed();
+        let errors_before = out.errors;
         let mut fps = Vec::new();
         let mut actions = Vec::new();
         let mut observed: Vec<Observed> = Vec::new();
         let mut first = true;
+        let mut step_index: u64 = 0;
 
         loop {
             let step = {
@@ -593,7 +715,10 @@ impl Driver {
                 let _steer = simba_obs::phase!("driver.steer", "driver", "driver.phase.steer");
                 let feedback: Vec<QueryFeedback<'_>> = observed
                     .iter()
-                    .map(|o| QueryFeedback { result: o.result() })
+                    .map(|o| match o.result() {
+                        Some(r) => QueryFeedback::Ok(r),
+                        None => QueryFeedback::Errored,
+                    })
                     .collect();
                 match stream.next_step(&feedback) {
                     Some(step) => step,
@@ -619,78 +744,317 @@ impl Driver {
             if collect {
                 actions.push(step.description.clone());
             }
-            observed = self.execute_step(engine, cache, &step, &mut lateness, out, &mut fps);
+            let pos = StepPos {
+                user: user as u64,
+                step: step_index,
+                session_seed,
+            };
+            observed = self.execute_step(
+                engine,
+                cache,
+                breaker,
+                &step,
+                pos,
+                &mut lateness,
+                out,
+                &mut fps,
+            );
+            step_index += 1;
         }
 
         if collect {
             out.fingerprints.push((user, fps));
             out.actions.push((user, actions));
         }
+        if self.resilient() {
+            out.degraded.push((user, out.errors > errors_before));
+        }
     }
 
     /// Execute one step's queries, recording latency, errors, fingerprints,
     /// and empty-result counts; returns per-query observations for the
     /// stream's feedback.
+    ///
+    /// Two execution paths, chosen once per run: the legacy path (exact
+    /// pre-resilience behavior, byte-identical runs) and the fault-tolerant
+    /// path (per-attempt [`QueryCtx`], deadline, retries, breaker, panic
+    /// recovery).
+    #[allow(clippy::too_many_arguments)]
     fn execute_step(
         &self,
-        engine: &dyn Dbms,
+        engine: &Arc<dyn Dbms>,
         cache: Option<&ShardedResultCache>,
+        breaker: Option<&CircuitBreaker>,
         step: &SourceStep,
+        pos: StepPos,
         lateness: &mut Duration,
         out: &mut WorkerOutcome,
         fps: &mut Vec<u64>,
     ) -> Vec<Observed> {
-        let collect = self.config.collect_fingerprints;
-        let open_loop = matches!(self.config.arrival, Arrival::Open { .. });
+        let resilient = self.resilient();
         let mut observed = Vec::with_capacity(step.queries.len());
-        for (_vis, query) in &step.queries {
+        for (query_index, (_vis, query)) in step.queries.iter().enumerate() {
             out.queries += 1;
-            let executed = match cache {
-                Some(cache) => cache
-                    .execute_cached(engine, query)
-                    .map(|(value, elapsed, hit)| {
-                        if !hit {
-                            out.exec.add(&value.stats);
-                        }
-                        (Observed::Cached(value), elapsed)
-                    }),
-                None => engine.execute(query).map(|o| {
-                    out.exec.add(&o.stats);
-                    (Observed::Owned(o.result), o.elapsed)
-                }),
+            let executed = if resilient {
+                self.execute_query_resilient(engine, cache, breaker, query, query_index, pos, out)
+            } else {
+                self.execute_query_legacy(engine.as_ref(), cache, query, out)
             };
-            match executed {
-                Ok((obs, elapsed)) => {
-                    out.latency.record(elapsed);
-                    if open_loop {
-                        // Response time from the *intended* start: the
-                        // session's remaining queue delay lands on its
-                        // first query, later queries owe nothing.
-                        out.response.record(elapsed + std::mem::take(lateness));
-                    }
-                    if let Some(result) = obs.result() {
-                        // Fingerprinting clones and sorts the whole result
-                        // set; keep it off the measured path unless asked.
-                        if collect {
-                            fps.push(fingerprint(result));
-                        }
-                        if result.is_empty() {
-                            out.steering.empty_results += 1;
-                        }
-                    }
-                    observed.push(obs);
-                }
-                Err(_) => {
-                    out.errors += 1;
-                    // Keep fingerprint vectors position-aligned.
-                    if collect {
-                        fps.push(ERROR_FINGERPRINT);
-                    }
-                    observed.push(Observed::Errored);
-                }
-            }
+            self.record_query_outcome(executed, lateness, out, fps, &mut observed);
         }
         observed
+    }
+
+    /// The pre-resilience execution path, kept verbatim: no ctx, no unwind
+    /// guard, no extra branches — fault-free runs stay byte-identical.
+    fn execute_query_legacy(
+        &self,
+        engine: &dyn Dbms,
+        cache: Option<&ShardedResultCache>,
+        query: &Select,
+        out: &mut WorkerOutcome,
+    ) -> Result<(Observed, Duration), EngineError> {
+        match cache {
+            Some(cache) => cache
+                .execute_cached(engine, query)
+                .map(|(value, elapsed, hit)| {
+                    if !hit {
+                        out.exec.add(&value.stats);
+                    }
+                    (Observed::Cached(value), elapsed)
+                }),
+            None => engine.execute(query).map(|o| {
+                out.exec.add(&o.stats);
+                (Observed::Owned(o.result), o.elapsed)
+            }),
+        }
+    }
+
+    /// The fault-tolerant execution path: breaker admission, then the
+    /// deadline/retry attempt loop — run *inside* the single-flight cache
+    /// leader when caching, so followers coalesced onto a flaky key observe
+    /// the leader's post-retry outcome, never its raw first failure.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_query_resilient(
+        &self,
+        engine: &Arc<dyn Dbms>,
+        cache: Option<&ShardedResultCache>,
+        breaker: Option<&CircuitBreaker>,
+        query: &Select,
+        query_index: usize,
+        pos: StepPos,
+        out: &mut WorkerOutcome,
+    ) -> Result<(Observed, Duration), EngineError> {
+        // Admission: an open breaker sheds the query before any cache or
+        // engine work — failing fast is the point.
+        if let Some(br) = breaker {
+            if !br.try_acquire() {
+                let _shed = simba_obs::trace::span("driver.breaker", "driver");
+                out.resilience.shed += 1;
+                return Err(EngineError::Transient(
+                    "shed by open circuit breaker".to_string(),
+                ));
+            }
+        }
+        let base = QueryCtx {
+            session: pos.user,
+            step: pos.step,
+            query: query_index as u64,
+            attempt: 0,
+        };
+        let jkey = jitter_key(
+            self.config.seed,
+            pos.session_seed,
+            pos.step,
+            query_index as u64,
+        );
+        let mut counters = ResilienceCounters::default();
+        let mut runner = |_engine: &dyn Dbms, q: &Select| {
+            // The cache hands back the same engine we passed it; the
+            // attempt loop needs the owning `Arc` (to detach a thread per
+            // deadline-bounded attempt), so it uses the captured one.
+            self.attempt_loop(engine, q, base, jkey, &mut counters)
+        };
+        let executed = match cache {
+            Some(cache) => cache
+                .execute_cached_with(engine.as_ref(), query, &mut runner)
+                .map(|(value, elapsed, hit)| {
+                    if !hit {
+                        out.exec.add(&value.stats);
+                    }
+                    (Observed::Cached(value), elapsed)
+                }),
+            None => runner(engine.as_ref(), query).map(|o| {
+                out.exec.add(&o.stats);
+                (Observed::Owned(o.result), o.elapsed)
+            }),
+        };
+        if executed.is_ok() && counters.retries > 0 {
+            counters.retries_succeeded += 1;
+            simba_obs::counter!("resilience.retries_succeeded").add(1);
+        }
+        out.resilience.merge(&counters);
+        if let Some(br) = breaker {
+            // The breaker judges *final* outcomes: a query that recovered
+            // on retry is a success, not evidence against the engine.
+            match &executed {
+                Ok(_) => br.on_success(),
+                Err(_) => br.on_failure(),
+            }
+        }
+        executed
+    }
+
+    /// Record one query's final outcome into histograms, fingerprints, and
+    /// feedback observations — shared by both execution paths.
+    fn record_query_outcome(
+        &self,
+        executed: Result<(Observed, Duration), EngineError>,
+        lateness: &mut Duration,
+        out: &mut WorkerOutcome,
+        fps: &mut Vec<u64>,
+        observed: &mut Vec<Observed>,
+    ) {
+        let collect = self.config.collect_fingerprints;
+        let open_loop = matches!(self.config.arrival, Arrival::Open { .. });
+        match executed {
+            Ok((obs, elapsed)) => {
+                out.latency.record(elapsed);
+                if open_loop {
+                    // Response time from the *intended* start: the
+                    // session's remaining queue delay lands on its
+                    // first query, later queries owe nothing.
+                    out.response.record(elapsed + std::mem::take(lateness));
+                }
+                if let Some(result) = obs.result() {
+                    // Fingerprinting clones and sorts the whole result
+                    // set; keep it off the measured path unless asked.
+                    if collect {
+                        fps.push(fingerprint(result));
+                    }
+                    if result.is_empty() {
+                        out.steering.empty_results += 1;
+                    }
+                }
+                observed.push(obs);
+            }
+            Err(_) => {
+                out.errors += 1;
+                // Keep fingerprint vectors position-aligned.
+                if collect {
+                    fps.push(ERROR_FINGERPRINT);
+                }
+                observed.push(Observed::Errored);
+            }
+        }
+    }
+
+    /// Run one query to a final outcome under the resilience policy:
+    /// deadline-bounded attempts, transient failures (including timeouts
+    /// and recovered panics) retried with seeded exponential backoff up to
+    /// the budget, permanent errors failing immediately. Backoff sleeps are
+    /// recorded as `driver.phase.backoff` (think-time, not service time).
+    fn attempt_loop(
+        &self,
+        engine: &Arc<dyn Dbms>,
+        query: &Select,
+        base: QueryCtx,
+        jkey: u64,
+        counters: &mut ResilienceCounters,
+    ) -> Result<QueryOutput, EngineError> {
+        let policy = &self.config.resilience;
+        let mut attempt: u32 = 0;
+        loop {
+            let ctx = QueryCtx { attempt, ..base };
+            let failure = match run_attempt(engine, query, &ctx, policy.deadline) {
+                Ok(output) => return Ok(output),
+                Err(failure) => failure,
+            };
+            let (retryable, error) = match failure {
+                AttemptError::Timeout => {
+                    counters.timeouts += 1;
+                    simba_obs::counter!("resilience.timeouts").add(1);
+                    (
+                        true,
+                        EngineError::Transient(format!(
+                            "deadline of {:?} exceeded; attempt abandoned",
+                            policy.deadline.unwrap_or_default()
+                        )),
+                    )
+                }
+                AttemptError::Panic => {
+                    counters.panics_recovered += 1;
+                    simba_obs::counter!("resilience.panics_recovered").add(1);
+                    (
+                        true,
+                        EngineError::Transient("engine panicked (unwind recovered)".to_string()),
+                    )
+                }
+                AttemptError::Engine(e) if e.is_transient() => {
+                    counters.transient_errors += 1;
+                    simba_obs::counter!("resilience.transient_errors").add(1);
+                    (true, e)
+                }
+                AttemptError::Engine(e) => {
+                    counters.permanent_errors += 1;
+                    simba_obs::counter!("resilience.permanent_errors").add(1);
+                    (false, e)
+                }
+            };
+            if !retryable || attempt >= policy.max_retries {
+                return Err(error);
+            }
+            attempt += 1;
+            counters.retries += 1;
+            simba_obs::counter!("resilience.retries").add(1);
+            let _retry = simba_obs::trace::span("driver.retry", "driver");
+            let pause = policy.backoff_delay(jkey, attempt);
+            if !pause.is_zero() {
+                simba_obs::histogram!("driver.phase.backoff").record(pause);
+                std::thread::sleep(pause);
+            }
+        }
+    }
+}
+
+/// One deadline-bounded execution attempt. Without a deadline the attempt
+/// runs inline under an unwind guard. With one, it runs on a freshly
+/// spawned thread and the caller waits at most `deadline`: an attempt that
+/// blows the budget is **abandoned** — the engine call finishes (and is
+/// discarded) on the detached thread, the session moves on. Abandonment,
+/// not cancellation: the `Dbms` trait has no cancel hook, and a wedged
+/// session is worse than a stray background scan.
+fn run_attempt(
+    engine: &Arc<dyn Dbms>,
+    query: &Select,
+    ctx: &QueryCtx,
+    deadline: Option<Duration>,
+) -> Result<QueryOutput, AttemptError> {
+    let Some(deadline) = deadline else {
+        return match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.execute_at(query, ctx)
+        })) {
+            Ok(Ok(output)) => Ok(output),
+            Ok(Err(e)) => Err(AttemptError::Engine(e)),
+            Err(_) => Err(AttemptError::Panic),
+        };
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let engine = Arc::clone(engine);
+    let query = query.clone();
+    let ctx = *ctx;
+    std::thread::spawn(move || {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.execute_at(&query, &ctx)
+        }));
+        // A send error just means the caller timed out and went away.
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(Ok(output))) => Ok(output),
+        Ok(Ok(Err(e))) => Err(AttemptError::Engine(e)),
+        Ok(Err(_panic)) => Err(AttemptError::Panic),
+        Err(_timeout) => Err(AttemptError::Timeout),
     }
 }
 
@@ -704,6 +1068,7 @@ fn promote_cache_stats(cache: &ShardedResultCache) {
     simba_obs::counter!("cache.evictions").add(stats.evictions);
     simba_obs::counter!("cache.coalesced").add(stats.coalesced);
     simba_obs::counter!("cache.invalidations").add(stats.invalidations);
+    simba_obs::counter!("cache.error_passthrough").add(stats.error_passthrough);
     simba_obs::gauge!("cache.entries").set(cache.len() as u64);
 }
 

@@ -24,6 +24,11 @@
 //! * [`LatencyHistogram`] log-bucketed latencies feed a versioned
 //!   [`RunReport`] with throughput, p50/p95/p99, queue delay, steering
 //!   counters, and cache hit rates.
+//! * A [`ResiliencePolicy`] (per-query deadlines, seeded retry/backoff, a
+//!   circuit breaker) hardens the worker loop against the deterministic
+//!   faults a [`simba_engine::FaultInjectingDbms`]-wrapped engine injects;
+//!   chaos runs report an error taxonomy and per-session degradation in
+//!   the [`FaultReport`]/[`ResilienceReport`] sections.
 //!
 //! ```
 //! use simba_driver::workload::{ScenarioSpec, SourceSpec};
@@ -74,6 +79,7 @@ pub mod fingerprint;
 pub(crate) mod hash;
 pub mod histogram;
 pub mod report;
+pub mod resilience;
 pub mod workload;
 
 pub use cache::{CacheConfig, CacheStats, CachedDbms, CachedResult, ShardedResultCache};
@@ -81,15 +87,17 @@ pub use driver::{AdaptiveConfig, Arrival, Driver, DriverConfig, DriverOutcome, T
 pub use fingerprint::{fingerprint, ERROR_FINGERPRINT};
 pub use histogram::LatencyHistogram;
 pub use report::{
-    CacheReport, DriverReport, LatencySummary, RunReport, SteeringReport, ADHOC_SCENARIO,
+    CacheReport, DriverReport, FaultReport, LatencySummary, ResilienceReport, RunReport,
+    SteeringReport, ADHOC_SCENARIO,
 };
+pub use resilience::{jitter_key, BreakerStats, CircuitBreaker, ResiliencePolicy};
 pub use workload::datagen::{run_datagen_sweep, DatagenEntry, DatagenReport, DatagenSweep};
 pub use workload::registry::{
     all_scenarios, scenario, Scenario, ScenarioBody, ScenarioParams, SCENARIO_NAMES,
 };
 pub use workload::{
-    ArrivalSpec, CacheSpec, EngineSpec, ScenarioSpec, SourceSpec, TableCache, ThinkSpec,
-    WorkloadError,
+    ArrivalSpec, CacheSpec, EngineSpec, FaultSpec, ResilienceSpec, ScenarioSpec, SourceSpec,
+    TableCache, ThinkSpec, WorkloadError,
 };
 
 // Re-exported so driver users can configure steering and build custom

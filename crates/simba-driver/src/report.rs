@@ -47,6 +47,9 @@ pub struct CacheReport {
     pub coalesced: u64,
     /// Full invalidations (`register` of a replacement table).
     pub invalidations: u64,
+    /// Leader executions that errored: passed to that flight's followers
+    /// but never cached, so later callers re-execute.
+    pub error_passthrough: u64,
     pub hit_rate: f64,
     pub entries: usize,
 }
@@ -60,10 +63,64 @@ impl CacheReport {
             evictions: stats.evictions,
             coalesced: stats.coalesced,
             invalidations: stats.invalidations,
+            error_passthrough: stats.error_passthrough,
             hit_rate: stats.hit_rate(),
             entries,
         }
     }
+}
+
+/// What the chaos wrapper *injected* during a faulted run (the supply
+/// side). The demand side — what sessions actually observed after caching,
+/// coalescing, and retries — is [`ResilienceReport`]. With a shared cache
+/// the two legitimately differ: a cache hit never reaches the wrapper.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Injected latency-spike sleeps.
+    pub latency_spikes: u64,
+    /// Injected transient (retryable) errors.
+    pub transient: u64,
+    /// Injected permanent errors.
+    pub permanent: u64,
+    /// Injected panics.
+    pub panics: u64,
+}
+
+/// Error taxonomy and recovery counters of a resilience-enabled run: what
+/// the driver observed per attempt, what it did about it, and what was
+/// left degraded at the end.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Stable description of the active policy
+    /// ([`ResiliencePolicy::describe`](crate::resilience::ResiliencePolicy::describe)).
+    pub policy: String,
+    /// Attempts abandoned at the per-query deadline.
+    pub timeouts: u64,
+    /// Attempts that failed with a transient (retryable) error.
+    pub transient_errors: u64,
+    /// Attempts that failed with a permanent error.
+    pub permanent_errors: u64,
+    /// Queries shed without execution by an open circuit breaker.
+    pub shed: u64,
+    /// Attempts that panicked and were caught (treated as transient).
+    pub panics_recovered: u64,
+    /// Retry attempts issued (attempts beyond each query's first).
+    pub retries: u64,
+    /// Queries whose final outcome was success after ≥ 1 retry.
+    pub retries_succeeded: u64,
+    /// Breaker transitions to open.
+    pub breaker_opens: u64,
+    /// Breaker transitions to half-open.
+    pub breaker_half_opens: u64,
+    /// Breaker transitions back to closed.
+    pub breaker_closes: u64,
+    /// Per-session degraded flags, session-index order. A session is
+    /// degraded when any of its queries ended in a final failure: exhausted
+    /// retries, a permanent error, or a breaker shed.
+    pub degraded: Vec<bool>,
+    /// `degraded.iter().filter(|d| **d).count()`, precomputed for
+    /// threshold checks and dashboards.
+    pub degraded_sessions: u64,
 }
 
 /// Totals of engine-reported execution statistics, aggregated over the
@@ -196,6 +253,13 @@ pub struct RunReport {
     /// latency measured from the *intended* start, so a session's queue
     /// delay lands on its first query instead of being silently absorbed.
     pub response: Option<LatencySummary>,
+    /// Injected-fault totals; present exactly when the run had an active
+    /// `FaultSpec` (chaos runs).
+    pub fault: Option<FaultReport>,
+    /// Error taxonomy, retry/breaker counters, and per-session degraded
+    /// flags; present when the run used the resilient execution path (an
+    /// active `ResilienceSpec` or `FaultSpec`).
+    pub resilience: Option<ResilienceReport>,
     /// Run-scoped metrics registry snapshot; present when the run was
     /// executed with metrics collection enabled.
     pub metrics: Option<MetricsSnapshot>,
@@ -215,7 +279,11 @@ impl RunReport {
     /// * 3 — added `exec` totals, open-loop `response` (coordinated-
     ///   omission-corrected latency), and optional `metrics` +
     ///   `phase_breakdown` observability sections.
-    pub const SCHEMA_VERSION: u32 = 3;
+    /// * 4 — added the resilience surface: optional `fault` (injected-fault
+    ///   totals) and `resilience` (error taxonomy, retry + breaker
+    ///   counters, per-session degraded flags) sections, plus
+    ///   `cache.error_passthrough`.
+    pub const SCHEMA_VERSION: u32 = 4;
 
     /// Pretty JSON, for harness output files.
     pub fn to_json(&self) -> String {
@@ -284,6 +352,7 @@ mod tests {
                     evictions: 0,
                     coalesced: 2,
                     invalidations: 0,
+                    error_passthrough: 0,
                 },
                 14,
             )),
@@ -294,6 +363,8 @@ mod tests {
                 morsels_pruned: 6,
             },
             response: None,
+            fault: None,
+            resilience: None,
             metrics: None,
             phase_breakdown: None,
         }
@@ -349,7 +420,7 @@ mod tests {
     fn report_serializes_to_json() {
         let report = sample();
         let json = report.to_json();
-        assert!(json.contains("\"schema_version\": 3"), "{json}");
+        assert!(json.contains("\"schema_version\": 4"), "{json}");
         assert!(json.contains("\"rows_scanned\": 52000"), "{json}");
         assert!(json.contains("\"morsels_pruned\": 6"), "{json}");
         assert!(json.contains("\"metrics\": null"), "{json}");
@@ -390,6 +461,36 @@ mod tests {
         full.phase_breakdown = Some(phase_breakdown(full.metrics.as_ref().unwrap()));
         let parsed = RunReport::from_json(&full.to_json()).expect("full report parses back");
         assert_eq!(parsed, full);
+
+        // ... and so do the v4 resilience sections.
+        let mut chaotic = sample();
+        chaotic.fault = Some(FaultReport {
+            latency_spikes: 4,
+            transient: 9,
+            permanent: 1,
+            panics: 2,
+        });
+        chaotic.resilience = Some(ResilienceReport {
+            policy: "deadline=250ms retries=3 backoff=5..80ms".to_string(),
+            timeouts: 1,
+            transient_errors: 9,
+            permanent_errors: 1,
+            shed: 0,
+            panics_recovered: 2,
+            retries: 12,
+            retries_succeeded: 11,
+            breaker_opens: 0,
+            breaker_half_opens: 0,
+            breaker_closes: 0,
+            degraded: vec![false, true, false, false],
+            degraded_sessions: 1,
+        });
+        let parsed = RunReport::from_json(&chaotic.to_json()).expect("chaos report parses back");
+        assert_eq!(parsed, chaotic);
+        let json = chaotic.to_json();
+        assert!(json.contains("\"panics_recovered\": 2"), "{json}");
+        assert!(json.contains("\"degraded_sessions\": 1"), "{json}");
+        assert!(json.contains("\"latency_spikes\": 4"), "{json}");
     }
 
     #[test]
@@ -417,8 +518,8 @@ mod tests {
         // must be rejected, not silently reinterpreted.
         let future = sample()
             .to_json()
-            .replace("\"schema_version\": 3", "\"schema_version\": 4");
+            .replace("\"schema_version\": 4", "\"schema_version\": 5");
         let err = RunReport::from_json(&future).unwrap_err();
-        assert!(err.contains("schema_version 4"), "{err}");
+        assert!(err.contains("schema_version 5"), "{err}");
     }
 }

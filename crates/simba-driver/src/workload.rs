@@ -46,7 +46,8 @@
 //!
 //! The [`registry`] holds the built-in scenarios (`smoke`,
 //! `concurrent-shootout`, `adaptive-shootout`, `idebench`, `perf-report`,
-//! plus the [`datagen`] generation-throughput sweep `datagen-sweep`) that
+//! the fault-injection suite `chaos`, plus the [`datagen`]
+//! generation-throughput sweep `datagen-sweep`) that
 //! the `simba-bench` CLI exposes as `bench --scenario <name>`; adding a
 //! new workload means writing a spec (or a suite-builder function) plus,
 //! at most, a new [`SessionSource`](crate::SessionSource) impl — never a new binary.
@@ -61,6 +62,8 @@
 
 use crate::cache::CacheConfig;
 use crate::driver::{Arrival, Driver, DriverConfig, DriverOutcome, ThinkTime};
+use crate::report::FaultReport;
+use crate::resilience::ResiliencePolicy;
 use serde::{Deserialize, Serialize};
 use simba_core::dashboard::Dashboard;
 use simba_core::markov::MarkovModel;
@@ -69,7 +72,7 @@ use simba_core::session::batch::{synthesize_scripts, BatchConfig};
 use simba_core::session::source::{AdaptiveSource, AdaptiveWalkConfig, ScriptedSource};
 use simba_core::spec::builtin::builtin;
 use simba_data::{DashboardDataset, DatasetSize};
-use simba_engine::EngineKind;
+use simba_engine::{Dbms, EngineKind, FaultConfig, FaultInjectingDbms};
 use simba_idebench::{ActionProbs, IdebenchSource};
 use simba_store::Table;
 use std::sync::Arc;
@@ -267,6 +270,99 @@ impl From<&CacheSpec> for CacheConfig {
     }
 }
 
+/// Deterministic fault injection (mirrors [`FaultConfig`] in serializable
+/// form). All probabilities default to zero, so an explicit-but-inert
+/// `fault` block is equivalent to omitting it: the engine is only wrapped
+/// when [`is_active`](Self::is_active) says something can fire.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed of the per-query fault RNG, independent of the scenario seed
+    /// so the same workload can be rerun under a different fault timeline.
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability a query sleeps `latency_spike_ms` before executing.
+    #[serde(default)]
+    pub latency_spike_prob: f64,
+    /// Injected sleep per latency spike, in milliseconds.
+    #[serde(default)]
+    pub latency_spike_ms: u64,
+    /// Probability of a retryable transient error.
+    #[serde(default)]
+    pub transient_error_prob: f64,
+    /// Probability of a non-retryable permanent error.
+    #[serde(default)]
+    pub permanent_error_prob: f64,
+    /// Probability the engine panics mid-query (the driver recovers via
+    /// unwind-catching and treats it as transient).
+    #[serde(default)]
+    pub panic_prob: f64,
+}
+
+impl FaultSpec {
+    /// Can this spec ever inject anything?
+    pub fn is_active(&self) -> bool {
+        FaultConfig::from(self).is_active()
+    }
+}
+
+impl From<&FaultSpec> for FaultConfig {
+    fn from(spec: &FaultSpec) -> FaultConfig {
+        FaultConfig {
+            seed: spec.seed,
+            latency_spike_prob: spec.latency_spike_prob,
+            latency_spike: Duration::from_millis(spec.latency_spike_ms),
+            transient_error_prob: spec.transient_error_prob,
+            permanent_error_prob: spec.permanent_error_prob,
+            panic_prob: spec.panic_prob,
+        }
+    }
+}
+
+/// Driver-side failure handling (mirrors [`ResiliencePolicy`] in
+/// serializable form). Zeros everywhere = inert, and an inert spec keeps
+/// the driver on its legacy execution path.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceSpec {
+    /// Per-attempt wall-clock deadline in milliseconds; 0 = no deadline.
+    #[serde(default)]
+    pub deadline_ms: u64,
+    /// Retries after the first attempt (transient failures and timeouts
+    /// only).
+    #[serde(default)]
+    pub max_retries: u32,
+    /// Base of the exponential backoff between retries, in milliseconds.
+    #[serde(default)]
+    pub backoff_base_ms: u64,
+    /// Cap on a single backoff wait, in milliseconds.
+    #[serde(default)]
+    pub backoff_cap_ms: u64,
+    /// Consecutive final failures that open the circuit breaker; 0
+    /// disables the breaker.
+    #[serde(default)]
+    pub breaker_failure_threshold: u32,
+    /// How long an open breaker sheds before probing, in milliseconds.
+    #[serde(default)]
+    pub breaker_cooldown_ms: u64,
+    /// Successful half-open probes required to close the breaker again;
+    /// 0 is normalized to 1.
+    #[serde(default)]
+    pub breaker_half_open_probes: u32,
+}
+
+impl From<&ResilienceSpec> for ResiliencePolicy {
+    fn from(spec: &ResilienceSpec) -> ResiliencePolicy {
+        ResiliencePolicy {
+            deadline: (spec.deadline_ms > 0).then(|| Duration::from_millis(spec.deadline_ms)),
+            max_retries: spec.max_retries,
+            backoff_base: Duration::from_millis(spec.backoff_base_ms),
+            backoff_cap: Duration::from_millis(spec.backoff_cap_ms),
+            breaker_failure_threshold: spec.breaker_failure_threshold,
+            breaker_cooldown: Duration::from_millis(spec.breaker_cooldown_ms),
+            breaker_half_open_probes: spec.breaker_half_open_probes.max(1),
+        }
+    }
+}
+
 /// One fully declarative driver run: the single source of truth for every
 /// knob that used to be spread across `DriverConfig`, `AdaptiveConfig`,
 /// `BatchConfig`, and per-binary environment variables.
@@ -306,6 +402,16 @@ pub struct ScenarioSpec {
     /// Defaults to off so existing scenario files stay valid.
     #[serde(default)]
     pub collect_metrics: bool,
+    /// `Some` with non-zero probabilities wraps the engine in a
+    /// [`FaultInjectingDbms`]; `None` (the default) leaves the engine
+    /// untouched and the run byte-identical to pre-chaos builds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fault: Option<FaultSpec>,
+    /// `Some` with any active knob (deadline, retries, breaker) switches
+    /// the driver to its resilient execution path; `None` keeps the
+    /// legacy path.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resilience: Option<ResilienceSpec>,
 }
 
 impl ScenarioSpec {
@@ -328,6 +434,8 @@ impl ScenarioSpec {
             workers: 0,
             collect_fingerprints: false,
             collect_metrics: false,
+            fault: None,
+            resilience: None,
         }
     }
 
@@ -389,6 +497,42 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(fault) = &self.fault {
+            for (name, p) in [
+                ("latency_spike_prob", fault.latency_spike_prob),
+                ("transient_error_prob", fault.transient_error_prob),
+                ("permanent_error_prob", fault.permanent_error_prob),
+                ("panic_prob", fault.panic_prob),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(WorkloadError::InvalidSpec(format!(
+                        "fault probability {name} must be in [0, 1] (got {p})"
+                    )));
+                }
+            }
+            // The three error outcomes are drawn from one cumulative band,
+            // so their mass must fit in a single unit draw.
+            let error_mass =
+                fault.transient_error_prob + fault.permanent_error_prob + fault.panic_prob;
+            if error_mass > 1.0 {
+                return Err(WorkloadError::InvalidSpec(format!(
+                    "fault error probabilities must sum to at most 1 (got {error_mass})"
+                )));
+            }
+            if fault.latency_spike_prob > 0.0 && fault.latency_spike_ms == 0 {
+                return Err(WorkloadError::InvalidSpec(
+                    "latency_spike_prob is set but latency_spike_ms is 0".into(),
+                ));
+            }
+        }
+        if let Some(res) = &self.resilience {
+            if res.max_retries > 0 && res.backoff_cap_ms < res.backoff_base_ms {
+                return Err(WorkloadError::InvalidSpec(format!(
+                    "backoff_cap_ms ({}) must be >= backoff_base_ms ({})",
+                    res.backoff_cap_ms, res.backoff_base_ms
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -433,6 +577,15 @@ impl From<&ScenarioSpec> for DriverConfig {
             cache: spec.cache.as_ref().map(CacheConfig::from),
             collect_fingerprints: spec.collect_fingerprints,
             collect_metrics: spec.collect_metrics,
+            resilience: spec
+                .resilience
+                .as_ref()
+                .map(ResiliencePolicy::from)
+                .unwrap_or_default(),
+            // The resilient path must also engage when faults are injected
+            // with an inert policy, so panics are still caught and errors
+            // still classified.
+            chaos: spec.fault.as_ref().is_some_and(FaultSpec::is_active),
         }
     }
 }
@@ -501,8 +654,19 @@ impl Driver {
     ) -> Result<DriverOutcome, WorkloadError> {
         spec.validate()?;
         let table = tables.get(spec)?;
-        let engine = spec.engine.resolve()?;
-        engine.register(table.clone());
+        let bare = spec.engine.resolve()?;
+        bare.register(table.clone());
+        // Wrap *after* registration so table setup can never fault; only
+        // query execution is chaos-eligible.
+        let fault = spec
+            .fault
+            .as_ref()
+            .filter(|f| f.is_active())
+            .map(|f| Arc::new(FaultInjectingDbms::new(bare.clone(), f.into())));
+        let engine: Arc<dyn Dbms> = match &fault {
+            Some(wrapper) => wrapper.clone(),
+            None => bare,
+        };
         let driver = Driver::new(DriverConfig::from(spec));
 
         let mut outcome = match &spec.source {
@@ -564,6 +728,15 @@ impl Driver {
             }
         };
         outcome.report.scenario_name = spec.name.clone();
+        if let Some(wrapper) = &fault {
+            let stats = wrapper.stats();
+            outcome.report.fault = Some(FaultReport {
+                latency_spikes: stats.latency_spikes,
+                transient: stats.transient_errors,
+                permanent: stats.permanent_errors,
+                panics: stats.panics,
+            });
+        }
         Ok(outcome)
     }
 }
@@ -643,6 +816,110 @@ mod tests {
             remove_filter: 0.0,
         };
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn fault_and_resilience_round_trip_and_stay_optional() {
+        let mut spec = ScenarioSpec::new("chaotic", "customer_service");
+        spec.fault = Some(FaultSpec {
+            seed: 9,
+            latency_spike_prob: 0.1,
+            latency_spike_ms: 5,
+            transient_error_prob: 0.2,
+            permanent_error_prob: 0.05,
+            panic_prob: 0.01,
+        });
+        spec.resilience = Some(ResilienceSpec {
+            deadline_ms: 250,
+            max_retries: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 200,
+            breaker_failure_threshold: 5,
+            breaker_cooldown_ms: 2_000,
+            breaker_half_open_probes: 2,
+        });
+        spec.validate().unwrap();
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+
+        // Old spec files (no chaos sections) keep parsing, and the
+        // sections stay omitted when absent.
+        let plain = ScenarioSpec::new("plain", "customer_service");
+        let json = plain.to_json();
+        assert!(!json.contains("\"fault\""), "None fault is omitted");
+        assert!(
+            !json.contains("\"resilience\""),
+            "None resilience is omitted"
+        );
+        let parsed = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(parsed.fault, None);
+        assert_eq!(parsed.resilience, None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_fault_and_resilience_values() {
+        let good = ScenarioSpec::new("ok", "customer_service");
+
+        let mut spec = good.clone();
+        spec.fault = Some(FaultSpec {
+            transient_error_prob: 1.5,
+            ..FaultSpec::default()
+        });
+        assert!(spec.validate().is_err(), "probability over 1");
+
+        let mut spec = good.clone();
+        spec.fault = Some(FaultSpec {
+            transient_error_prob: 0.5,
+            permanent_error_prob: 0.4,
+            panic_prob: 0.3,
+            ..FaultSpec::default()
+        });
+        assert!(spec.validate().is_err(), "error bands exceed one draw");
+
+        let mut spec = good.clone();
+        spec.fault = Some(FaultSpec {
+            latency_spike_prob: 0.2,
+            latency_spike_ms: 0,
+            ..FaultSpec::default()
+        });
+        assert!(spec.validate().is_err(), "spike with zero duration");
+
+        let mut spec = good.clone();
+        spec.resilience = Some(ResilienceSpec {
+            max_retries: 2,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 10,
+            ..ResilienceSpec::default()
+        });
+        assert!(spec.validate().is_err(), "cap under base");
+
+        // Inert sections are valid — and equivalent to omitting them.
+        let mut spec = good;
+        spec.fault = Some(FaultSpec::default());
+        spec.resilience = Some(ResilienceSpec::default());
+        spec.validate().unwrap();
+        assert!(!DriverConfig::from(&spec).chaos);
+        assert!(!DriverConfig::from(&spec).resilience.is_active());
+    }
+
+    #[test]
+    fn active_fault_spec_switches_driver_to_chaos() {
+        let mut spec = ScenarioSpec::new("chaotic", "customer_service");
+        spec.fault = Some(FaultSpec {
+            transient_error_prob: 0.1,
+            ..FaultSpec::default()
+        });
+        let config = DriverConfig::from(&spec);
+        assert!(config.chaos, "active faults must engage the resilient path");
+
+        spec.resilience = Some(ResilienceSpec {
+            deadline_ms: 100,
+            breaker_half_open_probes: 0, // normalized to 1
+            ..ResilienceSpec::default()
+        });
+        let config = DriverConfig::from(&spec);
+        assert!(config.resilience.is_active());
+        assert_eq!(config.resilience.breaker_half_open_probes, 1);
     }
 
     #[test]

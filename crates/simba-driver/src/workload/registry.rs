@@ -9,7 +9,10 @@
 //! file with `bench --spec <file>`.
 
 use super::datagen::DatagenSweep;
-use super::{ArrivalSpec, CacheSpec, EngineSpec, ScenarioSpec, SourceSpec, ThinkSpec};
+use super::{
+    ArrivalSpec, CacheSpec, EngineSpec, FaultSpec, ResilienceSpec, ScenarioSpec, SourceSpec,
+    ThinkSpec,
+};
 use simba_engine::EngineKind;
 
 /// Scale knobs shared by every built-in suite.
@@ -106,13 +109,14 @@ impl Scenario {
 }
 
 /// Names of every built-in scenario, in presentation order.
-pub const SCENARIO_NAMES: [&str; 6] = [
+pub const SCENARIO_NAMES: [&str; 7] = [
     "smoke",
     "concurrent-shootout",
     "adaptive-shootout",
     "idebench",
     "perf-report",
     "datagen-sweep",
+    "chaos",
 ];
 
 /// Expand a built-in scenario by name (case-insensitive), or `None` if
@@ -148,6 +152,11 @@ pub fn scenario(name: &str, params: &ScenarioParams) -> Option<Scenario> {
             "datagen-sweep",
             "dataset-generation throughput: datasets x size tiers x 1/N threads",
             ScenarioBody::Datagen(datagen_sweep(params)),
+        ),
+        "chaos" => (
+            "chaos",
+            "fault injection under resilience: every fault kind x engines x cache on/off",
+            ScenarioBody::Suite(chaos(params)),
         ),
         _ => return None,
     };
@@ -257,6 +266,92 @@ fn perf_report(params: &ScenarioParams) -> Vec<ScenarioSpec> {
     specs
 }
 
+fn chaos(params: &ScenarioParams) -> Vec<ScenarioSpec> {
+    let users = params.first_users();
+    // Fault timeline seed is decoupled from the workload seed so the same
+    // walks can be rerun under a different fault schedule by varying only
+    // `--seed` — and vice versa.
+    let fault_seed = params.seed.wrapping_add(0xC4A0_5EED);
+    let retrying = ResilienceSpec {
+        deadline_ms: 0,
+        max_retries: 4,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 8,
+        breaker_failure_threshold: 0,
+        breaker_cooldown_ms: 0,
+        breaker_half_open_probes: 1,
+    };
+
+    let mut specs = Vec::new();
+    // Mixed-fault sweep: transient errors, latency spikes, and rare panics
+    // on every engine, cache on and off. No permanent faults, and a retry
+    // budget deep enough that sessions almost always recover.
+    for kind in EngineKind::ALL {
+        for cache_on in [false, true] {
+            let mut spec = params.base("chaos", users);
+            spec.engine = EngineSpec::new(kind);
+            spec.source = SourceSpec::adaptive();
+            spec.cache = cache_on.then(CacheSpec::default);
+            spec.collect_fingerprints = true;
+            spec.fault = Some(FaultSpec {
+                seed: fault_seed,
+                latency_spike_prob: 0.05,
+                latency_spike_ms: 2,
+                transient_error_prob: 0.15,
+                permanent_error_prob: 0.0,
+                panic_prob: 0.03,
+            });
+            spec.resilience = Some(retrying.clone());
+            specs.push(spec);
+        }
+    }
+
+    // Deadline pressure: spikes longer than the per-attempt deadline force
+    // timeouts; retries re-roll the spike draw, so most queries recover on
+    // a fast attempt.
+    let mut timeout = params.base("chaos", users);
+    timeout.engine = EngineSpec::new(EngineKind::DuckDbLike);
+    timeout.source = SourceSpec::scripted();
+    timeout.fault = Some(FaultSpec {
+        seed: fault_seed,
+        latency_spike_prob: 0.3,
+        latency_spike_ms: 50,
+        ..FaultSpec::default()
+    });
+    timeout.resilience = Some(ResilienceSpec {
+        deadline_ms: 10,
+        ..retrying.clone()
+    });
+    specs.push(timeout);
+
+    // Breaker storm: every execution fails permanently, so the breaker
+    // must trip and shed; the run ends with every session degraded. This
+    // is the worst case the degraded-run report exists for.
+    let mut storm = params.base("chaos", users);
+    storm.engine = EngineSpec::new(EngineKind::SqliteLike);
+    storm.source = SourceSpec::scripted();
+    // Pace the storm past the breaker cooldown so half-open probes get a
+    // chance to run (and re-trip, since every probe fails too).
+    storm.think = ThinkSpec::Fixed { millis: 10 };
+    storm.fault = Some(FaultSpec {
+        seed: fault_seed,
+        permanent_error_prob: 1.0,
+        ..FaultSpec::default()
+    });
+    storm.resilience = Some(ResilienceSpec {
+        deadline_ms: 0,
+        max_retries: 1,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 2,
+        breaker_failure_threshold: 3,
+        breaker_cooldown_ms: 50,
+        breaker_half_open_probes: 1,
+    });
+    specs.push(storm);
+
+    specs
+}
+
 fn datagen_sweep(params: &ScenarioParams) -> DatagenSweep {
     DatagenSweep {
         datasets: Vec::new(),
@@ -342,6 +437,34 @@ mod tests {
         let sc = scenario("SMOKE", &params).unwrap();
         assert_eq!(sc.specs().len(), 12, "4 engines x 3 session modes");
         assert!(sc.specs().iter().all(|s| s.collect_fingerprints));
+    }
+
+    #[test]
+    fn chaos_covers_every_fault_kind_and_cache_state() {
+        let sc = scenario("chaos", &ScenarioParams::default()).unwrap();
+        let specs = sc.specs();
+        // 4 engines x 2 cache states + timeout spec + breaker storm.
+        assert_eq!(specs.len(), 10);
+        assert!(specs.iter().all(|s| s.fault.is_some()));
+        assert!(specs.iter().all(|s| s.resilience.is_some()));
+        assert!(specs.iter().any(|s| s.cache.is_some()));
+        assert!(specs.iter().any(|s| s.cache.is_none()));
+        let faults: Vec<&FaultSpec> = specs.iter().filter_map(|s| s.fault.as_ref()).collect();
+        assert!(faults.iter().any(|f| f.transient_error_prob > 0.0));
+        assert!(faults.iter().any(|f| f.permanent_error_prob > 0.0));
+        assert!(faults.iter().any(|f| f.latency_spike_prob > 0.0));
+        assert!(faults.iter().any(|f| f.panic_prob > 0.0));
+        // At least one spec forces timeouts (deadline under spike length)
+        // and one enables the breaker.
+        assert!(specs.iter().any(|s| {
+            let (Some(f), Some(r)) = (&s.fault, &s.resilience) else {
+                return false;
+            };
+            r.deadline_ms > 0 && f.latency_spike_ms > r.deadline_ms
+        }));
+        assert!(specs
+            .iter()
+            .any(|s| s.resilience.as_ref().unwrap().breaker_failure_threshold > 0));
     }
 
     #[test]

@@ -13,6 +13,19 @@ pub enum EngineError {
     Unsupported(String),
     /// A query shape error (e.g. projecting an ungrouped column).
     Invalid(String),
+    /// A transient execution failure (dropped connection, overload shed, an
+    /// injected chaos fault): the same query may well succeed if retried.
+    /// Every other variant is permanent — the query itself is at fault and
+    /// retrying can only fail the same way.
+    Transient(String),
+}
+
+impl EngineError {
+    /// Is this failure worth retrying? Only [`EngineError::Transient`] is:
+    /// the rest describe the query, not the moment.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Transient(_))
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -24,6 +37,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
             EngineError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+            EngineError::Transient(msg) => write!(f, "transient failure: {msg}"),
         }
     }
 }

@@ -21,6 +21,7 @@ pub mod engines;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod fault;
 pub mod plan;
 
 #[cfg(test)]
@@ -33,10 +34,29 @@ pub use engines::postgres_like::PostgresLike;
 pub use engines::sqlite_like::SqliteLike;
 pub use error::EngineError;
 pub use exec::{execute_row_oracle, ExecStats, QueryOutput};
+pub use fault::{FaultConfig, FaultInjectingDbms, FaultStats};
 
 use simba_sql::Select;
 use simba_store::Table;
 use std::sync::Arc;
+
+/// Deterministic identity of one query execution attempt, threaded through
+/// [`Dbms::execute_at`] so wrappers (notably [`FaultInjectingDbms`]) can key
+/// per-attempt decisions on *who* is executing rather than on wall-clock or
+/// shared mutable state. `(session, step, query)` name the position of the
+/// query inside a driver run; `attempt` counts retries of that position
+/// (0 = first try).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct QueryCtx {
+    /// Session (user) index within the run.
+    pub session: u64,
+    /// Step index within the session (0 = initial render).
+    pub step: u64,
+    /// Query index within the step (dashboards refresh several charts).
+    pub query: u64,
+    /// Retry attempt of this `(session, step, query)` position.
+    pub attempt: u32,
+}
 
 /// A database management system under test.
 pub trait Dbms: Send + Sync {
@@ -55,6 +75,15 @@ pub trait Dbms: Send + Sync {
 
     /// Execute one query, returning results, statistics, and latency.
     fn execute(&self, query: &Select) -> Result<QueryOutput, EngineError>;
+
+    /// [`execute`](Self::execute) with the caller's execution identity
+    /// attached. Real engines ignore the context (results may never depend
+    /// on who asks); fault-injecting wrappers key their deterministic
+    /// per-attempt decisions on it.
+    fn execute_at(&self, query: &Select, ctx: &QueryCtx) -> Result<QueryOutput, EngineError> {
+        let _ = ctx;
+        self.execute(query)
+    }
 }
 
 /// Identifiers for the four built-in engines.
