@@ -1,0 +1,147 @@
+//! `simba-lint`: run the determinism & concurrency lint pass over the
+//! workspace.
+//!
+//! ```text
+//! simba-lint [--root DIR] [--lint NAME]... [--json] [--deny] [--list]
+//! ```
+//!
+//! * `--root DIR`   workspace root to scan (default: nearest ancestor of
+//!   the current directory containing a `crates/` dir, else `.`)
+//! * `--lint NAME`  run only the named lint (repeatable)
+//! * `--json`       machine-readable output
+//! * `--deny`       escalate warn-level findings to deny
+//! * `--list`       print the lint catalog and exit
+//!
+//! Exit codes: `0` clean, `1` deny-level findings, `2` usage or I/O error.
+
+use simba_analyze::diag::Level;
+use simba_analyze::{all_lints, analyze_workspace, Config, Lint};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    lints: Vec<String>,
+    json: bool,
+    deny: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        lints: Vec::new(),
+        json: false,
+        deny: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--lint" => {
+                let v = it.next().ok_or("--lint requires a lint name argument")?;
+                args.lints.push(v);
+            }
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: simba-lint [--root DIR] [--lint NAME]... [--json] [--deny] [--list]";
+
+/// Nearest ancestor of the current directory containing `crates/`.
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("simba-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let catalog = all_lints();
+    if args.list {
+        for lint in &catalog {
+            println!(
+                "{:28} [{}] {}",
+                lint.name(),
+                lint.level().name(),
+                lint.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for requested in &args.lints {
+        if !catalog.iter().any(|l| l.name() == requested) {
+            eprintln!("simba-lint: unknown lint `{requested}` (see --list)");
+            return ExitCode::from(2);
+        }
+    }
+    let lints: Vec<Box<dyn Lint>> = all_lints()
+        .into_iter()
+        .filter(|l| args.lints.is_empty() || args.lints.iter().any(|n| n == l.name()))
+        .collect();
+
+    let root = args.root.unwrap_or_else(find_root);
+    let cfg = Config::workspace_default();
+    let mut report = match analyze_workspace(&root, &cfg, &lints) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simba-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if args.deny {
+        for d in &mut report.diagnostics {
+            d.level = Level::Deny;
+        }
+    }
+
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "simba-lint: {} finding(s) ({} deny) across {} file(s)",
+            report.diagnostics.len(),
+            report.deny_count(),
+            report.files_scanned
+        );
+    }
+
+    if report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

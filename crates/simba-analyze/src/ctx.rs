@@ -1,0 +1,312 @@
+//! Per-file analysis context: the token stream plus the lightweight
+//! structure every lint needs — function boundaries, inline module paths,
+//! `#[cfg(test)]` regions, and pragma suppression.
+
+use crate::lex::{lex, Pragma, TokKind, Token};
+
+/// Token-index span of one named item (`fn` or `mod`) body.
+#[derive(Debug, Clone)]
+pub struct ItemSpan {
+    /// The item's name.
+    pub name: String,
+    /// Index of the first token of the item (its keyword).
+    pub start: usize,
+    /// Index of the item's closing `}` (or terminating `;`), inclusive.
+    pub end: usize,
+}
+
+/// Everything a lint sees about one source file.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The lexed token stream (comments and whitespace removed).
+    pub toks: Vec<Token>,
+    pragmas: Vec<Pragma>,
+    /// Body spans of every `fn`, innermost-last for nested fns.
+    pub fns: Vec<ItemSpan>,
+    /// Body spans of every inline `mod name { ... }`.
+    pub mods: Vec<ItemSpan>,
+    /// Token ranges under a `#[cfg(test)]` attribute — skipped by lints:
+    /// test scaffolding may legitimately unwrap, index, and iterate.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileCtx {
+    /// Lex and structurally index one source file.
+    pub fn new(path: &str, src: &str) -> FileCtx {
+        let (toks, pragmas) = lex(src);
+        let fns = item_spans(&toks, "fn");
+        let mods = item_spans(&toks, "mod");
+        let test_ranges = cfg_test_ranges(&toks);
+        FileCtx {
+            path: path.replace('\\', "/"),
+            toks,
+            pragmas,
+            fns,
+            mods,
+            test_ranges,
+        }
+    }
+
+    /// Token text at `i`, or `""` past the end.
+    pub fn t(&self, i: usize) -> &str {
+        self.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    /// Is token `i` an identifier with exactly this text?
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+    }
+
+    /// Is token `i` this punctuation character?
+    pub fn is_punct(&self, i: usize, ch: char) -> bool {
+        self.toks.get(i).is_some_and(|t| {
+            t.kind == TokKind::Punct && t.text.len() == 1 && t.text.starts_with(ch)
+        })
+    }
+
+    /// Does `::` start at token `i`?
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, ':') && self.is_punct(i + 1, ':')
+    }
+
+    /// Source line of token `i` (1 past the last line when out of range).
+    pub fn line(&self, i: usize) -> u32 {
+        self.toks
+            .get(i)
+            .map(|t| t.line)
+            .unwrap_or_else(|| self.toks.last().map(|t| t.line + 1).unwrap_or(1))
+    }
+
+    /// Is token `i` inside a `#[cfg(test)]` region?
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| s <= i && i <= e)
+    }
+
+    /// Is source `line` inside a `#[cfg(test)]` region? Used by the
+    /// runner to drop diagnostics (which carry lines, not token indices)
+    /// raised in test scaffolding.
+    pub fn line_in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| self.line(s) <= line && line <= self.line(e))
+    }
+
+    /// Name of the innermost `fn` whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&str> {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= i && i <= f.end)
+            .min_by_key(|f| f.end - f.start)
+            .map(|f| f.name.as_str())
+    }
+
+    /// Inline-module path containing token `i` (outermost first), e.g.
+    /// `["imp", "detail"]`. Empty at file top level.
+    pub fn module_path(&self, i: usize) -> Vec<&str> {
+        let mut mods: Vec<&ItemSpan> = self
+            .mods
+            .iter()
+            .filter(|m| m.start <= i && i <= m.end)
+            .collect();
+        mods.sort_by_key(|m| m.start);
+        mods.into_iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// Is a diagnostic of `lint` at source line `line` suppressed by a
+    /// pragma? A non-file pragma covers its own line and the next line
+    /// carrying any code token.
+    pub fn suppressed(&self, lint: &str, line: u32) -> bool {
+        self.pragmas.iter().any(|p| {
+            if p.lint != lint {
+                return false;
+            }
+            if p.file_wide {
+                return true;
+            }
+            line == p.line || line == self.next_code_line(p.line)
+        })
+    }
+
+    /// Smallest token line strictly greater than `after`, or `after` when
+    /// the pragma is the last line of the file.
+    fn next_code_line(&self, after: u32) -> u32 {
+        self.toks
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > after)
+            .min()
+            .unwrap_or(after)
+    }
+}
+
+/// Find the body span of every `keyword NAME ... { ... }` item (or a
+/// semicolon-terminated declaration, whose span ends at the `;`).
+fn item_spans(toks: &[Token], keyword: &str) -> Vec<ItemSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == keyword {
+            // `mod` / `fn` as a path segment (`self::mod`) can't occur; a
+            // preceding `.` would mean a method named like the keyword.
+            if i > 0 && toks[i - 1].text == "." {
+                i += 1;
+                continue;
+            }
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    if let Some(end) = body_end(toks, i + 2) {
+                        spans.push(ItemSpan {
+                            name: name_tok.text.clone(),
+                            start: i,
+                            end,
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// From a position inside an item header, find the index of the matching
+/// `}` of its body — or of a terminating `;` when the item has no body.
+/// Parentheses are tracked so `;` inside default-argument-ish positions
+/// (or `fn(...)` types) doesn't end the item early.
+fn body_end(toks: &[Token], from: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut i = from;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            ";" if paren <= 0 => return Some(i),
+            "{" if paren <= 0 => {
+                // Found the body: match braces to its close.
+                let mut depth = 0i32;
+                while i < toks.len() {
+                    match toks[i].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(i);
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Token ranges covered by a `#[cfg(test)]` attribute: the attribute plus
+/// the following item (through any stacked attributes).
+fn cfg_test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].text == "#"
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+            && toks[i + 4].text == "test"
+            && toks[i + 5].text == ")"
+            && toks[i + 6].text == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further stacked attributes.
+        let mut j = i + 7;
+        while toks.get(j).is_some_and(|t| t.text == "#")
+            && toks.get(j + 1).is_some_and(|t| t.text == "[")
+        {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        if let Some(end) = body_end(toks, j) {
+            ranges.push((i, end));
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_and_mod_spans_are_indexed() {
+        let ctx = FileCtx::new(
+            "x.rs",
+            "mod outer { fn inner(a: u32) -> u32 { a } }\nfn top() {}",
+        );
+        assert_eq!(ctx.mods.len(), 1);
+        assert_eq!(ctx.mods[0].name, "outer");
+        let names: Vec<_> = ctx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["inner", "top"]);
+        // A token inside `inner` sees both the fn and the module.
+        let a_idx = ctx
+            .toks
+            .iter()
+            .position(|t| t.text == "a" && t.line == 1)
+            .unwrap();
+        assert_eq!(ctx.enclosing_fn(a_idx), Some("inner"));
+        assert_eq!(ctx.module_path(a_idx), vec!["outer"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() { x.unwrap(); } }";
+        let ctx = FileCtx::new("x.rs", src);
+        let unwrap_idx = ctx.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(ctx.in_test(unwrap_idx));
+        let live_idx = ctx.toks.iter().position(|t| t.text == "live").unwrap();
+        assert!(!ctx.in_test(live_idx));
+    }
+
+    #[test]
+    fn pragma_suppresses_own_and_next_code_line() {
+        let src = "// simba: allow(some-lint): reason\nfn f() {}\nfn g() {}";
+        let ctx = FileCtx::new("x.rs", src);
+        assert!(ctx.suppressed("some-lint", 1));
+        assert!(ctx.suppressed("some-lint", 2));
+        assert!(!ctx.suppressed("some-lint", 3));
+        assert!(!ctx.suppressed("other-lint", 2));
+    }
+
+    #[test]
+    fn file_wide_pragma_suppresses_everywhere() {
+        let src = "// simba: allow-file(some-lint): whole file\nfn f() {}\nfn g() {}";
+        let ctx = FileCtx::new("x.rs", src);
+        assert!(ctx.suppressed("some-lint", 3));
+    }
+}

@@ -1,0 +1,190 @@
+//! Diagnostics and report rendering (human and machine-readable).
+
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Advisory: reported, but does not fail the gate unless `--deny`.
+    Warn,
+    /// Contract violation: always fails the gate.
+    Deny,
+}
+
+impl Level {
+    /// Stable lowercase name (`"warn"` / `"deny"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+/// One finding: a lint, a location, and what the contract says about it.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Name of the lint that fired.
+    pub lint: &'static str,
+    /// Effective severity.
+    pub level: Level,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation, including the remediation.
+    pub message: String,
+    /// Enclosing function name, when known.
+    pub context: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}: {}",
+            self.path,
+            self.line,
+            self.level.name(),
+            self.lint,
+            self.message
+        )?;
+        if let Some(ctx) = &self.context {
+            write!(f, " (in fn `{ctx}`)")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All diagnostics, ordered by path, then line, then lint name.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sort diagnostics into the canonical deterministic order.
+    pub fn finish(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    }
+
+    /// Count of deny-level diagnostics.
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Deny)
+            .count()
+    }
+
+    /// Render the machine-readable JSON form. Hand-rolled (this crate is
+    /// dependency-free); key order and array order are deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"lint\": {}, ", json_str(d.lint)));
+            out.push_str(&format!("\"level\": {}, ", json_str(d.level.name())));
+            out.push_str(&format!("\"path\": {}, ", json_str(&d.path)));
+            out.push_str(&format!("\"line\": {}, ", d.line));
+            match &d.context {
+                Some(c) => out.push_str(&format!("\"fn\": {}, ", json_str(c))),
+                None => out.push_str("\"fn\": null, "),
+            }
+            out.push_str(&format!("\"message\": {}", json_str(&d.message)));
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"total\": {}, \"deny\": {}, \"warn\": {}, \"files_scanned\": {}}}\n}}\n",
+            self.diagnostics.len(),
+            self.deny_count(),
+            self.diagnostics.len() - self.deny_count(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_is_valid_and_escaped() {
+        let mut r = Report {
+            diagnostics: vec![Diagnostic {
+                lint: "panic-hygiene",
+                level: Level::Deny,
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 7,
+                message: "bare `unwrap()` on a \"quoted\" thing".to_string(),
+                context: Some("worker_loop".to_string()),
+            }],
+            files_scanned: 3,
+        };
+        r.finish();
+        let json = r.to_json();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"deny\": 1"));
+        assert!(json.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn report_sorts_deterministically() {
+        let d = |path: &str, line: u32| Diagnostic {
+            lint: "x",
+            level: Level::Warn,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+            context: None,
+        };
+        let mut r = Report {
+            diagnostics: vec![d("b.rs", 1), d("a.rs", 9), d("a.rs", 2)],
+            files_scanned: 2,
+        };
+        r.finish();
+        let order: Vec<_> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.path.clone(), d.line))
+            .collect();
+        assert_eq!(
+            order,
+            [
+                ("a.rs".to_string(), 2),
+                ("a.rs".to_string(), 9),
+                ("b.rs".to_string(), 1)
+            ]
+        );
+    }
+}

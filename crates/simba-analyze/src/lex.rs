@@ -1,0 +1,411 @@
+//! A hand-rolled Rust lexer: the token stream every lint reads.
+//!
+//! This is deliberately *not* a full Rust parser. Lints in this crate are
+//! pattern matchers over tokens, so the lexer's one job is to get the
+//! boundaries right that naive text search gets wrong:
+//!
+//! * comments (line, nested block) never produce tokens — a lint keyword
+//!   inside a comment is not a violation;
+//! * string/char/byte/raw-string literals are single opaque tokens — code
+//!   that *mentions* `thread_rng` in a message does not call it;
+//! * lifetimes (`'a`) are distinguished from char literals (`'a'`);
+//! * every token carries its 1-based source line for diagnostics.
+//!
+//! The lexer is also where suppression pragmas are harvested: a comment of
+//! the form `// simba: allow(<lint>[, <lint>...]): <justification>`
+//! suppresses the named lints on the pragma's line and the next code line,
+//! and `// simba: allow-file(<lint>): <justification>` suppresses a lint
+//! for the whole file. The justification text after the closing paren is
+//! free-form but conventionally mandatory — a pragma without a reason is a
+//! review smell.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// Any literal: string, raw string, byte string, char, or number.
+    Lit,
+    /// A single punctuation character (`.`, `:`, `{`, ...).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// The token text. For literals this is the raw source spelling.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A `// simba: allow(...)` suppression comment.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The lint name inside `allow(...)`.
+    pub lint: String,
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+    /// `allow-file`: suppress the lint for the entire file.
+    pub file_wide: bool,
+}
+
+/// Lex `src` into tokens and suppression pragmas.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Pragma>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Token>,
+    pragmas: Vec<Pragma>,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            toks: Vec::new(),
+            pragmas: Vec::new(),
+            src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Pragma>) {
+        let _ = self.src; // retained for future span support
+        while let Some(c) = self.peek(0) {
+            if c == '\n' || c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string_literal();
+            } else if c == '\'' {
+                self.quote();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident_or_prefixed_literal();
+            } else {
+                let line = self.line;
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line);
+            }
+        }
+        (self.toks, self.pragmas)
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.harvest_pragma(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.harvest_pragma(&text, line);
+    }
+
+    /// Parse `simba: allow(name[, name...]): reason` out of comment text.
+    fn harvest_pragma(&mut self, comment: &str, line: u32) {
+        let body = comment.trim_start_matches('/').trim_start_matches('!');
+        let body = body.trim();
+        let Some(rest) = body.strip_prefix("simba:") else {
+            return;
+        };
+        let rest = rest.trim_start();
+        let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            (false, r)
+        } else {
+            return;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            return;
+        };
+        let Some(close) = rest.find(')') else {
+            return;
+        };
+        for name in rest[..close].split(',') {
+            let name = name.trim();
+            if !name.is_empty() {
+                self.pragmas.push(Pragma {
+                    lint: name.to_string(),
+                    line,
+                    file_wide,
+                });
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::from("\"");
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                text.push(c);
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                continue;
+            }
+            text.push(c);
+            if c == '"' {
+                break;
+            }
+        }
+        self.push(TokKind::Lit, text, line);
+    }
+
+    /// Raw string body after the `r`/`br` prefix: `r##"..."##` and friends.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` raw identifier: lex the ident normally.
+            self.ident_or_prefixed_literal();
+            return;
+        }
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Lit, "\"<raw>\"".to_string(), line);
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'a'`, `'\n'`).
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        match self.peek(0) {
+            // Escape: definitely a char literal.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // escaped char
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Lit, "'<char>'".to_string(), line);
+            }
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // `'a'` is a char literal; `'a` followed by anything else
+                // is a lifetime.
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Lit, "'<char>'".to_string(), line);
+                } else {
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    // Lifetimes produce no token: lints never match them.
+                }
+            }
+            // Non-alphabetic char literal: `'+'`, `' '`, ...
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Lit, "'<char>'".to_string(), line);
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e') | Some('E'))
+                && text.starts_with(|d: char| d.is_ascii_digit())
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Float exponent sign: `1e-5`.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Lit, text, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String/char prefixes: r"", r#""#, b"", br#""#, b''.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"')) => {
+                self.string_literal();
+                return;
+            }
+            ("r" | "br", Some('#')) => {
+                self.raw_string(line);
+                return;
+            }
+            ("b", Some('"')) => {
+                self.string_literal();
+                return;
+            }
+            ("b", Some('\'')) => {
+                self.quote();
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_keywords() {
+        let src = r##"
+            // thread_rng in a comment
+            /* Instant::now in /* a nested */ block */
+            let msg = "thread_rng inside a string";
+            let raw = r#"Instant::now inside a raw string"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let (toks, _) = lex(src);
+        let lits: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Lit).collect();
+        assert_eq!(lits.len(), 1, "only the char literal is a literal");
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn pragmas_are_harvested_with_lines() {
+        let src = "fn a() {}\n// simba: allow(wall-clock-outside-obs): timing output only\nfn b() {}\n// simba: allow-file(panic-hygiene): kernel invariants\n";
+        let (_, pragmas) = lex(src);
+        assert_eq!(pragmas.len(), 2);
+        assert_eq!(pragmas[0].lint, "wall-clock-outside-obs");
+        assert_eq!(pragmas[0].line, 2);
+        assert!(!pragmas[0].file_wide);
+        assert!(pragmas[1].file_wide);
+    }
+
+    #[test]
+    fn pragma_lists_split_on_commas() {
+        let (_, pragmas) = lex("// simba: allow(a-lint, b-lint): both fine here\n");
+        let names: Vec<_> = pragmas.iter().map(|p| p.lint.as_str()).collect();
+        assert_eq!(names, ["a-lint", "b-lint"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let (toks, _) = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

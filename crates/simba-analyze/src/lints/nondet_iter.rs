@@ -1,0 +1,608 @@
+//! `nondeterministic-iteration`: unordered map/set iteration where order
+//! can reach a fingerprint or report.
+//!
+//! `std::collections::HashMap`/`HashSet` use a per-process random hasher:
+//! iteration order differs *across runs*, so any order-sensitive value
+//! computed from it (emitted rows, serialized lists, LRU tie-breaks)
+//! silently violates the byte-identical RunReport contract. In scoped
+//! paths this lint flags iteration over bindings it can prove are
+//! hash-map-typed, unless the statement is evidently order-insensitive
+//! (sorted, collected into a `BTreeMap`/`BTreeSet`, or a pure size query)
+//! or the site carries a justification pragma.
+//!
+//! Tracking is deliberately lightweight (this is a token-level analyzer,
+//! not a type checker): a binding is map-typed if its declared type, its
+//! initializer, a field/param annotation, a called function's return
+//! type, or an enum-variant pattern says so. Misses are possible; false
+//! positives are what the `BTreeMap`/sorted-collect guards and pragmas
+//! are for.
+
+use super::{diag, Lint, NONDET_ITER};
+use crate::config::Config;
+use crate::ctx::FileCtx;
+use crate::diag::{Diagnostic, Level};
+use std::collections::BTreeMap;
+
+/// Iteration methods whose visit order is the hasher's.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Wrapper types looked *through* when deciding a declared type's
+/// iteration order (iterating a lock guard iterates the map inside).
+const WRAPPERS: &[&str] = &[
+    "Arc",
+    "Rc",
+    "Box",
+    "RwLock",
+    "Mutex",
+    "RefCell",
+    "Option",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "MutexGuard",
+];
+
+/// Identifiers that make the statement evidently order-insensitive.
+const SUPPRESSORS: &[&str] = &["BTreeMap", "BTreeSet", "count", "len", "is_empty"];
+
+/// Flags unordered iteration over tracked `HashMap`/`HashSet` bindings.
+pub struct NondeterministicIteration;
+
+impl Lint for NondeterministicIteration {
+    fn name(&self) -> &'static str {
+        NONDET_ITER
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration in fingerprint/report paths without sorting"
+    }
+
+    fn level(&self) -> Level {
+        Level::Deny
+    }
+
+    fn check(&self, file: &FileCtx, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let tracked = collect_map_bindings(file);
+        flag_iteration_sites(file, &tracked, self.level(), out);
+    }
+}
+
+/// A name known to be hash-map-typed, valid over a token range (the
+/// enclosing fn for locals/params; the whole file for fields, fns, and
+/// variants).
+struct Binding {
+    start: usize,
+    end: usize,
+}
+
+/// Collected map-typed names: binding spans, map-returning fn names, and
+/// map-carrying enum variant names.
+struct Tracked {
+    bindings: BTreeMap<String, Vec<Binding>>,
+    map_fns: Vec<String>,
+}
+
+fn is_hash_collection(name: &str) -> bool {
+    name == "HashMap" || name == "HashSet"
+}
+
+/// Resolve the *outer* collection of a type token sequence: strip `&`,
+/// `mut`, and [`WRAPPERS`], and report whether the first meaningful type
+/// name is a hash collection. `Vec<RwLock<HashMap>>` is **not** — the Vec
+/// itself iterates in index order.
+fn outer_type_is_hash(file: &FileCtx, mut i: usize, limit: usize) -> bool {
+    let mut hops = 0;
+    while i < limit && hops < 12 {
+        let t = file.t(i);
+        if t == "&" || t == "mut" || t == "'" || t == "dyn" {
+            i += 1;
+            continue;
+        }
+        if file.is_path_sep(i) {
+            i += 2;
+            continue;
+        }
+        if file.toks.get(i).map(|k| k.kind) == Some(crate::lex::TokKind::Ident) {
+            if is_hash_collection(t) {
+                return true;
+            }
+            if WRAPPERS.contains(&t) {
+                // Descend into the wrapper's first type argument.
+                i += 1;
+                if file.t(i) == "<" {
+                    i += 1;
+                    hops += 1;
+                    continue;
+                }
+                return false;
+            }
+            // A path prefix like `std::collections::HashMap`: if `::`
+            // follows, keep walking the path.
+            if file.is_path_sep(i + 1) {
+                i += 3;
+                hops += 1;
+                continue;
+            }
+            return false;
+        }
+        return false;
+    }
+    false
+}
+
+/// End of the fn enclosing token `i`, or the file end.
+fn scope_end(file: &FileCtx, i: usize) -> usize {
+    file.fns
+        .iter()
+        .filter(|f| f.start <= i && i <= f.end)
+        .map(|f| f.end)
+        .min()
+        .unwrap_or(file.toks.len())
+}
+
+fn collect_map_bindings(file: &FileCtx) -> Tracked {
+    let mut tracked = Tracked {
+        bindings: BTreeMap::new(),
+        map_fns: Vec::new(),
+    };
+
+    // Pass 1: `fn name(...) -> <map type>` and enum variants carrying maps.
+    let mut variants: Vec<String> = Vec::new();
+    for i in 0..file.toks.len() {
+        if file.is_ident(i, "fn") && !file.is_punct(i.wrapping_sub(1), '.') {
+            if let Some(arrow) = find_return_arrow(file, i) {
+                if outer_type_is_hash(file, arrow, arrow + 16) {
+                    tracked.map_fns.push(file.t(i + 1).to_string());
+                }
+            }
+        }
+    }
+    // Enum variant scan: find `enum Name {`, walk its top-level entries.
+    let mut i = 0;
+    while i < file.toks.len() {
+        if file.is_ident(i, "enum") && !file.is_punct(i.wrapping_sub(1), '.') {
+            // Find the opening brace of the enum body.
+            let mut j = i + 2;
+            while j < file.toks.len() && file.t(j) != "{" && file.t(j) != ";" {
+                j += 1;
+            }
+            if file.t(j) == "{" {
+                let mut depth = 0i32;
+                let mut k = j;
+                while k < file.toks.len() {
+                    match file.t(k) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "(" if depth == 1 => {
+                            // `Variant(...)`: check payload for hash types.
+                            let variant = file.t(k - 1).to_string();
+                            let mut p = k;
+                            let mut pdepth = 0i32;
+                            let mut has_hash = false;
+                            while p < file.toks.len() {
+                                match file.t(p) {
+                                    "(" => pdepth += 1,
+                                    ")" => {
+                                        pdepth -= 1;
+                                        if pdepth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    t if is_hash_collection(t) => has_hash = true,
+                                    _ => {}
+                                }
+                                p += 1;
+                            }
+                            if has_hash && !variant.is_empty() {
+                                variants.push(variant);
+                            }
+                            k = p;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = k;
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: `name: <map type>` annotations (fields, params, lets) and
+    // `let name = <map-ish initializer>` / variant destructuring patterns.
+    for i in 0..file.toks.len() {
+        // Annotation: Ident `:` Type. Skip `::` path separators and
+        // struct literals (`Point { x: 1 }` — type position can't start
+        // with a literal, which `outer_type_is_hash` rejects anyway).
+        if file.toks.get(i).map(|t| t.kind) == Some(crate::lex::TokKind::Ident)
+            && file.is_punct(i + 1, ':')
+            && !file.is_punct(i + 2, ':')
+            && !file.is_punct(i.wrapping_sub(1), ':')
+            && outer_type_is_hash(file, i + 2, i + 18)
+        {
+            let (start, end) = binding_range(file, i);
+            tracked
+                .bindings
+                .entry(file.t(i).to_string())
+                .or_default()
+                .push(Binding { start, end });
+        }
+        // `let [mut] name = RHS;` — mark when the RHS mentions a hash
+        // constructor, a map-returning fn, or an already-tracked name.
+        if file.is_ident(i, "let") {
+            let mut j = i + 1;
+            if file.is_ident(j, "mut") {
+                j += 1;
+            }
+            let name = file.t(j).to_string();
+            if file.toks.get(j).map(|t| t.kind) != Some(crate::lex::TokKind::Ident) {
+                continue;
+            }
+            // Find `=` before `;` (skip `==`, type annotations).
+            let mut k = j + 1;
+            let mut found_eq = None;
+            while k < file.toks.len() && file.t(k) != ";" {
+                if file.is_punct(k, '=') && !file.is_punct(k + 1, '=') && !file.is_punct(k - 1, '=')
+                {
+                    found_eq = Some(k);
+                    break;
+                }
+                k += 1;
+            }
+            let Some(eq) = found_eq else { continue };
+            let mut rhs_is_map = false;
+            let mut r = eq + 1;
+            while r < file.toks.len() && file.t(r) != ";" && r < eq + 40 {
+                let t = file.t(r);
+                if is_hash_collection(t) {
+                    rhs_is_map = true;
+                    break;
+                }
+                // A mention of a map fn or tracked binding only propagates
+                // map-ness through *transparent* accessors (locks, clones,
+                // guard unwraps): `map.entry(k)` or `map.get(k)` yields a
+                // value, not the map.
+                let is_map_fn = tracked.map_fns.iter().any(|f| f == t);
+                if (is_map_fn || (is_tracked(&tracked, t, r) && !file.is_ident(r, &name)))
+                    && propagates_mapness(file, r, is_map_fn)
+                {
+                    rhs_is_map = true;
+                    break;
+                }
+                r += 1;
+            }
+            if rhs_is_map {
+                let end = scope_end(file, i);
+                tracked
+                    .bindings
+                    .entry(name)
+                    .or_default()
+                    .push(Binding { start: i, end });
+            }
+        }
+        // Variant pattern `Variant(name)` marks `name` in its fn scope.
+        if variants.iter().any(|v| file.is_ident(i, v))
+            && file.is_punct(i + 1, '(')
+            && file.toks.get(i + 2).map(|t| t.kind) == Some(crate::lex::TokKind::Ident)
+        {
+            let closes = file.is_punct(i + 3, ')');
+            // Also accept `Variant(mut name)`.
+            let (name_idx, closes) = if file.is_ident(i + 2, "mut") {
+                (i + 3, file.is_punct(i + 4, ')'))
+            } else {
+                (i + 2, closes)
+            };
+            if closes {
+                let end = scope_end(file, i);
+                tracked
+                    .bindings
+                    .entry(file.t(name_idx).to_string())
+                    .or_default()
+                    .push(Binding { start: i, end });
+            }
+        }
+    }
+    tracked
+}
+
+/// Validity range of an annotated binding: the enclosing fn for
+/// params/lets, the whole file for struct/enum fields (annotations at
+/// brace depth outside any fn).
+fn binding_range(file: &FileCtx, i: usize) -> (usize, usize) {
+    match file.enclosing_fn(i) {
+        Some(_) => (i, scope_end(file, i)),
+        None => (0, file.toks.len()),
+    }
+}
+
+/// Find the `->` of a fn signature starting at `fn_idx`, if any, at paren
+/// depth zero before the body `{` or a `;`.
+fn find_return_arrow(file: &FileCtx, fn_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = fn_idx + 1;
+    while i < file.toks.len() {
+        match file.t(i) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" | ";" if depth <= 0 => return None,
+            "-" if depth <= 0 && file.is_punct(i + 1, '>') => return Some(i + 2),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Methods that yield the map itself (or a handle that derefs to it), so
+/// a binding of the call result iterates in hash order too.
+const TRANSPARENT: &[&str] = &[
+    "read",
+    "write",
+    "lock",
+    "borrow",
+    "borrow_mut",
+    "clone",
+    "as_ref",
+    "as_mut",
+    "unwrap",
+    "unwrap_or_else",
+    "expect",
+];
+
+/// Does the map mention at `r` flow map-ness into the `let` binding? True
+/// when the binding aliases the map itself or reaches it through a
+/// [`TRANSPARENT`] accessor; false for value-returning methods like
+/// `.entry(k)` or `.get(k)`.
+fn propagates_mapness(file: &FileCtx, r: usize, is_fn_call: bool) -> bool {
+    let mut j = r + 1;
+    if is_fn_call {
+        // Skip the call's argument list.
+        if file.is_punct(j, '(') {
+            let mut depth = 0i32;
+            while j < file.toks.len() {
+                match file.t(j) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        } else {
+            // Not a call after all (e.g. a field with the fn's name).
+            return false;
+        }
+    }
+    if file.t(j) == ";" || file.t(j) == ")" {
+        return true; // plain alias / reference
+    }
+    file.is_punct(j, '.') && TRANSPARENT.contains(&file.t(j + 1))
+}
+
+fn is_tracked(tracked: &Tracked, name: &str, at: usize) -> bool {
+    tracked
+        .bindings
+        .get(name)
+        .is_some_and(|spans| spans.iter().any(|b| b.start <= at && at <= b.end))
+}
+
+fn flag_iteration_sites(
+    file: &FileCtx,
+    tracked: &Tracked,
+    level: Level,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..file.toks.len() {
+        // `name.iter()` / `self.name.iter()` method iteration.
+        if file.toks.get(i).map(|t| t.kind) == Some(crate::lex::TokKind::Ident)
+            && file.is_punct(i + 1, '.')
+            && ITER_METHODS.contains(&file.t(i + 2))
+            && file.is_punct(i + 3, '(')
+            && is_tracked(tracked, file.t(i), i)
+            && !statement_is_order_insensitive(file, i)
+        {
+            out.push(diag(
+                NONDET_ITER,
+                level,
+                file,
+                i,
+                format!(
+                    "iteration over hash-ordered `{}` via `.{}()`: order differs across \
+                         runs — sort the results, use a BTreeMap, or justify with a pragma",
+                    file.t(i),
+                    file.t(i + 2),
+                ),
+            ));
+        }
+        // `for pat in [&[mut]] name {` loop iteration.
+        if file.is_ident(i, "for") {
+            if let Some((name_idx, name)) = for_loop_subject(file, i) {
+                if is_tracked(tracked, &name, name_idx)
+                    && !statement_is_order_insensitive(file, name_idx)
+                {
+                    out.push(diag(
+                        NONDET_ITER,
+                        level,
+                        file,
+                        name_idx,
+                        format!(
+                            "`for` loop over hash-ordered `{name}`: iteration order differs \
+                             across runs — sort first, use a BTreeMap, or justify with a pragma"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// For a `for` at `i`, resolve the iterated identifier: the last plain
+/// ident of the head expression before the body `{`, provided no
+/// iteration-adapter call follows it (those are caught by the method
+/// scan).
+fn for_loop_subject(file: &FileCtx, i: usize) -> Option<(usize, String)> {
+    // Find `in` at depth 0.
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < file.toks.len() {
+        match file.t(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth <= 0 => return None,
+            "in" if depth <= 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if !file.is_ident(j, "in") {
+        return None;
+    }
+    // Head expression: tokens until the body `{`.
+    let mut last_ident: Option<(usize, String)> = None;
+    let mut k = j + 1;
+    let mut hdepth = 0i32;
+    while k < file.toks.len() {
+        match file.t(k) {
+            "(" | "[" => hdepth += 1,
+            ")" | "]" => hdepth -= 1,
+            "{" if hdepth <= 0 => break,
+            t => {
+                if file.toks.get(k).map(|t| t.kind) == Some(crate::lex::TokKind::Ident)
+                    && hdepth <= 0
+                {
+                    last_ident = Some((k, t.to_string()));
+                }
+            }
+        }
+        k += 1;
+    }
+    last_ident
+}
+
+/// Is the statement around a flagged iteration evidently
+/// order-insensitive? True when the statement window contains a
+/// [`SUPPRESSORS`] name or a `sort`-family call, or when the iteration
+/// feeds a `let` binding that is sorted in the immediately following
+/// statements (the canonical collect-then-sort shape).
+fn statement_is_order_insensitive(file: &FileCtx, at: usize) -> bool {
+    // Window: statement start (`;`/`{`/`}` going back) to end (`;`/`{`).
+    let mut start = at;
+    while start > 0 {
+        let t = file.t(start - 1);
+        if t == ";" || t == "{" || t == "}" {
+            break;
+        }
+        start -= 1;
+    }
+    let mut end = at;
+    while end < file.toks.len() {
+        let t = file.t(end);
+        if t == ";" || t == "{" {
+            break;
+        }
+        end += 1;
+    }
+    let window_has = |needle: fn(&str) -> bool| -> bool {
+        (start..end).any(|k| {
+            file.toks.get(k).map(|t| t.kind) == Some(crate::lex::TokKind::Ident)
+                && needle(file.t(k))
+        })
+    };
+    if window_has(|t| SUPPRESSORS.contains(&t) || t.contains("sort")) {
+        return true;
+    }
+    // Collect-then-sort: `let [mut] NAME ... = ...iteration...;` with
+    // `NAME.sort*` within the next few tokens after the `;`.
+    if file.is_ident(start, "let") {
+        let mut n = start + 1;
+        if file.is_ident(n, "mut") {
+            n += 1;
+        }
+        let name = file.t(n).to_string();
+        if !name.is_empty() {
+            let lookahead_end = (end + 30).min(file.toks.len());
+            for k in end..lookahead_end {
+                if file.is_ident(k, &name)
+                    && file.is_punct(k + 1, '.')
+                    && file.t(k + 2).contains("sort")
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<u32> {
+        let file = FileCtx::new("x.rs", src);
+        let mut out = Vec::new();
+        NondeterministicIteration.check(&file, &Config::permissive(), &mut out);
+        out.iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn flags_param_typed_map_iteration() {
+        let src = "fn f(m: &HashMap<String, u32>) {\nfor (k, v) in m.iter() { use_it(k, v); }\n}";
+        assert_eq!(run(src), [2]);
+    }
+
+    #[test]
+    fn flags_for_loop_over_map_field() {
+        let src = "struct S { seen: HashMap<u32, u32> }\nimpl S {\nfn f(&self) {\nfor (k, v) in &self.seen { g(k, v); }\n}\n}";
+        assert_eq!(run(src), [4]);
+    }
+
+    #[test]
+    fn tracks_through_map_returning_fn_and_lock_guard() {
+        let src = "fn shard(&self) -> &RwLock<HashMap<String, E>> { &self.s }\nfn g(&self) {\nlet shard = self.shard().read().unwrap();\nlet lru = shard.iter().min_by_key(|e| e.1);\n}";
+        assert_eq!(run(src), [4]);
+    }
+
+    #[test]
+    fn tracks_enum_variant_payloads() {
+        let src = "enum P { Hash(HashMap<K, V>), Flat(Vec<u32>) }\nfn f(p: P) {\nmatch p {\nP::Hash(map) => { for (k, v) in map { g(k, v); } }\nP::Flat(v) => { for x in v { h(x); } }\n}\n}";
+        assert_eq!(run(src), [4]);
+    }
+
+    #[test]
+    fn btreemap_and_vec_are_clean() {
+        let src = "fn f(m: &BTreeMap<String, u32>, v: &Vec<u32>) {\nfor (k, _) in m.iter() { g(k); }\nfor x in v.iter() { h(x); }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn sorted_and_size_queries_are_clean() {
+        let src = "fn f(m: &HashMap<String, u32>) {\nlet mut ks: Vec<_> = m.keys().cloned().collect();\nks.sort();\nlet n = m.len();\nlet sorted_now: Vec<_> = m.iter().collect::<BTreeMap<_, _>>().into_iter().collect();\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn vec_of_locked_maps_is_not_outer_hash() {
+        let src = "struct S { shards: Vec<RwLock<HashMap<K, V>>> }\nimpl S {\nfn f(&self) { for s in self.shards.iter() { g(s); } }\n}";
+        assert!(run(src).is_empty());
+    }
+}

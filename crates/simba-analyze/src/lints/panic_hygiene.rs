@@ -1,0 +1,136 @@
+//! `panic-hygiene`: worker-critical paths must degrade, not die.
+//!
+//! A panic inside the driver's worker loop, the single-flight cache, or
+//! an engine execute path kills a worker thread mid-run: the session it
+//! carried is lost and the RunReport silently changes shape — a
+//! determinism bug wearing a crash's clothes. In the configured critical
+//! paths this lint flags `.unwrap()`, `.expect(...)`, and (in the
+//! narrower index scope) bare slice indexing, all of which turn
+//! recoverable conditions (poisoned lock, disconnected channel, absent
+//! key) into panics. Sites that uphold a real invariant keep a pragma
+//! carrying the proof.
+
+use super::{diag, Lint, PANIC_HYGIENE};
+use crate::config::Config;
+use crate::ctx::FileCtx;
+use crate::diag::{Diagnostic, Level};
+use crate::lex::TokKind;
+
+/// Flags `unwrap`/`expect` calls and bare indexing in critical paths.
+pub struct PanicHygiene;
+
+impl Lint for PanicHygiene {
+    fn name(&self) -> &'static str {
+        PANIC_HYGIENE
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/bare-indexing in worker loop, single-flight cache, and engine execute paths"
+    }
+
+    fn level(&self) -> Level {
+        Level::Deny
+    }
+
+    fn check(&self, file: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let index_scoped = cfg.index_covers(&file.path);
+        for i in 0..file.toks.len() {
+            // `.unwrap()` / `.expect(` — exact method names only, so
+            // `unwrap_or_else` and `expect_err`-free recovery idioms pass.
+            if file.is_punct(i, '.')
+                && (file.is_ident(i + 1, "unwrap") || file.is_ident(i + 1, "expect"))
+                && file.is_punct(i + 2, '(')
+            {
+                let method = file.t(i + 1);
+                out.push(diag(
+                    PANIC_HYGIENE,
+                    self.level(),
+                    file,
+                    i + 1,
+                    format!(
+                        "`.{method}()` in a worker-critical path panics the carrying thread: \
+                         propagate an EngineError/WorkloadError (or recover, e.g. \
+                         `unwrap_or_else(PoisonError::into_inner)`) so the session degrades \
+                         instead of dying"
+                    ),
+                ));
+            }
+            // Bare indexing `expr[...]` — only in the narrower index
+            // scope (worker loop + cache), where an out-of-bounds or
+            // absent-key panic takes a worker down.
+            if index_scoped && file.is_punct(i, '[') && is_index_base(file, i) {
+                // `[..]` full-range reslicing cannot panic.
+                if file.is_punct(i + 1, '.')
+                    && file.is_punct(i + 2, '.')
+                    && file.is_punct(i + 3, ']')
+                {
+                    continue;
+                }
+                out.push(diag(
+                    PANIC_HYGIENE,
+                    self.level(),
+                    file,
+                    i,
+                    "bare indexing in a worker-critical path panics on out-of-bounds or \
+                     absent key: use `.get()`/`.get_mut()` and handle the miss"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Does the `[` at `i` index an expression (previous token an identifier,
+/// `]`, or `)`) rather than opening an array literal, attribute, or type?
+fn is_index_base(file: &FileCtx, i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let prev = &file.toks[i - 1];
+    match prev.kind {
+        TokKind::Ident => {
+            // Keywords that legally precede an array literal.
+            !matches!(
+                prev.text.as_str(),
+                "return" | "in" | "if" | "else" | "match" | "break" | "mut" | "as" | "let"
+            )
+        }
+        TokKind::Punct => prev.text == "]" || prev.text == ")",
+        TokKind::Lit => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<u32> {
+        let file = FileCtx::new("crates/simba-driver/src/driver.rs", src);
+        let mut out = Vec::new();
+        PanicHygiene.check(&file, &Config::permissive(), &mut out);
+        out.iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_indexing() {
+        let src = "fn f(v: &[u32], m: &Map) {\nlet a = m.get(0).unwrap();\nlet b = m.lock().expect(\"poisoned\");\nlet c = v[2];\nlet d = arrivals[user];\n}";
+        assert_eq!(run(src), [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recovery_idioms_and_literals_are_clean() {
+        let src = "#[derive(Debug)]\nfn f(v: &[u32]) {\nlet a = lock().unwrap_or_else(PoisonError::into_inner);\nlet b = v.get(2).copied().unwrap_or(0);\nlet c = [1, 2, 3];\nlet d = vec![0; 4];\nlet e = &v[..];\nlet ty: [u8; 4] = [0; 4];\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn indexing_only_flagged_in_index_scope() {
+        let src = "fn f(v: &[u32]) { let a = v[0]; }";
+        let file = FileCtx::new("crates/simba-engine/src/exec.rs", src);
+        let mut out = Vec::new();
+        let mut cfg = Config::permissive();
+        cfg.index_scope = vec!["crates/simba-driver/".to_string()];
+        PanicHygiene.check(&file, &cfg, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! `unseeded-randomness`: every random draw must chain from the scenario
+//! seed.
+//!
+//! `thread_rng()`, `from_entropy()`, OS RNGs, and `rand::random` pull from
+//! process entropy, so two runs of the same scenario diverge at the first
+//! draw. The repo's rule: all randomness derives from the `ScenarioSpec`
+//! seed via splitmix64 (`ChaCha8Rng::seed_from_u64` and the per-user
+//! derivations). This lint has no allowed paths — not even binaries.
+
+use super::{diag, Lint, UNSEEDED_RANDOMNESS};
+use crate::config::Config;
+use crate::ctx::FileCtx;
+use crate::diag::{Diagnostic, Level};
+
+/// Entropy-seeded constructor and RNG names that are banned outright.
+const BANNED_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "ThreadRng",
+    "getrandom",
+];
+
+/// Flags entropy-seeded RNG construction and `rand::random` calls.
+pub struct UnseededRandomness;
+
+impl Lint for UnseededRandomness {
+    fn name(&self) -> &'static str {
+        UNSEEDED_RANDOMNESS
+    }
+
+    fn description(&self) -> &'static str {
+        "entropy-seeded RNGs (thread_rng/from_entropy/OsRng/rand::random) anywhere"
+    }
+
+    fn level(&self) -> Level {
+        Level::Deny
+    }
+
+    fn check(&self, file: &FileCtx, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+        for i in 0..file.toks.len() {
+            let t = file.t(i);
+            let hit = if BANNED_IDENTS.contains(&t) {
+                Some(t.to_string())
+            } else if t == "rand" && file.is_path_sep(i + 1) && file.is_ident(i + 3, "random") {
+                Some("rand::random".to_string())
+            } else {
+                None
+            };
+            if let Some(name) = hit {
+                // `use rand::...` imports still count: an import of a
+                // banned name is one keystroke from a violation. But skip
+                // the *definition* sites inside a vendored rand itself
+                // (excluded by config paths anyway).
+                out.push(diag(
+                    UNSEEDED_RANDOMNESS,
+                    self.level(),
+                    file,
+                    i,
+                    format!(
+                        "`{name}` draws from process entropy; chain from the scenario seed \
+                         instead (splitmix64 -> ChaCha8Rng::seed_from_u64)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<u32> {
+        let file = FileCtx::new("x.rs", src);
+        let mut out = Vec::new();
+        UnseededRandomness.check(&file, &Config::permissive(), &mut out);
+        out.iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn flags_entropy_sources() {
+        let src = "fn f() {\nlet r = thread_rng();\nlet s = SmallRng::from_entropy();\nlet x: u8 = rand::random();\n}";
+        assert_eq!(run(src), [2, 3, 4]);
+    }
+
+    #[test]
+    fn seeded_rngs_are_clean() {
+        assert!(run("fn f(seed: u64) { let r = ChaCha8Rng::seed_from_u64(seed); }").is_empty());
+    }
+}

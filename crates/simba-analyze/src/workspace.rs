@@ -1,0 +1,116 @@
+//! Workspace walking and the lint runner.
+//!
+//! The walker visits [`Config::scan_roots`] recursively, collecting `.rs`
+//! files in **sorted path order** — the analyzer itself honors the
+//! determinism contract it enforces: same tree in, byte-identical report
+//! out. The runner applies scoping before each lint and pragma/test-range
+//! filtering after, so individual lints stay pure token-pattern matchers.
+
+use crate::config::Config;
+use crate::ctx::FileCtx;
+use crate::diag::{Diagnostic, Report};
+use crate::lints::Lint;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collect every `.rs` file under the config's scan roots, as
+/// workspace-relative `/`-separated paths in sorted order. Files matching
+/// a [`Config::skip_fragments`] entry are dropped.
+pub fn collect_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    for scan_root in &cfg.scan_roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut rel: Vec<String> = files
+        .into_iter()
+        .filter_map(|p| {
+            let r = p
+                .strip_prefix(root)
+                .ok()?
+                .to_string_lossy()
+                .replace('\\', "/");
+            (!cfg.skips(&r)).then_some(r)
+        })
+        .collect();
+    rel.sort();
+    rel.dedup();
+    Ok(rel)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run `lints` over one parsed file: scope, check, then drop diagnostics
+/// suppressed by pragmas or raised inside `#[cfg(test)]` regions.
+pub fn analyze_file(file: &FileCtx, cfg: &Config, lints: &[Box<dyn Lint>]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for lint in lints {
+        if !cfg.lint_covers(lint.name(), &file.path) {
+            continue;
+        }
+        let mut raw = Vec::new();
+        lint.check(file, cfg, &mut raw);
+        out.extend(
+            raw.into_iter()
+                .filter(|d| !file.suppressed(d.lint, d.line) && !file.line_in_test(d.line)),
+        );
+    }
+    out
+}
+
+/// Analyze the workspace rooted at `root` with the given lints, producing
+/// a finished (sorted) [`Report`]. Unreadable files are reported as an
+/// `io::Error` rather than silently skipped — a lint gate that skips what
+/// it cannot read is not a gate.
+pub fn analyze_workspace(root: &Path, cfg: &Config, lints: &[Box<dyn Lint>]) -> io::Result<Report> {
+    let paths = collect_files(root, cfg)?;
+    let mut report = Report::default();
+    for rel in &paths {
+        let src = fs::read_to_string(root.join(rel))?;
+        let file = FileCtx::new(rel, &src);
+        report.diagnostics.extend(analyze_file(&file, cfg, lints));
+        report.files_scanned += 1;
+    }
+    report.finish();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::all_lints;
+
+    #[test]
+    fn runner_applies_pragmas_and_test_ranges() {
+        let src = "fn f() {\n// simba: allow(unseeded-randomness): fixture\nlet a = thread_rng();\nlet b = thread_rng();\n}\n#[cfg(test)]\nmod tests {\nfn g() { let c = thread_rng(); }\n}\n";
+        let file = FileCtx::new("x.rs", src);
+        let out = analyze_file(&file, &Config::permissive(), &all_lints());
+        let lines: Vec<_> = out.iter().map(|d| d.line).collect();
+        assert_eq!(lines, [4]);
+    }
+
+    #[test]
+    fn scoped_lint_skips_uncovered_paths() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let cfg = Config::workspace_default();
+        let covered = FileCtx::new("crates/simba-engine/src/exec.rs", src);
+        assert_eq!(analyze_file(&covered, &cfg, &all_lints()).len(), 1);
+        let exempt = FileCtx::new("crates/simba-obs/src/trace.rs", src);
+        assert!(analyze_file(&exempt, &cfg, &all_lints()).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Golden-file fixture tests: each lint is pinned by a fixture source
+//! file under `tests/fixtures/` and an `.expected` file listing every
+//! diagnostic as `line:lint`, one per line. The fixtures also encode the
+//! false-positive guards (BTreeMap, sorted collects, recovery idioms,
+//! string/comment mentions) — a fixture line that must NOT fire is as
+//! much a part of the contract as one that must.
+
+use simba_analyze::{analyze_source, Config};
+use std::path::Path;
+
+fn check_fixture(name: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = std::fs::read_to_string(dir.join(format!("{name}.rs")))
+        .unwrap_or_else(|e| panic!("read fixture {name}.rs: {e}"));
+    let golden = std::fs::read_to_string(dir.join(format!("{name}.expected")))
+        .unwrap_or_else(|e| panic!("read golden {name}.expected: {e}"));
+
+    // Permissive config: every lint audits the fixture, and slice indexing
+    // is checked everywhere.
+    let mut got: Vec<String> =
+        analyze_source(&format!("fixtures/{name}.rs"), &src, &Config::permissive())
+            .iter()
+            .map(|d| format!("{}:{}", d.line, d.lint))
+            .collect();
+    got.sort();
+
+    let mut want: Vec<String> = golden
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    want.sort();
+
+    assert!(
+        !want.is_empty(),
+        "golden {name}.expected pins no diagnostics — every lint fixture must produce at least one"
+    );
+    assert_eq!(
+        got, want,
+        "fixture `{name}`: diagnostics diverged from {name}.expected"
+    );
+}
+
+#[test]
+fn nondet_iter_fixture() {
+    check_fixture("nondet_iter");
+}
+
+#[test]
+fn wall_clock_fixture() {
+    check_fixture("wall_clock");
+}
+
+#[test]
+fn randomness_fixture() {
+    check_fixture("randomness");
+}
+
+#[test]
+fn env_read_fixture() {
+    check_fixture("env_read");
+}
+
+#[test]
+fn panic_hygiene_fixture() {
+    check_fixture("panic_hygiene");
+}

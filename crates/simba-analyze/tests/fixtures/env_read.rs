@@ -1,0 +1,28 @@
+// Fixture for `env-read-outside-cli`.
+
+fn flagged_var() -> Option<String> {
+    std::env::var("SIMBA_MODE").ok()
+}
+
+fn flagged_unqualified_var_os() {
+    let _ = env::var_os("SIMBA_HOME");
+}
+
+fn flagged_vars_iteration() -> usize {
+    std::env::vars().count()
+}
+
+fn flagged_set_var() {
+    std::env::set_var("SIMBA_FLAG", "1");
+}
+
+fn suppressed_var() -> Option<String> {
+    // simba: allow(env-read-outside-cli): fixture-sanctioned env read
+    std::env::var("HOME").ok()
+}
+
+fn clean_env_named_local(env: &Environment) -> Option<String> {
+    // A binding named `env` with methods named like the accessors is not
+    // a std::env read.
+    env.lookup("X")
+}

@@ -1,0 +1,56 @@
+// Fixture for `nondeterministic-iteration`. Not compiled — lexed by the
+// analyzer's fixture harness, which pins each diagnostic (and each
+// deliberate non-diagnostic) against the golden `.expected` file.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Report {
+    fingerprints: HashMap<u64, u64>,
+}
+
+fn flagged_param_iteration(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, _) in m.iter() {
+        out.push(k.clone());
+    }
+    out
+}
+
+fn flagged_field_for_loop(r: &Report) -> u64 {
+    let mut acc = 0;
+    for (_, v) in &r.fingerprints {
+        acc ^= v;
+    }
+    acc
+}
+
+fn flagged_method_iteration(seen: &HashSet<u64>) -> Vec<u64> {
+    seen.values_are_not_this(); // decoy: not an iteration method
+    seen.drain().collect()
+}
+
+fn suppressed_xor_fold(m: &HashMap<String, u64>) -> u64 {
+    // simba: allow(nondeterministic-iteration): xor-fold is order-insensitive
+    m.values().fold(0, |a, b| a ^ b)
+}
+
+fn clean_btree(m: &BTreeMap<String, u64>) -> Vec<String> {
+    m.keys().cloned().collect()
+}
+
+fn clean_sorted_collect(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut ks: Vec<String> = m.keys().cloned().collect();
+    ks.sort();
+    ks
+}
+
+fn clean_size_query(s: &HashSet<u64>) -> usize {
+    s.len()
+}
+
+fn clean_vec_iteration(v: &[u64]) -> u64 {
+    let mut acc = 0;
+    for x in v.iter() {
+        acc += x;
+    }
+    acc
+}

@@ -1,0 +1,46 @@
+// Fixture for `panic-hygiene`. The fixture harness runs with the
+// permissive config, under which slice indexing is audited everywhere.
+
+fn flagged_unwrap(v: &[u32]) -> u32 {
+    v.first().unwrap() + 1
+}
+
+fn flagged_expect(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned")
+}
+
+fn flagged_indexing(v: &[u32], i: usize) -> u32 {
+    v[i]
+}
+
+fn flagged_chained_indexing(grid: &[Vec<u32>], r: usize, c: usize) -> u32 {
+    grid[r][c]
+}
+
+fn suppressed_unwrap(v: &[u32]) -> u32 {
+    // simba: allow(panic-hygiene): fixture invariant — v is non-empty by construction
+    v.first().unwrap() + 1
+}
+
+fn clean_poison_recovery(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn clean_get_with_default(v: &[u32], i: usize) -> u32 {
+    v.get(i).copied().unwrap_or(0)
+}
+
+#[derive(Debug)]
+struct NotAnIndex {
+    field: [u8; 4],
+}
+
+fn clean_literals_and_types() -> NotAnIndex {
+    let _arr = [1u8, 2, 3, 4];
+    let _vec = vec![0u8; 4];
+    NotAnIndex { field: [0; 4] }
+}
+
+fn clean_full_range_reslice(v: &[u32]) -> &[u32] {
+    &v[..]
+}

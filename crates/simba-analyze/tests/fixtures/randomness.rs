@@ -1,0 +1,29 @@
+// Fixture for `unseeded-randomness`.
+
+fn flagged_thread_rng() {
+    let mut rng = thread_rng();
+    rng.fill(&mut [0u8; 8]);
+}
+
+fn flagged_from_entropy() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+fn flagged_rand_random() -> u8 {
+    rand::random()
+}
+
+fn flagged_os_rng() -> OsRng {
+    OsRng
+}
+
+fn suppressed_thread_rng() {
+    // simba: allow(unseeded-randomness): fixture-sanctioned entropy
+    let _rng = thread_rng();
+}
+
+fn clean_seeded(seed: u64) -> ChaCha8Rng {
+    let _msg = "thread_rng in a string is not a call";
+    // thread_rng in a comment is not a call either.
+    ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,22 @@
+// Fixture for `wall-clock-outside-obs`.
+use std::time::{Instant, SystemTime};
+
+fn flagged_instant() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+fn flagged_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+fn suppressed_instant() {
+    // simba: allow(wall-clock-outside-obs): fixture-sanctioned timing site
+    let _ = Instant::now();
+}
+
+fn clean_mentions(start: Instant) -> u64 {
+    // Instant::now in a comment is not a violation.
+    let _msg = "neither is Instant::now inside a string literal";
+    start.elapsed().as_millis() as u64
+}

@@ -1,0 +1,30 @@
+//! The gate, as a test: the workspace must produce zero deny-level
+//! diagnostics under the default config. This is the same check CI runs
+//! via `simba-lint --deny`, wired into `cargo test` so a violation fails
+//! locally before it ever reaches a PR.
+
+use simba_analyze::{all_lints, analyze_workspace, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_deny_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf();
+    let report = analyze_workspace(&root, &Config::workspace_default(), &all_lints())
+        .expect("workspace scan failed");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files — wrong root?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "the workspace violates its own reproducibility contract:\n{}",
+        rendered.join("\n")
+    );
+}

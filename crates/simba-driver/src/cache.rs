@@ -17,7 +17,7 @@ use simba_sql::{query_cache_key, Select};
 use simba_store::ResultSet;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// Cache sizing.
@@ -98,17 +98,29 @@ impl Flight {
     }
 
     fn publish(&self, outcome: Result<Arc<CachedResult>, EngineError>) {
-        let mut slot = self.outcome.lock().expect("flight poisoned");
+        // Poison recovery, not `expect`: the slot only ever transitions
+        // `None -> Some(..)` in a single assignment, so a thread that
+        // panicked while holding this lock cannot have left it
+        // half-written. Panicking here instead would cascade the leader's
+        // failure into every coalesced follower's worker thread.
+        let mut slot = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
         *slot = Some(outcome);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<Arc<CachedResult>, EngineError> {
-        let mut slot = self.outcome.lock().expect("flight poisoned");
-        while slot.is_none() {
-            slot = self.ready.wait(slot).expect("flight poisoned");
+        let mut slot = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*slot {
+                Some(outcome) => return outcome.clone(),
+                None => {
+                    slot = self
+                        .ready
+                        .wait(slot)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
         }
-        slot.as_ref().expect("published").clone()
     }
 }
 
@@ -127,14 +139,18 @@ impl Drop for LeaderGuard<'_> {
         if !self.armed {
             return;
         }
-        // `if let Ok`, not `expect`: panicking in a drop that runs during
-        // unwinding would abort the process.
-        if let Ok(mut map) = self.inflight.lock() {
-            if let Some(flight) = map.remove(self.key) {
-                flight.publish(Err(EngineError::Invalid(
-                    "single-flight leader panicked".to_string(),
-                )));
-            }
+        // Recover a poisoned lock rather than `expect`: panicking in a
+        // drop that runs during unwinding would abort the process, and the
+        // map is structurally sound regardless (remove/insert are the only
+        // mutations).
+        let mut map = match self.inflight.lock() {
+            Ok(map) => map,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(flight) = map.remove(self.key) {
+            flight.publish(Err(EngineError::Internal(
+                "single-flight leader panicked before publishing".to_string(),
+            )));
         }
     }
 }
@@ -187,12 +203,32 @@ impl ShardedResultCache {
     }
 
     fn shard_of(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
+        // simba: allow(panic-hygiene): shard_index masks by the power-of-two shard count, so the index is in range by construction
         &self.shards[self.shard_index(key)]
+    }
+
+    /// Recover a shard's map from a poisoned lock. A panic while a guard
+    /// was held cannot corrupt the `HashMap` structurally (insert/remove/
+    /// clear don't unwind mid-rebalance), and the worst observable state —
+    /// a stale-but-valid entry — is exactly what a cache is allowed to
+    /// serve. Propagating the poison would instead fail every later query
+    /// that hashes to this shard.
+    fn read_shard<'a>(
+        shard: &'a RwLock<HashMap<String, Entry>>,
+    ) -> std::sync::RwLockReadGuard<'a, HashMap<String, Entry>> {
+        shard.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write-lock twin of [`read_shard`](Self::read_shard).
+    fn write_shard<'a>(
+        shard: &'a RwLock<HashMap<String, Entry>>,
+    ) -> std::sync::RwLockWriteGuard<'a, HashMap<String, Entry>> {
+        shard.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Look up a key, bumping its recency. Counts a hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<Arc<CachedResult>> {
-        let shard = self.shard_of(key).read().expect("cache shard poisoned");
+        let shard = Self::read_shard(self.shard_of(key));
         match shard.get(key) {
             Some(entry) => {
                 entry.last_used.store(
@@ -213,7 +249,7 @@ impl ShardedResultCache {
     /// double-check inside the single-flight path, where the original
     /// lookup already counted the miss).
     fn peek(&self, key: &str) -> Option<Arc<CachedResult>> {
-        let shard = self.shard_of(key).read().expect("cache shard poisoned");
+        let shard = Self::read_shard(self.shard_of(key));
         shard.get(key).map(|entry| {
             entry.last_used.store(
                 self.clock.fetch_add(1, Ordering::Relaxed),
@@ -236,7 +272,7 @@ impl ShardedResultCache {
         // inserts before we take that shard's lock — and is then wiped.
         self.generation.fetch_add(1, Ordering::AcqRel);
         for shard in &self.shards {
-            shard.write().expect("cache shard poisoned").clear();
+            Self::write_shard(shard).clear();
         }
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
@@ -256,7 +292,7 @@ impl ShardedResultCache {
         value: Arc<CachedResult>,
         only_if_generation: Option<u64>,
     ) {
-        let mut shard = self.shard_of(&key).write().expect("cache shard poisoned");
+        let mut shard = Self::write_shard(self.shard_of(&key));
         if let Some(generation) = only_if_generation {
             if self.generation.load(Ordering::Acquire) != generation {
                 return;
@@ -267,9 +303,20 @@ impl ShardedResultCache {
             return;
         }
         if shard.len() >= self.capacity_per_shard {
+            // Minimizing over `(last_used, key)` is order-insensitive: the
+            // logical clock makes `last_used` unique in practice, and the
+            // key tie-break pins the winner even if two entries ever carry
+            // the same tick — which entry is evicted never depends on the
+            // hasher's iteration order.
+            // simba: allow(nondeterministic-iteration): min over the totally ordered (last_used, key) pair; iteration order cannot change the winner
             let lru = shard
                 .iter()
-                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .min_by(|(ka, ea), (kb, eb)| {
+                    ea.last_used
+                        .load(Ordering::Relaxed)
+                        .cmp(&eb.last_used.load(Ordering::Relaxed))
+                        .then_with(|| ka.cmp(kb))
+                })
                 .map(|(k, _)| k.clone());
             if let Some(k) = lru {
                 shard.remove(&k);
@@ -323,6 +370,7 @@ impl ShardedResultCache {
         // Key construction (AST normalization + printing) is the dominant
         // cost of a hit — time it, or cache-on latency reports understate
         // the real per-query cost.
+        // simba: allow(wall-clock-outside-obs): hit/wait latency is this layer's measured deliverable, surfaced via obs phases; it never reaches fingerprints
         let start = Instant::now();
         let lookup_phase = simba_obs::phase!("cache.lookup", "cache", "cache.phase.lookup");
         let key = query_cache_key(query);
@@ -332,9 +380,14 @@ impl ShardedResultCache {
         drop(lookup_phase);
         // Miss (counted). Join an in-flight execution of this key, or
         // become its leader.
+        // simba: allow(panic-hygiene): shard_index masks by the power-of-two stripe count, so the index is in range by construction
         let inflight = &self.inflight[self.shard_index(&key)];
         let flight = {
-            let mut map = inflight.lock().expect("inflight map poisoned");
+            // Poisoned-lock recovery throughout the inflight map: its only
+            // mutations are insert/remove, so the map is structurally
+            // sound after a panic; failing here would take this worker
+            // down for an infrastructure fault another thread caused.
+            let mut map = inflight.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(flight) = map.get(&key) {
                 Some(flight.clone())
             } else {
@@ -388,7 +441,7 @@ impl ShardedResultCache {
             // the other cache counters.)
             self.error_passthrough.fetch_add(1, Ordering::Relaxed);
         }
-        let mut map = inflight.lock().expect("inflight map poisoned");
+        let mut map = inflight.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(flight) = map.remove(&key) {
             flight.publish(
                 outcome
@@ -417,10 +470,7 @@ impl ShardedResultCache {
 
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| Self::read_shard(s).len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -777,6 +827,88 @@ mod tests {
             "the flight's outcome is the post-retry success"
         );
         assert_eq!(stats.insertions, 1);
+    }
+
+    /// Regression for the panic-hygiene pass: a thread that panics while
+    /// holding a shard lock used to poison it and take down every later
+    /// caller that hashed to that shard. The cache now recovers the lock —
+    /// the map is structurally sound, and serving a cache entry is always
+    /// safe — so one crashed worker cannot cascade into a dead cache.
+    #[test]
+    fn poisoned_shard_lock_is_recovered_not_propagated() {
+        let cache = Arc::new(ShardedResultCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 4,
+        }));
+        cache.insert("a".to_string(), result_of(1));
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].write().unwrap();
+            panic!("poison the shard lock");
+        })
+        .join();
+        assert!(
+            cache.shards[0].is_poisoned(),
+            "setup: lock must be poisoned"
+        );
+        // Every path over the poisoned shard degrades to recovery.
+        assert!(cache.lookup("a").is_some());
+        cache.insert("b".to_string(), result_of(2));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    /// Regression: a follower coalesced onto a panicking leader's flight
+    /// must receive `EngineError::Internal` — not hang on the condvar, and
+    /// not panic itself. The leader blocks until the follower has joined
+    /// (observed via the `coalesced` counter), then panics; its unwind
+    /// guard retires the flight with the error the follower sees.
+    #[test]
+    fn follower_of_panicking_leader_gets_internal_error() {
+        struct PanicOnceJoined<'a> {
+            cache: &'a ShardedResultCache,
+        }
+        impl Dbms for PanicOnceJoined<'_> {
+            fn name(&self) -> &'static str {
+                "panic-once-joined-stub"
+            }
+            fn register(&self, _table: Arc<simba_store::Table>) {}
+            fn execute(&self, _query: &Select) -> Result<QueryOutput, EngineError> {
+                while self.cache.stats().coalesced == 0 {
+                    std::thread::yield_now();
+                }
+                panic!("injected leader bug");
+            }
+        }
+        let cache = ShardedResultCache::new(CacheConfig::default());
+        let q = simba_sql::parse_select("SELECT n FROM t").unwrap();
+        let follower_outcome = std::thread::scope(|scope| {
+            let leader = scope.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.execute_cached(&PanicOnceJoined { cache: &cache }, &q)
+                }))
+            });
+            let follower = scope.spawn(|| {
+                // Join only after the leader's flight exists, so this
+                // thread cannot win the leader election itself.
+                while !cache.inflight.iter().any(|m| !m.lock().unwrap().is_empty()) {
+                    std::thread::yield_now();
+                }
+                cache.execute_cached(&PanicOnceJoined { cache: &cache }, &q)
+            });
+            assert!(
+                leader.join().unwrap().is_err(),
+                "the leader's panic propagates"
+            );
+            follower.join().unwrap()
+        });
+        match follower_outcome {
+            Err(EngineError::Internal(msg)) => {
+                assert!(msg.contains("leader panicked"), "unexpected message: {msg}")
+            }
+            other => panic!("follower should see Internal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -425,6 +425,12 @@ impl Driver {
                 .collect();
             handles
                 .into_iter()
+                // Re-raising a worker panic on the coordinating thread is
+                // deliberate: worker_loop already converts every per-query
+                // failure (engine errors, timeouts, panicking engines) into
+                // degraded-session outcomes, so a panic escaping it is a
+                // driver bug whose report would be garbage anyway.
+                // simba: allow(panic-hygiene): join only fails if worker_loop itself panicked; propagating that bug beats fabricating a report from partial outcomes
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         });
@@ -555,14 +561,24 @@ impl Driver {
             exec.merge(&w.exec);
             steering.merge(&w.steering);
             resilience.merge(&w.resilience);
+            // `get_mut`, not indexing: worker outcomes are keyed by the
+            // session ids the dispatch loop handed out, which are in range
+            // by construction — but a bookkeeping bug here should drop one
+            // session's rows, not panic the whole report assembly.
             for (session, fps) in w.fingerprints {
-                fingerprints[session] = fps;
+                if let Some(slot) = fingerprints.get_mut(session) {
+                    *slot = fps;
+                }
             }
             for (session, acts) in w.actions {
-                actions[session] = acts;
+                if let Some(slot) = actions.get_mut(session) {
+                    *slot = acts;
+                }
             }
             for (session, d) in w.degraded {
-                degraded[session] = d;
+                if let Some(slot) = degraded.get_mut(session) {
+                    *slot = d;
+                }
             }
         }
 
@@ -666,7 +682,11 @@ impl Driver {
             if user >= sessions {
                 break;
             }
-            let lateness = self.pace_arrival(&mut out, arrivals[user], run_start);
+            // `user < sessions` was just checked, and `arrivals` has one
+            // slot per session — but a worker must never panic on a
+            // schedule-shape bug, so missing slots fall back to "no delay".
+            let arrival = arrivals.get(user).copied().unwrap_or(Duration::ZERO);
+            let lateness = self.pace_arrival(&mut out, arrival, run_start);
             // Root span: the trace sampler decides per session, so a
             // sampled session carries all of its steps, cache lookups, and
             // engine phases while an unsampled one records nothing.
@@ -1054,7 +1074,14 @@ fn run_attempt(
         Ok(Ok(Ok(output))) => Ok(output),
         Ok(Ok(Err(e))) => Err(AttemptError::Engine(e)),
         Ok(Err(_panic)) => Err(AttemptError::Panic),
-        Err(_timeout) => Err(AttemptError::Timeout),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(AttemptError::Timeout),
+        // Disconnected is not a timeout: the executor thread died without
+        // sending (its catch_unwind should make this unreachable). Calling
+        // it a timeout would send it through timeout-retry accounting;
+        // surface it as the infrastructure fault it is.
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(AttemptError::Engine(
+            EngineError::Internal("deadline executor thread disconnected without a result".into()),
+        )),
     }
 }
 

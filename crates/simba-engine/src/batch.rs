@@ -528,6 +528,7 @@ fn update_one(
         }
         (TypedAggKind::SumInt { col }, AggStateVec::SumInt { int, any }) => {
             let c = table.column(col);
+            // simba: allow(panic-hygiene): TypedGroupStates::compile pinned this kernel to the column's physical type; a mismatch is a planner bug, not a runtime condition
             let data = c.int_data().expect("typed agg column is Int");
             for_valid!(c.validity(), sel, slots, |i, s| {
                 int[s] = int[s].wrapping_add(data[i]);
@@ -536,6 +537,7 @@ fn update_one(
         }
         (TypedAggKind::SumFloat { col }, AggStateVec::SumFloat { sum, any }) => {
             let c = table.column(col);
+            // simba: allow(panic-hygiene): TypedGroupStates::compile pinned this kernel to the column's physical type; a mismatch is a planner bug, not a runtime condition
             let data = c.float_data().expect("typed agg column is Float");
             for_valid!(c.validity(), sel, slots, |i, s| {
                 sum[s] += data[i];
@@ -544,6 +546,7 @@ fn update_one(
         }
         (TypedAggKind::AvgInt { col }, AggStateVec::Avg { sum, n }) => {
             let c = table.column(col);
+            // simba: allow(panic-hygiene): TypedGroupStates::compile pinned this kernel to the column's physical type; a mismatch is a planner bug, not a runtime condition
             let data = c.int_data().expect("typed agg column is Int");
             for_valid!(c.validity(), sel, slots, |i, s| {
                 sum[s] += data[i] as f64;
@@ -552,6 +555,7 @@ fn update_one(
         }
         (TypedAggKind::AvgFloat { col }, AggStateVec::Avg { sum, n }) => {
             let c = table.column(col);
+            // simba: allow(panic-hygiene): TypedGroupStates::compile pinned this kernel to the column's physical type; a mismatch is a planner bug, not a runtime condition
             let data = c.float_data().expect("typed agg column is Float");
             for_valid!(c.validity(), sel, slots, |i, s| {
                 sum[s] += data[i];
@@ -560,6 +564,7 @@ fn update_one(
         }
         (TypedAggKind::MinInt { col }, AggStateVec::MinMaxInt { val, seen }) => {
             let c = table.column(col);
+            // simba: allow(panic-hygiene): TypedGroupStates::compile pinned this kernel to the column's physical type; a mismatch is a planner bug, not a runtime condition
             let data = c.int_data().expect("typed agg column is Int");
             for_valid!(c.validity(), sel, slots, |i, s| {
                 let v = data[i];
@@ -573,6 +578,7 @@ fn update_one(
         }
         (TypedAggKind::MaxInt { col }, AggStateVec::MinMaxInt { val, seen }) => {
             let c = table.column(col);
+            // simba: allow(panic-hygiene): TypedGroupStates::compile pinned this kernel to the column's physical type; a mismatch is a planner bug, not a runtime condition
             let data = c.int_data().expect("typed agg column is Int");
             for_valid!(c.validity(), sel, slots, |i, s| {
                 let v = data[i];
@@ -584,6 +590,7 @@ fn update_one(
         }
         (TypedAggKind::MinFloat { col }, AggStateVec::MinMaxFloat { val, seen }) => {
             let c = table.column(col);
+            // simba: allow(panic-hygiene): TypedGroupStates::compile pinned this kernel to the column's physical type; a mismatch is a planner bug, not a runtime condition
             let data = c.float_data().expect("typed agg column is Float");
             for_valid!(c.validity(), sel, slots, |i, s| {
                 let v = data[i];
@@ -595,6 +602,7 @@ fn update_one(
         }
         (TypedAggKind::MaxFloat { col }, AggStateVec::MinMaxFloat { val, seen }) => {
             let c = table.column(col);
+            // simba: allow(panic-hygiene): TypedGroupStates::compile pinned this kernel to the column's physical type; a mismatch is a planner bug, not a runtime condition
             let data = c.float_data().expect("typed agg column is Float");
             for_valid!(c.validity(), sel, slots, |i, s| {
                 let v = data[i];
@@ -682,6 +690,7 @@ fn merge_state(kind: TypedAggKind, a: &mut AggStateVec, b: &AggStateVec) {
 /// the row's dictionary code, or `null_slot` for NULL rows.
 pub fn dict_key_slots(col: &ColumnData, sel: &[u32], slots: &mut Vec<u32>, null_slot: u32) {
     slots.clear();
+    // simba: allow(panic-hygiene): only dictionary-encoded key columns are routed here (DenseDict/TypedDict mode selection); a codeless column is a planner bug
     let codes = col.code_data().expect("dict key column");
     let valid = col.validity();
     if valid.is_empty() {
@@ -880,6 +889,7 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
                 .collect();
             handles
                 .into_iter()
+                // simba: allow(panic-hygiene): scan_range catches no panics by design — a panicking scan worker is an engine bug, and re-raising it here is the only honest outcome
                 .map(|h| h.join().expect("scan worker panicked"))
                 .collect()
         })
@@ -892,6 +902,7 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
         ..ExecStats::default()
     };
     let mut iter = partials.into_iter();
+    // simba: allow(panic-hygiene): split_ranges always yields >= 1 range, so there is always a first partial
     let first = iter.next().expect("at least one scan range");
     stats.rows_matched = first.matched;
     stats.morsels_pruned = first.pruned;
@@ -918,6 +929,12 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
                 }
             }
             (Partial::Hash(a), Partial::Hash(b)) => {
+                // Key-merge order cannot leak: each key's accumulators are
+                // merged exactly once into `a`'s slot for that same key, so
+                // the merged map is identical whatever order `b` yields —
+                // and group emission order is sorted downstream before any
+                // fingerprint sees it.
+                // simba: allow(nondeterministic-iteration): per-key merge into the matching key's slot is independent of visit order
                 for (key, accs) in b {
                     match a.entry(key) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -1028,6 +1045,7 @@ fn scan_range(
             };
             Partial::Typed(
                 TypedGroupStates::compile(aggs, table, dict_len + 1)
+                    // simba: allow(panic-hygiene): AggMode selection already ran compile successfully on this (aggs, table) pair; failure here is unreachable
                     .expect("mode chosen with typed support"),
             )
         }
@@ -1036,6 +1054,7 @@ fn scan_range(
                 unreachable!()
             };
             Partial::Typed(
+                // simba: allow(panic-hygiene): AggMode selection already ran compile successfully on this (aggs, table) pair; failure here is unreachable
                 TypedGroupStates::compile(aggs, table, 1).expect("mode chosen with typed support"),
             )
         }

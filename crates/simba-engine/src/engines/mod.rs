@@ -29,6 +29,7 @@ pub(crate) fn execute_common(
     runner: impl FnOnce(&PreparedQuery) -> (Vec<Vec<Value>>, ExecStats),
 ) -> Result<QueryOutput, EngineError> {
     let _span = simba_obs::trace::span("engine.execute", "engine");
+    // simba: allow(wall-clock-outside-obs): `elapsed` is the engine-latency deliverable consumed by latency stats; results and fingerprints never see it
     let start = Instant::now();
     let plan = {
         let _p = simba_obs::phase!("engine.plan", "engine", "engine.phase.plan");

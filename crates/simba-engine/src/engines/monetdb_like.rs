@@ -117,6 +117,7 @@ impl MonetDbLike {
                         match &spec.arg {
                             None => acc.update_star(),
                             Some(_) => {
+                                // simba: allow(panic-hygiene): arg_cols[ai] was materialized above for exactly the specs with an arg; a miss is a planner bug
                                 let col = arg_cols[ai].as_ref().expect("materialized arg");
                                 acc.update_value(col[r].clone());
                             }

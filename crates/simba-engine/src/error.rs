@@ -18,6 +18,12 @@ pub enum EngineError {
     /// Every other variant is permanent — the query itself is at fault and
     /// retrying can only fail the same way.
     Transient(String),
+    /// An infrastructure failure inside the harness itself (a poisoned
+    /// lock, a disconnected channel, a panicked single-flight leader).
+    /// Permanent like the query-shape errors — retrying the same query
+    /// cannot un-panic the thread that died — but the *session* should
+    /// degrade and keep its remaining queries, not take the worker down.
+    Internal(String),
 }
 
 impl EngineError {
@@ -38,6 +44,7 @@ impl fmt::Display for EngineError {
             EngineError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
             EngineError::Invalid(msg) => write!(f, "invalid query: {msg}"),
             EngineError::Transient(msg) => write!(f, "transient failure: {msg}"),
+            EngineError::Internal(msg) => write!(f, "internal harness failure: {msg}"),
         }
     }
 }

@@ -13,7 +13,7 @@ use simba_sql::{BinOp, Select};
 use simba_store::{ColumnData, ResultSet, Table, Value};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Per-query execution statistics.
@@ -185,6 +185,7 @@ fn specialize(e: &CExpr, table: &Table) -> Kernel {
 }
 
 fn dict_in_kernel(col: usize, column: &ColumnData, values: &[Value], negated: bool) -> Kernel {
+    // simba: allow(panic-hygiene): kernel selection only routes dictionary-encoded string columns here; a bare column is a planner bug
     let dict = column.dictionary().expect("string column has a dictionary");
     let set: ValueSet = ValueSet::new(values.to_vec());
     let mask: Vec<bool> = dict
@@ -338,6 +339,7 @@ pub fn run_row(plan: &PreparedQuery) -> (Vec<Vec<Value>>, ExecStats) {
 /// same [`QueryOutput`] shape as `Dbms::execute`. Benchmarks and equivalence
 /// tests use this as the reference implementation.
 pub fn execute_row_oracle(table: Arc<Table>, query: &Select) -> Result<QueryOutput, EngineError> {
+    // simba: allow(wall-clock-outside-obs): latency parity with Dbms::execute — `elapsed` is the measured deliverable, never result content
     let start = Instant::now();
     let plan = prepare(query, table)?;
     let (rows, stats) = run_row(&plan);
@@ -375,28 +377,35 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    // The catalog recovers poisoned locks instead of panicking: its map
+    // only sees whole-entry insert/read, so a panic elsewhere while a
+    // guard was held cannot leave it structurally broken — and a poisoned
+    // catalog must not take down every worker that plans a query.
     pub fn register(&self, table: Arc<Table>) {
         self.tables
             .write()
-            .expect("catalog lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(table.name().to_ascii_lowercase(), table);
     }
 
     pub fn get(&self, name: &str) -> Option<Arc<Table>> {
         self.tables
             .read()
-            .expect("catalog lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&name.to_ascii_lowercase())
             .cloned()
     }
 
     pub fn names(&self) -> Vec<String> {
-        self.tables
+        let mut names: Vec<String> = self
+            .tables
             .read()
-            .expect("catalog lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
-            .collect()
+            .collect();
+        names.sort();
+        names
     }
 }
 

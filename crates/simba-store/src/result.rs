@@ -186,6 +186,7 @@ impl CoverageStore {
             .map(|c| c.to_ascii_lowercase())
             .collect();
         let mut best = 0usize;
+        // simba: allow(nondeterministic-iteration): max over per-signature coverage counts — visiting signatures in any order yields the same maximum
         for (sig, bag) in &self.seen {
             // Map goal columns into this signature.
             let Some(indices) = goal_cols
