@@ -66,6 +66,9 @@ impl Config {
                     "crates/simba-engine/src/".into(),
                     "crates/simba-store/src/".into(),
                     "crates/simba-obs/src/metrics.rs".into(),
+                    // Results crossing the wire must serialize in a
+                    // deterministic order or fingerprints diverge.
+                    "crates/simba-server/src/".into(),
                 ],
                 exclude: vec![],
             },
@@ -111,6 +114,9 @@ impl Config {
                     "crates/simba-engine/src/exec.rs".into(),
                     "crates/simba-engine/src/batch.rs".into(),
                     "crates/simba-engine/src/engines/".into(),
+                    // A panic in a connection worker kills that client's
+                    // session; bad frames must be errors, not aborts.
+                    "crates/simba-server/src/".into(),
                 ],
                 exclude: vec![],
             },
@@ -179,6 +185,14 @@ mod tests {
             "crates/simba-driver/src/cache.rs"
         ));
         assert!(!cfg.lint_covers(crate::lints::NONDET_ITER, "crates/simba-sql/src/parser.rs"));
+        assert!(cfg.lint_covers(
+            crate::lints::NONDET_ITER,
+            "crates/simba-server/src/proto.rs"
+        ));
+        assert!(cfg.lint_covers(
+            crate::lints::PANIC_HYGIENE,
+            "crates/simba-server/src/server.rs"
+        ));
         assert!(!cfg.lint_covers(crate::lints::WALL_CLOCK, "crates/simba-obs/src/trace.rs"));
         assert!(cfg.lint_covers(crate::lints::WALL_CLOCK, "crates/simba-engine/src/exec.rs"));
         assert!(!cfg.lint_covers(crate::lints::ENV_READ, "crates/simba-bench/src/lib.rs"));

@@ -8,9 +8,9 @@
 //! Flags override environment variables, which override scenario defaults.
 //! With `--spec`, the file is authoritative: only *explicit flags* override
 //! its fields (`--rows`, `--seed`, `--steps`, `--workers`, `--think-ms`
-//! rewrite every spec in the file; `--users`/`--sizes` are rejected because
-//! sweeps do not map onto explicit per-spec fields), and `SIMBA_*`
-//! environment variables are ignored.
+//! rewrite every spec in the file; `--addr` re-points remote engine specs;
+//! `--users`/`--sizes` are rejected because sweeps do not map onto explicit
+//! per-spec fields), and `SIMBA_*` environment variables are ignored.
 
 use simba_bench::scenario_cli::{
     check_max_degraded, emit_datagen_json, emit_json, enable_tracing, max_degraded_from_env,
@@ -79,7 +79,7 @@ fn parse_args() -> Args {
                 }
             }
             "--rows" | "--seed" | "--users" | "--steps" | "--workers" | "--think-ms"
-            | "--sizes" => {
+            | "--sizes" | "--addr" => {
                 let value = value_for(&flag);
                 args.overrides.push((flag, value));
             }
@@ -122,6 +122,9 @@ fn apply_overrides(mut params: ScenarioParams, overrides: &[(String, String)]) -
                     std::process::exit(2);
                 }
             },
+            "--addr" => {
+                params.addr = simba_bench::scenario_cli::addr_or_exit(value.clone());
+            }
             _ => unreachable!("parse_args only collects known overrides"),
         }
     }
@@ -146,6 +149,24 @@ fn apply_spec_overrides(specs: &mut [ScenarioSpec], overrides: &[(String, String
         if flag == "--sizes" {
             eprintln!("--sizes cannot be combined with --spec (edit the file's `size` fields)");
             std::process::exit(2);
+        }
+        if flag == "--addr" {
+            // Re-point remote specs at a different server; a file with no
+            // remote specs has nothing for the flag to do, so reject it
+            // rather than silently run everything in-process.
+            let addr = simba_bench::scenario_cli::addr_or_exit(value.clone());
+            let mut rewrote = false;
+            for spec in specs.iter_mut() {
+                if let simba_driver::EngineSpec::Remote { addr: a, .. } = &mut spec.engine {
+                    *a = addr.clone();
+                    rewrote = true;
+                }
+            }
+            if !rewrote {
+                eprintln!("--addr has no effect: no spec in the file uses a remote engine");
+                std::process::exit(2);
+            }
+            continue;
         }
         for spec in specs.iter_mut() {
             match flag.as_str() {
@@ -253,7 +274,20 @@ fn main() {
                 ScenarioBody::Suite(specs) => format!("{} specs", specs.len()),
                 ScenarioBody::Datagen(_) => "generation sweep".to_string(),
             };
-            println!("  {:<20} {} ({size})", sc.name, sc.description);
+            // Flag suites whose specs dial out, so nobody launches one
+            // without a simba-server listening at the configured addr.
+            let external = match &sc.body {
+                ScenarioBody::Suite(specs) => {
+                    specs.iter().any(|s| s.engine.needs_external_server())
+                }
+                ScenarioBody::Datagen(_) => false,
+            };
+            let note = if external {
+                format!(" [needs a running simba-server at {}]", params.addr)
+            } else {
+                String::new()
+            };
+            println!("  {:<20} {} ({size}){note}", sc.name, sc.description);
         }
         return;
     }
@@ -333,7 +367,7 @@ fn main() {
             eprintln!("unknown engine `{engine}`");
             std::process::exit(2);
         }
-        specs.retain(|s| s.engine.kind.eq_ignore_ascii_case(engine));
+        specs.retain(|s| s.engine.kind_name().eq_ignore_ascii_case(engine));
         if specs.is_empty() {
             eprintln!("no specs left after --engine {engine} filter");
             std::process::exit(1);
@@ -351,6 +385,12 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&specs).expect("specs serialize")
         );
+        if specs.iter().any(|s| s.engine.needs_external_server()) {
+            eprintln!(
+                "note: these specs use remote engines; running them needs a \
+                 simba-server listening at each spec's `addr`"
+            );
+        }
         return;
     }
 

@@ -47,10 +47,24 @@ pub fn parse_sizes(s: &str) -> Option<Vec<String>> {
     }
 }
 
+/// Validate a server address for `--addr`/`SIMBA_SERVER_ADDR`, exiting
+/// with a usage error on a malformed one. The rule is
+/// [`simba_driver::validate_addr`] — the same check spec validation
+/// applies — run here at flag-parse time so a typo fails before any
+/// dataset is generated or socket dialed.
+pub fn addr_or_exit(addr: String) -> String {
+    if let Err(e) = simba_driver::validate_addr(&addr) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    addr
+}
+
 /// Scale knobs from `SIMBA_*` environment variables over `defaults`:
 /// `SIMBA_ROWS`, `SIMBA_SEED`, `SIMBA_USERS` (comma-separated sweep),
 /// `SIMBA_STEPS`, `SIMBA_WORKERS`, `SIMBA_THINK_MS`, `SIMBA_SIZES`
-/// (comma-separated `DatasetSize` labels).
+/// (comma-separated `DatasetSize` labels), `SIMBA_SERVER_ADDR`
+/// (`host:port` of a live `simba-server`, or `"loopback"`).
 pub fn params_from_env(defaults: ScenarioParams) -> ScenarioParams {
     let usize_var = |name: &str, dflt: usize| -> usize {
         std::env::var(name)
@@ -66,6 +80,10 @@ pub fn params_from_env(defaults: ScenarioParams) -> ScenarioParams {
         .ok()
         .and_then(|s| parse_sizes(&s))
         .unwrap_or_else(|| defaults.sizes.clone());
+    let addr = std::env::var("SIMBA_SERVER_ADDR")
+        .ok()
+        .map(addr_or_exit)
+        .unwrap_or_else(|| defaults.addr.clone());
     ScenarioParams {
         rows: usize_var("SIMBA_ROWS", defaults.rows),
         seed: crate::configured_seed_or(defaults.seed),
@@ -74,6 +92,7 @@ pub fn params_from_env(defaults: ScenarioParams) -> ScenarioParams {
         workers: usize_var("SIMBA_WORKERS", defaults.workers),
         think_ms: usize_var("SIMBA_THINK_MS", defaults.think_ms as usize) as u64,
         sizes,
+        addr,
     }
 }
 
@@ -183,7 +202,9 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> SuiteOutcome {
         if outcome.report.queries == 0 {
             let error = format!(
                 "{} ({} / {}): empty report — no queries executed",
-                spec.name, spec.engine.kind, outcome.report.session_mode
+                spec.name,
+                spec.engine.kind_name(),
+                outcome.report.session_mode
             );
             return SuiteOutcome {
                 reports,

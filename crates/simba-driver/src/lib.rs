@@ -96,8 +96,8 @@ pub use workload::registry::{
     all_scenarios, scenario, Scenario, ScenarioBody, ScenarioParams, SCENARIO_NAMES,
 };
 pub use workload::{
-    ArrivalSpec, CacheSpec, EngineSpec, FaultSpec, ResilienceSpec, ScenarioSpec, SourceSpec,
-    TableCache, ThinkSpec, WorkloadError,
+    validate_addr, ArrivalSpec, CacheSpec, EngineSpec, FaultSpec, ResilienceSpec, ScenarioSpec,
+    SourceSpec, TableCache, ThinkSpec, WorkloadError,
 };
 
 // Re-exported so driver users can configure steering and build custom

@@ -87,6 +87,14 @@ pub enum WorkloadError {
     UnknownDataset(String),
     UnknownEngine(String),
     UnknownModel(String),
+    /// A remote engine address that cannot be a `host:port` (caught at
+    /// validation time, not at connect time).
+    InvalidAddr(String),
+    /// A well-formed remote address that did not answer the dial.
+    RemoteUnavailable {
+        addr: String,
+        reason: String,
+    },
     InvalidSpec(String),
 }
 
@@ -103,6 +111,15 @@ impl std::fmt::Display for WorkloadError {
             WorkloadError::UnknownModel(name) => {
                 write!(f, "unknown Markov model preset `{name}`")
             }
+            WorkloadError::InvalidAddr(addr) => {
+                write!(
+                    f,
+                    "invalid server address `{addr}` (expected host:port or \"loopback\")"
+                )
+            }
+            WorkloadError::RemoteUnavailable { addr, reason } => {
+                write!(f, "no simba-server answered at `{addr}`: {reason}")
+            }
             WorkloadError::InvalidSpec(why) => write!(f, "invalid scenario spec: {why}"),
         }
     }
@@ -111,33 +128,211 @@ impl std::fmt::Display for WorkloadError {
 impl std::error::Error for WorkloadError {}
 
 /// Engine selection: which of the four architectures, at what intra-query
-/// scan parallelism.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct EngineSpec {
-    /// Engine name (`"duckdb-like"`, `"postgres-like"`, `"sqlite-like"`,
-    /// `"monetdb-like"`).
-    pub kind: String,
-    /// Morsel-parallel scan threads; `1` = sequential, `0` = one per core.
-    /// Only `duckdb-like` honors values other than 1.
-    pub scan_threads: usize,
+/// scan parallelism — and *where* it runs.
+///
+/// `Local` executes in-process, as every scenario did before the server
+/// split. `Remote` wraps a `Local` selection with a `simba-server`
+/// address; the driver then speaks the wire protocol through
+/// [`simba_server::RemoteDbms`] instead of calling the engine directly.
+/// The special address `"loopback"` serves the same wire bytes through an
+/// in-process server core, so determinism tests cover the full protocol
+/// without sockets.
+///
+/// # Wire shape
+///
+/// Serialization is hand-written for backward compatibility: `Local`
+/// keeps the legacy flat object (`{"kind": "duckdb-like",
+/// "scan_threads": 1}`), so every existing scenario file still parses,
+/// and `Remote` is `{"addr": "host:port", "engine": {...}}` — the
+/// deserializer dispatches on the presence of `"addr"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineSpec {
+    /// An in-process engine.
+    Local {
+        /// Engine name (`"duckdb-like"`, `"postgres-like"`,
+        /// `"sqlite-like"`, `"monetdb-like"`).
+        kind: String,
+        /// Morsel-parallel scan threads; `1` = sequential, `0` = one per
+        /// core. Only `duckdb-like` honors values other than 1.
+        scan_threads: usize,
+    },
+    /// The same engine selection, served by a `simba-server` at `addr`.
+    Remote {
+        /// `host:port` of a live server, or `"loopback"` for the
+        /// in-process transport.
+        addr: String,
+        /// The engine to address on that server (must be `Local`;
+        /// remotes do not nest).
+        engine: Box<EngineSpec>,
+    },
+}
+
+impl Serialize for EngineSpec {
+    fn to_content(&self) -> serde::Content {
+        use serde::Content;
+        match self {
+            EngineSpec::Local { kind, scan_threads } => Content::Map(vec![
+                ("kind".to_string(), kind.to_content()),
+                ("scan_threads".to_string(), scan_threads.to_content()),
+            ]),
+            EngineSpec::Remote { addr, engine } => Content::Map(vec![
+                ("addr".to_string(), addr.to_content()),
+                ("engine".to_string(), engine.to_content()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for EngineSpec {
+    fn from_content(c: &serde::Content) -> Result<Self, String> {
+        let serde::Content::Map(entries) = c else {
+            return Err("expected an engine spec object".to_string());
+        };
+        let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        if let Some(addr) = field("addr") {
+            let engine = field("engine")
+                .ok_or_else(|| "remote engine spec is missing `engine`".to_string())?;
+            Ok(EngineSpec::Remote {
+                addr: Deserialize::from_content(addr)?,
+                engine: Box::new(EngineSpec::from_content(engine)?),
+            })
+        } else {
+            let kind = field("kind").ok_or_else(|| "engine spec is missing `kind`".to_string())?;
+            let scan_threads = match field("scan_threads") {
+                Some(v) => Deserialize::from_content(v)?,
+                None => 1,
+            };
+            Ok(EngineSpec::Local {
+                kind: Deserialize::from_content(kind)?,
+                scan_threads,
+            })
+        }
+    }
 }
 
 impl EngineSpec {
+    /// A sequential in-process engine of the given kind.
     pub fn new(kind: EngineKind) -> EngineSpec {
-        EngineSpec {
-            kind: kind.name().to_string(),
-            scan_threads: 1,
+        EngineSpec::local(kind.name(), 1)
+    }
+
+    /// An in-process engine by name and scan parallelism.
+    pub fn local(kind: impl Into<String>, scan_threads: usize) -> EngineSpec {
+        EngineSpec::Local {
+            kind: kind.into(),
+            scan_threads,
+        }
+    }
+
+    /// The given engine selection, served remotely from `addr`.
+    pub fn remote(addr: impl Into<String>, engine: EngineSpec) -> EngineSpec {
+        EngineSpec::Remote {
+            addr: addr.into(),
+            engine: Box::new(engine),
+        }
+    }
+
+    /// The engine name, looking through a `Remote` wrapper.
+    pub fn kind_name(&self) -> &str {
+        match self {
+            EngineSpec::Local { kind, .. } => kind,
+            EngineSpec::Remote { engine, .. } => engine.kind_name(),
+        }
+    }
+
+    /// The scan-thread setting, looking through a `Remote` wrapper.
+    pub fn scan_threads(&self) -> usize {
+        match self {
+            EngineSpec::Local { scan_threads, .. } => *scan_threads,
+            EngineSpec::Remote { engine, .. } => engine.scan_threads(),
+        }
+    }
+
+    /// Does this spec cross a wire?
+    pub fn is_remote(&self) -> bool {
+        matches!(self, EngineSpec::Remote { .. })
+    }
+
+    /// Does this spec need an external `simba-server` process? (`false`
+    /// for local engines *and* for the in-process `"loopback"` server.)
+    pub fn needs_external_server(&self) -> bool {
+        matches!(self, EngineSpec::Remote { addr, .. } if addr != simba_server::LOOPBACK_ADDR)
+    }
+
+    /// The server address, if remote.
+    pub fn addr(&self) -> Option<&str> {
+        match self {
+            EngineSpec::Local { .. } => None,
+            EngineSpec::Remote { addr, .. } => Some(addr),
+        }
+    }
+
+    /// Everything checkable without touching the network: the engine name
+    /// is known, a remote address is well-formed, and remotes don't nest.
+    fn validate(&self) -> Result<(), WorkloadError> {
+        match self {
+            EngineSpec::Local { kind, .. } => {
+                EngineKind::from_name(kind)
+                    .ok_or_else(|| WorkloadError::UnknownEngine(kind.clone()))?;
+                Ok(())
+            }
+            EngineSpec::Remote { addr, engine } => {
+                validate_addr(addr)?;
+                if engine.is_remote() {
+                    return Err(WorkloadError::InvalidSpec(
+                        "remote engine specs cannot nest".into(),
+                    ));
+                }
+                engine.validate()
+            }
         }
     }
 
     fn resolve(&self) -> Result<Arc<dyn simba_engine::Dbms>, WorkloadError> {
-        let kind = EngineKind::from_name(&self.kind)
-            .ok_or_else(|| WorkloadError::UnknownEngine(self.kind.clone()))?;
-        Ok(if self.scan_threads == 1 {
-            kind.build()
-        } else {
-            kind.build_with_threads(self.scan_threads)
-        })
+        self.validate()?;
+        match self {
+            EngineSpec::Local { kind, scan_threads } => {
+                let kind = EngineKind::from_name(kind)
+                    .ok_or_else(|| WorkloadError::UnknownEngine(kind.clone()))?;
+                Ok(if *scan_threads == 1 {
+                    kind.build()
+                } else {
+                    kind.build_with_threads(*scan_threads)
+                })
+            }
+            EngineSpec::Remote { addr, engine } => {
+                let kind = EngineKind::from_name(engine.kind_name())
+                    .ok_or_else(|| WorkloadError::UnknownEngine(engine.kind_name().into()))?;
+                // Dial eagerly: an unreachable server fails the run at
+                // setup, not via per-query Transient errors mid-run.
+                let remote = simba_server::RemoteDbms::connect(addr, kind, engine.scan_threads())
+                    .map_err(|e| WorkloadError::RemoteUnavailable {
+                    addr: addr.clone(),
+                    reason: e.to_string(),
+                })?;
+                Ok(Arc::new(remote))
+            }
+        }
+    }
+}
+
+/// Accept `"loopback"` or `host:port` with a nonempty host and a nonzero
+/// port. Rejected here, at spec-validation time, so a typo in an address
+/// fails `bench` before any dataset is generated or socket dialed. Public
+/// so the CLI can reject `--addr`/`SIMBA_SERVER_ADDR` typos at flag-parse
+/// time with the same rule.
+pub fn validate_addr(addr: &str) -> Result<(), WorkloadError> {
+    if addr == simba_server::LOOPBACK_ADDR {
+        return Ok(());
+    }
+    let invalid = || WorkloadError::InvalidAddr(addr.to_string());
+    let (host, port) = addr.rsplit_once(':').ok_or_else(invalid)?;
+    if host.is_empty() {
+        return Err(invalid());
+    }
+    match port.parse::<u16>() {
+        Ok(p) if p != 0 => Ok(()),
+        _ => Err(invalid()),
     }
 }
 
@@ -452,8 +647,7 @@ impl ScenarioSpec {
     /// Check everything that can be checked without generating data.
     pub fn validate(&self) -> Result<(), WorkloadError> {
         self.resolve_dataset()?;
-        EngineKind::from_name(&self.engine.kind)
-            .ok_or_else(|| WorkloadError::UnknownEngine(self.engine.kind.clone()))?;
+        self.engine.validate()?;
         if self.sessions == 0 {
             return Err(WorkloadError::InvalidSpec("sessions must be > 0".into()));
         }
@@ -764,6 +958,34 @@ mod tests {
     }
 
     #[test]
+    fn engine_spec_keeps_the_legacy_wire_shape() {
+        // Pre-server scenario files say {"kind", "scan_threads"}; they must
+        // keep parsing, and Local must keep writing that exact shape.
+        let legacy = r#"{"kind": "duckdb-like", "scan_threads": 2}"#;
+        let parsed: EngineSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed, EngineSpec::local("duckdb-like", 2));
+        let json = serde_json::to_string(&parsed).unwrap();
+        assert!(
+            json.contains("\"kind\"") && !json.contains("\"addr\""),
+            "{json}"
+        );
+
+        let remote = EngineSpec::remote("10.0.0.7:4640", EngineSpec::local("monetdb-like", 1));
+        let json = serde_json::to_string(&remote).unwrap();
+        assert!(json.contains("\"addr\""), "{json}");
+        let back: EngineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, remote);
+        assert_eq!(back.kind_name(), "monetdb-like");
+        assert_eq!(back.scan_threads(), 1);
+        assert!(back.is_remote());
+        assert!(back.needs_external_server());
+        assert!(
+            !EngineSpec::remote("loopback", EngineSpec::new(EngineKind::SqliteLike))
+                .needs_external_server()
+        );
+    }
+
+    #[test]
     fn validate_rejects_unknowns_and_nonsense() {
         let good = ScenarioSpec::new("ok", "customer_service");
         assert!(good.validate().is_ok());
@@ -776,10 +998,34 @@ mod tests {
         ));
 
         let mut spec = good.clone();
-        spec.engine.kind = "oracle23ai".into();
+        spec.engine = EngineSpec::local("oracle23ai", 1);
         assert!(matches!(
             spec.validate(),
             Err(WorkloadError::UnknownEngine(_))
+        ));
+
+        let mut spec = good.clone();
+        spec.engine = EngineSpec::remote("not-an-addr", EngineSpec::new(EngineKind::SqliteLike));
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadError::InvalidAddr(_))
+        ));
+
+        let mut spec = good.clone();
+        spec.engine = EngineSpec::remote("127.0.0.1:0", EngineSpec::new(EngineKind::SqliteLike));
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadError::InvalidAddr(_))
+        ));
+
+        let mut spec = good.clone();
+        spec.engine = EngineSpec::remote(
+            "127.0.0.1:4640",
+            EngineSpec::remote("127.0.0.1:4641", EngineSpec::new(EngineKind::SqliteLike)),
+        );
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadError::InvalidSpec(_))
         ));
 
         let mut spec = good.clone();

@@ -33,6 +33,10 @@ pub struct ScenarioParams {
     /// `DatasetSize` labels for size-tier sweeps (`datagen-sweep`); empty
     /// = the paper grid (100K / 1M / 10M).
     pub sizes: Vec<String>,
+    /// `simba-server` address for remote scenarios (`remote-shootout`):
+    /// `host:port` of a live server, or `"loopback"` (the default) for
+    /// the in-process wire transport, which needs no external process.
+    pub addr: String,
 }
 
 impl Default for ScenarioParams {
@@ -45,6 +49,7 @@ impl Default for ScenarioParams {
             workers: 0,
             think_ms: 0,
             sizes: Vec::new(),
+            addr: "loopback".to_string(),
         }
     }
 }
@@ -109,7 +114,7 @@ impl Scenario {
 }
 
 /// Names of every built-in scenario, in presentation order.
-pub const SCENARIO_NAMES: [&str; 7] = [
+pub const SCENARIO_NAMES: [&str; 8] = [
     "smoke",
     "concurrent-shootout",
     "adaptive-shootout",
@@ -117,6 +122,7 @@ pub const SCENARIO_NAMES: [&str; 7] = [
     "perf-report",
     "datagen-sweep",
     "chaos",
+    "remote-shootout",
 ];
 
 /// Expand a built-in scenario by name (case-insensitive), or `None` if
@@ -157,6 +163,12 @@ pub fn scenario(name: &str, params: &ScenarioParams) -> Option<Scenario> {
             "chaos",
             "fault injection under resilience: every fault kind x engines x cache on/off",
             ScenarioBody::Suite(chaos(params)),
+        ),
+        "remote-shootout" => (
+            "remote-shootout",
+            "engines over the wire protocol: every engine x cache on/off, fingerprinted \
+             (--addr host:port needs a running simba-server; default loopback does not)",
+            ScenarioBody::Suite(remote_shootout(params)),
         ),
         _ => return None,
     };
@@ -256,10 +268,7 @@ fn perf_report(params: &ScenarioParams) -> Vec<ScenarioSpec> {
         specs.push(spec);
     }
     let mut parallel = params.base("perf-report", 1);
-    parallel.engine = EngineSpec {
-        kind: EngineKind::DuckDbLike.name().to_string(),
-        scan_threads: 0,
-    };
+    parallel.engine = EngineSpec::local(EngineKind::DuckDbLike.name(), 0);
     parallel.source = SourceSpec::scripted();
     parallel.think = ThinkSpec::None;
     specs.push(parallel);
@@ -352,6 +361,28 @@ fn chaos(params: &ScenarioParams) -> Vec<ScenarioSpec> {
     specs
 }
 
+fn remote_shootout(params: &ScenarioParams) -> Vec<ScenarioSpec> {
+    // The acceptance bar for the server split: the same walks, through the
+    // wire protocol, must fingerprint byte-identically to in-process runs.
+    // Fingerprints stay on for every spec so `--addr host:port` against a
+    // live server can be diffed directly against the `smoke`/shootout
+    // baselines; the default loopback address runs the full protocol
+    // in-process and needs no external server.
+    let users = params.first_users();
+    let mut specs = Vec::new();
+    for kind in EngineKind::ALL {
+        for cache_on in [false, true] {
+            let mut spec = params.base("remote-shootout", users);
+            spec.engine = EngineSpec::remote(params.addr.clone(), EngineSpec::new(kind));
+            spec.source = SourceSpec::scripted();
+            spec.cache = cache_on.then(CacheSpec::default);
+            spec.collect_fingerprints = true;
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
 fn datagen_sweep(params: &ScenarioParams) -> DatagenSweep {
     DatagenSweep {
         datasets: Vec::new(),
@@ -427,7 +458,7 @@ mod tests {
         assert!(sc.specs().iter().any(|s| s.cache.is_some()));
         assert!(sc.specs().iter().any(|s| s.cache.is_none()));
         let engines: std::collections::HashSet<&str> =
-            sc.specs().iter().map(|s| s.engine.kind.as_str()).collect();
+            sc.specs().iter().map(|s| s.engine.kind_name()).collect();
         assert_eq!(engines.len(), 4);
     }
 
@@ -468,13 +499,34 @@ mod tests {
     }
 
     #[test]
+    fn remote_shootout_defaults_to_loopback() {
+        let sc = scenario("remote-shootout", &ScenarioParams::default()).unwrap();
+        // 4 engines x 2 cache states, all over the wire, all fingerprinted.
+        assert_eq!(sc.specs().len(), 8);
+        assert!(sc.specs().iter().all(|s| s.engine.is_remote()));
+        assert!(sc.specs().iter().all(|s| !s.engine.needs_external_server()));
+        assert!(sc.specs().iter().all(|s| s.collect_fingerprints));
+
+        let params = ScenarioParams {
+            addr: "10.1.2.3:4640".into(),
+            ..Default::default()
+        };
+        let sc = scenario("remote-shootout", &params).unwrap();
+        assert!(sc
+            .specs()
+            .iter()
+            .all(|s| s.engine.addr() == Some("10.1.2.3:4640")));
+        assert!(sc.specs().iter().all(|s| s.engine.needs_external_server()));
+    }
+
+    #[test]
     fn perf_report_includes_parallel_scans() {
         let sc = scenario("perf-report", &ScenarioParams::default()).unwrap();
         assert_eq!(sc.specs().len(), 5);
         assert!(sc
             .specs()
             .iter()
-            .any(|s| s.engine.kind == "duckdb-like" && s.engine.scan_threads != 1));
+            .any(|s| s.engine.kind_name() == "duckdb-like" && s.engine.scan_threads() != 1));
         assert!(sc.specs().iter().all(|s| s.sessions == 1));
     }
 }

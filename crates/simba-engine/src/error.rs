@@ -1,9 +1,17 @@
 //! Engine error types.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors surfaced by query planning and execution.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializes with serde's external enum tagging (`{"unknown_table":
+/// "t"}`, `{"unknown_column": {"table": ..., "column": ...}}`), so errors
+/// cross the wire to remote clients without losing their variant — the
+/// variant is what [`is_transient`](EngineError::is_transient) keys retry
+/// classification on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum EngineError {
     /// The referenced table has not been registered with the engine.
     UnknownTable(String),
@@ -50,3 +58,44 @@ impl fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let cases = [
+            EngineError::UnknownTable("t".into()),
+            EngineError::UnknownColumn {
+                table: "t".into(),
+                column: "c".into(),
+            },
+            EngineError::Unsupported("no window functions".into()),
+            EngineError::Invalid("ungrouped projection".into()),
+            EngineError::Transient("connection dropped".into()),
+            EngineError::Internal("worker panicked".into()),
+        ];
+        for e in &cases {
+            let json = serde_json::to_string(e).expect("error serializes");
+            let back: EngineError = serde_json::from_str(&json).expect("error re-parses");
+            assert_eq!(&back, e, "variant drifted through {json}");
+            // Retry classification must survive the wire: a remote
+            // Transient that came back as any other variant would silently
+            // disable retries on the client side.
+            assert_eq!(back.is_transient(), e.is_transient());
+        }
+    }
+
+    #[test]
+    fn wire_shape_uses_snake_case_tags() {
+        let json = serde_json::to_string(&EngineError::UnknownColumn {
+            table: "sales".into(),
+            column: "qty".into(),
+        })
+        .unwrap();
+        assert!(json.contains("unknown_column"), "{json}");
+        let json = serde_json::to_string(&EngineError::Transient("x".into())).unwrap();
+        assert!(json.contains("transient"), "{json}");
+    }
+}

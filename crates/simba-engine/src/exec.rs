@@ -17,7 +17,7 @@ use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Per-query execution statistics.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ExecStats {
     /// Rows actually scanned from base storage (rows inside zone-map-pruned
     /// morsels are never read and are not counted).

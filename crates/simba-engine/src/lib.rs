@@ -46,7 +46,9 @@ use std::sync::Arc;
 /// shared mutable state. `(session, step, query)` name the position of the
 /// query inside a driver run; `attempt` counts retries of that position
 /// (0 = first try).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct QueryCtx {
     /// Session (user) index within the run.
     pub session: u64,

@@ -1,0 +1,614 @@
+//! The wire protocol: length-prefixed binary frames with JSON payloads.
+//!
+//! Every message on a connection is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "SMBA" (0x53 0x4D 0x42 0x41)
+//! 4       1     protocol version (currently 1)
+//! 5       1     frame kind: 0 = request, 1 = response
+//! 6       8     request id, u64 little-endian
+//! 14      4     payload length, u32 little-endian
+//! 18      n     payload: UTF-8 JSON of a [`Request`] or [`Response`]
+//! ```
+//!
+//! The header is fixed-size and self-describing, so a [`Decoder`] can
+//! reassemble frames from arbitrarily torn reads (TCP gives a byte
+//! stream, not messages). Request ids correlate responses with requests:
+//! clients may pipeline several requests before reading any response, and
+//! the server echoes each request's id on its response (responses come
+//! back in request order on one connection).
+//!
+//! # Versioning rules
+//!
+//! * The magic and the version byte never move.
+//! * A version bump means the *payload schema* changed incompatibly;
+//!   frames with an unknown version are rejected before payload parsing.
+//! * Within a version, payloads evolve only additively (serde's external
+//!   enum tagging ignores nothing — new request kinds require a bump).
+//!
+//! # Why JSON payloads inside binary frames
+//!
+//! The framing is binary because stream reassembly and backpressure
+//! accounting want fixed offsets and an upfront length; the payloads are
+//! JSON (via the vendored `serde_json`) because every type that crosses
+//! the wire — queries as SQL text, [`ResultSet`]s, [`EngineError`]s —
+//! already round-trips through it byte-exactly, which is the property the
+//! remote-vs-local fingerprint equality test pins.
+
+use serde::{Deserialize, Serialize};
+use simba_engine::{EngineError, ExecStats, QueryCtx};
+use simba_store::{ResultSet, Schema, Table, TableBuilder, Value};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"SMBA";
+
+/// Current protocol version; bumped on any incompatible payload change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Fixed frame header size in bytes (magic + version + kind + id + len).
+pub const HEADER_LEN: usize = 18;
+
+/// Upper bound on a single frame's payload (64 MiB). A length field above
+/// this is treated as a protocol error rather than an allocation request —
+/// a garbage or hostile header must not OOM the server.
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// What went wrong at the wire layer.
+///
+/// The two variants deliberately mirror the [`EngineError`] retry
+/// classification the client maps them onto: transport failures
+/// ([`WireError::Io`]) are worth retrying on a fresh connection
+/// (→ `EngineError::Transient`), malformed or mismatched frames
+/// ([`WireError::Protocol`]) describe a bug, not a moment
+/// (→ `EngineError::Internal`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The transport failed (connect refused, reset, short write, EOF).
+    Io(String),
+    /// The bytes were readable but not a valid frame or payload.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(m) => write!(f, "wire i/o error: {m}"),
+            WireError::Protocol(m) => write!(f, "wire protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// Direction tag in the frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server.
+    Request,
+    /// Server → client.
+    Response,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Response => 1,
+        }
+    }
+
+    fn from_code(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Request),
+            1 => Some(FrameKind::Response),
+            _ => None,
+        }
+    }
+}
+
+/// One reassembled frame: header fields plus the raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Direction of the frame.
+    pub kind: FrameKind,
+    /// Correlates a response with the request that caused it.
+    pub request_id: u64,
+    /// UTF-8 JSON of a [`Request`] or [`Response`].
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Build a frame, rejecting payloads over [`MAX_PAYLOAD`].
+    pub fn new(kind: FrameKind, request_id: u64, payload: Vec<u8>) -> Result<Frame, WireError> {
+        if payload.len() > MAX_PAYLOAD as usize {
+            return Err(WireError::Protocol(format!(
+                "payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame limit",
+                payload.len()
+            )));
+        }
+        Ok(Frame {
+            kind,
+            request_id,
+            payload,
+        })
+    }
+
+    /// Frame carrying a serialized [`Request`].
+    pub fn request(request_id: u64, req: &Request) -> Result<Frame, WireError> {
+        let json = serde_json::to_string(req)
+            .map_err(|e| WireError::Protocol(format!("request does not serialize: {e}")))?;
+        Frame::new(FrameKind::Request, request_id, json.into_bytes())
+    }
+
+    /// Frame carrying a serialized [`Response`].
+    pub fn response(request_id: u64, resp: &Response) -> Result<Frame, WireError> {
+        let json = serde_json::to_string(resp)
+            .map_err(|e| WireError::Protocol(format!("response does not serialize: {e}")))?;
+        Frame::new(FrameKind::Response, request_id, json.into_bytes())
+    }
+
+    /// Serialize the frame to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(PROTOCOL_VERSION);
+        out.push(self.kind.code());
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse the payload as a [`Request`].
+    pub fn parse_request(&self) -> Result<Request, WireError> {
+        parse_payload(&self.payload)
+    }
+
+    /// Parse the payload as a [`Response`].
+    pub fn parse_response(&self) -> Result<Response, WireError> {
+        parse_payload(&self.payload)
+    }
+}
+
+fn parse_payload<T: Deserialize>(payload: &[u8]) -> Result<T, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| WireError::Protocol(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| WireError::Protocol(format!("bad payload: {e}")))
+}
+
+/// Incremental frame reassembler for a byte stream.
+///
+/// Feed reads of any size with [`feed`](Decoder::feed), then drain
+/// complete frames with [`next_frame`](Decoder::next_frame). Torn
+/// headers, torn payloads, and multiple frames per read are all handled;
+/// a corrupt header (bad magic, unknown version or kind, oversized
+/// length) surfaces as a [`WireError::Protocol`] and poisons the stream —
+/// framing can't resynchronize after garbage, so the connection must be
+/// dropped.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+}
+
+impl Decoder {
+    /// Fresh decoder with an empty buffer.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Append raw bytes read from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Next complete frame, `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header = &self.buf[..HEADER_LEN];
+        if header[..4] != MAGIC {
+            return Err(WireError::Protocol(format!(
+                "bad magic {:02x?} (expected {:02x?})",
+                &header[..4],
+                MAGIC
+            )));
+        }
+        if header[4] != PROTOCOL_VERSION {
+            return Err(WireError::Protocol(format!(
+                "unsupported protocol version {} (this build speaks {PROTOCOL_VERSION})",
+                header[4]
+            )));
+        }
+        let kind = FrameKind::from_code(header[5])
+            .ok_or_else(|| WireError::Protocol(format!("unknown frame kind byte {}", header[5])))?;
+        let mut id_bytes = [0u8; 8];
+        id_bytes.copy_from_slice(&header[6..14]);
+        let request_id = u64::from_le_bytes(id_bytes);
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&header[14..18]);
+        let payload_len = u32::from_le_bytes(len_bytes);
+        if payload_len > MAX_PAYLOAD {
+            return Err(WireError::Protocol(format!(
+                "declared payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte limit"
+            )));
+        }
+        let total = HEADER_LEN + payload_len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_LEN..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Frame {
+            kind,
+            request_id,
+            payload,
+        }))
+    }
+}
+
+/// Which engine instance a request addresses, by name and scan
+/// parallelism — the server builds (and caches) one engine per distinct
+/// selector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineSel {
+    /// Engine name (`"duckdb-like"`, `"postgres-like"`, ...).
+    pub kind: String,
+    /// Morsel-parallel scan threads; `1` = sequential, `0` = one per core.
+    pub scan_threads: usize,
+}
+
+/// A table shipped row-major over the wire.
+///
+/// The dictionary encoding and zone maps are *not* shipped: the server
+/// rebuilds them from the schema and row values, and query results are
+/// value-level, so the rebuilt physical layout cannot change any result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireTable {
+    /// Logical schema (name, column types, analytic roles).
+    pub schema: Schema,
+    /// Row-major values; every row matches the schema width.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl WireTable {
+    /// Snapshot a table for shipping.
+    pub fn from_table(table: &Table) -> WireTable {
+        let mut rows = Vec::with_capacity(table.row_count());
+        for i in 0..table.row_count() {
+            rows.push(table.row(i));
+        }
+        WireTable {
+            schema: table.schema().clone(),
+            rows,
+        }
+    }
+
+    /// Rebuild an in-memory table, validating width and value types
+    /// first — the row data arrived over a network and must not be able
+    /// to panic the builder.
+    pub fn into_table(self) -> Result<Table, WireError> {
+        let width = self.schema.width();
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.len() != width {
+                return Err(WireError::Protocol(format!(
+                    "row {i} has {} values for a {width}-column schema",
+                    row.len()
+                )));
+            }
+            for (def, v) in self.schema.columns.iter().zip(row) {
+                if !def.accepts(v) {
+                    return Err(WireError::Protocol(format!(
+                        "row {i} value {v:?} does not fit column `{}` ({:?})",
+                        def.name, def.data_type
+                    )));
+                }
+            }
+        }
+        let mut b = TableBuilder::new(self.schema, self.rows.len());
+        for row in self.rows {
+            b.push_row(row);
+        }
+        Ok(b.finish())
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Request {
+    /// Register (or replace) a table in the addressed engine.
+    RegisterTable {
+        /// Engine instance to register into.
+        engine: EngineSel,
+        /// The table, shipped row-major.
+        table: WireTable,
+    },
+    /// Execute one query, shipped as SQL text (`print_select`; the
+    /// printer/parser round-trip is property-tested, so the server
+    /// re-parses the exact same AST).
+    Execute {
+        /// Engine instance to execute on.
+        engine: EngineSel,
+        /// `SELECT` statement text.
+        sql: String,
+    },
+    /// [`Request::Execute`] with the caller's deterministic execution
+    /// identity attached (retry attempt, session/step/query position).
+    ExecuteAt {
+        /// Engine instance to execute on.
+        engine: EngineSel,
+        /// `SELECT` statement text.
+        sql: String,
+        /// Execution identity forwarded to [`simba_engine::Dbms::execute_at`].
+        ctx: QueryCtx,
+    },
+    /// Snapshot the server's request/connection counters.
+    Stats,
+    /// Begin graceful drain: stop accepting connections, finish what is
+    /// in flight, then exit.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Response {
+    /// A table was registered.
+    Registered {
+        /// Rows the rebuilt table holds.
+        rows: u64,
+    },
+    /// A query executed successfully.
+    Result {
+        /// The result set, value-exact.
+        result: ResultSet,
+        /// Server-side execution statistics.
+        stats: ExecStats,
+        /// Server-side execution latency in nanoseconds (excludes wire
+        /// time; the client measures round-trip latency itself).
+        elapsed_ns: u64,
+    },
+    /// The engine rejected or failed the query; the variant-exact
+    /// [`EngineError`] is what the client re-surfaces.
+    EngineFailure {
+        /// The engine's error, with retry classification intact.
+        error: EngineError,
+    },
+    /// Server counters, in response to [`Request::Stats`].
+    Stats {
+        /// Totals since the server started.
+        stats: ServerStatsSnapshot,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the server is now draining.
+    ShuttingDown,
+    /// The request frame parsed but could not be served (unknown engine,
+    /// unparseable SQL, malformed table). Protocol-level, not an engine
+    /// failure: the client maps it to [`EngineError::Internal`].
+    BadRequest {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Point-in-time server counters, shipped in [`Response::Stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStatsSnapshot {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Frames dispatched (all request kinds).
+    pub requests: u64,
+    /// Execute/ExecuteAt requests served.
+    pub executes: u64,
+    /// Tables registered.
+    pub registers: u64,
+    /// Executions that returned an [`EngineError`].
+    pub engine_errors: u64,
+    /// Requests answered with [`Response::BadRequest`] plus undecodable
+    /// frames.
+    pub protocol_errors: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request::ExecuteAt {
+            engine: EngineSel {
+                kind: "duckdb-like".into(),
+                scan_threads: 2,
+            },
+            sql: "SELECT q, SUM(n) FROM t GROUP BY q".into(),
+            ctx: QueryCtx {
+                session: 3,
+                step: 1,
+                query: 4,
+                attempt: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn frame_encodes_and_decodes() {
+        let frame = Frame::request(42, &sample_request()).unwrap();
+        let bytes = frame.encode();
+        assert_eq!(&bytes[..4], &MAGIC);
+        assert_eq!(bytes[4], PROTOCOL_VERSION);
+
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        let back = d.next_frame().unwrap().expect("complete frame");
+        assert_eq!(back, frame);
+        assert_eq!(back.parse_request().unwrap(), sample_request());
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_as_json() {
+        let requests = [
+            sample_request(),
+            Request::Execute {
+                engine: EngineSel {
+                    kind: "sqlite-like".into(),
+                    scan_threads: 1,
+                },
+                sql: "SELECT COUNT(*) FROM t".into(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in &requests {
+            let json = serde_json::to_string(r).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, r, "{json}");
+        }
+
+        let responses = [
+            Response::Registered { rows: 10 },
+            Response::Result {
+                result: ResultSet::new(
+                    vec!["q".into(), "s".into()],
+                    vec![vec![Value::str("A"), Value::Float(1.5)]],
+                ),
+                stats: ExecStats {
+                    rows_scanned: 100,
+                    rows_matched: 40,
+                    groups: 2,
+                    morsels_pruned: 1,
+                },
+                elapsed_ns: 12_345,
+            },
+            Response::EngineFailure {
+                error: EngineError::Transient("shed".into()),
+            },
+            Response::Stats {
+                stats: ServerStatsSnapshot {
+                    requests: 9,
+                    ..ServerStatsSnapshot::default()
+                },
+            },
+            Response::ShuttingDown,
+            Response::BadRequest {
+                message: "unknown engine `oracle`".into(),
+            },
+        ];
+        for r in &responses {
+            let json = serde_json::to_string(r).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, r, "{json}");
+        }
+    }
+
+    #[test]
+    fn decoder_handles_torn_and_concatenated_frames() {
+        let a = Frame::request(1, &Request::Stats).unwrap().encode();
+        let b = Frame::request(2, &Request::Shutdown).unwrap().encode();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+
+        // Feed one byte at a time: every prefix is a legal partial state.
+        let mut d = Decoder::new();
+        let mut got = Vec::new();
+        for byte in &stream {
+            d.feed(std::slice::from_ref(byte));
+            while let Some(f) = d.next_frame().unwrap() {
+                got.push(f.request_id);
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+
+        // Feed everything at once: both frames drain back to back.
+        let mut d = Decoder::new();
+        d.feed(&stream);
+        assert_eq!(d.next_frame().unwrap().map(|f| f.request_id), Some(1));
+        assert_eq!(d.next_frame().unwrap().map(|f| f.request_id), Some(2));
+        assert_eq!(d.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_rejects_garbage_headers() {
+        let mut d = Decoder::new();
+        d.feed(b"GARBAGE-NOT-A-FRAME");
+        assert!(matches!(d.next_frame(), Err(WireError::Protocol(_))));
+
+        // Wrong version.
+        let mut bytes = Frame::request(1, &Request::Stats).unwrap().encode();
+        bytes[4] = 99;
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        assert!(matches!(d.next_frame(), Err(WireError::Protocol(_))));
+
+        // Unknown kind byte.
+        let mut bytes = Frame::request(1, &Request::Stats).unwrap().encode();
+        bytes[5] = 7;
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        assert!(matches!(d.next_frame(), Err(WireError::Protocol(_))));
+
+        // Oversized declared payload.
+        let mut bytes = Frame::request(1, &Request::Stats).unwrap().encode();
+        bytes[14..18].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        assert!(matches!(d.next_frame(), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn wire_table_round_trips_and_validates() {
+        use simba_store::{ColumnDef, Schema};
+        let schema = Schema::new(
+            "t",
+            vec![
+                ColumnDef::categorical("q"),
+                ColumnDef::quantitative_int("n"),
+            ],
+        );
+        let mut b = simba_store::TableBuilder::new(schema, 2);
+        b.push_row(vec![Value::str("A"), Value::Int(1)]);
+        b.push_row(vec![Value::str("B"), Value::Null]);
+        let table = b.finish();
+
+        let wire = WireTable::from_table(&table);
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: WireTable = serde_json::from_str(&json).unwrap();
+        let rebuilt = back.into_table().unwrap();
+        assert_eq!(rebuilt.row_count(), 2);
+        assert_eq!(rebuilt.row(0), table.row(0));
+        assert_eq!(rebuilt.row(1), table.row(1));
+        assert_eq!(rebuilt.schema(), table.schema());
+
+        // Width and type mismatches are errors, not panics.
+        let mut torn = wire.clone();
+        torn.rows[1].pop();
+        assert!(matches!(torn.into_table(), Err(WireError::Protocol(_))));
+        let mut wrong = wire;
+        wrong.rows[0][1] = Value::str("not an int");
+        assert!(matches!(wrong.into_table(), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_at_build_time() {
+        let payload = vec![0u8; MAX_PAYLOAD as usize + 1];
+        assert!(matches!(
+            Frame::new(FrameKind::Request, 0, payload),
+            Err(WireError::Protocol(_))
+        ));
+    }
+}

@@ -7,13 +7,14 @@
 //! operations live here.
 
 use crate::value::Value;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A materialized query result: named columns and row-major values.
 ///
 /// Rows carry *multiset* semantics — duplicates are meaningful — and are
 /// unordered unless the producing query had an `ORDER BY`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResultSet {
     /// Output column names, in projection order.
     pub columns: Vec<String>,

@@ -5,9 +5,11 @@
 //! these roles, so the role is a first-class part of the schema.
 
 use crate::value::Value;
+use serde::{Deserialize, Serialize};
 
 /// Physical storage type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum DataType {
     /// 64-bit integer.
     Int,
@@ -20,7 +22,8 @@ pub enum DataType {
 }
 
 /// The paper's analytic role of a column (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum ColumnRole {
     /// Discrete labels: group-by and filter targets.
     Categorical,
@@ -43,7 +46,7 @@ impl ColumnRole {
 }
 
 /// One column of a schema.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ColumnDef {
     /// Column name (unique within a schema, matched case-insensitively).
     pub name: String,
@@ -97,7 +100,7 @@ impl ColumnDef {
 }
 
 /// A table schema: name plus ordered column definitions.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Schema {
     /// SQL table name.
     pub table: String,
@@ -190,5 +193,17 @@ mod tests {
         assert_eq!(ColumnRole::Categorical.code(), 'C');
         assert_eq!(ColumnRole::Quantitative.code(), 'Q');
         assert_eq!(ColumnRole::Temporal.code(), 'T');
+    }
+
+    #[test]
+    fn schema_round_trips_through_json() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            json.contains("\"temporal\""),
+            "roles use snake_case: {json}"
+        );
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -1,5 +1,6 @@
 //! The dynamic value type shared by storage, engines, and result sets.
 
+use serde::{Content, Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
@@ -151,6 +152,78 @@ impl std::hash::Hash for Value {
     }
 }
 
+/// Object key marking a float shipped as raw IEEE-754 bits (see the
+/// [`Serialize`] impl for when that escape hatch is taken).
+const FLOAT_BITS_KEY: &str = "$f";
+
+/// Threshold above which an integral float's JSON rendering would lose its
+/// `.0` marker and re-parse as an integer; such values (and non-finite
+/// ones, which JSON cannot express at all) ship as raw bits instead.
+const FLOAT_AS_TEXT_LIMIT: f64 = 1e15;
+
+impl Serialize for Value {
+    /// JSON-friendly encoding that still round-trips *variant-exactly*:
+    /// `Int(3)` and `Float(3.0)` must come back as different variants
+    /// (fingerprints hash the `Debug` form, which distinguishes them).
+    ///
+    /// * `Null`/`Bool`/`Int`/`Str` map to the corresponding JSON scalars.
+    /// * Finite floats map to JSON numbers: the vendored `serde_json`
+    ///   prints integral floats with a trailing `.0` (below
+    ///   `FLOAT_AS_TEXT_LIMIT`, 1e15) and uses Rust's shortest
+    ///   round-trip formatting otherwise, so the exact bit pattern
+    ///   survives.
+    /// * Floats JSON cannot faithfully carry — NaN, infinities, and huge
+    ///   integral values whose rendering would drop the `.0` — ship as
+    ///   `{"$f": <bits>}` with the raw IEEE-754 bit pattern.
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Int(v) => Content::I64(*v),
+            Value::Float(v) => {
+                let printable =
+                    v.is_finite() && (v.fract() != 0.0 || v.abs() < FLOAT_AS_TEXT_LIMIT);
+                if printable {
+                    Content::F64(*v)
+                } else {
+                    Content::Map(vec![(
+                        FLOAT_BITS_KEY.to_string(),
+                        Content::U64(v.to_bits()),
+                    )])
+                }
+            }
+            Value::Str(s) => Content::Str(s.to_string()),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(Value::Null),
+            Content::Bool(b) => Ok(Value::Bool(*b)),
+            Content::I64(v) => Ok(Value::Int(*v)),
+            Content::U64(v) => i64::try_from(*v)
+                .map(Value::Int)
+                .map_err(|_| format!("integer {v} out of range for a Value")),
+            Content::F64(v) => Ok(Value::Float(*v)),
+            Content::Str(s) => Ok(Value::str(s)),
+            // The JSON parser yields I64 for bit patterns that fit in an
+            // i64 and U64 only above i64::MAX; accept both spellings.
+            Content::Map(entries) => match entries.as_slice() {
+                [(key, Content::U64(bits))] if key == FLOAT_BITS_KEY => {
+                    Ok(Value::Float(f64::from_bits(*bits)))
+                }
+                [(key, Content::I64(bits))] if key == FLOAT_BITS_KEY && *bits >= 0 => {
+                    Ok(Value::Float(f64::from_bits(*bits as u64)))
+                }
+                _ => Err("expected a value, found an object".to_string()),
+            },
+            Content::Seq(_) => Err("expected a value, found an array".to_string()),
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -257,5 +330,75 @@ mod tests {
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::str("hi").to_string(), "hi");
         assert_eq!(Value::Float(1.5).to_string(), "1.5");
+    }
+
+    /// Serialize → JSON text → deserialize must reproduce the value
+    /// *variant-exactly* (`Debug` forms equal), not just numerically equal:
+    /// result fingerprints hash the `Debug` form, so an `Int(3)` coming
+    /// back as `Float(3.0)` would silently change every wire fingerprint.
+    fn wire_round_trip(v: &Value) -> Value {
+        let json = serde_json::to_string(v).expect("value serializes");
+        serde_json::from_str(&json).expect("value re-parses")
+    }
+
+    #[test]
+    fn serde_round_trips_variant_exactly() {
+        let cases = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-7),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(0.5),
+            Value::Float(-1234.25),
+            Value::Float(3.0), // integral float must NOT come back as Int
+            Value::Float(0.1), // classic shortest-round-trip case
+            Value::str(""),
+            Value::str("hello \"world\"\nline"),
+        ];
+        for v in &cases {
+            let back = wire_round_trip(v);
+            assert_eq!(
+                format!("{v:?}"),
+                format!("{back:?}"),
+                "variant drift through the wire"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trips_floats_json_cannot_express() {
+        // NaN, infinities, and integral floats big enough that their JSON
+        // rendering would drop the `.0` all take the raw-bits escape.
+        for v in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e15,
+            -4.0e18,
+            1.5e308, // near f64::MAX, integral
+        ] {
+            let back = wire_round_trip(&Value::Float(v));
+            match back {
+                Value::Float(b) => assert_eq!(v.to_bits(), b.to_bits(), "bits drifted for {v}"),
+                other => panic!("Float({v}) came back as {other:?}"),
+            }
+        }
+        // Negative zero keeps its sign through the plain JSON path.
+        let back = wire_round_trip(&Value::Float(-0.0));
+        match back {
+            Value::Float(b) => assert_eq!((-0.0f64).to_bits(), b.to_bits()),
+            other => panic!("Float(-0.0) came back as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serde_rejects_malformed_content() {
+        assert!(serde_json::from_str::<Value>("[1,2]").is_err());
+        assert!(serde_json::from_str::<Value>("{\"x\": 1}").is_err());
+        // A bare unsigned integer beyond i64 cannot be a Value::Int.
+        assert!(serde_json::from_str::<Value>("18446744073709551615").is_err());
     }
 }

@@ -48,8 +48,8 @@
 //!
 //! See the crate-level docs of [`simba_core`], [`simba_engine`],
 //! [`simba_data`], [`simba_sql`], [`simba_store`], [`simba_idebench`],
-//! [`simba_driver`], and [`simba_obs`] (tracing + metrics) for each
-//! subsystem.
+//! [`simba_driver`], [`simba_server`] (engines over the wire), and
+//! [`simba_obs`] (tracing + metrics) for each subsystem.
 
 pub use simba_core as core;
 pub use simba_data as data;
@@ -57,6 +57,7 @@ pub use simba_driver as driver;
 pub use simba_engine as engine;
 pub use simba_idebench as idebench;
 pub use simba_obs as obs;
+pub use simba_server as server;
 pub use simba_sql as sql;
 pub use simba_store as store;
 
@@ -85,6 +86,7 @@ pub mod prelude {
     };
     pub use simba_engine::{all_engines, Dbms, EngineKind};
     pub use simba_idebench::{IdeBenchConfig, IdeBenchRunner, IdebenchSource};
+    pub use simba_server::{RemoteDbms, Server, ServerConfig};
     pub use simba_sql::{parse_select, Select};
     pub use simba_store::{ResultSet, Table, Value};
 }
