@@ -69,6 +69,9 @@ impl Config {
                     // Results crossing the wire must serialize in a
                     // deterministic order or fingerprints diverge.
                     "crates/simba-server/src/".into(),
+                    // Delta keys are sorted normalized conjuncts: unordered
+                    // iteration here would split or merge reuse classes.
+                    "crates/simba-sql/src/refine.rs".into(),
                 ],
                 exclude: vec![],
             },
@@ -113,6 +116,10 @@ impl Config {
                     "crates/simba-driver/src/cache.rs".into(),
                     "crates/simba-engine/src/exec.rs".into(),
                     "crates/simba-engine/src/batch.rs".into(),
+                    // Session-delta reuse runs inside the worker loop; a
+                    // panic on a stale entry kills a session mid-run.
+                    "crates/simba-engine/src/delta.rs".into(),
+                    "crates/simba-sql/src/refine.rs".into(),
                     "crates/simba-engine/src/engines/".into(),
                     // A panic in a connection worker kills that client's
                     // session; bad frames must be errors, not aborts.
@@ -193,6 +200,11 @@ mod tests {
             crate::lints::PANIC_HYGIENE,
             "crates/simba-server/src/server.rs"
         ));
+        assert!(cfg.lint_covers(
+            crate::lints::PANIC_HYGIENE,
+            "crates/simba-engine/src/delta.rs"
+        ));
+        assert!(cfg.lint_covers(crate::lints::NONDET_ITER, "crates/simba-sql/src/refine.rs"));
         assert!(!cfg.lint_covers(crate::lints::WALL_CLOCK, "crates/simba-obs/src/trace.rs"));
         assert!(cfg.lint_covers(crate::lints::WALL_CLOCK, "crates/simba-engine/src/exec.rs"));
         assert!(!cfg.lint_covers(crate::lints::ENV_READ, "crates/simba-bench/src/lib.rs"));

@@ -50,7 +50,7 @@ use simba_core::session::batch::{splitmix, SessionScript};
 use simba_core::session::source::{
     AdaptiveSource, AdaptiveWalkConfig, QueryFeedback, ScriptedSource, SessionSource, SourceStep,
 };
-use simba_engine::{Dbms, EngineError, QueryCtx, QueryOutput};
+use simba_engine::{Dbms, EngineError, QueryCtx, QueryOutput, SessionDelta};
 use simba_sql::Select;
 use simba_store::ResultSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -112,6 +112,14 @@ pub struct DriverConfig {
     pub cache: Option<CacheConfig>,
     /// Record a per-query result fingerprint (used by equivalence tests).
     pub collect_fingerprints: bool,
+    /// Enable session-delta execution: each session carries a
+    /// [`SessionDelta`] store and queries run through
+    /// [`Dbms::execute_delta`], letting engines that opt in seed scans from
+    /// the previous step's surviving rows. Results are byte-identical to
+    /// delta-off runs (the differential suite enforces it). Ignored on the
+    /// resilient path: retries/timeouts abandon attempts mid-flight, and an
+    /// abandoned attempt must not poison a store shared with its retry.
+    pub delta: bool,
     /// Enable the global metrics registry for the duration of the run and
     /// attach a run-scoped [`MetricsSnapshot`](simba_obs::MetricsSnapshot)
     /// (plus the derived phase breakdown) to the report.
@@ -138,6 +146,7 @@ impl Default for DriverConfig {
             seed: 0,
             cache: None,
             collect_fingerprints: false,
+            delta: false,
             collect_metrics: false,
             resilience: ResiliencePolicy::default(),
             chaos: false,
@@ -237,6 +246,9 @@ struct ExecCounters {
     rows_matched: u64,
     groups: u64,
     morsels_pruned: u64,
+    delta_hits: u64,
+    delta_group_hits: u64,
+    delta_rows_saved: u64,
 }
 
 impl ExecCounters {
@@ -245,6 +257,9 @@ impl ExecCounters {
         self.rows_matched += stats.rows_matched as u64;
         self.groups += stats.groups as u64;
         self.morsels_pruned += stats.morsels_pruned as u64;
+        self.delta_hits += stats.delta_hits as u64;
+        self.delta_group_hits += stats.delta_group_hits as u64;
+        self.delta_rows_saved += stats.delta_rows_saved as u64;
     }
 
     fn merge(&mut self, other: &ExecCounters) {
@@ -252,6 +267,31 @@ impl ExecCounters {
         self.rows_matched += other.rows_matched;
         self.groups += other.groups;
         self.morsels_pruned += other.morsels_pruned;
+        self.delta_hits += other.delta_hits;
+        self.delta_group_hits += other.delta_group_hits;
+        self.delta_rows_saved += other.delta_rows_saved;
+    }
+}
+
+/// Store-side session-delta event totals, merged across sessions/workers.
+#[derive(Debug, Default, Clone)]
+struct DeltaCounters {
+    misses: u64,
+    invalidations: u64,
+    resets: u64,
+}
+
+impl DeltaCounters {
+    fn add(&mut self, stats: &simba_engine::DeltaStoreStats) {
+        self.misses += stats.misses;
+        self.invalidations += stats.invalidations;
+        self.resets += stats.resets;
+    }
+
+    fn merge(&mut self, other: &DeltaCounters) {
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+        self.resets += other.resets;
     }
 }
 
@@ -292,6 +332,7 @@ struct WorkerOutcome {
     queries: u64,
     errors: u64,
     exec: ExecCounters,
+    delta: DeltaCounters,
     fingerprints: Vec<(usize, Vec<u64>)>,
     actions: Vec<(usize, Vec<String>)>,
     steering: SteeringCounters,
@@ -311,6 +352,7 @@ impl WorkerOutcome {
             queries: 0,
             errors: 0,
             exec: ExecCounters::default(),
+            delta: DeltaCounters::default(),
             fingerprints: Vec::new(),
             actions: Vec::new(),
             steering: SteeringCounters::default(),
@@ -546,6 +588,7 @@ impl Driver {
         let mut response = LatencyHistogram::new();
         let (mut interactions, mut queries, mut errors) = (0u64, 0u64, 0u64);
         let mut exec = ExecCounters::default();
+        let mut delta = DeltaCounters::default();
         let mut steering = SteeringCounters::default();
         let mut resilience = ResilienceCounters::default();
         let mut fingerprints: Vec<Vec<u64>> = vec![Vec::new(); sessions];
@@ -559,6 +602,7 @@ impl Driver {
             queries += w.queries;
             errors += w.errors;
             exec.merge(&w.exec);
+            delta.merge(&w.delta);
             steering.merge(&w.steering);
             resilience.merge(&w.resilience);
             // `get_mut`, not indexing: worker outcomes are keyed by the
@@ -628,6 +672,18 @@ impl Driver {
                 groups: exec.groups,
                 morsels_pruned: exec.morsels_pruned,
             },
+            delta: self.config.delta.then_some(crate::report::DeltaReport {
+                hits: exec.delta_hits,
+                group_hits: exec.delta_group_hits,
+                misses: delta.misses,
+                invalidations: delta.invalidations,
+                resets: delta.resets,
+                rows_saved: exec.delta_rows_saved,
+            }),
+            fingerprint_digest: self
+                .config
+                .collect_fingerprints
+                .then(|| crate::fingerprint::digest(&fingerprints)),
             response: match self.config.arrival {
                 Arrival::Closed => None,
                 Arrival::Open { .. } => Some(LatencySummary::from_histogram(&response)),
@@ -722,6 +778,11 @@ impl Driver {
         let collect = self.config.collect_fingerprints;
         let session_seed = stream.session_seed();
         let errors_before = out.errors;
+        // Session-delta store: one per session, never shared — a session's
+        // refinement chain is its own. Disabled on the resilient path (see
+        // `DriverConfig::delta`).
+        let mut delta: Option<SessionDelta> =
+            (self.config.delta && !self.resilient()).then(SessionDelta::default);
         let mut fps = Vec::new();
         let mut actions = Vec::new();
         let mut observed: Vec<Observed> = Vec::new();
@@ -776,12 +837,16 @@ impl Driver {
                 &step,
                 pos,
                 &mut lateness,
+                &mut delta,
                 out,
                 &mut fps,
             );
             step_index += 1;
         }
 
+        if let Some(d) = delta.as_ref() {
+            out.delta.add(&d.stats());
+        }
         if collect {
             out.fingerprints.push((user, fps));
             out.actions.push((user, actions));
@@ -808,6 +873,7 @@ impl Driver {
         step: &SourceStep,
         pos: StepPos,
         lateness: &mut Duration,
+        delta: &mut Option<SessionDelta>,
         out: &mut WorkerOutcome,
         fps: &mut Vec<u64>,
     ) -> Vec<Observed> {
@@ -817,9 +883,20 @@ impl Driver {
             out.queries += 1;
             let executed = if resilient {
                 self.execute_query_resilient(engine, cache, breaker, query, query_index, pos, out)
+            } else if let Some(d) = delta.as_mut() {
+                self.execute_query_delta(engine.as_ref(), cache, query, d, out)
             } else {
                 self.execute_query_legacy(engine.as_ref(), cache, query, out)
             };
+            if executed.is_err() {
+                if let Some(d) = delta.as_mut() {
+                    // An errored step makes the session's trajectory
+                    // observer-dependent (steering sees ERROR and may
+                    // backtrack anywhere); retained work from before the
+                    // error no longer describes a refinement chain.
+                    d.reset();
+                }
+            }
             self.record_query_outcome(executed, lateness, out, fps, &mut observed);
         }
         observed
@@ -844,6 +921,39 @@ impl Driver {
                     (Observed::Cached(value), elapsed)
                 }),
             None => engine.execute(query).map(|o| {
+                out.exec.add(&o.stats);
+                (Observed::Owned(o.result), o.elapsed)
+            }),
+        }
+    }
+
+    /// The session-delta execution path: the legacy path with
+    /// [`Dbms::execute_delta`] in place of `execute`, so engines that opt in
+    /// reuse the session's retained selections/group states. Under caching
+    /// the delta runner executes *inside* the single-flight leader: a cache
+    /// hit returns the leader's result untouched and leaves the store
+    /// exactly as it was — only fresh executions consult or grow it.
+    fn execute_query_delta(
+        &self,
+        engine: &dyn Dbms,
+        cache: Option<&ShardedResultCache>,
+        query: &Select,
+        delta: &mut SessionDelta,
+        out: &mut WorkerOutcome,
+    ) -> Result<(Observed, Duration), EngineError> {
+        match cache {
+            Some(cache) => {
+                let mut runner = |engine: &dyn Dbms, q: &Select| engine.execute_delta(q, delta);
+                cache.execute_cached_with(engine, query, &mut runner).map(
+                    |(value, elapsed, hit)| {
+                        if !hit {
+                            out.exec.add(&value.stats);
+                        }
+                        (Observed::Cached(value), elapsed)
+                    },
+                )
+            }
+            None => engine.execute_delta(query, delta).map(|o| {
                 out.exec.add(&o.stats);
                 (Observed::Owned(o.result), o.elapsed)
             }),

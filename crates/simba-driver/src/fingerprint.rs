@@ -31,6 +31,23 @@ pub fn fingerprint(result: &ResultSet) -> u64 {
     h.finish()
 }
 
+/// Order-sensitive digest of a whole run's per-session fingerprint
+/// vectors: one `u64` two runs share iff their fingerprint sequences are
+/// identical session by session, position by position. Recorded as
+/// `RunReport.fingerprint_digest` when fingerprints are collected, so JSON
+/// artifacts (e.g. the `delta-shootout` CI gate) can assert result
+/// equality between runs without carrying every vector.
+pub fn digest(fingerprints: &[Vec<u64>]) -> u64 {
+    let mut h = crate::hash::Fnv1a::new();
+    for session in fingerprints {
+        for fp in session {
+            h.write(&fp.to_le_bytes());
+        }
+        h.write(&[0xFF]);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

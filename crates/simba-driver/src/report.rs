@@ -139,6 +139,31 @@ pub struct ExecReport {
     pub morsels_pruned: u64,
 }
 
+/// Session-delta execution totals: how often retained selections / group
+/// states were reused across a session's consecutive steps, and what the
+/// reuse saved. Hits, group hits, and rows saved are aggregated from
+/// per-query [`ExecStats`](simba_engine::ExecStats) over fresh executions;
+/// misses, invalidations, and resets come from the per-session stores.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaReport {
+    /// Queries whose scan was seeded from a retained selection (exact
+    /// requery or provable refinement).
+    pub hits: u64,
+    /// Queries answered from retained group states without touching the
+    /// table at all (same aggregation shape, new ORDER BY / LIMIT).
+    pub group_hits: u64,
+    /// Queries that consulted a session store and found nothing reusable.
+    pub misses: u64,
+    /// Retained entries dropped because the catalog moved underneath them
+    /// (table re-registered or appended to since capture).
+    pub invalidations: u64,
+    /// Session chains reset after an errored step.
+    pub resets: u64,
+    /// Rows the seeded/state-reusing scans did not have to examine,
+    /// relative to fresh full scans of the same queries.
+    pub rows_saved: u64,
+}
+
 /// One execution phase's share of attributed time, derived from the
 /// `*.phase.*` histograms of a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -249,6 +274,17 @@ pub struct RunReport {
     /// Engine execution totals (rows scanned/matched, groups, morsels
     /// pruned) over the run's fresh executions.
     pub exec: ExecReport,
+    /// Session-delta reuse totals; present exactly when the run executed
+    /// with session-delta enabled (all-zero counters are meaningful there:
+    /// they say the workload offered no reusable refinements).
+    pub delta: Option<DeltaReport>,
+    /// Order-sensitive digest over the run's per-session result
+    /// fingerprints ([`crate::fingerprint::digest`]); present exactly when
+    /// the run collected fingerprints. Two runs of the same workload are
+    /// result-identical iff their digests match — what the `delta-shootout`
+    /// CI gate asserts between delta-on and delta-off runs.
+    #[serde(default)]
+    pub fingerprint_digest: Option<u64>,
     /// Open-loop only: the coordinated-omission-corrected view — per-query
     /// latency measured from the *intended* start, so a session's queue
     /// delay lands on its first query instead of being silently absorbed.
@@ -283,7 +319,11 @@ impl RunReport {
     ///   totals) and `resilience` (error taxonomy, retry + breaker
     ///   counters, per-session degraded flags) sections, plus
     ///   `cache.error_passthrough`.
-    pub const SCHEMA_VERSION: u32 = 4;
+    /// * 5 — added the optional `delta` section (session-delta reuse
+    ///   totals, present exactly when the run executed with session-delta
+    ///   enabled) and `fingerprint_digest` (present exactly when the run
+    ///   collected result fingerprints).
+    pub const SCHEMA_VERSION: u32 = 5;
 
     /// Pretty JSON, for harness output files.
     pub fn to_json(&self) -> String {
@@ -362,6 +402,8 @@ mod tests {
                 groups: 120,
                 morsels_pruned: 6,
             },
+            delta: None,
+            fingerprint_digest: None,
             response: None,
             fault: None,
             resilience: None,
@@ -420,7 +462,7 @@ mod tests {
     fn report_serializes_to_json() {
         let report = sample();
         let json = report.to_json();
-        assert!(json.contains("\"schema_version\": 4"), "{json}");
+        assert!(json.contains("\"schema_version\": 5"), "{json}");
         assert!(json.contains("\"rows_scanned\": 52000"), "{json}");
         assert!(json.contains("\"morsels_pruned\": 6"), "{json}");
         assert!(json.contains("\"metrics\": null"), "{json}");
@@ -491,6 +533,27 @@ mod tests {
         assert!(json.contains("\"panics_recovered\": 2"), "{json}");
         assert!(json.contains("\"degraded_sessions\": 1"), "{json}");
         assert!(json.contains("\"latency_spikes\": 4"), "{json}");
+
+        // ... and the v5 session-delta section.
+        let mut deltaed = sample();
+        deltaed.delta = Some(DeltaReport {
+            hits: 12,
+            group_hits: 3,
+            misses: 8,
+            invalidations: 1,
+            resets: 0,
+            rows_saved: 410_000,
+        });
+        deltaed.fingerprint_digest = Some(0x5EED_F00D);
+        let parsed = RunReport::from_json(&deltaed.to_json()).expect("delta report parses back");
+        assert_eq!(parsed, deltaed);
+        let json = deltaed.to_json();
+        assert!(json.contains("\"group_hits\": 3"), "{json}");
+        assert!(json.contains("\"rows_saved\": 410000"), "{json}");
+        assert!(
+            json.contains(&format!("\"fingerprint_digest\": {}", 0x5EED_F00Du64)),
+            "{json}"
+        );
     }
 
     #[test]
@@ -518,8 +581,8 @@ mod tests {
         // must be rejected, not silently reinterpreted.
         let future = sample()
             .to_json()
-            .replace("\"schema_version\": 4", "\"schema_version\": 5");
+            .replace("\"schema_version\": 5", "\"schema_version\": 6");
         let err = RunReport::from_json(&future).unwrap_err();
-        assert!(err.contains("schema_version 5"), "{err}");
+        assert!(err.contains("schema_version 6"), "{err}");
     }
 }

@@ -592,6 +592,13 @@ pub struct ScenarioSpec {
     /// Record per-query result fingerprints (equivalence/determinism
     /// tests; costs a clone+sort per result).
     pub collect_fingerprints: bool,
+    /// Enable session-delta execution: each session carries a per-session
+    /// store and engines that opt in (duckdb-like) seed scans from the
+    /// previous step's surviving rows. Results stay byte-identical to a
+    /// delta-off run; only latency and the report's `delta` section
+    /// change. Defaults to off so existing scenario files stay valid.
+    #[serde(default)]
+    pub delta: bool,
     /// Collect a [`simba_obs`] metrics snapshot (counters + per-phase
     /// latency histograms) over the run and attach it to the report.
     /// Defaults to off so existing scenario files stay valid.
@@ -628,6 +635,7 @@ impl ScenarioSpec {
             cache: None,
             workers: 0,
             collect_fingerprints: false,
+            delta: false,
             collect_metrics: false,
             fault: None,
             resilience: None,
@@ -770,6 +778,7 @@ impl From<&ScenarioSpec> for DriverConfig {
             seed: spec.seed,
             cache: spec.cache.as_ref().map(CacheConfig::from),
             collect_fingerprints: spec.collect_fingerprints,
+            delta: spec.delta,
             collect_metrics: spec.collect_metrics,
             resilience: spec
                 .resilience

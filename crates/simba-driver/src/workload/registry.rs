@@ -114,7 +114,7 @@ impl Scenario {
 }
 
 /// Names of every built-in scenario, in presentation order.
-pub const SCENARIO_NAMES: [&str; 8] = [
+pub const SCENARIO_NAMES: [&str; 9] = [
     "smoke",
     "concurrent-shootout",
     "adaptive-shootout",
@@ -123,6 +123,7 @@ pub const SCENARIO_NAMES: [&str; 8] = [
     "datagen-sweep",
     "chaos",
     "remote-shootout",
+    "delta-shootout",
 ];
 
 /// Expand a built-in scenario by name (case-insensitive), or `None` if
@@ -169,6 +170,12 @@ pub fn scenario(name: &str, params: &ScenarioParams) -> Option<Scenario> {
             "engines over the wire protocol: every engine x cache on/off, fingerprinted \
              (--addr host:port needs a running simba-server; default loopback does not)",
             ScenarioBody::Suite(remote_shootout(params)),
+        ),
+        "delta-shootout" => (
+            "delta-shootout",
+            "session-delta reuse: adaptive + scripted sessions on duckdb-like, delta on/off, \
+             fingerprinted (the off runs are the equivalence baseline)",
+            ScenarioBody::Suite(delta_shootout(params)),
         ),
         _ => return None,
     };
@@ -383,6 +390,26 @@ fn remote_shootout(params: &ScenarioParams) -> Vec<ScenarioSpec> {
     specs
 }
 
+fn delta_shootout(params: &ScenarioParams) -> Vec<ScenarioSpec> {
+    // Session-delta effectiveness: the same walks with delta off (baseline)
+    // and on, across the session modes whose steps chain refinements.
+    // duckdb-like only — it is the engine that opts in to delta execution;
+    // fingerprints stay on so on/off runs can be diffed byte-for-byte.
+    let users = params.first_users();
+    let mut specs = Vec::new();
+    for source in [SourceSpec::scripted(), SourceSpec::adaptive()] {
+        for delta_on in [false, true] {
+            let mut spec = params.base("delta-shootout", users);
+            spec.engine = EngineSpec::new(EngineKind::DuckDbLike);
+            spec.source = source.clone();
+            spec.delta = delta_on;
+            spec.collect_fingerprints = true;
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
 fn datagen_sweep(params: &ScenarioParams) -> DatagenSweep {
     DatagenSweep {
         datasets: Vec::new(),
@@ -517,6 +544,20 @@ mod tests {
             .iter()
             .all(|s| s.engine.addr() == Some("10.1.2.3:4640")));
         assert!(sc.specs().iter().all(|s| s.engine.needs_external_server()));
+    }
+
+    #[test]
+    fn delta_shootout_pairs_on_and_off_runs() {
+        let sc = scenario("delta-shootout", &ScenarioParams::default()).unwrap();
+        // 2 session modes x delta on/off, all duckdb-like, all fingerprinted.
+        assert_eq!(sc.specs().len(), 4);
+        assert!(sc
+            .specs()
+            .iter()
+            .all(|s| s.engine.kind_name() == "duckdb-like"));
+        assert!(sc.specs().iter().all(|s| s.collect_fingerprints));
+        assert_eq!(sc.specs().iter().filter(|s| s.delta).count(), 2);
+        assert_eq!(sc.specs().iter().filter(|s| !s.delta).count(), 2);
     }
 
     #[test]

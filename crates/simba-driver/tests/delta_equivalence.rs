@@ -1,0 +1,241 @@
+//! The differential oracle for session-delta execution: turning `delta: true`
+//! on a scenario spec must be **invisible** in everything the workload can
+//! observe — action sequences, result fingerprints, query counts, and
+//! steering counters are byte-identical to the same spec with delta off,
+//! for every session source, every engine, cache on and off.
+//!
+//! This is the load-bearing property of the delta cache (ISSUE PR10): reuse
+//! decisions are proofs (key equality over normalized queries, sound
+//! implication), so a divergence anywhere in this matrix is a correctness
+//! bug in the delta path, not a tuning problem. The delta-off side of every
+//! comparison runs the untouched legacy execution path, so these tests also
+//! pin "delta off == pre-delta behaviour" (see
+//! `delta_off_matches_legacy_entry_points`).
+
+use proptest::prelude::*;
+use simba_core::session::batch::{synthesize_scripts, BatchConfig};
+use simba_core::spec::builtin::builtin;
+use simba_data::DashboardDataset;
+use simba_driver::workload::{CacheSpec, EngineSpec, ScenarioSpec, SourceSpec};
+use simba_driver::{CacheConfig, Driver, DriverConfig};
+use simba_engine::EngineKind;
+use simba_server::LOOPBACK_ADDR;
+use std::sync::Arc;
+
+fn spec(seed: u64, kind: EngineKind, source: SourceSpec, cache: bool, delta: bool) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("delta-equivalence", "customer_service");
+    spec.rows = 500;
+    spec.seed = seed;
+    spec.sessions = 2;
+    spec.steps_per_session = 4;
+    spec.workers = 2;
+    spec.engine = EngineSpec::new(kind);
+    spec.source = source;
+    spec.cache = cache.then(CacheSpec::default);
+    spec.delta = delta;
+    spec.collect_fingerprints = true;
+    spec
+}
+
+/// Run `off_spec` as-is and again with `delta: true`; assert the observable
+/// workload is byte-identical and the report's delta section appears exactly
+/// when delta was requested.
+fn assert_delta_invisible(
+    off_spec: &ScenarioSpec,
+    label: &str,
+) -> simba_driver::report::DeltaReport {
+    let mut on_spec = off_spec.clone();
+    on_spec.delta = true;
+
+    let off = Driver::execute(off_spec).unwrap();
+    let on = Driver::execute(&on_spec).unwrap();
+
+    assert_eq!(off.report.errors, 0, "{label}: delta-off run errored");
+    assert_eq!(on.report.errors, 0, "{label}: delta-on run errored");
+    assert_eq!(off.actions, on.actions, "{label}: delta changed the walk");
+    assert_eq!(
+        off.fingerprints, on.fingerprints,
+        "{label}: delta changed results"
+    );
+    assert_eq!(off.report.queries, on.report.queries, "{label}");
+    match (&off.report.steering, &on.report.steering) {
+        (None, None) => {}
+        (Some(a), Some(b)) => assert_eq!(
+            (a.backtracks, a.drills, a.empty_results),
+            (b.backtracks, b.drills, b.empty_results),
+            "{label}: steering counters diverged"
+        ),
+        _ => panic!("{label}: steering section present on only one side"),
+    }
+    // The digest is the serialized currency the delta-smoke CI gate
+    // compares; it must match whenever the raw fingerprints do.
+    assert!(off.report.fingerprint_digest.is_some(), "{label}");
+    assert_eq!(
+        off.report.fingerprint_digest, on.report.fingerprint_digest,
+        "{label}: fingerprint digests diverged"
+    );
+    assert!(
+        off.report.delta.is_none(),
+        "{label}: delta-off report must not carry a delta section"
+    );
+    on.report
+        .delta
+        .unwrap_or_else(|| panic!("{label}: delta-on report missing its delta section"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any seed, any engine, any session source, cache on or off:
+    /// delta-on equals delta-off, byte for byte.
+    #[test]
+    fn delta_on_matches_delta_off(
+        seed in 0u64..1_000,
+        engine_ix in 0usize..4,
+        source_ix in 0usize..3,
+        cache in any::<bool>(),
+    ) {
+        let kind = EngineKind::ALL[engine_ix];
+        let source = match source_ix {
+            0 => SourceSpec::scripted(),
+            1 => SourceSpec::adaptive(),
+            _ => SourceSpec::idebench(),
+        };
+        let off_spec = spec(seed, kind, source, cache, false);
+        assert_delta_invisible(
+            &off_spec,
+            &format!("{} seed={seed} source={source_ix} cache={cache}", kind.name()),
+        );
+    }
+}
+
+/// The delta path actually fires where refinements exist: an adaptive walk
+/// on the in-process columnar engine must report selection or group-state
+/// reuse — otherwise the tentpole is a no-op and the differential tests
+/// above are vacuously green.
+#[test]
+fn adaptive_walk_reuses_work_on_duckdb_like() {
+    let off_spec = spec(
+        21,
+        EngineKind::DuckDbLike,
+        SourceSpec::adaptive(),
+        false,
+        false,
+    );
+    let report = assert_delta_invisible(&off_spec, "adaptive duckdb-like");
+    assert!(
+        report.hits + report.group_hits > 0,
+        "adaptive session produced zero delta reuse: {report:?}"
+    );
+    assert!(
+        report.hits + report.group_hits + report.misses > 0,
+        "store was never consulted"
+    );
+}
+
+/// `EngineSpec::remote` cleanly disables delta reuse: `RemoteDbms` cannot
+/// observe the server's catalog generation, so it inherits the trait's
+/// default-decline `execute_delta` and every query executes fresh. The run
+/// must still be byte-identical (that is just the differential property
+/// again) AND report zero hits — a nonzero count here means a wrapper
+/// started caching selections against unobservable server state.
+#[test]
+fn remote_engine_declines_delta_reuse() {
+    for source in [SourceSpec::scripted(), SourceSpec::adaptive()] {
+        let mut off_spec = spec(7, EngineKind::DuckDbLike, source, false, false);
+        off_spec.engine = EngineSpec::remote(LOOPBACK_ADDR, off_spec.engine.clone());
+        let report = assert_delta_invisible(&off_spec, "remote loopback");
+        assert_eq!(
+            (report.hits, report.group_hits, report.rows_saved),
+            (0, 0, 0),
+            "remote engine must never reuse cached selections: {report:?}"
+        );
+        assert_eq!(
+            report.misses, 0,
+            "remote engine must decline before consulting the store: {report:?}"
+        );
+    }
+}
+
+/// The delta-off configuration runs the *untouched* legacy code path: a
+/// scripted spec with `delta: false` produces the same fingerprints and
+/// actions as the pre-delta `Driver::run` entry point over synthesized
+/// scripts — the exact pin `scenario_determinism.rs` established before
+/// this feature existed, re-asserted here against the grown config surface.
+#[test]
+fn delta_off_matches_legacy_entry_points() {
+    const ROWS: usize = 500;
+    const SEED: u64 = 21;
+    let via_spec = Driver::execute(&spec(
+        SEED,
+        EngineKind::DuckDbLike,
+        SourceSpec::scripted(),
+        true,
+        false,
+    ))
+    .unwrap();
+
+    let ds = DashboardDataset::CustomerService;
+    let table = Arc::new(ds.generate_rows(ROWS, SEED));
+    let dashboard = simba_core::dashboard::Dashboard::new(builtin(ds), &table).unwrap();
+    let scripts = synthesize_scripts(
+        &dashboard,
+        &BatchConfig {
+            base_seed: SEED,
+            steps_per_session: 4,
+            ..Default::default()
+        },
+        2,
+    );
+    let engine = EngineKind::DuckDbLike.build();
+    engine.register(table);
+    let legacy = Driver::new(DriverConfig {
+        workers: 2,
+        seed: SEED,
+        cache: Some(CacheConfig::default()),
+        collect_fingerprints: true,
+        ..Default::default()
+    })
+    .run(engine, &scripts);
+
+    assert_eq!(via_spec.fingerprints, legacy.fingerprints);
+    assert!(
+        legacy.report.delta.is_none(),
+        "legacy run must not report delta"
+    );
+}
+
+/// A delta-enabled spec survives the JSON round trip (`bench --dump` +
+/// `bench --spec`) and still runs identically, and an old spec without the
+/// field parses with delta off.
+#[test]
+fn delta_spec_survives_json_round_trip() {
+    // Cache off: with the shared result cache on, *which* worker's query
+    // wins cache admission (and therefore reaches the delta store at all)
+    // races across workers, making the hit/miss counters timing-dependent.
+    // Results stay pinned either way; exact counter equality needs the
+    // per-session walks to be the only store traffic.
+    let original = spec(
+        7,
+        EngineKind::DuckDbLike,
+        SourceSpec::adaptive(),
+        false,
+        true,
+    );
+    let json = serde_json::to_string(&original).unwrap();
+    let parsed = ScenarioSpec::from_json(&json).unwrap();
+    assert!(parsed.delta);
+
+    let a = Driver::execute(&original).unwrap();
+    let b = Driver::execute(&parsed).unwrap();
+    assert_eq!(a.fingerprints, b.fingerprints);
+    assert_eq!(a.actions, b.actions);
+    assert_eq!(a.report.delta, b.report.delta);
+
+    // Field absence == delta off (forward compatibility with old spec files).
+    let stripped = json
+        .replace("\"delta\":true,", "")
+        .replace("\"delta\": true,", "");
+    let old = ScenarioSpec::from_json(&stripped).unwrap();
+    assert!(!old.delta, "missing field must default to off");
+}

@@ -47,6 +47,14 @@ impl SelectionVector {
         self.rows.extend(start as u32..end as u32);
     }
 
+    /// Reset to an explicit (sorted) row list — the seeded-scan entry point,
+    /// where the candidate rows come from a prior step's captured selection
+    /// rather than a dense range.
+    pub fn fill_from(&mut self, rows: &[u32]) {
+        self.rows.clear();
+        self.rows.extend_from_slice(rows);
+    }
+
     /// Surviving row indices.
     pub fn as_slice(&self) -> &[u32] {
         &self.rows
@@ -828,8 +836,64 @@ struct RangePartial {
     partial: Partial,
     matched: usize,
     pruned: usize,
-    /// Rows inside pruned morsels (never read from storage).
+    /// Rows never examined: inside pruned morsels for the fresh scan, or
+    /// outside the seed for a seeded scan.
     skipped: usize,
+    /// Surviving row indices in table order (delta capture only).
+    selection: Option<Vec<u32>>,
+}
+
+/// How a scan participates in session-delta execution.
+pub enum DeltaScan<'a> {
+    /// No participation: the plain fresh scan.
+    Off,
+    /// Fresh scan that additionally captures the surviving selection (and,
+    /// for typed aggregation modes, the merged group states) so a session
+    /// delta store can seed later refinements from it.
+    Capture,
+    /// Scan seeded from a previously captured selection: only the seed rows
+    /// are candidates, everything else is provably filtered out already.
+    /// With `exact` the seeding query's WHERE is identical to this one's,
+    /// so the filter kernels are not re-evaluated at all. Seeded scans
+    /// capture their own (sub)selection so refinement chains compound.
+    Seeded {
+        /// Ascending row indices that survived the seeding query's WHERE.
+        seed: &'a [u32],
+        /// The WHERE clauses are semantically identical, not merely implied.
+        exact: bool,
+    },
+}
+
+/// Aggregation state retained by a capture, re-finalizable without a scan
+/// when a later query repeats the same aggregation shape (`states_key`
+/// match) over the same table snapshot.
+#[derive(Debug, Clone)]
+pub enum GroupStates {
+    /// Merged typed per-slot states (the `TypedDict` / `TypedGlobal` fast
+    /// paths).
+    Typed(TypedGroupStates),
+    /// Materialized `(group key, accumulators)` pairs from the dense and
+    /// hash aggregation paths. Pair order is irrelevant: emission order is
+    /// only observable through ORDER BY, which re-sorts on replay, and
+    /// fingerprints hash the sorted row multiset.
+    Grouped(Vec<(Vec<Value>, Vec<Accumulator>)>),
+}
+
+/// Upper bound on the group count a `GroupStates::Grouped` capture retains.
+/// Dashboard group-bys are low-cardinality (binned hours, categorical
+/// columns), so this only drops pathological high-cardinality aggregations
+/// whose captured states would rival the table itself in size. Skipping a
+/// capture is always safe — the store is an optimization cache.
+const MAX_CAPTURED_GROUPS: usize = 1 << 16;
+
+/// Work retained from one scan for reuse by a later refinement step.
+#[derive(Debug, Clone)]
+pub struct DeltaCapture {
+    /// Surviving row indices over the whole table, ascending.
+    pub selection: Vec<u32>,
+    /// Group states: reusable outright when a later query repeats the same
+    /// aggregation shape.
+    pub states: Option<GroupStates>,
 }
 
 /// Morsel-driven vectorized scan: zone-map pruning, selection-vector filter
@@ -838,80 +902,144 @@ struct RangePartial {
 /// threads whose partial states are merged in morsel order, keeping output
 /// deterministic.
 pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, ExecStats) {
+    let (rows, stats, _) = run_morsels_delta(plan, threads, DeltaScan::Off);
+    (rows, stats)
+}
+
+/// [`run_morsels`] with session-delta participation: optionally capture the
+/// surviving selection / typed group states for later reuse, or seed the
+/// scan from a previously captured selection (see [`DeltaScan`]).
+///
+/// Seeded scans run sequentially regardless of `threads`: the seed already
+/// collapsed the candidate set to the previous step's survivors, so the
+/// remaining work is too small to amortize worker spawn + merge, and a
+/// single pass keeps the captured chain selection trivially in table order.
+pub fn run_morsels_delta(
+    plan: &PreparedQuery,
+    threads: usize,
+    delta: DeltaScan<'_>,
+) -> (Vec<Vec<Value>>, ExecStats, Option<DeltaCapture>) {
     let table = plan.table.as_ref();
     let n = table.row_count();
-    let kernels: Option<Vec<Kernel>> = plan.filter.as_ref().map(|f| compile_kernels(f, table));
+    let mode = decide_mode(plan, table);
+    let (seeded, capture_requested) = match delta {
+        DeltaScan::Off => (None, false),
+        DeltaScan::Capture => (None, true),
+        DeltaScan::Seeded { seed, exact } => (Some((seed, exact)), true),
+    };
+    // On an exact seed the WHERE is byte-for-byte the seeding query's: the
+    // seed rows *are* the survivors, so kernels are never evaluated and
+    // need not be compiled.
+    let kernels: Option<Vec<Kernel>> = if matches!(seeded, Some((_, true))) {
+        None
+    } else {
+        plan.filter.as_ref().map(|f| compile_kernels(f, table))
+    };
     let zones = kernels
         .as_deref()
         .is_some_and(|ks| ks.iter().any(Kernel::is_zone_prunable))
         .then(|| table.zone_maps());
     let n_morsels = morsel_count(n);
-    let mode = decide_mode(plan, table);
 
-    let threads = threads.clamp(1, n_morsels.max(1));
-    // Zone-map pruning runs as one pre-pass over all morsels so the prune
-    // phase is attributable on its own; scan workers then consult the
-    // bitmap. The per-morsel decisions are identical to checking inline.
-    let pruned_map: Option<Vec<bool>> = match (kernels.as_deref(), zones) {
-        (Some(ks), Some(z)) => {
-            let _p = simba_obs::phase!("engine.prune", "engine", "engine.phase.prune");
-            Some(
-                (0..n_morsels)
-                    .map(|m| ks.iter().any(|k| k.prunes_morsel(z, m)))
-                    .collect(),
-            )
-        }
-        _ => None,
-    };
-
-    let scan_phase = simba_obs::phase!("engine.scan", "engine", "engine.phase.scan");
-    let pruned_map_ref = pruned_map.as_deref();
-    let partials: Vec<RangePartial> = if threads <= 1 {
-        vec![scan_range(
+    let partials: Vec<RangePartial> = if let Some((seed, exact)) = seeded {
+        let _scan = simba_obs::phase!("engine.scan", "engine", "engine.phase.scan");
+        vec![scan_seeded(
             plan,
             table,
             kernels.as_deref(),
-            pruned_map_ref,
+            zones,
             &mode,
-            0..n_morsels,
+            seed,
+            exact,
         )]
     } else {
-        let mode = &mode;
-        let kernels = kernels.as_deref();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = split_ranges(n_morsels, threads)
-                .into_iter()
-                .map(|range| {
-                    scope.spawn(move || {
-                        scan_range(plan, table, kernels, pruned_map_ref, mode, range)
+        let threads = threads.clamp(1, n_morsels.max(1));
+        // Zone-map pruning runs as one pre-pass over all morsels so the
+        // prune phase is attributable on its own; scan workers then consult
+        // the bitmap. The per-morsel decisions are identical to checking
+        // inline.
+        let pruned_map: Option<Vec<bool>> = match (kernels.as_deref(), zones) {
+            (Some(ks), Some(z)) => {
+                let _p = simba_obs::phase!("engine.prune", "engine", "engine.phase.prune");
+                Some(
+                    (0..n_morsels)
+                        .map(|m| ks.iter().any(|k| k.prunes_morsel(z, m)))
+                        .collect(),
+                )
+            }
+            _ => None,
+        };
+
+        let _scan = simba_obs::phase!("engine.scan", "engine", "engine.phase.scan");
+        let pruned_map_ref = pruned_map.as_deref();
+        if threads <= 1 {
+            vec![scan_range(
+                plan,
+                table,
+                kernels.as_deref(),
+                pruned_map_ref,
+                &mode,
+                0..n_morsels,
+                capture_requested,
+            )]
+        } else {
+            let mode = &mode;
+            let kernels = kernels.as_deref();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = split_ranges(n_morsels, threads)
+                    .into_iter()
+                    .map(|range| {
+                        scope.spawn(move || {
+                            scan_range(
+                                plan,
+                                table,
+                                kernels,
+                                pruned_map_ref,
+                                mode,
+                                range,
+                                capture_requested,
+                            )
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                // simba: allow(panic-hygiene): scan_range catches no panics by design — a panicking scan worker is an engine bug, and re-raising it here is the only honest outcome
-                .map(|h| h.join().expect("scan worker panicked"))
-                .collect()
-        })
+                    .collect();
+                handles
+                    .into_iter()
+                    // simba: allow(panic-hygiene): scan_range catches no panics by design — a panicking scan worker is an engine bug, and re-raising it here is the only honest outcome
+                    .map(|h| h.join().expect("scan worker panicked"))
+                    .collect()
+            })
+        }
     };
-    drop(scan_phase);
 
     let _agg_phase = simba_obs::phase!("engine.aggregate", "engine", "engine.phase.aggregate");
     let mut stats = ExecStats {
         rows_scanned: n,
         ..ExecStats::default()
     };
+    if let Some((seed, _)) = seeded {
+        stats.delta_hits = 1;
+        stats.delta_rows_saved = n - seed.len();
+    }
+    // Captured range selections concatenate in range order, so the chain
+    // selection is in ascending table order however many threads scanned.
+    let mut chain_selection: Vec<u32> = Vec::new();
     let mut iter = partials.into_iter();
     // simba: allow(panic-hygiene): split_ranges always yields >= 1 range, so there is always a first partial
     let first = iter.next().expect("at least one scan range");
     stats.rows_matched = first.matched;
     stats.morsels_pruned = first.pruned;
     stats.rows_scanned -= first.skipped;
+    if let Some(sel) = first.selection {
+        chain_selection = sel;
+    }
     let mut merged = first.partial;
     for p in iter {
         stats.rows_matched += p.matched;
         stats.morsels_pruned += p.pruned;
         stats.rows_scanned -= p.skipped;
+        if let Some(sel) = p.selection {
+            chain_selection.extend_from_slice(&sel);
+        }
         match (&mut merged, p.partial) {
             (Partial::Rows(a), Partial::Rows(b)) => a.extend(b),
             (Partial::Typed(a), Partial::Typed(b)) => a.merge(&b),
@@ -952,6 +1080,10 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
         }
     }
 
+    let mut capture = capture_requested.then(|| DeltaCapture {
+        selection: chain_selection,
+        states: None,
+    });
     let rows = match (merged, &plan.kind) {
         (Partial::Rows(rows), _) => rows,
         (
@@ -966,6 +1098,11 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
             if keys.is_empty() {
                 // A global aggregate emits one row even over zero input.
                 states.mark_touched(0);
+            }
+            // Captured *after* the global empty-input touch so a cached
+            // state re-finalizes to the identical row set.
+            if let Some(cap) = capture.as_mut() {
+                cap.states = Some(GroupStates::Typed(states.clone()));
             }
             let dict = match &mode {
                 AggMode::TypedDict { key_col, .. } => {
@@ -1003,6 +1140,11 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
                 }
             }
             stats.groups = groups.len();
+            if let Some(cap) = capture.as_mut() {
+                if groups.len() <= MAX_CAPTURED_GROUPS {
+                    cap.states = Some(GroupStates::Grouped(groups.clone()));
+                }
+            }
             crate::exec::emit_groups(projections, having.as_ref(), groups)
         }
         (
@@ -1018,26 +1160,116 @@ pub fn run_morsels(plan: &PreparedQuery, threads: usize) -> (Vec<Vec<Value>>, Ex
                 map.insert(Vec::new(), new_group(aggs));
             }
             stats.groups = map.len();
-            crate::exec::emit_groups(projections, having.as_ref(), map)
+            // Materialize before emitting so the same pairs can be both
+            // captured and consumed. Drain order does not matter (see
+            // `GroupStates::Grouped`).
+            // simba: allow(nondeterministic-iteration): pair order is unobservable — ORDER BY re-sorts and fingerprints hash the sorted multiset
+            let groups: Vec<(Vec<Value>, Vec<Accumulator>)> = map.into_iter().collect();
+            if let Some(cap) = capture.as_mut() {
+                if groups.len() <= MAX_CAPTURED_GROUPS {
+                    cap.states = Some(GroupStates::Grouped(groups.clone()));
+                }
+            }
+            crate::exec::emit_groups(projections, having.as_ref(), groups)
         }
         _ => unreachable!("partial shape matches plan kind"),
     };
-    (rows, stats)
+    (rows, stats, capture)
 }
 
-fn scan_range(
+/// Re-finalize cached typed group states against `plan`'s projections,
+/// HAVING, ORDER BY, and LIMIT without touching the table at all. Sound only
+/// when the cached states were captured for the same (table, WHERE,
+/// projections, GROUP BY, HAVING) — the caller's `states_key` match
+/// establishes that; the shape guards here are defense in depth. `matched`
+/// is the seeding scan's surviving-row count, reported as this execution's
+/// `rows_matched`.
+pub fn run_typed_from_cache(
     plan: &PreparedQuery,
-    table: &Table,
-    kernels: Option<&[Kernel]>,
-    pruned_map: Option<&[bool]>,
-    mode: &AggMode,
-    morsels: std::ops::Range<usize>,
-) -> RangePartial {
-    let n = table.row_count();
-    let mut sel = SelectionVector::with_capacity(MORSEL);
-    let mut slots: Vec<u32> = Vec::new();
-    let (mut matched, mut pruned, mut skipped) = (0usize, 0usize, 0usize);
-    let mut partial = match mode {
+    states: &TypedGroupStates,
+    matched: usize,
+) -> Option<(Vec<Vec<Value>>, ExecStats)> {
+    let table = plan.table.as_ref();
+    let QueryKind::Aggregate {
+        keys,
+        aggs,
+        projections,
+        having,
+    } = &plan.kind
+    else {
+        return None;
+    };
+    if states.kinds.len() != aggs.len() {
+        return None;
+    }
+    let (dict, global): (&[std::sync::Arc<str>], bool) = match decide_mode(plan, table) {
+        AggMode::TypedDict { key_col, dict_len } => {
+            if states.n_groups() != dict_len + 1 {
+                return None;
+            }
+            (table.column(key_col).dictionary().unwrap_or(&[]), false)
+        }
+        AggMode::TypedGlobal => {
+            if states.n_groups() != 1 || !keys.is_empty() {
+                return None;
+            }
+            (&[], true)
+        }
+        _ => return None,
+    };
+    let groups = finalize_typed_groups(states, dict, global);
+    let stats = ExecStats {
+        rows_matched: matched,
+        groups: groups.len(),
+        delta_group_hits: 1,
+        delta_rows_saved: table.row_count(),
+        ..ExecStats::default()
+    };
+    Some((
+        emit_finalized_groups(projections, having.as_ref(), groups),
+        stats,
+    ))
+}
+
+/// Re-finalize cached materialized groups (the dense and hash aggregation
+/// paths) against `plan`'s projections, HAVING, ORDER BY, and LIMIT without
+/// touching the table. Soundness comes from the caller's `states_key` match
+/// plus the store's generation / snapshot-identity checks; the accumulator
+/// arity guard here is defense in depth. `matched` is the seeding scan's
+/// surviving-row count, reported as this execution's `rows_matched`.
+pub fn run_grouped_from_cache(
+    plan: &PreparedQuery,
+    groups: &[(Vec<Value>, Vec<Accumulator>)],
+    matched: usize,
+) -> Option<(Vec<Vec<Value>>, ExecStats)> {
+    let QueryKind::Aggregate {
+        aggs,
+        projections,
+        having,
+        ..
+    } = &plan.kind
+    else {
+        return None;
+    };
+    if groups.iter().any(|(_, accs)| accs.len() != aggs.len()) {
+        return None;
+    }
+    let stats = ExecStats {
+        rows_matched: matched,
+        groups: groups.len(),
+        delta_group_hits: 1,
+        delta_rows_saved: plan.table.row_count(),
+        ..ExecStats::default()
+    };
+    Some((
+        crate::exec::emit_groups(projections, having.as_ref(), groups.to_vec()),
+        stats,
+    ))
+}
+
+/// Empty partial state for one scan range, shaped by the aggregation mode.
+fn make_partial(plan: &PreparedQuery, table: &Table, mode: &AggMode) -> Partial {
+    match mode {
         AggMode::Project => Partial::Rows(Vec::new()),
         AggMode::TypedDict { dict_len, .. } => {
             let QueryKind::Aggregate { aggs, .. } = &plan.kind else {
@@ -1060,7 +1292,99 @@ fn scan_range(
         }
         AggMode::DenseDict { dict_len, .. } => Partial::Dense(vec![None; dict_len + 1]),
         AggMode::Hash => Partial::Hash(HashMap::new()),
-    };
+    }
+}
+
+/// Feed one filtered batch into a range's partial state — the per-morsel
+/// aggregation step shared by the fresh and seeded scans.
+fn update_partial(
+    partial: &mut Partial,
+    plan: &PreparedQuery,
+    table: &Table,
+    mode: &AggMode,
+    sel: &SelectionVector,
+    slots: &mut Vec<u32>,
+) {
+    match (partial, mode) {
+        (Partial::Rows(rows), AggMode::Project) => {
+            let QueryKind::Project { exprs } = &plan.kind else {
+                unreachable!()
+            };
+            for &i in sel.as_slice() {
+                let ctx = TableRow {
+                    table,
+                    row: i as usize,
+                };
+                rows.push(exprs.iter().map(|e| eval(e, &ctx)).collect());
+            }
+        }
+        (Partial::Typed(states), AggMode::TypedDict { key_col, dict_len }) => {
+            dict_key_slots(
+                table.column(*key_col),
+                sel.as_slice(),
+                slots,
+                *dict_len as u32,
+            );
+            states.update_batch(table, sel.as_slice(), slots);
+        }
+        (Partial::Typed(states), AggMode::TypedGlobal) => {
+            slots.clear();
+            slots.resize(sel.len(), 0);
+            states.update_batch(table, sel.as_slice(), slots);
+        }
+        (Partial::Dense(groups), AggMode::DenseDict { key_col, dict_len }) => {
+            let QueryKind::Aggregate { aggs, .. } = &plan.kind else {
+                unreachable!()
+            };
+            let col = table.column(*key_col);
+            for &i in sel.as_slice() {
+                let row = i as usize;
+                let slot = match col.code(row) {
+                    Some(code) => code as usize,
+                    None => *dict_len,
+                };
+                let accs = groups[slot].get_or_insert_with(|| new_group(aggs));
+                update_group(accs, aggs, table, row);
+            }
+        }
+        (Partial::Hash(map), AggMode::Hash) => {
+            let QueryKind::Aggregate { keys, aggs, .. } = &plan.kind else {
+                unreachable!()
+            };
+            for &i in sel.as_slice() {
+                let ctx = TableRow {
+                    table,
+                    row: i as usize,
+                };
+                let key: Vec<Value> = keys.iter().map(|k| eval(k, &ctx)).collect();
+                let accs = map.entry(key).or_insert_with(|| new_group(aggs));
+                for (acc, spec) in accs.iter_mut().zip(aggs) {
+                    match &spec.arg {
+                        None => acc.update_star(),
+                        Some(arg) => acc.update_value(eval(arg, &ctx)),
+                    }
+                }
+            }
+        }
+        _ => unreachable!("partial shape matches mode"),
+    }
+}
+
+fn scan_range(
+    plan: &PreparedQuery,
+    table: &Table,
+    kernels: Option<&[Kernel]>,
+    pruned_map: Option<&[bool]>,
+    mode: &AggMode,
+    morsels: std::ops::Range<usize>,
+    capture: bool,
+) -> RangePartial {
+    let n = table.row_count();
+    let mut sel = SelectionVector::with_capacity(MORSEL);
+    let mut slots: Vec<u32> = Vec::new();
+    let (mut matched, mut pruned, mut skipped) = (0usize, 0usize, 0usize);
+    let mut partial = make_partial(plan, table, mode);
+    let mut selection = capture.then(Vec::new);
 
     for m in morsels {
         let (start, end) = morsel_bounds(m, n);
@@ -1074,76 +1398,80 @@ fn scan_range(
             continue;
         }
         matched += sel.len();
-
-        match (&mut partial, mode) {
-            (Partial::Rows(rows), AggMode::Project) => {
-                let QueryKind::Project { exprs } = &plan.kind else {
-                    unreachable!()
-                };
-                for &i in sel.as_slice() {
-                    let ctx = TableRow {
-                        table,
-                        row: i as usize,
-                    };
-                    rows.push(exprs.iter().map(|e| eval(e, &ctx)).collect());
-                }
-            }
-            (Partial::Typed(states), AggMode::TypedDict { key_col, dict_len }) => {
-                dict_key_slots(
-                    table.column(*key_col),
-                    sel.as_slice(),
-                    &mut slots,
-                    *dict_len as u32,
-                );
-                states.update_batch(table, sel.as_slice(), &slots);
-            }
-            (Partial::Typed(states), AggMode::TypedGlobal) => {
-                slots.clear();
-                slots.resize(sel.len(), 0);
-                states.update_batch(table, sel.as_slice(), &slots);
-            }
-            (Partial::Dense(groups), AggMode::DenseDict { key_col, dict_len }) => {
-                let QueryKind::Aggregate { aggs, .. } = &plan.kind else {
-                    unreachable!()
-                };
-                let col = table.column(*key_col);
-                for &i in sel.as_slice() {
-                    let row = i as usize;
-                    let slot = match col.code(row) {
-                        Some(code) => code as usize,
-                        None => *dict_len,
-                    };
-                    let accs = groups[slot].get_or_insert_with(|| new_group(aggs));
-                    update_group(accs, aggs, table, row);
-                }
-            }
-            (Partial::Hash(map), AggMode::Hash) => {
-                let QueryKind::Aggregate { keys, aggs, .. } = &plan.kind else {
-                    unreachable!()
-                };
-                for &i in sel.as_slice() {
-                    let ctx = TableRow {
-                        table,
-                        row: i as usize,
-                    };
-                    let key: Vec<Value> = keys.iter().map(|k| eval(k, &ctx)).collect();
-                    let accs = map.entry(key).or_insert_with(|| new_group(aggs));
-                    for (acc, spec) in accs.iter_mut().zip(aggs) {
-                        match &spec.arg {
-                            None => acc.update_star(),
-                            Some(arg) => acc.update_value(eval(arg, &ctx)),
-                        }
-                    }
-                }
-            }
-            _ => unreachable!("partial shape matches mode"),
+        if let Some(out) = selection.as_mut() {
+            out.extend_from_slice(sel.as_slice());
         }
+        update_partial(&mut partial, plan, table, mode, &sel, &mut slots);
     }
     RangePartial {
         partial,
         matched,
         pruned,
         skipped,
+        selection,
+    }
+}
+
+/// Scan only the seed rows (a previous refinement step's survivors),
+/// morsel-aligned so zone maps can still prune and the aggregation arms see
+/// batches no wider than [`MORSEL`]. `rows_scanned` counts the candidates
+/// actually examined, so the stats honestly show the seeded scan's work.
+fn scan_seeded(
+    plan: &PreparedQuery,
+    table: &Table,
+    kernels: Option<&[Kernel]>,
+    zones: Option<&ZoneMaps>,
+    mode: &AggMode,
+    seed: &[u32],
+    exact: bool,
+) -> RangePartial {
+    let n = table.row_count();
+    let mut sel = SelectionVector::with_capacity(MORSEL);
+    let mut slots: Vec<u32> = Vec::new();
+    let mut partial = make_partial(plan, table, mode);
+    let mut selection = Vec::with_capacity(seed.len());
+    let (mut matched, mut pruned, mut examined) = (0usize, 0usize, 0usize);
+
+    let mut pos = 0;
+    while pos < seed.len() {
+        let m = seed[pos] as usize / MORSEL;
+        let morsel_end = ((m + 1) * MORSEL) as u32;
+        let chunk_end = pos + seed[pos..].partition_point(|&r| r < morsel_end);
+        let chunk = &seed[pos..chunk_end];
+        pos = chunk_end;
+        if let (Some(ks), Some(z)) = (kernels, zones) {
+            if ks.iter().any(|k| k.prunes_morsel(z, m)) {
+                pruned += 1;
+                continue;
+            }
+        }
+        examined += chunk.len();
+        sel.fill_from(chunk);
+        if !exact {
+            if let Some(ks) = kernels {
+                for k in ks {
+                    k.filter_batch(table, &mut sel);
+                    if sel.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        if sel.is_empty() {
+            continue;
+        }
+        matched += sel.len();
+        selection.extend_from_slice(sel.as_slice());
+        update_partial(&mut partial, plan, table, mode, &sel, &mut slots);
+    }
+    RangePartial {
+        partial,
+        matched,
+        pruned,
+        // The caller derives rows_scanned as `n - skipped`; report the
+        // candidates examined, not the table size.
+        skipped: n - examined,
+        selection: Some(selection),
     }
 }
 

@@ -1,0 +1,470 @@
+//! Session-delta execution: reuse work across consecutive exploration steps.
+//!
+//! Exploration sessions step through *refinements* — each query tightens or
+//! repeats the previous step's filter far more often than it starts from
+//! scratch (§2 of the paper). A [`SessionDelta`] store retains, per session,
+//! the surviving selection vector (and, for aggregations, the merged group
+//! states — typed per-slot states or materialized dense/hash group pairs)
+//! of recent queries, keyed by
+//! [`delta_key`](simba_sql::delta_key) / [`states_key`](simba_sql::states_key).
+//! [`execute_with_delta`] then resolves each new query against the store:
+//!
+//! 1. **Group-state reuse (tier 2):** an entry whose `states_key` matches
+//!    exactly re-finalizes the cached [`GroupStates`] without touching the
+//!    table at all — exact re-renders and ORDER BY / LIMIT variants of the
+//!    same aggregation hit this tier, including the multi-key hash
+//!    aggregations behind unfiltered dashboard charts.
+//! 2. **Exact selection reuse:** an entry whose `delta_key` matches carries
+//!    the precise surviving row set; the scan is seeded from it with filter
+//!    kernels skipped entirely.
+//! 3. **Refinement seeding (tier 1):** otherwise, the newest entry for which
+//!    [`is_refinement`](simba_sql::is_refinement) *proves* the new WHERE
+//!    implies the stored one seeds the scan: only the stored survivors are
+//!    candidates, re-filtered through the new query's kernels (zone maps
+//!    still prune whole morsels of the seed).
+//! 4. **Miss:** a fresh capturing scan, whose selection/states are stored
+//!    for the steps that follow.
+//!
+//! # Invalidation contract
+//!
+//! Tables are immutable once registered; re-registration (including
+//! [`TableAssembler`](simba_store) appends, which re-register the grown
+//! table) publishes a *new* [`Table`] and bumps the catalog
+//! [`generation`](crate::exec::Catalog::generation). Every entry records the
+//! generation it observed plus the exact `Arc<Table>` snapshot it scanned.
+//! At reuse time a generation mismatch drops entries eagerly (coarse
+//! signal); entries for the queried table must *additionally* be pointer-
+//! identical to the table the plan resolved — the airtight guard, immune to
+//! the publish/bump race inherent in reading two atomics.
+//!
+//! Correctness never depends on the store's contents: every verdict feeding
+//! a reuse decision is a proof (key equality over normalized queries, or
+//! sound implication), and the differential suite pins delta-on execution
+//! byte-identical to fresh execution.
+
+use crate::batch::{
+    run_grouped_from_cache, run_morsels_delta, run_typed_from_cache, DeltaScan, GroupStates,
+};
+use crate::engines::execute_common_with;
+use crate::error::EngineError;
+use crate::exec::{Catalog, QueryOutput};
+use simba_sql::{delta_key, is_refinement, states_key, Select};
+use simba_store::Table;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Work retained from one executed query for reuse by later session steps.
+#[derive(Debug, Clone)]
+struct DeltaEntry {
+    /// [`delta_key`] of the producing query (table + normalized WHERE).
+    key: String,
+    /// [`states_key`] of the producing query — meaningful only when `states`
+    /// were captured.
+    states_key: String,
+    /// The producing query, kept so refinement checks can re-prove
+    /// implication against its WHERE clause.
+    query: Select,
+    /// Catalog generation observed when the entry was captured.
+    generation: u64,
+    /// The exact immutable table snapshot that was scanned; reuse against
+    /// the same table name requires pointer identity with the snapshot the
+    /// new plan resolved.
+    snapshot: Arc<Table>,
+    /// Surviving row indices over the whole table, ascending.
+    selection: Arc<Vec<u32>>,
+    /// Merged group states (typed per-slot states or materialized
+    /// dense/hash group pairs).
+    states: Option<GroupStates>,
+}
+
+/// Store-side counters: events the per-query [`ExecStats`](crate::exec::ExecStats)
+/// delta counters cannot see (hits and rows saved travel with the query).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStoreStats {
+    /// Queries that consulted the store and found nothing reusable.
+    pub misses: u64,
+    /// Entries dropped because the catalog moved underneath them
+    /// (re-register or append since capture).
+    pub invalidations: u64,
+    /// Times the chain was reset (an errored step makes the session's
+    /// trajectory observer-dependent, so retained work is discarded).
+    pub resets: u64,
+}
+
+/// Per-session store of recently captured selections / group states.
+///
+/// Bounded: the oldest entry is evicted once `capacity` is reached, matching
+/// the observation that refinements chain off *recent* steps. The store is
+/// an optimization cache only — dropping any entry is always safe.
+#[derive(Debug)]
+pub struct SessionDelta {
+    entries: VecDeque<DeltaEntry>,
+    capacity: usize,
+    stats: DeltaStoreStats,
+}
+
+impl Default for SessionDelta {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl SessionDelta {
+    /// Default entry bound: a dashboard render captures up to one entry per
+    /// chart (~5) and adaptive walks revisit the overview after half a dozen
+    /// drill steps, so the window must span several steps' worth of captures
+    /// for the return leg to hit tier 1/2 instead of re-scanning. 32 covers
+    /// ~6 steps of a 5-chart dashboard without unbounded retention; each
+    /// entry holds one `SelectionVector` (≤ row-count u32s), so worst case
+    /// is a few MB per session at the 1M-row tier.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::with_capacity(capacity.min(Self::DEFAULT_CAPACITY)),
+            capacity: capacity.max(1),
+            stats: DeltaStoreStats::default(),
+        }
+    }
+
+    /// Store-side event counters accumulated so far.
+    pub fn stats(&self) -> DeltaStoreStats {
+        self.stats
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discard every retained entry and count a chain reset. Called when a
+    /// step errors: the session's subsequent queries are no longer a
+    /// refinement chain the store can reason about.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.stats.resets += 1;
+    }
+
+    /// Drop entries that can never be reused against the current catalog
+    /// state: any entry captured under a different generation, and any
+    /// entry for the queried table whose snapshot is not pointer-identical
+    /// to the table the new plan resolved. Entries for *other* tables
+    /// survive only the generation check — they are unreachable by this
+    /// query's lookups and will be re-validated by their own.
+    fn invalidate_stale(&mut self, generation: u64, table: &Arc<Table>) {
+        let before = self.entries.len();
+        self.entries.retain(|e| {
+            e.generation == generation
+                && (!e.snapshot.name().eq_ignore_ascii_case(table.name())
+                    || Arc::ptr_eq(&e.snapshot, table))
+        });
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+    }
+
+    /// Newest entry with cached group states for exactly this aggregation
+    /// shape, plus the surviving-row count its states summarize.
+    fn states_for(&self, states_key: &str) -> Option<(&GroupStates, usize)> {
+        self.entries
+            .iter()
+            .rev()
+            .filter(|e| e.states_key == states_key)
+            .find_map(|e| e.states.as_ref().map(|s| (s, e.selection.len())))
+    }
+
+    /// Best seed for `query`: an exact `delta_key` match (kernels skippable),
+    /// else the newest entry whose WHERE is provably implied by `query`'s.
+    /// Entries without a WHERE are never seeds — their selection is the
+    /// whole table, so seeding from them saves nothing over a fresh scan.
+    fn seed_for(&self, key: &str, query: &Select) -> Option<(Arc<Vec<u32>>, bool)> {
+        let candidates = || {
+            self.entries
+                .iter()
+                .rev()
+                .filter(|e| e.query.where_clause.is_some())
+        };
+        if let Some(e) = candidates().find(|e| e.key == key) {
+            return Some((Arc::clone(&e.selection), true));
+        }
+        candidates()
+            .find(|e| is_refinement(query, &e.query))
+            .map(|e| (Arc::clone(&e.selection), false))
+    }
+
+    /// Retain a freshly captured entry, replacing any previous entry with
+    /// the same (key, states_key) pair and evicting the oldest at capacity.
+    fn store(&mut self, entry: DeltaEntry) {
+        self.entries
+            .retain(|e| !(e.key == entry.key && e.states_key == entry.states_key));
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+}
+
+/// Execute `query` with session-delta reuse against `delta` (see the module
+/// docs for the tier order). Produces output byte-identical to
+/// [`run_morsels`](crate::batch::run_morsels) on the same catalog — the
+/// differential suite enforces this — while updating the store and the
+/// per-query delta counters in [`ExecStats`](crate::exec::ExecStats).
+pub(crate) fn execute_with_delta(
+    catalog: &Catalog,
+    scan_threads: usize,
+    query: &Select,
+    delta: &mut SessionDelta,
+) -> Result<QueryOutput, EngineError> {
+    // Read the generation *before* resolving the table: if a register races
+    // us, the stamp is merely older than the snapshot and the entry dies a
+    // conservative death at the next generation check.
+    let generation = catalog.generation();
+    let key = delta_key(query);
+    let skey = states_key(query);
+    let (output, capture) = execute_common_with(catalog, query, |plan| {
+        delta.invalidate_stale(generation, &plan.table);
+        // Tier 2: identical aggregation shape — re-finalize cached states.
+        if let Some((states, matched)) = delta.states_for(&skey) {
+            let replayed = match states {
+                GroupStates::Typed(typed) => run_typed_from_cache(plan, typed, matched),
+                GroupStates::Grouped(groups) => run_grouped_from_cache(plan, groups, matched),
+            };
+            if let Some((rows, stats)) = replayed {
+                return (rows, stats, None);
+            }
+        }
+        // Tier 1: seed the scan from a captured selection.
+        if let Some((seed, exact)) = delta.seed_for(&key, query) {
+            return run_morsels_delta(plan, scan_threads, DeltaScan::Seeded { seed: &seed, exact });
+        }
+        delta.stats.misses += 1;
+        run_morsels_delta(plan, scan_threads, DeltaScan::Capture)
+    })?;
+    if let Some(cap) = capture {
+        // Entries without a WHERE carry a full-table selection — useless as
+        // a seed — but their group states still serve tier 2 (e.g. the
+        // unfiltered step-0 dashboard re-sorted at step 1).
+        if query.where_clause.is_some() || cap.states.is_some() {
+            let table = catalog.get(&query.from);
+            // The plan resolved this table moments ago; a concurrent
+            // re-register can remove or replace it, in which case the
+            // capture is already stale and is simply not retained.
+            if let Some(snapshot) = table {
+                delta.store(DeltaEntry {
+                    key,
+                    states_key: skey,
+                    query: query.clone(),
+                    generation,
+                    snapshot,
+                    selection: Arc::new(cap.selection),
+                    states: cap.states,
+                });
+            }
+        }
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::run_morsels;
+    use crate::plan::prepare;
+    use simba_sql::parse_select;
+    use simba_store::{ColumnDef, Schema, TableBuilder, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                ColumnDef::quantitative_int("a"),
+                ColumnDef::categorical("q"),
+                ColumnDef::quantitative_float("v"),
+            ],
+        )
+    }
+
+    fn catalog() -> Catalog {
+        let mut b = TableBuilder::new(schema(), 10_000);
+        for i in 0..10_000i64 {
+            b.push_row(vec![
+                Value::Int(i % 97),
+                Value::str(format!("g{}", i % 7)),
+                Value::Float((i % 13) as f64 * 0.5),
+            ]);
+        }
+        let catalog = Catalog::default();
+        catalog.register(Arc::new(b.finish()));
+        catalog
+    }
+
+    fn fresh(catalog: &Catalog, sql: &str) -> QueryOutput {
+        let query = parse_select(sql).unwrap();
+        let table = catalog.get(&query.from).unwrap();
+        let plan = prepare(&query, table).unwrap();
+        let (rows, stats) = run_morsels(&plan, 1);
+        let rows = crate::exec::finalize_rows(rows, plan.n_output, &plan.order_dirs, plan.limit);
+        QueryOutput {
+            result: simba_store::ResultSet::new(plan.output_names.clone(), rows),
+            stats,
+            elapsed: std::time::Duration::ZERO,
+        }
+    }
+
+    fn run(catalog: &Catalog, delta: &mut SessionDelta, sql: &str) -> QueryOutput {
+        let query = parse_select(sql).unwrap();
+        execute_with_delta(catalog, 1, &query, delta).unwrap()
+    }
+
+    #[test]
+    fn refinement_chain_reuses_and_matches_fresh_execution() {
+        let catalog = catalog();
+        let mut delta = SessionDelta::default();
+        let q1 = "SELECT q, COUNT(*), SUM(v) FROM t WHERE a > 10 GROUP BY q ORDER BY q";
+        let q2 = "SELECT q, COUNT(*), SUM(v) FROM t WHERE a > 10 AND a < 50 GROUP BY q ORDER BY q";
+        let o1 = run(&catalog, &mut delta, q1);
+        assert_eq!(o1.stats.delta_hits, 0, "first step is a miss");
+        assert_eq!(delta.len(), 1);
+        let o2 = run(&catalog, &mut delta, q2);
+        assert_eq!(o2.stats.delta_hits, 1, "tightened filter seeds from step 1");
+        assert!(o2.stats.delta_rows_saved > 0);
+        assert_eq!(o1.result, fresh(&catalog, q1).result);
+        assert_eq!(o2.result, fresh(&catalog, q2).result);
+    }
+
+    #[test]
+    fn exact_requery_skips_kernels_and_order_limit_variants_hit_states() {
+        let catalog = catalog();
+        let mut delta = SessionDelta::default();
+        let base = "SELECT q, COUNT(*) FROM t WHERE a > 40 GROUP BY q";
+        run(&catalog, &mut delta, base);
+        // Same aggregation, different ORDER BY/LIMIT: tier-2 group states.
+        let sorted =
+            "SELECT q, COUNT(*) FROM t WHERE a > 40 GROUP BY q ORDER BY COUNT(*) DESC LIMIT 3";
+        let o = run(&catalog, &mut delta, sorted);
+        assert_eq!(o.stats.delta_group_hits, 1, "states reused outright");
+        assert_eq!(o.result, fresh(&catalog, sorted).result);
+        // Different projection over the same WHERE: exact selection seed.
+        let reproj = "SELECT AVG(v) FROM t WHERE a > 40";
+        let o = run(&catalog, &mut delta, reproj);
+        assert_eq!(o.stats.delta_hits, 1);
+        assert_eq!(o.result, fresh(&catalog, reproj).result);
+    }
+
+    #[test]
+    fn multi_key_hash_aggregations_replay_from_cached_groups() {
+        let catalog = catalog();
+        let mut delta = SessionDelta::default();
+        // Two grouping keys force the hash aggregation path — no typed mode
+        // exists for it, so tier 2 must come from materialized group pairs.
+        let base = "SELECT q, a, COUNT(*), SUM(v) FROM t WHERE a > 20 GROUP BY q, a ORDER BY q, a";
+        run(&catalog, &mut delta, base);
+        // Exact re-render: replayed from the cached groups, no scan at all.
+        let o = run(&catalog, &mut delta, base);
+        assert_eq!(o.stats.delta_group_hits, 1, "hash groups replayed");
+        assert_eq!(o.stats.rows_scanned, 0);
+        assert_eq!(o.result, fresh(&catalog, base).result);
+        // A LIMIT variant of the same aggregation replays too: ORDER BY and
+        // LIMIT are outside the states key and re-apply at finalize.
+        let limited =
+            "SELECT q, a, COUNT(*), SUM(v) FROM t WHERE a > 20 GROUP BY q, a ORDER BY q, a LIMIT 5";
+        let o = run(&catalog, &mut delta, limited);
+        assert_eq!(o.stats.delta_group_hits, 1);
+        assert_eq!(o.result, fresh(&catalog, limited).result);
+        // Unfiltered multi-key charts are stored for their states (never as
+        // a seed) and replay when the walk returns to the overview.
+        let chart = "SELECT q, a, COUNT(*) FROM t GROUP BY q, a ORDER BY q, a";
+        run(&catalog, &mut delta, chart);
+        let o = run(&catalog, &mut delta, chart);
+        assert_eq!(o.stats.delta_group_hits, 1);
+        assert_eq!(o.result, fresh(&catalog, chart).result);
+    }
+
+    #[test]
+    fn reregister_invalidates_retained_entries() {
+        let catalog = catalog();
+        let mut delta = SessionDelta::default();
+        run(&catalog, &mut delta, "SELECT COUNT(*) FROM t WHERE a > 10");
+        assert_eq!(delta.len(), 1);
+        // Re-register `t` with different contents: the retained selection
+        // indexes rows of a table that no longer exists.
+        let mut b = TableBuilder::new(schema(), 500);
+        for i in 0..500i64 {
+            b.push_row(vec![Value::Int(i), Value::str("g0"), Value::Float(0.0)]);
+        }
+        catalog.register(Arc::new(b.finish()));
+        let o = run(
+            &catalog,
+            &mut delta,
+            "SELECT COUNT(*) FROM t WHERE a > 10 AND a < 20",
+        );
+        assert_eq!(o.stats.delta_hits, 0, "stale entry must not seed");
+        assert_eq!(delta.stats().invalidations, 1);
+        assert_eq!(
+            o.result,
+            fresh(&catalog, "SELECT COUNT(*) FROM t WHERE a > 10 AND a < 20").result
+        );
+    }
+
+    #[test]
+    fn reset_discards_the_chain() {
+        let catalog = catalog();
+        let mut delta = SessionDelta::default();
+        run(&catalog, &mut delta, "SELECT COUNT(*) FROM t WHERE a > 10");
+        delta.reset();
+        assert!(delta.is_empty());
+        assert_eq!(delta.stats().resets, 1);
+        let o = run(
+            &catalog,
+            &mut delta,
+            "SELECT COUNT(*) FROM t WHERE a > 10 AND a < 50",
+        );
+        assert_eq!(o.stats.delta_hits, 0, "reset chain cannot seed");
+    }
+
+    #[test]
+    fn unfiltered_queries_never_seed_but_their_states_are_reusable() {
+        let catalog = catalog();
+        let mut delta = SessionDelta::default();
+        run(&catalog, &mut delta, "SELECT q, COUNT(*) FROM t GROUP BY q");
+        // Any WHERE refines the unfiltered query, but a full-table seed
+        // saves nothing — the store must not offer it.
+        let o = run(
+            &catalog,
+            &mut delta,
+            "SELECT q, COUNT(*) FROM t WHERE a > 10 GROUP BY q",
+        );
+        assert_eq!(o.stats.delta_hits, 0);
+        // The unfiltered aggregation's states still serve ORDER BY variants.
+        let o = run(
+            &catalog,
+            &mut delta,
+            "SELECT q, COUNT(*) FROM t GROUP BY q ORDER BY q LIMIT 2",
+        );
+        assert_eq!(o.stats.delta_group_hits, 1);
+        assert_eq!(
+            o.result,
+            fresh(
+                &catalog,
+                "SELECT q, COUNT(*) FROM t GROUP BY q ORDER BY q LIMIT 2"
+            )
+            .result
+        );
+    }
+
+    #[test]
+    fn store_is_bounded() {
+        let catalog = catalog();
+        let mut delta = SessionDelta::new(2);
+        for lo in 0..5 {
+            run(
+                &catalog,
+                &mut delta,
+                &format!("SELECT COUNT(*) FROM t WHERE a > {lo}"),
+            );
+        }
+        assert_eq!(delta.len(), 2, "oldest entries evicted at capacity");
+    }
+}

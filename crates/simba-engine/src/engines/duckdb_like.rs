@@ -69,6 +69,16 @@ impl Dbms for DuckDbLike {
             run_morsels(plan, self.scan_threads)
         })
     }
+
+    /// Opts in to session-delta reuse: this engine owns its catalog
+    /// in-process, so generation + snapshot identity checks are sound.
+    fn execute_delta(
+        &self,
+        query: &Select,
+        delta: &mut crate::delta::SessionDelta,
+    ) -> Result<QueryOutput, EngineError> {
+        crate::delta::execute_with_delta(&self.catalog, self.scan_threads, query, delta)
+    }
 }
 
 #[cfg(test)]

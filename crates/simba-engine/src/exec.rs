@@ -28,6 +28,18 @@ pub struct ExecStats {
     pub groups: usize,
     /// Morsels skipped entirely by zone-map pruning (vectorized scans only).
     pub morsels_pruned: usize,
+    /// 1 when this execution was seeded from a session-delta selection
+    /// instead of rescanning the table (session-delta execution only).
+    #[serde(default)]
+    pub delta_hits: usize,
+    /// 1 when cached typed group states were reused outright, skipping the
+    /// scan *and* the aggregation (session-delta execution only).
+    #[serde(default)]
+    pub delta_group_hits: usize,
+    /// Rows the delta seed spared from scanning: table rows minus the
+    /// candidate rows the seeded scan examined.
+    #[serde(default)]
+    pub delta_rows_saved: usize,
 }
 
 /// The result of [`crate::Dbms::execute`]: the result set plus timing/stats.
@@ -371,9 +383,17 @@ pub fn new_group(aggs: &[AggSpec]) -> Vec<Accumulator> {
 /// Shared registry of tables, keyed by lowercase name. Reads take a shared
 /// lock only, so concurrent `execute` calls across driver worker threads
 /// never serialize on the catalog.
+///
+/// Every `register` — first registration, re-registration, or the publish
+/// step of a `TableAssembler` append (appended data becomes visible only
+/// through `register`) — bumps a monotone generation counter. Work retained
+/// across queries (the session-delta store) stamps the generation it
+/// observed and is invalidated by any mismatch, so stale selections can
+/// never be served against changed table state.
 #[derive(Default)]
 pub struct Catalog {
     tables: std::sync::RwLock<std::collections::HashMap<String, Arc<Table>>>,
+    generation: std::sync::atomic::AtomicU64,
 }
 
 impl Catalog {
@@ -386,6 +406,22 @@ impl Catalog {
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(table.name().to_ascii_lowercase(), table);
+        // The counter is the *coarse* staleness signal consumers poll to
+        // drop retained work eagerly; it is not the reuse-time guard. A
+        // register racing a generation read can always slip between the
+        // publish and the bump (or vice versa), so reuse additionally
+        // requires `Arc::ptr_eq` between the snapshot a delta entry was
+        // captured against and the table the new plan resolved — tables
+        // are immutable once built, so pointer identity is airtight.
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Current registration generation: incremented by every [`register`]
+    /// (including re-registers and append publishes). Retained-work caches
+    /// compare stamped generations against this to detect staleness.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     pub fn get(&self, name: &str) -> Option<Arc<Table>> {

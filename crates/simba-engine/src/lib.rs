@@ -17,6 +17,7 @@
 
 pub mod agg;
 pub mod batch;
+pub mod delta;
 pub mod engines;
 pub mod error;
 pub mod eval;
@@ -27,7 +28,8 @@ pub mod plan;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use batch::{SelectionVector, MORSEL};
+pub use batch::{DeltaCapture, DeltaScan, GroupStates, SelectionVector, MORSEL};
+pub use delta::{DeltaStoreStats, SessionDelta};
 pub use engines::duckdb_like::DuckDbLike;
 pub use engines::monetdb_like::MonetDbLike;
 pub use engines::postgres_like::PostgresLike;
@@ -84,6 +86,23 @@ pub trait Dbms: Send + Sync {
     /// per-attempt decisions on it.
     fn execute_at(&self, query: &Select, ctx: &QueryCtx) -> Result<QueryOutput, EngineError> {
         let _ = ctx;
+        self.execute(query)
+    }
+
+    /// [`execute`](Self::execute) with a per-session [`SessionDelta`] store
+    /// available for cross-step work reuse (see [`delta`]). The default
+    /// *declines*: the store is left untouched and the query executes
+    /// fresh. That is the only sound default — an engine must never cache
+    /// selections against table state it cannot observe, which rules out
+    /// every remote/wrapper engine (a `simba-server` peer re-registers
+    /// tables without this process seeing the catalog generation move).
+    /// Only engines owning their catalog in-process opt in.
+    fn execute_delta(
+        &self,
+        query: &Select,
+        delta: &mut SessionDelta,
+    ) -> Result<QueryOutput, EngineError> {
+        let _ = delta;
         self.execute(query)
     }
 }

@@ -1,0 +1,180 @@
+//! Invalidation regression suite for the session-delta store, driven
+//! through the public `Dbms::execute_delta` surface of the columnar engine.
+//!
+//! Tables are immutable once registered; growth happens by assembling a new
+//! table (`TableAssembler` appends) and re-registering it under the same
+//! name, which bumps the catalog generation. These tests pin the two
+//! consequences the delta store must honour:
+//!
+//! * retained selections die on re-register **and** on append — a cached
+//!   selection indexes rows of a table that no longer exists;
+//! * a register racing an in-flight delta-reusing query can never blend
+//!   snapshots: every result is exactly what one published table produces.
+
+use simba_engine::{Dbms, EngineKind, SessionDelta};
+use simba_sql::parse_select;
+use simba_store::{ColumnDef, Schema, Table, TableAssembler, TableBuilder, TableChunk, Value};
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::new(
+        "t",
+        vec![
+            ColumnDef::quantitative_int("a"),
+            ColumnDef::categorical("q"),
+        ],
+    )
+}
+
+/// `rows` rows with `a = start..start+rows`, `q` cycling over 3 groups.
+fn chunk(start: i64, rows: usize) -> TableChunk {
+    let mut b = TableBuilder::new(schema(), rows);
+    for i in 0..rows as i64 {
+        let v = start + i;
+        b.push_row(vec![Value::Int(v), Value::str(format!("g{}", v % 3))]);
+    }
+    TableChunk::new(b.finish_parts().1)
+}
+
+/// Assemble a table of `n_chunks` × `chunk_rows` rows through the append
+/// path — the same route `simba-data`'s chunked generator publishes growth.
+fn assembled(n_chunks: usize, chunk_rows: usize) -> Table {
+    let mut asm = TableAssembler::new(schema(), n_chunks * chunk_rows);
+    for c in 0..n_chunks {
+        asm.append_chunk(chunk((c * chunk_rows) as i64, chunk_rows));
+    }
+    asm.finish()
+}
+
+fn count(engine: &dyn Dbms, delta: &mut SessionDelta, sql: &str) -> (i64, usize) {
+    let q = parse_select(sql).unwrap();
+    let out = engine.execute_delta(&q, delta).unwrap();
+    let rows = out.result.sorted_rows();
+    let Value::Int(n) = rows[0][0] else {
+        panic!("COUNT(*) did not produce an Int: {rows:?}");
+    };
+    (n, out.stats.delta_hits)
+}
+
+/// Appending to a table (re-registering the grown assembly) must kill every
+/// retained entry: the follow-up refinement sees the appended rows instead
+/// of seeding from the pre-append selection.
+#[test]
+fn append_invalidates_retained_selections() {
+    let engine = EngineKind::DuckDbLike.build();
+    engine.register(Arc::new(assembled(1, 2048)));
+    let mut delta = SessionDelta::default();
+
+    let (n, hits) = count(&*engine, &mut delta, "SELECT COUNT(*) FROM t WHERE a >= 0");
+    assert_eq!((n, hits), (2048, 0));
+    assert_eq!(delta.len(), 1);
+
+    // Grow the table by two appended chunks and publish it.
+    engine.register(Arc::new(assembled(3, 2048)));
+
+    // A strict refinement of the cached WHERE: a stale seed would cap the
+    // count at the pre-append survivors.
+    let (n, hits) = count(
+        &*engine,
+        &mut delta,
+        "SELECT COUNT(*) FROM t WHERE a >= 0 AND a < 3000",
+    );
+    assert_eq!(hits, 0, "stale pre-append selection must not seed");
+    assert_eq!(n, 3000, "appended rows missing from the result");
+    assert_eq!(delta.stats().invalidations, 1);
+
+    // The post-append capture chains normally again.
+    let (n, hits) = count(
+        &*engine,
+        &mut delta,
+        "SELECT COUNT(*) FROM t WHERE a >= 0 AND a < 3000 AND a < 100",
+    );
+    assert_eq!((n, hits), (100, 1), "fresh chain must resume reuse");
+}
+
+/// Same-name re-register with *shrunk* contents: the cached selection holds
+/// indices past the new table's row count — reuse would be out-of-bounds,
+/// not merely stale.
+#[test]
+fn shrinking_reregister_invalidates_out_of_range_selections() {
+    let engine = EngineKind::DuckDbLike.build();
+    engine.register(Arc::new(assembled(4, 2048)));
+    let mut delta = SessionDelta::default();
+
+    count(
+        &*engine,
+        &mut delta,
+        "SELECT COUNT(*) FROM t WHERE a >= 4096",
+    );
+    engine.register(Arc::new(assembled(1, 2048)));
+
+    let (n, hits) = count(
+        &*engine,
+        &mut delta,
+        "SELECT COUNT(*) FROM t WHERE a >= 4096 AND a < 8192",
+    );
+    assert_eq!((n, hits), (0, 0));
+    assert_eq!(delta.stats().invalidations, 1);
+}
+
+/// Race an append/re-register thread against an in-flight delta-reusing
+/// query stream. Each published table `k` holds exactly `k * 2048` rows all
+/// satisfying the chain's predicates, so every correct answer is a multiple
+/// of 2048 within the published range — a blended snapshot (seed from one
+/// table, scan of another) or a stale seed would produce a count outside
+/// that set.
+#[test]
+fn register_racing_inflight_delta_queries_never_blends_snapshots() {
+    let engine = EngineKind::DuckDbLike.build();
+    const CHUNK: usize = 2048;
+    const VERSIONS: usize = 12;
+    engine.register(Arc::new(assembled(1, CHUNK)));
+
+    let publisher = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            for k in 2..=VERSIONS {
+                engine.register(Arc::new(assembled(k, CHUNK)));
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let mut delta = SessionDelta::default();
+    let mut total_hits = 0;
+    for i in 0..200 {
+        // Alternate between the chain base and strict refinements of it so
+        // the store keeps seeding whenever the catalog sits still.
+        let sql = if i % 2 == 0 {
+            "SELECT COUNT(*) FROM t WHERE a >= 0".to_string()
+        } else {
+            format!(
+                "SELECT COUNT(*) FROM t WHERE a >= 0 AND a < {}",
+                VERSIONS * CHUNK
+            )
+        };
+        let (n, hits) = count(&*engine, &mut delta, &sql);
+        total_hits += hits;
+        assert!(
+            n > 0 && n % CHUNK as i64 == 0 && n <= (VERSIONS * CHUNK) as i64,
+            "query {i} observed a blended or stale snapshot: count={n}"
+        );
+    }
+    publisher.join().unwrap();
+
+    // After the publisher settles, the chain must both reuse and agree with
+    // a plain fresh execution of the final table.
+    let (n, _) = count(&*engine, &mut delta, "SELECT COUNT(*) FROM t WHERE a >= 0");
+    let (n2, hits2) = count(
+        &*engine,
+        &mut delta,
+        "SELECT COUNT(*) FROM t WHERE a >= 0 AND a >= 1",
+    );
+    assert_eq!(n, (VERSIONS * CHUNK) as i64);
+    assert_eq!(n2, n - 1);
+    assert_eq!(hits2, 1, "settled catalog must seed refinements again");
+    assert!(
+        total_hits > 0 || delta.stats().invalidations > 0,
+        "race test exercised neither reuse nor invalidation"
+    );
+}

@@ -491,6 +491,7 @@ mod tests {
                     rows_matched: 40,
                     groups: 2,
                     morsels_pruned: 1,
+                    ..ExecStats::default()
                 },
                 elapsed_ns: 12_345,
             },

@@ -13,6 +13,8 @@
 //!   (flattened conjuncts, folded constants, sorted commutative operands).
 //! * [`implication`] — sound-but-incomplete predicate implication, the basis
 //!   of query subsumption checks.
+//! * [`refine`] — refinement verdicts and delta keys for session-delta
+//!   execution (is the next query provably a subset of the previous one?).
 //! * [`similarity`] — whitespace-insensitive string similarity implementing
 //!   the paper's ">95% match" fallback rule (§4.1.2).
 //!
@@ -33,6 +35,7 @@ pub mod implication;
 pub mod normalize;
 pub mod parser;
 pub mod printer;
+pub mod refine;
 pub mod similarity;
 pub mod token;
 
@@ -41,3 +44,4 @@ pub use builder::SelectBuilder;
 pub use error::{ParseError, SqlError};
 pub use normalize::{query_cache_key, NormalizedSelect};
 pub use parser::{parse_expr, parse_select};
+pub use refine::{delta_key, is_refinement, states_key};
